@@ -1,0 +1,55 @@
+//! Microbenchmark: analyzer throughput (§7.3).
+//!
+//! The paper's analyzer chews through tens of thousands of jobs in a couple
+//! of hours on production infrastructure. Ours mines overlap groups and
+//! selects views from compile-only records; this bench tracks jobs/second
+//! across workload sizes so regressions in the mining path are caught.
+
+use cloudviews::analyzer::{mine_overlaps, run_analysis, AnalyzerConfig};
+use cloudviews_bench::compile_only::cluster_records;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scope_engine::repo::JobRecord;
+use scope_workload::recurring::{RecurringWorkload, WorkloadConfig};
+
+fn records_for(vcs: usize) -> Vec<JobRecord> {
+    let workload =
+        RecurringWorkload::generate(WorkloadConfig::paper_large_cluster(3, vcs)).unwrap();
+    cluster_records(&workload, 0, 1).unwrap()
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_overlaps");
+    group.sample_size(20);
+    for vcs in [8usize, 32, 96] {
+        let records = records_for(vcs);
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        group.throughput(criterion::Throughput::Elements(records.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("jobs", records.len()),
+            &refs,
+            |b, refs| b.iter(|| mine_overlaps(std::hint::black_box(refs))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("run_analysis");
+    group.sample_size(20);
+    for vcs in [8usize, 32] {
+        let records = records_for(vcs);
+        group.throughput(criterion::Throughput::Elements(records.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("jobs", records.len()),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    run_analysis(std::hint::black_box(records), &AnalyzerConfig::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmark: the execution substrate.
+//!
+//! Keeps the engine honest underneath the experiments: per-operator
+//! throughput of the hot paths (filter scan, hash aggregation, hash
+//! repartitioning, join) at a fixed data size, and one end-to-end TPC-DS
+//! query execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_common::ids::DatasetId;
+use scope_common::time::SimTime;
+use scope_engine::cost::CostModel;
+use scope_engine::exec::execute_plan;
+use scope_engine::optimizer::{optimize, NoViewServices, OptimizerConfig};
+use scope_engine::storage::StorageManager;
+use scope_plan::expr::AggFunc;
+use scope_plan::{AggExpr, DataType, Expr, JoinKind, PlanBuilder, Schema, Value};
+use scope_workload::tpcds::TpcdsWorkload;
+
+fn kv_storage(n: i64) -> (StorageManager, Schema) {
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]);
+    let rows = (0..n)
+        .map(|i| vec![Value::Int(i % 512), Value::Float(i as f64)])
+        .collect();
+    let storage = StorageManager::new();
+    storage.put_dataset(
+        DatasetId::new(1),
+        scope_engine::data::Table::single(schema.clone(), rows),
+    );
+    (storage, schema)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let (storage, schema) = kv_storage(50_000);
+    let model = CostModel::default();
+
+    let filter_plan = {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", schema.clone());
+        let f = b.filter(s, Expr::col(0).lt(Expr::lit(256i64)));
+        b.output(f, "o").build().unwrap()
+    };
+    c.bench_function("exec_scan_filter_50k", |b| {
+        b.iter(|| execute_plan(&filter_plan, &storage, &model, SimTime::ZERO).unwrap())
+    });
+
+    let agg_plan = {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", schema.clone());
+        let a = b.aggregate(s, vec![0], vec![AggExpr::new("s", AggFunc::Sum, 1)]);
+        b.output(a, "o").build().unwrap()
+    };
+    c.bench_function("exec_hash_agg_50k", |b| {
+        b.iter(|| execute_plan(&agg_plan, &storage, &model, SimTime::ZERO).unwrap())
+    });
+
+    let join_plan = {
+        let mut b = PlanBuilder::new();
+        let l = b.table_scan(DatasetId::new(1), "l", schema.clone());
+        let r = b.table_scan(DatasetId::new(1), "r", schema.clone());
+        let a = b.aggregate(r, vec![0], vec![AggExpr::new("s", AggFunc::Sum, 1)]);
+        let j = b.join(l, a, JoinKind::Inner, vec![0], vec![0]);
+        b.output(j, "o").build().unwrap()
+    };
+    // Joins need enforcers: lower through the optimizer first.
+    let join_phys = optimize(
+        &join_plan,
+        &[],
+        &NoViewServices,
+        &OptimizerConfig::default(),
+        scope_common::ids::JobId::new(1),
+    )
+    .unwrap()
+    .physical;
+    c.bench_function("exec_hash_join_50k", |b| {
+        b.iter(|| execute_plan(&join_phys, &storage, &model, SimTime::ZERO).unwrap())
+    });
+}
+
+fn bench_tpcds_query(c: &mut Criterion) {
+    let storage = StorageManager::new();
+    let w = TpcdsWorkload::new(0.2, 1);
+    w.register_data(&storage).unwrap();
+    let spec = w.query_job(3).unwrap();
+    let plan = optimize(
+        &spec.graph,
+        &[],
+        &NoViewServices,
+        &OptimizerConfig::default(),
+        spec.id,
+    )
+    .unwrap()
+    .physical;
+    let model = CostModel::default();
+    c.bench_function("exec_tpcds_q3_sf02", |b| {
+        b.iter(|| execute_plan(&plan, &storage, &model, SimTime::ZERO).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_operators, bench_tpcds_query);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Microbenchmark: metadata-service operations (paper Section 6.1 / 7.3).
+//!
+//! The paper reports ~19 ms per lookup against AzureSQL; our in-process
+//! service is orders of magnitude faster (that latency is *modeled*, see
+//! `MetadataService::lookup_latency`). This bench keeps the in-process cost
+//! honest: per-job lookups against a loaded inverted index, and the
+//! propose/report lock protocol.
+
+use std::sync::Arc;
+
+use cloudviews::analyzer::SelectedView;
+use cloudviews::MetadataService;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scope_common::hash::sip128;
+use scope_common::ids::JobId;
+use scope_common::time::{SimClock, SimDuration, SimTime};
+use scope_engine::optimizer::{Annotation, AvailableView};
+use scope_plan::PhysicalProps;
+
+fn selected(i: usize) -> SelectedView {
+    SelectedView {
+        annotation: Annotation {
+            normalized: sip128(format!("norm{i}").as_bytes()),
+            props: PhysicalProps::hashed(vec![0], 8),
+            ttl: SimDuration::from_secs(86_400),
+            avg_cpu: SimDuration::from_secs(10),
+            avg_rows: 1_000,
+            avg_bytes: 100_000,
+        },
+        input_tags: vec![format!("in/stream{}.ss", i % 50)],
+        utility: SimDuration::from_secs(30),
+        frequency: 4,
+        precise_last_seen: sip128(format!("precise{i}").as_bytes()),
+    }
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata_lookup");
+    for n_annotations in [10usize, 100, 1_000] {
+        let svc = MetadataService::new(Arc::new(SimClock::new()), 5);
+        let views: Vec<SelectedView> = (0..n_annotations).map(selected).collect();
+        svc.load_annotations(&views);
+        let tags: Vec<String> =
+            (0..5).map(|i| format!("in/stream{i}.ss")).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_annotations),
+            &tags,
+            |b, tags| b.iter(|| svc.relevant_views_for(std::hint::black_box(tags))),
+        );
+    }
+    group.finish();
+
+    c.bench_function("metadata_propose_report", |b| {
+        let svc = MetadataService::new(Arc::new(SimClock::new()), 5);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let sig = sip128(&i.to_le_bytes());
+            let lock = svc.propose(sig, JobId::new(i), SimDuration::from_secs(60));
+            std::hint::black_box(lock);
+            svc.report_materialized(
+                AvailableView {
+                    precise: sig,
+                    rows: 10,
+                    bytes: 100,
+                    props: PhysicalProps::any(),
+                },
+                JobId::new(i),
+                SimTime::ZERO,
+                SimTime::MAX,
+            );
+        })
+    });
+}
+
+criterion_group!(benches, bench_metadata);
+criterion_main!(benches);

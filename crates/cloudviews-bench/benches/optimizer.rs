@@ -1,0 +1,91 @@
+//! Microbenchmark: optimizer time with and without CloudViews (§7.3).
+//!
+//! Three conditions over a representative TPC-DS query (q14, a three-channel
+//! union with dimension joins):
+//!
+//! * `baseline`   — no annotations (plain SCOPE compile);
+//! * `materialize`— annotations match and the build lock is granted, so the
+//!   plan carries a materialization (paper: +28% optimizer time);
+//! * `reuse`      — the view exists, the subgraph is replaced by a ViewGet
+//!   and the tree shrinks (paper: −17%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_common::hash::Sig128;
+use scope_common::ids::{JobId, NodeId};
+use scope_common::time::SimDuration;
+use scope_engine::optimizer::{
+    optimize, Annotation, AvailableView, NoViewServices, OptimizerConfig, ViewServices,
+};
+use scope_plan::PhysicalProps;
+use scope_signature::sign_graph;
+use scope_workload::tpcds::build_query;
+
+struct Grant;
+impl ViewServices for Grant {
+    fn view_available(&self, _p: Sig128) -> Option<AvailableView> {
+        None
+    }
+    fn propose_materialize(&self, _p: Sig128, _n: Sig128, _j: JobId, _t: SimDuration) -> bool {
+        true
+    }
+}
+
+struct Have {
+    precise: Sig128,
+    view: AvailableView,
+}
+impl ViewServices for Have {
+    fn view_available(&self, p: Sig128) -> Option<AvailableView> {
+        (p == self.precise).then(|| self.view.clone())
+    }
+    fn propose_materialize(&self, _p: Sig128, _n: Sig128, _j: JobId, _t: SimDuration) -> bool {
+        false
+    }
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let graph = build_query(14).unwrap();
+    let cfg = OptimizerConfig::default();
+    let job = JobId::new(1);
+
+    // Annotate a mid-plan subexpression (the first channel's join tree).
+    let signed = sign_graph(&graph).unwrap();
+    let target = NodeId::new(6);
+    let annotation = Annotation {
+        normalized: signed.of(target).normalized,
+        props: PhysicalProps::hashed(vec![0], 8),
+        ttl: SimDuration::from_secs(86_400),
+        avg_cpu: SimDuration::from_secs(60),
+        avg_rows: 10_000,
+        avg_bytes: 640_000,
+    };
+    let annotations = vec![annotation];
+
+    c.bench_function("optimize_baseline", |b| {
+        b.iter(|| optimize(std::hint::black_box(&graph), &[], &NoViewServices, &cfg, job).unwrap())
+    });
+
+    c.bench_function("optimize_materialize", |b| {
+        b.iter(|| {
+            optimize(std::hint::black_box(&graph), &annotations, &Grant, &cfg, job).unwrap()
+        })
+    });
+
+    let have = Have {
+        precise: signed.of(target).precise,
+        view: AvailableView {
+            precise: signed.of(target).precise,
+            rows: 10_000,
+            bytes: 640_000,
+            props: PhysicalProps::hashed(vec![0], 8),
+        },
+    };
+    c.bench_function("optimize_reuse", |b| {
+        b.iter(|| {
+            optimize(std::hint::black_box(&graph), &annotations, &have, &cfg, job).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

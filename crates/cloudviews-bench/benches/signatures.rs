@@ -1,0 +1,54 @@
+//! Microbenchmark: signature computation (paper Section 3).
+//!
+//! Signing happens on every compile, so its cost is part of the Section 7.3
+//! compile-time overhead. Measures Merkle signing and full subgraph
+//! enumeration over plans of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scope_common::ids::DatasetId;
+use scope_plan::expr::AggFunc;
+use scope_plan::{AggExpr, DataType, Expr, Partitioning, PlanBuilder, QueryGraph, Schema};
+use scope_signature::{enumerate_subgraphs, sign_graph};
+
+/// Builds a chain-shaped plan with roughly `n` nodes.
+fn chain_plan(n: usize) -> QueryGraph {
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]);
+    let mut b = PlanBuilder::new();
+    let mut cur = b.table_scan(DatasetId::new(1), "bench/t.ss", schema);
+    for i in 0..n.saturating_sub(3) {
+        cur = match i % 4 {
+            0 => b.filter(cur, Expr::col(0).gt(Expr::lit(i as i64))),
+            1 => b.exchange(cur, Partitioning::Hash { cols: vec![0], parts: 8 }),
+            2 => b.aggregate(
+                cur,
+                vec![0],
+                vec![AggExpr::new(format!("a{i}"), AggFunc::Sum, 1)],
+            ),
+            _ => b.nop(cur),
+        };
+    }
+    b.output(cur, "bench/out.ss").build().unwrap()
+}
+
+fn bench_signing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sign_graph");
+    for n in [8usize, 32, 128] {
+        let plan = chain_plan(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
+            b.iter(|| sign_graph(std::hint::black_box(plan)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("enumerate_subgraphs");
+    for n in [8usize, 32, 128] {
+        let plan = chain_plan(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
+            b.iter(|| enumerate_subgraphs(std::hint::black_box(plan)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_signing);
+criterion_main!(benches);

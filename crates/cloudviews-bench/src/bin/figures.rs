@@ -1,0 +1,60 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p cloudviews-bench --bin figures -- all
+//! cargo run --release -p cloudviews-bench --bin figures -- fig11 [row_scale]
+//! ```
+//!
+//! Subcommands: `fig1 fig2a fig2b fig3 fig4a fig4bcd fig5 fig11 fig12 fig13
+//! overheads ablations verify all`. Numeric argument = scale (row_scale for
+//! the recurring workloads, TPC-DS scale factor for fig13/overheads).
+
+use cloudviews_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let scale: Option<f64> = args.get(1).and_then(|s| s.parse().ok());
+    let seed = 1u64;
+
+    let run = |name: &str| -> String {
+        let result = match name {
+            "fig1" => ex::fig1(seed),
+            "fig2a" => ex::fig2a(seed, 160),
+            "fig2b" => ex::fig2b(seed, 160),
+            "fig3" => ex::fig3(seed),
+            "fig4a" => ex::fig4a(seed),
+            "fig4bcd" => ex::fig4bcd(seed),
+            "fig5" => ex::fig5(seed, scale.unwrap_or(3.0)),
+            // fig11 and fig12 come from the same 32-job experiment.
+            "fig11" | "fig12" => ex::fig11_12(scale.unwrap_or(1.0)),
+            "fig13" => ex::fig13(scale.unwrap_or(1.5)),
+            "overheads" => ex::overheads(scale.unwrap_or(1.0)),
+            "ablations" => ex::ablations(scale.unwrap_or(0.25)),
+            "verify" => ex::verify_correctness(scale.unwrap_or(0.25)),
+            other => {
+                eprintln!("unknown figure `{other}`");
+                std::process::exit(2);
+            }
+        };
+        match result {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    if cmd == "all" {
+        for name in [
+            "fig1", "fig2a", "fig2b", "fig3", "fig4a", "fig4bcd", "fig5", "fig11", "fig13",
+            "overheads", "ablations", "verify",
+        ] {
+            println!("==================== {name} ====================");
+            println!("{}", run(name));
+        }
+    } else {
+        println!("{}", run(cmd));
+    }
+}

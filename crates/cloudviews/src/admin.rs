@@ -1,0 +1,378 @@
+//! Admin operations and debuggability (paper Sections 4, 5.4, 5.5, 8).
+//!
+//! Production requirements the runtime alone does not cover:
+//!
+//! * **Storage reclamation** (§5.4) — "cluster admins could also reclaim a
+//!   given storage space by running the same view selection routines ...
+//!   replacing the max objective function with a min"; both paths "require
+//!   cleaning the views from the metadata service first before deleting any
+//!   of the physical files". [`reclaim_storage`] implements exactly that
+//!   order.
+//! * **Debuggability** (§4 requirement 6) — operators must be able to see
+//!   which views a job created or used, trace the producing job of any
+//!   view, and "drill down into why a view was selected for materialization
+//!   or reuse in the first place". [`explain_selection`] re-derives the
+//!   selection verdict of any mined computation against the configured
+//!   constraints; [`trace_view`] follows a stored view back to its producer.
+
+use scope_common::hash::Sig128;
+use scope_common::ids::JobId;
+use scope_common::time::SimDuration;
+use scope_common::Result;
+
+use crate::analyzer::{
+    selection::SelectionConstraints, AnalyzerConfig, OverlapGroup,
+};
+use crate::runtime::CloudViews;
+
+/// Outcome of a storage-reclamation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReclaimReport {
+    /// Views removed (metadata first, then files).
+    pub views_removed: usize,
+    /// Bytes reclaimed from the view store.
+    pub bytes_reclaimed: u64,
+    /// View-store bytes remaining.
+    pub bytes_remaining: u64,
+}
+
+/// Frees at least `bytes_needed` from the view store by evicting the
+/// *least useful* stored views (the §5.4 min-objective selection), cleaning
+/// the metadata service before deleting any physical file so that no job
+/// can be handed a view whose file is about to disappear.
+pub fn reclaim_storage(service: &CloudViews, bytes_needed: u64) -> Result<ReclaimReport> {
+    // Rank stored views by the utility of their mined overlap groups; views
+    // with no surviving group stats rank lowest (nothing is known to want
+    // them).
+    let records = service.repo.records();
+    let refs: Vec<_> = records.iter().collect();
+    let groups = crate::analyzer::mine_overlaps(&refs);
+    let utility_of = |normalized: Sig128| -> SimDuration {
+        groups
+            .iter()
+            .find(|g| g.normalized == normalized)
+            .map(|g| g.utility())
+            .unwrap_or(SimDuration::ZERO)
+    };
+
+    let mut stored = service.storage.view_metas();
+    stored.sort_by_key(|m| utility_of(m.normalized));
+
+    let mut to_remove: Vec<Sig128> = Vec::new();
+    let mut reclaiming = 0u64;
+    for meta in &stored {
+        if reclaiming >= bytes_needed {
+            break;
+        }
+        reclaiming += meta.bytes;
+        to_remove.push(meta.precise);
+    }
+
+    // Metadata first, files second — the paper's required order.
+    service.metadata.unregister_views(&to_remove);
+    let mut bytes_reclaimed = 0;
+    for sig in &to_remove {
+        bytes_reclaimed += service.storage.delete_view(*sig).unwrap_or(0);
+    }
+    Ok(ReclaimReport {
+        views_removed: to_remove.len(),
+        bytes_reclaimed,
+        bytes_remaining: service.storage.total_view_bytes(),
+    })
+}
+
+/// One step of the selection verdict for a computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictStep {
+    /// Constraint name.
+    pub check: &'static str,
+    /// Human-readable observed-vs-required line.
+    pub detail: String,
+    /// Whether the computation passed this check.
+    pub passed: bool,
+}
+
+/// The full "why was / wasn't this view selected" drill-down.
+#[derive(Debug, Clone)]
+pub struct SelectionExplanation {
+    /// The computation's normalized signature.
+    pub normalized: Sig128,
+    /// Constraint-by-constraint verdict.
+    pub steps: Vec<VerdictStep>,
+    /// Whether every constraint passed (policy ranking then decides).
+    pub admitted: bool,
+    /// The computation's utility, for ranking context.
+    pub utility: SimDuration,
+}
+
+impl SelectionExplanation {
+    /// Renders as an indented report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "computation {} — utility {} — {}\n",
+            self.normalized.short(),
+            self.utility,
+            if self.admitted { "ADMITTED (ranked by policy)" } else { "REJECTED" }
+        );
+        for s in &self.steps {
+            out.push_str(&format!(
+                "  [{}] {:<16} {}\n",
+                if s.passed { "ok" } else { "FAIL" },
+                s.check,
+                s.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Explains how `group` fares against `constraints` — the paper's "drill
+/// down into why a view was selected ... in the first place".
+pub fn explain_selection(
+    group: &OverlapGroup,
+    constraints: &SelectionConstraints,
+) -> SelectionExplanation {
+    let mut steps = Vec::new();
+    let freq = group.per_instance_frequency();
+    steps.push(VerdictStep {
+        check: "min_frequency",
+        detail: format!("observed {freq}, required >= {}", constraints.min_frequency),
+        passed: freq >= constraints.min_frequency,
+    });
+    steps.push(VerdictStep {
+        check: "min_cost_ratio",
+        detail: format!(
+            "observed {:.3}, required >= {:.3}",
+            group.cost_ratio(),
+            constraints.min_cost_ratio
+        ),
+        passed: group.cost_ratio() >= constraints.min_cost_ratio,
+    });
+    steps.push(VerdictStep {
+        check: "min_cpu",
+        detail: format!(
+            "observed {}, required >= {}",
+            group.avg_cumulative_cpu, constraints.min_cpu
+        ),
+        passed: group.avg_cumulative_cpu >= constraints.min_cpu,
+    });
+    steps.push(VerdictStep {
+        check: "max_bytes",
+        detail: format!(
+            "observed {} B, allowed <= {} B",
+            group.avg_out_bytes, constraints.max_bytes
+        ),
+        passed: group.avg_out_bytes <= constraints.max_bytes,
+    });
+    steps.push(VerdictStep {
+        check: "min_nodes",
+        detail: format!(
+            "subgraph has {} nodes, required >= {}",
+            group.num_nodes, constraints.min_nodes
+        ),
+        passed: group.num_nodes >= constraints.min_nodes,
+    });
+    let output_ok = !(constraints.exclude_outputs
+        && matches!(
+            group.root_kind,
+            scope_plan::OpKind::Output | scope_plan::OpKind::Write
+        ));
+    steps.push(VerdictStep {
+        check: "exclude_outputs",
+        detail: format!("root operator is {}", group.root_kind),
+        passed: output_ok,
+    });
+    let admitted = steps.iter().all(|s| s.passed);
+    SelectionExplanation {
+        normalized: group.normalized,
+        steps,
+        admitted,
+        utility: group.utility(),
+    }
+}
+
+/// Everything known about one stored view (requirement 6's trace).
+#[derive(Debug, Clone)]
+pub struct ViewTrace {
+    /// Precise signature (the storage key and file-path component).
+    pub precise: Sig128,
+    /// Simulated physical path of the file.
+    pub physical_path: String,
+    /// Job that produced it.
+    pub producer: JobId,
+    /// Jobs that contained the computation in the analyzed history.
+    pub historical_jobs: Vec<JobId>,
+    /// Stored rows/bytes.
+    pub rows: u64,
+    /// Stored bytes.
+    pub bytes: u64,
+}
+
+/// Traces a stored view back to its producer and historical consumers.
+pub fn trace_view(service: &CloudViews, precise: Sig128) -> Option<ViewTrace> {
+    let now = service.clock.now();
+    let file = service.storage.view(precise, now)?;
+    let records = service.repo.records();
+    let refs: Vec<_> = records.iter().collect();
+    let groups = crate::analyzer::mine_overlaps(&refs);
+    let historical_jobs = groups
+        .iter()
+        .find(|g| g.normalized == file.meta.normalized)
+        .map(|g| g.jobs.clone())
+        .unwrap_or_default();
+    Some(ViewTrace {
+        precise,
+        physical_path: file.physical_path(),
+        producer: file.meta.producer,
+        historical_jobs,
+        rows: file.meta.rows,
+        bytes: file.meta.bytes,
+    })
+}
+
+/// Convenience: the full admin report — analysis summary plus the top-N
+/// selection explanations (the §5.5 dashboard in text form).
+pub fn admin_report(service: &CloudViews, config: &AnalyzerConfig, top: usize) -> Result<String> {
+    let analysis = service.analyze(config)?;
+    let mut out = format!(
+        "jobs analyzed: {}\noverlapping computations: {}\nviews selected: {} ({:?})\n\n",
+        analysis.jobs_analyzed,
+        analysis.groups.len(),
+        analysis.selected.len(),
+        config.policy,
+    );
+    out.push_str(&crate::reporting::top_overlaps(&analysis.groups, top));
+    out.push('\n');
+    for group in analysis.groups.iter().take(top) {
+        out.push_str(&explain_selection(group, &config.constraints).render());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{AnalyzerConfig, SelectionPolicy};
+    use crate::runtime::RunMode;
+    use scope_engine::storage::StorageManager;
+    use scope_workload::dists::LogNormal;
+    use scope_workload::recurring::{ClusterSpec, RecurringWorkload, WorkloadConfig};
+    use std::sync::Arc;
+
+    fn running_service() -> (CloudViews, RecurringWorkload) {
+        let w = RecurringWorkload::generate(WorkloadConfig {
+            clusters: vec![ClusterSpec::tiny("admin")],
+            seed: 77,
+            stream_rows: LogNormal::new(6.0, 0.5, 150.0, 1_500.0),
+        })
+        .unwrap();
+        let cv = CloudViews::new(Arc::new(StorageManager::new()));
+        w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
+        let analysis = cv
+            .analyze(&AnalyzerConfig {
+                policy: SelectionPolicy::TopKUtility { k: 6 },
+                ..Default::default()
+            })
+            .unwrap();
+        cv.install_analysis(&analysis);
+        w.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 1).unwrap(), RunMode::CloudViews).unwrap();
+        (cv, w)
+    }
+
+    #[test]
+    fn reclaim_storage_frees_space_metadata_first() {
+        let (cv, _) = running_service();
+        let before_views = cv.storage.num_views();
+        let before_bytes = cv.storage.total_view_bytes();
+        assert!(before_views > 0);
+
+        let report = reclaim_storage(&cv, before_bytes / 2).unwrap();
+        assert!(report.views_removed > 0);
+        assert!(report.bytes_reclaimed >= before_bytes / 2 || report.views_removed == before_views);
+        assert_eq!(report.bytes_remaining, cv.storage.total_view_bytes());
+        // Metadata has no dangling entries for removed views.
+        assert_eq!(cv.metadata.num_views(), cv.storage.num_views());
+    }
+
+    #[test]
+    fn reclaim_evicts_least_useful_first() {
+        let (cv, _) = running_service();
+        let records = cv.repo.records();
+        let refs: Vec<_> = records.iter().collect();
+        let groups = crate::analyzer::mine_overlaps(&refs);
+        // Reclaim a single byte: exactly one (least useful) view goes.
+        let report = reclaim_storage(&cv, 1).unwrap();
+        assert_eq!(report.views_removed, 1);
+        // The most useful stored view must survive.
+        let best = groups
+            .iter()
+            .filter(|g| {
+                cv.storage.view_metas().iter().any(|m| m.normalized == g.normalized)
+            })
+            .max_by_key(|g| g.utility());
+        if let Some(best) = best {
+            assert!(
+                cv.storage
+                    .view_metas()
+                    .iter()
+                    .any(|m| m.normalized == best.normalized),
+                "evicted the most useful view"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_selection_reports_each_constraint() {
+        let (cv, _) = running_service();
+        let records = cv.repo.records();
+        let refs: Vec<_> = records.iter().collect();
+        let groups = crate::analyzer::mine_overlaps(&refs);
+        let strict = SelectionConstraints {
+            min_frequency: 1_000_000, // nothing passes
+            ..Default::default()
+        };
+        let explanation = explain_selection(&groups[0], &strict);
+        assert!(!explanation.admitted);
+        let failed: Vec<_> =
+            explanation.steps.iter().filter(|s| !s.passed).collect();
+        assert!(failed.iter().any(|s| s.check == "min_frequency"));
+        let text = explanation.render();
+        assert!(text.contains("REJECTED"));
+        assert!(text.contains("min_frequency"));
+
+        let lax = SelectionConstraints { min_nodes: 0, ..Default::default() };
+        let explanation = explain_selection(&groups[0], &lax);
+        assert!(explanation.render().contains("ok"));
+    }
+
+    #[test]
+    fn trace_view_finds_producer_and_history() {
+        let (cv, _) = running_service();
+        let meta = cv.storage.view_metas().pop().expect("a stored view");
+        let trace = trace_view(&cv, meta.precise).expect("traceable");
+        assert_eq!(trace.producer, meta.producer);
+        assert!(trace.physical_path.contains(&meta.precise.to_string()));
+        assert!(!trace.historical_jobs.is_empty());
+        // Unknown signature: no trace.
+        assert!(trace_view(&cv, Sig128::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn admin_report_renders() {
+        let (cv, _) = running_service();
+        let report = admin_report(
+            &cv,
+            &AnalyzerConfig {
+                policy: SelectionPolicy::TopKUtility { k: 3 },
+                ..Default::default()
+            },
+            5,
+        )
+        .unwrap();
+        assert!(report.contains("jobs analyzed"));
+        assert!(report.contains("rank"));
+        assert!(report.contains("computation"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Job coordination hints (paper Section 6.5).
+//!
+//! Concurrent jobs containing the same overlapping computation all
+//! recompute it (only one wins the build lock). The analyzer therefore also
+//! emits a submission *order*: "grouping jobs having the same number of
+//! overlaps, and picking the shortest job in terms of runtime, or least
+//! overlapping job in case of a tie, from each group. The deduplicated list
+//! of the above jobs will create the materialized views that could be used
+//! by all others, and so we propose to run them first (ordered by their
+//! runtime and breaking ties using the number of overlaps)."
+//!
+//! Hints are expressed as *templates* (not job ids): the next recurring
+//! instance has fresh job ids, but templates persist.
+
+use std::collections::HashMap;
+
+use scope_common::ids::{JobId, TemplateId};
+use scope_common::time::SimDuration;
+use scope_engine::repo::JobRecord;
+
+use super::overlap::OverlapGroup;
+
+/// Builds the run-first template list from the selected overlap groups.
+pub fn order_hints(selected: &[OverlapGroup], records: &[&JobRecord]) -> Vec<TemplateId> {
+    let latency: HashMap<JobId, SimDuration> =
+        records.iter().map(|r| (r.job, r.latency)).collect();
+    let template_of: HashMap<JobId, TemplateId> =
+        records.iter().map(|r| (r.job, r.template)).collect();
+
+    // Overlap count per job across the selected groups.
+    let mut overlaps_per_job: HashMap<JobId, usize> = HashMap::new();
+    for g in selected {
+        for j in &g.jobs {
+            *overlaps_per_job.entry(*j).or_default() += 1;
+        }
+    }
+
+    // Group jobs by overlap count; pick the shortest (tie: least
+    // overlapping, then id for determinism) from each group.
+    let mut by_count: HashMap<usize, Vec<JobId>> = HashMap::new();
+    for (job, count) in &overlaps_per_job {
+        by_count.entry(*count).or_default().push(*job);
+    }
+    let mut builders: Vec<JobId> = Vec::new();
+    for jobs in by_count.values() {
+        let best = jobs.iter().copied().min_by(|a, b| {
+            let la = latency.get(a).copied().unwrap_or(SimDuration::ZERO);
+            let lb = latency.get(b).copied().unwrap_or(SimDuration::ZERO);
+            la.cmp(&lb)
+                .then_with(|| overlaps_per_job[a].cmp(&overlaps_per_job[b]))
+                .then_with(|| a.cmp(b))
+        });
+        if let Some(j) = best {
+            builders.push(j);
+        }
+    }
+
+    // Dedup and order by runtime, ties by overlap count.
+    builders.sort_by(|a, b| {
+        let la = latency.get(a).copied().unwrap_or(SimDuration::ZERO);
+        let lb = latency.get(b).copied().unwrap_or(SimDuration::ZERO);
+        la.cmp(&lb)
+            .then_with(|| overlaps_per_job[a].cmp(&overlaps_per_job[b]))
+            .then_with(|| a.cmp(b))
+    });
+    builders.dedup();
+
+    let mut templates: Vec<TemplateId> = Vec::new();
+    for j in builders {
+        if let Some(t) = template_of.get(&j) {
+            if !templates.contains(t) {
+                templates.push(*t);
+            }
+        }
+    }
+    templates
+}
+
+/// Reorders a job list so that jobs of hinted templates run first (in hint
+/// order), preserving the original relative order otherwise. This is the
+/// client-side submission-tool behaviour the paper describes.
+pub fn apply_order<T, F: Fn(&T) -> TemplateId>(
+    jobs: Vec<T>,
+    hints: &[TemplateId],
+    template_of: F,
+) -> Vec<T> {
+    let rank = |t: &TemplateId| -> usize {
+        hints.iter().position(|h| h == t).unwrap_or(usize::MAX)
+    };
+    let mut indexed: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
+    indexed.sort_by(|(ia, a), (ib, b)| {
+        rank(&template_of(a))
+            .cmp(&rank(&template_of(b)))
+            .then_with(|| ia.cmp(ib))
+    });
+    indexed.into_iter().map(|(_, j)| j).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_common::hash::sip128;
+    use scope_common::ids::{ClusterId, UserId, VcId};
+    use scope_common::time::SimTime;
+    use scope_plan::{OpKind, PhysicalProps};
+
+    fn rec(job: u64, template: u64, latency_s: u64) -> JobRecord {
+        JobRecord {
+            job: JobId::new(job),
+            cluster: ClusterId::new(0),
+            vc: VcId::new(0),
+            user: UserId::new(0),
+            template: TemplateId::new(template),
+            instance: 0,
+            submitted_at: SimTime::ZERO,
+            latency: SimDuration::from_secs(latency_s),
+            cpu_time: SimDuration::from_secs(latency_s * 4),
+            tags: vec![],
+            subgraphs: vec![],
+        }
+    }
+
+    fn grp(name: &str, jobs: &[u64]) -> OverlapGroup {
+        OverlapGroup {
+            normalized: sip128(name.as_bytes()),
+            sample_precise: sip128(name.as_bytes()),
+            occurrences: jobs.len() as u64,
+            instances: 1,
+            jobs: jobs.iter().map(|&j| JobId::new(j)).collect(),
+            users: vec![],
+            vcs: vec![],
+            templates: vec![],
+            root_kind: OpKind::Sort,
+            num_nodes: 2,
+            has_user_code: false,
+            input_tags: vec![],
+            avg_cumulative_cpu: SimDuration::from_secs(1),
+            avg_out_rows: 1,
+            avg_out_bytes: 1,
+            avg_job_cpu: SimDuration::from_secs(4),
+            props_votes: vec![(PhysicalProps::any(), 1)],
+        }
+    }
+
+    #[test]
+    fn shortest_job_per_group_runs_first() {
+        // Jobs 1 (slow) and 2 (fast) share one overlap; the fast one should
+        // be hinted to build.
+        let records = vec![rec(1, 10, 100), rec(2, 20, 5)];
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let hints = order_hints(&[grp("v", &[1, 2])], &refs);
+        assert_eq!(hints, vec![TemplateId::new(20)]);
+    }
+
+    #[test]
+    fn multiple_groups_ordered_by_runtime() {
+        // Group with 1 overlap: jobs 1,2 (fastest 2). Group with 2
+        // overlaps: job 3 alone (in both groups).
+        let records = vec![rec(1, 10, 50), rec(2, 20, 5), rec(3, 30, 20)];
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let hints = order_hints(&[grp("a", &[1, 2, 3]), grp("b", &[3])], &refs);
+        // Job 2 (1 overlap, 5s) and job 3 (2 overlaps, 20s): runtime order.
+        assert_eq!(hints, vec![TemplateId::new(20), TemplateId::new(30)]);
+    }
+
+    #[test]
+    fn apply_order_moves_builders_first() {
+        let jobs = vec![(0u64, 10u64), (1, 20), (2, 30), (3, 20)];
+        let hints = vec![TemplateId::new(30), TemplateId::new(20)];
+        let ordered = apply_order(jobs, &hints, |&(_, t)| TemplateId::new(t));
+        let templates: Vec<u64> = ordered.iter().map(|&(_, t)| t).collect();
+        // 30 first, then both 20s in original order, then the rest.
+        assert_eq!(templates, vec![30, 20, 20, 10]);
+        // Stable for unhinted jobs.
+        assert_eq!(ordered[3], (0, 10));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(order_hints(&[], &[]).is_empty());
+        let jobs: Vec<u64> = vec![1, 2];
+        let out = apply_order(jobs.clone(), &[], |_| TemplateId::new(0));
+        assert_eq!(out, jobs);
+    }
+}

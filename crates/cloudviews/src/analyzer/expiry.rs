@@ -1,0 +1,208 @@
+//! View expiry from input lineage (paper Section 5.4).
+//!
+//! Removing views after every recurring instance is wasteful because hourly
+//! outputs feed weekly and monthly jobs. "A better option is to track the
+//! lineage of the inputs of the view, i.e., for each of the view inputs,
+//! check the longest duration that it gets used by any of the recurring
+//! jobs. The maximum of all such durations gives a good estimate of the
+//! view expiry."
+//!
+//! [`LineageTracker`] rebuilds that lineage from the workload repository:
+//! for every input tag, the recurrence *period* of each consuming template
+//! (observed gap between its instances); a view over some inputs expires
+//! after the slowest consumer's period (times a safety factor).
+
+use std::collections::HashMap;
+
+use scope_common::ids::TemplateId;
+use scope_common::time::{SimDuration, SimTime};
+use scope_engine::repo::JobRecord;
+
+/// Safety multiplier over the observed consumer period.
+const SAFETY_FACTOR: f64 = 2.0;
+
+/// Input-tag lineage: who consumes each input, and how often they recur.
+#[derive(Debug, Default)]
+pub struct LineageTracker {
+    /// Per-template observed recurrence period.
+    template_period: HashMap<TemplateId, SimDuration>,
+    /// Input tag → consuming templates.
+    consumers: HashMap<String, Vec<TemplateId>>,
+}
+
+impl LineageTracker {
+    /// Builds lineage from repository records.
+    pub fn from_records(records: &[&JobRecord]) -> LineageTracker {
+        // Observed submission times per template instance.
+        let mut times: HashMap<TemplateId, Vec<(u64, SimTime)>> = HashMap::new();
+        let mut consumers: HashMap<String, Vec<TemplateId>> = HashMap::new();
+        for r in records {
+            times.entry(r.template).or_default().push((r.instance, r.submitted_at));
+            for tag in &r.tags {
+                let list = consumers.entry(tag.clone()).or_default();
+                if !list.contains(&r.template) {
+                    list.push(r.template);
+                }
+            }
+        }
+        let mut template_period = HashMap::new();
+        for (template, mut observed) in times {
+            observed.sort_unstable_by_key(|(inst, _)| *inst);
+            observed.dedup_by_key(|(inst, _)| *inst);
+            // Max gap between consecutive instances, normalized by the
+            // instance-index gap (a weekly job analyzed over one day shows
+            // no second instance — handled by the default TTL fallback).
+            let mut period = SimDuration::ZERO;
+            for w in observed.windows(2) {
+                let (i0, t0) = w[0];
+                let (i1, t1) = w[1];
+                let gap = t1.since(t0);
+                let steps = (i1 - i0).max(1);
+                let per_step = SimDuration::from_micros(gap.micros() / steps);
+                period = period.max(per_step);
+            }
+            if period > SimDuration::ZERO {
+                template_period.insert(template, period);
+            }
+        }
+        LineageTracker { template_period, consumers }
+    }
+
+    /// The recurrence period of a template, if at least two instances were
+    /// observed.
+    pub fn template_period(&self, template: TemplateId) -> Option<SimDuration> {
+        self.template_period.get(&template).copied()
+    }
+
+    /// TTL for a view over the given input tags: the slowest consuming
+    /// template's period times a safety factor; `default_ttl` when no
+    /// consumer period is known.
+    pub fn ttl_for_tags(&self, tags: &[String], default_ttl: SimDuration) -> SimDuration {
+        let mut max_period = SimDuration::ZERO;
+        for tag in tags {
+            if let Some(templates) = self.consumers.get(tag) {
+                for t in templates {
+                    if let Some(p) = self.template_period.get(t) {
+                        max_period = max_period.max(*p);
+                    }
+                }
+            }
+        }
+        if max_period == SimDuration::ZERO {
+            default_ttl
+        } else {
+            max_period.mul_f64(SAFETY_FACTOR).max(default_ttl)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_common::ids::{ClusterId, JobId, UserId, VcId};
+
+    fn record(
+        template: u64,
+        instance: u64,
+        at_secs: u64,
+        tags: &[&str],
+    ) -> JobRecord {
+        JobRecord {
+            job: JobId::new(template * 100 + instance),
+            cluster: ClusterId::new(0),
+            vc: VcId::new(0),
+            user: UserId::new(0),
+            template: TemplateId::new(template),
+            instance,
+            submitted_at: SimTime(at_secs * 1_000_000),
+            latency: SimDuration::from_secs(1),
+            cpu_time: SimDuration::from_secs(4),
+            tags: tags.iter().map(|s| s.to_string()).collect(),
+            subgraphs: vec![],
+        }
+    }
+
+    const HOUR: u64 = 3_600;
+    const DAY: u64 = 86_400;
+
+    #[test]
+    fn period_mined_from_instances() {
+        let records = vec![
+            record(1, 0, 0, &["in/a"]),
+            record(1, 1, HOUR, &["in/a"]),
+            record(1, 2, 2 * HOUR, &["in/a"]),
+        ];
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let lineage = LineageTracker::from_records(&refs);
+        assert_eq!(
+            lineage.template_period(TemplateId::new(1)),
+            Some(SimDuration::from_secs(HOUR))
+        );
+    }
+
+    #[test]
+    fn ttl_uses_slowest_consumer() {
+        // Hourly template 1 and daily template 2 both consume in/a.
+        let records = vec![
+            record(1, 0, 0, &["in/a"]),
+            record(1, 1, HOUR, &["in/a"]),
+            record(2, 0, 0, &["in/a", "in/b"]),
+            record(2, 1, DAY, &["in/a", "in/b"]),
+        ];
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let lineage = LineageTracker::from_records(&refs);
+        let ttl = lineage.ttl_for_tags(&["in/a".into()], SimDuration::from_secs(HOUR));
+        // Daily consumer wins: TTL = 2 days, not 2 hours.
+        assert_eq!(ttl, SimDuration::from_secs(2 * DAY));
+        // A tag only the hourly template consumes gets the smaller TTL,
+        // floored at the default.
+        let ttl_b = lineage.ttl_for_tags(&["in/b".into()], SimDuration::from_secs(HOUR));
+        assert_eq!(ttl_b, SimDuration::from_secs(2 * DAY));
+    }
+
+    #[test]
+    fn unknown_tags_get_default() {
+        let lineage = LineageTracker::from_records(&[]);
+        let ttl = lineage.ttl_for_tags(&["never/seen".into()], SimDuration::from_secs(42));
+        assert_eq!(ttl, SimDuration::from_secs(42));
+    }
+
+    #[test]
+    fn single_instance_templates_fall_back() {
+        let records = vec![record(1, 0, 0, &["in/a"])];
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let lineage = LineageTracker::from_records(&refs);
+        assert_eq!(lineage.template_period(TemplateId::new(1)), None);
+        assert_eq!(
+            lineage.ttl_for_tags(&["in/a".into()], SimDuration::from_secs(7)),
+            SimDuration::from_secs(7)
+        );
+    }
+
+    #[test]
+    fn missing_instances_normalize_gap() {
+        // Instances 0 and 4 observed, 4 hours apart ⇒ hourly period.
+        let records = vec![
+            record(1, 0, 0, &["in/a"]),
+            record(1, 4, 4 * HOUR, &["in/a"]),
+        ];
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let lineage = LineageTracker::from_records(&refs);
+        assert_eq!(
+            lineage.template_period(TemplateId::new(1)),
+            Some(SimDuration::from_secs(HOUR))
+        );
+    }
+
+    #[test]
+    fn ttl_never_below_default() {
+        let records = vec![
+            record(1, 0, 0, &["in/a"]),
+            record(1, 1, 60, &["in/a"]), // minutely recurrence
+        ];
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let lineage = LineageTracker::from_records(&refs);
+        let ttl = lineage.ttl_for_tags(&["in/a".into()], SimDuration::from_secs(DAY));
+        assert_eq!(ttl, SimDuration::from_secs(DAY));
+    }
+}

@@ -1,0 +1,56 @@
+//! CLOUDVIEWS — automatic computation reuse in an analytics job service.
+//!
+//! Reproduction of *"Computation Reuse in Analytics Job Service at
+//! Microsoft"* (Jindal et al., SIGMOD 2018). CloudViews detects overlapping
+//! subgraph computations across the jobs of a shared analytics service,
+//! materializes the most valuable ones as views — **online**, as part of
+//! ordinary query processing — and transparently rewrites future jobs to
+//! reuse them. No user script changes; correctness guaranteed by precise
+//! plan signatures that pin input GUIDs, parameters, and user-code versions.
+//!
+//! The crate mirrors the paper's two-sided architecture (Figure 6):
+//!
+//! * **[`analyzer`]** — the periodic workload analyzer: mines overlapping
+//!   computations from the workload repository's reconciled runtime
+//!   statistics (the feedback loop of Section 5.1), selects the views to
+//!   materialize under pluggable policies and constraints (Section 5.2),
+//!   picks each view's physical design from observed output properties
+//!   (Section 5.3), estimates expiry from input lineage (Section 5.4), and
+//!   emits job-submission-order hints (Section 6.5).
+//! * **[`metadata`]** — the always-on metadata service (Section 6.1): a
+//!   tag-inverted index answering one lookup per job, exclusive build locks
+//!   with mined expiries, and the registry of currently materialized views.
+//! * **[`runtime`]** — the per-job runtime path (Sections 6.2–6.4): fetch
+//!   annotations, optimize with reuse + follow-up materialization, execute,
+//!   publish views early (before job completion), and record the run back
+//!   into the repository.
+//! * **[`reporting`]** — the admin dashboards (Section 5.5): overlap
+//!   summaries, top-overlap drill-downs, and impact reports.
+//! * **[`admin`]** — operator tooling: storage reclamation with the §5.4
+//!   min-objective eviction, selection explanations, and view provenance
+//!   traces (the §4 debuggability requirement).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cloudviews::{CloudViews, analyzer::AnalyzerConfig};
+//! use scope_engine::storage::StorageManager;
+//! use std::sync::Arc;
+//!
+//! let service = CloudViews::new(Arc::new(StorageManager::new()));
+//! // 1. run jobs with CloudViews disabled to fill the workload repository,
+//! // 2. run the analyzer,
+//! // 3. run the next recurring instance with CloudViews enabled.
+//! let analysis = service.analyze(&AnalyzerConfig::default()).unwrap();
+//! service.install_analysis(&analysis);
+//! ```
+
+pub mod admin;
+pub mod analyzer;
+pub mod metadata;
+pub mod reporting;
+pub mod runtime;
+
+pub use analyzer::{AnalysisOutcome, AnalyzerConfig, SelectedView, SelectionPolicy};
+pub use metadata::{LockOutcome, MetadataService};
+pub use runtime::{CloudViews, RunMode};

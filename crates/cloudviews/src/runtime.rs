@@ -1,0 +1,485 @@
+//! The CloudViews runtime (paper Section 6): the per-job path.
+//!
+//! For each incoming job, with CloudViews enabled:
+//!
+//! 1. the compiler makes **one** metadata lookup with the job's normalized
+//!    tags and receives the relevant annotations (Section 6.1);
+//! 2. the optimizer rewrites the plan to reuse materialized views and/or
+//!    marks subgraphs for materialization after winning build locks
+//!    (Sections 6.2/6.3, Figure 10);
+//! 3. the job executes; marked subgraph outputs are copied into view files
+//!    in the analyzer-mined physical design;
+//! 4. each view is *published early* — at its producing stage's completion
+//!    time, not the job's end (Section 6.4) — to both the storage manager
+//!    and the metadata service;
+//! 5. the run is recorded back into the workload repository, closing the
+//!    feedback loop.
+//!
+//! Everything is thread-safe; concurrent jobs exercise the build-build and
+//! build-use synchronization exactly as in the paper.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scope_common::hash::Sig128;
+use scope_common::ids::JobId;
+use scope_common::time::{SimClock, SimDuration, SimTime};
+use scope_common::Result;
+use scope_engine::cost::CostModel;
+use scope_engine::data::multiset_checksum;
+use scope_engine::exec::execute_plan;
+use scope_engine::job::{materialize_marked_views, JobSpec};
+use scope_engine::optimizer::{optimize, OptimizerConfig, OptimizerReport};
+use scope_engine::repo::{JobIdentity, WorkloadRepository};
+use scope_engine::sim::{simulate, ClusterConfig};
+use scope_engine::storage::StorageManager;
+use scope_signature::job_tags;
+
+use crate::analyzer::{run_analysis, AnalysisOutcome, AnalyzerConfig};
+use crate::metadata::MetadataService;
+
+/// A job-start-pinned view of the metadata service: view availability is
+/// judged at the job's submission time, so a job overlapping with the
+/// builder does not see a view that was published after this job started.
+struct PinnedServices<'a> {
+    svc: &'a MetadataService,
+    now: SimTime,
+}
+
+impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
+    fn view_available(
+        &self,
+        precise: Sig128,
+    ) -> Option<scope_engine::optimizer::AvailableView> {
+        self.svc.view_available_at(precise, self.now)
+    }
+
+    fn propose_materialize(
+        &self,
+        precise: Sig128,
+        normalized: Sig128,
+        job: scope_common::ids::JobId,
+        lock_ttl: scope_common::time::SimDuration,
+    ) -> bool {
+        self.svc.propose_materialize(precise, normalized, job, lock_ttl)
+    }
+}
+
+/// Whether a job runs with CloudViews on or off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// Plain SCOPE: no lookups, no reuse, no materialization.
+    Baseline,
+    /// CloudViews enabled (the job-submission flag of Section 4).
+    CloudViews,
+}
+
+/// The result of one job run through the service.
+#[derive(Debug)]
+pub struct JobRunReport {
+    /// Job id.
+    pub job: JobId,
+    /// Simulated start (submission) time.
+    pub started_at: SimTime,
+    /// End-to-end latency including metadata lookup and view-write costs.
+    pub latency: SimDuration,
+    /// Total CPU including view-write costs.
+    pub cpu_time: SimDuration,
+    /// Metadata lookup latency paid (zero in baseline mode).
+    pub lookup_latency: SimDuration,
+    /// Views this job materialized.
+    pub views_built: Vec<Sig128>,
+    /// Views this job reused.
+    pub views_reused: Vec<Sig128>,
+    /// Optimizer overhead report.
+    pub optimizer: OptimizerReport,
+    /// Order-insensitive checksum of every output (correctness checks).
+    pub output_checksums: HashMap<String, u64>,
+    /// Output row counts.
+    pub output_rows: HashMap<String, usize>,
+}
+
+/// The assembled CloudViews service: storage + metadata + repository +
+/// clock + engine configuration.
+pub struct CloudViews {
+    /// Shared storage manager (datasets + view files).
+    pub storage: Arc<StorageManager>,
+    /// The metadata service.
+    pub metadata: Arc<MetadataService>,
+    /// The workload repository (feedback loop).
+    pub repo: Arc<WorkloadRepository>,
+    /// Shared simulated clock.
+    pub clock: Arc<SimClock>,
+    /// Cost model used for execution accounting.
+    pub cost: CostModel,
+    /// Cluster/VC execution parameters.
+    pub cluster: ClusterConfig,
+    /// Per-job cap on materialized views (job submission parameter).
+    pub max_materialize_per_job: usize,
+    /// Publish views at stage completion (true) or job completion (false).
+    pub early_materialization: bool,
+    /// Record runs into the repository.
+    pub record_runs: bool,
+}
+
+impl CloudViews {
+    /// Builds a service over the given storage with default configuration
+    /// (5 metadata service threads, early materialization on).
+    pub fn new(storage: Arc<StorageManager>) -> CloudViews {
+        let clock = Arc::new(SimClock::new());
+        CloudViews {
+            metadata: Arc::new(MetadataService::new(Arc::clone(&clock), 5)),
+            repo: Arc::new(WorkloadRepository::new()),
+            storage,
+            clock,
+            cost: CostModel::default(),
+            cluster: ClusterConfig::default(),
+            max_materialize_per_job: 1,
+            early_materialization: true,
+            record_runs: true,
+        }
+    }
+
+    /// Runs the analyzer over everything recorded so far.
+    pub fn analyze(&self, config: &AnalyzerConfig) -> Result<AnalysisOutcome> {
+        run_analysis(&self.repo.records(), config)
+    }
+
+    /// Installs an analysis outcome into the metadata service.
+    pub fn install_analysis(&self, outcome: &AnalysisOutcome) {
+        self.metadata.load_annotations(&outcome.selected);
+    }
+
+    /// Runs one job starting at simulated time `start`.
+    pub fn run_job_at(
+        &self,
+        spec: &JobSpec,
+        mode: RunMode,
+        start: SimTime,
+    ) -> Result<JobRunReport> {
+        self.clock.advance_to(start);
+
+        // 1. Compiler: one metadata lookup per job.
+        let (annotations, lookup_latency) = match mode {
+            RunMode::Baseline => (Vec::new(), SimDuration::ZERO),
+            RunMode::CloudViews => {
+                let tags = job_tags(&spec.graph);
+                self.metadata.relevant_views_for(&tags)
+            }
+        };
+
+        // 2. Optimize with the metadata service as the view oracle.
+        let opt_config = OptimizerConfig {
+            default_dop: self.cluster.default_dop,
+            max_materialize_per_job: self.max_materialize_per_job,
+            enable_reuse: mode == RunMode::CloudViews,
+            enable_materialize: mode == RunMode::CloudViews,
+            ..Default::default()
+        };
+        let pinned = PinnedServices { svc: self.metadata.as_ref(), now: start };
+        let plan = optimize(&spec.graph, &annotations, &pinned, &opt_config, spec.id)?;
+
+        // 3. Execute and simulate.
+        let exec = execute_plan(&plan.physical, &self.storage, &self.cost, start)?;
+        let sim = simulate(&plan.physical, &exec, &self.cluster);
+
+        // 4. Materialize marked views and publish them (early or at end).
+        let built =
+            materialize_marked_views(&plan, &exec, &sim, &self.cost, spec.id, start)?;
+        let mut extra_cpu = SimDuration::ZERO;
+        let mut extra_latency = SimDuration::ZERO;
+        let mut views_built = Vec::with_capacity(built.len());
+        let job_end_offset = lookup_latency
+            + sim.latency
+            + built.iter().map(|b| b.extra_latency).sum::<SimDuration>();
+        for b in built {
+            extra_cpu += b.extra_cpu;
+            extra_latency += b.extra_latency;
+            let available_at = if self.early_materialization {
+                start + lookup_latency + b.available_offset
+            } else {
+                start + job_end_offset
+            };
+            let view = scope_engine::optimizer::AvailableView {
+                precise: b.file.meta.precise,
+                rows: b.file.meta.rows,
+                bytes: b.file.meta.bytes,
+                props: b.file.props.clone(),
+            };
+            let expires_at = b.file.meta.expires_at;
+            views_built.push(b.file.meta.precise);
+            self.storage.publish_view(b.file)?;
+            self.metadata.report_materialized(view, spec.id, available_at, expires_at);
+        }
+
+        let latency = lookup_latency + sim.latency + extra_latency;
+        let cpu_time = sim.cpu_time + extra_cpu;
+
+        // 5. Close the feedback loop.
+        if self.record_runs {
+            self.repo.record(
+                JobIdentity {
+                    job: spec.id,
+                    cluster: spec.cluster,
+                    vc: spec.vc,
+                    user: spec.user,
+                    template: spec.template,
+                    instance: spec.instance,
+                    submitted_at: start,
+                },
+                &spec.graph,
+                &plan,
+                &exec,
+                &sim,
+            )?;
+        }
+
+        self.clock.advance_to(start + latency);
+
+        Ok(JobRunReport {
+            job: spec.id,
+            started_at: start,
+            latency,
+            cpu_time,
+            lookup_latency,
+            views_built,
+            views_reused: plan.reused.iter().map(|r| r.precise).collect(),
+            optimizer: plan.report.clone(),
+            output_checksums: exec
+                .outputs
+                .iter()
+                .map(|(name, t)| (name.clone(), multiset_checksum(t)))
+                .collect(),
+            output_rows: exec
+                .outputs
+                .iter()
+                .map(|(name, t)| (name.clone(), t.num_rows()))
+                .collect(),
+        })
+    }
+
+    /// Runs jobs back-to-back (each starts when the previous finishes),
+    /// like the paper's sequential production experiment.
+    pub fn run_sequence(&self, specs: &[JobSpec], mode: RunMode) -> Result<Vec<JobRunReport>> {
+        let mut reports = Vec::with_capacity(specs.len());
+        let mut now = self.clock.now();
+        for spec in specs {
+            let report = self.run_job_at(spec, mode, now)?;
+            now = report.started_at + report.latency;
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Runs jobs on OS threads, all submitted at the same simulated time —
+    /// the concurrent-arrival scenario of Sections 6.4/6.5.
+    pub fn run_concurrent(
+        &self,
+        specs: Vec<JobSpec>,
+        mode: RunMode,
+    ) -> Result<Vec<JobRunReport>>
+    where
+        Self: Sync,
+    {
+        let start = self.clock.now();
+        let results: Vec<Result<JobRunReport>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(move || self.run_job_at(spec, mode, start)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("job thread panicked")).collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Purges expired views from both the metadata service and storage;
+    /// returns (views purged, bytes reclaimed).
+    pub fn purge_expired(&self) -> (usize, u64) {
+        let purged = self.metadata.purge_expired();
+        let bytes = self.storage.purge_expired(self.clock.now());
+        (purged, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{AnalyzerConfig, SelectionPolicy};
+    use scope_workload::dists::LogNormal;
+    use scope_workload::recurring::{ClusterSpec, RecurringWorkload, WorkloadConfig};
+
+    fn setup() -> (CloudViews, RecurringWorkload) {
+        let workload = RecurringWorkload::generate(WorkloadConfig {
+            clusters: vec![ClusterSpec::tiny("rt")],
+            seed: 99,
+            stream_rows: LogNormal::new(5.8, 0.5, 100.0, 1_200.0),
+        })
+        .unwrap();
+        let storage = Arc::new(StorageManager::new());
+        let cv = CloudViews::new(storage);
+        (cv, workload)
+    }
+
+    fn analyzer_cfg() -> AnalyzerConfig {
+        AnalyzerConfig {
+            policy: SelectionPolicy::TopKUtility { k: 5 },
+            ..Default::default()
+        }
+    }
+
+    /// The full paper loop: baseline instance → analyze → enabled instance.
+    #[test]
+    fn end_to_end_reuse_cycle_preserves_outputs_and_saves_cpu() {
+        let (cv, workload) = setup();
+
+        // Instance 0: baseline, fills the repository.
+        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        let day0 = workload.jobs_for_instance(0, 0).unwrap();
+        cv.run_sequence(&day0, RunMode::Baseline).unwrap();
+
+        // Analyze and install.
+        let analysis = cv.analyze(&analyzer_cfg()).unwrap();
+        assert!(!analysis.selected.is_empty());
+        cv.install_analysis(&analysis);
+
+        // Instance 1 (new data, new GUIDs): run twice, baseline vs enabled.
+        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        let day1 = workload.jobs_for_instance(0, 1).unwrap();
+        let baseline: Vec<_> = cv.run_sequence(&day1, RunMode::Baseline).unwrap();
+        let enabled: Vec<_> = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+
+        // Correctness: identical outputs job by job.
+        let mut any_reuse = false;
+        for (b, e) in baseline.iter().zip(&enabled) {
+            assert_eq!(b.output_checksums, e.output_checksums, "job {} corrupted", b.job);
+            any_reuse |= !e.views_reused.is_empty();
+        }
+        let built: usize = enabled.iter().map(|r| r.views_built.len()).sum();
+        assert!(built > 0, "no views were materialized");
+        assert!(any_reuse, "no views were reused");
+
+        // Performance: total CPU with CloudViews below baseline.
+        let cpu_base: SimDuration = baseline.iter().map(|r| r.cpu_time).sum();
+        let cpu_cv: SimDuration = enabled.iter().map(|r| r.cpu_time).sum();
+        assert!(
+            cpu_cv < cpu_base,
+            "CloudViews must save CPU: {cpu_cv} vs {cpu_base}"
+        );
+    }
+
+    #[test]
+    fn baseline_mode_never_touches_metadata() {
+        let (cv, workload) = setup();
+        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        let jobs = workload.jobs_for_instance(0, 0).unwrap();
+        let r = cv.run_job_at(&jobs[0], RunMode::Baseline, SimTime::ZERO).unwrap();
+        assert_eq!(r.lookup_latency, SimDuration::ZERO);
+        assert_eq!(cv.metadata.stats().lookups, 0);
+        assert!(r.views_built.is_empty() && r.views_reused.is_empty());
+    }
+
+    #[test]
+    fn one_lookup_per_job() {
+        let (cv, workload) = setup();
+        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        let jobs = workload.jobs_for_instance(0, 0).unwrap();
+        cv.run_sequence(&jobs[..3], RunMode::CloudViews).unwrap();
+        assert_eq!(cv.metadata.stats().lookups, 3);
+    }
+
+    #[test]
+    fn build_build_sync_under_concurrency() {
+        let (cv, workload) = setup();
+        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        let day0 = workload.jobs_for_instance(0, 0).unwrap();
+        cv.run_sequence(&day0, RunMode::Baseline).unwrap();
+        let analysis = cv.analyze(&analyzer_cfg()).unwrap();
+        cv.install_analysis(&analysis);
+
+        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        let day1 = workload.jobs_for_instance(0, 1).unwrap();
+        let reports = cv.run_concurrent(day1, RunMode::CloudViews).unwrap();
+
+        // No view may be built by two jobs.
+        let mut built: Vec<Sig128> =
+            reports.iter().flat_map(|r| r.views_built.iter().copied()).collect();
+        let before = built.len();
+        built.sort_unstable();
+        built.dedup();
+        assert_eq!(built.len(), before, "same view built twice");
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn early_materialization_beats_job_end_publication() {
+        let (cv, workload) = setup();
+        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        let day0 = workload.jobs_for_instance(0, 0).unwrap();
+        cv.run_sequence(&day0, RunMode::Baseline).unwrap();
+        let analysis = cv.analyze(&analyzer_cfg()).unwrap();
+        cv.install_analysis(&analysis);
+
+        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        let day1 = workload.jobs_for_instance(0, 1).unwrap();
+        // Find a job that materializes a view and check availability time
+        // precedes its completion.
+        let reports = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+        let builder = reports.iter().find(|r| !r.views_built.is_empty()).unwrap();
+        let sig = builder.views_built[0];
+        // The metadata service has it with created_at before job end.
+        assert!(cv.metadata.view_producer(sig).is_some());
+    }
+
+    #[test]
+    fn purge_reclaims_after_expiry() {
+        let (cv, workload) = setup();
+        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        let day0 = workload.jobs_for_instance(0, 0).unwrap();
+        cv.run_sequence(&day0, RunMode::Baseline).unwrap();
+        let analysis = cv.analyze(&AnalyzerConfig {
+            default_ttl: SimDuration::from_secs(1),
+            ..analyzer_cfg()
+        })
+        .unwrap();
+        cv.install_analysis(&analysis);
+        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        let day1 = workload.jobs_for_instance(0, 1).unwrap();
+        cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+        assert!(cv.storage.num_views() > 0);
+        // Jump far into the future and purge.
+        cv.clock.advance(SimDuration::from_secs(10 * 86_400));
+        let (purged, bytes) = cv.purge_expired();
+        assert!(purged > 0);
+        assert!(bytes > 0);
+        assert_eq!(cv.storage.num_views(), 0);
+        assert_eq!(cv.metadata.num_views(), 0);
+    }
+
+    #[test]
+    fn signature_change_stops_stale_reuse() {
+        // After the analysis, the *workload changes* (different seed ⇒
+        // different fragment parameters). Old annotations must never match,
+        // so nothing is reused or materialized — the paper's "view
+        // materialization stops automatically" property.
+        let (cv, workload) = setup();
+        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        let day0 = workload.jobs_for_instance(0, 0).unwrap();
+        cv.run_sequence(&day0, RunMode::Baseline).unwrap();
+        let analysis = cv.analyze(&analyzer_cfg()).unwrap();
+        cv.install_analysis(&analysis);
+
+        let changed = RecurringWorkload::generate(WorkloadConfig {
+            clusters: vec![ClusterSpec::tiny("rt")],
+            seed: 12345, // workload change
+            stream_rows: LogNormal::new(5.8, 0.5, 100.0, 1_200.0),
+        })
+        .unwrap();
+        changed.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        let day1 = changed.jobs_for_instance(0, 1).unwrap();
+        let reports = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+        for r in &reports {
+            assert!(r.views_built.is_empty(), "stale annotation triggered a build");
+            assert!(r.views_reused.is_empty());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public API in the workspace returns [`Result`]. The variants
+//! mirror the failure domains of the system: planning, optimization,
+//! execution, storage, and the CloudViews metadata protocol.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ScopeError>;
+
+/// The error type shared by every crate in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeError {
+    /// A query plan was structurally invalid (dangling edge, arity mismatch,
+    /// unknown column, cycle in what must be a DAG, ...).
+    InvalidPlan(String),
+    /// A scalar expression referenced a column that does not exist or was
+    /// applied to values of the wrong type.
+    Expression(String),
+    /// The optimizer could not produce a physical plan (e.g. no
+    /// implementation rule applied, or required properties are unsatisfiable).
+    Optimizer(String),
+    /// A runtime execution failure (operator contract violation, missing
+    /// input partition, ...).
+    Execution(String),
+    /// Storage-layer failure: unknown table, unknown view, view expired, or
+    /// a catalog conflict.
+    Storage(String),
+    /// CloudViews metadata-service protocol failure (lock conflicts are *not*
+    /// errors — they are ordinary `LockOutcome`s — this covers malformed
+    /// requests such as releasing a lock that was never held).
+    Metadata(String),
+    /// Workload generation was asked for something inconsistent (e.g. a
+    /// business unit with zero virtual clusters).
+    Workload(String),
+}
+
+impl ScopeError {
+    /// A short machine-readable tag naming the failure domain.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScopeError::InvalidPlan(_) => "invalid_plan",
+            ScopeError::Expression(_) => "expression",
+            ScopeError::Optimizer(_) => "optimizer",
+            ScopeError::Execution(_) => "execution",
+            ScopeError::Storage(_) => "storage",
+            ScopeError::Metadata(_) => "metadata",
+            ScopeError::Workload(_) => "workload",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            ScopeError::InvalidPlan(m)
+            | ScopeError::Expression(m)
+            | ScopeError::Optimizer(m)
+            | ScopeError::Execution(m)
+            | ScopeError::Storage(m)
+            | ScopeError::Metadata(m)
+            | ScopeError::Workload(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for ScopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for ScopeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = ScopeError::Storage("unknown table `logs`".into());
+        assert_eq!(e.to_string(), "storage: unknown table `logs`");
+        assert_eq!(e.kind(), "storage");
+        assert_eq!(e.message(), "unknown table `logs`");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            ScopeError::InvalidPlan(String::new()),
+            ScopeError::Expression(String::new()),
+            ScopeError::Optimizer(String::new()),
+            ScopeError::Execution(String::new()),
+            ScopeError::Storage(String::new()),
+            ScopeError::Metadata(String::new()),
+            ScopeError::Workload(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ScopeError::Execution("boom".into()));
+    }
+}

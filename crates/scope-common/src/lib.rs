@@ -1,0 +1,29 @@
+//! Shared foundations for the CloudViews reproduction.
+//!
+//! This crate hosts the small, dependency-light building blocks every other
+//! crate in the workspace relies on:
+//!
+//! * [`ids`] — strongly-typed identifiers for clusters, virtual clusters,
+//!   users, jobs, plan nodes, views, and so on. Newtypes keep the id spaces
+//!   from being mixed up at compile time.
+//! * [`time`] — a simulated clock ([`time::SimClock`]) and instant/duration
+//!   types used by the discrete-event cluster simulator and by lock expiry in
+//!   the CloudViews metadata service.
+//! * [`hash`] — a from-scratch, keyed SipHash-2-4 implementation plus the
+//!   128-bit [`hash::Sig128`] digest used for plan signatures. Hand-rolled so
+//!   signatures are stable across Rust versions, platforms, and process runs
+//!   (the paper's signatures are persisted in file paths and metadata
+//!   services, so stability is a hard requirement).
+//! * [`stats`] — summary statistics and CDF helpers used when regenerating
+//!   the paper's distribution figures (Figures 2–5).
+//! * [`error`] — the workspace-wide error type.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod stats;
+pub mod time;
+
+pub use error::{Result, ScopeError};
+pub use hash::{sip128, sip64, Sig128, SipHasher24};
+pub use time::{SimClock, SimDuration, SimTime};

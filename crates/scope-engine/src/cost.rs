@@ -1,0 +1,365 @@
+//! The cost model and the compile-time estimator.
+//!
+//! Two distinct things, deliberately kept apart:
+//!
+//! * [`CostModel`] converts **observed** work (actual row and byte counts
+//!   from execution) into simulated CPU time. It is the "ground truth" of
+//!   the simulation — the runtime statistics the CloudViews feedback loop
+//!   harvests are produced by it.
+//! * [`CostEstimator`] is the **compile-time** estimator: it predicts
+//!   cardinalities with the naive selectivity constants classical optimizers
+//!   use. Its errors (compounding through deep DAGs, opaque user code) are
+//!   exactly why the paper's Section 5.1 insists on a feedback loop instead
+//!   of what-if estimates. The ablation bench `ablation_feedback` selects
+//!   views using this estimator instead of observed statistics and measures
+//!   the damage.
+
+use scope_common::time::SimDuration;
+use scope_plan::{JoinKind, Operator, QueryGraph, ScanKind};
+
+/// Calibrated per-row/per-byte weights turning observed work into CPU time.
+///
+/// Units: microseconds of simulated CPU per row (or per KiB where noted).
+/// The defaults are chosen so that operator *ratios* mirror the paper's
+/// observations (sort and exchange dominate; scans and column remaps are
+/// cheap; user code is expensive).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-row cost of a scan.
+    pub scan_row: f64,
+    /// Per-row cost of filter/project/remap/nop-style streaming work.
+    pub stream_row: f64,
+    /// Per-row cost of hash operations (build+probe amortized).
+    pub hash_row: f64,
+    /// Per-row×log(rows) cost of sorting.
+    pub sort_row_log: f64,
+    /// Per-row cost of exchange serialization + routing.
+    pub exchange_row: f64,
+    /// Per-KiB cost of exchange network transfer.
+    pub exchange_kib: f64,
+    /// Per-row base cost of user code (multiplied by the UDO's weight).
+    pub udo_row: f64,
+    /// Per-KiB cost of writing an output or a materialized view.
+    pub write_kib: f64,
+    /// Per-KiB cost of reading a stored stream or view.
+    pub read_kib: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            scan_row: 0.4,
+            stream_row: 0.2,
+            hash_row: 1.2,
+            sort_row_log: 0.35,
+            exchange_row: 1.0,
+            exchange_kib: 6.0,
+            udo_row: 1.0,
+            write_kib: 8.0,
+            read_kib: 2.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU cost of one operator instance having consumed `in_rows` (sum over
+    /// inputs), produced `out_rows`, and moved `out_bytes`.
+    pub fn op_cpu(
+        &self,
+        op: &Operator,
+        in_rows: u64,
+        out_rows: u64,
+        out_bytes: u64,
+    ) -> SimDuration {
+        let n_in = in_rows as f64;
+        let n_out = out_rows as f64;
+        let kib = out_bytes as f64 / 1024.0;
+        let us = match op {
+            Operator::Get { kind, .. } => {
+                let base = n_out * self.scan_row + kib * self.read_kib;
+                match kind {
+                    ScanKind::Extract => base + n_out * self.udo_row * 2.0,
+                    _ => base,
+                }
+            }
+            Operator::ViewGet { .. } => n_out * self.scan_row * 0.5 + kib * self.read_kib,
+            Operator::Filter { .. }
+            | Operator::Project { .. }
+            | Operator::Remap { .. }
+            | Operator::Nop
+            | Operator::Spool
+            | Operator::Sequence => n_in * self.stream_row,
+            Operator::Sort { .. } => n_in * self.sort_row_log * log2(n_in),
+            Operator::Top { n, .. } => n_in * self.stream_row + (*n as f64) * self.stream_row,
+            Operator::Exchange { .. } => n_in * self.exchange_row + kib * self.exchange_kib,
+            Operator::Aggregate { implementation, .. } => match implementation {
+                scope_plan::op::AggImpl::Hash => n_in * self.hash_row,
+                scope_plan::op::AggImpl::Stream => n_in * self.stream_row * 1.5,
+            },
+            Operator::Window { .. } => n_in * self.stream_row * 2.0,
+            Operator::Process { udo } | Operator::Combine { udo } => {
+                n_in * self.udo_row * udo.kind.cost_weight()
+            }
+            Operator::Reduce { udo, keys: _ } | Operator::GbApply { udo, keys: _ } => {
+                n_in * self.udo_row * udo.kind.cost_weight()
+            }
+            Operator::Join { implementation, .. } => match implementation {
+                scope_plan::JoinImpl::Hash => n_in * self.hash_row,
+                scope_plan::JoinImpl::Merge => n_in * self.stream_row * 2.0,
+                scope_plan::JoinImpl::Loops => {
+                    // quadratic-ish: model as n_in * sqrt(n_in)
+                    n_in * self.stream_row * (1.0 + n_in.sqrt() * 0.05)
+                }
+            },
+            Operator::UnionAll => n_in * self.stream_row * 0.5,
+            Operator::Output { .. } => kib * self.write_kib + n_in * self.stream_row * 0.5,
+        };
+        SimDuration::from_micros(us.max(0.0).round() as u64)
+    }
+
+    /// Extra CPU cost of materializing `bytes` of view output.
+    pub fn view_write_cpu(&self, rows: u64, bytes: u64) -> SimDuration {
+        let us = bytes as f64 / 1024.0 * self.write_kib + rows as f64 * self.stream_row * 0.5;
+        SimDuration::from_micros(us.round() as u64)
+    }
+}
+
+fn log2(n: f64) -> f64 {
+    if n <= 2.0 {
+        1.0
+    } else {
+        n.log2()
+    }
+}
+
+/// Naive compile-time cardinality and cost estimation.
+///
+/// Selectivity constants in the grand System-R tradition; user code is a
+/// complete guess. Estimation error against [`CostModel`]-measured truth is
+/// the gap the feedback loop closes.
+#[derive(Clone, Debug)]
+pub struct CostEstimator {
+    /// Assumed filter selectivity.
+    pub filter_selectivity: f64,
+    /// Assumed aggregation output fraction exponent: out = in^exp.
+    pub agg_exponent: f64,
+    /// Assumed join expansion: out = max(l, r) * factor.
+    pub join_factor: f64,
+    /// Assumed rows emitted per input row by user code.
+    pub udo_fanout: f64,
+    /// Assumed average row width in bytes (for byte estimates).
+    pub row_bytes: f64,
+    /// The cost weights (shared with the truth model, so estimation error
+    /// comes from cardinalities — the dominant real-world term).
+    pub weights: CostModel,
+}
+
+impl Default for CostEstimator {
+    fn default() -> Self {
+        CostEstimator {
+            filter_selectivity: 1.0 / 3.0,
+            agg_exponent: 0.7,
+            join_factor: 1.0,
+            udo_fanout: 1.0,
+            row_bytes: 64.0,
+            weights: CostModel::default(),
+        }
+    }
+}
+
+/// Per-node compile-time estimates.
+#[derive(Clone, Debug, Default)]
+pub struct PlanEstimates {
+    /// Estimated output rows per node.
+    pub rows: Vec<f64>,
+    /// Estimated CPU microseconds per node (exclusive).
+    pub cpu_us: Vec<f64>,
+}
+
+impl PlanEstimates {
+    /// Estimated total plan cost (sum of exclusive node costs).
+    pub fn total_cpu_us(&self) -> f64 {
+        self.cpu_us.iter().sum()
+    }
+
+    /// Estimated cumulative cost of the subgraph rooted at `root`.
+    pub fn subgraph_cpu_us(&self, graph: &QueryGraph, root: scope_common::ids::NodeId) -> f64 {
+        graph
+            .subgraph_nodes(root)
+            .map(|ids| ids.iter().map(|id| self.cpu_us[id.index()]).sum())
+            .unwrap_or(0.0)
+    }
+}
+
+impl CostEstimator {
+    /// Estimates cardinalities and costs for every node of `graph`, given a
+    /// base-table row-count oracle (`None` ⇒ guess 10⁵ rows — unstructured
+    /// inputs often have no statistics at all, per the paper).
+    pub fn estimate(
+        &self,
+        graph: &QueryGraph,
+        base_rows: &dyn Fn(&Operator) -> Option<u64>,
+    ) -> PlanEstimates {
+        let mut rows: Vec<f64> = Vec::with_capacity(graph.len());
+        let mut cpu: Vec<f64> = Vec::with_capacity(graph.len());
+        for node in graph.nodes() {
+            let in_rows: f64 = node.children.iter().map(|c| rows[c.index()]).sum();
+            let first_in: f64 =
+                node.children.first().map(|c| rows[c.index()]).unwrap_or(0.0);
+            let out = match &node.op {
+                Operator::Get { kind, .. } => {
+                    let base = base_rows(&node.op).unwrap_or(100_000) as f64;
+                    match kind {
+                        ScanKind::Range => base * self.filter_selectivity,
+                        ScanKind::Extract => base * self.udo_fanout,
+                        ScanKind::Table => base,
+                    }
+                }
+                Operator::ViewGet { .. } => base_rows(&node.op).unwrap_or(100_000) as f64,
+                Operator::Filter { .. } => first_in * self.filter_selectivity,
+                Operator::Project { .. }
+                | Operator::Remap { .. }
+                | Operator::Sort { .. }
+                | Operator::Exchange { .. }
+                | Operator::Window { .. }
+                | Operator::Spool
+                | Operator::Nop => first_in,
+                Operator::Sequence => node
+                    .children
+                    .last()
+                    .map(|c| rows[c.index()])
+                    .unwrap_or(0.0),
+                Operator::Aggregate { .. } => first_in.max(1.0).powf(self.agg_exponent),
+                Operator::Top { n, .. } => (*n as f64).min(first_in),
+                Operator::Process { .. } | Operator::Combine { .. } => {
+                    in_rows * self.udo_fanout
+                }
+                Operator::Reduce { .. } | Operator::GbApply { .. } => {
+                    in_rows * self.udo_fanout * 0.5
+                }
+                Operator::Join { kind, .. } => {
+                    let l = first_in;
+                    let r = node.children.get(1).map(|c| rows[c.index()]).unwrap_or(0.0);
+                    match kind {
+                        JoinKind::LeftSemi => l * 0.5,
+                        _ => l.max(r) * self.join_factor,
+                    }
+                }
+                Operator::UnionAll => in_rows,
+                Operator::Output { .. } => first_in,
+            };
+            let bytes = out * self.row_bytes;
+            let c = self
+                .weights
+                .op_cpu(&node.op, in_rows.round() as u64, out.round() as u64, bytes as u64)
+                .micros() as f64;
+            rows.push(out);
+            cpu.push(c);
+        }
+        PlanEstimates { rows, cpu_us: cpu }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_common::ids::DatasetId;
+    use scope_plan::expr::AggFunc;
+    use scope_plan::{AggExpr, DataType, Expr, PlanBuilder, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)])
+    }
+
+    fn sample_graph() -> QueryGraph {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", schema());
+        let f = b.filter(s, Expr::col(0).gt(Expr::lit(0i64)));
+        let a = b.aggregate(f, vec![0], vec![AggExpr::new("s", AggFunc::Sum, 1)]);
+        b.output(a, "o").build().unwrap()
+    }
+
+    #[test]
+    fn cost_monotone_in_rows() {
+        let m = CostModel::default();
+        let op = Operator::Filter { predicate: Expr::lit(true) };
+        let c1 = m.op_cpu(&op, 1_000, 500, 1_000);
+        let c2 = m.op_cpu(&op, 10_000, 5_000, 10_000);
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn sort_superlinear() {
+        let m = CostModel::default();
+        let op = Operator::Sort { order: scope_plan::SortOrder::asc(&[0]) };
+        let c1 = m.op_cpu(&op, 1_000, 1_000, 0).micros() as f64;
+        let c2 = m.op_cpu(&op, 100_000, 100_000, 0).micros() as f64;
+        assert!(c2 / c1 > 100.0, "sort should grow faster than linear");
+    }
+
+    #[test]
+    fn exchange_costs_bytes() {
+        let m = CostModel::default();
+        let op = Operator::Exchange {
+            scheme: scope_plan::Partitioning::Hash { cols: vec![0], parts: 8 },
+        };
+        let skinny = m.op_cpu(&op, 1_000, 1_000, 10_000);
+        let wide = m.op_cpu(&op, 1_000, 1_000, 10_000_000);
+        assert!(wide > skinny);
+    }
+
+    #[test]
+    fn udo_weight_applies() {
+        use scope_plan::{Udo, UdoKind};
+        let m = CostModel::default();
+        let cheap = Operator::Process {
+            udo: Udo::new(UdoKind::ClampOutliers { col: 0, lo: 0, hi: 1 }, "L", "1"),
+        };
+        let pricey = Operator::Process {
+            udo: Udo::new(UdoKind::ScoreModel { cols: vec![0], seed: 1 }, "L", "1"),
+        };
+        assert!(m.op_cpu(&pricey, 1000, 1000, 0) > m.op_cpu(&cheap, 1000, 1000, 0));
+    }
+
+    #[test]
+    fn estimator_walks_plan() {
+        let g = sample_graph();
+        let est = CostEstimator::default();
+        let e = est.estimate(&g, &|_| Some(90_000));
+        assert_eq!(e.rows.len(), g.len());
+        // scan -> 90k, filter -> 30k, agg -> 30k^0.7 ≈ 1365
+        assert!((e.rows[0] - 90_000.0).abs() < 1.0);
+        assert!((e.rows[1] - 30_000.0).abs() < 1.0);
+        assert!(e.rows[2] > 1_000.0 && e.rows[2] < 2_000.0);
+        assert!(e.total_cpu_us() > 0.0);
+    }
+
+    #[test]
+    fn estimator_subgraph_cost_is_partial_sum() {
+        let g = sample_graph();
+        let est = CostEstimator::default();
+        let e = est.estimate(&g, &|_| Some(10_000));
+        let agg_id = scope_common::ids::NodeId::new(2);
+        let sub = e.subgraph_cpu_us(&g, agg_id);
+        let total = e.total_cpu_us();
+        assert!(sub < total);
+        assert!(sub > 0.0);
+        // Subgraph at root == total.
+        let root = g.roots()[0];
+        assert!((e.subgraph_cpu_us(&g, root) - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_base_defaults() {
+        let g = sample_graph();
+        let est = CostEstimator::default();
+        let e = est.estimate(&g, &|_| None);
+        assert!((e.rows[0] - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn view_write_cost_positive() {
+        let m = CostModel::default();
+        assert!(m.view_write_cpu(1000, 1 << 20) > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,326 @@
+//! Partitioned in-memory tables.
+
+use scope_common::hash::{sip64, SipHasher24};
+use scope_common::{Result, ScopeError};
+use scope_plan::{Partitioning, PhysicalProps, Schema, SortOrder, Value};
+
+/// One row of values.
+pub type Row = Vec<Value>;
+
+/// A partitioned table: the unit flowing between operators and stored in
+/// the storage manager.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Column schema.
+    pub schema: Schema,
+    /// Rows per partition.
+    pub partitions: Vec<Vec<Row>>,
+    /// Physical properties the data actually satisfies.
+    pub props: PhysicalProps,
+}
+
+impl Table {
+    /// An empty single-partition table.
+    pub fn empty(schema: Schema) -> Self {
+        Table {
+            schema,
+            partitions: vec![Vec::new()],
+            props: PhysicalProps::single(),
+        }
+    }
+
+    /// A single-partition table from rows.
+    pub fn single(schema: Schema, rows: Vec<Row>) -> Self {
+        Table { schema, partitions: vec![rows], props: PhysicalProps::single() }
+    }
+
+    /// Total row count.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Approximate total byte size.
+    pub fn num_bytes(&self) -> u64 {
+        self.partitions
+            .iter()
+            .flatten()
+            .map(|r| r.iter().map(Value::byte_size).sum::<usize>() as u64)
+            .sum()
+    }
+
+    /// Iterates all rows across partitions.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &Row> {
+        self.partitions.iter().flatten()
+    }
+
+    /// Collects all rows into a single vector (copying).
+    pub fn all_rows(&self) -> Vec<Row> {
+        self.iter_rows().cloned().collect()
+    }
+
+    /// Repartitions by hash on `cols` into `parts` partitions.
+    pub fn hash_repartition(&self, cols: &[usize], parts: usize) -> Result<Table> {
+        if parts == 0 {
+            return Err(ScopeError::Execution("hash_repartition with 0 parts".into()));
+        }
+        for &c in cols {
+            self.schema.column(c)?;
+        }
+        let mut out: Vec<Vec<Row>> = vec![Vec::new(); parts];
+        for row in self.iter_rows() {
+            let mut h = SipHasher24::new_with_keys(0x9e3779b97f4a7c15, 0x85ebca6b);
+            for &c in cols {
+                row[c].stable_hash_into(&mut h);
+            }
+            let p = (h.finish() % parts as u64) as usize;
+            out[p].push(row.clone());
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            partitions: out,
+            props: PhysicalProps {
+                partitioning: Partitioning::Hash { cols: cols.to_vec(), parts },
+                sort: SortOrder::none(),
+            },
+        })
+    }
+
+    /// Repartitions by range on one column into `parts` partitions, with
+    /// boundaries chosen from the sorted distinct sample of values.
+    pub fn range_repartition(&self, col: usize, parts: usize) -> Result<Table> {
+        if parts == 0 {
+            return Err(ScopeError::Execution("range_repartition with 0 parts".into()));
+        }
+        self.schema.column(col)?;
+        let mut keys: Vec<Value> = self.iter_rows().map(|r| r[col].clone()).collect();
+        keys.sort();
+        let boundaries: Vec<Value> = (1..parts)
+            .map(|i| keys.get(i * keys.len() / parts).cloned().unwrap_or(Value::Null))
+            .collect();
+        let mut out: Vec<Vec<Row>> = vec![Vec::new(); parts];
+        for row in self.iter_rows() {
+            let p = boundaries.partition_point(|b| *b <= row[col]);
+            out[p].push(row.clone());
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            partitions: out,
+            props: PhysicalProps {
+                partitioning: Partitioning::Range { col, parts },
+                sort: SortOrder::none(),
+            },
+        })
+    }
+
+    /// Round-robin repartition into `parts` partitions.
+    pub fn round_robin_repartition(&self, parts: usize) -> Result<Table> {
+        if parts == 0 {
+            return Err(ScopeError::Execution("round_robin with 0 parts".into()));
+        }
+        let mut out: Vec<Vec<Row>> = vec![Vec::new(); parts];
+        for (i, row) in self.iter_rows().enumerate() {
+            out[i % parts].push(row.clone());
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            partitions: out,
+            props: PhysicalProps {
+                partitioning: Partitioning::RoundRobin { parts },
+                sort: SortOrder::none(),
+            },
+        })
+    }
+
+    /// Gathers all partitions into one.
+    pub fn gather(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            partitions: vec![self.all_rows()],
+            props: PhysicalProps::single(),
+        }
+    }
+
+    /// Sorts every partition by `order` (stable).
+    pub fn sort_partitions(&self, order: &SortOrder) -> Table {
+        let mut parts = self.partitions.clone();
+        for p in &mut parts {
+            sort_rows(p, order);
+        }
+        Table {
+            schema: self.schema.clone(),
+            partitions: parts,
+            props: PhysicalProps { partitioning: self.props.partitioning.clone(), sort: order.clone() },
+        }
+    }
+}
+
+/// Stable in-place sort of rows by a sort order.
+pub fn sort_rows(rows: &mut [Row], order: &SortOrder) {
+    rows.sort_by(|a, b| compare_rows(a, b, order));
+}
+
+/// Compares two rows under a sort order.
+pub fn compare_rows(a: &Row, b: &Row, order: &SortOrder) -> std::cmp::Ordering {
+    for key in &order.0 {
+        let ord = a[key.col].cmp(&b[key.col]);
+        let ord = match key.dir {
+            scope_plan::SortDir::Asc => ord,
+            scope_plan::SortDir::Desc => ord.reverse(),
+        };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Order- and partition-insensitive checksum of a table's contents: the sum
+/// (wrapping) of per-row stable hashes. Two tables hold the same multiset of
+/// rows iff their checksums and row counts agree (up to hash collisions).
+///
+/// This is how integration tests assert that CloudViews rewriting "does not
+/// introduce data corruption" (paper requirement 3).
+pub fn multiset_checksum(table: &Table) -> u64 {
+    let mut acc: u64 = sip64(b"multiset") ^ table.num_rows() as u64;
+    for row in table.iter_rows() {
+        let mut h = SipHasher24::new_with_keys(0xc0ffee, 0xdecaf);
+        for v in row {
+            v.stable_hash_into(&mut h);
+        }
+        acc = acc.wrapping_add(h.finish());
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_plan::{DataType, SortKey};
+
+    fn table(n: i64) -> Table {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Str)]);
+        let rows: Vec<Row> =
+            (0..n).map(|i| vec![Value::Int(i % 7), Value::Str(format!("r{i}"))]).collect();
+        Table::single(schema, rows)
+    }
+
+    #[test]
+    fn counts_and_bytes() {
+        let t = table(10);
+        assert_eq!(t.num_rows(), 10);
+        assert_eq!(t.num_partitions(), 1);
+        assert!(t.num_bytes() > 0);
+        assert_eq!(Table::empty(t.schema.clone()).num_rows(), 0);
+    }
+
+    #[test]
+    fn hash_repartition_preserves_multiset_and_colocates_keys() {
+        let t = table(100);
+        let r = t.hash_repartition(&[0], 8).unwrap();
+        assert_eq!(r.num_partitions(), 8);
+        assert_eq!(r.num_rows(), 100);
+        assert_eq!(multiset_checksum(&t), multiset_checksum(&r));
+        // Same key never in two partitions.
+        for key in 0..7i64 {
+            let holders: Vec<usize> = r
+                .partitions
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.iter().any(|row| row[0] == Value::Int(key)))
+                .map(|(i, _)| i)
+                .collect();
+            assert!(holders.len() <= 1, "key {key} in partitions {holders:?}");
+        }
+    }
+
+    #[test]
+    fn range_repartition_orders_partitions() {
+        let t = table(100);
+        let r = t.range_repartition(0, 4).unwrap();
+        assert_eq!(r.num_rows(), 100);
+        // Every value in partition i is <= every value in partition j>i.
+        let maxes: Vec<Option<Value>> = r
+            .partitions
+            .iter()
+            .map(|p| p.iter().map(|row| row[0].clone()).max())
+            .collect();
+        let mins: Vec<Option<Value>> = r
+            .partitions
+            .iter()
+            .map(|p| p.iter().map(|row| row[0].clone()).min())
+            .collect();
+        for i in 0..3 {
+            if let (Some(mx), Some(mn)) = (&maxes[i], &mins[i + 1]) {
+                assert!(mx <= mn, "partition {i} max {mx} > partition {} min {mn}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let t = table(100);
+        let r = t.round_robin_repartition(4).unwrap();
+        for p in &r.partitions {
+            assert_eq!(p.len(), 25);
+        }
+        assert_eq!(multiset_checksum(&t), multiset_checksum(&r));
+    }
+
+    #[test]
+    fn gather_restores_single() {
+        let t = table(50).hash_repartition(&[0], 8).unwrap();
+        let g = t.gather();
+        assert_eq!(g.num_partitions(), 1);
+        assert_eq!(g.num_rows(), 50);
+        assert_eq!(multiset_checksum(&g), multiset_checksum(&t));
+    }
+
+    #[test]
+    fn zero_parts_rejected() {
+        let t = table(5);
+        assert!(t.hash_repartition(&[0], 0).is_err());
+        assert!(t.range_repartition(0, 0).is_err());
+        assert!(t.round_robin_repartition(0).is_err());
+        assert!(t.hash_repartition(&[9], 2).is_err()); // bad column
+    }
+
+    #[test]
+    fn sort_partitions_sorts_each() {
+        let t = table(50).hash_repartition(&[0], 4).unwrap();
+        let s = t.sort_partitions(&SortOrder::asc(&[0]));
+        for p in &s.partitions {
+            assert!(p.windows(2).all(|w| w[0][0] <= w[1][0]));
+        }
+        assert_eq!(s.props.sort, SortOrder::asc(&[0]));
+        assert_eq!(multiset_checksum(&s), multiset_checksum(&t));
+    }
+
+    #[test]
+    fn compare_rows_desc() {
+        let order = SortOrder(vec![SortKey::desc(0)]);
+        let a = vec![Value::Int(1)];
+        let b = vec![Value::Int(2)];
+        assert_eq!(compare_rows(&a, &b, &order), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn checksum_order_insensitive_but_content_sensitive() {
+        let t1 = table(20);
+        let mut rev = t1.clone();
+        rev.partitions[0].reverse();
+        assert_eq!(multiset_checksum(&t1), multiset_checksum(&rev));
+        let mut changed = t1.clone();
+        changed.partitions[0][0][0] = Value::Int(999);
+        assert_ne!(multiset_checksum(&t1), multiset_checksum(&changed));
+        // Duplicate row multiplicity matters.
+        let mut dup = t1.clone();
+        let row = dup.partitions[0][0].clone();
+        dup.partitions[0].push(row);
+        assert_ne!(multiset_checksum(&t1), multiset_checksum(&dup));
+    }
+}

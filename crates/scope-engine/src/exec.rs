@@ -1,0 +1,1060 @@
+//! The row-at-a-time physical executor.
+//!
+//! [`execute_plan`] runs an optimized plan bottom-up against the
+//! [`StorageManager`], producing the output table of every node plus the
+//! per-node runtime statistics ([`NodeRuntimeStats`]) that feed the
+//! CloudViews feedback loop: rows, bytes, and exclusive CPU from the
+//! calibrated [`CostModel`].
+//!
+//! The executor trusts the optimizer's property enforcement: group-wise
+//! operators assume their input is co-partitioned (and, for stream variants,
+//! sorted) on the keys. [`super::optimizer`] guarantees this; the
+//! correctness property tests cross-check by comparing against
+//! single-partition reference runs.
+
+use std::collections::HashMap;
+
+use scope_common::ids::NodeId;
+use scope_common::time::{SimDuration, SimTime};
+use scope_common::{Result, ScopeError};
+use scope_plan::op::{AggImpl, WindowFunc};
+use scope_plan::{
+    AggExpr, AggFunc, JoinImpl, JoinKind, Operator, Partitioning, PhysicalProps, QueryGraph,
+    Schema, SortOrder, Value,
+};
+
+use crate::cost::CostModel;
+use crate::data::{compare_rows, sort_rows, Row, Table};
+use crate::storage::StorageManager;
+
+/// Observed execution statistics of one plan node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NodeRuntimeStats {
+    /// Rows consumed (sum over inputs; scanned rows for leaves).
+    pub in_rows: u64,
+    /// Rows produced.
+    pub out_rows: u64,
+    /// Bytes produced.
+    pub out_bytes: u64,
+    /// Exclusive CPU attributed to this node.
+    pub exclusive_cpu: SimDuration,
+}
+
+/// Result of executing a plan: every node's output and statistics.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Output table per node (same indexing as the graph arena).
+    pub node_tables: Vec<Table>,
+    /// Runtime statistics per node.
+    pub node_stats: Vec<NodeRuntimeStats>,
+    /// Terminal outputs by name (gathered single-partition tables).
+    pub outputs: HashMap<String, Table>,
+}
+
+impl ExecOutcome {
+    /// Total exclusive CPU across all nodes.
+    pub fn total_cpu(&self) -> SimDuration {
+        self.node_stats.iter().map(|s| s.exclusive_cpu).sum()
+    }
+
+    /// Cumulative CPU of the subgraph rooted at `root`.
+    pub fn subgraph_cpu(&self, graph: &QueryGraph, root: NodeId) -> SimDuration {
+        graph
+            .subgraph_nodes(root)
+            .map(|ids| ids.iter().map(|id| self.node_stats[id.index()].exclusive_cpu).sum())
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Executes `graph` against `storage`, charging costs with `model`.
+///
+/// `now` is the simulated time at which view reads are checked for expiry.
+pub fn execute_plan(
+    graph: &QueryGraph,
+    storage: &StorageManager,
+    model: &CostModel,
+    now: SimTime,
+) -> Result<ExecOutcome> {
+    let mut tables: Vec<Table> = Vec::with_capacity(graph.len());
+    let mut stats: Vec<NodeRuntimeStats> = Vec::with_capacity(graph.len());
+    let mut outputs = HashMap::new();
+    let schemas = graph.validate()?;
+
+    for node in graph.nodes() {
+        let child_tables: Vec<&Table> =
+            node.children.iter().map(|c| &tables[c.index()]).collect();
+        let in_rows: u64 = child_tables.iter().map(|t| t.num_rows() as u64).sum();
+        let out_schema = &schemas[node.id.index()];
+        let (table, scanned) = exec_node(&node.op, &child_tables, out_schema, storage, now)?;
+        let out_rows = table.num_rows() as u64;
+        let out_bytes = table.num_bytes();
+        let effective_in = if node.children.is_empty() { scanned } else { in_rows };
+        let cpu = model.op_cpu(&node.op, effective_in, out_rows, out_bytes);
+        if let Operator::Output { name, .. } = &node.op {
+            outputs.insert(name.clone(), table.gather());
+        }
+        stats.push(NodeRuntimeStats {
+            in_rows: effective_in,
+            out_rows,
+            out_bytes,
+            exclusive_cpu: cpu,
+        });
+        tables.push(table);
+    }
+
+    Ok(ExecOutcome { node_tables: tables, node_stats: stats, outputs })
+}
+
+/// Executes one operator. Returns the output table and, for leaves, the
+/// number of rows scanned (pre-predicate).
+fn exec_node(
+    op: &Operator,
+    inputs: &[&Table],
+    out_schema: &Schema,
+    storage: &StorageManager,
+    now: SimTime,
+) -> Result<(Table, u64)> {
+    let one = || -> Result<&Table> {
+        inputs.first().copied().ok_or_else(|| {
+            ScopeError::Execution(format!("{} executed without input", op.kind()))
+        })
+    };
+    match op {
+        Operator::Get { dataset, kind, predicate, extractor, .. } => {
+            let stored = storage.dataset(*dataset)?;
+            let scanned = stored.num_rows() as u64;
+            let mut partitions: Vec<Vec<Row>> = Vec::with_capacity(stored.num_partitions());
+            for part in &stored.partitions {
+                let mut out_part: Vec<Row> = Vec::new();
+                for row in part {
+                    if let Some(pred) = predicate {
+                        if !pred.eval(row)?.is_true() {
+                            continue;
+                        }
+                    }
+                    match kind {
+                        scope_plan::ScanKind::Extract => {
+                            let udo = extractor.as_ref().ok_or_else(|| {
+                                ScopeError::Execution("extract scan without extractor".into())
+                            })?;
+                            udo.process_row(row, &mut out_part)?;
+                        }
+                        _ => out_part.push(row.clone()),
+                    }
+                }
+                partitions.push(out_part);
+            }
+            Ok((
+                Table { schema: out_schema.clone(), partitions, props: stored.props.clone() },
+                scanned,
+            ))
+        }
+        Operator::ViewGet { view_sig, .. } => {
+            let file = storage.view(*view_sig, now).ok_or_else(|| {
+                ScopeError::Storage(format!(
+                    "materialized view {} missing or expired",
+                    view_sig.short()
+                ))
+            })?;
+            let scanned = file.table.num_rows() as u64;
+            Ok(((*file.table).clone(), scanned))
+        }
+        Operator::Filter { predicate } => {
+            let input = one()?;
+            let mut partitions = Vec::with_capacity(input.num_partitions());
+            for part in &input.partitions {
+                let mut out = Vec::new();
+                for row in part {
+                    if predicate.eval(row)?.is_true() {
+                        out.push(row.clone());
+                    }
+                }
+                partitions.push(out);
+            }
+            Ok((
+                Table { schema: out_schema.clone(), partitions, props: input.props.clone() },
+                0,
+            ))
+        }
+        Operator::Project { exprs } => {
+            let input = one()?;
+            let mut partitions = Vec::with_capacity(input.num_partitions());
+            for part in &input.partitions {
+                let mut out = Vec::with_capacity(part.len());
+                for row in part {
+                    let new_row: Result<Row> =
+                        exprs.iter().map(|ne| ne.expr.eval(row)).collect();
+                    out.push(new_row?);
+                }
+                partitions.push(out);
+            }
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: op.delivered_props(&[input.props.clone()]),
+                },
+                0,
+            ))
+        }
+        Operator::Remap { cols, .. } => {
+            let input = one()?;
+            let partitions = input
+                .partitions
+                .iter()
+                .map(|part| {
+                    part.iter()
+                        .map(|row| cols.iter().map(|&c| row[c].clone()).collect())
+                        .collect()
+                })
+                .collect();
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: op.delivered_props(&[input.props.clone()]),
+                },
+                0,
+            ))
+        }
+        Operator::Sort { order } => {
+            let input = one()?;
+            Ok((input.sort_partitions(order), 0))
+        }
+        Operator::Exchange { scheme } => {
+            let input = one()?;
+            let out = match scheme {
+                Partitioning::Hash { cols, parts } => input.hash_repartition(cols, *parts)?,
+                Partitioning::Range { col, parts } => input.range_repartition(*col, *parts)?,
+                Partitioning::RoundRobin { parts } => input.round_robin_repartition(*parts)?,
+                Partitioning::Single => input.gather(),
+                Partitioning::Any => input.clone(),
+            };
+            Ok((out, 0))
+        }
+        Operator::Aggregate { keys, aggs, implementation } => {
+            let input = one()?;
+            let mut partitions: Vec<Vec<Row>> = Vec::with_capacity(input.num_partitions());
+            for part in &input.partitions {
+                let rows = match implementation {
+                    AggImpl::Hash => hash_aggregate(part, keys, aggs)?,
+                    AggImpl::Stream => stream_aggregate(part, keys, aggs)?,
+                };
+                partitions.push(rows);
+            }
+            // Global aggregate over an empty input emits exactly one row.
+            if keys.is_empty() {
+                let total: usize = partitions.iter().map(Vec::len).sum();
+                if total == 0 && !partitions.is_empty() {
+                    partitions[0].push(empty_global_agg_row(aggs));
+                }
+            }
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: op.delivered_props(&[input.props.clone()]),
+                },
+                0,
+            ))
+        }
+        Operator::Top { n, order } => {
+            let input = one()?;
+            let mut rows = input.all_rows();
+            // Deterministic top-N: ties under the requested order are broken
+            // by full-row comparison, so the result is independent of the
+            // physical arrival order (and hence of view reuse).
+            rows.sort_by(|a, b| compare_rows(a, b, order).then_with(|| a.cmp(b)));
+            rows.truncate(*n);
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions: vec![rows],
+                    props: PhysicalProps { partitioning: Partitioning::Single, sort: order.clone() },
+                },
+                0,
+            ))
+        }
+        Operator::Window { func, partition, order } => {
+            let input = one()?;
+            let mut partitions = Vec::with_capacity(input.num_partitions());
+            for part in &input.partitions {
+                partitions.push(exec_window(part, func, partition, order)?);
+            }
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: op.delivered_props(&[input.props.clone()]),
+                },
+                0,
+            ))
+        }
+        Operator::Process { udo } => {
+            let input = one()?;
+            let mut partitions = Vec::with_capacity(input.num_partitions());
+            for part in &input.partitions {
+                let mut out = Vec::new();
+                for row in part {
+                    udo.process_row(row, &mut out)?;
+                }
+                partitions.push(out);
+            }
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: op.delivered_props(&[input.props.clone()]),
+                },
+                0,
+            ))
+        }
+        Operator::Reduce { udo, keys } | Operator::GbApply { udo, keys } => {
+            let input = one()?;
+            let mut partitions = Vec::with_capacity(input.num_partitions());
+            for part in &input.partitions {
+                let mut out = Vec::new();
+                for group in key_runs(part, keys) {
+                    udo.reduce_group(group, &mut out)?;
+                }
+                partitions.push(out);
+            }
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: op.delivered_props(&[input.props.clone()]),
+                },
+                0,
+            ))
+        }
+        Operator::Spool | Operator::Nop => Ok((one()?.clone(), 0)),
+        Operator::Sequence => {
+            let last = inputs.last().copied().ok_or_else(|| {
+                ScopeError::Execution("Sequence executed without children".into())
+            })?;
+            Ok((last.clone(), 0))
+        }
+        Operator::Join { kind, implementation, left_keys, right_keys } => {
+            let left = inputs[0];
+            let right = inputs[1];
+            let table = exec_join(
+                left,
+                right,
+                *kind,
+                *implementation,
+                left_keys,
+                right_keys,
+                out_schema,
+            )?;
+            Ok((table, 0))
+        }
+        Operator::UnionAll => {
+            let mut partitions = Vec::new();
+            for t in inputs {
+                partitions.extend(t.partitions.iter().cloned());
+            }
+            Ok((
+                Table { schema: out_schema.clone(), partitions, props: PhysicalProps::any() },
+                0,
+            ))
+        }
+        Operator::Combine { udo } => {
+            // Both sides gathered single (enforced); the toy combiner sorts
+            // both by column 0 and concatenates.
+            let mut left = inputs[0].all_rows();
+            let mut right = inputs[1].all_rows();
+            if !matches!(udo.kind, scope_plan::UdoKind::MergeStreams) {
+                return Err(ScopeError::Execution(format!(
+                    "{} is not a combiner",
+                    udo.kind.name()
+                )));
+            }
+            let order = SortOrder::asc(&[0]);
+            sort_rows(&mut left, &order);
+            sort_rows(&mut right, &order);
+            left.extend(right);
+            Ok((
+                Table {
+                    schema: out_schema.clone(),
+                    partitions: vec![left],
+                    props: PhysicalProps::single(),
+                },
+                0,
+            ))
+        }
+        Operator::Output { .. } => {
+            let input = one()?;
+            Ok((input.gather(), 0))
+        }
+    }
+}
+
+/// Aggregate accumulator for one group.
+///
+/// Float sums are accumulated as a value list and added in a *deterministic
+/// order* at finish time: IEEE addition is not associative, so summing in
+/// physical arrival order would make results depend on partitioning — and a
+/// view-fed plan (different partition order) could differ from the baseline
+/// in the last ulp. Integer sums stay incremental.
+#[derive(Clone, Debug)]
+struct Acc {
+    count: u64,
+    int_sum: i64,
+    float_values: Vec<f64>,
+    sum_is_float: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: std::collections::HashSet<Value>,
+    non_null: u64,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc {
+            count: 0,
+            int_sum: 0,
+            float_values: Vec::new(),
+            sum_is_float: false,
+            min: None,
+            max: None,
+            distinct: std::collections::HashSet::new(),
+            non_null: 0,
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, v: &Value) {
+        self.count += 1;
+        if v.is_null() {
+            return;
+        }
+        self.non_null += 1;
+        match func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Float(f) => {
+                    self.sum_is_float = true;
+                    self.float_values.push(*f);
+                }
+                other => {
+                    if let Some(x) = other.as_i64() {
+                        self.int_sum = self.int_sum.wrapping_add(x);
+                    }
+                }
+            },
+            AggFunc::Min => {
+                if self.min.as_ref().map(|m| v < m).unwrap_or(true) {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                if self.max.as_ref().map(|m| v > m).unwrap_or(true) {
+                    self.max = Some(v.clone());
+                }
+            }
+            AggFunc::CountDistinct => {
+                self.distinct.insert(v.clone());
+            }
+        }
+    }
+
+    /// Order-insensitive float total: sort by IEEE total order, then add.
+    fn float_total(&self) -> f64 {
+        let mut vals = self.float_values.clone();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.iter().sum::<f64>() + self.int_sum as f64
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else if self.sum_is_float {
+                    Value::Float(self.float_total())
+                } else {
+                    Value::Int(self.int_sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.float_total() / self.non_null as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::CountDistinct => Value::Int(self.distinct.len() as i64),
+        }
+    }
+}
+
+fn agg_row(key: &[Value], accs: &[Acc], aggs: &[AggExpr]) -> Row {
+    let mut row: Row = key.to_vec();
+    for (acc, a) in accs.iter().zip(aggs) {
+        row.push(acc.finish(a.func));
+    }
+    row
+}
+
+fn empty_global_agg_row(aggs: &[AggExpr]) -> Row {
+    let accs: Vec<Acc> = aggs.iter().map(|_| Acc::new()).collect();
+    agg_row(&[], &accs, aggs)
+}
+
+fn hash_aggregate(rows: &[Row], keys: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = keys.iter().map(|&k| row[k].clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            aggs.iter().map(|_| Acc::new()).collect()
+        });
+        for (acc, a) in accs.iter_mut().zip(aggs) {
+            acc.update(a.func, &row[a.input.min(row.len() - 1)]);
+        }
+    }
+    Ok(order
+        .into_iter()
+        .map(|key| {
+            let accs = &groups[&key];
+            agg_row(&key, accs, aggs)
+        })
+        .collect())
+}
+
+fn stream_aggregate(rows: &[Row], keys: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for group in key_runs(rows, keys) {
+        let mut accs: Vec<Acc> = aggs.iter().map(|_| Acc::new()).collect();
+        for row in group {
+            for (acc, a) in accs.iter_mut().zip(aggs) {
+                acc.update(a.func, &row[a.input.min(row.len() - 1)]);
+            }
+        }
+        let key: Vec<Value> = keys.iter().map(|&k| group[0][k].clone()).collect();
+        out.push(agg_row(&key, &accs, aggs));
+    }
+    Ok(out)
+}
+
+/// Splits sorted rows into maximal runs of equal keys. For unsorted input
+/// this still groups *adjacent* equal keys only — callers needing full
+/// grouping must sort first (the optimizer's enforcers do).
+fn key_runs<'a>(rows: &'a [Row], keys: &'a [usize]) -> impl Iterator<Item = &'a [Row]> + 'a {
+    let mut start = 0;
+    std::iter::from_fn(move || {
+        if start >= rows.len() {
+            return None;
+        }
+        let mut end = start + 1;
+        while end < rows.len()
+            && keys.iter().all(|&k| rows[end][k] == rows[start][k])
+        {
+            end += 1;
+        }
+        let run = &rows[start..end];
+        start = end;
+        Some(run)
+    })
+}
+
+fn exec_window(
+    rows: &[Row],
+    func: &WindowFunc,
+    partition: &[usize],
+    order: &SortOrder,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for group in key_runs(rows, partition) {
+        // Deterministic in-group order: the requested order, ties broken by
+        // full-row comparison (running sums would otherwise depend on
+        // physical arrival order).
+        let mut group: Vec<&Row> = group.iter().collect();
+        group.sort_by(|a, b| compare_rows(a, b, order).then_with(|| a.cmp(b)));
+        let group: Vec<Row> = group.into_iter().cloned().collect();
+        let group = &group[..];
+        let mut running_sum = 0.0;
+        let mut rank = 0usize;
+        let mut seen = 0usize;
+        let mut prev: Option<&Row> = None;
+        for row in group {
+            seen += 1;
+            let tied = prev
+                .map(|p| compare_rows(p, row, order).is_eq())
+                .unwrap_or(false);
+            if !tied {
+                rank = seen;
+            }
+            let v = match func {
+                WindowFunc::RowNumber => Value::Int(seen as i64),
+                WindowFunc::Rank => Value::Int(rank as i64),
+                WindowFunc::RunningSum(c) => {
+                    running_sum += row[*c].as_f64().unwrap_or(0.0);
+                    Value::Float(running_sum)
+                }
+            };
+            let mut r = row.clone();
+            r.push(v);
+            out.push(r);
+            prev = Some(row);
+        }
+    }
+    Ok(out)
+}
+
+fn exec_join(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    implementation: JoinImpl,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    out_schema: &Schema,
+) -> Result<Table> {
+    let rwidth = right.schema.len();
+    let pairs: Vec<(&Vec<Row>, &Vec<Row>)> = match implementation {
+        JoinImpl::Loops => {
+            // Right side gathered single (enforced): pair every left
+            // partition with the single right partition.
+            let rp = right.partitions.first().ok_or_else(|| {
+                ScopeError::Execution("loops join with no right partition".into())
+            })?;
+            left.partitions.iter().map(|lp| (lp, rp)).collect()
+        }
+        _ => {
+            if left.num_partitions() != right.num_partitions() {
+                return Err(ScopeError::Execution(format!(
+                    "join partition mismatch: {} vs {}",
+                    left.num_partitions(),
+                    right.num_partitions()
+                )));
+            }
+            left.partitions.iter().zip(&right.partitions).collect()
+        }
+    };
+
+    let mut partitions = Vec::with_capacity(pairs.len());
+    for (lp, rp) in pairs {
+        let mut out: Vec<Row> = Vec::new();
+        match implementation {
+            JoinImpl::Hash | JoinImpl::Merge => {
+                // Build on right, probe left (merge implemented as hash for
+                // result purposes; cost model differentiates).
+                let mut built: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+                for row in rp {
+                    let key: Vec<Value> =
+                        right_keys.iter().map(|&k| row[k].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue; // NULL keys never join
+                    }
+                    built.entry(key).or_default().push(row);
+                }
+                for lrow in lp {
+                    let key: Vec<Value> =
+                        left_keys.iter().map(|&k| lrow[k].clone()).collect();
+                    let matches = if key.iter().any(Value::is_null) {
+                        None
+                    } else {
+                        built.get(&key)
+                    };
+                    emit_join_rows(lrow, matches.map(|v| v.as_slice()), kind, rwidth, &mut out);
+                }
+            }
+            JoinImpl::Loops => {
+                for lrow in lp {
+                    let matches: Vec<&Row> = rp
+                        .iter()
+                        .filter(|rrow| {
+                            left_keys.iter().zip(right_keys).all(|(&lk, &rk)| {
+                                !lrow[lk].is_null() && lrow[lk] == rrow[rk]
+                            })
+                        })
+                        .collect();
+                    let m = if matches.is_empty() { None } else { Some(matches.as_slice()) };
+                    emit_join_rows(lrow, m, kind, rwidth, &mut out);
+                }
+            }
+        }
+        partitions.push(out);
+    }
+    Ok(Table {
+        schema: out_schema.clone(),
+        partitions,
+        props: PhysicalProps { partitioning: left.props.partitioning.clone(), sort: SortOrder::none() },
+    })
+}
+
+fn emit_join_rows(
+    lrow: &Row,
+    matches: Option<&[&Row]>,
+    kind: JoinKind,
+    rwidth: usize,
+    out: &mut Vec<Row>,
+) {
+    match (kind, matches) {
+        (JoinKind::LeftSemi, Some(m)) if !m.is_empty() => out.push(lrow.clone()),
+        (JoinKind::LeftSemi, _) => {}
+        (_, Some(m)) if !m.is_empty() => {
+            for rrow in m {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                out.push(row);
+            }
+        }
+        (JoinKind::LeftOuter, _) => {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat(Value::Null).take(rwidth));
+            out.push(row);
+        }
+        (JoinKind::Inner, _) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::multiset_checksum;
+    use scope_common::ids::DatasetId;
+    use scope_plan::{DataType, Expr, PlanBuilder, SortKey, Udo, UdoKind};
+
+    fn storage_with(rows: Vec<Row>, schema: Schema) -> StorageManager {
+        let s = StorageManager::new();
+        s.put_dataset(DatasetId::new(1), Table::single(schema, rows));
+        s
+    }
+
+    fn kv_schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)])
+    }
+
+    fn kv_rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect()
+    }
+
+    fn run(graph: &QueryGraph, storage: &StorageManager) -> ExecOutcome {
+        execute_plan(graph, storage, &CostModel::default(), SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn scan_filter_output() {
+        let storage = storage_with(kv_rows(100), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let f = b.filter(s, Expr::col(0).eq(Expr::lit(2i64)));
+        let g = b.output(f, "o").build().unwrap();
+        let out = run(&g, &storage);
+        assert_eq!(out.outputs["o"].num_rows(), 20);
+        assert_eq!(out.node_stats[0].in_rows, 100);
+        assert_eq!(out.node_stats[1].out_rows, 20);
+        assert!(out.total_cpu() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hash_aggregate_groups() {
+        let storage = storage_with(kv_rows(100), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let a = b.aggregate(
+            s,
+            vec![0],
+            vec![
+                AggExpr::new("cnt", AggFunc::Count, 1),
+                AggExpr::new("sum", AggFunc::Sum, 1),
+                AggExpr::new("mx", AggFunc::Max, 1),
+            ],
+        );
+        let g = b.output(a, "o").build().unwrap();
+        let out = run(&g, &storage);
+        let result = &out.outputs["o"];
+        assert_eq!(result.num_rows(), 5);
+        for row in result.iter_rows() {
+            assert_eq!(row[1], Value::Int(20)); // 20 rows per key
+            let k = row[0].as_i64().unwrap();
+            // sum of k, k+5, ..., k+95 = 20k + 5*(0+..+19)*? -> compute:
+            let expect: i64 = (0..100).filter(|i| i % 5 == k).sum();
+            assert_eq!(row[2], Value::Int(expect));
+            assert_eq!(row[3], Value::Int(95 + k)); // max element ≡ k mod 5
+        }
+    }
+
+    #[test]
+    fn stream_vs_hash_aggregate_agree_on_sorted_input() {
+        let rows = kv_rows(60);
+        let storage = storage_with(rows, kv_schema());
+        let aggs = vec![
+            AggExpr::new("cnt", AggFunc::Count, 1),
+            AggExpr::new("avg", AggFunc::Avg, 1),
+            AggExpr::new("cd", AggFunc::CountDistinct, 1),
+        ];
+        let build = |implementation| {
+            let mut b = PlanBuilder::new();
+            let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+            let sorted = b.sort(s, SortOrder::asc(&[0]));
+            let a = b.aggregate(sorted, vec![0], aggs.clone());
+            let g = b.output(a, "o").build().unwrap();
+            // Patch implementation.
+            let mut g2 = g.clone();
+            if let Operator::Aggregate { implementation: impl_, .. } =
+                &mut g2.node_mut(a).unwrap().op
+            {
+                *impl_ = implementation;
+            }
+            g2
+        };
+        let hash_out = run(&build(AggImpl::Hash), &storage);
+        let stream_out = run(&build(AggImpl::Stream), &storage);
+        assert_eq!(
+            multiset_checksum(&hash_out.outputs["o"]),
+            multiset_checksum(&stream_out.outputs["o"])
+        );
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let storage = storage_with(vec![], kv_schema());
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let a = b.aggregate(
+            s,
+            vec![],
+            vec![AggExpr::new("cnt", AggFunc::Count, 0), AggExpr::new("sum", AggFunc::Sum, 1)],
+        );
+        let g = b.output(a, "o").build().unwrap();
+        let out = run(&g, &storage);
+        let rows = out.outputs["o"].all_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert_eq!(rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn exchange_then_aggregate_partitioned() {
+        let storage = storage_with(kv_rows(100), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let ex = b.exchange(s, Partitioning::Hash { cols: vec![0], parts: 4 });
+        let a = b.aggregate(ex, vec![0], vec![AggExpr::new("cnt", AggFunc::Count, 1)]);
+        let g = b.output(a, "o").build().unwrap();
+        let out = run(&g, &storage);
+        // Co-partitioned: aggregate per-partition is globally correct.
+        assert_eq!(out.outputs["o"].num_rows(), 5);
+        for row in out.outputs["o"].iter_rows() {
+            assert_eq!(row[1], Value::Int(20));
+        }
+    }
+
+    #[test]
+    fn joins_inner_outer_semi() {
+        let storage = StorageManager::new();
+        storage.put_dataset(
+            DatasetId::new(1),
+            Table::single(kv_schema(), vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+                vec![Value::Int(3), Value::Int(30)],
+            ]),
+        );
+        storage.put_dataset(
+            DatasetId::new(2),
+            Table::single(kv_schema(), vec![
+                vec![Value::Int(2), Value::Int(200)],
+                vec![Value::Int(2), Value::Int(201)],
+                vec![Value::Int(3), Value::Int(300)],
+            ]),
+        );
+        let build = |kind| {
+            let mut b = PlanBuilder::new();
+            let l = b.table_scan(DatasetId::new(1), "l", kv_schema());
+            let r = b.table_scan(DatasetId::new(2), "r", kv_schema());
+            let j = b.join(l, r, kind, vec![0], vec![0]);
+            b.output(j, "o").build().unwrap()
+        };
+        let inner = run(&build(JoinKind::Inner), &storage);
+        assert_eq!(inner.outputs["o"].num_rows(), 3); // k=2 x2, k=3 x1
+        let outer = run(&build(JoinKind::LeftOuter), &storage);
+        assert_eq!(outer.outputs["o"].num_rows(), 4); // + unmatched k=1
+        let padded: Vec<_> = outer.outputs["o"]
+            .iter_rows()
+            .filter(|r| r[2].is_null())
+            .collect();
+        assert_eq!(padded.len(), 1);
+        let semi = run(&build(JoinKind::LeftSemi), &storage);
+        assert_eq!(semi.outputs["o"].num_rows(), 2); // k=2 and k=3 once
+        assert_eq!(semi.outputs["o"].schema.len(), 2);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let storage = StorageManager::new();
+        storage.put_dataset(
+            DatasetId::new(1),
+            Table::single(kv_schema(), vec![vec![Value::Null, Value::Int(1)]]),
+        );
+        storage.put_dataset(
+            DatasetId::new(2),
+            Table::single(kv_schema(), vec![vec![Value::Null, Value::Int(2)]]),
+        );
+        let mut b = PlanBuilder::new();
+        let l = b.table_scan(DatasetId::new(1), "l", kv_schema());
+        let r = b.table_scan(DatasetId::new(2), "r", kv_schema());
+        let j = b.join(l, r, JoinKind::Inner, vec![0], vec![0]);
+        let g = b.output(j, "o").build().unwrap();
+        assert_eq!(run(&g, &storage).outputs["o"].num_rows(), 0);
+    }
+
+    #[test]
+    fn top_is_global_and_sorted() {
+        let storage = storage_with(kv_rows(50), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let ex = b.exchange(s, Partitioning::Hash { cols: vec![0], parts: 4 });
+        let gathered = b.exchange(ex, Partitioning::Single);
+        let t = b.top(gathered, 3, SortOrder(vec![SortKey::desc(1)]));
+        let g = b.output(t, "o").build().unwrap();
+        let rows = run(&g, &storage).outputs["o"].all_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][1], Value::Int(49));
+        assert_eq!(rows[1][1], Value::Int(48));
+        assert_eq!(rows[2][1], Value::Int(47));
+    }
+
+    #[test]
+    fn window_row_number_and_rank() {
+        let schema = kv_schema();
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(1), Value::Int(20)],
+            vec![Value::Int(2), Value::Int(5)],
+        ];
+        let storage = storage_with(rows, schema.clone());
+        let build = |func| {
+            let mut b = PlanBuilder::new();
+            let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+            let sorted = b.sort(s, SortOrder::asc(&[0, 1]));
+            let w = b.window(sorted, func, vec![0], SortOrder::asc(&[1]));
+            b.output(w, "o").build().unwrap()
+        };
+        let rn = run(&build(WindowFunc::RowNumber), &storage);
+        let rows: Vec<_> = rn.outputs["o"].all_rows();
+        assert_eq!(rows[0][2], Value::Int(1));
+        assert_eq!(rows[1][2], Value::Int(2));
+        assert_eq!(rows[2][2], Value::Int(3));
+        assert_eq!(rows[3][2], Value::Int(1)); // new partition
+        let rk = run(&build(WindowFunc::Rank), &storage);
+        let rows: Vec<_> = rk.outputs["o"].all_rows();
+        assert_eq!(rows[0][2], Value::Int(1));
+        assert_eq!(rows[1][2], Value::Int(1)); // tie
+        assert_eq!(rows[2][2], Value::Int(3)); // gap
+    }
+
+    #[test]
+    fn process_and_reduce_udos() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("text", DataType::Str)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Str("a b".into())],
+            vec![Value::Int(2), Value::Str("c".into())],
+        ];
+        let storage = storage_with(rows, schema.clone());
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", schema);
+        let p = b.process(s, Udo::new(UdoKind::Tokenize { col: 1 }, "L", "1"));
+        let g = b.output(p, "o").build().unwrap();
+        assert_eq!(run(&g, &storage).outputs["o"].num_rows(), 3);
+    }
+
+    #[test]
+    fn view_get_reads_store_and_respects_expiry() {
+        use crate::storage::{ViewFile, ViewMeta};
+        use scope_common::sip128;
+        use std::sync::Arc;
+        let storage = StorageManager::new();
+        let table = Table::single(kv_schema(), kv_rows(10));
+        let sig = sip128(b"view");
+        storage
+            .publish_view(ViewFile {
+                table: Arc::new(table),
+                props: PhysicalProps::single(),
+                meta: ViewMeta {
+                    precise: sig,
+                    normalized: sip128(b"n"),
+                    producer: scope_common::ids::JobId::new(1),
+                    created_at: SimTime::ZERO,
+                    expires_at: SimTime(100),
+                    rows: 10,
+                    bytes: 100,
+                },
+            })
+            .unwrap();
+        let mut g = QueryGraph::new();
+        let v = g
+            .add(
+                Operator::ViewGet {
+                    view_sig: sig,
+                    schema: kv_schema(),
+                    props: PhysicalProps::single(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let o = g.add(Operator::Output { name: "o".into(), stored: false }, vec![v]).unwrap();
+        g.add_root(o).unwrap();
+        let out = execute_plan(&g, &storage, &CostModel::default(), SimTime(50)).unwrap();
+        assert_eq!(out.outputs["o"].num_rows(), 10);
+        // Past expiry it errors.
+        let err =
+            execute_plan(&g, &storage, &CostModel::default(), SimTime(100)).unwrap_err();
+        assert_eq!(err.kind(), "storage");
+    }
+
+    #[test]
+    fn union_all_concats() {
+        let storage = storage_with(kv_rows(10), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s1 = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let s2 = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let u = b.union_all(vec![s1, s2]);
+        let g = b.output(u, "o").build().unwrap();
+        assert_eq!(run(&g, &storage).outputs["o"].num_rows(), 20);
+    }
+
+    #[test]
+    fn combine_merges_streams() {
+        let storage = storage_with(kv_rows(6), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s1 = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let s2 = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let c = b.combine(s1, s2, Udo::new(UdoKind::MergeStreams, "L", "1"));
+        let g = b.output(c, "o").build().unwrap();
+        assert_eq!(run(&g, &storage).outputs["o"].num_rows(), 12);
+    }
+
+    #[test]
+    fn sequence_takes_last() {
+        let storage = storage_with(kv_rows(4), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s1 = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let s2 = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let f = b.filter(s2, Expr::col(1).lt(Expr::lit(2i64)));
+        let seq = b.sequence(vec![s1, f]);
+        let g = b.output(seq, "o").build().unwrap();
+        assert_eq!(run(&g, &storage).outputs["o"].num_rows(), 2);
+    }
+
+    #[test]
+    fn stats_subgraph_cpu_partial() {
+        let storage = storage_with(kv_rows(100), kv_schema());
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let f = b.filter(s, Expr::col(0).gt(Expr::lit(0i64)));
+        let g = b.output(f, "o").build().unwrap();
+        let out = run(&g, &storage);
+        let sub = out.subgraph_cpu(&g, NodeId::new(1));
+        assert!(sub > SimDuration::ZERO);
+        assert!(sub < out.total_cpu());
+    }
+}

@@ -1,0 +1,331 @@
+//! Job descriptors, the baseline runner, and online view materialization.
+//!
+//! [`run_job_baseline`] is plain SCOPE: optimize without any view services,
+//! execute, simulate. The CloudViews-enabled path lives in the `cloudviews`
+//! crate and composes the same pieces plus the metadata-service protocol;
+//! both share [`materialize_marked_views`], which implements the paper's
+//! online materialization (Section 6.2): the marked subgraph's output is
+//! copied into a view file in the analyzer-mined physical design (enforcing
+//! any missing partitioning/sorting), with the precise signature and
+//! producing job id recorded in the file path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scope_common::ids::{ClusterId, JobId, TemplateId, UserId, VcId};
+use scope_common::time::{SimDuration, SimTime};
+use scope_common::Result;
+use scope_plan::{Partitioning, QueryGraph};
+
+use crate::cost::CostModel;
+use crate::data::Table;
+use crate::exec::{execute_plan, ExecOutcome};
+use crate::optimizer::{optimize, NoViewServices, OptimizedPlan, OptimizerConfig};
+use crate::sim::{simulate, ClusterConfig, SimOutcome};
+use crate::storage::{StorageManager, ViewFile, ViewMeta};
+
+/// A job to run: identity plus its compiled logical plan.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Job instance id.
+    pub id: JobId,
+    /// Physical cluster the job runs in.
+    pub cluster: ClusterId,
+    /// Virtual cluster (tenant).
+    pub vc: VcId,
+    /// Submitting user entity.
+    pub user: UserId,
+    /// Recurring template.
+    pub template: TemplateId,
+    /// Recurrence instance index.
+    pub instance: u64,
+    /// The compiled logical plan.
+    pub graph: QueryGraph,
+}
+
+/// The result of running one job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Job id.
+    pub job: JobId,
+    /// End-to-end latency (including any view-write overhead).
+    pub latency: SimDuration,
+    /// Total CPU time (including any view-write overhead).
+    pub cpu_time: SimDuration,
+    /// Terminal outputs by name.
+    pub outputs: HashMap<String, Table>,
+    /// The optimized plan that ran.
+    pub plan: OptimizedPlan,
+    /// Execution statistics.
+    pub exec: ExecOutcome,
+    /// Simulation breakdown.
+    pub sim: SimOutcome,
+    /// Precise signatures of views this job materialized.
+    pub views_built: Vec<scope_common::Sig128>,
+}
+
+/// One materialized view produced by a job, with the simulated time at which
+/// it became available (early materialization: the producing *stage*'s
+/// finish, not the job's).
+#[derive(Debug)]
+pub struct BuiltView {
+    /// The stored file.
+    pub file: ViewFile,
+    /// Extra CPU charged for building (enforcers + write).
+    pub extra_cpu: SimDuration,
+    /// Extra job latency attributable to the build.
+    pub extra_latency: SimDuration,
+    /// Offset from job start at which the view is published.
+    pub available_offset: SimDuration,
+}
+
+/// Runs a job with CloudViews disabled: the paper's baseline.
+pub fn run_job_baseline(
+    spec: &JobSpec,
+    storage: &StorageManager,
+    model: &CostModel,
+    cluster: &ClusterConfig,
+    now: SimTime,
+) -> Result<JobOutcome> {
+    let config = OptimizerConfig {
+        default_dop: cluster.default_dop,
+        enable_reuse: false,
+        enable_materialize: false,
+        ..Default::default()
+    };
+    let plan = optimize(&spec.graph, &[], &NoViewServices, &config, spec.id)?;
+    let exec = execute_plan(&plan.physical, storage, model, now)?;
+    let sim = simulate(&plan.physical, &exec, cluster);
+    Ok(JobOutcome {
+        job: spec.id,
+        latency: sim.latency,
+        cpu_time: sim.cpu_time,
+        outputs: exec.outputs.clone(),
+        exec,
+        sim,
+        plan,
+        views_built: Vec::new(),
+    })
+}
+
+/// Builds the view files for every materialization mark in `plan`,
+/// enforcing the analyzer-mined physical design and charging the extra work.
+///
+/// Returns the built views; the caller publishes them to storage (and to the
+/// metadata service) at their `available_offset` — immediately for the
+/// early-materialization path, or at job end when early materialization is
+/// disabled (ablation).
+pub fn materialize_marked_views(
+    plan: &OptimizedPlan,
+    exec: &ExecOutcome,
+    sim: &SimOutcome,
+    model: &CostModel,
+    job: JobId,
+    job_start: SimTime,
+) -> Result<Vec<BuiltView>> {
+    let mut built = Vec::new();
+    for mark in &plan.materialize {
+        let source = &exec.node_tables[mark.physical_node.index()];
+        // Enforce the mined physical design on the stored copy.
+        let mut table = source.clone();
+        let mut enforcer_cpu = SimDuration::ZERO;
+        match &mark.props.partitioning {
+            Partitioning::Hash { cols, parts } => {
+                if !mark.props.partitioning.satisfied_by(&table.props.partitioning) {
+                    table = table.hash_repartition(cols, *parts)?;
+                    enforcer_cpu += model.op_cpu(
+                        &scope_plan::Operator::Exchange { scheme: mark.props.partitioning.clone() },
+                        source.num_rows() as u64,
+                        source.num_rows() as u64,
+                        source.num_bytes(),
+                    );
+                }
+            }
+            Partitioning::Range { col, parts } => {
+                if !mark.props.partitioning.satisfied_by(&table.props.partitioning) {
+                    table = table.range_repartition(*col, *parts)?;
+                    enforcer_cpu += model.op_cpu(
+                        &scope_plan::Operator::Exchange { scheme: mark.props.partitioning.clone() },
+                        source.num_rows() as u64,
+                        source.num_rows() as u64,
+                        source.num_bytes(),
+                    );
+                }
+            }
+            Partitioning::Single => {
+                if table.num_partitions() != 1 {
+                    table = table.gather();
+                }
+            }
+            Partitioning::RoundRobin { parts } => {
+                if !mark.props.partitioning.satisfied_by(&table.props.partitioning) {
+                    table = table.round_robin_repartition(*parts)?;
+                }
+            }
+            Partitioning::Any => {}
+        }
+        if !mark.props.sort.is_none() && !mark.props.sort.satisfied_by(&table.props.sort) {
+            table = table.sort_partitions(&mark.props.sort);
+            enforcer_cpu += model.op_cpu(
+                &scope_plan::Operator::Sort { order: mark.props.sort.clone() },
+                source.num_rows() as u64,
+                source.num_rows() as u64,
+                0,
+            );
+        }
+        let rows = table.num_rows() as u64;
+        let bytes = table.num_bytes();
+        let write_cpu = model.view_write_cpu(rows, bytes);
+        let extra_cpu = enforcer_cpu + write_cpu;
+        // Latency impact: the write runs with the view's own parallelism.
+        let parts = table.num_partitions().max(1) as f64;
+        let extra_latency = extra_cpu.mul_f64(1.0 / parts);
+        let produced_at = sim.node_finish[mark.physical_node.index()] + extra_latency;
+        let created_at = job_start + produced_at;
+        let props = table.props.clone();
+        built.push(BuiltView {
+            file: ViewFile {
+                table: Arc::new(table),
+                props,
+                meta: ViewMeta {
+                    precise: mark.precise,
+                    normalized: mark.normalized,
+                    producer: job,
+                    created_at,
+                    expires_at: created_at + mark.ttl,
+                    rows,
+                    bytes,
+                },
+            },
+            extra_cpu,
+            extra_latency,
+            available_offset: produced_at,
+        });
+    }
+    Ok(built)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_common::ids::DatasetId;
+    use scope_plan::expr::AggFunc;
+    use scope_plan::{
+        AggExpr, DataType, Expr, PhysicalProps, PlanBuilder, Schema, SortOrder, Value,
+    };
+    use scope_signature::sign_graph;
+
+    fn storage() -> StorageManager {
+        let s = StorageManager::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let rows = (0..500).map(|i| vec![Value::Int(i % 7), Value::Int(i)]).collect();
+        s.put_dataset(DatasetId::new(1), Table::single(schema, rows));
+        s
+    }
+
+    fn spec() -> JobSpec {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let mut b = PlanBuilder::new();
+        let scan = b.table_scan(DatasetId::new(1), "in/t.ss", schema);
+        let f = b.filter(scan, Expr::col(1).ge(Expr::lit(0i64)));
+        let a = b.aggregate(f, vec![0], vec![AggExpr::new("c", AggFunc::Count, 1)]);
+        let g = b.output(a, "out/r.ss").build().unwrap();
+        JobSpec {
+            id: JobId::new(1),
+            cluster: ClusterId::new(0),
+            vc: VcId::new(0),
+            user: UserId::new(0),
+            template: TemplateId::new(0),
+            instance: 0,
+            graph: g,
+        }
+    }
+
+    #[test]
+    fn baseline_runs_end_to_end() {
+        let st = storage();
+        let out = run_job_baseline(
+            &spec(),
+            &st,
+            &CostModel::default(),
+            &ClusterConfig::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(out.outputs["out/r.ss"].num_rows(), 7);
+        assert!(out.latency > SimDuration::ZERO);
+        assert!(out.cpu_time >= out.latency || out.sim.vertices == 1);
+        assert!(out.views_built.is_empty());
+    }
+
+    #[test]
+    fn materialize_enforces_design_and_charges_cost() {
+        use crate::optimizer::{Annotation, ViewServices};
+        use scope_common::Sig128;
+
+        struct GrantAll;
+        impl ViewServices for GrantAll {
+            fn view_available(&self, _p: Sig128) -> Option<crate::optimizer::AvailableView> {
+                None
+            }
+            fn propose_materialize(
+                &self,
+                _p: Sig128,
+                _n: Sig128,
+                _j: JobId,
+                _t: SimDuration,
+            ) -> bool {
+                true
+            }
+        }
+
+        let st = storage();
+        let spec = spec();
+        let signed = sign_graph(&spec.graph).unwrap();
+        let agg = scope_common::ids::NodeId::new(2);
+        let annotation = Annotation {
+            normalized: signed.of(agg).normalized,
+            props: PhysicalProps {
+                partitioning: Partitioning::Hash { cols: vec![0], parts: 4 },
+                sort: SortOrder::asc(&[0]),
+            },
+            ttl: SimDuration::from_secs(3600),
+            avg_cpu: SimDuration::from_secs(1),
+            avg_rows: 7,
+            avg_bytes: 200,
+        };
+        let plan = optimize(
+            &spec.graph,
+            &[annotation],
+            &GrantAll,
+            &OptimizerConfig { max_materialize_per_job: 1, ..Default::default() },
+            spec.id,
+        )
+        .unwrap();
+        assert_eq!(plan.materialize.len(), 1);
+        let exec =
+            execute_plan(&plan.physical, &st, &CostModel::default(), SimTime::ZERO).unwrap();
+        let sim = simulate(&plan.physical, &exec, &ClusterConfig::default());
+        let built = materialize_marked_views(
+            &plan,
+            &exec,
+            &sim,
+            &CostModel::default(),
+            spec.id,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(built.len(), 1);
+        let v = &built[0];
+        // Stored in the mined design.
+        assert_eq!(v.file.table.num_partitions(), 4);
+        assert_eq!(v.file.props.sort, SortOrder::asc(&[0]));
+        assert!(v.extra_cpu > SimDuration::ZERO);
+        assert!(v.extra_latency <= v.extra_cpu);
+        // Early availability: before (or at) the job's own end plus write.
+        assert!(v.available_offset <= sim.latency + v.extra_latency);
+        assert_eq!(v.file.meta.precise, signed.of(agg).precise);
+        assert_eq!(v.file.meta.rows, 7);
+        assert!(v.file.meta.expires_at > v.file.meta.created_at);
+    }
+}

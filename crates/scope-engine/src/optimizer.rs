@@ -1,0 +1,894 @@
+//! Cascades-lite optimization with the CloudViews hooks of Figure 10.
+//!
+//! [`optimize`] runs four phases over a *logical* plan:
+//!
+//! 1. **Signing** — precise + normalized signatures for every subgraph
+//!    (Section 3). Signatures are always computed on the logical plan, the
+//!    same representation the analyzer enumerates, so runtime matching and
+//!    offline analysis agree byte-for-byte.
+//! 2. **Plan search: view reuse** (upper half of Figure 10) — top-down,
+//!    largest subgraphs first, match each subgraph's normalized signature
+//!    against the annotations fetched from the metadata service; on a match,
+//!    check the precise signature against the actually-materialized views;
+//!    if available and cheaper to read than to recompute (judged with the
+//!    *mined* runtime statistics, not estimates), replace the subgraph with
+//!    a [`Operator::ViewGet`].
+//! 3. **Follow-up optimization: view materialization** (lower half of
+//!    Figure 10) — bottom-up (smaller views first, "as they typically have
+//!    more overlaps"), for surviving subgraphs whose normalized signature is
+//!    annotated but whose precise view does not exist yet, propose the build
+//!    to the metadata service (exclusive lock, Step 3/4 of Figure 9); on
+//!    success, mark the node for online materialization, up to the per-job
+//!    cap.
+//! 4. **Lowering** — implementation selection (stream vs hash aggregation,
+//!    merge vs hash join, based on delivered sort orders) and enforcer
+//!    insertion (Exchange/Sort) so every operator's required physical
+//!    properties are satisfied. A reused view whose stored design already
+//!    matches the consumer's requirement needs no enforcer — this is where
+//!    the paper's physical-design lesson (Section 5.3) becomes measurable.
+
+use std::collections::HashMap;
+
+use scope_common::hash::Sig128;
+use scope_common::ids::{JobId, NodeId};
+use scope_common::time::SimDuration;
+use scope_common::{Result, ScopeError};
+use scope_plan::op::AggImpl;
+use scope_plan::{
+    JoinImpl, Operator, Partitioning, PhysicalProps, QueryGraph, SortOrder,
+};
+use scope_signature::{enumerate_subgraphs, SubgraphInfo};
+
+/// A materialized view the metadata service reports as available.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AvailableView {
+    /// Precise signature (the storage key).
+    pub precise: Sig128,
+    /// Stored rows.
+    pub rows: u64,
+    /// Stored bytes.
+    pub bytes: u64,
+    /// Stored physical design.
+    pub props: PhysicalProps,
+}
+
+/// One annotation delivered by the CloudViews analyzer via the metadata
+/// service: "this normalized computation must be materialized and reused".
+#[derive(Clone, Debug, PartialEq)]
+pub struct Annotation {
+    /// Normalized signature of the overlapping computation.
+    pub normalized: Sig128,
+    /// Physical design the analyzer mined for the view (Section 5.3).
+    pub props: PhysicalProps,
+    /// Time-to-live mined from input lineage (Section 5.4).
+    pub ttl: SimDuration,
+    /// Mined average cumulative CPU of computing this subgraph (the
+    /// runtime-statistics side of the feedback loop).
+    pub avg_cpu: SimDuration,
+    /// Mined average output rows.
+    pub avg_rows: u64,
+    /// Mined average output bytes.
+    pub avg_bytes: u64,
+}
+
+/// The optimizer's window into the CloudViews runtime (metadata service).
+///
+/// `scope-engine` ships [`NoViewServices`] (plain SCOPE, no reuse); the
+/// `cloudviews` crate implements this against its metadata service.
+pub trait ViewServices {
+    /// Figure 6 runtime check 2: is this precise computation already
+    /// materialized (and not expired)?
+    fn view_available(&self, precise: Sig128) -> Option<AvailableView>;
+
+    /// Figure 9 steps 3/4: propose to materialize; `true` means the
+    /// exclusive build lock was acquired and this job should build the view.
+    fn propose_materialize(
+        &self,
+        precise: Sig128,
+        normalized: Sig128,
+        job: JobId,
+        lock_ttl: SimDuration,
+    ) -> bool;
+}
+
+/// Plain SCOPE: no metadata service, no reuse, no materialization.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoViewServices;
+
+impl ViewServices for NoViewServices {
+    fn view_available(&self, _precise: Sig128) -> Option<AvailableView> {
+        None
+    }
+    fn propose_materialize(
+        &self,
+        _precise: Sig128,
+        _normalized: Sig128,
+        _job: JobId,
+        _lock_ttl: SimDuration,
+    ) -> bool {
+        false
+    }
+}
+
+/// Optimizer configuration.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Degree of parallelism planned for enforcer exchanges.
+    pub default_dop: usize,
+    /// Per-job cap on views materialized (paper: defaults low, user-tunable
+    /// via a job submission parameter).
+    pub max_materialize_per_job: usize,
+    /// Enable the plan-search reuse hook.
+    pub enable_reuse: bool,
+    /// Enable the follow-up materialization hook.
+    pub enable_materialize: bool,
+    /// Offline mode (Section 6.2): emit a plan that computes *only* the
+    /// marked materializations, for upfront view building.
+    pub offline_mode: bool,
+    /// When false, skip the read-vs-recompute cost check and always accept a
+    /// matching view (ablation knob).
+    pub cost_based_reuse: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            default_dop: 8,
+            max_materialize_per_job: 1,
+            enable_reuse: true,
+            enable_materialize: true,
+            offline_mode: false,
+            cost_based_reuse: true,
+        }
+    }
+}
+
+/// A follow-up-optimization decision to materialize one subgraph.
+#[derive(Clone, Debug)]
+pub struct MaterializeDecision {
+    /// Root of the subgraph in the *physical* plan.
+    pub physical_node: NodeId,
+    /// Precise signature (the storage key; also embedded in the file path).
+    pub precise: Sig128,
+    /// Normalized signature (provenance).
+    pub normalized: Sig128,
+    /// Physical design to store the view in.
+    pub props: PhysicalProps,
+    /// Time-to-live for the file.
+    pub ttl: SimDuration,
+}
+
+/// A plan-search decision that reused one materialized view.
+#[derive(Clone, Debug)]
+pub struct ReuseDecision {
+    /// The `ViewGet` node in the physical plan.
+    pub physical_node: NodeId,
+    /// Precise signature read.
+    pub precise: Sig128,
+    /// Normalized signature matched.
+    pub normalized: Sig128,
+    /// CPU the feedback loop predicts this reuse saves.
+    pub predicted_savings: SimDuration,
+}
+
+/// Optimization statistics (Section 7.3 overheads).
+#[derive(Clone, Debug, Default)]
+pub struct OptimizerReport {
+    /// Wall-clock time spent in `optimize` (real time, not simulated).
+    pub wall_time: std::time::Duration,
+    /// Annotations supplied by the metadata service.
+    pub annotations: usize,
+    /// Subgraphs whose normalized signature matched an annotation.
+    pub normalized_matches: usize,
+    /// Views reused.
+    pub views_reused: usize,
+    /// Views this job will materialize.
+    pub views_materialized: usize,
+    /// Nodes in the logical plan before rewriting.
+    pub logical_nodes: usize,
+    /// Nodes in the physical plan (after rewriting + enforcers).
+    pub physical_nodes: usize,
+}
+
+/// The optimizer's output.
+#[derive(Clone, Debug)]
+pub struct OptimizedPlan {
+    /// The executable physical plan.
+    pub physical: QueryGraph,
+    /// The (possibly view-rewritten) logical plan the physical one lowers.
+    pub logical: QueryGraph,
+    /// Original logical node → physical node, for nodes that survived
+    /// rewriting (feedback-loop stat attribution).
+    pub orig_to_phys: HashMap<NodeId, NodeId>,
+    /// Materialization marks for the job runner.
+    pub materialize: Vec<MaterializeDecision>,
+    /// Views reused.
+    pub reused: Vec<ReuseDecision>,
+    /// Overhead statistics.
+    pub report: OptimizerReport,
+}
+
+/// Optimizes `logical` with the given annotations and metadata service.
+///
+/// `annotations` is the per-job list fetched by the compiler in one metadata
+/// lookup (Figure 9 steps 1/2); it may contain irrelevant entries (the
+/// inverted index over-approximates) — unmatched annotations are ignored,
+/// exactly as the paper describes.
+pub fn optimize(
+    logical: &QueryGraph,
+    annotations: &[Annotation],
+    services: &dyn ViewServices,
+    config: &OptimizerConfig,
+    job: JobId,
+) -> Result<OptimizedPlan> {
+    let start = std::time::Instant::now();
+    logical.validate()?;
+    let infos = enumerate_subgraphs(logical)?;
+    let by_normalized: HashMap<Sig128, &Annotation> =
+        annotations.iter().map(|a| (a.normalized, a)).collect();
+
+    let mut report = OptimizerReport {
+        annotations: annotations.len(),
+        logical_nodes: logical.len(),
+        ..Default::default()
+    };
+
+    // ---- Phase 2: plan search / view reuse (top-down, largest first) ----
+    let mut working = logical.clone();
+    let mut replaced: Vec<bool> = vec![false; logical.len()];
+    let mut reuse_sigs: Vec<(NodeId, Sig128, Sig128, SimDuration)> = Vec::new();
+    if config.enable_reuse {
+        let mut order: Vec<&SubgraphInfo> = infos.iter().collect();
+        order.sort_by(|a, b| b.num_nodes.cmp(&a.num_nodes));
+        for info in order {
+            if replaced[info.root.index()] {
+                continue;
+            }
+            // Never rewrite terminal Output/Write nodes themselves.
+            if matches!(
+                working.node(info.root)?.op,
+                Operator::Output { .. }
+            ) {
+                continue;
+            }
+            let Some(annotation) = by_normalized.get(&info.normalized) else {
+                continue;
+            };
+            report.normalized_matches += 1;
+            let Some(view) = services.view_available(info.precise) else {
+                continue;
+            };
+            // Cost-based acceptance using mined statistics: reading must be
+            // cheaper than recomputing (plus a repartition penalty when the
+            // stored design does not line up with what the consumer needs).
+            if config.cost_based_reuse {
+                let read_cost = view_read_cost(&view);
+                if read_cost >= annotation.avg_cpu {
+                    continue;
+                }
+            }
+            let schema = working.schema_of(info.root)?;
+            let savings = annotation.avg_cpu;
+            working.replace_with_leaf(
+                info.root,
+                Operator::ViewGet { view_sig: view.precise, schema, props: view.props.clone() },
+            )?;
+            // Mark the whole old subtree as gone.
+            for id in logical.subgraph_nodes(info.root)? {
+                if id != info.root {
+                    replaced[id.index()] = true;
+                }
+            }
+            reuse_sigs.push((info.root, view.precise, info.normalized, savings));
+            report.views_reused += 1;
+        }
+    }
+
+    // ---- Phase 3: follow-up optimization / materialization (bottom-up) ----
+    let mut mat_sigs: Vec<(NodeId, Sig128, Sig128, &Annotation)> = Vec::new();
+    if config.enable_materialize {
+        let mut order: Vec<&SubgraphInfo> = infos.iter().collect();
+        order.sort_by_key(|i| i.num_nodes);
+        for info in order {
+            if mat_sigs.len() >= config.max_materialize_per_job {
+                break;
+            }
+            if replaced[info.root.index()] {
+                continue;
+            }
+            // A node we just rewrote into a ViewGet must not be rebuilt.
+            if matches!(working.node(info.root)?.op, Operator::ViewGet { .. }) {
+                continue;
+            }
+            if matches!(working.node(info.root)?.op, Operator::Output { .. }) {
+                continue;
+            }
+            let Some(annotation) = by_normalized.get(&info.normalized) else {
+                continue;
+            };
+            if services.view_available(info.precise).is_some() {
+                continue; // already built; the reuse pass decided about it
+            }
+            // Lock TTL: the mined average runtime of the view subgraph
+            // (Section 6.1 — "we mine the average runtime ... and use that
+            // to set the expiry of the exclusive lock").
+            let lock_ttl = annotation.avg_cpu + SimDuration::from_secs(5);
+            if !services.propose_materialize(info.precise, info.normalized, job, lock_ttl) {
+                continue; // someone else holds the build lock
+            }
+            mat_sigs.push((info.root, info.precise, info.normalized, annotation));
+        }
+        report.views_materialized = mat_sigs.len();
+    }
+
+    let mat_sigs_is_empty = mat_sigs.is_empty();
+
+    // ---- Offline mode: keep only the subgraphs being materialized. ----
+    let mut orig_remap: HashMap<NodeId, NodeId>;
+    if config.offline_mode {
+        if mat_sigs.is_empty() {
+            return Err(ScopeError::Optimizer(
+                "offline mode selected but no views to materialize".into(),
+            ));
+        }
+        let mut pruned = QueryGraph::new();
+        orig_remap = HashMap::new();
+        // Copy only nodes reachable from materialization roots.
+        let mut keep: Vec<bool> = vec![false; working.len()];
+        for (root, ..) in &mat_sigs {
+            for id in working.subgraph_nodes(*root)? {
+                keep[id.index()] = true;
+            }
+        }
+        for node in working.nodes() {
+            if !keep[node.id.index()] {
+                continue;
+            }
+            let children: Vec<NodeId> =
+                node.children.iter().map(|c| orig_remap[c]).collect();
+            let new_id = pruned.add(node.op.clone(), children)?;
+            orig_remap.insert(node.id, new_id);
+        }
+        for (root, ..) in &mat_sigs {
+            pruned.add_root(orig_remap[root])?;
+        }
+        working = pruned;
+    } else {
+        // Rewriting left unreachable nodes behind; compact for execution.
+        orig_remap = working.compact();
+    }
+
+    // ---- Phase 4: lowering (implementation selection + enforcers). ----
+    let (physical, lowered_map) = lower(&working, config)?;
+    // Figure 10's follow-up optimization: when a materialization was added,
+    // the plan (now carrying the extra view output) is re-optimized. The
+    // re-lowering produces the same physical plan here, but it is exactly
+    // the extra compile-time work the paper measures (+28% when creating a
+    // view).
+    let (physical, lowered_map) = if mat_sigs_is_empty {
+        (physical, lowered_map)
+    } else {
+        lower(&working, config)?
+    };
+    report.physical_nodes = physical.len();
+
+    let to_phys = |orig: NodeId| -> Option<NodeId> {
+        orig_remap.get(&orig).and_then(|mid| lowered_map.get(mid)).copied()
+    };
+
+    let mut orig_to_phys = HashMap::new();
+    for node in logical.nodes() {
+        if let Some(p) = to_phys(node.id) {
+            orig_to_phys.insert(node.id, p);
+        }
+    }
+
+    let materialize: Vec<MaterializeDecision> = mat_sigs
+        .into_iter()
+        .filter_map(|(root, precise, normalized, annotation)| {
+            to_phys(root).map(|physical_node| MaterializeDecision {
+                physical_node,
+                precise,
+                normalized,
+                props: annotation.props.clone(),
+                ttl: annotation.ttl,
+            })
+        })
+        .collect();
+    let reused: Vec<ReuseDecision> = reuse_sigs
+        .into_iter()
+        .filter_map(|(root, precise, normalized, predicted_savings)| {
+            to_phys(root).map(|physical_node| ReuseDecision {
+                physical_node,
+                precise,
+                normalized,
+                predicted_savings,
+            })
+        })
+        .collect();
+
+    report.wall_time = start.elapsed();
+    Ok(OptimizedPlan {
+        physical,
+        logical: working,
+        orig_to_phys,
+        materialize,
+        reused,
+        report,
+    })
+}
+
+/// Estimated CPU cost of reading a materialized view (used against the mined
+/// recompute cost in the reuse decision).
+fn view_read_cost(view: &AvailableView) -> SimDuration {
+    let us = view.rows as f64 * 0.2 + view.bytes as f64 / 1024.0 * 2.5;
+    SimDuration::from_micros(us.round() as u64)
+}
+
+/// Lowers a logical plan: selects implementations and inserts enforcers.
+/// Returns the physical graph and the logical→physical node map.
+fn lower(
+    logical: &QueryGraph,
+    config: &OptimizerConfig,
+) -> Result<(QueryGraph, HashMap<NodeId, NodeId>)> {
+    let mut phys = QueryGraph::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut delivered: Vec<PhysicalProps> = Vec::new();
+
+    for node in logical.nodes() {
+        let child_ids: Vec<NodeId> = node.children.iter().map(|c| map[c]).collect();
+        let child_props: Vec<PhysicalProps> =
+            child_ids.iter().map(|c| delivered[c.index()].clone()).collect();
+        let op = select_implementation(&node.op, &child_props);
+        let reqs = op.required_props(child_ids.len(), config.default_dop);
+
+        let mut final_children: Vec<NodeId> = Vec::with_capacity(child_ids.len());
+        for (i, &cid) in child_ids.iter().enumerate() {
+            let req = reqs.get(i).cloned().unwrap_or_else(PhysicalProps::any);
+            let mut cur = cid;
+            // Partitioning enforcer.
+            if !matches!(req.partitioning, Partitioning::Any)
+                && !req.partitioning.satisfied_by(&delivered[cur.index()].partitioning)
+            {
+                let ex = Operator::Exchange { scheme: req.partitioning.clone() };
+                let props = ex.delivered_props(&[delivered[cur.index()].clone()]);
+                cur = phys.add(ex, vec![cur])?;
+                delivered.push(props);
+            }
+            // Sort enforcer (partition-local).
+            if !req.sort.is_none() && !req.sort.satisfied_by(&delivered[cur.index()].sort) {
+                let sort = Operator::Sort { order: req.sort.clone() };
+                let props = sort.delivered_props(&[delivered[cur.index()].clone()]);
+                cur = phys.add(sort, vec![cur])?;
+                delivered.push(props);
+            }
+            final_children.push(cur);
+        }
+
+        let final_props: Vec<PhysicalProps> =
+            final_children.iter().map(|c| delivered[c.index()].clone()).collect();
+        let out_props = op.delivered_props(&final_props);
+        let id = phys.add(op, final_children)?;
+        delivered.push(out_props);
+        map.insert(node.id, id);
+    }
+
+    for &r in logical.roots() {
+        phys.add_root(map[&r])?;
+    }
+    phys.validate()?;
+    Ok((phys, map))
+}
+
+/// Picks cheaper implementations when delivered properties allow them.
+fn select_implementation(op: &Operator, child_props: &[PhysicalProps]) -> Operator {
+    match op {
+        Operator::Aggregate { keys, aggs, .. } if !keys.is_empty() => {
+            let sorted = child_props
+                .first()
+                .map(|p| SortOrder::asc(keys).satisfied_by(&p.sort))
+                .unwrap_or(false);
+            Operator::Aggregate {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                implementation: if sorted { AggImpl::Stream } else { AggImpl::Hash },
+            }
+        }
+        Operator::Join { kind, left_keys, right_keys, implementation } => {
+            if *implementation == JoinImpl::Loops {
+                return op.clone(); // explicitly authored
+            }
+            let l_sorted = child_props
+                .first()
+                .map(|p| SortOrder::asc(left_keys).satisfied_by(&p.sort))
+                .unwrap_or(false);
+            let r_sorted = child_props
+                .get(1)
+                .map(|p| SortOrder::asc(right_keys).satisfied_by(&p.sort))
+                .unwrap_or(false);
+            Operator::Join {
+                kind: *kind,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                implementation: if l_sorted && r_sorted { JoinImpl::Merge } else { JoinImpl::Hash },
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_signature::sign_graph;
+    use scope_common::ids::DatasetId;
+    use scope_plan::expr::AggFunc;
+    use scope_plan::{AggExpr, DataType, Expr, PlanBuilder, Schema};
+
+    fn kv_schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)])
+    }
+
+    fn agg_plan() -> QueryGraph {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t/<date>/x.ss", kv_schema());
+        let f = b.filter(s, Expr::col(1).ge(Expr::lit(0i64)));
+        let a = b.aggregate(f, vec![0], vec![AggExpr::new("c", AggFunc::Count, 1)]);
+        b.output(a, "o").build().unwrap()
+    }
+
+    fn no_views() -> NoViewServices {
+        NoViewServices
+    }
+
+    #[test]
+    fn baseline_lowering_inserts_enforcers() {
+        let g = agg_plan();
+        let plan =
+            optimize(&g, &[], &no_views(), &OptimizerConfig::default(), JobId::new(1)).unwrap();
+        // Aggregate requires hash partitioning; Output requires Single:
+        // expect at least two Exchange enforcers.
+        let exchanges = plan
+            .physical
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Exchange { .. }))
+            .count();
+        assert!(exchanges >= 2, "expected enforcer exchanges, got {exchanges}");
+        assert!(plan.physical.len() > g.len());
+        assert!(plan.report.views_reused == 0 && plan.report.views_materialized == 0);
+        // Every original logical node survives baseline optimization.
+        assert_eq!(plan.orig_to_phys.len(), g.len());
+    }
+
+    #[test]
+    fn stream_agg_selected_when_input_sorted() {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
+        let ex = b.exchange(s, Partitioning::Hash { cols: vec![0], parts: 8 });
+        let sorted = b.sort(ex, SortOrder::asc(&[0]));
+        let a = b.aggregate(sorted, vec![0], vec![AggExpr::new("c", AggFunc::Count, 1)]);
+        let g = b.output(a, "o").build().unwrap();
+        let plan =
+            optimize(&g, &[], &no_views(), &OptimizerConfig::default(), JobId::new(1)).unwrap();
+        let stream_aggs = plan
+            .physical
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.op,
+                    Operator::Aggregate { implementation: AggImpl::Stream, .. }
+                )
+            })
+            .count();
+        assert_eq!(stream_aggs, 1);
+    }
+
+    struct OneView {
+        view: AvailableView,
+        normalized: Sig128,
+        grant_locks: bool,
+    }
+
+    impl ViewServices for OneView {
+        fn view_available(&self, precise: Sig128) -> Option<AvailableView> {
+            (precise == self.view.precise).then(|| self.view.clone())
+        }
+        fn propose_materialize(
+            &self,
+            _p: Sig128,
+            _n: Sig128,
+            _j: JobId,
+            _t: SimDuration,
+        ) -> bool {
+            self.grant_locks
+        }
+    }
+
+    fn annotation_for(g: &QueryGraph, node: NodeId) -> (Annotation, Sig128) {
+        let signed = sign_graph(g).unwrap();
+        (
+            Annotation {
+                normalized: signed.of(node).normalized,
+                props: PhysicalProps::hashed(vec![0], 8),
+                ttl: SimDuration::from_secs(86_400),
+                avg_cpu: SimDuration::from_secs(10),
+                avg_rows: 1_000,
+                avg_bytes: 64_000,
+            },
+            signed.of(node).precise,
+        )
+    }
+
+    #[test]
+    fn reuse_replaces_subgraph_with_viewget() {
+        let g = agg_plan();
+        let agg_node = NodeId::new(2);
+        let (annotation, precise) = annotation_for(&g, agg_node);
+        let services = OneView {
+            view: AvailableView {
+                precise,
+                rows: 100,
+                bytes: 6_400,
+                props: PhysicalProps::hashed(vec![0], 8),
+            },
+            normalized: annotation.normalized,
+            grant_locks: false,
+        };
+        let plan = optimize(
+            &g,
+            &[annotation],
+            &services,
+            &OptimizerConfig::default(),
+            JobId::new(2),
+        )
+        .unwrap();
+        assert_eq!(plan.report.views_reused, 1);
+        assert_eq!(plan.reused.len(), 1);
+        let viewgets = plan
+            .physical
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Operator::ViewGet { .. }))
+            .count();
+        assert_eq!(viewgets, 1);
+        // Scan and filter disappeared from the physical plan.
+        assert!(plan
+            .physical
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n.op, Operator::Get { .. })));
+        // The replaced nodes have no physical image.
+        assert!(!plan.orig_to_phys.contains_key(&NodeId::new(0)));
+        let _ = services.normalized;
+    }
+
+    #[test]
+    fn reuse_declined_when_read_costs_too_much() {
+        let g = agg_plan();
+        let agg_node = NodeId::new(2);
+        let (mut annotation, precise) = annotation_for(&g, agg_node);
+        annotation.avg_cpu = SimDuration::from_micros(10); // recompute is free
+        let services = OneView {
+            view: AvailableView {
+                precise,
+                rows: 10_000_000, // reading is huge
+                bytes: 1 << 32,
+                props: PhysicalProps::any(),
+            },
+            normalized: annotation.normalized,
+            grant_locks: false,
+        };
+        let plan = optimize(
+            &g,
+            &[annotation],
+            &services,
+            &OptimizerConfig::default(),
+            JobId::new(2),
+        )
+        .unwrap();
+        assert_eq!(plan.report.views_reused, 0);
+    }
+
+    #[test]
+    fn materialize_marks_respect_cap_and_locks() {
+        let g = agg_plan();
+        let signed = sign_graph(&g).unwrap();
+        // Annotate both the filter and the aggregate.
+        let mk = |node: NodeId| Annotation {
+            normalized: signed.of(node).normalized,
+            props: PhysicalProps::any(),
+            ttl: SimDuration::from_secs(3600),
+            avg_cpu: SimDuration::from_secs(5),
+            avg_rows: 10,
+            avg_bytes: 100,
+        };
+        let annotations = vec![mk(NodeId::new(1)), mk(NodeId::new(2))];
+        let services = OneView {
+            view: AvailableView {
+                precise: Sig128::ZERO,
+                rows: 0,
+                bytes: 0,
+                props: PhysicalProps::any(),
+            },
+            normalized: Sig128::ZERO,
+            grant_locks: true,
+        };
+        // Cap 1: bottom-up order materializes the smaller (filter) subgraph.
+        let plan = optimize(
+            &g,
+            &annotations,
+            &services,
+            &OptimizerConfig { max_materialize_per_job: 1, ..Default::default() },
+            JobId::new(3),
+        )
+        .unwrap();
+        assert_eq!(plan.materialize.len(), 1);
+        // Cap 2 with locks granted: both.
+        let plan = optimize(
+            &g,
+            &annotations,
+            &services,
+            &OptimizerConfig { max_materialize_per_job: 4, ..Default::default() },
+            JobId::new(3),
+        )
+        .unwrap();
+        assert_eq!(plan.materialize.len(), 2);
+        // Locks denied: none.
+        let services = OneView { grant_locks: false, ..services };
+        let plan = optimize(
+            &g,
+            &annotations,
+            &services,
+            &OptimizerConfig::default(),
+            JobId::new(3),
+        )
+        .unwrap();
+        assert_eq!(plan.materialize.len(), 0);
+    }
+
+    #[test]
+    fn offline_mode_keeps_only_view_subgraph() {
+        let g = agg_plan();
+        let signed = sign_graph(&g).unwrap();
+        let annotations = vec![Annotation {
+            normalized: signed.of(NodeId::new(1)).normalized, // the filter
+            props: PhysicalProps::any(),
+            ttl: SimDuration::from_secs(3600),
+            avg_cpu: SimDuration::from_secs(5),
+            avg_rows: 10,
+            avg_bytes: 100,
+        }];
+        let services = OneView {
+            view: AvailableView {
+                precise: Sig128::ZERO,
+                rows: 0,
+                bytes: 0,
+                props: PhysicalProps::any(),
+            },
+            normalized: Sig128::ZERO,
+            grant_locks: true,
+        };
+        let plan = optimize(
+            &g,
+            &annotations,
+            &services,
+            &OptimizerConfig { offline_mode: true, ..Default::default() },
+            JobId::new(4),
+        )
+        .unwrap();
+        // Plan contains scan + filter only (plus enforcers, none needed).
+        assert_eq!(plan.materialize.len(), 1);
+        assert!(plan
+            .physical
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n.op, Operator::Aggregate { .. } | Operator::Output { .. })));
+        // Offline with nothing to build is an error.
+        let err = optimize(
+            &g,
+            &[],
+            &services,
+            &OptimizerConfig { offline_mode: true, ..Default::default() },
+            JobId::new(4),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "optimizer");
+    }
+
+    #[test]
+    fn matching_view_design_avoids_enforcer() {
+        // View stored hash[0]x8 feeding an aggregate on key 0 with dop 8:
+        // no exchange needed between ViewGet and Aggregate.
+        let g = agg_plan();
+        let agg_node = NodeId::new(2);
+        // Build a plan where the *filter* subgraph is replaced, so the
+        // aggregate consumes the ViewGet directly.
+        let signed = sign_graph(&g).unwrap();
+        let filter_sig = signed.of(NodeId::new(1));
+        let annotation = Annotation {
+            normalized: filter_sig.normalized,
+            props: PhysicalProps::hashed(vec![0], 8),
+            ttl: SimDuration::from_secs(3600),
+            avg_cpu: SimDuration::from_secs(100),
+            avg_rows: 10,
+            avg_bytes: 100,
+        };
+        let good = OneView {
+            view: AvailableView {
+                precise: filter_sig.precise,
+                rows: 10,
+                bytes: 100,
+                props: PhysicalProps::hashed(vec![0], 8),
+            },
+            normalized: annotation.normalized,
+            grant_locks: false,
+        };
+        let plan_good = optimize(
+            &g,
+            std::slice::from_ref(&annotation),
+            &good,
+            &OptimizerConfig::default(),
+            JobId::new(5),
+        )
+        .unwrap();
+        let bad = OneView {
+            view: AvailableView {
+                precise: filter_sig.precise,
+                rows: 10,
+                bytes: 100,
+                props: PhysicalProps::any(), // poor physical design
+            },
+            normalized: annotation.normalized,
+            grant_locks: false,
+        };
+        let plan_bad = optimize(
+            &g,
+            std::slice::from_ref(&annotation),
+            &bad,
+            &OptimizerConfig::default(),
+            JobId::new(5),
+        )
+        .unwrap();
+        let count_ex = |p: &OptimizedPlan| {
+            p.physical
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.op, Operator::Exchange { .. }))
+                .count()
+        };
+        assert!(
+            count_ex(&plan_bad) > count_ex(&plan_good),
+            "mismatched view design must force extra repartitioning"
+        );
+        let _ = agg_node;
+    }
+
+    #[test]
+    fn reuse_disabled_by_config() {
+        let g = agg_plan();
+        let agg_node = NodeId::new(2);
+        let (annotation, precise) = annotation_for(&g, agg_node);
+        let services = OneView {
+            view: AvailableView {
+                precise,
+                rows: 1,
+                bytes: 10,
+                props: PhysicalProps::any(),
+            },
+            normalized: annotation.normalized,
+            grant_locks: true,
+        };
+        let plan = optimize(
+            &g,
+            &[annotation],
+            &services,
+            &OptimizerConfig { enable_reuse: false, enable_materialize: false, ..Default::default() },
+            JobId::new(6),
+        )
+        .unwrap();
+        assert_eq!(plan.report.views_reused, 0);
+        assert_eq!(plan.report.views_materialized, 0);
+    }
+}

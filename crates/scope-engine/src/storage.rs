@@ -1,0 +1,281 @@
+//! The storage manager: base datasets and the materialized-view store.
+//!
+//! Views are stored keyed by their **precise** signature — the paper encodes
+//! the precise signature (and producing job id) into the physical file path
+//! of the materialized view, and so do we ([`ViewFile::physical_path`]).
+//! Each view carries an expiry; the storage manager "takes care of purging
+//! the file once it expires" (Section 5.4).
+//!
+//! Thread-safe: concurrent jobs read datasets and publish views in parallel
+//! in the synchronization experiments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use scope_common::hash::Sig128;
+use scope_common::ids::{DatasetId, JobId};
+use scope_common::time::SimTime;
+use scope_common::{Result, ScopeError};
+use scope_plan::PhysicalProps;
+
+use crate::data::Table;
+
+/// Metadata of one materialized view file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewMeta {
+    /// Precise signature of the computation this file materializes.
+    pub precise: Sig128,
+    /// Normalized signature of the same computation (provenance/debugging).
+    pub normalized: Sig128,
+    /// Job that produced the file (view provenance, paper requirement 6).
+    pub producer: JobId,
+    /// Simulated creation time.
+    pub created_at: SimTime,
+    /// Simulated expiry; the file is purged and never served past this.
+    pub expires_at: SimTime,
+    /// Stored rows.
+    pub rows: u64,
+    /// Stored bytes.
+    pub bytes: u64,
+}
+
+/// A stored materialized view: data plus metadata.
+#[derive(Clone, Debug)]
+pub struct ViewFile {
+    /// The stored rows, in the stored physical design.
+    pub table: Arc<Table>,
+    /// Physical design the data satisfies.
+    pub props: PhysicalProps,
+    /// File metadata.
+    pub meta: ViewMeta,
+}
+
+impl ViewFile {
+    /// The simulated physical path; mirrors the paper's
+    /// `D:\viewPath.ss`-style annotation with the precise signature and the
+    /// producing job id embedded for provenance.
+    pub fn physical_path(&self) -> String {
+        format!("/views/{}/{}.ss", self.meta.precise, self.meta.producer)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    datasets: HashMap<DatasetId, Arc<Table>>,
+    views: HashMap<Sig128, ViewFile>,
+}
+
+/// Thread-safe catalog of base datasets and materialized views.
+#[derive(Default)]
+pub struct StorageManager {
+    inner: RwLock<Inner>,
+}
+
+impl StorageManager {
+    /// An empty storage manager.
+    pub fn new() -> Self {
+        StorageManager::default()
+    }
+
+    /// Registers (or replaces) a base dataset.
+    pub fn put_dataset(&self, id: DatasetId, table: Table) {
+        self.inner.write().datasets.insert(id, Arc::new(table));
+    }
+
+    /// Fetches a base dataset.
+    pub fn dataset(&self, id: DatasetId) -> Result<Arc<Table>> {
+        self.inner
+            .read()
+            .datasets
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| ScopeError::Storage(format!("unknown dataset {id}")))
+    }
+
+    /// Row count of a dataset, if registered (the optimizer's statistics
+    /// oracle for base tables).
+    pub fn dataset_rows(&self, id: DatasetId) -> Option<u64> {
+        self.inner.read().datasets.get(&id).map(|t| t.num_rows() as u64)
+    }
+
+    /// Number of registered datasets.
+    pub fn num_datasets(&self) -> usize {
+        self.inner.read().datasets.len()
+    }
+
+    /// Publishes a materialized view. Publishing an already-present precise
+    /// signature is idempotent (the second writer lost the build race and
+    /// its file is discarded — first-writer-wins keeps provenance stable).
+    pub fn publish_view(&self, file: ViewFile) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner.views.entry(file.meta.precise).or_insert(file);
+        Ok(())
+    }
+
+    /// Looks up a view by precise signature, refusing expired files.
+    pub fn view(&self, precise: Sig128, now: SimTime) -> Option<ViewFile> {
+        let inner = self.inner.read();
+        inner.views.get(&precise).filter(|v| v.meta.expires_at > now).cloned()
+    }
+
+    /// True when a non-expired view exists for `precise`.
+    pub fn view_exists(&self, precise: Sig128, now: SimTime) -> bool {
+        self.view(precise, now).is_some()
+    }
+
+    /// Removes expired view files; returns the reclaimed bytes.
+    pub fn purge_expired(&self, now: SimTime) -> u64 {
+        let mut inner = self.inner.write();
+        let mut reclaimed = 0;
+        inner.views.retain(|_, v| {
+            if v.meta.expires_at <= now {
+                reclaimed += v.meta.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        reclaimed
+    }
+
+    /// Deletes a specific view (admin space reclamation, Section 5.4);
+    /// returns the reclaimed bytes.
+    pub fn delete_view(&self, precise: Sig128) -> Option<u64> {
+        self.inner.write().views.remove(&precise).map(|v| v.meta.bytes)
+    }
+
+    /// Total bytes currently held by materialized views.
+    pub fn total_view_bytes(&self) -> u64 {
+        self.inner.read().views.values().map(|v| v.meta.bytes).sum()
+    }
+
+    /// Number of stored views.
+    pub fn num_views(&self) -> usize {
+        self.inner.read().views.len()
+    }
+
+    /// Metadata of all stored views (reporting).
+    pub fn view_metas(&self) -> Vec<ViewMeta> {
+        self.inner.read().views.values().map(|v| v.meta.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_common::sip128;
+    use scope_common::time::SimDuration;
+    use scope_plan::{DataType, Schema, Value};
+
+    fn tiny_table() -> Table {
+        Table::single(
+            Schema::from_pairs(&[("a", DataType::Int)]),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+    }
+
+    fn view(sig: &[u8], expires: SimTime) -> ViewFile {
+        ViewFile {
+            table: Arc::new(tiny_table()),
+            props: PhysicalProps::single(),
+            meta: ViewMeta {
+                precise: sip128(sig),
+                normalized: sip128(b"norm"),
+                producer: JobId::new(1),
+                created_at: SimTime::ZERO,
+                expires_at: expires,
+                rows: 2,
+                bytes: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let s = StorageManager::new();
+        s.put_dataset(DatasetId::new(1), tiny_table());
+        assert_eq!(s.dataset(DatasetId::new(1)).unwrap().num_rows(), 2);
+        assert_eq!(s.dataset_rows(DatasetId::new(1)), Some(2));
+        assert!(s.dataset(DatasetId::new(9)).is_err());
+        assert_eq!(s.num_datasets(), 1);
+    }
+
+    #[test]
+    fn view_publish_and_lookup() {
+        let s = StorageManager::new();
+        let v = view(b"v1", SimTime(1_000_000));
+        let sig = v.meta.precise;
+        s.publish_view(v).unwrap();
+        assert!(s.view_exists(sig, SimTime::ZERO));
+        assert_eq!(s.view(sig, SimTime::ZERO).unwrap().meta.rows, 2);
+        // Expired view is not served.
+        assert!(!s.view_exists(sig, SimTime(1_000_000)));
+    }
+
+    #[test]
+    fn publish_is_first_writer_wins() {
+        let s = StorageManager::new();
+        let mut v1 = view(b"v", SimTime::MAX);
+        v1.meta.producer = JobId::new(1);
+        let mut v2 = view(b"v", SimTime::MAX);
+        v2.meta.producer = JobId::new(2);
+        s.publish_view(v1).unwrap();
+        s.publish_view(v2).unwrap();
+        assert_eq!(s.num_views(), 1);
+        assert_eq!(
+            s.view(sip128(b"v"), SimTime::ZERO).unwrap().meta.producer,
+            JobId::new(1)
+        );
+    }
+
+    #[test]
+    fn purge_reclaims_only_expired() {
+        let s = StorageManager::new();
+        s.publish_view(view(b"old", SimTime(10))).unwrap();
+        s.publish_view(view(b"new", SimTime(1_000))).unwrap();
+        assert_eq!(s.total_view_bytes(), 200);
+        let reclaimed = s.purge_expired(SimTime(10) + SimDuration::from_micros(1));
+        assert_eq!(reclaimed, 100);
+        assert_eq!(s.num_views(), 1);
+        assert_eq!(s.total_view_bytes(), 100);
+    }
+
+    #[test]
+    fn delete_view_reclaims() {
+        let s = StorageManager::new();
+        s.publish_view(view(b"x", SimTime::MAX)).unwrap();
+        assert_eq!(s.delete_view(sip128(b"x")), Some(100));
+        assert_eq!(s.delete_view(sip128(b"x")), None);
+        assert_eq!(s.num_views(), 0);
+    }
+
+    #[test]
+    fn physical_path_embeds_provenance() {
+        let v = view(b"p", SimTime::MAX);
+        let path = v.physical_path();
+        assert!(path.contains(&v.meta.precise.to_string()));
+        assert!(path.contains("job1"));
+        assert!(path.ends_with(".ss"));
+    }
+
+    #[test]
+    fn concurrent_publish_and_read() {
+        use std::sync::Arc as StdArc;
+        let s = StdArc::new(StorageManager::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let s = StdArc::clone(&s);
+                std::thread::spawn(move || {
+                    let v = view(format!("v{i}").as_bytes(), SimTime::MAX);
+                    s.publish_view(v).unwrap();
+                    s.total_view_bytes()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.num_views(), 8);
+    }
+}

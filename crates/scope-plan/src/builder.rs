@@ -1,0 +1,320 @@
+//! Fluent plan construction.
+//!
+//! The workload generator and the TPC-DS translation build thousands of
+//! plans; [`PlanBuilder`] keeps that readable:
+//!
+//! ```
+//! use scope_plan::{PlanBuilder, Expr, DataType, Schema, AggExpr, AggFunc};
+//! use scope_common::ids::DatasetId;
+//!
+//! let mut b = PlanBuilder::new();
+//! let scan = b.table_scan(
+//!     DatasetId::new(7),
+//!     "clicks/<date>/log.ss",
+//!     Schema::from_pairs(&[("user", DataType::Int), ("lat", DataType::Float)]),
+//! );
+//! let filtered = b.filter(scan, Expr::col(1).gt(Expr::lit(0.0)));
+//! let agg = b.aggregate(filtered, vec![0], vec![AggExpr::new("n", AggFunc::Count, 0)]);
+//! let graph = b.output(agg, "out/summary.ss").build().unwrap();
+//! assert_eq!(graph.roots().len(), 1);
+//! ```
+
+use scope_common::ids::{DatasetId, NodeId};
+use scope_common::Result;
+
+use crate::expr::{AggExpr, Expr, NamedExpr};
+use crate::graph::QueryGraph;
+use crate::op::{AggImpl, JoinImpl, JoinKind, Operator, ScanKind, WindowFunc};
+use crate::props::{Partitioning, SortOrder};
+use crate::schema::Schema;
+use crate::udo::Udo;
+
+/// Incrementally assembles a [`QueryGraph`].
+///
+/// All node-adding methods panic on plan-construction errors (wrong arity,
+/// unknown children) — builders are used with static shapes where these are
+/// programming errors; [`PlanBuilder::build`] still runs full validation and
+/// returns `Result` for everything data-dependent (schemas).
+#[derive(Default, Debug)]
+pub struct PlanBuilder {
+    graph: QueryGraph,
+    roots: Vec<NodeId>,
+}
+
+impl PlanBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        PlanBuilder::default()
+    }
+
+    fn push(&mut self, op: Operator, children: Vec<NodeId>) -> NodeId {
+        self.graph.add(op, children).expect("builder misuse")
+    }
+
+    /// Plain table scan.
+    pub fn table_scan(
+        &mut self,
+        dataset: DatasetId,
+        template_name: impl Into<String>,
+        schema: Schema,
+    ) -> NodeId {
+        self.push(
+            Operator::Get {
+                dataset,
+                template_name: template_name.into(),
+                schema,
+                kind: ScanKind::Table,
+                predicate: None,
+                extractor: None,
+            },
+            vec![],
+        )
+    }
+
+    /// Range-restricted scan (predicate pushed into the scan).
+    pub fn range_scan(
+        &mut self,
+        dataset: DatasetId,
+        template_name: impl Into<String>,
+        schema: Schema,
+        predicate: Expr,
+    ) -> NodeId {
+        self.push(
+            Operator::Get {
+                dataset,
+                template_name: template_name.into(),
+                schema,
+                kind: ScanKind::Range,
+                predicate: Some(predicate),
+                extractor: None,
+            },
+            vec![],
+        )
+    }
+
+    /// Extractor scan through user code.
+    pub fn extract(
+        &mut self,
+        dataset: DatasetId,
+        template_name: impl Into<String>,
+        schema: Schema,
+        extractor: Udo,
+    ) -> NodeId {
+        self.push(
+            Operator::Get {
+                dataset,
+                template_name: template_name.into(),
+                schema,
+                kind: ScanKind::Extract,
+                predicate: None,
+                extractor: Some(extractor),
+            },
+            vec![],
+        )
+    }
+
+    /// Row filter.
+    pub fn filter(&mut self, input: NodeId, predicate: Expr) -> NodeId {
+        self.push(Operator::Filter { predicate }, vec![input])
+    }
+
+    /// Projection with computed columns.
+    pub fn project(&mut self, input: NodeId, exprs: Vec<NamedExpr>) -> NodeId {
+        self.push(Operator::Project { exprs }, vec![input])
+    }
+
+    /// Column remap (select + rename).
+    pub fn remap(&mut self, input: NodeId, cols: Vec<usize>, names: Vec<String>) -> NodeId {
+        self.push(Operator::Remap { cols, names }, vec![input])
+    }
+
+    /// Sort.
+    pub fn sort(&mut self, input: NodeId, order: SortOrder) -> NodeId {
+        self.push(Operator::Sort { order }, vec![input])
+    }
+
+    /// Explicit exchange (the optimizer also inserts these as enforcers).
+    pub fn exchange(&mut self, input: NodeId, scheme: Partitioning) -> NodeId {
+        self.push(Operator::Exchange { scheme }, vec![input])
+    }
+
+    /// Group-by aggregate (implementation defaults to hash; the optimizer
+    /// may switch to stream when the input is already sorted).
+    pub fn aggregate(&mut self, input: NodeId, keys: Vec<usize>, aggs: Vec<AggExpr>) -> NodeId {
+        self.push(
+            Operator::Aggregate { keys, aggs, implementation: AggImpl::Hash },
+            vec![input],
+        )
+    }
+
+    /// Top-N by order.
+    pub fn top(&mut self, input: NodeId, n: usize, order: SortOrder) -> NodeId {
+        self.push(Operator::Top { n, order }, vec![input])
+    }
+
+    /// Window function.
+    pub fn window(
+        &mut self,
+        input: NodeId,
+        func: WindowFunc,
+        partition: Vec<usize>,
+        order: SortOrder,
+    ) -> NodeId {
+        self.push(Operator::Window { func, partition, order }, vec![input])
+    }
+
+    /// User-defined processor.
+    pub fn process(&mut self, input: NodeId, udo: Udo) -> NodeId {
+        self.push(Operator::Process { udo }, vec![input])
+    }
+
+    /// User-defined reducer on grouping keys.
+    pub fn reduce(&mut self, input: NodeId, udo: Udo, keys: Vec<usize>) -> NodeId {
+        self.push(Operator::Reduce { udo, keys }, vec![input])
+    }
+
+    /// Per-group apply.
+    pub fn gb_apply(&mut self, input: NodeId, udo: Udo, keys: Vec<usize>) -> NodeId {
+        self.push(Operator::GbApply { udo, keys }, vec![input])
+    }
+
+    /// Intra-job sharing point.
+    pub fn spool(&mut self, input: NodeId) -> NodeId {
+        self.push(Operator::Spool, vec![input])
+    }
+
+    /// No-op pass-through.
+    pub fn nop(&mut self, input: NodeId) -> NodeId {
+        self.push(Operator::Nop, vec![input])
+    }
+
+    /// Equality join (implementation defaults to hash).
+    pub fn join(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        kind: JoinKind,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    ) -> NodeId {
+        self.push(
+            Operator::Join { kind, implementation: JoinImpl::Hash, left_keys, right_keys },
+            vec![left, right],
+        )
+    }
+
+    /// Bag union.
+    pub fn union_all(&mut self, inputs: Vec<NodeId>) -> NodeId {
+        self.push(Operator::UnionAll, inputs)
+    }
+
+    /// User-defined binary combiner.
+    pub fn combine(&mut self, left: NodeId, right: NodeId, udo: Udo) -> NodeId {
+        self.push(Operator::Combine { udo }, vec![left, right])
+    }
+
+    /// Statement sequence.
+    pub fn sequence(&mut self, inputs: Vec<NodeId>) -> NodeId {
+        self.push(Operator::Sequence, inputs)
+    }
+
+    /// Terminal output; automatically registered as a root. Returns `self`
+    /// for chaining multiple outputs.
+    pub fn output(&mut self, input: NodeId, name: impl Into<String>) -> &mut Self {
+        let id = self.push(Operator::Output { name: name.into(), stored: false }, vec![input]);
+        self.roots.push(id);
+        self
+    }
+
+    /// Terminal stored-stream write; automatically registered as a root.
+    pub fn write(&mut self, input: NodeId, name: impl Into<String>) -> &mut Self {
+        let id = self.push(Operator::Output { name: name.into(), stored: true }, vec![input]);
+        self.roots.push(id);
+        self
+    }
+
+    /// Finalizes and validates the graph.
+    pub fn build(&mut self) -> Result<QueryGraph> {
+        let mut g = std::mem::take(&mut self.graph);
+        for r in self.roots.drain(..) {
+            g.add_root(r)?;
+        }
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggFunc;
+    use crate::types::DataType;
+
+    fn clicks_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("user", DataType::Int),
+            ("url", DataType::Str),
+            ("lat", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn multi_output_job() {
+        let mut b = PlanBuilder::new();
+        let scan = b.table_scan(DatasetId::new(1), "clicks", clicks_schema());
+        let spool = b.spool(scan);
+        let slow = b.filter(spool, Expr::col(2).gt(Expr::lit(1.0)));
+        let agg = b.aggregate(spool, vec![0], vec![AggExpr::new("n", AggFunc::Count, 0)]);
+        b.output(slow, "slow.ss");
+        b.write(agg, "per_user.ss");
+        let g = b.build().unwrap();
+        assert_eq!(g.roots().len(), 2);
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn join_pipeline() {
+        let mut b = PlanBuilder::new();
+        let l = b.table_scan(DatasetId::new(1), "l", clicks_schema());
+        let r = b.table_scan(DatasetId::new(2), "r", clicks_schema());
+        let j = b.join(l, r, JoinKind::Inner, vec![0], vec![0]);
+        let t = b.top(j, 10, SortOrder::asc(&[2]));
+        b.output(t, "top.ss");
+        let g = b.build().unwrap();
+        assert_eq!(g.schema_of(j).unwrap().len(), 6);
+        assert_eq!(g.roots().len(), 1);
+    }
+
+    #[test]
+    fn build_rejects_bad_schema() {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t", clicks_schema());
+        // Filter referencing a missing column passes `add` (structure ok)
+        // but fails validation in build().
+        let f = b.filter(s, Expr::col(42).gt(Expr::lit(1i64)));
+        b.output(f, "o");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "builder misuse")]
+    fn builder_panics_on_bad_arity() {
+        let mut b = PlanBuilder::new();
+        b.union_all(vec![]); // UnionAll needs at least one input
+    }
+
+    #[test]
+    fn doc_example_compiles() {
+        // Mirrors the doc example to keep it honest.
+        let mut b = PlanBuilder::new();
+        let scan = b.table_scan(
+            DatasetId::new(7),
+            "clicks/<date>/log.ss",
+            Schema::from_pairs(&[("user", DataType::Int), ("lat", DataType::Float)]),
+        );
+        let f = b.filter(scan, Expr::col(1).gt(Expr::lit(0.0)));
+        let agg = b.aggregate(f, vec![0], vec![AggExpr::new("n", AggFunc::Count, 0)]);
+        let graph = b.output(agg, "out/summary.ss").build().unwrap();
+        assert_eq!(graph.roots().len(), 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! The query-plan DAG.
+//!
+//! SCOPE jobs are DAGs, not trees: a `Spool` node (or simply a shared scan)
+//! can be consumed by several parents, and a job can have multiple `Output`
+//! statements (the paper's Section 8 "reusing existing outputs" lesson
+//! depends on per-output subgraphs). [`QueryGraph`] is an arena of
+//! [`PlanNode`]s with child edges by [`NodeId`]; roots are the sink nodes.
+
+use std::collections::HashMap;
+
+use scope_common::ids::NodeId;
+use scope_common::{Result, ScopeError};
+
+use crate::op::Operator;
+use crate::schema::Schema;
+
+/// One node of the plan DAG.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlanNode {
+    /// This node's id (its index in the arena).
+    pub id: NodeId,
+    /// The operator.
+    pub op: Operator,
+    /// Children in operator-defined order (e.g. join left then right).
+    pub children: Vec<NodeId>,
+}
+
+/// A query plan DAG.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QueryGraph {
+    nodes: Vec<PlanNode>,
+    roots: Vec<NodeId>,
+}
+
+impl QueryGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        QueryGraph::default()
+    }
+
+    /// Adds a node and returns its id. Children must already exist.
+    pub fn add(&mut self, op: Operator, children: Vec<NodeId>) -> Result<NodeId> {
+        let (min, max) = op.arity();
+        if children.len() < min || children.len() > max {
+            return Err(ScopeError::InvalidPlan(format!(
+                "{} expects {min}..{} children, got {}",
+                op.kind(),
+                if max == usize::MAX { "*".into() } else { max.to_string() },
+                children.len()
+            )));
+        }
+        for &c in &children {
+            if c.index() >= self.nodes.len() {
+                return Err(ScopeError::InvalidPlan(format!(
+                    "child {c} does not exist (graph has {} nodes)",
+                    self.nodes.len()
+                )));
+            }
+        }
+        let id = NodeId::new(self.nodes.len() as u64);
+        self.nodes.push(PlanNode { id, op, children });
+        Ok(id)
+    }
+
+    /// Marks a node as a root (a sink of the job). Typically `Output` nodes.
+    pub fn add_root(&mut self, id: NodeId) -> Result<()> {
+        if id.index() >= self.nodes.len() {
+            return Err(ScopeError::InvalidPlan(format!("root {id} does not exist")));
+        }
+        if !self.roots.contains(&id) {
+            self.roots.push(id);
+        }
+        Ok(())
+    }
+
+    /// All nodes in insertion order (which is a valid bottom-up topological
+    /// order, because children must exist before parents).
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root (sink) node ids.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> Result<&PlanNode> {
+        self.nodes
+            .get(id.index())
+            .ok_or_else(|| ScopeError::InvalidPlan(format!("unknown node {id}")))
+    }
+
+    /// Mutable access to a node's operator (used by the optimizer's
+    /// rewriting steps).
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut PlanNode> {
+        self.nodes
+            .get_mut(id.index())
+            .ok_or_else(|| ScopeError::InvalidPlan(format!("unknown node {id}")))
+    }
+
+    /// Parent map: for each node, the list of nodes that consume it.
+    pub fn parents(&self) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut map: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for n in &self.nodes {
+            for &c in &n.children {
+                map.entry(c).or_default().push(n.id);
+            }
+        }
+        map
+    }
+
+    /// Derives the output schema of every node, bottom-up. Fails on the
+    /// first schema error, naming the offending node.
+    pub fn schemas(&self) -> Result<Vec<Schema>> {
+        let mut out: Vec<Schema> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let inputs: Vec<Schema> =
+                n.children.iter().map(|c| out[c.index()].clone()).collect();
+            let s = n.op.output_schema(&inputs).map_err(|e| {
+                ScopeError::InvalidPlan(format!("node {} ({}): {e}", n.id, n.op.describe()))
+            })?;
+            out.push(s);
+        }
+        Ok(out)
+    }
+
+    /// The output schema of one node.
+    pub fn schema_of(&self, id: NodeId) -> Result<Schema> {
+        // Compute only the ancestors-of-id subset? Simpler and still O(n):
+        // full bottom-up pass (plans are small).
+        let schemas = self.schemas()?;
+        schemas
+            .get(id.index())
+            .cloned()
+            .ok_or_else(|| ScopeError::InvalidPlan(format!("unknown node {id}")))
+    }
+
+    /// Validates the whole graph: child ordering (DAG by construction),
+    /// arity, schemas, and that every root exists. Returns the schemas as a
+    /// by-product.
+    pub fn validate(&self) -> Result<Vec<Schema>> {
+        if self.roots.is_empty() && !self.nodes.is_empty() {
+            return Err(ScopeError::InvalidPlan("graph has no roots".into()));
+        }
+        for n in &self.nodes {
+            for &c in &n.children {
+                if c.index() >= n.id.index() {
+                    return Err(ScopeError::InvalidPlan(format!(
+                        "node {} has forward edge to {c} (not a DAG ordering)",
+                        n.id
+                    )));
+                }
+            }
+        }
+        self.schemas()
+    }
+
+    /// The ids of all nodes in the subgraph rooted at `root` (including
+    /// `root`), in bottom-up topological order.
+    pub fn subgraph_nodes(&self, root: NodeId) -> Result<Vec<NodeId>> {
+        self.node(root)?;
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            stack.extend(self.nodes[id.index()].children.iter().copied());
+        }
+        Ok((0..self.nodes.len())
+            .filter(|i| seen[*i])
+            .map(|i| NodeId::new(i as u64))
+            .collect())
+    }
+
+    /// Extracts the subgraph rooted at `root` as a standalone graph whose
+    /// single root is the copied `root` node. Node ids are remapped.
+    pub fn extract_subgraph(&self, root: NodeId) -> Result<QueryGraph> {
+        let ids = self.subgraph_nodes(root)?;
+        let mut remap: HashMap<NodeId, NodeId> = HashMap::with_capacity(ids.len());
+        let mut g = QueryGraph::new();
+        for old in &ids {
+            let n = &self.nodes[old.index()];
+            let children: Vec<NodeId> =
+                n.children.iter().map(|c| remap[c]).collect();
+            let new_id = g.add(n.op.clone(), children)?;
+            remap.insert(*old, new_id);
+        }
+        g.add_root(remap[&root])?;
+        Ok(g)
+    }
+
+    /// Replaces the subgraph rooted at `root` with a single new operator
+    /// (used to swap a computed subgraph for a `ViewGet`). The old nodes
+    /// become unreachable; they are *not* removed (ids stay stable), but
+    /// [`QueryGraph::compact`] can garbage-collect them.
+    pub fn replace_with_leaf(&mut self, root: NodeId, op: Operator) -> Result<()> {
+        let (min, _) = op.arity();
+        if min != 0 {
+            return Err(ScopeError::InvalidPlan(
+                "replace_with_leaf needs a leaf operator".into(),
+            ));
+        }
+        let node = self.node_mut(root)?;
+        node.op = op;
+        node.children.clear();
+        Ok(())
+    }
+
+    /// Rebuilds the graph keeping only nodes reachable from the roots.
+    /// Returns the id remapping (old → new).
+    pub fn compact(&mut self) -> HashMap<NodeId, NodeId> {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.roots.clone();
+        while let Some(id) = stack.pop() {
+            if reachable[id.index()] {
+                continue;
+            }
+            reachable[id.index()] = true;
+            stack.extend(self.nodes[id.index()].children.iter().copied());
+        }
+        let mut remap = HashMap::new();
+        let mut nodes = Vec::new();
+        for (i, keep) in reachable.iter().enumerate() {
+            if *keep {
+                let old = &self.nodes[i];
+                let new_id = NodeId::new(nodes.len() as u64);
+                let children = old.children.iter().map(|c| remap[c]).collect();
+                nodes.push(PlanNode { id: new_id, op: old.op.clone(), children });
+                remap.insert(NodeId::new(i as u64), new_id);
+            }
+        }
+        self.nodes = nodes;
+        self.roots = self.roots.iter().map(|r| remap[r]).collect();
+        remap
+    }
+
+    /// Pretty-prints the DAG as an indented tree per root (shared nodes
+    /// printed once per reference, tagged with their id).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for &r in &self.roots {
+            self.explain_rec(r, 0, &mut out);
+        }
+        out
+    }
+
+    fn explain_rec(&self, id: NodeId, depth: usize, out: &mut String) {
+        let n = &self.nodes[id.index()];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("{} {}\n", n.id, n.op.describe()));
+        for &c in &n.children {
+            self.explain_rec(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::op::ScanKind;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+    use scope_common::ids::DatasetId;
+
+    fn scan(name: &str) -> Operator {
+        Operator::Get {
+            dataset: DatasetId::new(1),
+            template_name: name.into(),
+            schema: Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]),
+            kind: ScanKind::Table,
+            predicate: None,
+            extractor: None,
+        }
+    }
+
+    fn simple_graph() -> (QueryGraph, NodeId, NodeId, NodeId) {
+        let mut g = QueryGraph::new();
+        let s = g.add(scan("t"), vec![]).unwrap();
+        let f = g
+            .add(Operator::Filter { predicate: Expr::col(0).gt(Expr::lit(0i64)) }, vec![s])
+            .unwrap();
+        let o = g
+            .add(Operator::Output { name: "out.ss".into(), stored: false }, vec![f])
+            .unwrap();
+        g.add_root(o).unwrap();
+        (g, s, f, o)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (g, s, f, o) = simple_graph();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.roots(), &[o]);
+        let schemas = g.validate().unwrap();
+        assert_eq!(schemas[s.index()].len(), 2);
+        assert_eq!(schemas[f.index()].len(), 2);
+    }
+
+    #[test]
+    fn arity_enforced_on_add() {
+        let mut g = QueryGraph::new();
+        let s = g.add(scan("t"), vec![]).unwrap();
+        // Filter with zero children rejected.
+        assert!(g
+            .add(Operator::Filter { predicate: Expr::lit(true) }, vec![])
+            .is_err());
+        // Scan with a child rejected.
+        assert!(g.add(scan("u"), vec![s]).is_err());
+        // Nonexistent child rejected.
+        assert!(g
+            .add(Operator::Nop, vec![NodeId::new(99)])
+            .is_err());
+    }
+
+    #[test]
+    fn shared_subgraph_parents() {
+        let mut g = QueryGraph::new();
+        let s = g.add(scan("t"), vec![]).unwrap();
+        let spool = g.add(Operator::Spool, vec![s]).unwrap();
+        let f1 = g
+            .add(Operator::Filter { predicate: Expr::col(0).gt(Expr::lit(0i64)) }, vec![spool])
+            .unwrap();
+        let f2 = g
+            .add(Operator::Filter { predicate: Expr::col(0).lt(Expr::lit(0i64)) }, vec![spool])
+            .unwrap();
+        let o1 = g.add(Operator::Output { name: "o1".into(), stored: false }, vec![f1]).unwrap();
+        let o2 = g.add(Operator::Output { name: "o2".into(), stored: false }, vec![f2]).unwrap();
+        g.add_root(o1).unwrap();
+        g.add_root(o2).unwrap();
+        let parents = g.parents();
+        assert_eq!(parents[&spool].len(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn subgraph_extraction() {
+        let (g, _, f, _) = simple_graph();
+        let sub = g.extract_subgraph(f).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.roots().len(), 1);
+        sub.validate().unwrap();
+        // The extracted root is the filter.
+        let root = sub.node(sub.roots()[0]).unwrap();
+        assert!(matches!(root.op, Operator::Filter { .. }));
+    }
+
+    #[test]
+    fn subgraph_nodes_of_shared_dag() {
+        let mut g = QueryGraph::new();
+        let s = g.add(scan("t"), vec![]).unwrap();
+        let n1 = g.add(Operator::Nop, vec![s]).unwrap();
+        let n2 = g.add(Operator::Nop, vec![s]).unwrap();
+        let u = g.add(Operator::UnionAll, vec![n1, n2]).unwrap();
+        g.add_root(u).unwrap();
+        let ids = g.subgraph_nodes(u).unwrap();
+        assert_eq!(ids.len(), 4); // shared scan counted once
+    }
+
+    #[test]
+    fn replace_with_leaf_and_compact() {
+        let (mut g, s, f, o) = simple_graph();
+        let view = Operator::ViewGet {
+            view_sig: scope_common::sip128(b"v"),
+            schema: Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]),
+            props: Default::default(),
+        };
+        g.replace_with_leaf(f, view).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.len(), 3); // scan now unreachable but still present
+        let remap = g.compact();
+        assert_eq!(g.len(), 2);
+        assert!(!remap.contains_key(&s));
+        assert!(remap.contains_key(&o));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_requires_leaf() {
+        let (mut g, _, f, _) = simple_graph();
+        assert!(g
+            .replace_with_leaf(f, Operator::Filter { predicate: Expr::lit(true) })
+            .is_err());
+    }
+
+    #[test]
+    fn explain_contains_all_reachable() {
+        let (g, ..) = simple_graph();
+        let text = g.explain();
+        assert!(text.contains("Output"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("TableScan") || text.contains("Table"));
+    }
+
+    #[test]
+    fn no_roots_invalid() {
+        let mut g = QueryGraph::new();
+        g.add(scan("t"), vec![]).unwrap();
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn union_schema_mismatch_caught_by_validate() {
+        let mut g = QueryGraph::new();
+        let a = g.add(scan("t"), vec![]).unwrap();
+        let b = g
+            .add(
+                Operator::Get {
+                    dataset: DatasetId::new(2),
+                    template_name: "u".into(),
+                    schema: Schema::from_pairs(&[("x", DataType::Float)]),
+                    kind: ScanKind::Table,
+                    predicate: None,
+                    extractor: None,
+                },
+                vec![],
+            )
+            .unwrap();
+        let u = g.add(Operator::UnionAll, vec![a, b]).unwrap();
+        g.add_root(u).unwrap();
+        let err = g.validate().unwrap_err();
+        assert_eq!(err.kind(), "invalid_plan");
+    }
+}

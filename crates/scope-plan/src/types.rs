@@ -1,0 +1,332 @@
+//! The value model.
+//!
+//! Rows in the mini-SCOPE executor are vectors of [`Value`]. Values need a
+//! *total* order (sort keys, merge joins) and a stable hash (group-by,
+//! hash-partitioning, signatures), including for floats — we order floats by
+//! their IEEE total-order bits, the standard trick for making `f64` usable as
+//! a key.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use scope_common::hash::SipHasher24;
+
+/// The type of a column.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Calendar date, stored as days since an epoch.
+    Date,
+}
+
+impl DataType {
+    /// Short lowercase name, used in schema displays and signatures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single cell value.
+///
+/// `Null` is a member of every type (SQL-style), and sorts lowest.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Days since epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// The value's runtime type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints, floats, dates and bools coerce to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(d) => Some(*d as f64),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view: ints, dates, bools.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Date(d) => Some(*d as i64),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view (used by filter predicates; NULL is not true).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Approximate in-memory size in bytes, used by the cost model to turn
+    /// cardinalities into data sizes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Date(_) => 4,
+            Value::Str(s) => 8 + s.len(),
+        }
+    }
+
+    /// Type discriminant used for cross-type ordering and hashing.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Date(_) => 5,
+        }
+    }
+
+    /// Feeds the value into a stable hasher (used for hash-partitioning and
+    /// for data checksums in correctness tests). Int and Float that compare
+    /// equal may hash differently — we never mix numeric types within one
+    /// column, so this is fine.
+    pub fn stable_hash_into(&self, h: &mut SipHasher24) {
+        h.write_u8(self.tag());
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => h.write_u8(*b as u8),
+            Value::Int(i) => h.write_u64(*i as u64),
+            Value::Float(f) => h.write_u64(f.to_bits()),
+            Value::Str(s) => h.write_str(s),
+            Value::Date(d) => h.write_u32(*d as u32),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: NULL < Bool < numeric (Int/Float compared numerically
+    /// against each other) < Str < Date. Floats use IEEE total ordering so
+    /// NaN is ordered (greatest) instead of poisoning sorts.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => total_f64(*a).cmp(&total_f64(*b)),
+            (Int(a), Float(b)) => total_f64(*a as f64).cmp(&total_f64(*b)),
+            (Float(a), Int(b)) => total_f64(*a).cmp(&total_f64(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(self.tag());
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => state.write_u8(*b as u8),
+            Value::Int(i) => state.write_i64(*i),
+            Value::Float(f) => state.write_u64(f.to_bits()),
+            Value::Str(s) => state.write(s.as_bytes()),
+            Value::Date(d) => state.write_i32(*d),
+        }
+    }
+}
+
+/// Maps an `f64` to a sign-magnitude integer preserving IEEE total order.
+fn total_f64(f: f64) -> i64 {
+    let bits = f.to_bits() as i64;
+    bits ^ (((bits >> 63) as u64) >> 1) as i64
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Date(d) => write!(f, "date({d})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_common::hash::SipHasher24;
+
+    #[test]
+    fn total_order_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Str("a".into()) < Value::Str("b".into()));
+        assert!(Value::Float(1.5) < Value::Float(2.0));
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn numeric_cross_compare() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert!(Value::Float(f64::INFINITY) < nan);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        let mut v = vec![nan.clone(), Value::Float(1.0), Value::Float(-1.0)];
+        v.sort(); // must not panic
+        assert_eq!(v[0], Value::Float(-1.0));
+    }
+
+    #[test]
+    fn neg_zero_and_pos_zero() {
+        // IEEE total order distinguishes -0.0 < +0.0; acceptable for keys.
+        assert!(Value::Float(-0.0) < Value::Float(0.0));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_i64(), Some(1));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Date(10).as_i64(), Some(10));
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Null.is_true());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Null.byte_size(), 1);
+        assert_eq!(Value::Int(0).byte_size(), 8);
+        assert_eq!(Value::Str("abc".into()).byte_size(), 11);
+    }
+
+    #[test]
+    fn stable_hash_distinguishes() {
+        fn h(v: &Value) -> u64 {
+            let mut s = SipHasher24::new_with_keys(1, 2);
+            v.stable_hash_into(&mut s);
+            s.finish()
+        }
+        assert_ne!(h(&Value::Int(1)), h(&Value::Int(2)));
+        assert_ne!(h(&Value::Null), h(&Value::Bool(false)));
+        assert_eq!(h(&Value::Str("ab".into())), h(&Value::Str("ab".into())));
+    }
+
+    #[test]
+    fn display_round_trip_sanity() {
+        assert_eq!(Value::from(5i64).to_string(), "5");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Date(3).to_string(), "date(3)");
+    }
+
+    #[test]
+    fn data_type_names() {
+        assert_eq!(DataType::Int.name(), "int");
+        assert_eq!(Value::Float(0.0).data_type(), Some(DataType::Float));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+}

@@ -1,0 +1,436 @@
+//! Synthetic user-defined operators (UDOs).
+//!
+//! SCOPE scripts are full of C# user code: row processors, reducers, and
+//! combiners, typically shipped as shared libraries across teams. User code
+//! matters to CloudViews in two ways (paper Sections 1.3 and 3):
+//!
+//! 1. its presence makes optimizer cost estimates unreliable — motivating
+//!    the feedback loop, and
+//! 2. the *precise* signature must include the identity **and version** of
+//!    every piece of user code and every external library, because two
+//!    subgraphs are only safely interchangeable when the user code is
+//!    byte-identical.
+//!
+//! We stand in for arbitrary C# with a closed library of deterministic
+//! operators ([`UdoKind`]), each tagged with a library name and version
+//! string that participates in precise signatures. Bumping the version
+//! changes the precise signature without changing behaviour — exactly the
+//! situation where CloudViews must refuse to reuse a stale view.
+
+use scope_common::hash::SipHasher24;
+
+use crate::schema::{Column, Schema};
+use crate::types::{DataType, Value};
+use scope_common::{Result, ScopeError};
+
+/// The behaviour of a user-defined operator.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum UdoKind {
+    /// Processor: splits the string in `col` on whitespace, emitting one
+    /// output row per token (all original columns + a `token` column).
+    Tokenize {
+        /// Input column holding the text.
+        col: usize,
+    },
+    /// Processor: clamps the numeric column `col` into `[lo, hi]`.
+    ClampOutliers {
+        /// Column to clamp.
+        col: usize,
+        /// Lower bound (as integer; applied numerically).
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// Processor: appends a deterministic pseudo-model score in `[0,1)`
+    /// computed from the hash of the listed feature columns.
+    ScoreModel {
+        /// Feature columns.
+        cols: Vec<usize>,
+        /// Model seed (a "model version" knob).
+        seed: u64,
+    },
+    /// Reducer: within each group (grouping keys handled by the `Reduce`
+    /// operator), keeps rows whose numeric column `col` is within the
+    /// group's observed `[min + gap, max - gap]` band — a toy sessionizer /
+    /// outlier-trimmer whose output depends on the whole group.
+    TrimBand {
+        /// Numeric column examined.
+        col: usize,
+        /// Band margin.
+        gap: i64,
+    },
+    /// Reducer: emits one row per group with the group's row count appended
+    /// (a user-coded aggregate that the engine cannot see through).
+    CountRows,
+    /// Combiner (binary): concatenates left and right rows positionally
+    /// after sorting both sides by column 0 — a toy "merge streams" UDO.
+    MergeStreams,
+    /// Per-group apply (GbApply): keeps the top `n` rows of each group by
+    /// column `col` descending.
+    TopPerGroup {
+        /// Ranking column.
+        col: usize,
+        /// Rows kept per group.
+        n: usize,
+    },
+}
+
+impl UdoKind {
+    /// Short name for display and signatures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UdoKind::Tokenize { .. } => "tokenize",
+            UdoKind::ClampOutliers { .. } => "clamp_outliers",
+            UdoKind::ScoreModel { .. } => "score_model",
+            UdoKind::TrimBand { .. } => "trim_band",
+            UdoKind::CountRows => "count_rows",
+            UdoKind::MergeStreams => "merge_streams",
+            UdoKind::TopPerGroup { .. } => "top_per_group",
+        }
+    }
+
+    /// Relative CPU weight of this UDO per input row; user code is usually
+    /// much more expensive than built-in operators, and the cost model uses
+    /// this to reflect that.
+    pub fn cost_weight(&self) -> f64 {
+        match self {
+            UdoKind::Tokenize { .. } => 4.0,
+            UdoKind::ClampOutliers { .. } => 1.5,
+            UdoKind::ScoreModel { .. } => 8.0,
+            UdoKind::TrimBand { .. } => 3.0,
+            UdoKind::CountRows => 1.0,
+            UdoKind::MergeStreams => 2.0,
+            UdoKind::TopPerGroup { .. } => 2.5,
+        }
+    }
+}
+
+/// A user-defined operator instance: behaviour + provenance.
+///
+/// `library` and `version` model the external assembly the user code ships
+/// in; both are part of the precise signature (paper Section 3: "we extended
+/// the precise signature to further include ... any user code, as well as any
+/// external libraries used for custom code").
+#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Udo {
+    /// The operator behaviour.
+    pub kind: UdoKind,
+    /// Owning library/assembly name, e.g. `"Contoso.TextUtils"`.
+    pub library: String,
+    /// Library version, e.g. `"1.4.2"`.
+    pub version: String,
+}
+
+impl Udo {
+    /// Builds a UDO instance.
+    pub fn new(kind: UdoKind, library: impl Into<String>, version: impl Into<String>) -> Self {
+        Udo { kind: kind.clone(), library: library.into(), version: version.into() }
+    }
+
+    /// Output schema of the UDO given its input schema.
+    pub fn output_schema(&self, input: &Schema) -> Result<Schema> {
+        match &self.kind {
+            UdoKind::Tokenize { col } => {
+                let c = input.column(*col)?;
+                if c.dtype != DataType::Str {
+                    return Err(ScopeError::InvalidPlan(format!(
+                        "tokenize needs a str column, got {}",
+                        c.dtype
+                    )));
+                }
+                let mut cols = input.columns().to_vec();
+                cols.push(Column::new("token", DataType::Str));
+                Schema::new(cols)
+            }
+            UdoKind::ClampOutliers { col, .. } | UdoKind::TrimBand { col, .. } => {
+                input.column(*col)?;
+                Ok(input.clone())
+            }
+            UdoKind::ScoreModel { cols, .. } => {
+                for c in cols {
+                    input.column(*c)?;
+                }
+                let mut out = input.columns().to_vec();
+                out.push(Column::new("score", DataType::Float));
+                Schema::new(out)
+            }
+            UdoKind::CountRows => {
+                let mut out = input.columns().to_vec();
+                out.push(Column::new("group_rows", DataType::Int));
+                Schema::new(out)
+            }
+            UdoKind::MergeStreams => Ok(input.clone()),
+            UdoKind::TopPerGroup { col, .. } => {
+                input.column(*col)?;
+                Ok(input.clone())
+            }
+        }
+    }
+
+    /// Feeds the UDO into a stable hasher. `include_version` distinguishes
+    /// precise (true) from normalized (also true — a version bump is NOT a
+    /// recurring delta, it is a code change; both signatures include it).
+    pub fn stable_hash_into(&self, h: &mut SipHasher24) {
+        h.write_str(self.kind.name());
+        h.write_str(&self.library);
+        h.write_str(&self.version);
+        // Parameters of the behaviour are part of both signatures.
+        match &self.kind {
+            UdoKind::Tokenize { col } => h.write_u64(*col as u64),
+            UdoKind::ClampOutliers { col, lo, hi } => {
+                h.write_u64(*col as u64);
+                h.write_u64(*lo as u64);
+                h.write_u64(*hi as u64);
+            }
+            UdoKind::ScoreModel { cols, seed } => {
+                h.write_u64(cols.len() as u64);
+                for c in cols {
+                    h.write_u64(*c as u64);
+                }
+                h.write_u64(*seed);
+            }
+            UdoKind::TrimBand { col, gap } => {
+                h.write_u64(*col as u64);
+                h.write_u64(*gap as u64);
+            }
+            UdoKind::CountRows | UdoKind::MergeStreams => {}
+            UdoKind::TopPerGroup { col, n } => {
+                h.write_u64(*col as u64);
+                h.write_u64(*n as u64);
+            }
+        }
+    }
+
+    /// Executes the UDO as a *processor* over one input row, appending
+    /// output rows to `out`. Only valid for processor kinds.
+    pub fn process_row(&self, row: &[Value], out: &mut Vec<Vec<Value>>) -> Result<()> {
+        match &self.kind {
+            UdoKind::Tokenize { col } => {
+                let text = match &row[*col] {
+                    Value::Str(s) => s.clone(),
+                    Value::Null => return Ok(()),
+                    other => {
+                        return Err(ScopeError::Execution(format!("tokenize on {other}")));
+                    }
+                };
+                for token in text.split_whitespace() {
+                    let mut r = row.to_vec();
+                    r.push(Value::Str(token.to_string()));
+                    out.push(r);
+                }
+                Ok(())
+            }
+            UdoKind::ClampOutliers { col, lo, hi } => {
+                let mut r = row.to_vec();
+                if let Some(v) = r[*col].as_f64() {
+                    let clamped = v.clamp(*lo as f64, *hi as f64);
+                    r[*col] = match &r[*col] {
+                        Value::Int(_) => Value::Int(clamped as i64),
+                        _ => Value::Float(clamped),
+                    };
+                }
+                out.push(r);
+                Ok(())
+            }
+            UdoKind::ScoreModel { cols, seed } => {
+                let mut h = SipHasher24::new_with_keys(*seed, !*seed);
+                for c in cols {
+                    row[*c].stable_hash_into(&mut h);
+                }
+                let score = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+                let mut r = row.to_vec();
+                r.push(Value::Float(score));
+                out.push(r);
+                Ok(())
+            }
+            other => Err(ScopeError::Execution(format!(
+                "{} is not a row processor",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Executes the UDO as a *reducer/apply* over one whole group of rows.
+    /// Only valid for group-wise kinds.
+    pub fn reduce_group(&self, group: &[Vec<Value>], out: &mut Vec<Vec<Value>>) -> Result<()> {
+        match &self.kind {
+            UdoKind::TrimBand { col, gap } => {
+                let vals: Vec<f64> =
+                    group.iter().filter_map(|r| r[*col].as_f64()).collect();
+                if vals.is_empty() {
+                    return Ok(());
+                }
+                let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let (lo, hi) = (min + *gap as f64, max - *gap as f64);
+                for r in group {
+                    if let Some(v) = r[*col].as_f64() {
+                        if v >= lo && v <= hi {
+                            out.push(r.clone());
+                        }
+                    }
+                }
+                Ok(())
+            }
+            UdoKind::CountRows => {
+                // Deterministic representative: the lexicographically
+                // smallest row of the group (not "the first", which would
+                // depend on physical arrival order).
+                if let Some(rep) = group.iter().min() {
+                    let mut r = rep.clone();
+                    r.push(Value::Int(group.len() as i64));
+                    out.push(r);
+                }
+                Ok(())
+            }
+            UdoKind::TopPerGroup { col, n } => {
+                let mut rows: Vec<&Vec<Value>> = group.iter().collect();
+                // Ties broken by full-row order for determinism.
+                rows.sort_by(|a, b| b[*col].cmp(&a[*col]).then_with(|| a.cmp(b)));
+                for r in rows.into_iter().take(*n) {
+                    out.push(r.clone());
+                }
+                Ok(())
+            }
+            other => Err(ScopeError::Execution(format!(
+                "{} is not a group reducer",
+                other.name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text_schema() -> Schema {
+        Schema::from_pairs(&[("id", DataType::Int), ("text", DataType::Str)])
+    }
+
+    #[test]
+    fn tokenize_schema_and_rows() {
+        let udo = Udo::new(UdoKind::Tokenize { col: 1 }, "Contoso.Text", "1.0.0");
+        let out_schema = udo.output_schema(&text_schema()).unwrap();
+        assert_eq!(out_schema.len(), 3);
+        assert_eq!(out_schema.column(2).unwrap().name, "token");
+
+        let mut out = Vec::new();
+        udo.process_row(&[Value::Int(1), Value::Str("a b  c".into())], &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2][2], Value::Str("c".into()));
+        // NULL text produces no rows (and no error).
+        udo.process_row(&[Value::Int(2), Value::Null], &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn tokenize_rejects_non_string_column() {
+        let udo = Udo::new(UdoKind::Tokenize { col: 0 }, "L", "1");
+        assert!(udo.output_schema(&text_schema()).is_err());
+    }
+
+    #[test]
+    fn clamp() {
+        let udo = Udo::new(UdoKind::ClampOutliers { col: 0, lo: 0, hi: 10 }, "L", "1");
+        let mut out = Vec::new();
+        udo.process_row(&[Value::Int(-5)], &mut out).unwrap();
+        udo.process_row(&[Value::Int(5)], &mut out).unwrap();
+        udo.process_row(&[Value::Int(500)], &mut out).unwrap();
+        assert_eq!(out[0][0], Value::Int(0));
+        assert_eq!(out[1][0], Value::Int(5));
+        assert_eq!(out[2][0], Value::Int(10));
+    }
+
+    #[test]
+    fn score_model_is_deterministic_and_seed_sensitive() {
+        let u1 = Udo::new(UdoKind::ScoreModel { cols: vec![0], seed: 1 }, "ML", "2.0");
+        let u2 = Udo::new(UdoKind::ScoreModel { cols: vec![0], seed: 2 }, "ML", "2.0");
+        let row = vec![Value::Int(42)];
+        let mut o1 = Vec::new();
+        let mut o1b = Vec::new();
+        let mut o2 = Vec::new();
+        u1.process_row(&row, &mut o1).unwrap();
+        u1.process_row(&row, &mut o1b).unwrap();
+        u2.process_row(&row, &mut o2).unwrap();
+        assert_eq!(o1, o1b);
+        assert_ne!(o1, o2);
+        let score = o1[0][1].as_f64().unwrap();
+        assert!((0.0..1.0).contains(&score));
+    }
+
+    #[test]
+    fn trim_band_reducer() {
+        let udo = Udo::new(UdoKind::TrimBand { col: 0, gap: 1 }, "L", "1");
+        let group: Vec<Vec<Value>> =
+            (0..=10).map(|i| vec![Value::Int(i)]).collect();
+        let mut out = Vec::new();
+        udo.reduce_group(&group, &mut out).unwrap();
+        // Band is [0+1, 10-1] = [1, 9] -> 9 rows survive.
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn count_rows_reducer() {
+        let udo = Udo::new(UdoKind::CountRows, "L", "1");
+        let group = vec![vec![Value::Int(7)], vec![Value::Int(7)], vec![Value::Int(7)]];
+        let mut out = Vec::new();
+        udo.reduce_group(&group, &mut out).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(7), Value::Int(3)]]);
+        // Empty group emits nothing.
+        let mut out2 = Vec::new();
+        udo.reduce_group(&[], &mut out2).unwrap();
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn top_per_group() {
+        let udo = Udo::new(UdoKind::TopPerGroup { col: 0, n: 2 }, "L", "1");
+        let group: Vec<Vec<Value>> =
+            [3i64, 1, 4, 1, 5].iter().map(|&i| vec![Value::Int(i)]).collect();
+        let mut out = Vec::new();
+        udo.reduce_group(&group, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][0], Value::Int(5));
+        assert_eq!(out[1][0], Value::Int(4));
+    }
+
+    #[test]
+    fn kind_mismatch_errors() {
+        let reducer = Udo::new(UdoKind::CountRows, "L", "1");
+        assert!(reducer.process_row(&[Value::Int(1)], &mut Vec::new()).is_err());
+        let processor = Udo::new(UdoKind::Tokenize { col: 0 }, "L", "1");
+        assert!(processor.reduce_group(&[], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn version_changes_signature() {
+        fn h(u: &Udo) -> u64 {
+            let mut s = SipHasher24::new_with_keys(0, 0);
+            u.stable_hash_into(&mut s);
+            s.finish()
+        }
+        let v1 = Udo::new(UdoKind::CountRows, "Lib", "1.0.0");
+        let v2 = Udo::new(UdoKind::CountRows, "Lib", "1.0.1");
+        let other_lib = Udo::new(UdoKind::CountRows, "Lib2", "1.0.0");
+        assert_ne!(h(&v1), h(&v2));
+        assert_ne!(h(&v1), h(&other_lib));
+        assert_eq!(h(&v1), h(&v1.clone()));
+    }
+
+    #[test]
+    fn cost_weights_positive() {
+        for k in [
+            UdoKind::Tokenize { col: 0 },
+            UdoKind::ClampOutliers { col: 0, lo: 0, hi: 1 },
+            UdoKind::ScoreModel { cols: vec![], seed: 0 },
+            UdoKind::TrimBand { col: 0, gap: 0 },
+            UdoKind::CountRows,
+            UdoKind::MergeStreams,
+            UdoKind::TopPerGroup { col: 0, n: 1 },
+        ] {
+            assert!(k.cost_weight() > 0.0, "{}", k.name());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Plan-subgraph signatures — the heart of the paper's Section 3.
+//!
+//! CloudViews identifies overlapping computations by hashing plan subgraphs.
+//! Two hashes are computed for every subgraph:
+//!
+//! * the **precise signature** identifies the computation *exactly*: it
+//!   includes the concrete input GUIDs, all parameter values, and the
+//!   identity+version of any user code and external libraries. Equal precise
+//!   signatures ⇒ the computations produce identical results, so a
+//!   materialized result of one can safely substitute for the other.
+//! * the **normalized signature** strips the recurring deltas (input GUIDs,
+//!   date/time predicate values, parameterized output names) so that the
+//!   *same template computation* in yesterday's and today's job instance
+//!   hashes identically.
+//!
+//! The normalized signature matches computations **across** recurring
+//! instances (used to decide what to materialize); the precise signature
+//! matches **within** an instance (used to decide what can reuse a given
+//! materialized file, and when it must expire). See Figure 7 of the paper.
+//!
+//! [`sign_graph`] Merkle-hashes a whole [`QueryGraph`](scope_plan::QueryGraph) bottom-up, producing
+//! both signatures for every node in one pass; [`enumerate_subgraphs`] turns
+//! that into the per-subgraph candidate records the CloudViews analyzer
+//! consumes.
+
+pub mod enumerate;
+pub mod signature;
+
+pub use enumerate::{enumerate_subgraphs, job_tags, SubgraphInfo};
+pub use signature::{sign_graph, NodeSignatures, SignedGraph};

@@ -1,0 +1,165 @@
+//! Deterministic samplers used by the workload generators.
+//!
+//! Everything is seeded; the same seed always produces the same workload,
+//! tables, and therefore the same signatures — a requirement for the
+//! regression tests and for reproducing the figures.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scope_common::hash::sip64;
+
+/// A seeded RNG derived from a textual scope, so independent generator
+/// components get independent, reproducible streams.
+pub fn rng_for(seed: u64, scope: &str) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ sip64(scope.as_bytes()))
+}
+
+/// Zipf sampler over `{0, 1, ..., n-1}` with exponent `s`.
+///
+/// Rank 0 is the most popular element. Used to make a few plan fragments
+/// wildly shared (the paper's overlap-frequency skew: median 2 but p99 36
+/// and maxima in the thousands).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler; `n` must be ≥ 1 and `s` ≥ 0.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf over empty support");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Log-normal-ish sampler for dataset sizes and runtimes: exp(N(mu, sigma)),
+/// clamped to `[lo, hi]`. Implemented with a Box–Muller transform so we do
+/// not need the `rand_distr` crate.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Std-dev of the underlying normal.
+    pub sigma: f64,
+    /// Lower clamp.
+    pub lo: f64,
+    /// Upper clamp.
+    pub hi: f64,
+}
+
+impl LogNormal {
+    /// Builds a sampler.
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> LogNormal {
+        assert!(lo <= hi && sigma >= 0.0);
+        LogNormal { mu, sigma, lo, hi }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp().clamp(self.lo, self.hi)
+    }
+}
+
+/// Bernoulli draw.
+pub fn coin(rng: &mut SmallRng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_scoped() {
+        let a: u64 = rng_for(7, "x").gen();
+        let b: u64 = rng_for(7, "x").gen();
+        let c: u64 = rng_for(7, "y").gen();
+        let d: u64 = rng_for(8, "x").gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = rng_for(1, "zipf");
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 100);
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 0 should dominate noticeably under s=1.2.
+        assert!(counts[0] as f64 / 20_000.0 > 0.15);
+    }
+
+    #[test]
+    fn zipf_degenerate_single_element() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = rng_for(1, "z1");
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = rng_for(2, "z0");
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 50_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "{frac}");
+        }
+    }
+
+    #[test]
+    fn lognormal_respects_clamps() {
+        let d = LogNormal::new(5.0, 2.0, 10.0, 1000.0);
+        let mut rng = rng_for(3, "ln");
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..=1000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_right_skewed() {
+        let d = LogNormal::new(3.0, 1.0, 0.0, f64::INFINITY);
+        let mut rng = rng_for(4, "skew");
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "log-normal mean {mean} must exceed median {median}");
+    }
+
+    #[test]
+    fn coin_probability() {
+        let mut rng = rng_for(5, "coin");
+        let heads = (0..10_000).filter(|_| coin(&mut rng, 0.3)).count();
+        assert!((heads as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generation for the CloudViews reproduction.
+//!
+//! Two families of workloads drive the paper's evaluation:
+//!
+//! * [`recurring`] — SCOPE-style recurring enterprise workloads: clusters of
+//!   virtual clusters, users who clone and extend each other's scripts, and
+//!   producer/consumer data pipelines. The generator is *calibrated* to the
+//!   published distributions of the paper's Section 2 (overlap fractions per
+//!   cluster/VC, heavy-tailed overlap frequencies, runtime/size skew) but
+//!   creates overlap through the same *mechanisms* the paper names —
+//!   fragment cloning and shared post-processing — so the analyzer has to
+//!   genuinely detect the overlap via signatures; nothing is labeled.
+//! * [`tpcds`] — the TPC-DS benchmark of Section 7.2: the full 24-table
+//!   schema, deterministic scaled data generation with valid foreign keys,
+//!   and all 99 queries translated to plan builders. The translation
+//!   preserves which queries share which scan/join/aggregate subexpressions
+//!   — the property Figure 13 measures.
+//!
+//! [`dists`] holds the deterministic samplers (Zipf, log-normal) both use.
+
+pub mod dists;
+pub mod recurring;
+pub mod tpcds;
+
+pub use recurring::{
+    BusinessUnitSpec, ClusterSpec, RecurringWorkload, WorkloadConfig,
+};
+pub use tpcds::{TpcdsQuery, TpcdsWorkload};

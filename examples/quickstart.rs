@@ -1,0 +1,87 @@
+//! Quickstart: the complete CloudViews loop in one file.
+//!
+//! 1. Build a tiny recurring workload (jobs that share computation).
+//! 2. Run one recurring instance with CloudViews *disabled* — this fills
+//!    the workload repository with reconciled runtime statistics.
+//! 3. Run the analyzer: mine overlaps, select views, mine physical
+//!    designs and expiries.
+//! 4. Run the *next* recurring instance (new data, new input GUIDs) twice:
+//!    baseline vs CloudViews-enabled, and compare.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use cloudviews::analyzer::{AnalyzerConfig, SelectionConstraints, SelectionPolicy};
+use cloudviews::reporting;
+use cloudviews::{CloudViews, RunMode};
+use scope_engine::storage::StorageManager;
+use scope_workload::dists::LogNormal;
+use scope_workload::recurring::{ClusterSpec, RecurringWorkload, WorkloadConfig};
+
+fn main() -> scope_common::Result<()> {
+    // A small cluster: 4 VCs, 12 recurring templates, heavy script cloning.
+    let workload = RecurringWorkload::generate(WorkloadConfig {
+        clusters: vec![ClusterSpec::tiny("demo")],
+        seed: 7,
+        stream_rows: LogNormal::new(10.0, 0.6, 8_000.0, 60_000.0),
+    })?;
+    let service = CloudViews::new(Arc::new(StorageManager::new()));
+
+    // --- Day 0: baseline runs fill the workload repository. ---------------
+    workload.register_instance_data(0, 0, &service.storage, 1.0)?;
+    let day0 = workload.jobs_for_instance(0, 0)?;
+    println!("day 0: running {} jobs with CloudViews disabled...", day0.len());
+    service.run_sequence(&day0, RunMode::Baseline)?;
+
+    // --- The CloudViews analyzer (periodic, offline). ---------------------
+    // Production-style constraints (paper Section 7.1): a view must cost a
+    // meaningful share of its job, and we pick at most one view per job —
+    // otherwise the per-job materialization budget gets spent on worthless
+    // nested scan-level subgraphs.
+    let analysis = service.analyze(&AnalyzerConfig {
+        policy: SelectionPolicy::TopKUtility { k: 5 },
+        constraints: SelectionConstraints {
+            min_cost_ratio: 0.10,
+            per_job_cap: Some(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    })?;
+    println!(
+        "\nanalyzer: {} jobs analyzed, {} overlapping computations mined, {} views selected ({:?})",
+        analysis.jobs_analyzed,
+        analysis.groups.len(),
+        analysis.selected.len(),
+        analysis.wall_time,
+    );
+    println!("\ntop overlapping computations:");
+    print!("{}", reporting::top_overlaps(&analysis.groups, 5));
+    service.install_analysis(&analysis);
+
+    // --- Day 1: new data, new GUIDs; baseline vs CloudViews. --------------
+    workload.register_instance_data(0, 1, &service.storage, 1.0)?;
+    let day1 = workload.jobs_for_instance(0, 1)?;
+    let baseline = service.run_sequence(&day1, RunMode::Baseline)?;
+    let enabled = service.run_sequence(&day1, RunMode::CloudViews)?;
+
+    // Outputs must be bit-identical (requirement 3: correctness).
+    for (b, e) in baseline.iter().zip(&enabled) {
+        assert_eq!(b.output_checksums, e.output_checksums, "corruption in {}", b.job);
+    }
+    println!("\nday 1 impact (baseline vs CloudViews):");
+    print!("{}", reporting::impact_report(&baseline, &enabled));
+
+    let (avg_lat, tot_lat) =
+        reporting::improvement_stats(&baseline, &enabled, |r| r.latency);
+    let (avg_cpu, tot_cpu) =
+        reporting::improvement_stats(&baseline, &enabled, |r| r.cpu_time);
+    println!("\nlatency improvement: avg {avg_lat:+.1}%, overall {tot_lat:+.1}%");
+    println!("cpu-time improvement: avg {avg_cpu:+.1}%, overall {tot_cpu:+.1}%");
+    println!(
+        "views: {} materialized, {} stored bytes; outputs verified identical ✓",
+        service.storage.num_views(),
+        service.storage.total_view_bytes(),
+    );
+    Ok(())
+}

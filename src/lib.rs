@@ -1,0 +1,25 @@
+//! `cloudviews-repro` — reproduction of *"Computation Reuse in Analytics
+//! Job Service at Microsoft"* (Jindal et al., SIGMOD 2018).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`plan`] — query plans, expressions, operators, physical properties;
+//! * [`signature`] — precise + normalized subgraph signatures (Section 3);
+//! * [`engine`] — the mini-SCOPE substrate: executor, optimizer, cluster
+//!   simulator, storage, workload repository;
+//! * [`workload`] — calibrated recurring workloads and the TPC-DS
+//!   translation;
+//! * [`cloudviews`] — the paper's contribution: analyzer, metadata service,
+//!   and online runtime;
+//! * [`common`] — ids, simulated time, stable hashing, statistics.
+//!
+//! See `examples/quickstart.rs` for the canonical tour, and DESIGN.md /
+//! EXPERIMENTS.md for the system inventory and the paper-vs-measured
+//! record.
+
+pub use cloudviews;
+pub use scope_common as common;
+pub use scope_engine as engine;
+pub use scope_plan as plan;
+pub use scope_signature as signature;
+pub use scope_workload as workload;

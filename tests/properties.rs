@@ -1,0 +1,330 @@
+//! Property-based tests for the DESIGN.md §6 invariants.
+//!
+//! The centerpiece generates *random plans*, runs them through the complete
+//! CloudViews cycle (baseline → annotate a random subgraph → build → reuse),
+//! and asserts output equality — the paper's correctness requirement under
+//! arbitrary plan shapes, not just the curated workloads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scope_common::hash::Sig128;
+use scope_common::ids::{ClusterId, DatasetId, JobId, NodeId, TemplateId, UserId, VcId};
+use scope_common::time::{SimDuration, SimTime};
+use scope_engine::cost::CostModel;
+use scope_engine::data::{multiset_checksum, Table};
+use scope_engine::exec::execute_plan;
+use scope_engine::job::JobSpec;
+use scope_engine::optimizer::{optimize, NoViewServices, OptimizerConfig};
+use scope_engine::storage::StorageManager;
+use scope_plan::expr::AggFunc;
+use scope_plan::{
+    AggExpr, DataType, Expr, Operator, Partitioning, PlanBuilder, QueryGraph, Schema, SortKey,
+    SortOrder, Udo, UdoKind, Value,
+};
+use scope_signature::sign_graph;
+
+fn base_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("user", DataType::Int),
+        ("item", DataType::Int),
+        ("val", DataType::Float),
+        ("ts", DataType::Date),
+    ])
+}
+
+fn random_table(rng: &mut SmallRng, rows: usize) -> Table {
+    let data = (0..rows)
+        .map(|_| {
+            vec![
+                Value::Int(rng.gen_range(0..40)),
+                Value::Int(rng.gen_range(0..1000)),
+                Value::Float((rng.gen_range(-50.0_f64..50.0) * 10.0).round() / 10.0),
+                Value::Date(rng.gen_range(0..100)),
+            ]
+        })
+        .collect();
+    Table::single(base_schema(), data)
+}
+
+/// Builds a random schema-preserving plan over the 4-column base schema.
+/// Returns the graph; all interior ops keep the same column layout so any
+/// node can stack on any other.
+fn random_plan(seed: u64, dataset: DatasetId) -> QueryGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = PlanBuilder::new();
+    let mut branches: Vec<scope_common::ids::NodeId> = Vec::new();
+    let n_branches = rng.gen_range(1..=2);
+    for _ in 0..n_branches {
+        let mut cur = b.table_scan(dataset, "prop/<date>/t.ss", base_schema());
+        for _ in 0..rng.gen_range(1..=5) {
+            cur = match rng.gen_range(0..8) {
+                0 => b.filter(
+                    cur,
+                    Expr::col(rng.gen_range(0..2))
+                        .ge(Expr::lit(rng.gen_range(0..30) as i64)),
+                ),
+                1 => b.exchange(
+                    cur,
+                    Partitioning::Hash {
+                        cols: vec![rng.gen_range(0..2)],
+                        parts: rng.gen_range(2..6),
+                    },
+                ),
+                2 => b.sort(cur, SortOrder(vec![SortKey::asc(rng.gen_range(0..4))])),
+                3 => b.top(cur, rng.gen_range(5..50), SortOrder(vec![SortKey::desc(2)])),
+                4 => b.process(
+                    cur,
+                    Udo::new(
+                        UdoKind::ClampOutliers {
+                            col: 2,
+                            lo: -10,
+                            hi: rng.gen_range(10..40),
+                        },
+                        "PropLib",
+                        "1.0",
+                    ),
+                ),
+                5 => b.reduce(
+                    cur,
+                    Udo::new(
+                        UdoKind::TrimBand { col: 1, gap: rng.gen_range(0..5) },
+                        "PropLib",
+                        "1.0",
+                    ),
+                    vec![0],
+                ),
+                6 => b.nop(cur),
+                _ => b.spool(cur),
+            };
+        }
+        branches.push(cur);
+    }
+    let merged = if branches.len() == 1 {
+        branches[0]
+    } else {
+        b.union_all(branches)
+    };
+    // Optional final aggregate (changes schema; fine at the top).
+    let top = if rng.gen_bool(0.5) {
+        b.aggregate(
+            merged,
+            vec![0],
+            vec![
+                AggExpr::new("cnt", AggFunc::Count, 1),
+                AggExpr::new("sum_val", AggFunc::Sum, 2),
+            ],
+        )
+    } else {
+        merged
+    };
+    b.write(top, "prop/out/<date>/r.ss").build().unwrap()
+}
+
+fn storage_with_table(seed: u64, dataset: DatasetId) -> StorageManager {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead);
+    let storage = StorageManager::new();
+    storage.put_dataset(dataset, random_table(&mut rng, 400));
+    storage
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any random plan optimizes, executes, and produces identical output
+    /// multisets at every optimizer configuration (enforcers must never
+    /// change results).
+    #[test]
+    fn optimizer_preserves_semantics(seed in 0u64..10_000) {
+        let dataset = DatasetId::new(9);
+        let graph = random_plan(seed, dataset);
+        let storage = storage_with_table(seed, dataset);
+        let model = CostModel::default();
+        let mut checksums = Vec::new();
+        for dop in [2usize, 8] {
+            let cfg = OptimizerConfig { default_dop: dop, ..Default::default() };
+            let plan = optimize(&graph, &[], &NoViewServices, &cfg, JobId::new(1)).unwrap();
+            let exec = execute_plan(&plan.physical, &storage, &model, SimTime::ZERO).unwrap();
+            let out = exec.outputs.values().next().unwrap();
+            checksums.push((out.num_rows(), multiset_checksum(out)));
+        }
+        prop_assert_eq!(checksums[0], checksums[1], "dop changed the answer");
+    }
+
+    /// The full CloudViews cycle on a random plan: job A builds a view over
+    /// an annotated subgraph, job B (same computation, different output)
+    /// reuses it; both match the baseline bit-for-bit.
+    #[test]
+    fn reuse_cycle_preserves_semantics(seed in 0u64..10_000, node_pick in 0usize..64) {
+        use cloudviews::analyzer::SelectedView;
+        use cloudviews::{CloudViews, RunMode};
+        use scope_engine::optimizer::Annotation;
+        use scope_plan::PhysicalProps;
+
+        let dataset = DatasetId::new(9);
+        let graph = random_plan(seed, dataset);
+        let storage = Arc::new(storage_with_table(seed, dataset));
+        let cv = CloudViews::new(storage);
+
+        // Pick a random non-leaf, non-output node to annotate as a view.
+        let candidates: Vec<NodeId> = graph
+            .nodes()
+            .iter()
+            .filter(|n| {
+                !n.children.is_empty() && !matches!(n.op, Operator::Output { .. })
+            })
+            .map(|n| n.id)
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let target = candidates[node_pick % candidates.len()];
+        let signed = sign_graph(&graph).unwrap();
+        let selected = SelectedView {
+            annotation: Annotation {
+                normalized: signed.of(target).normalized,
+                props: PhysicalProps::hashed(vec![0], 4),
+                ttl: SimDuration::from_secs(86_400),
+                // Large mined cost so the cost-based check always reuses.
+                avg_cpu: SimDuration::from_secs(3_600),
+                avg_rows: 100,
+                avg_bytes: 10_000,
+            },
+            input_tags: vec!["prop/<date>/t.ss".into()],
+            utility: SimDuration::from_secs(10),
+            frequency: 2,
+            precise_last_seen: signed.of(target).precise,
+        };
+        cv.metadata.load_annotations(&[selected]);
+
+        let spec = |id: u64, graph: QueryGraph| JobSpec {
+            id: JobId::new(id),
+            cluster: ClusterId::new(0),
+            vc: VcId::new(0),
+            user: UserId::new(0),
+            template: TemplateId::new(0),
+            instance: 0,
+            graph,
+        };
+
+        // Baseline answer.
+        let base = cv
+            .run_job_at(&spec(1, graph.clone()), RunMode::Baseline, SimTime::ZERO)
+            .unwrap();
+        // Builder (acquires the lock, materializes the view).
+        let build = cv
+            .run_job_at(&spec(2, graph.clone()), RunMode::CloudViews, cv.clock.now())
+            .unwrap();
+        // Reuser (same plan again; the view now exists).
+        let reuse = cv
+            .run_job_at(&spec(3, graph.clone()), RunMode::CloudViews, cv.clock.now())
+            .unwrap();
+
+        prop_assert_eq!(&base.output_checksums, &build.output_checksums);
+        prop_assert_eq!(&base.output_checksums, &reuse.output_checksums);
+        prop_assert_eq!(build.views_built.len(), 1, "builder must build");
+        // The annotated subgraph may occur more than once in the random
+        // plan (duplicated branches); every occurrence is rewritten.
+        prop_assert!(!reuse.views_reused.is_empty(), "reuser must reuse");
+    }
+
+    /// After lowering, every operator's required properties are satisfied
+    /// by what its children actually deliver.
+    #[test]
+    fn enforcers_satisfy_requirements(seed in 0u64..10_000) {
+        let graph = random_plan(seed, DatasetId::new(9));
+        let cfg = OptimizerConfig::default();
+        let plan = optimize(&graph, &[], &NoViewServices, &cfg, JobId::new(1)).unwrap();
+        let phys = &plan.physical;
+        // Recompute delivered props bottom-up.
+        let mut delivered: Vec<scope_plan::PhysicalProps> = Vec::with_capacity(phys.len());
+        for node in phys.nodes() {
+            let child_props: Vec<_> =
+                node.children.iter().map(|c| delivered[c.index()].clone()).collect();
+            let reqs = node.op.required_props(node.children.len(), cfg.default_dop);
+            for (i, &child) in node.children.iter().enumerate() {
+                if let Some(req) = reqs.get(i) {
+                    prop_assert!(
+                        req.satisfied_by(&delivered[child.index()]),
+                        "node {} ({}) requirement {} unsatisfied by child delivering {}",
+                        node.id,
+                        node.op.describe(),
+                        req.describe(),
+                        delivered[child.index()].describe()
+                    );
+                }
+            }
+            delivered.push(node.op.delivered_props(&child_props));
+        }
+    }
+
+    /// Recurring-delta invariance: rebinding GUIDs and date parameters
+    /// changes every precise signature on the path but no normalized one.
+    #[test]
+    fn signature_normalization_invariant(seed in 0u64..10_000) {
+        let g0 = random_plan(seed, DatasetId::new(100));
+        let g1 = random_plan(seed, DatasetId::new(200)); // same shape, new GUID
+        let s0 = sign_graph(&g0).unwrap();
+        let s1 = sign_graph(&g1).unwrap();
+        for (a, b) in s0.all().iter().zip(s1.all()) {
+            prop_assert_eq!(a.normalized, b.normalized);
+        }
+        // The roots' precise signatures must differ (they read new data).
+        let r0 = g0.roots()[0];
+        prop_assert_ne!(s0.of(r0).precise, s1.of(r0).precise);
+    }
+
+    /// The multiset checksum is invariant under arbitrary repartitioning.
+    #[test]
+    fn checksum_invariant_under_repartition(seed in 0u64..10_000, parts in 1usize..9) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = random_table(&mut rng, 200);
+        let by_hash = t.hash_repartition(&[0], parts).unwrap();
+        let by_rr = t.round_robin_repartition(parts).unwrap();
+        let gathered = by_hash.gather();
+        let c = multiset_checksum(&t);
+        prop_assert_eq!(multiset_checksum(&by_hash), c);
+        prop_assert_eq!(multiset_checksum(&by_rr), c);
+        prop_assert_eq!(multiset_checksum(&gathered), c);
+    }
+
+    /// Cost model monotonicity: more rows never costs less.
+    #[test]
+    fn cost_monotone(rows_a in 0u64..1_000_000, rows_b in 0u64..1_000_000) {
+        let (lo, hi) = if rows_a <= rows_b { (rows_a, rows_b) } else { (rows_b, rows_a) };
+        let model = CostModel::default();
+        for op in [
+            Operator::Filter { predicate: Expr::lit(true) },
+            Operator::Sort { order: SortOrder::asc(&[0]) },
+            Operator::Exchange { scheme: Partitioning::Single },
+            Operator::Aggregate {
+                keys: vec![0],
+                aggs: vec![],
+                implementation: scope_plan::op::AggImpl::Hash,
+            },
+        ] {
+            let c_lo = model.op_cpu(&op, lo, lo, lo * 8);
+            let c_hi = model.op_cpu(&op, hi, hi, hi * 8);
+            prop_assert!(c_lo <= c_hi, "{} regressed", op.describe());
+        }
+    }
+
+    /// Build locks: under arbitrary interleavings of proposals from many
+    /// jobs, exactly one holds the lock at a time.
+    #[test]
+    fn lock_exclusivity(n_jobs in 2u64..12) {
+        use cloudviews::{LockOutcome, MetadataService};
+        use scope_common::time::SimClock;
+        let svc = MetadataService::new(Arc::new(SimClock::new()), 1);
+        let sig = Sig128::new(1, 2);
+        let mut winners = 0;
+        for j in 0..n_jobs {
+            if svc.propose(sig, JobId::new(j), SimDuration::from_secs(60))
+                == LockOutcome::Acquired
+            {
+                winners += 1;
+            }
+        }
+        prop_assert_eq!(winners, 1);
+    }
+}

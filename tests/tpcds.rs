@@ -1,0 +1,94 @@
+//! TPC-DS integration: all 99 queries through the full CloudViews cycle at
+//! a small scale factor, asserting bit-identical outputs and real reuse.
+
+use std::sync::Arc;
+
+use cloudviews::analyzer::{AnalyzerConfig, SelectionConstraints, SelectionPolicy};
+use cloudviews::{CloudViews, RunMode};
+use scope_engine::storage::StorageManager;
+use scope_workload::tpcds::{build_query, TpcdsWorkload, NUM_QUERIES};
+
+#[test]
+fn all_99_queries_validate_and_have_stable_signatures() {
+    use scope_signature::sign_graph;
+    for q in 1..=NUM_QUERIES {
+        let g1 = build_query(q).unwrap();
+        let g2 = build_query(q).unwrap();
+        g1.validate().unwrap();
+        let s1 = sign_graph(&g1).unwrap();
+        let s2 = sign_graph(&g2).unwrap();
+        assert_eq!(
+            s1.of(g1.roots()[0]).precise,
+            s2.of(g2.roots()[0]).precise,
+            "q{q} signature unstable"
+        );
+    }
+}
+
+#[test]
+fn tpcds_reuse_cycle_is_correct_for_all_queries() {
+    let tpcds = TpcdsWorkload::new(0.03, 1);
+    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    tpcds.register_data(&service.storage).unwrap();
+    let jobs = tpcds.all_jobs().unwrap();
+    let baseline = service.run_sequence(&jobs, RunMode::Baseline).unwrap();
+
+    let analysis = service
+        .analyze(&AnalyzerConfig {
+            policy: SelectionPolicy::TopKUtility { k: 10 },
+            constraints: SelectionConstraints::default(),
+            ..Default::default()
+        })
+        .unwrap();
+    assert!(
+        !analysis.selected.is_empty(),
+        "TPC-DS must expose overlapping computations"
+    );
+    service.install_analysis(&analysis);
+
+    let enabled = service.run_sequence(&tpcds.all_jobs().unwrap(), RunMode::CloudViews).unwrap();
+    let mut reused = 0usize;
+    let mut built = 0usize;
+    for (b, e) in baseline.iter().zip(&enabled) {
+        assert_eq!(
+            b.output_checksums, e.output_checksums,
+            "q{} output corrupted by reuse",
+            b.job
+        );
+        assert_eq!(b.output_rows, e.output_rows);
+        reused += e.views_reused.len();
+        built += e.views_built.len();
+    }
+    assert!(built > 0, "no views built over TPC-DS");
+    assert!(reused > 0, "no views reused over TPC-DS");
+}
+
+#[test]
+fn shared_subexpressions_span_many_queries() {
+    use scope_signature::sign_graph;
+    use std::collections::HashMap;
+    // The store_sales ⋈ date_dim(2000) computation must appear in a large
+    // fraction of the store-channel queries — that is the raw material of
+    // the paper's Figure 13.
+    let mut counts: HashMap<scope_common::Sig128, usize> = HashMap::new();
+    for q in 1..=NUM_QUERIES {
+        let g = build_query(q).unwrap();
+        let signed = sign_graph(&g).unwrap();
+        let mut seen: Vec<scope_common::Sig128> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.children.len() == 2) // joins
+            .map(|n| signed.of(n.id).precise)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for s in seen {
+            *counts.entry(s).or_default() += 1;
+        }
+    }
+    let hottest = counts.values().max().copied().unwrap_or(0);
+    assert!(
+        hottest >= 15,
+        "hottest join subexpression only in {hottest} queries"
+    );
+}
