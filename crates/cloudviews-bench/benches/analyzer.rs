@@ -24,11 +24,9 @@ fn bench_analyzer(c: &mut Criterion) {
         let records = records_for(vcs);
         let refs: Vec<&JobRecord> = records.iter().collect();
         group.throughput(criterion::Throughput::Elements(records.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("jobs", records.len()),
-            &refs,
-            |b, refs| b.iter(|| mine_overlaps(std::hint::black_box(refs))),
-        );
+        group.bench_with_input(BenchmarkId::new("jobs", records.len()), &refs, |b, refs| {
+            b.iter(|| mine_overlaps(std::hint::black_box(refs)))
+        });
     }
     group.finish();
 
@@ -42,8 +40,7 @@ fn bench_analyzer(c: &mut Criterion) {
             &records,
             |b, records| {
                 b.iter(|| {
-                    run_analysis(std::hint::black_box(records), &AnalyzerConfig::default())
-                        .unwrap()
+                    run_analysis(std::hint::black_box(records), &AnalyzerConfig::default()).unwrap()
                 })
             },
         );

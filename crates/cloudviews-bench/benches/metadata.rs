@@ -40,8 +40,7 @@ fn bench_metadata(c: &mut Criterion) {
         let svc = MetadataService::new(Arc::new(SimClock::new()), 5);
         let views: Vec<SelectedView> = (0..n_annotations).map(selected).collect();
         svc.load_annotations(&views);
-        let tags: Vec<String> =
-            (0..5).map(|i| format!("in/stream{i}.ss")).collect();
+        let tags: Vec<String> = (0..5).map(|i| format!("in/stream{i}.ss")).collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(n_annotations),
             &tags,

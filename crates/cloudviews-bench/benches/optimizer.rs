@@ -62,12 +62,28 @@ fn bench_optimizer(c: &mut Criterion) {
     let annotations = vec![annotation];
 
     c.bench_function("optimize_baseline", |b| {
-        b.iter(|| optimize(std::hint::black_box(&graph), &[], &NoViewServices, &cfg, job).unwrap())
+        b.iter(|| {
+            optimize(
+                std::hint::black_box(&graph),
+                &[],
+                &NoViewServices,
+                &cfg,
+                job,
+            )
+            .unwrap()
+        })
     });
 
     c.bench_function("optimize_materialize", |b| {
         b.iter(|| {
-            optimize(std::hint::black_box(&graph), &annotations, &Grant, &cfg, job).unwrap()
+            optimize(
+                std::hint::black_box(&graph),
+                &annotations,
+                &Grant,
+                &cfg,
+                job,
+            )
+            .unwrap()
         })
     });
 
@@ -81,9 +97,7 @@ fn bench_optimizer(c: &mut Criterion) {
         },
     };
     c.bench_function("optimize_reuse", |b| {
-        b.iter(|| {
-            optimize(std::hint::black_box(&graph), &annotations, &have, &cfg, job).unwrap()
-        })
+        b.iter(|| optimize(std::hint::black_box(&graph), &annotations, &have, &cfg, job).unwrap())
     });
 }
 

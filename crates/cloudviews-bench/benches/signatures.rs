@@ -18,7 +18,13 @@ fn chain_plan(n: usize) -> QueryGraph {
     for i in 0..n.saturating_sub(3) {
         cur = match i % 4 {
             0 => b.filter(cur, Expr::col(0).gt(Expr::lit(i as i64))),
-            1 => b.exchange(cur, Partitioning::Hash { cols: vec![0], parts: 8 }),
+            1 => b.exchange(
+                cur,
+                Partitioning::Hash {
+                    cols: vec![0],
+                    parts: 8,
+                },
+            ),
             2 => b.aggregate(
                 cur,
                 vec![0],

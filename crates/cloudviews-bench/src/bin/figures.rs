@@ -48,8 +48,18 @@ fn main() {
 
     if cmd == "all" {
         for name in [
-            "fig1", "fig2a", "fig2b", "fig3", "fig4a", "fig4bcd", "fig5", "fig11", "fig13",
-            "overheads", "ablations", "verify",
+            "fig1",
+            "fig2a",
+            "fig2b",
+            "fig3",
+            "fig4a",
+            "fig4bcd",
+            "fig5",
+            "fig11",
+            "fig13",
+            "overheads",
+            "ablations",
+            "verify",
         ] {
             println!("==================== {name} ====================");
             println!("{}", run(name));

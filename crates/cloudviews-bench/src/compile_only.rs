@@ -83,7 +83,10 @@ mod tests {
         let records = cluster_records(&w, 0, 2).unwrap();
         assert!(!records.is_empty());
         let jobs_day0 = w.jobs_for_instance(0, 0).unwrap();
-        assert_eq!(records.iter().filter(|r| r.instance == 0).count(), jobs_day0.len());
+        assert_eq!(
+            records.iter().filter(|r| r.instance == 0).count(),
+            jobs_day0.len()
+        );
         for r in &records {
             assert!(!r.subgraphs.is_empty());
             assert!(!r.tags.is_empty());

@@ -81,8 +81,7 @@ pub fn fig1(seed: u64) -> Result<String> {
 // ---------------------------------------------------------------------------
 
 fn large_cluster_metrics(seed: u64, vcs: usize) -> Result<(Vec<JobRecord>, String)> {
-    let workload =
-        RecurringWorkload::generate(WorkloadConfig::paper_large_cluster(seed, vcs))?;
+    let workload = RecurringWorkload::generate(WorkloadConfig::paper_large_cluster(seed, vcs))?;
     let records = cluster_records(&workload, 0, 1)?;
     Ok((records, format!("{} VCs", vcs)))
 }
@@ -123,8 +122,7 @@ pub fn fig2b(seed: u64, vcs: usize) -> Result<String> {
     let mut avgs: Vec<f64> = per_vc
         .values()
         .filter_map(|sigs| {
-            let freqs: Vec<u64> =
-                sigs.values().filter(|c| **c >= 2).copied().collect();
+            let freqs: Vec<u64> = sigs.values().filter(|c| **c >= 2).copied().collect();
             if freqs.is_empty() {
                 None
             } else {
@@ -133,8 +131,7 @@ pub fn fig2b(seed: u64, vcs: usize) -> Result<String> {
         })
         .collect();
     avgs.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    let mut out =
-        format!("# Figure 2b — average overlap frequency per VC ({label}), sorted\n");
+    let mut out = format!("# Figure 2b — average overlap frequency per VC ({label}), sorted\n");
     for (i, f) in avgs.iter().enumerate() {
         out.push_str(&format!("{i}\t{f:.2}\n"));
     }
@@ -157,15 +154,55 @@ pub fn fig3(seed: u64) -> Result<String> {
     let workload = RecurringWorkload::generate(WorkloadConfig::paper_business_unit(seed))?;
     let records = cluster_records(&workload, 0, 1)?;
     let m = overlap_metrics(&refs(&records));
-    let per_job: Vec<f64> = m.per_job.values().map(|&c| c as f64).filter(|c| *c > 0.0).collect();
+    let per_job: Vec<f64> = m
+        .per_job
+        .values()
+        .map(|&c| c as f64)
+        .filter(|c| *c > 0.0)
+        .collect();
     let per_input: Vec<f64> = m.per_input.values().map(|&c| c as f64).collect();
-    let per_user: Vec<f64> = m.per_user.values().map(|&c| c as f64).filter(|c| *c > 0.0).collect();
-    let per_vc: Vec<f64> = m.per_vc.values().map(|&c| c as f64).filter(|c| *c > 0.0).collect();
-    let mut out = String::from("# Figure 3 — cumulative overlap distributions, one business unit\n");
-    out.push_str(&cdf_lines("3a overlaps per job", &Distribution::new(per_job), 1.0, 1e3, 16));
-    out.push_str(&cdf_lines("3b consumptions per input", &Distribution::new(per_input), 1.0, 1e4, 16));
-    out.push_str(&cdf_lines("3c overlaps per user", &Distribution::new(per_user), 1.0, 1e4, 16));
-    out.push_str(&cdf_lines("3d overlaps per VC", &Distribution::new(per_vc), 1.0, 1e5, 16));
+    let per_user: Vec<f64> = m
+        .per_user
+        .values()
+        .map(|&c| c as f64)
+        .filter(|c| *c > 0.0)
+        .collect();
+    let per_vc: Vec<f64> = m
+        .per_vc
+        .values()
+        .map(|&c| c as f64)
+        .filter(|c| *c > 0.0)
+        .collect();
+    let mut out =
+        String::from("# Figure 3 — cumulative overlap distributions, one business unit\n");
+    out.push_str(&cdf_lines(
+        "3a overlaps per job",
+        &Distribution::new(per_job),
+        1.0,
+        1e3,
+        16,
+    ));
+    out.push_str(&cdf_lines(
+        "3b consumptions per input",
+        &Distribution::new(per_input),
+        1.0,
+        1e4,
+        16,
+    ));
+    out.push_str(&cdf_lines(
+        "3c overlaps per user",
+        &Distribution::new(per_user),
+        1.0,
+        1e4,
+        16,
+    ));
+    out.push_str(&cdf_lines(
+        "3d overlaps per VC",
+        &Distribution::new(per_vc),
+        1.0,
+        1e5,
+        16,
+    ));
     Ok(out)
 }
 
@@ -200,9 +237,27 @@ pub fn fig4bcd(seed: u64) -> Result<String> {
             .collect()
     };
     let mut out = String::from("# Figure 4b-d — per-operator overlap frequency CDFs\n");
-    out.push_str(&cdf_lines("4b shuffle (Exchange)", &Distribution::new(freq_of(OpKind::Exchange)), 1.0, 1e4, 14));
-    out.push_str(&cdf_lines("4c filter", &Distribution::new(freq_of(OpKind::Filter)), 1.0, 1e3, 14));
-    out.push_str(&cdf_lines("4d processor (user code)", &Distribution::new(freq_of(OpKind::Process)), 1.0, 1e3, 14));
+    out.push_str(&cdf_lines(
+        "4b shuffle (Exchange)",
+        &Distribution::new(freq_of(OpKind::Exchange)),
+        1.0,
+        1e4,
+        14,
+    ));
+    out.push_str(&cdf_lines(
+        "4c filter",
+        &Distribution::new(freq_of(OpKind::Filter)),
+        1.0,
+        1e3,
+        14,
+    ));
+    out.push_str(&cdf_lines(
+        "4d processor (user code)",
+        &Distribution::new(freq_of(OpKind::Process)),
+        1.0,
+        1e3,
+        14,
+    ));
     Ok(out)
 }
 
@@ -229,10 +284,14 @@ pub fn fig5(seed: u64, row_scale: f64) -> Result<String> {
     let groups = mine_overlaps(&refs(&records));
 
     let freq: Vec<f64> = groups.iter().map(|g| g.occurrences as f64).collect();
-    let runtime: Vec<f64> =
-        groups.iter().map(|g| g.avg_cumulative_cpu.as_secs_f64()).collect();
-    let size_gb: Vec<f64> =
-        groups.iter().map(|g| g.avg_out_bytes as f64 / 1e9).collect();
+    let runtime: Vec<f64> = groups
+        .iter()
+        .map(|g| g.avg_cumulative_cpu.as_secs_f64())
+        .collect();
+    let size_gb: Vec<f64> = groups
+        .iter()
+        .map(|g| g.avg_out_bytes as f64 / 1e9)
+        .collect();
     let ratio: Vec<f64> = groups.iter().map(|g| g.cost_ratio()).collect();
 
     let mut out = format!(
@@ -240,9 +299,27 @@ pub fn fig5(seed: u64, row_scale: f64) -> Result<String> {
         jobs.len(),
         groups.len()
     );
-    out.push_str(&cdf_lines("5a frequency", &Distribution::new(freq), 1.0, 1e4, 14));
-    out.push_str(&cdf_lines("5b runtime (s)", &Distribution::new(runtime), 1e-5, 1e3, 14));
-    out.push_str(&cdf_lines("5c size (GB)", &Distribution::new(size_gb), 1e-7, 1.0, 14));
+    out.push_str(&cdf_lines(
+        "5a frequency",
+        &Distribution::new(freq),
+        1.0,
+        1e4,
+        14,
+    ));
+    out.push_str(&cdf_lines(
+        "5b runtime (s)",
+        &Distribution::new(runtime),
+        1e-5,
+        1e3,
+        14,
+    ));
+    out.push_str(&cdf_lines(
+        "5c size (GB)",
+        &Distribution::new(size_gb),
+        1e-7,
+        1.0,
+        14,
+    ));
     // Cost ratio is linear in the paper; print a linear CDF.
     let d = Distribution::new(ratio);
     out.push_str(&format!("# 5d view-to-query cost ratio: {}\n", d.summary()));
@@ -349,7 +426,11 @@ pub fn fig13(scale: f64) -> Result<String> {
     );
     let mut improved = 0;
     for (b, e) in baseline.iter().zip(&enabled) {
-        assert_eq!(b.output_checksums, e.output_checksums, "q{} corrupted", b.job);
+        assert_eq!(
+            b.output_checksums, e.output_checksums,
+            "q{} corrupted",
+            b.job
+        );
         let delta = pct_change(b.latency, e.latency);
         if delta > 0.5 {
             improved += 1;
@@ -407,26 +488,34 @@ pub fn overheads(scale: f64) -> Result<String> {
 
     // Paired per-query comparison: each query's optimize time in the
     // CloudViews pass against its own baseline time.
-    let paired_change = |cv: &[cloudviews::runtime::JobRunReport],
-                         f: &dyn Fn(&cloudviews::runtime::JobRunReport) -> bool| {
-        let deltas: Vec<f64> = cv
-            .iter()
-            .zip(&baseline)
-            .filter(|(r, _)| f(r))
-            .map(|(r, b)| {
-                let base = b.optimizer.wall_time.as_secs_f64().max(1e-9);
-                100.0 * (r.optimizer.wall_time.as_secs_f64() / base - 1.0)
-            })
-            .collect();
-        (deltas.iter().sum::<f64>() / deltas.len().max(1) as f64, deltas.len())
-    };
+    let paired_change =
+        |cv: &[cloudviews::runtime::JobRunReport],
+         f: &dyn Fn(&cloudviews::runtime::JobRunReport) -> bool| {
+            let deltas: Vec<f64> = cv
+                .iter()
+                .zip(&baseline)
+                .filter(|(r, _)| f(r))
+                .map(|(r, b)| {
+                    let base = b.optimizer.wall_time.as_secs_f64().max(1e-9);
+                    100.0 * (r.optimizer.wall_time.as_secs_f64() / base - 1.0)
+                })
+                .collect();
+            (
+                deltas.iter().sum::<f64>() / deltas.len().max(1) as f64,
+                deltas.len(),
+            )
+        };
     let base_us = baseline
         .iter()
         .map(|r| r.optimizer.wall_time.as_secs_f64() * 1e6)
         .sum::<f64>()
         / baseline.len() as f64;
-    let (mat_pct, n_mat) = paired_change(&first, &|r| !r.views_built.is_empty() && r.views_reused.is_empty());
-    let (reuse_pct, n_reuse) = paired_change(&second, &|r| !r.views_reused.is_empty() && r.views_built.is_empty());
+    let (mat_pct, n_mat) = paired_change(&first, &|r| {
+        !r.views_built.is_empty() && r.views_reused.is_empty()
+    });
+    let (reuse_pct, n_reuse) = paired_change(&second, &|r| {
+        !r.views_reused.is_empty() && r.views_built.is_empty()
+    });
     out.push_str(&format!(
         "optimizer_time\tbaseline_avg={base_us:.0}us\n\
          optimizer_time\tmaterializing({n_mat} queries)\t{mat_pct:+.0}% vs same-query baseline (paper +28%)\n\
@@ -558,9 +647,8 @@ pub fn ablation_physical_design(row_scale: f64) -> Result<String> {
         constraints: SelectionConstraints::paper_production(),
         ..Default::default()
     };
-    let (base, cv_mined, _) = run_prod32_with_views(row_scale, |svc| {
-        Ok(svc.analyze(&production)?.selected)
-    })?;
+    let (base, cv_mined, _) =
+        run_prod32_with_views(row_scale, |svc| Ok(svc.analyze(&production)?.selected))?;
     let (_, cv_bad, _) = run_prod32_with_views(row_scale, |svc| {
         let mut selected = svc.analyze(&production)?.selected;
         for s in &mut selected {
@@ -672,14 +760,25 @@ pub fn ablation_selection(row_scale: f64) -> Result<String> {
             ..Default::default()
         })?
     };
-    let mut sizes: Vec<u64> =
-        probe.selected.iter().map(|s| s.annotation.avg_bytes).collect();
+    let mut sizes: Vec<u64> = probe
+        .selected
+        .iter()
+        .map(|s| s.annotation.avg_bytes)
+        .collect();
     sizes.sort_unstable();
     let budget: u64 = sizes.iter().take(2).sum::<u64>() + sizes.first().copied().unwrap_or(0) / 2;
     for (label, policy) in [
         ("top3_utility", SelectionPolicy::TopKUtility { k: 3 }),
-        ("top3_per_byte", SelectionPolicy::TopKUtilityPerByte { k: 3 }),
-        ("packing_budget", SelectionPolicy::Packing { storage_budget_bytes: budget }),
+        (
+            "top3_per_byte",
+            SelectionPolicy::TopKUtilityPerByte { k: 3 },
+        ),
+        (
+            "packing_budget",
+            SelectionPolicy::Packing {
+                storage_budget_bytes: budget,
+            },
+        ),
     ] {
         let cfg = AnalyzerConfig {
             policy,

@@ -118,7 +118,13 @@ pub fn jobs(instance: u64) -> Result<Vec<JobSpec>> {
                 scan,
                 Expr::col(3).ge(Expr::param("@@startDate", Value::Date(date))),
             );
-            let ex = b.exchange(fil, Partitioning::Hash { cols: vec![0], parts: 8 });
+            let ex = b.exchange(
+                fil,
+                Partitioning::Hash {
+                    cols: vec![0],
+                    parts: 8,
+                },
+            );
             let agg = b.aggregate(
                 ex,
                 vec![0],
@@ -136,22 +142,21 @@ pub fn jobs(instance: u64) -> Result<Vec<JobSpec>> {
                 stream_schema(),
             );
             let pfil = b.filter(pscan, Expr::col(2).gt(Expr::lit(5.0 + k as f64)));
-            let pex = b.exchange(pfil, Partitioning::Hash { cols: vec![0], parts: 8 });
-            let pagg = b.aggregate(
-                pex,
-                vec![0],
-                vec![AggExpr::new("mine", AggFunc::Sum, 2)],
+            let pex = b.exchange(
+                pfil,
+                Partitioning::Hash {
+                    cols: vec![0],
+                    parts: 8,
+                },
             );
+            let pagg = b.aggregate(pex, vec![0], vec![AggExpr::new("mine", AggFunc::Sum, 2)]);
             let joined = b.join(shared_root, pagg, JoinKind::Inner, vec![0], vec![0]);
             let out = b.project(
                 joined,
                 vec![
                     NamedExpr::new("user", Expr::col(0)),
                     NamedExpr::new("events", Expr::col(1)),
-                    NamedExpr::new(
-                        "score",
-                        Expr::col(2).mul(Expr::lit(1.0 + k as f64 / 10.0)),
-                    ),
+                    NamedExpr::new("score", Expr::col(2).mul(Expr::lit(1.0 + k as f64 / 10.0))),
                 ],
             );
             b.write(out, format!("prod32/out/j{job_idx}/<date>/r.ss"));

@@ -20,9 +20,7 @@ use scope_common::ids::JobId;
 use scope_common::time::SimDuration;
 use scope_common::Result;
 
-use crate::analyzer::{
-    selection::SelectionConstraints, AnalyzerConfig, OverlapGroup,
-};
+use crate::analyzer::{selection::SelectionConstraints, AnalyzerConfig, OverlapGroup};
 use crate::runtime::CloudViews;
 
 /// Outcome of a storage-reclamation pass.
@@ -112,7 +110,11 @@ impl SelectionExplanation {
             "computation {} — utility {} — {}\n",
             self.normalized.short(),
             self.utility,
-            if self.admitted { "ADMITTED (ranked by policy)" } else { "REJECTED" }
+            if self.admitted {
+                "ADMITTED (ranked by policy)"
+            } else {
+                "REJECTED"
+            }
         );
         for s in &self.steps {
             out.push_str(&format!(
@@ -249,6 +251,46 @@ pub fn admin_report(service: &CloudViews, config: &AnalyzerConfig, top: usize) -
     Ok(out)
 }
 
+/// The operator-facing fault-tolerance dashboard: metadata-service failure
+/// and recovery counters, live build-lock pressure, injected-fault totals
+/// (when a fault plan is installed), and the per-job degradation drill-down
+/// from [`crate::reporting::fault_report`].
+pub fn fault_dashboard(service: &CloudViews, reports: &[crate::runtime::JobRunReport]) -> String {
+    let stats = service.metadata.stats();
+    let now = service.clock.now();
+    let mut out = format!(
+        "metadata: lookups={} failed_lookups={} failed_proposals={} \
+         failed_reports={}\nlocks: granted={} conflicts={} expired_takeovers={} \
+         active_now={}\n",
+        stats.lookups,
+        stats.failed_lookups,
+        stats.failed_proposals,
+        stats.failed_reports,
+        stats.locks_granted,
+        stats.lock_conflicts,
+        stats.expired_takeovers,
+        service.metadata.num_active_locks(now),
+    );
+    if let Some(injector) = &service.faults {
+        let injected = injector.injected();
+        out.push_str(&format!(
+            "injected: total={} lookup={} propose={} report={} crash={} \
+             loss={} corrupt={} delayed={}\n",
+            injected.total(),
+            injected.lookup_failures,
+            injected.propose_failures,
+            injected.report_failures,
+            injected.builder_crashes,
+            injected.views_lost,
+            injected.views_corrupted,
+            injected.delayed_publications,
+        ));
+    }
+    out.push('\n');
+    out.push_str(&crate::reporting::fault_report(reports));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,7 +310,8 @@ mod tests {
         .unwrap();
         let cv = CloudViews::new(Arc::new(StorageManager::new()));
         w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
-        cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+            .unwrap();
         let analysis = cv
             .analyze(&AnalyzerConfig {
                 policy: SelectionPolicy::TopKUtility { k: 6 },
@@ -277,7 +320,8 @@ mod tests {
             .unwrap();
         cv.install_analysis(&analysis);
         w.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
-        cv.run_sequence(&w.jobs_for_instance(0, 1).unwrap(), RunMode::CloudViews).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 1).unwrap(), RunMode::CloudViews)
+            .unwrap();
         (cv, w)
     }
 
@@ -309,7 +353,10 @@ mod tests {
         let best = groups
             .iter()
             .filter(|g| {
-                cv.storage.view_metas().iter().any(|m| m.normalized == g.normalized)
+                cv.storage
+                    .view_metas()
+                    .iter()
+                    .any(|m| m.normalized == g.normalized)
             })
             .max_by_key(|g| g.utility());
         if let Some(best) = best {
@@ -335,14 +382,16 @@ mod tests {
         };
         let explanation = explain_selection(&groups[0], &strict);
         assert!(!explanation.admitted);
-        let failed: Vec<_> =
-            explanation.steps.iter().filter(|s| !s.passed).collect();
+        let failed: Vec<_> = explanation.steps.iter().filter(|s| !s.passed).collect();
         assert!(failed.iter().any(|s| s.check == "min_frequency"));
         let text = explanation.render();
         assert!(text.contains("REJECTED"));
         assert!(text.contains("min_frequency"));
 
-        let lax = SelectionConstraints { min_nodes: 0, ..Default::default() };
+        let lax = SelectionConstraints {
+            min_nodes: 0,
+            ..Default::default()
+        };
         let explanation = explain_selection(&groups[0], &lax);
         assert!(explanation.render().contains("ok"));
     }
@@ -357,6 +406,39 @@ mod tests {
         assert!(!trace.historical_jobs.is_empty());
         // Unknown signature: no trace.
         assert!(trace_view(&cv, Sig128::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn fault_dashboard_renders_clean_and_faulty() {
+        use crate::faults::{FaultPlan, FaultSite, ScriptedFault};
+
+        let (cv, w) = running_service();
+        // Clean service: counters render, no injected section, no drill-down.
+        let text = fault_dashboard(&cv, &[]);
+        assert!(text.contains("metadata: lookups="));
+        assert!(text.contains("expired_takeovers="));
+        assert!(!text.contains("injected:"));
+        assert!(text.contains("no faults observed"));
+
+        // Fail the first lookup of every job: the dashboard shows both the
+        // injected totals and the per-job degradation rows.
+        let mut cv = cv;
+        cv.install_fault_plan(FaultPlan {
+            scripted: vec![ScriptedFault {
+                site: FaultSite::MetadataLookup,
+                job: None,
+                call_index: 0,
+            }],
+            ..Default::default()
+        });
+        w.register_instance_data(0, 2, &cv.storage, 1.0).unwrap();
+        let reports = cv
+            .run_sequence(&w.jobs_for_instance(0, 2).unwrap(), RunMode::CloudViews)
+            .unwrap();
+        let text = fault_dashboard(&cv, &reports);
+        assert!(text.contains("injected: total="), "{text}");
+        assert!(text.contains("failed_lookups="), "{text}");
+        assert!(text.contains("TOTAL"), "{text}");
     }
 
     #[test]

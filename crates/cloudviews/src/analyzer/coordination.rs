@@ -22,8 +22,7 @@ use super::overlap::OverlapGroup;
 
 /// Builds the run-first template list from the selected overlap groups.
 pub fn order_hints(selected: &[OverlapGroup], records: &[&JobRecord]) -> Vec<TemplateId> {
-    let latency: HashMap<JobId, SimDuration> =
-        records.iter().map(|r| (r.job, r.latency)).collect();
+    let latency: HashMap<JobId, SimDuration> = records.iter().map(|r| (r.job, r.latency)).collect();
     let template_of: HashMap<JobId, TemplateId> =
         records.iter().map(|r| (r.job, r.template)).collect();
 
@@ -84,9 +83,8 @@ pub fn apply_order<T, F: Fn(&T) -> TemplateId>(
     hints: &[TemplateId],
     template_of: F,
 ) -> Vec<T> {
-    let rank = |t: &TemplateId| -> usize {
-        hints.iter().position(|h| h == t).unwrap_or(usize::MAX)
-    };
+    let rank =
+        |t: &TemplateId| -> usize { hints.iter().position(|h| h == t).unwrap_or(usize::MAX) };
     let mut indexed: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
     indexed.sort_by(|(ia, a), (ib, b)| {
         rank(&template_of(a))
@@ -146,7 +144,7 @@ mod tests {
     fn shortest_job_per_group_runs_first() {
         // Jobs 1 (slow) and 2 (fast) share one overlap; the fast one should
         // be hinted to build.
-        let records = vec![rec(1, 10, 100), rec(2, 20, 5)];
+        let records = [rec(1, 10, 100), rec(2, 20, 5)];
         let refs: Vec<&JobRecord> = records.iter().collect();
         let hints = order_hints(&[grp("v", &[1, 2])], &refs);
         assert_eq!(hints, vec![TemplateId::new(20)]);
@@ -156,7 +154,7 @@ mod tests {
     fn multiple_groups_ordered_by_runtime() {
         // Group with 1 overlap: jobs 1,2 (fastest 2). Group with 2
         // overlaps: job 3 alone (in both groups).
-        let records = vec![rec(1, 10, 50), rec(2, 20, 5), rec(3, 30, 20)];
+        let records = [rec(1, 10, 50), rec(2, 20, 5), rec(3, 30, 20)];
         let refs: Vec<&JobRecord> = records.iter().collect();
         let hints = order_hints(&[grp("a", &[1, 2, 3]), grp("b", &[3])], &refs);
         // Job 2 (1 overlap, 5s) and job 3 (2 overlaps, 20s): runtime order.

@@ -37,7 +37,10 @@ impl LineageTracker {
         let mut times: HashMap<TemplateId, Vec<(u64, SimTime)>> = HashMap::new();
         let mut consumers: HashMap<String, Vec<TemplateId>> = HashMap::new();
         for r in records {
-            times.entry(r.template).or_default().push((r.instance, r.submitted_at));
+            times
+                .entry(r.template)
+                .or_default()
+                .push((r.instance, r.submitted_at));
             for tag in &r.tags {
                 let list = consumers.entry(tag.clone()).or_default();
                 if !list.contains(&r.template) {
@@ -65,7 +68,10 @@ impl LineageTracker {
                 template_period.insert(template, period);
             }
         }
-        LineageTracker { template_period, consumers }
+        LineageTracker {
+            template_period,
+            consumers,
+        }
     }
 
     /// The recurrence period of a template, if at least two instances were
@@ -101,12 +107,7 @@ mod tests {
     use super::*;
     use scope_common::ids::{ClusterId, JobId, UserId, VcId};
 
-    fn record(
-        template: u64,
-        instance: u64,
-        at_secs: u64,
-        tags: &[&str],
-    ) -> JobRecord {
+    fn record(template: u64, instance: u64, at_secs: u64, tags: &[&str]) -> JobRecord {
         JobRecord {
             job: JobId::new(template * 100 + instance),
             cluster: ClusterId::new(0),
@@ -127,7 +128,7 @@ mod tests {
 
     #[test]
     fn period_mined_from_instances() {
-        let records = vec![
+        let records = [
             record(1, 0, 0, &["in/a"]),
             record(1, 1, HOUR, &["in/a"]),
             record(1, 2, 2 * HOUR, &["in/a"]),
@@ -143,7 +144,7 @@ mod tests {
     #[test]
     fn ttl_uses_slowest_consumer() {
         // Hourly template 1 and daily template 2 both consume in/a.
-        let records = vec![
+        let records = [
             record(1, 0, 0, &["in/a"]),
             record(1, 1, HOUR, &["in/a"]),
             record(2, 0, 0, &["in/a", "in/b"]),
@@ -169,7 +170,7 @@ mod tests {
 
     #[test]
     fn single_instance_templates_fall_back() {
-        let records = vec![record(1, 0, 0, &["in/a"])];
+        let records = [record(1, 0, 0, &["in/a"])];
         let refs: Vec<&JobRecord> = records.iter().collect();
         let lineage = LineageTracker::from_records(&refs);
         assert_eq!(lineage.template_period(TemplateId::new(1)), None);
@@ -182,7 +183,7 @@ mod tests {
     #[test]
     fn missing_instances_normalize_gap() {
         // Instances 0 and 4 observed, 4 hours apart ⇒ hourly period.
-        let records = vec![
+        let records = [
             record(1, 0, 0, &["in/a"]),
             record(1, 4, 4 * HOUR, &["in/a"]),
         ];
@@ -196,7 +197,7 @@ mod tests {
 
     #[test]
     fn ttl_never_below_default() {
-        let records = vec![
+        let records = [
             record(1, 0, 0, &["in/a"]),
             record(1, 1, 60, &["in/a"]), // minutely recurrence
         ];

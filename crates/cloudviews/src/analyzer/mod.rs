@@ -162,8 +162,8 @@ pub(crate) mod testutil {
     use scope_engine::repo::{JobIdentity, WorkloadRepository};
     use scope_engine::sim::{simulate, ClusterConfig};
     use scope_engine::storage::StorageManager;
-    use scope_workload::recurring::{ClusterSpec, RecurringWorkload, WorkloadConfig};
     use scope_workload::dists::LogNormal;
+    use scope_workload::recurring::{ClusterSpec, RecurringWorkload, WorkloadConfig};
 
     /// Runs `instances` recurring instances of a tiny workload baseline
     /// (no CloudViews) and returns the repository + storage + workload.
@@ -183,7 +183,9 @@ pub(crate) mod testutil {
         let cluster = ClusterConfig::default();
         let mut now = SimTime::ZERO;
         for inst in 0..instances {
-            workload.register_instance_data(0, inst, &storage, 1.0).unwrap();
+            workload
+                .register_instance_data(0, inst, &storage, 1.0)
+                .unwrap();
             for spec in workload.jobs_for_instance(0, inst).unwrap() {
                 run_one(&spec, &storage, &repo, &model, &cluster, now);
                 now += SimDuration::from_secs(30);
@@ -270,7 +272,10 @@ mod tests {
         assert!(only_vc0.jobs_analyzed < all.jobs_analyzed);
         let excluded = run_analysis(
             &records,
-            &AnalyzerConfig { exclude_vcs: vec![VcId::new(0)], ..Default::default() },
+            &AnalyzerConfig {
+                exclude_vcs: vec![VcId::new(0)],
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(

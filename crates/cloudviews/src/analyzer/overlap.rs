@@ -68,7 +68,8 @@ impl OverlapGroup {
     /// the view instead of recomputing.
     pub fn utility(&self) -> SimDuration {
         let freq = self.per_instance_frequency();
-        self.avg_cumulative_cpu.mul_f64(freq.saturating_sub(1) as f64)
+        self.avg_cumulative_cpu
+            .mul_f64(freq.saturating_sub(1) as f64)
     }
 
     /// Utility per stored byte (selection heuristic).
@@ -97,9 +98,10 @@ pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
     let mut by_precise: HashMap<Sig128, PreciseAcc> = HashMap::new();
     for r in records {
         for s in &r.subgraphs {
-            let acc = by_precise
-                .entry(s.precise)
-                .or_insert_with(|| PreciseAcc { count: 0, jobs: HashSet::new() });
+            let acc = by_precise.entry(s.precise).or_insert_with(|| PreciseAcc {
+                count: 0,
+                jobs: HashSet::new(),
+            });
             acc.count += 1;
             acc.jobs.insert(r.job);
         }
@@ -179,7 +181,7 @@ pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
             let n = acc.samples.max(1) as u128;
             let mut props_votes: Vec<(PhysicalProps, usize)> =
                 acc.props_votes.into_iter().collect();
-            props_votes.sort_by(|a, b| b.1.cmp(&a.1));
+            props_votes.sort_by_key(|v| std::cmp::Reverse(v.1));
             let mut jobs: Vec<JobId> = acc.jobs.into_iter().collect();
             jobs.sort_unstable();
             let mut users: Vec<UserId> = acc.users.into_iter().collect();
@@ -201,9 +203,7 @@ pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
                 num_nodes: acc.num_nodes,
                 has_user_code: acc.has_user_code,
                 input_tags: acc.input_tags,
-                avg_cumulative_cpu: SimDuration::from_micros(
-                    (acc.cum_cpu_sum / n) as u64,
-                ),
+                avg_cumulative_cpu: SimDuration::from_micros((acc.cum_cpu_sum / n) as u64),
                 avg_out_rows: (acc.rows_sum / n) as u64,
                 avg_out_bytes: (acc.bytes_sum / n) as u64,
                 avg_job_cpu: SimDuration::from_micros((acc.job_cpu_sum / n) as u64),
@@ -213,7 +213,9 @@ pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
         .collect();
     // Deterministic order: utility descending, then signature.
     groups.sort_by(|a, b| {
-        b.utility().cmp(&a.utility()).then(a.normalized.cmp(&b.normalized))
+        b.utility()
+            .cmp(&a.utility())
+            .then(a.normalized.cmp(&b.normalized))
     });
     groups
 }
@@ -296,8 +298,11 @@ pub fn overlap_metrics(records: &[&JobRecord]) -> OverlapMetrics {
             *counts.entry(s.precise).or_default() += 1;
         }
     }
-    let overlapping: HashSet<Sig128> =
-        counts.iter().filter(|(_, c)| **c >= 2).map(|(s, _)| *s).collect();
+    let overlapping: HashSet<Sig128> = counts
+        .iter()
+        .filter(|(_, c)| **c >= 2)
+        .map(|(s, _)| *s)
+        .collect();
 
     let mut m = OverlapMetrics {
         jobs_total: records.len(),

@@ -120,7 +120,10 @@ impl SelectionConstraints {
             && g.avg_out_bytes <= self.max_bytes
             && g.num_nodes >= self.min_nodes
             && !(self.exclude_outputs
-                && matches!(g.root_kind, scope_plan::OpKind::Output | scope_plan::OpKind::Write))
+                && matches!(
+                    g.root_kind,
+                    scope_plan::OpKind::Output | scope_plan::OpKind::Write
+                ))
             && self.custom.map(|f| f(g)).unwrap_or(true)
     }
 }
@@ -137,7 +140,7 @@ pub fn select(
 
     let picked: Vec<&OverlapGroup> = match policy {
         SelectionPolicy::TopKUtility { k } => {
-            candidates.sort_by(|a, b| b.utility().cmp(&a.utility()));
+            candidates.sort_by_key(|g| std::cmp::Reverse(g.utility()));
             take_with_job_cap(&candidates, *k, constraints.per_job_cap)
         }
         SelectionPolicy::TopKUtilityPerByte { k } => {
@@ -149,12 +152,12 @@ pub fn select(
             take_with_job_cap(&candidates, *k, constraints.per_job_cap)
         }
         SelectionPolicy::MinUtility { k } => {
-            candidates.sort_by(|a, b| a.utility().cmp(&b.utility()));
+            candidates.sort_by_key(|a| a.utility());
             candidates.into_iter().take(*k).collect()
         }
-        SelectionPolicy::Packing { storage_budget_bytes } => {
-            pack(&candidates, *storage_budget_bytes)
-        }
+        SelectionPolicy::Packing {
+            storage_budget_bytes,
+        } => pack(&candidates, *storage_budget_bytes),
     };
     picked.into_iter().cloned().collect()
 }
@@ -172,7 +175,10 @@ fn take_with_job_cap<'a>(
             break;
         }
         if let Some(cap) = cap {
-            if g.jobs.iter().any(|j| job_use.get(j).copied().unwrap_or(0) >= cap) {
+            if g.jobs
+                .iter()
+                .any(|j| job_use.get(j).copied().unwrap_or(0) >= cap)
+            {
                 continue;
             }
         }
@@ -214,29 +220,30 @@ fn pack<'a>(candidates: &[&'a OverlapGroup], budget: u64) -> Vec<&'a OverlapGrou
         .filter(|g| !selected_set.contains(&g.normalized))
         .copied()
         .collect();
-    unselected.sort_by(|a, b| b.utility().cmp(&a.utility()));
+    unselected.sort_by_key(|g| std::cmp::Reverse(g.utility()));
 
     let mut improved = true;
     let mut passes = 0;
     while improved && passes < 3 {
         improved = false;
         passes += 1;
-        for i in 0..selected.len() {
-            let freed = used - selected[i].avg_out_bytes.max(1);
-            let out_util = selected[i].utility();
-            if let Some(pos) = unselected.iter().position(|c| {
-                freed + c.avg_out_bytes.max(1) <= budget && c.utility() > out_util
-            }) {
+        for slot in selected.iter_mut() {
+            let freed = used - slot.avg_out_bytes.max(1);
+            let out_util = slot.utility();
+            if let Some(pos) = unselected
+                .iter()
+                .position(|c| freed + c.avg_out_bytes.max(1) <= budget && c.utility() > out_util)
+            {
                 let incoming = unselected.remove(pos);
-                let outgoing = std::mem::replace(&mut selected[i], incoming);
-                used = freed + incoming_size(selected[i]);
+                let outgoing = std::mem::replace(slot, incoming);
+                used = freed + incoming_size(slot);
                 unselected.push(outgoing);
-                unselected.sort_by(|a, b| b.utility().cmp(&a.utility()));
+                unselected.sort_by_key(|g| std::cmp::Reverse(g.utility()));
                 improved = true;
             }
         }
     }
-    selected.sort_by(|a, b| b.utility().cmp(&a.utility()));
+    selected.sort_by_key(|g| std::cmp::Reverse(g.utility()));
     selected
 }
 
@@ -318,7 +325,10 @@ mod tests {
             group("rare", 2, 100, 100, &[1], OpKind::Sort),
             group("frequent", 4, 100, 100, &[2], OpKind::Sort),
         ];
-        let c = SelectionConstraints { min_frequency: 3, ..Default::default() };
+        let c = SelectionConstraints {
+            min_frequency: 3,
+            ..Default::default()
+        };
         let sel = select(&groups, &SelectionPolicy::TopKUtility { k: 10 }, &c);
         assert_eq!(sel.len(), 1);
         assert_eq!(sel[0].normalized, sip128(b"frequent"));
@@ -336,7 +346,10 @@ mod tests {
         let sel = select(
             &groups,
             &SelectionPolicy::TopKUtility { k: 10 },
-            &SelectionConstraints { exclude_outputs: false, ..Default::default() },
+            &SelectionConstraints {
+                exclude_outputs: false,
+                ..Default::default()
+            },
         );
         assert_eq!(sel.len(), 1);
     }
@@ -348,7 +361,10 @@ mod tests {
             group("b", 4, 9, 100, &[2, 3], OpKind::Sort), // shares job 2
             group("c", 3, 8, 100, &[4], OpKind::Sort),
         ];
-        let c = SelectionConstraints { per_job_cap: Some(1), ..Default::default() };
+        let c = SelectionConstraints {
+            per_job_cap: Some(1),
+            ..Default::default()
+        };
         let sel = select(&groups, &SelectionPolicy::TopKUtility { k: 3 }, &c);
         let names: Vec<_> = sel.iter().map(|g| g.normalized).collect();
         assert!(names.contains(&sip128(b"a")));
@@ -365,7 +381,9 @@ mod tests {
         ];
         let sel = select(
             &groups,
-            &SelectionPolicy::Packing { storage_budget_bytes: 1_300 },
+            &SelectionPolicy::Packing {
+                storage_budget_bytes: 1_300,
+            },
             &SelectionConstraints::default(),
         );
         assert_eq!(sel.len(), 2);
@@ -386,7 +404,9 @@ mod tests {
         groups[0].avg_out_bytes = 5;
         let sel = select(
             &groups,
-            &SelectionPolicy::Packing { storage_budget_bytes: 100 },
+            &SelectionPolicy::Packing {
+                storage_budget_bytes: 100,
+            },
             &SelectionConstraints::default(),
         );
         // Local search should end with the fat one (utility 40 > 4).

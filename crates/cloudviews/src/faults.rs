@@ -1,0 +1,367 @@
+//! Deterministic fault injection for the CloudViews runtime (DESIGN.md
+//! "Fault tolerance & degradation").
+//!
+//! The paper (§6) claims the runtime degrades gracefully: metadata-service
+//! failures must never fail a job (the job falls back to its baseline plan),
+//! a crashed builder's exclusive build lock lapses at its mined expiry so
+//! another job can take over, and a lost or corrupted view file falls back
+//! to recomputation. This module provides the adversary that proves it:
+//!
+//! * a [`FaultPlan`] — per-site probabilities plus scripted triggers — that
+//!   is **deterministic and seedable**: every decision is a pure hash of
+//!   `(seed, site, job, per-job call index)`, so a run injects exactly the
+//!   same faults regardless of thread interleaving, and any failure
+//!   reproduces from its seed;
+//! * a [`FaultInjector`] threaded through the metadata service and the
+//!   runtime driver, which records every injected fault in
+//!   [`InjectedFaults`] so tests can prove the per-job degradation counters
+//!   account for everything that was injected.
+//!
+//! Sites map to the failure modes of the paper's runtime:
+//!
+//! | site                | models                                           |
+//! |---------------------|--------------------------------------------------|
+//! | `MetadataLookup`    | the per-job annotation lookup times out / fails  |
+//! | `Propose`           | a propose (build-lock) call fails                |
+//! | `ReportMaterialized`| the job manager's success report fails           |
+//! | `BuilderCrash`      | the builder dies mid-materialization, lock held  |
+//! | `ViewLoss`          | a published view file disappears from storage    |
+//! | `ViewCorruption`    | a published view file is corrupted in place      |
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scope_common::hash::{sip64, Sig128};
+use scope_common::ids::JobId;
+use scope_common::time::SimDuration;
+use scope_engine::storage::StorageManager;
+use std::collections::HashMap;
+
+/// A failure-injection site in the runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The compiler's one-per-job metadata lookup.
+    MetadataLookup,
+    /// A materialization proposal (build-lock acquisition).
+    Propose,
+    /// The job manager's materialization-success report.
+    ReportMaterialized,
+    /// The builder job dies mid-materialization, still holding its lock.
+    BuilderCrash,
+    /// A published view file is lost from the store.
+    ViewLoss,
+    /// A published view file is corrupted in place.
+    ViewCorruption,
+}
+
+impl FaultSite {
+    fn tag(self) -> &'static str {
+        match self {
+            FaultSite::MetadataLookup => "lookup",
+            FaultSite::Propose => "propose",
+            FaultSite::ReportMaterialized => "report",
+            FaultSite::BuilderCrash => "crash",
+            FaultSite::ViewLoss => "loss",
+            FaultSite::ViewCorruption => "corrupt",
+        }
+    }
+}
+
+/// A scripted trigger: fail the `call_index`-th call (0-based, per job when
+/// `job` is set, otherwise for every job) at `site`, regardless of the
+/// site's probability. Scripted triggers make targeted regression tests
+/// deterministic without cranking probabilities to 1.
+#[derive(Clone, Debug)]
+pub struct ScriptedFault {
+    /// Site to fire at.
+    pub site: FaultSite,
+    /// Restrict to one job, or `None` for every job.
+    pub job: Option<JobId>,
+    /// Which call (0-based, counted per `(site, job)`) to fail.
+    pub call_index: u64,
+}
+
+/// The injection schedule: per-site probabilities, scripted triggers, and
+/// an optional early-materialization publication delay.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// P(metadata lookup call fails).
+    pub lookup_fail: f64,
+    /// P(propose call fails).
+    pub propose_fail: f64,
+    /// P(report_materialized call fails).
+    pub report_fail: f64,
+    /// P(builder dies mid-materialization of a view).
+    pub builder_crash: f64,
+    /// P(a published view file is subsequently lost).
+    pub view_loss: f64,
+    /// P(a published view file is subsequently corrupted).
+    pub view_corruption: f64,
+    /// Added to every view's publication (availability) time.
+    pub publish_delay: SimDuration,
+    /// Deterministic scripted triggers, applied on top of probabilities.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl Default for FaultPlan {
+    /// The all-quiet plan: nothing fails.
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            lookup_fail: 0.0,
+            propose_fail: 0.0,
+            report_fail: 0.0,
+            builder_crash: 0.0,
+            view_loss: 0.0,
+            view_corruption: 0.0,
+            publish_delay: SimDuration::ZERO,
+            scripted: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that exercises every failure mode at `p`, seeded by `seed`.
+    pub fn chaos(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            lookup_fail: p,
+            propose_fail: p,
+            report_fail: p,
+            builder_crash: p,
+            view_loss: p,
+            view_corruption: p,
+            publish_delay: SimDuration::ZERO,
+            scripted: Vec::new(),
+        }
+    }
+
+    fn probability(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::MetadataLookup => self.lookup_fail,
+            FaultSite::Propose => self.propose_fail,
+            FaultSite::ReportMaterialized => self.report_fail,
+            FaultSite::BuilderCrash => self.builder_crash,
+            FaultSite::ViewLoss => self.view_loss,
+            FaultSite::ViewCorruption => self.view_corruption,
+        }
+    }
+}
+
+/// Counts of faults actually injected, by site. The acceptance invariant is
+/// that the per-job degradation counters in [`crate::runtime::JobRunReport`]
+/// sum to exactly these numbers for the call sites, and consistently bound
+/// the stored-file sites (a lost file may be observed by zero or many
+/// readers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Failed metadata lookup calls.
+    pub lookup_failures: u64,
+    /// Failed propose calls.
+    pub propose_failures: u64,
+    /// Failed report_materialized calls.
+    pub report_failures: u64,
+    /// Builder deaths mid-materialization.
+    pub builder_crashes: u64,
+    /// View files lost after publication.
+    pub views_lost: u64,
+    /// View files corrupted after publication.
+    pub views_corrupted: u64,
+    /// Publications delayed by the plan's `publish_delay`.
+    pub delayed_publications: u64,
+}
+
+impl InjectedFaults {
+    /// Total injected faults across all sites (delays excluded: a delayed
+    /// publication is not a failure).
+    pub fn total(&self) -> u64 {
+        self.lookup_failures
+            + self.propose_failures
+            + self.report_failures
+            + self.builder_crashes
+            + self.views_lost
+            + self.views_corrupted
+    }
+}
+
+/// The live injector: owns the plan, per-`(site, job)` call counters, and
+/// the injected-fault ledger.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Per-(site, job) call sequence numbers.
+    calls: Mutex<HashMap<(FaultSite, JobId), u64>>,
+    injected: Mutex<InjectedFaults>,
+}
+
+impl FaultInjector {
+    /// Builds an injector over `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            plan,
+            calls: Mutex::new(HashMap::new()),
+            injected: Mutex::new(InjectedFaults::default()),
+        })
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides — deterministically — whether the next call at `site` by
+    /// `job` fails, and records the injection if so. Decisions are pure in
+    /// `(seed, site, job, call index)`: a job's calls are sequential, so
+    /// the same run injects the same faults under any thread interleaving.
+    pub fn should_fail(&self, site: FaultSite, job: JobId) -> bool {
+        let index = {
+            let mut calls = self.calls.lock();
+            let c = calls.entry((site, job)).or_insert(0);
+            let index = *c;
+            *c += 1;
+            index
+        };
+        let scripted = self
+            .plan
+            .scripted
+            .iter()
+            .any(|s| s.site == site && s.call_index == index && s.job.is_none_or(|j| j == job));
+        let fired = scripted || {
+            let p = self.plan.probability(site);
+            p > 0.0 && {
+                let h = sip64(
+                    format!("{}/{}/{}/{}", self.plan.seed, site.tag(), job, index).as_bytes(),
+                );
+                // Top 53 bits → uniform in [0, 1).
+                ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+            }
+        };
+        if fired {
+            let mut injected = self.injected.lock();
+            match site {
+                FaultSite::MetadataLookup => injected.lookup_failures += 1,
+                FaultSite::Propose => injected.propose_failures += 1,
+                FaultSite::ReportMaterialized => injected.report_failures += 1,
+                FaultSite::BuilderCrash => injected.builder_crashes += 1,
+                FaultSite::ViewLoss => injected.views_lost += 1,
+                FaultSite::ViewCorruption => injected.views_corrupted += 1,
+            }
+        }
+        fired
+    }
+
+    /// Applies the plan's stored-file fate to a just-published view: the
+    /// file may be lost or corrupted in place (loss wins when both fire).
+    /// Returns the fate applied, recording it in the ledger.
+    pub fn apply_view_fate(
+        &self,
+        storage: &StorageManager,
+        precise: Sig128,
+        producer: JobId,
+    ) -> Option<FaultSite> {
+        if self.should_fail(FaultSite::ViewLoss, producer) {
+            storage.lose_view(precise);
+            return Some(FaultSite::ViewLoss);
+        }
+        if self.should_fail(FaultSite::ViewCorruption, producer) {
+            storage.corrupt_view(precise);
+            return Some(FaultSite::ViewCorruption);
+        }
+        None
+    }
+
+    /// The publication delay this plan imposes (recording one delayed
+    /// publication when nonzero).
+    pub fn publication_delay(&self) -> SimDuration {
+        if self.plan.publish_delay > SimDuration::ZERO {
+            self.injected.lock().delayed_publications += 1;
+        }
+        self.plan.publish_delay
+    }
+
+    /// Snapshot of everything injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        *self.injected.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_call_index() {
+        let plan = FaultPlan::chaos(1234, 0.5);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let job = JobId::new(7);
+        let seq_a: Vec<bool> = (0..64)
+            .map(|_| a.should_fail(FaultSite::MetadataLookup, job))
+            .collect();
+        let seq_b: Vec<bool> = (0..64)
+            .map(|_| b.should_fail(FaultSite::MetadataLookup, job))
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&f| f), "p=0.5 over 64 calls must fire");
+        assert!(
+            !seq_a.iter().all(|&f| f),
+            "p=0.5 over 64 calls must also pass"
+        );
+        assert_eq!(a.injected(), b.injected());
+    }
+
+    #[test]
+    fn sites_and_jobs_draw_independent_streams() {
+        let inj = FaultInjector::new(FaultPlan::chaos(9, 0.5));
+        let stream = |site, job: u64| -> Vec<bool> {
+            (0..32)
+                .map(|_| inj.should_fail(site, JobId::new(job)))
+                .collect()
+        };
+        let a = stream(FaultSite::Propose, 1);
+        let b = stream(FaultSite::Propose, 2);
+        let c = stream(FaultSite::ReportMaterialized, 1);
+        assert_ne!(a, b, "jobs must not share a fault stream");
+        assert_ne!(a, c, "sites must not share a fault stream");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::default());
+        for i in 0..256 {
+            assert!(!inj.should_fail(FaultSite::BuilderCrash, JobId::new(i)));
+        }
+        assert_eq!(inj.injected().total(), 0);
+    }
+
+    #[test]
+    fn scripted_trigger_fires_exactly_once() {
+        let plan = FaultPlan {
+            scripted: vec![ScriptedFault {
+                site: FaultSite::MetadataLookup,
+                job: Some(JobId::new(3)),
+                call_index: 1,
+            }],
+            ..Default::default()
+        };
+        let inj = FaultInjector::new(plan);
+        // Other jobs are untouched.
+        assert!(!inj.should_fail(FaultSite::MetadataLookup, JobId::new(4)));
+        // Job 3: call 0 passes, call 1 fails, call 2 passes.
+        assert!(!inj.should_fail(FaultSite::MetadataLookup, JobId::new(3)));
+        assert!(inj.should_fail(FaultSite::MetadataLookup, JobId::new(3)));
+        assert!(!inj.should_fail(FaultSite::MetadataLookup, JobId::new(3)));
+        assert_eq!(inj.injected().lookup_failures, 1);
+    }
+
+    #[test]
+    fn probability_calibration() {
+        let inj = FaultInjector::new(FaultPlan::chaos(42, 0.2));
+        let fired = (0..10_000)
+            .filter(|&i| inj.should_fail(FaultSite::Propose, JobId::new(i)))
+            .count();
+        assert!((1_600..2_400).contains(&fired), "p=0.2 fired {fired}/10000");
+        assert_eq!(inj.injected().propose_failures, fired as u64);
+    }
+}

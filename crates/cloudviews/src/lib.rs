@@ -47,10 +47,12 @@
 
 pub mod admin;
 pub mod analyzer;
+pub mod faults;
 pub mod metadata;
 pub mod reporting;
 pub mod runtime;
 
 pub use analyzer::{AnalysisOutcome, AnalyzerConfig, SelectedView, SelectionPolicy};
+pub use faults::{FaultInjector, FaultPlan, FaultSite, InjectedFaults, ScriptedFault};
 pub use metadata::{LockOutcome, MetadataService};
-pub use runtime::{CloudViews, RunMode};
+pub use runtime::{CloudViews, DegradationPolicy, JobFaultReport, RunMode};

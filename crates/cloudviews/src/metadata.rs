@@ -25,9 +25,11 @@ use parking_lot::{Mutex, RwLock};
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
 use scope_common::time::{SimClock, SimDuration, SimTime};
+use scope_common::{Result, ScopeError};
 use scope_engine::optimizer::{Annotation, AvailableView, ViewServices};
 
 use crate::analyzer::SelectedView;
+use crate::faults::{FaultInjector, FaultSite};
 
 /// Result of a materialization proposal (Figure 9, step 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +72,15 @@ pub struct MetadataStats {
     pub already_materialized: u64,
     /// Successful materializations reported.
     pub views_registered: u64,
+    /// Locks granted by taking over a different holder's *expired* lock
+    /// (the paper's crashed-builder recovery path).
+    pub expired_takeovers: u64,
+    /// Lookup calls failed by the fault injector.
+    pub failed_lookups: u64,
+    /// Propose calls failed by the fault injector.
+    pub failed_proposals: u64,
+    /// Report calls failed by the fault injector.
+    pub failed_reports: u64,
 }
 
 /// The metadata service.
@@ -87,6 +98,8 @@ pub struct MetadataService {
     /// Number of service threads (affects modeled lookup latency).
     service_threads: usize,
     stats: Mutex<MetadataStats>,
+    /// Optional fault injector consulted by the `try_*` entrypoints.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl MetadataService {
@@ -100,6 +113,20 @@ impl MetadataService {
             clock,
             service_threads: service_threads.max(1),
             stats: Mutex::new(MetadataStats::default()),
+            faults: RwLock::new(None),
+        }
+    }
+
+    /// Installs (or clears) the fault injector consulted by the `try_*`
+    /// entrypoints. Without one, every call succeeds.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.faults.write() = injector;
+    }
+
+    fn injected_failure(&self, site: FaultSite, job: JobId) -> bool {
+        match self.faults.read().as_ref() {
+            Some(inj) => inj.should_fail(site, job),
+            None => false,
         }
     }
 
@@ -135,12 +162,74 @@ impl MetadataService {
                 sigs.extend(set.iter().copied());
             }
         }
-        let result: Vec<Annotation> =
-            sigs.iter().filter_map(|s| annotations.get(s).cloned()).collect();
+        let result: Vec<Annotation> = sigs
+            .iter()
+            .filter_map(|s| annotations.get(s).cloned())
+            .collect();
         let mut stats = self.stats.lock();
         stats.lookups += 1;
         stats.annotations_returned += result.len() as u64;
         (result, self.lookup_latency())
+    }
+
+    /// Fault-aware wrapper around [`MetadataService::relevant_views_for`]:
+    /// the one-per-job lookup, attributed to `job` so the fault injector can
+    /// fail it deterministically. The runtime retries with backoff and then
+    /// falls back to the baseline plan (DESIGN.md "Fault tolerance &
+    /// degradation").
+    pub fn try_relevant_views_for(
+        &self,
+        job: JobId,
+        job_tags: &[String],
+    ) -> Result<(Vec<Annotation>, SimDuration)> {
+        if self.injected_failure(FaultSite::MetadataLookup, job) {
+            self.stats.lock().failed_lookups += 1;
+            return Err(ScopeError::ServiceUnavailable(format!(
+                "metadata lookup for {job} timed out"
+            )));
+        }
+        Ok(self.relevant_views_for(job_tags))
+    }
+
+    /// Fault-aware wrapper around [`MetadataService::propose`]. On an
+    /// injected failure the proposal is lost: no lock is granted and the
+    /// caller simply skips materializing (the view stays buildable by a
+    /// later job).
+    pub fn try_propose(
+        &self,
+        precise: Sig128,
+        job: JobId,
+        lock_ttl: SimDuration,
+    ) -> Result<LockOutcome> {
+        if self.injected_failure(FaultSite::Propose, job) {
+            self.stats.lock().failed_proposals += 1;
+            return Err(ScopeError::ServiceUnavailable(format!(
+                "propose({precise}) by {job} timed out"
+            )));
+        }
+        Ok(self.propose(precise, job, lock_ttl))
+    }
+
+    /// Fault-aware wrapper around [`MetadataService::report_materialized`].
+    /// On an injected failure the report is lost: the built file exists in
+    /// storage but is never registered, and the builder's lock lapses at
+    /// its mined expiry instead of being released.
+    pub fn try_report_materialized(
+        &self,
+        view: AvailableView,
+        producer: JobId,
+        available_at: SimTime,
+        expires_at: SimTime,
+    ) -> Result<()> {
+        if self.injected_failure(FaultSite::ReportMaterialized, producer) {
+            self.stats.lock().failed_reports += 1;
+            return Err(ScopeError::ServiceUnavailable(format!(
+                "report_materialized({}) by {producer} timed out",
+                view.precise
+            )));
+        }
+        self.report_materialized(view, producer, available_at, expires_at);
+        Ok(())
     }
 
     /// Modeled lookup latency: a fixed network+query base plus a service
@@ -154,29 +243,77 @@ impl MetadataService {
     /// Figure 9 steps 3/4: propose to materialize `precise`. Grants an
     /// exclusive lock expiring after `lock_ttl` (mined from the subgraph's
     /// average runtime) unless the view exists or the lock is taken.
-    pub fn propose(
-        &self,
-        precise: Sig128,
-        job: JobId,
-        lock_ttl: SimDuration,
-    ) -> LockOutcome {
+    pub fn propose(&self, precise: Sig128, job: JobId, lock_ttl: SimDuration) -> LockOutcome {
         let now = self.clock.now();
         if self.lookup_view(precise, now).is_some() {
             self.stats.lock().already_materialized += 1;
             return LockOutcome::AlreadyMaterialized;
         }
         let mut locks = self.locks.lock();
+        // Double-check under the lock-table mutex: a concurrent
+        // report_materialized may have registered the view (and released
+        // its lock) between the unlocked check above and acquiring the
+        // mutex; without the re-check this job would be granted a lock for
+        // a view that already exists and duplicate the build.
+        if self.lookup_view(precise, now).is_some() {
+            self.stats.lock().already_materialized += 1;
+            return LockOutcome::AlreadyMaterialized;
+        }
         match locks.get(&precise) {
             Some(lock) if lock.expires_at > now && lock.holder != job => {
                 self.stats.lock().lock_conflicts += 1;
                 LockOutcome::AlreadyLocked
             }
-            _ => {
-                locks.insert(precise, BuildLock { holder: job, expires_at: now + lock_ttl });
-                self.stats.lock().locks_granted += 1;
+            prev => {
+                // The mutex serializes this whole block, so when several
+                // jobs observe the same expired lock, exactly one reaches
+                // this arm first and the rest see its fresh lock above.
+                let takeover = matches!(
+                    prev,
+                    Some(lock) if lock.holder != job && lock.expires_at <= now
+                );
+                locks.insert(
+                    precise,
+                    BuildLock {
+                        holder: job,
+                        expires_at: now + lock_ttl,
+                    },
+                );
+                let mut stats = self.stats.lock();
+                stats.locks_granted += 1;
+                if takeover {
+                    stats.expired_takeovers += 1;
+                }
                 LockOutcome::Acquired
             }
         }
+    }
+
+    /// Current holder and expiry of the build lock on `precise`, if any
+    /// (expired locks are reported until purged — they are reclaimable, not
+    /// gone).
+    pub fn lock_holder(&self, precise: Sig128) -> Option<(JobId, SimTime)> {
+        self.locks
+            .lock()
+            .get(&precise)
+            .map(|l| (l.holder, l.expires_at))
+    }
+
+    /// Number of build locks that are still within their TTL at `now`. The
+    /// fault-tolerance invariant is that this reaches zero once all jobs
+    /// finish and the mined TTLs elapse — a crashed builder can never wedge
+    /// a view signature forever.
+    pub fn num_active_locks(&self, now: SimTime) -> usize {
+        self.locks
+            .lock()
+            .values()
+            .filter(|l| l.expires_at > now)
+            .count()
+    }
+
+    /// Number of build locks present (active or lapsed-but-unpurged).
+    pub fn num_locks(&self) -> usize {
+        self.locks.lock().len()
     }
 
     /// Figure 9 steps 5/6: the job manager reports a successful
@@ -191,6 +328,11 @@ impl MetadataService {
         expires_at: SimTime,
     ) {
         let precise = view.precise;
+        // Lock order: never hold the views guard while taking the locks
+        // mutex — propose() holds the locks mutex while reading views (its
+        // double-check), so overlapping the two here would be an ABBA
+        // deadlock. Each guard below is a temporary dropped at the end of
+        // its own statement.
         self.views.write().entry(precise).or_insert(RegisteredView {
             view,
             producer,
@@ -307,7 +449,12 @@ mod tests {
     }
 
     fn a_view(precise: Sig128) -> AvailableView {
-        AvailableView { precise, rows: 10, bytes: 100, props: PhysicalProps::any() }
+        AvailableView {
+            precise,
+            rows: 10,
+            bytes: 100,
+            props: PhysicalProps::any(),
+        }
     }
 
     #[test]
@@ -355,7 +502,10 @@ mod tests {
         assert_eq!(m.propose(p, JobId::new(1), ttl), LockOutcome::Acquired);
         // After the build is reported, proposals see AlreadyMaterialized.
         m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX);
-        assert_eq!(m.propose(p, JobId::new(3), ttl), LockOutcome::AlreadyMaterialized);
+        assert_eq!(
+            m.propose(p, JobId::new(3), ttl),
+            LockOutcome::AlreadyMaterialized
+        );
         let stats = m.stats();
         assert_eq!(stats.lock_conflicts, 1);
         assert_eq!(stats.views_registered, 1);
@@ -385,7 +535,12 @@ mod tests {
         let p = sip128(b"early");
         // Published with created_at in the future (early materialization
         // by a job that started later than now).
-        m.report_materialized(a_view(p), JobId::new(1), SimTime(5_000_000), SimTime(10_000_000));
+        m.report_materialized(
+            a_view(p),
+            JobId::new(1),
+            SimTime(5_000_000),
+            SimTime(10_000_000),
+        );
         assert!(m.view_available(p).is_none(), "not yet available");
         clock.advance(SimDuration::from_secs(6));
         assert!(m.view_available(p).is_some());
@@ -437,6 +592,149 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(wins.load(Ordering::SeqCst), 1, "exactly one job builds");
+    }
+
+    #[test]
+    fn expired_lock_has_exactly_one_takeover_winner() {
+        // Satellite of the crashed-builder story: many jobs observe the
+        // same *expired* lock concurrently; the lock-table mutex must admit
+        // exactly one of them as the new builder.
+        let clock = Arc::new(SimClock::new());
+        let m = Arc::new(MetadataService::new(Arc::clone(&clock), 1));
+        let p = sip128(b"crashed-builder");
+        assert_eq!(
+            m.propose(p, JobId::new(99), SimDuration::from_secs(10)),
+            LockOutcome::Acquired
+        );
+        clock.advance(SimDuration::from_secs(11)); // builder crashed; lock lapsed
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.propose(p, JobId::new(i), SimDuration::from_secs(60)))
+            })
+            .collect();
+        let outcomes: Vec<LockOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let wins = outcomes
+            .iter()
+            .filter(|&&o| o == LockOutcome::Acquired)
+            .count();
+        assert_eq!(
+            wins, 1,
+            "exactly one job takes over the expired lock: {outcomes:?}"
+        );
+        assert_eq!(m.stats().expired_takeovers, 1);
+        assert_eq!(m.num_active_locks(clock.now()), 1);
+    }
+
+    #[test]
+    fn propose_never_grants_after_registration() {
+        // Regression for the propose() double-check race: the view-existence
+        // check used to run before acquiring the lock-table mutex, so a
+        // propose racing with report_materialized could be granted a build
+        // lock for a view that already existed. The only legitimate
+        // Acquired for the contender below is through that race window.
+        for round in 0..50u64 {
+            let m = Arc::new(service());
+            let p = sip128(format!("race{round}").as_bytes());
+            let ttl = SimDuration::from_secs(3600);
+            let builder = {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    assert_eq!(m.propose(p, JobId::new(1), ttl), LockOutcome::Acquired);
+                    m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX);
+                })
+            };
+            let contender = {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || loop {
+                    match m.propose(p, JobId::new(2), ttl) {
+                        LockOutcome::Acquired => break false,
+                        LockOutcome::AlreadyMaterialized => break true,
+                        LockOutcome::AlreadyLocked => std::hint::spin_loop(),
+                    }
+                })
+            };
+            builder.join().unwrap();
+            assert!(
+                contender.join().unwrap(),
+                "round {round}: contender was granted a lock for an existing view"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_lookup_propose_and_report_faults() {
+        use crate::faults::{FaultPlan, ScriptedFault};
+        let m = service();
+        m.load_annotations(&[selected(sip128(b"n"), &["t"])]);
+        let job = JobId::new(5);
+        let p = sip128(b"v");
+        // Script: first lookup, first propose, and first report by job 5
+        // all fail; everything else passes.
+        let plan = FaultPlan {
+            scripted: vec![
+                ScriptedFault {
+                    site: FaultSite::MetadataLookup,
+                    job: Some(job),
+                    call_index: 0,
+                },
+                ScriptedFault {
+                    site: FaultSite::Propose,
+                    job: Some(job),
+                    call_index: 0,
+                },
+                ScriptedFault {
+                    site: FaultSite::ReportMaterialized,
+                    job: Some(job),
+                    call_index: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        m.set_fault_injector(Some(FaultInjector::new(plan)));
+        let ttl = SimDuration::from_secs(60);
+
+        let err = m.try_relevant_views_for(job, &["t".into()]).unwrap_err();
+        assert_eq!(err.kind(), "service_unavailable");
+        assert!(err.is_degradable());
+        // Retry succeeds (call index 1).
+        assert_eq!(
+            m.try_relevant_views_for(job, &["t".into()])
+                .unwrap()
+                .0
+                .len(),
+            1
+        );
+
+        assert!(m.try_propose(p, job, ttl).is_err());
+        assert_eq!(m.try_propose(p, job, ttl).unwrap(), LockOutcome::Acquired);
+
+        assert!(m
+            .try_report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
+            .is_err());
+        assert_eq!(m.num_views(), 0, "failed report must not register the view");
+        assert!(
+            m.lock_holder(p).is_some(),
+            "failed report leaves the lock to lapse"
+        );
+        m.try_report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
+            .unwrap();
+        assert_eq!(m.num_views(), 1);
+        assert!(m.lock_holder(p).is_none());
+
+        let stats = m.stats();
+        assert_eq!(
+            (
+                stats.failed_lookups,
+                stats.failed_proposals,
+                stats.failed_reports
+            ),
+            (1, 1, 1)
+        );
+        // Other jobs are untouched by the scripted plan.
+        assert!(m
+            .try_relevant_views_for(JobId::new(6), &["t".into()])
+            .is_ok());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use scope_common::time::SimDuration;
 use scope_plan::OpKind;
 
 use crate::analyzer::{OverlapGroup, OverlapMetrics};
-use crate::runtime::JobRunReport;
+use crate::runtime::{JobFaultReport, JobRunReport};
 
 /// One-line overlap summary (the Figure 1 bars for one cluster).
 pub fn overlap_summary(name: &str, m: &OverlapMetrics) -> String {
@@ -135,6 +135,50 @@ pub fn improvement_stats(
     (avg, pct_change(total_b, total_e))
 }
 
+/// Sum of the per-job fault/degradation counters across a run set (the
+/// aggregate row of the fault dashboard).
+pub fn fault_totals(reports: &[JobRunReport]) -> JobFaultReport {
+    let mut total = JobFaultReport::default();
+    for r in reports {
+        total.accumulate(&r.faults);
+    }
+    total
+}
+
+/// Per-job fault and degradation drill-down. TSV with one row per job that
+/// observed any fault, plus a TOTAL row; "no faults observed" when clean.
+pub fn fault_report(reports: &[JobRunReport]) -> String {
+    let total = fault_totals(reports);
+    if !total.any() {
+        return String::from("no faults observed\n");
+    }
+    let mut out = String::from(
+        "job\tlookup_faults\tretries\tbaseline_fallback\tpropose_faults\t\
+         view_fallbacks\tdead_unregistered\tbuilder_crashes\treport_faults\t\
+         delayed_pubs\tdegraded_s\n",
+    );
+    let mut row = |label: &str, f: &JobFaultReport| {
+        out.push_str(&format!(
+            "{label}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\n",
+            f.lookup_faults,
+            f.lookup_retries,
+            if f.fell_back_to_baseline { "yes" } else { "no" },
+            f.propose_faults,
+            f.view_read_fallbacks,
+            f.dead_views_unregistered,
+            f.builder_crashes,
+            f.report_faults,
+            f.delayed_publications,
+            f.degraded_latency.as_secs_f64(),
+        ));
+    };
+    for r in reports.iter().filter(|r| r.faults.any()) {
+        row(&r.job.to_string(), &r.faults);
+    }
+    row("TOTAL", &total);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +199,7 @@ mod tests {
             optimizer: Default::default(),
             output_checksums: HashMap::new(),
             output_rows: HashMap::new(),
+            faults: JobFaultReport::default(),
         }
     }
 
@@ -186,6 +231,36 @@ mod tests {
         let (avg, overall) = improvement_stats(&base, &cv, |r| r.latency);
         assert!((avg - 25.0).abs() < 1e-9); // (50% + 0%) / 2
         assert!((overall - (110.0 - 105.0) / 110.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_report_renders_and_totals() {
+        let mut clean = report(1, 1.0, 1.0, 0, 0);
+        assert_eq!(
+            fault_report(std::slice::from_ref(&clean)),
+            "no faults observed\n"
+        );
+
+        clean.faults.lookup_faults = 2;
+        clean.faults.lookup_retries = 2;
+        clean.faults.fell_back_to_baseline = true;
+        let mut crashed = report(2, 1.0, 1.0, 1, 0);
+        crashed.faults.builder_crashes = 1;
+        crashed.faults.report_faults = 1;
+        let quiet = report(3, 1.0, 1.0, 0, 0);
+
+        let reports = vec![clean, crashed, quiet];
+        let totals = fault_totals(&reports);
+        assert_eq!(totals.lookup_faults, 2);
+        assert_eq!(totals.builder_crashes, 1);
+        assert_eq!(totals.call_faults(), 4);
+        assert!(totals.fell_back_to_baseline);
+
+        let text = fault_report(&reports);
+        assert!(text.contains("job1\t2\t2\tyes"), "{text}");
+        assert!(text.contains("job2\t"), "{text}");
+        assert!(!text.contains("job3\t"), "quiet jobs are elided: {text}");
+        assert!(text.contains("TOTAL\t2\t2\tyes"), "{text}");
     }
 
     #[test]

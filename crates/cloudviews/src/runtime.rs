@@ -17,6 +17,28 @@
 //!
 //! Everything is thread-safe; concurrent jobs exercise the build-build and
 //! build-use synchronization exactly as in the paper.
+//!
+//! ## Fault tolerance & degradation
+//!
+//! When a [`FaultInjector`] is installed ([`CloudViews::install_fault_plan`])
+//! the driver degrades instead of failing (paper Section 6, DESIGN.md):
+//!
+//! * a failed metadata lookup is retried with backoff
+//!   ([`DegradationPolicy::lookup_retries`]); once retries are exhausted the
+//!   job runs its **baseline plan** (no annotations — no reuse, no builds);
+//! * a failed propose call simply skips that materialization;
+//! * a matched view that cannot be read back (lost or corrupt file) causes
+//!   re-optimization **without reuse** and the dead view is unregistered
+//!   from the metadata service so later jobs stop matching it;
+//! * a builder that crashes mid-materialization is restarted (up to
+//!   [`DegradationPolicy::max_restarts`]); its exclusive build lock is never
+//!   explicitly released — the same job re-acquires it on restart, and if
+//!   the job never returns the lock lapses at its mined expiry so another
+//!   job can take over;
+//! * a failed success-report leaves an orphaned view file: never visible to
+//!   lookups, reclaimed by expiry-based purging.
+//!
+//! Every degradation is counted per job in [`JobFaultReport`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,7 +46,7 @@ use std::sync::Arc;
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
 use scope_common::time::{SimClock, SimDuration, SimTime};
-use scope_common::Result;
+use scope_common::{Result, ScopeError};
 use scope_engine::cost::CostModel;
 use scope_engine::data::multiset_checksum;
 use scope_engine::exec::execute_plan;
@@ -36,32 +58,41 @@ use scope_engine::storage::StorageManager;
 use scope_signature::job_tags;
 
 use crate::analyzer::{run_analysis, AnalysisOutcome, AnalyzerConfig};
+use crate::faults::{FaultInjector, FaultPlan, FaultSite};
 use crate::metadata::MetadataService;
 
 /// A job-start-pinned view of the metadata service: view availability is
 /// judged at the job's submission time, so a job overlapping with the
 /// builder does not see a view that was published after this job started.
+///
+/// Materialization proposals go through the fault-aware
+/// [`MetadataService::try_propose`]; an injected propose failure is counted
+/// here and the optimizer simply skips that materialization.
 struct PinnedServices<'a> {
     svc: &'a MetadataService,
     now: SimTime,
+    propose_faults: std::cell::Cell<u64>,
 }
 
 impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
-    fn view_available(
-        &self,
-        precise: Sig128,
-    ) -> Option<scope_engine::optimizer::AvailableView> {
+    fn view_available(&self, precise: Sig128) -> Option<scope_engine::optimizer::AvailableView> {
         self.svc.view_available_at(precise, self.now)
     }
 
     fn propose_materialize(
         &self,
         precise: Sig128,
-        normalized: Sig128,
+        _normalized: Sig128,
         job: scope_common::ids::JobId,
         lock_ttl: scope_common::time::SimDuration,
     ) -> bool {
-        self.svc.propose_materialize(precise, normalized, job, lock_ttl)
+        match self.svc.try_propose(precise, job, lock_ttl) {
+            Ok(outcome) => outcome == crate::metadata::LockOutcome::Acquired,
+            Err(_) => {
+                self.propose_faults.set(self.propose_faults.get() + 1);
+                false
+            }
+        }
     }
 }
 
@@ -72,6 +103,97 @@ pub enum RunMode {
     Baseline,
     /// CloudViews enabled (the job-submission flag of Section 4).
     CloudViews,
+}
+
+/// How the driver absorbs injected (or real) failures. All knobs bound the
+/// work spent degrading, so a pathological fault plan cannot hang a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Metadata-lookup retries after the first failure. Once exhausted the
+    /// job falls back to its baseline plan.
+    pub lookup_retries: u32,
+    /// Simulated backoff added to job latency before each lookup retry.
+    pub retry_backoff: SimDuration,
+    /// Restarts after a builder crash before the job is reported failed
+    /// (models the job service's bounded resubmission).
+    pub max_restarts: u32,
+    /// On a view-read failure, unregister the dead view from the metadata
+    /// service so later jobs stop matching it.
+    pub unregister_dead_views: bool,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> DegradationPolicy {
+        DegradationPolicy {
+            lookup_retries: 2,
+            retry_backoff: SimDuration::from_secs_f64(0.05),
+            max_restarts: 3,
+            unregister_dead_views: true,
+        }
+    }
+}
+
+/// Per-job fault and degradation counters. Together with
+/// [`FaultInjector::injected`](crate::faults::FaultInjector::injected) these
+/// close the accounting loop: every injected call-site fault shows up in
+/// exactly one job's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobFaultReport {
+    /// Metadata lookup calls that failed (across restarts).
+    pub lookup_faults: u64,
+    /// Lookup retries performed.
+    pub lookup_retries: u64,
+    /// True when lookup retries were exhausted and the job ran its baseline
+    /// plan.
+    pub fell_back_to_baseline: bool,
+    /// Propose calls that failed (the materialization was skipped).
+    pub propose_faults: u64,
+    /// Executions aborted by an unreadable matched view, recovered by
+    /// re-optimizing without reuse.
+    pub view_read_fallbacks: u64,
+    /// Dead views this job unregistered from the metadata service after a
+    /// read failure.
+    pub dead_views_unregistered: u64,
+    /// Times this job's builder crashed mid-materialization and the job was
+    /// restarted.
+    pub builder_crashes: u64,
+    /// Success reports that failed (the built file is orphaned and the
+    /// build lock lapses at its mined expiry).
+    pub report_faults: u64,
+    /// Publications delayed by the fault plan.
+    pub delayed_publications: u64,
+    /// Simulated latency added by retry backoff and crashed attempts.
+    pub degraded_latency: SimDuration,
+}
+
+impl JobFaultReport {
+    /// Total call-site faults this job absorbed (lookup + propose + report +
+    /// builder crashes). Stored-file faults are counted at the injector.
+    pub fn call_faults(&self) -> u64 {
+        self.lookup_faults + self.propose_faults + self.report_faults + self.builder_crashes
+    }
+
+    /// True when any fault or degradation was observed.
+    pub fn any(&self) -> bool {
+        self.call_faults() > 0
+            || self.view_read_fallbacks > 0
+            || self.delayed_publications > 0
+            || self.fell_back_to_baseline
+    }
+
+    /// Element-wise sum (aggregation across jobs).
+    pub fn accumulate(&mut self, other: &JobFaultReport) {
+        self.lookup_faults += other.lookup_faults;
+        self.lookup_retries += other.lookup_retries;
+        self.fell_back_to_baseline |= other.fell_back_to_baseline;
+        self.propose_faults += other.propose_faults;
+        self.view_read_fallbacks += other.view_read_fallbacks;
+        self.dead_views_unregistered += other.dead_views_unregistered;
+        self.builder_crashes += other.builder_crashes;
+        self.report_faults += other.report_faults;
+        self.delayed_publications += other.delayed_publications;
+        self.degraded_latency += other.degraded_latency;
+    }
 }
 
 /// The result of one job run through the service.
@@ -97,6 +219,32 @@ pub struct JobRunReport {
     pub output_checksums: HashMap<String, u64>,
     /// Output row counts.
     pub output_rows: HashMap<String, usize>,
+    /// Faults absorbed and degradations taken while running this job.
+    pub faults: JobFaultReport,
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted `String` covers practically every panic in
+/// this workspace).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// Why one attempt at a job did not produce a report.
+enum AttemptFailure {
+    /// The fault injector killed the builder mid-materialization; the
+    /// driver restarts the job (its build lock stays held and is
+    /// re-acquired by the restart, or lapses at its mined expiry).
+    BuilderCrash {
+        /// Simulated latency the dead attempt had already accumulated.
+        wasted_latency: SimDuration,
+    },
+    /// A real error: propagated to the caller.
+    Fatal(ScopeError),
 }
 
 /// The assembled CloudViews service: storage + metadata + repository +
@@ -120,6 +268,10 @@ pub struct CloudViews {
     pub early_materialization: bool,
     /// Record runs into the repository.
     pub record_runs: bool,
+    /// How to absorb failures (see DESIGN.md "Fault tolerance & degradation").
+    pub degradation: DegradationPolicy,
+    /// Installed fault injector, if any (shared with the metadata service).
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl CloudViews {
@@ -137,7 +289,20 @@ impl CloudViews {
             max_materialize_per_job: 1,
             early_materialization: true,
             record_runs: true,
+            degradation: DegradationPolicy::default(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan: builds the injector and shares it with the
+    /// metadata service. Returns the injector so callers can read the
+    /// injected-fault ledger afterwards.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let injector = FaultInjector::new(plan);
+        self.metadata
+            .set_fault_injector(Some(Arc::clone(&injector)));
+        self.faults = Some(Arc::clone(&injector));
+        injector
     }
 
     /// Runs the analyzer over everything recorded so far.
@@ -151,21 +316,93 @@ impl CloudViews {
     }
 
     /// Runs one job starting at simulated time `start`.
+    ///
+    /// The job is retried when its builder crashes mid-materialization
+    /// (bounded by [`DegradationPolicy::max_restarts`], modeling the job
+    /// service resubmitting a failed job); all other injected faults are
+    /// absorbed *within* an attempt by the degradation policy.
     pub fn run_job_at(
         &self,
         spec: &JobSpec,
         mode: RunMode,
         start: SimTime,
     ) -> Result<JobRunReport> {
+        let mut faults = JobFaultReport::default();
+        let mut restarts = 0u32;
+        loop {
+            match self.run_job_attempt(spec, mode, start, &mut faults) {
+                Ok(mut report) => {
+                    report.latency += faults.degraded_latency;
+                    report.faults = faults;
+                    self.clock.advance_to(start + report.latency);
+                    return Ok(report);
+                }
+                Err(AttemptFailure::BuilderCrash { wasted_latency }) => {
+                    faults.builder_crashes += 1;
+                    faults.degraded_latency += wasted_latency;
+                    restarts += 1;
+                    if restarts > self.degradation.max_restarts {
+                        return Err(ScopeError::Execution(format!(
+                            "job {} failed: builder crashed {restarts} times \
+                             (max_restarts={})",
+                            spec.id, self.degradation.max_restarts
+                        )));
+                    }
+                }
+                Err(AttemptFailure::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// The per-job annotation lookup with bounded retry. A timed-out call
+    /// still pays the modeled lookup latency, plus backoff before each
+    /// retry; exhausted retries degrade to the baseline plan (no
+    /// annotations).
+    fn lookup_with_retry(
+        &self,
+        spec: &JobSpec,
+        faults: &mut JobFaultReport,
+    ) -> (Vec<scope_engine::optimizer::Annotation>, SimDuration) {
+        let tags = job_tags(&spec.graph);
+        let mut latency = SimDuration::ZERO;
+        for attempt in 0..=self.degradation.lookup_retries {
+            match self.metadata.try_relevant_views_for(spec.id, &tags) {
+                Ok((annotations, l)) => return (annotations, latency + l),
+                Err(_) => {
+                    faults.lookup_faults += 1;
+                    latency += self.metadata.lookup_latency();
+                    if attempt < self.degradation.lookup_retries {
+                        faults.lookup_retries += 1;
+                        // Backoff is charged once, via degraded_latency,
+                        // when the final report is assembled.
+                        faults.degraded_latency += self.degradation.retry_backoff;
+                    }
+                }
+            }
+        }
+        faults.fell_back_to_baseline = true;
+        (Vec::new(), latency)
+    }
+
+    /// One attempt at running the job end to end. Returns
+    /// [`AttemptFailure::BuilderCrash`] when the fault injector kills the
+    /// builder mid-materialization — the caller restarts the job; the
+    /// crashed attempt published nothing past the crash point and its build
+    /// lock stays held (the restarted job re-acquires it; if the job never
+    /// returns, the lock lapses at its mined expiry).
+    fn run_job_attempt(
+        &self,
+        spec: &JobSpec,
+        mode: RunMode,
+        start: SimTime,
+        faults: &mut JobFaultReport,
+    ) -> std::result::Result<JobRunReport, AttemptFailure> {
         self.clock.advance_to(start);
 
-        // 1. Compiler: one metadata lookup per job.
+        // 1. Compiler: one metadata lookup per job (retried on failure).
         let (annotations, lookup_latency) = match mode {
             RunMode::Baseline => (Vec::new(), SimDuration::ZERO),
-            RunMode::CloudViews => {
-                let tags = job_tags(&spec.graph);
-                self.metadata.relevant_views_for(&tags)
-            }
+            RunMode::CloudViews => self.lookup_with_retry(spec, faults),
         };
 
         // 2. Optimize with the metadata service as the view oracle.
@@ -176,16 +413,47 @@ impl CloudViews {
             enable_materialize: mode == RunMode::CloudViews,
             ..Default::default()
         };
-        let pinned = PinnedServices { svc: self.metadata.as_ref(), now: start };
-        let plan = optimize(&spec.graph, &annotations, &pinned, &opt_config, spec.id)?;
+        let pinned = PinnedServices {
+            svc: self.metadata.as_ref(),
+            now: start,
+            propose_faults: std::cell::Cell::new(0),
+        };
+        let mut plan = optimize(&spec.graph, &annotations, &pinned, &opt_config, spec.id)
+            .map_err(AttemptFailure::Fatal)?;
 
-        // 3. Execute and simulate.
-        let exec = execute_plan(&plan.physical, &self.storage, &self.cost, start)?;
+        // 3. Execute and simulate. A matched view that cannot be read back
+        // (lost or corrupted file) is not fatal: unregister it and
+        // re-optimize without reuse — the paper's fallback to recomputation.
+        let exec = match execute_plan(&plan.physical, &self.storage, &self.cost, start) {
+            Ok(exec) => exec,
+            Err(ScopeError::ViewUnavailable(_)) if !plan.reused.is_empty() => {
+                faults.view_read_fallbacks += 1;
+                if self.degradation.unregister_dead_views {
+                    for r in &plan.reused {
+                        if self.storage.open_view(r.precise, start).is_err() {
+                            self.metadata.unregister_views(&[r.precise]);
+                            self.storage.delete_view(r.precise);
+                            faults.dead_views_unregistered += 1;
+                        }
+                    }
+                }
+                let no_reuse = OptimizerConfig {
+                    enable_reuse: false,
+                    ..opt_config
+                };
+                plan = optimize(&spec.graph, &annotations, &pinned, &no_reuse, spec.id)
+                    .map_err(AttemptFailure::Fatal)?;
+                execute_plan(&plan.physical, &self.storage, &self.cost, start)
+                    .map_err(AttemptFailure::Fatal)?
+            }
+            Err(e) => return Err(AttemptFailure::Fatal(e)),
+        };
+        faults.propose_faults += pinned.propose_faults.get();
         let sim = simulate(&plan.physical, &exec, &self.cluster);
 
         // 4. Materialize marked views and publish them (early or at end).
-        let built =
-            materialize_marked_views(&plan, &exec, &sim, &self.cost, spec.id, start)?;
+        let built = materialize_marked_views(&plan, &exec, &sim, &self.cost, spec.id, start)
+            .map_err(AttemptFailure::Fatal)?;
         let mut extra_cpu = SimDuration::ZERO;
         let mut extra_latency = SimDuration::ZERO;
         let mut views_built = Vec::with_capacity(built.len());
@@ -193,13 +461,29 @@ impl CloudViews {
             + sim.latency
             + built.iter().map(|b| b.extra_latency).sum::<SimDuration>();
         for b in built {
+            // The builder may die right here — mid-materialization, after
+            // winning its build lock, before publishing this view.
+            if let Some(inj) = &self.faults {
+                if inj.should_fail(FaultSite::BuilderCrash, spec.id) {
+                    return Err(AttemptFailure::BuilderCrash {
+                        wasted_latency: lookup_latency + sim.latency + extra_latency,
+                    });
+                }
+            }
             extra_cpu += b.extra_cpu;
             extra_latency += b.extra_latency;
-            let available_at = if self.early_materialization {
+            let mut available_at = if self.early_materialization {
                 start + lookup_latency + b.available_offset
             } else {
                 start + job_end_offset
             };
+            if let Some(inj) = &self.faults {
+                let delay = inj.publication_delay();
+                if delay > SimDuration::ZERO {
+                    available_at += delay;
+                    faults.delayed_publications += 1;
+                }
+            }
             let view = scope_engine::optimizer::AvailableView {
                 precise: b.file.meta.precise,
                 rows: b.file.meta.rows,
@@ -207,9 +491,25 @@ impl CloudViews {
                 props: b.file.props.clone(),
             };
             let expires_at = b.file.meta.expires_at;
-            views_built.push(b.file.meta.precise);
-            self.storage.publish_view(b.file)?;
-            self.metadata.report_materialized(view, spec.id, available_at, expires_at);
+            let precise = b.file.meta.precise;
+            views_built.push(precise);
+            self.storage
+                .publish_view(b.file)
+                .map_err(AttemptFailure::Fatal)?;
+            // The stored file's fate: the plan may lose or corrupt it right
+            // after publication (readers fall back to recomputation).
+            if let Some(inj) = &self.faults {
+                inj.apply_view_fate(&self.storage, precise, spec.id);
+            }
+            if self
+                .metadata
+                .try_report_materialized(view, spec.id, available_at, expires_at)
+                .is_err()
+            {
+                // Lost report: the file is orphaned (never visible) and the
+                // build lock lapses at its mined expiry.
+                faults.report_faults += 1;
+            }
         }
 
         let latency = lookup_latency + sim.latency + extra_latency;
@@ -217,24 +517,24 @@ impl CloudViews {
 
         // 5. Close the feedback loop.
         if self.record_runs {
-            self.repo.record(
-                JobIdentity {
-                    job: spec.id,
-                    cluster: spec.cluster,
-                    vc: spec.vc,
-                    user: spec.user,
-                    template: spec.template,
-                    instance: spec.instance,
-                    submitted_at: start,
-                },
-                &spec.graph,
-                &plan,
-                &exec,
-                &sim,
-            )?;
+            self.repo
+                .record(
+                    JobIdentity {
+                        job: spec.id,
+                        cluster: spec.cluster,
+                        vc: spec.vc,
+                        user: spec.user,
+                        template: spec.template,
+                        instance: spec.instance,
+                        submitted_at: start,
+                    },
+                    &spec.graph,
+                    &plan,
+                    &exec,
+                    &sim,
+                )
+                .map_err(AttemptFailure::Fatal)?;
         }
-
-        self.clock.advance_to(start + latency);
 
         Ok(JobRunReport {
             job: spec.id,
@@ -255,6 +555,7 @@ impl CloudViews {
                 .iter()
                 .map(|(name, t)| (name.clone(), t.num_rows()))
                 .collect(),
+            faults: JobFaultReport::default(),
         })
     }
 
@@ -272,24 +573,51 @@ impl CloudViews {
     }
 
     /// Runs jobs on OS threads, all submitted at the same simulated time —
-    /// the concurrent-arrival scenario of Sections 6.4/6.5.
-    pub fn run_concurrent(
+    /// the concurrent-arrival scenario of Sections 6.4/6.5. Returns one
+    /// `Result` per job, in submission order: a job whose thread panics (or
+    /// errors) yields its own `Err` without aborting the driver or the
+    /// other jobs.
+    pub fn run_concurrent_results(
         &self,
         specs: Vec<JobSpec>,
         mode: RunMode,
-    ) -> Result<Vec<JobRunReport>>
+    ) -> Vec<Result<JobRunReport>>
     where
         Self: Sync,
     {
         let start = self.clock.now();
-        let results: Vec<Result<JobRunReport>> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = specs
                 .iter()
-                .map(|spec| scope.spawn(move || self.run_job_at(spec, mode, start)))
+                .map(|spec| {
+                    let job = spec.id;
+                    (job, scope.spawn(move || self.run_job_at(spec, mode, start)))
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("job thread panicked")).collect()
-        });
-        results.into_iter().collect()
+            handles
+                .into_iter()
+                .map(|(job, h)| match h.join() {
+                    Ok(result) => result,
+                    Err(payload) => Err(ScopeError::Execution(format!(
+                        "job {job} thread panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))),
+                })
+                .collect()
+        })
+    }
+
+    /// Like [`CloudViews::run_concurrent_results`], collected into one
+    /// `Result`: the first failing job's error is returned, but only after
+    /// every thread has been joined (a pathological job cannot abort the
+    /// driver mid-flight).
+    pub fn run_concurrent(&self, specs: Vec<JobSpec>, mode: RunMode) -> Result<Vec<JobRunReport>>
+    where
+        Self: Sync,
+    {
+        self.run_concurrent_results(specs, mode)
+            .into_iter()
+            .collect()
     }
 
     /// Purges expired views from both the metadata service and storage;
@@ -333,7 +661,9 @@ mod tests {
         let (cv, workload) = setup();
 
         // Instance 0: baseline, fills the repository.
-        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
         let day0 = workload.jobs_for_instance(0, 0).unwrap();
         cv.run_sequence(&day0, RunMode::Baseline).unwrap();
 
@@ -343,7 +673,9 @@ mod tests {
         cv.install_analysis(&analysis);
 
         // Instance 1 (new data, new GUIDs): run twice, baseline vs enabled.
-        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 1, &cv.storage, 1.0)
+            .unwrap();
         let day1 = workload.jobs_for_instance(0, 1).unwrap();
         let baseline: Vec<_> = cv.run_sequence(&day1, RunMode::Baseline).unwrap();
         let enabled: Vec<_> = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
@@ -351,7 +683,11 @@ mod tests {
         // Correctness: identical outputs job by job.
         let mut any_reuse = false;
         for (b, e) in baseline.iter().zip(&enabled) {
-            assert_eq!(b.output_checksums, e.output_checksums, "job {} corrupted", b.job);
+            assert_eq!(
+                b.output_checksums, e.output_checksums,
+                "job {} corrupted",
+                b.job
+            );
             any_reuse |= !e.views_reused.is_empty();
         }
         let built: usize = enabled.iter().map(|r| r.views_built.len()).sum();
@@ -370,9 +706,13 @@ mod tests {
     #[test]
     fn baseline_mode_never_touches_metadata() {
         let (cv, workload) = setup();
-        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
         let jobs = workload.jobs_for_instance(0, 0).unwrap();
-        let r = cv.run_job_at(&jobs[0], RunMode::Baseline, SimTime::ZERO).unwrap();
+        let r = cv
+            .run_job_at(&jobs[0], RunMode::Baseline, SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.lookup_latency, SimDuration::ZERO);
         assert_eq!(cv.metadata.stats().lookups, 0);
         assert!(r.views_built.is_empty() && r.views_reused.is_empty());
@@ -381,7 +721,9 @@ mod tests {
     #[test]
     fn one_lookup_per_job() {
         let (cv, workload) = setup();
-        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
         let jobs = workload.jobs_for_instance(0, 0).unwrap();
         cv.run_sequence(&jobs[..3], RunMode::CloudViews).unwrap();
         assert_eq!(cv.metadata.stats().lookups, 3);
@@ -390,19 +732,25 @@ mod tests {
     #[test]
     fn build_build_sync_under_concurrency() {
         let (cv, workload) = setup();
-        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
         let day0 = workload.jobs_for_instance(0, 0).unwrap();
         cv.run_sequence(&day0, RunMode::Baseline).unwrap();
         let analysis = cv.analyze(&analyzer_cfg()).unwrap();
         cv.install_analysis(&analysis);
 
-        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 1, &cv.storage, 1.0)
+            .unwrap();
         let day1 = workload.jobs_for_instance(0, 1).unwrap();
         let reports = cv.run_concurrent(day1, RunMode::CloudViews).unwrap();
 
         // No view may be built by two jobs.
-        let mut built: Vec<Sig128> =
-            reports.iter().flat_map(|r| r.views_built.iter().copied()).collect();
+        let mut built: Vec<Sig128> = reports
+            .iter()
+            .flat_map(|r| r.views_built.iter().copied())
+            .collect();
         let before = built.len();
         built.sort_unstable();
         built.dedup();
@@ -413,13 +761,17 @@ mod tests {
     #[test]
     fn early_materialization_beats_job_end_publication() {
         let (cv, workload) = setup();
-        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
         let day0 = workload.jobs_for_instance(0, 0).unwrap();
         cv.run_sequence(&day0, RunMode::Baseline).unwrap();
         let analysis = cv.analyze(&analyzer_cfg()).unwrap();
         cv.install_analysis(&analysis);
 
-        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 1, &cv.storage, 1.0)
+            .unwrap();
         let day1 = workload.jobs_for_instance(0, 1).unwrap();
         // Find a job that materializes a view and check availability time
         // precedes its completion.
@@ -433,16 +785,21 @@ mod tests {
     #[test]
     fn purge_reclaims_after_expiry() {
         let (cv, workload) = setup();
-        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
         let day0 = workload.jobs_for_instance(0, 0).unwrap();
         cv.run_sequence(&day0, RunMode::Baseline).unwrap();
-        let analysis = cv.analyze(&AnalyzerConfig {
-            default_ttl: SimDuration::from_secs(1),
-            ..analyzer_cfg()
-        })
-        .unwrap();
+        let analysis = cv
+            .analyze(&AnalyzerConfig {
+                default_ttl: SimDuration::from_secs(1),
+                ..analyzer_cfg()
+            })
+            .unwrap();
         cv.install_analysis(&analysis);
-        workload.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 1, &cv.storage, 1.0)
+            .unwrap();
         let day1 = workload.jobs_for_instance(0, 1).unwrap();
         cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
         assert!(cv.storage.num_views() > 0);
@@ -462,7 +819,9 @@ mod tests {
         // so nothing is reused or materialized — the paper's "view
         // materialization stops automatically" property.
         let (cv, workload) = setup();
-        workload.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
         let day0 = workload.jobs_for_instance(0, 0).unwrap();
         cv.run_sequence(&day0, RunMode::Baseline).unwrap();
         let analysis = cv.analyze(&analyzer_cfg()).unwrap();
@@ -474,11 +833,16 @@ mod tests {
             stream_rows: LogNormal::new(5.8, 0.5, 100.0, 1_200.0),
         })
         .unwrap();
-        changed.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        changed
+            .register_instance_data(0, 1, &cv.storage, 1.0)
+            .unwrap();
         let day1 = changed.jobs_for_instance(0, 1).unwrap();
         let reports = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
         for r in &reports {
-            assert!(r.views_built.is_empty(), "stale annotation triggered a build");
+            assert!(
+                r.views_built.is_empty(),
+                "stale annotation triggered a build"
+            );
             assert!(r.views_reused.is_empty());
         }
     }

@@ -34,6 +34,14 @@ pub enum ScopeError {
     /// Workload generation was asked for something inconsistent (e.g. a
     /// business unit with zero virtual clusters).
     Workload(String),
+    /// A service call failed transiently (timeout, injected fault). Callers
+    /// are expected to retry with backoff and then degrade gracefully —
+    /// e.g. a failed metadata lookup falls back to the baseline plan.
+    ServiceUnavailable(String),
+    /// A matched materialized view could not be read back (file lost or
+    /// integrity checksum mismatch). Recoverable: the runtime falls back to
+    /// recomputing the subexpression from base data.
+    ViewUnavailable(String),
 }
 
 impl ScopeError {
@@ -47,7 +55,19 @@ impl ScopeError {
             ScopeError::Storage(_) => "storage",
             ScopeError::Metadata(_) => "metadata",
             ScopeError::Workload(_) => "workload",
+            ScopeError::ServiceUnavailable(_) => "service_unavailable",
+            ScopeError::ViewUnavailable(_) => "view_unavailable",
         }
+    }
+
+    /// True for failures the runtime is expected to absorb by degrading
+    /// (retry, fall back to baseline, or recompute) rather than failing the
+    /// job.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            ScopeError::ServiceUnavailable(_) | ScopeError::ViewUnavailable(_)
+        )
     }
 
     /// The human-readable message carried by the error.
@@ -59,7 +79,9 @@ impl ScopeError {
             | ScopeError::Execution(m)
             | ScopeError::Storage(m)
             | ScopeError::Metadata(m)
-            | ScopeError::Workload(m) => m,
+            | ScopeError::Workload(m)
+            | ScopeError::ServiceUnavailable(m)
+            | ScopeError::ViewUnavailable(m) => m,
         }
     }
 }
@@ -94,11 +116,21 @@ mod tests {
             ScopeError::Storage(String::new()),
             ScopeError::Metadata(String::new()),
             ScopeError::Workload(String::new()),
+            ScopeError::ServiceUnavailable(String::new()),
+            ScopeError::ViewUnavailable(String::new()),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn degradable_errors_are_flagged() {
+        assert!(ScopeError::ServiceUnavailable(String::new()).is_degradable());
+        assert!(ScopeError::ViewUnavailable(String::new()).is_degradable());
+        assert!(!ScopeError::Execution(String::new()).is_degradable());
+        assert!(!ScopeError::Storage(String::new()).is_degradable());
     }
 
     #[test]

@@ -21,7 +21,9 @@ use std::fmt;
 /// Used both as the *precise* and the *normalized* signature of a plan
 /// subgraph. Formats as 32 lowercase hex digits, e.g. in materialized-view
 /// file paths (`.../views/0123…cdef.ss`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Sig128 {
     /// High 64 bits of the digest.
     pub hi: u64,
@@ -49,7 +51,10 @@ impl Sig128 {
             h.write_u64(other.hi);
             h.write_u64(other.lo);
         }
-        Sig128 { hi: h1.finish(), lo: h2.finish() }
+        Sig128 {
+            hi: h1.finish(),
+            lo: h2.finish(),
+        }
     }
 
     /// A short 16-hex-digit prefix, convenient for log lines and file names.
@@ -91,7 +96,10 @@ pub fn sip128(bytes: &[u8]) -> Sig128 {
     let mut h2 = SipHasher24::new_with_keys(K0_LO, K1_LO);
     h1.write(bytes);
     h2.write(bytes);
-    Sig128 { hi: h1.finish(), lo: h2.finish() }
+    Sig128 {
+        hi: h1.finish(),
+        lo: h2.finish(),
+    }
 }
 
 /// Incremental SipHash-2-4 implementation (reference algorithm).

@@ -143,7 +143,10 @@ impl std::fmt::Display for DistSummary {
 /// `n` log-spaced points from `lo` to `hi` inclusive (both must be > 0).
 /// Matches the log-x axes of Figures 3–5.
 pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    assert!(lo > 0.0 && hi > lo && n >= 2, "log_space needs 0 < lo < hi, n >= 2");
+    assert!(
+        lo > 0.0 && hi > lo && n >= 2,
+        "log_space needs 0 < lo < hi, n >= 2"
+    );
     let (llo, lhi) = (lo.ln(), hi.ln());
     (0..n)
         .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())

@@ -11,15 +11,33 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A point in simulated time (microseconds since simulation start).
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default,
-    serde::Serialize, serde::Deserialize,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Debug,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time (microseconds).
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default,
-    serde::Serialize, serde::Deserialize,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Debug,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct SimDuration(pub u64);
 
@@ -156,12 +174,16 @@ pub struct SimClock {
 impl SimClock {
     /// A clock starting at the epoch.
     pub fn new() -> Self {
-        SimClock { now_us: AtomicU64::new(0) }
+        SimClock {
+            now_us: AtomicU64::new(0),
+        }
     }
 
     /// A clock starting at `t`.
     pub fn starting_at(t: SimTime) -> Self {
-        SimClock { now_us: AtomicU64::new(t.0) }
+        SimClock {
+            now_us: AtomicU64::new(t.0),
+        }
     }
 
     /// Current simulated time.
@@ -196,7 +218,10 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
     }
 
@@ -248,8 +273,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_secs).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(10));
     }
 }

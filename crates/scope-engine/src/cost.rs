@@ -204,8 +204,11 @@ impl CostEstimator {
         let mut cpu: Vec<f64> = Vec::with_capacity(graph.len());
         for node in graph.nodes() {
             let in_rows: f64 = node.children.iter().map(|c| rows[c.index()]).sum();
-            let first_in: f64 =
-                node.children.first().map(|c| rows[c.index()]).unwrap_or(0.0);
+            let first_in: f64 = node
+                .children
+                .first()
+                .map(|c| rows[c.index()])
+                .unwrap_or(0.0);
             let out = match &node.op {
                 Operator::Get { kind, .. } => {
                     let base = base_rows(&node.op).unwrap_or(100_000) as f64;
@@ -224,16 +227,10 @@ impl CostEstimator {
                 | Operator::Window { .. }
                 | Operator::Spool
                 | Operator::Nop => first_in,
-                Operator::Sequence => node
-                    .children
-                    .last()
-                    .map(|c| rows[c.index()])
-                    .unwrap_or(0.0),
+                Operator::Sequence => node.children.last().map(|c| rows[c.index()]).unwrap_or(0.0),
                 Operator::Aggregate { .. } => first_in.max(1.0).powf(self.agg_exponent),
                 Operator::Top { n, .. } => (*n as f64).min(first_in),
-                Operator::Process { .. } | Operator::Combine { .. } => {
-                    in_rows * self.udo_fanout
-                }
+                Operator::Process { .. } | Operator::Combine { .. } => in_rows * self.udo_fanout,
                 Operator::Reduce { .. } | Operator::GbApply { .. } => {
                     in_rows * self.udo_fanout * 0.5
                 }
@@ -251,7 +248,12 @@ impl CostEstimator {
             let bytes = out * self.row_bytes;
             let c = self
                 .weights
-                .op_cpu(&node.op, in_rows.round() as u64, out.round() as u64, bytes as u64)
+                .op_cpu(
+                    &node.op,
+                    in_rows.round() as u64,
+                    out.round() as u64,
+                    bytes as u64,
+                )
                 .micros() as f64;
             rows.push(out);
             cpu.push(c);
@@ -282,7 +284,9 @@ mod tests {
     #[test]
     fn cost_monotone_in_rows() {
         let m = CostModel::default();
-        let op = Operator::Filter { predicate: Expr::lit(true) };
+        let op = Operator::Filter {
+            predicate: Expr::lit(true),
+        };
         let c1 = m.op_cpu(&op, 1_000, 500, 1_000);
         let c2 = m.op_cpu(&op, 10_000, 5_000, 10_000);
         assert!(c2 > c1);
@@ -291,7 +295,9 @@ mod tests {
     #[test]
     fn sort_superlinear() {
         let m = CostModel::default();
-        let op = Operator::Sort { order: scope_plan::SortOrder::asc(&[0]) };
+        let op = Operator::Sort {
+            order: scope_plan::SortOrder::asc(&[0]),
+        };
         let c1 = m.op_cpu(&op, 1_000, 1_000, 0).micros() as f64;
         let c2 = m.op_cpu(&op, 100_000, 100_000, 0).micros() as f64;
         assert!(c2 / c1 > 100.0, "sort should grow faster than linear");
@@ -301,7 +307,10 @@ mod tests {
     fn exchange_costs_bytes() {
         let m = CostModel::default();
         let op = Operator::Exchange {
-            scheme: scope_plan::Partitioning::Hash { cols: vec![0], parts: 8 },
+            scheme: scope_plan::Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
         };
         let skinny = m.op_cpu(&op, 1_000, 1_000, 10_000);
         let wide = m.op_cpu(&op, 1_000, 1_000, 10_000_000);
@@ -313,10 +322,25 @@ mod tests {
         use scope_plan::{Udo, UdoKind};
         let m = CostModel::default();
         let cheap = Operator::Process {
-            udo: Udo::new(UdoKind::ClampOutliers { col: 0, lo: 0, hi: 1 }, "L", "1"),
+            udo: Udo::new(
+                UdoKind::ClampOutliers {
+                    col: 0,
+                    lo: 0,
+                    hi: 1,
+                },
+                "L",
+                "1",
+            ),
         };
         let pricey = Operator::Process {
-            udo: Udo::new(UdoKind::ScoreModel { cols: vec![0], seed: 1 }, "L", "1"),
+            udo: Udo::new(
+                UdoKind::ScoreModel {
+                    cols: vec![0],
+                    seed: 1,
+                },
+                "L",
+                "1",
+            ),
         };
         assert!(m.op_cpu(&pricey, 1000, 1000, 0) > m.op_cpu(&cheap, 1000, 1000, 0));
     }

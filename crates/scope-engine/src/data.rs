@@ -31,7 +31,11 @@ impl Table {
 
     /// A single-partition table from rows.
     pub fn single(schema: Schema, rows: Vec<Row>) -> Self {
-        Table { schema, partitions: vec![rows], props: PhysicalProps::single() }
+        Table {
+            schema,
+            partitions: vec![rows],
+            props: PhysicalProps::single(),
+        }
     }
 
     /// Total row count.
@@ -66,7 +70,9 @@ impl Table {
     /// Repartitions by hash on `cols` into `parts` partitions.
     pub fn hash_repartition(&self, cols: &[usize], parts: usize) -> Result<Table> {
         if parts == 0 {
-            return Err(ScopeError::Execution("hash_repartition with 0 parts".into()));
+            return Err(ScopeError::Execution(
+                "hash_repartition with 0 parts".into(),
+            ));
         }
         for &c in cols {
             self.schema.column(c)?;
@@ -84,7 +90,10 @@ impl Table {
             schema: self.schema.clone(),
             partitions: out,
             props: PhysicalProps {
-                partitioning: Partitioning::Hash { cols: cols.to_vec(), parts },
+                partitioning: Partitioning::Hash {
+                    cols: cols.to_vec(),
+                    parts,
+                },
                 sort: SortOrder::none(),
             },
         })
@@ -94,13 +103,19 @@ impl Table {
     /// boundaries chosen from the sorted distinct sample of values.
     pub fn range_repartition(&self, col: usize, parts: usize) -> Result<Table> {
         if parts == 0 {
-            return Err(ScopeError::Execution("range_repartition with 0 parts".into()));
+            return Err(ScopeError::Execution(
+                "range_repartition with 0 parts".into(),
+            ));
         }
         self.schema.column(col)?;
         let mut keys: Vec<Value> = self.iter_rows().map(|r| r[col].clone()).collect();
         keys.sort();
         let boundaries: Vec<Value> = (1..parts)
-            .map(|i| keys.get(i * keys.len() / parts).cloned().unwrap_or(Value::Null))
+            .map(|i| {
+                keys.get(i * keys.len() / parts)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
             .collect();
         let mut out: Vec<Vec<Row>> = vec![Vec::new(); parts];
         for row in self.iter_rows() {
@@ -154,7 +169,10 @@ impl Table {
         Table {
             schema: self.schema.clone(),
             partitions: parts,
-            props: PhysicalProps { partitioning: self.props.partitioning.clone(), sort: order.clone() },
+            props: PhysicalProps {
+                partitioning: self.props.partitioning.clone(),
+                sort: order.clone(),
+            },
         }
     }
 }
@@ -204,8 +222,9 @@ mod tests {
 
     fn table(n: i64) -> Table {
         let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Str)]);
-        let rows: Vec<Row> =
-            (0..n).map(|i| vec![Value::Int(i % 7), Value::Str(format!("r{i}"))]).collect();
+        let rows: Vec<Row> = (0..n)
+            .map(|i| vec![Value::Int(i % 7), Value::Str(format!("r{i}"))])
+            .collect();
         Table::single(schema, rows)
     }
 
@@ -256,7 +275,11 @@ mod tests {
             .collect();
         for i in 0..3 {
             if let (Some(mx), Some(mn)) = (&maxes[i], &mins[i + 1]) {
-                assert!(mx <= mn, "partition {i} max {mx} > partition {} min {mn}", i + 1);
+                assert!(
+                    mx <= mn,
+                    "partition {i} max {mx} > partition {} min {mn}",
+                    i + 1
+                );
             }
         }
     }

@@ -61,7 +61,11 @@ impl ExecOutcome {
     pub fn subgraph_cpu(&self, graph: &QueryGraph, root: NodeId) -> SimDuration {
         graph
             .subgraph_nodes(root)
-            .map(|ids| ids.iter().map(|id| self.node_stats[id.index()].exclusive_cpu).sum())
+            .map(|ids| {
+                ids.iter()
+                    .map(|id| self.node_stats[id.index()].exclusive_cpu)
+                    .sum()
+            })
             .unwrap_or(SimDuration::ZERO)
     }
 }
@@ -81,14 +85,17 @@ pub fn execute_plan(
     let schemas = graph.validate()?;
 
     for node in graph.nodes() {
-        let child_tables: Vec<&Table> =
-            node.children.iter().map(|c| &tables[c.index()]).collect();
+        let child_tables: Vec<&Table> = node.children.iter().map(|c| &tables[c.index()]).collect();
         let in_rows: u64 = child_tables.iter().map(|t| t.num_rows() as u64).sum();
         let out_schema = &schemas[node.id.index()];
         let (table, scanned) = exec_node(&node.op, &child_tables, out_schema, storage, now)?;
         let out_rows = table.num_rows() as u64;
         let out_bytes = table.num_bytes();
-        let effective_in = if node.children.is_empty() { scanned } else { in_rows };
+        let effective_in = if node.children.is_empty() {
+            scanned
+        } else {
+            in_rows
+        };
         let cpu = model.op_cpu(&node.op, effective_in, out_rows, out_bytes);
         if let Operator::Output { name, .. } = &node.op {
             outputs.insert(name.clone(), table.gather());
@@ -102,7 +109,11 @@ pub fn execute_plan(
         tables.push(table);
     }
 
-    Ok(ExecOutcome { node_tables: tables, node_stats: stats, outputs })
+    Ok(ExecOutcome {
+        node_tables: tables,
+        node_stats: stats,
+        outputs,
+    })
 }
 
 /// Executes one operator. Returns the output table and, for leaves, the
@@ -115,12 +126,19 @@ fn exec_node(
     now: SimTime,
 ) -> Result<(Table, u64)> {
     let one = || -> Result<&Table> {
-        inputs.first().copied().ok_or_else(|| {
-            ScopeError::Execution(format!("{} executed without input", op.kind()))
-        })
+        inputs
+            .first()
+            .copied()
+            .ok_or_else(|| ScopeError::Execution(format!("{} executed without input", op.kind())))
     };
     match op {
-        Operator::Get { dataset, kind, predicate, extractor, .. } => {
+        Operator::Get {
+            dataset,
+            kind,
+            predicate,
+            extractor,
+            ..
+        } => {
             let stored = storage.dataset(*dataset)?;
             let scanned = stored.num_rows() as u64;
             let mut partitions: Vec<Vec<Row>> = Vec::with_capacity(stored.num_partitions());
@@ -145,17 +163,19 @@ fn exec_node(
                 partitions.push(out_part);
             }
             Ok((
-                Table { schema: out_schema.clone(), partitions, props: stored.props.clone() },
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: stored.props.clone(),
+                },
                 scanned,
             ))
         }
         Operator::ViewGet { view_sig, .. } => {
-            let file = storage.view(*view_sig, now).ok_or_else(|| {
-                ScopeError::Storage(format!(
-                    "materialized view {} missing or expired",
-                    view_sig.short()
-                ))
-            })?;
+            // Integrity-verified read: a lost or corrupted file surfaces as
+            // ViewUnavailable, which the CloudViews runtime absorbs by
+            // falling back to recomputation.
+            let file = storage.open_view(*view_sig, now)?;
             let scanned = file.table.num_rows() as u64;
             Ok(((*file.table).clone(), scanned))
         }
@@ -172,7 +192,11 @@ fn exec_node(
                 partitions.push(out);
             }
             Ok((
-                Table { schema: out_schema.clone(), partitions, props: input.props.clone() },
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: input.props.clone(),
+                },
                 0,
             ))
         }
@@ -182,8 +206,7 @@ fn exec_node(
             for part in &input.partitions {
                 let mut out = Vec::with_capacity(part.len());
                 for row in part {
-                    let new_row: Result<Row> =
-                        exprs.iter().map(|ne| ne.expr.eval(row)).collect();
+                    let new_row: Result<Row> = exprs.iter().map(|ne| ne.expr.eval(row)).collect();
                     out.push(new_row?);
                 }
                 partitions.push(out);
@@ -192,7 +215,7 @@ fn exec_node(
                 Table {
                     schema: out_schema.clone(),
                     partitions,
-                    props: op.delivered_props(&[input.props.clone()]),
+                    props: op.delivered_props(std::slice::from_ref(&input.props)),
                 },
                 0,
             ))
@@ -212,7 +235,7 @@ fn exec_node(
                 Table {
                     schema: out_schema.clone(),
                     partitions,
-                    props: op.delivered_props(&[input.props.clone()]),
+                    props: op.delivered_props(std::slice::from_ref(&input.props)),
                 },
                 0,
             ))
@@ -232,7 +255,11 @@ fn exec_node(
             };
             Ok((out, 0))
         }
-        Operator::Aggregate { keys, aggs, implementation } => {
+        Operator::Aggregate {
+            keys,
+            aggs,
+            implementation,
+        } => {
             let input = one()?;
             let mut partitions: Vec<Vec<Row>> = Vec::with_capacity(input.num_partitions());
             for part in &input.partitions {
@@ -253,7 +280,7 @@ fn exec_node(
                 Table {
                     schema: out_schema.clone(),
                     partitions,
-                    props: op.delivered_props(&[input.props.clone()]),
+                    props: op.delivered_props(std::slice::from_ref(&input.props)),
                 },
                 0,
             ))
@@ -270,12 +297,19 @@ fn exec_node(
                 Table {
                     schema: out_schema.clone(),
                     partitions: vec![rows],
-                    props: PhysicalProps { partitioning: Partitioning::Single, sort: order.clone() },
+                    props: PhysicalProps {
+                        partitioning: Partitioning::Single,
+                        sort: order.clone(),
+                    },
                 },
                 0,
             ))
         }
-        Operator::Window { func, partition, order } => {
+        Operator::Window {
+            func,
+            partition,
+            order,
+        } => {
             let input = one()?;
             let mut partitions = Vec::with_capacity(input.num_partitions());
             for part in &input.partitions {
@@ -285,7 +319,7 @@ fn exec_node(
                 Table {
                     schema: out_schema.clone(),
                     partitions,
-                    props: op.delivered_props(&[input.props.clone()]),
+                    props: op.delivered_props(std::slice::from_ref(&input.props)),
                 },
                 0,
             ))
@@ -304,7 +338,7 @@ fn exec_node(
                 Table {
                     schema: out_schema.clone(),
                     partitions,
-                    props: op.delivered_props(&[input.props.clone()]),
+                    props: op.delivered_props(std::slice::from_ref(&input.props)),
                 },
                 0,
             ))
@@ -323,7 +357,7 @@ fn exec_node(
                 Table {
                     schema: out_schema.clone(),
                     partitions,
-                    props: op.delivered_props(&[input.props.clone()]),
+                    props: op.delivered_props(std::slice::from_ref(&input.props)),
                 },
                 0,
             ))
@@ -335,7 +369,12 @@ fn exec_node(
             })?;
             Ok((last.clone(), 0))
         }
-        Operator::Join { kind, implementation, left_keys, right_keys } => {
+        Operator::Join {
+            kind,
+            implementation,
+            left_keys,
+            right_keys,
+        } => {
             let left = inputs[0];
             let right = inputs[1];
             let table = exec_join(
@@ -355,7 +394,11 @@ fn exec_node(
                 partitions.extend(t.partitions.iter().cloned());
             }
             Ok((
-                Table { schema: out_schema.clone(), partitions, props: PhysicalProps::any() },
+                Table {
+                    schema: out_schema.clone(),
+                    partitions,
+                    props: PhysicalProps::any(),
+                },
                 0,
             ))
         }
@@ -551,9 +594,7 @@ fn key_runs<'a>(rows: &'a [Row], keys: &'a [usize]) -> impl Iterator<Item = &'a 
             return None;
         }
         let mut end = start + 1;
-        while end < rows.len()
-            && keys.iter().all(|&k| rows[end][k] == rows[start][k])
-        {
+        while end < rows.len() && keys.iter().all(|&k| rows[end][k] == rows[start][k]) {
             end += 1;
         }
         let run = &rows[start..end];
@@ -646,16 +687,14 @@ fn exec_join(
                 // result purposes; cost model differentiates).
                 let mut built: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
                 for row in rp {
-                    let key: Vec<Value> =
-                        right_keys.iter().map(|&k| row[k].clone()).collect();
+                    let key: Vec<Value> = right_keys.iter().map(|&k| row[k].clone()).collect();
                     if key.iter().any(Value::is_null) {
                         continue; // NULL keys never join
                     }
                     built.entry(key).or_default().push(row);
                 }
                 for lrow in lp {
-                    let key: Vec<Value> =
-                        left_keys.iter().map(|&k| lrow[k].clone()).collect();
+                    let key: Vec<Value> = left_keys.iter().map(|&k| lrow[k].clone()).collect();
                     let matches = if key.iter().any(Value::is_null) {
                         None
                     } else {
@@ -669,12 +708,17 @@ fn exec_join(
                     let matches: Vec<&Row> = rp
                         .iter()
                         .filter(|rrow| {
-                            left_keys.iter().zip(right_keys).all(|(&lk, &rk)| {
-                                !lrow[lk].is_null() && lrow[lk] == rrow[rk]
-                            })
+                            left_keys
+                                .iter()
+                                .zip(right_keys)
+                                .all(|(&lk, &rk)| !lrow[lk].is_null() && lrow[lk] == rrow[rk])
                         })
                         .collect();
-                    let m = if matches.is_empty() { None } else { Some(matches.as_slice()) };
+                    let m = if matches.is_empty() {
+                        None
+                    } else {
+                        Some(matches.as_slice())
+                    };
                     emit_join_rows(lrow, m, kind, rwidth, &mut out);
                 }
             }
@@ -684,7 +728,10 @@ fn exec_join(
     Ok(Table {
         schema: out_schema.clone(),
         partitions,
-        props: PhysicalProps { partitioning: left.props.partitioning.clone(), sort: SortOrder::none() },
+        props: PhysicalProps {
+            partitioning: left.props.partitioning.clone(),
+            sort: SortOrder::none(),
+        },
     })
 }
 
@@ -707,7 +754,7 @@ fn emit_join_rows(
         }
         (JoinKind::LeftOuter, _) => {
             let mut row = lrow.clone();
-            row.extend(std::iter::repeat(Value::Null).take(rwidth));
+            row.extend(std::iter::repeat_n(Value::Null, rwidth));
             out.push(row);
         }
         (JoinKind::Inner, _) => {}
@@ -732,7 +779,9 @@ mod tests {
     }
 
     fn kv_rows(n: i64) -> Vec<Row> {
-        (0..n).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i % 5), Value::Int(i)])
+            .collect()
     }
 
     fn run(graph: &QueryGraph, storage: &StorageManager) -> ExecOutcome {
@@ -798,8 +847,10 @@ mod tests {
             let g = b.output(a, "o").build().unwrap();
             // Patch implementation.
             let mut g2 = g.clone();
-            if let Operator::Aggregate { implementation: impl_, .. } =
-                &mut g2.node_mut(a).unwrap().op
+            if let Operator::Aggregate {
+                implementation: impl_,
+                ..
+            } = &mut g2.node_mut(a).unwrap().op
             {
                 *impl_ = implementation;
             }
@@ -821,7 +872,10 @@ mod tests {
         let a = b.aggregate(
             s,
             vec![],
-            vec![AggExpr::new("cnt", AggFunc::Count, 0), AggExpr::new("sum", AggFunc::Sum, 1)],
+            vec![
+                AggExpr::new("cnt", AggFunc::Count, 0),
+                AggExpr::new("sum", AggFunc::Sum, 1),
+            ],
         );
         let g = b.output(a, "o").build().unwrap();
         let out = run(&g, &storage);
@@ -836,7 +890,13 @@ mod tests {
         let storage = storage_with(kv_rows(100), kv_schema());
         let mut b = PlanBuilder::new();
         let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
-        let ex = b.exchange(s, Partitioning::Hash { cols: vec![0], parts: 4 });
+        let ex = b.exchange(
+            s,
+            Partitioning::Hash {
+                cols: vec![0],
+                parts: 4,
+            },
+        );
         let a = b.aggregate(ex, vec![0], vec![AggExpr::new("cnt", AggFunc::Count, 1)]);
         let g = b.output(a, "o").build().unwrap();
         let out = run(&g, &storage);
@@ -852,19 +912,25 @@ mod tests {
         let storage = StorageManager::new();
         storage.put_dataset(
             DatasetId::new(1),
-            Table::single(kv_schema(), vec![
-                vec![Value::Int(1), Value::Int(10)],
-                vec![Value::Int(2), Value::Int(20)],
-                vec![Value::Int(3), Value::Int(30)],
-            ]),
+            Table::single(
+                kv_schema(),
+                vec![
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(2), Value::Int(20)],
+                    vec![Value::Int(3), Value::Int(30)],
+                ],
+            ),
         );
         storage.put_dataset(
             DatasetId::new(2),
-            Table::single(kv_schema(), vec![
-                vec![Value::Int(2), Value::Int(200)],
-                vec![Value::Int(2), Value::Int(201)],
-                vec![Value::Int(3), Value::Int(300)],
-            ]),
+            Table::single(
+                kv_schema(),
+                vec![
+                    vec![Value::Int(2), Value::Int(200)],
+                    vec![Value::Int(2), Value::Int(201)],
+                    vec![Value::Int(3), Value::Int(300)],
+                ],
+            ),
         );
         let build = |kind| {
             let mut b = PlanBuilder::new();
@@ -911,7 +977,13 @@ mod tests {
         let storage = storage_with(kv_rows(50), kv_schema());
         let mut b = PlanBuilder::new();
         let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
-        let ex = b.exchange(s, Partitioning::Hash { cols: vec![0], parts: 4 });
+        let ex = b.exchange(
+            s,
+            Partitioning::Hash {
+                cols: vec![0],
+                parts: 4,
+            },
+        );
         let gathered = b.exchange(ex, Partitioning::Single);
         let t = b.top(gathered, 3, SortOrder(vec![SortKey::desc(1)]));
         let g = b.output(t, "o").build().unwrap();
@@ -1001,14 +1073,22 @@ mod tests {
                 vec![],
             )
             .unwrap();
-        let o = g.add(Operator::Output { name: "o".into(), stored: false }, vec![v]).unwrap();
+        let o = g
+            .add(
+                Operator::Output {
+                    name: "o".into(),
+                    stored: false,
+                },
+                vec![v],
+            )
+            .unwrap();
         g.add_root(o).unwrap();
         let out = execute_plan(&g, &storage, &CostModel::default(), SimTime(50)).unwrap();
         assert_eq!(out.outputs["o"].num_rows(), 10);
         // Past expiry it errors.
-        let err =
-            execute_plan(&g, &storage, &CostModel::default(), SimTime(100)).unwrap_err();
-        assert_eq!(err.kind(), "storage");
+        let err = execute_plan(&g, &storage, &CostModel::default(), SimTime(100)).unwrap_err();
+        assert_eq!(err.kind(), "view_unavailable");
+        assert!(err.is_degradable());
     }
 
     #[test]

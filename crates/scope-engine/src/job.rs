@@ -131,10 +131,16 @@ pub fn materialize_marked_views(
         let mut enforcer_cpu = SimDuration::ZERO;
         match &mark.props.partitioning {
             Partitioning::Hash { cols, parts } => {
-                if !mark.props.partitioning.satisfied_by(&table.props.partitioning) {
+                if !mark
+                    .props
+                    .partitioning
+                    .satisfied_by(&table.props.partitioning)
+                {
                     table = table.hash_repartition(cols, *parts)?;
                     enforcer_cpu += model.op_cpu(
-                        &scope_plan::Operator::Exchange { scheme: mark.props.partitioning.clone() },
+                        &scope_plan::Operator::Exchange {
+                            scheme: mark.props.partitioning.clone(),
+                        },
                         source.num_rows() as u64,
                         source.num_rows() as u64,
                         source.num_bytes(),
@@ -142,10 +148,16 @@ pub fn materialize_marked_views(
                 }
             }
             Partitioning::Range { col, parts } => {
-                if !mark.props.partitioning.satisfied_by(&table.props.partitioning) {
+                if !mark
+                    .props
+                    .partitioning
+                    .satisfied_by(&table.props.partitioning)
+                {
                     table = table.range_repartition(*col, *parts)?;
                     enforcer_cpu += model.op_cpu(
-                        &scope_plan::Operator::Exchange { scheme: mark.props.partitioning.clone() },
+                        &scope_plan::Operator::Exchange {
+                            scheme: mark.props.partitioning.clone(),
+                        },
                         source.num_rows() as u64,
                         source.num_rows() as u64,
                         source.num_bytes(),
@@ -158,7 +170,11 @@ pub fn materialize_marked_views(
                 }
             }
             Partitioning::RoundRobin { parts } => {
-                if !mark.props.partitioning.satisfied_by(&table.props.partitioning) {
+                if !mark
+                    .props
+                    .partitioning
+                    .satisfied_by(&table.props.partitioning)
+                {
                     table = table.round_robin_repartition(*parts)?;
                 }
             }
@@ -167,7 +183,9 @@ pub fn materialize_marked_views(
         if !mark.props.sort.is_none() && !mark.props.sort.satisfied_by(&table.props.sort) {
             table = table.sort_partitions(&mark.props.sort);
             enforcer_cpu += model.op_cpu(
-                &scope_plan::Operator::Sort { order: mark.props.sort.clone() },
+                &scope_plan::Operator::Sort {
+                    order: mark.props.sort.clone(),
+                },
                 source.num_rows() as u64,
                 source.num_rows() as u64,
                 0,
@@ -218,7 +236,9 @@ mod tests {
     fn storage() -> StorageManager {
         let s = StorageManager::new();
         let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
-        let rows = (0..500).map(|i| vec![Value::Int(i % 7), Value::Int(i)]).collect();
+        let rows = (0..500)
+            .map(|i| vec![Value::Int(i % 7), Value::Int(i)])
+            .collect();
         s.put_dataset(DatasetId::new(1), Table::single(schema, rows));
         s
     }
@@ -286,7 +306,10 @@ mod tests {
         let annotation = Annotation {
             normalized: signed.of(agg).normalized,
             props: PhysicalProps {
-                partitioning: Partitioning::Hash { cols: vec![0], parts: 4 },
+                partitioning: Partitioning::Hash {
+                    cols: vec![0],
+                    parts: 4,
+                },
                 sort: SortOrder::asc(&[0]),
             },
             ttl: SimDuration::from_secs(3600),
@@ -298,13 +321,15 @@ mod tests {
             &spec.graph,
             &[annotation],
             &GrantAll,
-            &OptimizerConfig { max_materialize_per_job: 1, ..Default::default() },
+            &OptimizerConfig {
+                max_materialize_per_job: 1,
+                ..Default::default()
+            },
             spec.id,
         )
         .unwrap();
         assert_eq!(plan.materialize.len(), 1);
-        let exec =
-            execute_plan(&plan.physical, &st, &CostModel::default(), SimTime::ZERO).unwrap();
+        let exec = execute_plan(&plan.physical, &st, &CostModel::default(), SimTime::ZERO).unwrap();
         let sim = simulate(&plan.physical, &exec, &ClusterConfig::default());
         let built = materialize_marked_views(
             &plan,

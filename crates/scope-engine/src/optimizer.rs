@@ -34,9 +34,7 @@ use scope_common::ids::{JobId, NodeId};
 use scope_common::time::SimDuration;
 use scope_common::{Result, ScopeError};
 use scope_plan::op::AggImpl;
-use scope_plan::{
-    JoinImpl, Operator, Partitioning, PhysicalProps, QueryGraph, SortOrder,
-};
+use scope_plan::{JoinImpl, Operator, Partitioning, PhysicalProps, QueryGraph, SortOrder};
 use scope_signature::{enumerate_subgraphs, SubgraphInfo};
 
 /// A materialized view the metadata service reports as available.
@@ -239,16 +237,13 @@ pub fn optimize(
     let mut reuse_sigs: Vec<(NodeId, Sig128, Sig128, SimDuration)> = Vec::new();
     if config.enable_reuse {
         let mut order: Vec<&SubgraphInfo> = infos.iter().collect();
-        order.sort_by(|a, b| b.num_nodes.cmp(&a.num_nodes));
+        order.sort_by_key(|info| std::cmp::Reverse(info.num_nodes));
         for info in order {
             if replaced[info.root.index()] {
                 continue;
             }
             // Never rewrite terminal Output/Write nodes themselves.
-            if matches!(
-                working.node(info.root)?.op,
-                Operator::Output { .. }
-            ) {
+            if matches!(working.node(info.root)?.op, Operator::Output { .. }) {
                 continue;
             }
             let Some(annotation) = by_normalized.get(&info.normalized) else {
@@ -271,7 +266,11 @@ pub fn optimize(
             let savings = annotation.avg_cpu;
             working.replace_with_leaf(
                 info.root,
-                Operator::ViewGet { view_sig: view.precise, schema, props: view.props.clone() },
+                Operator::ViewGet {
+                    view_sig: view.precise,
+                    schema,
+                    props: view.props.clone(),
+                },
             )?;
             // Mark the whole old subtree as gone.
             for id in logical.subgraph_nodes(info.root)? {
@@ -344,8 +343,7 @@ pub fn optimize(
             if !keep[node.id.index()] {
                 continue;
             }
-            let children: Vec<NodeId> =
-                node.children.iter().map(|c| orig_remap[c]).collect();
+            let children: Vec<NodeId> = node.children.iter().map(|c| orig_remap[c]).collect();
             let new_id = pruned.add(node.op.clone(), children)?;
             orig_remap.insert(node.id, new_id);
         }
@@ -373,7 +371,10 @@ pub fn optimize(
     report.physical_nodes = physical.len();
 
     let to_phys = |orig: NodeId| -> Option<NodeId> {
-        orig_remap.get(&orig).and_then(|mid| lowered_map.get(mid)).copied()
+        orig_remap
+            .get(&orig)
+            .and_then(|mid| lowered_map.get(mid))
+            .copied()
     };
 
     let mut orig_to_phys = HashMap::new();
@@ -437,8 +438,10 @@ fn lower(
 
     for node in logical.nodes() {
         let child_ids: Vec<NodeId> = node.children.iter().map(|c| map[c]).collect();
-        let child_props: Vec<PhysicalProps> =
-            child_ids.iter().map(|c| delivered[c.index()].clone()).collect();
+        let child_props: Vec<PhysicalProps> = child_ids
+            .iter()
+            .map(|c| delivered[c.index()].clone())
+            .collect();
         let op = select_implementation(&node.op, &child_props);
         let reqs = op.required_props(child_ids.len(), config.default_dop);
 
@@ -448,16 +451,22 @@ fn lower(
             let mut cur = cid;
             // Partitioning enforcer.
             if !matches!(req.partitioning, Partitioning::Any)
-                && !req.partitioning.satisfied_by(&delivered[cur.index()].partitioning)
+                && !req
+                    .partitioning
+                    .satisfied_by(&delivered[cur.index()].partitioning)
             {
-                let ex = Operator::Exchange { scheme: req.partitioning.clone() };
+                let ex = Operator::Exchange {
+                    scheme: req.partitioning.clone(),
+                };
                 let props = ex.delivered_props(&[delivered[cur.index()].clone()]);
                 cur = phys.add(ex, vec![cur])?;
                 delivered.push(props);
             }
             // Sort enforcer (partition-local).
             if !req.sort.is_none() && !req.sort.satisfied_by(&delivered[cur.index()].sort) {
-                let sort = Operator::Sort { order: req.sort.clone() };
+                let sort = Operator::Sort {
+                    order: req.sort.clone(),
+                };
                 let props = sort.delivered_props(&[delivered[cur.index()].clone()]);
                 cur = phys.add(sort, vec![cur])?;
                 delivered.push(props);
@@ -465,8 +474,10 @@ fn lower(
             final_children.push(cur);
         }
 
-        let final_props: Vec<PhysicalProps> =
-            final_children.iter().map(|c| delivered[c.index()].clone()).collect();
+        let final_props: Vec<PhysicalProps> = final_children
+            .iter()
+            .map(|c| delivered[c.index()].clone())
+            .collect();
         let out_props = op.delivered_props(&final_props);
         let id = phys.add(op, final_children)?;
         delivered.push(out_props);
@@ -491,10 +502,19 @@ fn select_implementation(op: &Operator, child_props: &[PhysicalProps]) -> Operat
             Operator::Aggregate {
                 keys: keys.clone(),
                 aggs: aggs.clone(),
-                implementation: if sorted { AggImpl::Stream } else { AggImpl::Hash },
+                implementation: if sorted {
+                    AggImpl::Stream
+                } else {
+                    AggImpl::Hash
+                },
             }
         }
-        Operator::Join { kind, left_keys, right_keys, implementation } => {
+        Operator::Join {
+            kind,
+            left_keys,
+            right_keys,
+            implementation,
+        } => {
             if *implementation == JoinImpl::Loops {
                 return op.clone(); // explicitly authored
             }
@@ -510,7 +530,11 @@ fn select_implementation(op: &Operator, child_props: &[PhysicalProps]) -> Operat
                 kind: *kind,
                 left_keys: left_keys.clone(),
                 right_keys: right_keys.clone(),
-                implementation: if l_sorted && r_sorted { JoinImpl::Merge } else { JoinImpl::Hash },
+                implementation: if l_sorted && r_sorted {
+                    JoinImpl::Merge
+                } else {
+                    JoinImpl::Hash
+                },
             }
         }
         other => other.clone(),
@@ -520,10 +544,10 @@ fn select_implementation(op: &Operator, child_props: &[PhysicalProps]) -> Operat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scope_signature::sign_graph;
     use scope_common::ids::DatasetId;
     use scope_plan::expr::AggFunc;
     use scope_plan::{AggExpr, DataType, Expr, PlanBuilder, Schema};
+    use scope_signature::sign_graph;
 
     fn kv_schema() -> Schema {
         Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)])
@@ -544,8 +568,14 @@ mod tests {
     #[test]
     fn baseline_lowering_inserts_enforcers() {
         let g = agg_plan();
-        let plan =
-            optimize(&g, &[], &no_views(), &OptimizerConfig::default(), JobId::new(1)).unwrap();
+        let plan = optimize(
+            &g,
+            &[],
+            &no_views(),
+            &OptimizerConfig::default(),
+            JobId::new(1),
+        )
+        .unwrap();
         // Aggregate requires hash partitioning; Output requires Single:
         // expect at least two Exchange enforcers.
         let exchanges = plan
@@ -554,7 +584,10 @@ mod tests {
             .iter()
             .filter(|n| matches!(n.op, Operator::Exchange { .. }))
             .count();
-        assert!(exchanges >= 2, "expected enforcer exchanges, got {exchanges}");
+        assert!(
+            exchanges >= 2,
+            "expected enforcer exchanges, got {exchanges}"
+        );
         assert!(plan.physical.len() > g.len());
         assert!(plan.report.views_reused == 0 && plan.report.views_materialized == 0);
         // Every original logical node survives baseline optimization.
@@ -565,12 +598,24 @@ mod tests {
     fn stream_agg_selected_when_input_sorted() {
         let mut b = PlanBuilder::new();
         let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
-        let ex = b.exchange(s, Partitioning::Hash { cols: vec![0], parts: 8 });
+        let ex = b.exchange(
+            s,
+            Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
+        );
         let sorted = b.sort(ex, SortOrder::asc(&[0]));
         let a = b.aggregate(sorted, vec![0], vec![AggExpr::new("c", AggFunc::Count, 1)]);
         let g = b.output(a, "o").build().unwrap();
-        let plan =
-            optimize(&g, &[], &no_views(), &OptimizerConfig::default(), JobId::new(1)).unwrap();
+        let plan = optimize(
+            &g,
+            &[],
+            &no_views(),
+            &OptimizerConfig::default(),
+            JobId::new(1),
+        )
+        .unwrap();
         let stream_aggs = plan
             .physical
             .nodes()
@@ -578,7 +623,10 @@ mod tests {
             .filter(|n| {
                 matches!(
                     n.op,
-                    Operator::Aggregate { implementation: AggImpl::Stream, .. }
+                    Operator::Aggregate {
+                        implementation: AggImpl::Stream,
+                        ..
+                    }
                 )
             })
             .count();
@@ -595,13 +643,7 @@ mod tests {
         fn view_available(&self, precise: Sig128) -> Option<AvailableView> {
             (precise == self.view.precise).then(|| self.view.clone())
         }
-        fn propose_materialize(
-            &self,
-            _p: Sig128,
-            _n: Sig128,
-            _j: JobId,
-            _t: SimDuration,
-        ) -> bool {
+        fn propose_materialize(&self, _p: Sig128, _n: Sig128, _j: JobId, _t: SimDuration) -> bool {
             self.grant_locks
         }
     }
@@ -720,7 +762,10 @@ mod tests {
             &g,
             &annotations,
             &services,
-            &OptimizerConfig { max_materialize_per_job: 1, ..Default::default() },
+            &OptimizerConfig {
+                max_materialize_per_job: 1,
+                ..Default::default()
+            },
             JobId::new(3),
         )
         .unwrap();
@@ -730,13 +775,19 @@ mod tests {
             &g,
             &annotations,
             &services,
-            &OptimizerConfig { max_materialize_per_job: 4, ..Default::default() },
+            &OptimizerConfig {
+                max_materialize_per_job: 4,
+                ..Default::default()
+            },
             JobId::new(3),
         )
         .unwrap();
         assert_eq!(plan.materialize.len(), 2);
         // Locks denied: none.
-        let services = OneView { grant_locks: false, ..services };
+        let services = OneView {
+            grant_locks: false,
+            ..services
+        };
         let plan = optimize(
             &g,
             &annotations,
@@ -774,7 +825,10 @@ mod tests {
             &g,
             &annotations,
             &services,
-            &OptimizerConfig { offline_mode: true, ..Default::default() },
+            &OptimizerConfig {
+                offline_mode: true,
+                ..Default::default()
+            },
             JobId::new(4),
         )
         .unwrap();
@@ -790,7 +844,10 @@ mod tests {
             &g,
             &[],
             &services,
-            &OptimizerConfig { offline_mode: true, ..Default::default() },
+            &OptimizerConfig {
+                offline_mode: true,
+                ..Default::default()
+            },
             JobId::new(4),
         )
         .unwrap_err();
@@ -884,7 +941,11 @@ mod tests {
             &g,
             &[annotation],
             &services,
-            &OptimizerConfig { enable_reuse: false, enable_materialize: false, ..Default::default() },
+            &OptimizerConfig {
+                enable_reuse: false,
+                enable_materialize: false,
+                ..Default::default()
+            },
             JobId::new(6),
         )
         .unwrap();

@@ -215,7 +215,9 @@ mod tests {
     fn setup() -> (StorageManager, QueryGraph) {
         let s = StorageManager::new();
         let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
-        let rows = (0..1000).map(|i| vec![Value::Int(i % 10), Value::Int(i)]).collect();
+        let rows = (0..1000)
+            .map(|i| vec![Value::Int(i % 10), Value::Int(i)])
+            .collect();
         s.put_dataset(DatasetId::new(1), Table::single(schema.clone(), rows));
         let mut b = PlanBuilder::new();
         let scan = b.table_scan(DatasetId::new(1), "in/<date>/t.ss", schema);
@@ -240,12 +242,21 @@ mod tests {
     #[test]
     fn record_reconciles_stats() {
         let (storage, g) = setup();
-        let plan =
-            optimize(&g, &[], &NoViewServices, &OptimizerConfig::default(), JobId::new(1))
-                .unwrap();
-        let exec =
-            execute_plan(&plan.physical, &storage, &CostModel::default(), SimTime::ZERO)
-                .unwrap();
+        let plan = optimize(
+            &g,
+            &[],
+            &NoViewServices,
+            &OptimizerConfig::default(),
+            JobId::new(1),
+        )
+        .unwrap();
+        let exec = execute_plan(
+            &plan.physical,
+            &storage,
+            &CostModel::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let sim = simulate(&plan.physical, &exec, &ClusterConfig::default());
         let repo = WorkloadRepository::new();
         repo.record(identity(1), &g, &plan, &exec, &sim).unwrap();
@@ -257,12 +268,20 @@ mod tests {
         for s in &rec.subgraphs {
             assert!(s.cumulative_cpu >= s.exclusive_cpu);
         }
-        let root_run = rec.subgraphs.iter().find(|s| s.root == g.roots()[0]).unwrap();
+        let root_run = rec
+            .subgraphs
+            .iter()
+            .find(|s| s.root == g.roots()[0])
+            .unwrap();
         // Root cumulative equals total physical CPU (all nodes reachable).
         assert_eq!(root_run.cumulative_cpu, exec.total_cpu());
         // The aggregate's observed output cardinality is the true 10 groups,
         // not an estimate.
-        let agg_run = rec.subgraphs.iter().find(|s| s.root == NodeId::new(2)).unwrap();
+        let agg_run = rec
+            .subgraphs
+            .iter()
+            .find(|s| s.root == NodeId::new(2))
+            .unwrap();
         assert_eq!(agg_run.out_rows, 10);
         assert!(rec.tags.contains(&"in/<date>/t.ss".to_string()));
         assert!(rec.latency > SimDuration::ZERO);
@@ -271,12 +290,21 @@ mod tests {
     #[test]
     fn window_query_filters() {
         let (storage, g) = setup();
-        let plan =
-            optimize(&g, &[], &NoViewServices, &OptimizerConfig::default(), JobId::new(1))
-                .unwrap();
-        let exec =
-            execute_plan(&plan.physical, &storage, &CostModel::default(), SimTime::ZERO)
-                .unwrap();
+        let plan = optimize(
+            &g,
+            &[],
+            &NoViewServices,
+            &OptimizerConfig::default(),
+            JobId::new(1),
+        )
+        .unwrap();
+        let exec = execute_plan(
+            &plan.physical,
+            &storage,
+            &CostModel::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let sim = simulate(&plan.physical, &exec, &ClusterConfig::default());
         let repo = WorkloadRepository::new();
         let mut early = identity(1);

@@ -100,8 +100,7 @@ fn build_stages(graph: &QueryGraph, exec: &ExecOutcome) -> Vec<Stage> {
         } else if node.children.len() == 1 {
             stage_of[node.children[0].index()]
         } else {
-            let mut deps: Vec<usize> =
-                node.children.iter().map(|c| stage_of[c.index()]).collect();
+            let mut deps: Vec<usize> = node.children.iter().map(|c| stage_of[c.index()]).collect();
             deps.sort_unstable();
             deps.dedup();
             if deps.len() == 1 {
@@ -123,8 +122,7 @@ fn build_stages(graph: &QueryGraph, exec: &ExecOutcome) -> Vec<Stage> {
             let t = &exec.node_tables[nid.index()];
             let total = t.num_rows();
             if total > 0 && t.num_partitions() > 1 {
-                let max_part =
-                    t.partitions.iter().map(Vec::len).max().unwrap_or(0) as f64;
+                let max_part = t.partitions.iter().map(Vec::len).max().unwrap_or(0) as f64;
                 share = share.max(max_part / total as f64);
             }
         }
@@ -191,22 +189,26 @@ fn schedule(
     }
     let _ = exec;
 
-    SimOutcome { latency, cpu_time, stages: stages.to_vec(), node_finish, vertices: total_vertices }
+    SimOutcome {
+        latency,
+        cpu_time,
+        stages: stages.to_vec(),
+        node_finish,
+        vertices: total_vertices,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scope_common::time::SimTime;
     use crate::cost::CostModel;
     use crate::data::Table;
     use crate::exec::execute_plan;
     use crate::storage::StorageManager;
     use scope_common::ids::DatasetId;
+    use scope_common::time::SimTime;
     use scope_plan::expr::AggFunc;
-    use scope_plan::{
-        AggExpr, DataType, Expr, Partitioning, PlanBuilder, Schema, Value,
-    };
+    use scope_plan::{AggExpr, DataType, Expr, Partitioning, PlanBuilder, Schema, Value};
 
     fn kv_schema() -> Schema {
         Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)])
@@ -214,7 +216,9 @@ mod tests {
 
     fn storage(n: i64) -> StorageManager {
         let s = StorageManager::new();
-        let rows = (0..n).map(|i| vec![Value::Int(i % 11), Value::Int(i)]).collect();
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i % 11), Value::Int(i)])
+            .collect();
         s.put_dataset(DatasetId::new(1), Table::single(kv_schema(), rows));
         s
     }
@@ -223,7 +227,13 @@ mod tests {
         let mut b = PlanBuilder::new();
         let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
         let f = b.filter(s, Expr::col(1).ge(Expr::lit(0i64)));
-        let ex = b.exchange(f, Partitioning::Hash { cols: vec![0], parts });
+        let ex = b.exchange(
+            f,
+            Partitioning::Hash {
+                cols: vec![0],
+                parts,
+            },
+        );
         let a = b.aggregate(ex, vec![0], vec![AggExpr::new("c", AggFunc::Count, 1)]);
         let gather = b.exchange(a, Partitioning::Single);
         b.output(gather, "o").build().unwrap()
@@ -249,7 +259,11 @@ mod tests {
 
     #[test]
     fn latency_positive_and_under_cpu_when_parallel() {
-        let cfg = ClusterConfig { tokens: 64, default_dop: 32, ..Default::default() };
+        let cfg = ClusterConfig {
+            tokens: 64,
+            default_dop: 32,
+            ..Default::default()
+        };
         let (out, _) = run_sim(32, &cfg);
         assert!(out.latency > SimDuration::ZERO);
         assert!(out.cpu_time > out.latency, "parallel work: cpu > latency");
@@ -257,7 +271,10 @@ mod tests {
 
     #[test]
     fn more_parallelism_cuts_latency() {
-        let cfg = ClusterConfig { tokens: 64, ..Default::default() };
+        let cfg = ClusterConfig {
+            tokens: 64,
+            ..Default::default()
+        };
         let (narrow, _) = run_sim(2, &cfg);
         let (wide, _) = run_sim(32, &cfg);
         assert!(
@@ -270,8 +287,14 @@ mod tests {
 
     #[test]
     fn token_starvation_adds_waves() {
-        let generous = ClusterConfig { tokens: 64, ..Default::default() };
-        let starved = ClusterConfig { tokens: 2, ..Default::default() };
+        let generous = ClusterConfig {
+            tokens: 64,
+            ..Default::default()
+        };
+        let starved = ClusterConfig {
+            tokens: 2,
+            ..Default::default()
+        };
         let (fast, _) = run_sim(32, &generous);
         let (slow, _) = run_sim(32, &starved);
         assert!(slow.latency > fast.latency);
@@ -299,8 +322,20 @@ mod tests {
         let mut b = PlanBuilder::new();
         let l = b.table_scan(DatasetId::new(1), "l", kv_schema());
         let r = b.table_scan(DatasetId::new(1), "r", kv_schema());
-        let exl = b.exchange(l, Partitioning::Hash { cols: vec![0], parts: 4 });
-        let exr = b.exchange(r, Partitioning::Hash { cols: vec![0], parts: 4 });
+        let exl = b.exchange(
+            l,
+            Partitioning::Hash {
+                cols: vec![0],
+                parts: 4,
+            },
+        );
+        let exr = b.exchange(
+            r,
+            Partitioning::Hash {
+                cols: vec![0],
+                parts: 4,
+            },
+        );
         let j = b.join(exl, exr, scope_plan::JoinKind::Inner, vec![0], vec![0]);
         let g = b.output(j, "o").build().unwrap();
         let exec = execute_plan(&g, &st, &CostModel::default(), SimTime::ZERO).unwrap();
@@ -316,7 +351,9 @@ mod tests {
         // All rows in one key -> hash exchange puts everything in one
         // partition -> max share ~1 -> latency close to serial.
         let st = StorageManager::new();
-        let rows: Vec<_> = (0..10_000).map(|i| vec![Value::Int(7), Value::Int(i)]).collect();
+        let rows: Vec<_> = (0..10_000)
+            .map(|i| vec![Value::Int(7), Value::Int(i)])
+            .collect();
         st.put_dataset(DatasetId::new(1), Table::single(kv_schema(), rows));
         let g = pipeline(8);
         let exec = execute_plan(&g, &st, &CostModel::default(), SimTime::ZERO).unwrap();

@@ -8,6 +8,13 @@
 //!
 //! Thread-safe: concurrent jobs read datasets and publish views in parallel
 //! in the synchronization experiments.
+//!
+//! Every published view records a content checksum at publish time;
+//! [`StorageManager::open_view`] re-verifies it on read, so a file that was
+//! lost ([`StorageManager::lose_view`]) or corrupted in place
+//! ([`StorageManager::corrupt_view`]) surfaces as
+//! [`ScopeError::ViewUnavailable`] and the runtime falls back to
+//! recomputation instead of returning wrong rows.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,7 +26,7 @@ use scope_common::time::SimTime;
 use scope_common::{Result, ScopeError};
 use scope_plan::PhysicalProps;
 
-use crate::data::Table;
+use crate::data::{multiset_checksum, Table};
 
 /// Metadata of one materialized view file.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,10 +67,17 @@ impl ViewFile {
     }
 }
 
+/// A stored view plus the content checksum recorded when it was published.
+struct StoredView {
+    file: ViewFile,
+    /// `multiset_checksum` of the rows at publish time; verified on read.
+    integrity: u64,
+}
+
 #[derive(Default)]
 struct Inner {
     datasets: HashMap<DatasetId, Arc<Table>>,
-    views: HashMap<Sig128, ViewFile>,
+    views: HashMap<Sig128, StoredView>,
 }
 
 /// Thread-safe catalog of base datasets and materialized views.
@@ -96,7 +110,11 @@ impl StorageManager {
     /// Row count of a dataset, if registered (the optimizer's statistics
     /// oracle for base tables).
     pub fn dataset_rows(&self, id: DatasetId) -> Option<u64> {
-        self.inner.read().datasets.get(&id).map(|t| t.num_rows() as u64)
+        self.inner
+            .read()
+            .datasets
+            .get(&id)
+            .map(|t| t.num_rows() as u64)
     }
 
     /// Number of registered datasets.
@@ -108,15 +126,82 @@ impl StorageManager {
     /// signature is idempotent (the second writer lost the build race and
     /// its file is discarded — first-writer-wins keeps provenance stable).
     pub fn publish_view(&self, file: ViewFile) -> Result<()> {
+        let integrity = multiset_checksum(&file.table);
         let mut inner = self.inner.write();
-        inner.views.entry(file.meta.precise).or_insert(file);
+        inner
+            .views
+            .entry(file.meta.precise)
+            .or_insert(StoredView { file, integrity });
         Ok(())
     }
 
     /// Looks up a view by precise signature, refusing expired files.
+    ///
+    /// This is the cheap metadata-level probe: it does *not* verify content
+    /// integrity. Execution reads go through [`StorageManager::open_view`].
     pub fn view(&self, precise: Sig128, now: SimTime) -> Option<ViewFile> {
         let inner = self.inner.read();
-        inner.views.get(&precise).filter(|v| v.meta.expires_at > now).cloned()
+        inner
+            .views
+            .get(&precise)
+            .filter(|v| v.file.meta.expires_at > now)
+            .map(|v| v.file.clone())
+    }
+
+    /// Opens a view for reading, verifying the content checksum recorded at
+    /// publish time. A missing, expired, or corrupted file is reported as
+    /// [`ScopeError::ViewUnavailable`] so the caller can fall back to
+    /// recomputation.
+    pub fn open_view(&self, precise: Sig128, now: SimTime) -> Result<ViewFile> {
+        let inner = self.inner.read();
+        let stored = inner.views.get(&precise).ok_or_else(|| {
+            ScopeError::ViewUnavailable(format!("view {precise}: file not found"))
+        })?;
+        if stored.file.meta.expires_at <= now {
+            return Err(ScopeError::ViewUnavailable(format!(
+                "view {precise}: expired at {:?}",
+                stored.file.meta.expires_at
+            )));
+        }
+        if multiset_checksum(&stored.file.table) != stored.integrity {
+            return Err(ScopeError::ViewUnavailable(format!(
+                "view {precise}: content checksum mismatch (corrupt file)"
+            )));
+        }
+        Ok(stored.file.clone())
+    }
+
+    /// Simulates losing a view file (disk failure, premature deletion): the
+    /// file disappears while any metadata annotations pointing at it remain.
+    /// Returns true when a file was present to lose.
+    pub fn lose_view(&self, precise: Sig128) -> bool {
+        self.inner.write().views.remove(&precise).is_some()
+    }
+
+    /// Simulates in-place corruption of a view file: the stored rows no
+    /// longer match the checksum recorded at publish time, so a subsequent
+    /// [`StorageManager::open_view`] fails. Returns true when a file was
+    /// present to corrupt.
+    pub fn corrupt_view(&self, precise: Sig128) -> bool {
+        let mut inner = self.inner.write();
+        match inner.views.get_mut(&precise) {
+            Some(stored) => {
+                let rows = stored.file.table.num_rows();
+                if rows > 0 {
+                    // Bit rot: silently drop the last row of the file.
+                    let mut remaining = stored.file.table.all_rows();
+                    remaining.pop();
+                    stored.file.table =
+                        Arc::new(Table::single(stored.file.table.schema.clone(), remaining));
+                } else {
+                    // Nothing to truncate; damage the recorded checksum so
+                    // verification still fails.
+                    stored.integrity ^= 0xDEAD_BEEF;
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// True when a non-expired view exists for `precise`.
@@ -129,8 +214,8 @@ impl StorageManager {
         let mut inner = self.inner.write();
         let mut reclaimed = 0;
         inner.views.retain(|_, v| {
-            if v.meta.expires_at <= now {
-                reclaimed += v.meta.bytes;
+            if v.file.meta.expires_at <= now {
+                reclaimed += v.file.meta.bytes;
                 false
             } else {
                 true
@@ -142,12 +227,21 @@ impl StorageManager {
     /// Deletes a specific view (admin space reclamation, Section 5.4);
     /// returns the reclaimed bytes.
     pub fn delete_view(&self, precise: Sig128) -> Option<u64> {
-        self.inner.write().views.remove(&precise).map(|v| v.meta.bytes)
+        self.inner
+            .write()
+            .views
+            .remove(&precise)
+            .map(|v| v.file.meta.bytes)
     }
 
     /// Total bytes currently held by materialized views.
     pub fn total_view_bytes(&self) -> u64 {
-        self.inner.read().views.values().map(|v| v.meta.bytes).sum()
+        self.inner
+            .read()
+            .views
+            .values()
+            .map(|v| v.file.meta.bytes)
+            .sum()
     }
 
     /// Number of stored views.
@@ -157,7 +251,12 @@ impl StorageManager {
 
     /// Metadata of all stored views (reporting).
     pub fn view_metas(&self) -> Vec<ViewMeta> {
-        self.inner.read().views.values().map(|v| v.meta.clone()).collect()
+        self.inner
+            .read()
+            .views
+            .values()
+            .map(|v| v.file.meta.clone())
+            .collect()
     }
 }
 
@@ -248,6 +347,61 @@ mod tests {
         assert_eq!(s.delete_view(sip128(b"x")), Some(100));
         assert_eq!(s.delete_view(sip128(b"x")), None);
         assert_eq!(s.num_views(), 0);
+    }
+
+    #[test]
+    fn open_view_verifies_integrity() {
+        let s = StorageManager::new();
+        let v = view(b"ok", SimTime(1_000_000));
+        let sig = v.meta.precise;
+        s.publish_view(v).unwrap();
+        // Healthy file opens fine.
+        assert_eq!(s.open_view(sig, SimTime::ZERO).unwrap().meta.rows, 2);
+        // Expired file is refused.
+        let err = s.open_view(sig, SimTime(1_000_000)).unwrap_err();
+        assert_eq!(err.kind(), "view_unavailable");
+        // Unknown signature is refused.
+        let err = s.open_view(sip128(b"nope"), SimTime::ZERO).unwrap_err();
+        assert_eq!(err.kind(), "view_unavailable");
+    }
+
+    #[test]
+    fn lost_view_fails_open_but_not_silently() {
+        let s = StorageManager::new();
+        let v = view(b"gone", SimTime::MAX);
+        let sig = v.meta.precise;
+        s.publish_view(v).unwrap();
+        assert!(s.lose_view(sig));
+        assert!(!s.lose_view(sig), "second loss finds nothing");
+        let err = s.open_view(sig, SimTime::ZERO).unwrap_err();
+        assert!(err.message().contains("not found"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_view_fails_checksum_verification() {
+        let s = StorageManager::new();
+        let v = view(b"rot", SimTime::MAX);
+        let sig = v.meta.precise;
+        s.publish_view(v).unwrap();
+        assert!(s.corrupt_view(sig));
+        // The cheap metadata probe still sees the file...
+        assert!(s.view_exists(sig, SimTime::ZERO));
+        // ...but an execution read detects the damage.
+        let err = s.open_view(sig, SimTime::ZERO).unwrap_err();
+        assert!(err.message().contains("checksum mismatch"), "{err}");
+        assert!(!s.corrupt_view(sip128(b"missing")));
+    }
+
+    #[test]
+    fn corrupting_empty_view_still_detected() {
+        let s = StorageManager::new();
+        let mut v = view(b"empty", SimTime::MAX);
+        v.table = Arc::new(Table::empty(Schema::from_pairs(&[("a", DataType::Int)])));
+        v.meta.rows = 0;
+        let sig = v.meta.precise;
+        s.publish_view(v).unwrap();
+        assert!(s.corrupt_view(sig));
+        assert!(s.open_view(sig, SimTime::ZERO).is_err());
     }
 
     #[test]

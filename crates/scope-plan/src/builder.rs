@@ -142,7 +142,11 @@ impl PlanBuilder {
     /// may switch to stream when the input is already sorted).
     pub fn aggregate(&mut self, input: NodeId, keys: Vec<usize>, aggs: Vec<AggExpr>) -> NodeId {
         self.push(
-            Operator::Aggregate { keys, aggs, implementation: AggImpl::Hash },
+            Operator::Aggregate {
+                keys,
+                aggs,
+                implementation: AggImpl::Hash,
+            },
             vec![input],
         )
     }
@@ -160,7 +164,14 @@ impl PlanBuilder {
         partition: Vec<usize>,
         order: SortOrder,
     ) -> NodeId {
-        self.push(Operator::Window { func, partition, order }, vec![input])
+        self.push(
+            Operator::Window {
+                func,
+                partition,
+                order,
+            },
+            vec![input],
+        )
     }
 
     /// User-defined processor.
@@ -198,7 +209,12 @@ impl PlanBuilder {
         right_keys: Vec<usize>,
     ) -> NodeId {
         self.push(
-            Operator::Join { kind, implementation: JoinImpl::Hash, left_keys, right_keys },
+            Operator::Join {
+                kind,
+                implementation: JoinImpl::Hash,
+                left_keys,
+                right_keys,
+            },
             vec![left, right],
         )
     }
@@ -221,14 +237,26 @@ impl PlanBuilder {
     /// Terminal output; automatically registered as a root. Returns `self`
     /// for chaining multiple outputs.
     pub fn output(&mut self, input: NodeId, name: impl Into<String>) -> &mut Self {
-        let id = self.push(Operator::Output { name: name.into(), stored: false }, vec![input]);
+        let id = self.push(
+            Operator::Output {
+                name: name.into(),
+                stored: false,
+            },
+            vec![input],
+        );
         self.roots.push(id);
         self
     }
 
     /// Terminal stored-stream write; automatically registered as a root.
     pub fn write(&mut self, input: NodeId, name: impl Into<String>) -> &mut Self {
-        let id = self.push(Operator::Output { name: name.into(), stored: true }, vec![input]);
+        let id = self.push(
+            Operator::Output {
+                name: name.into(),
+                stored: true,
+            },
+            vec![input],
+        );
         self.roots.push(id);
         self
     }

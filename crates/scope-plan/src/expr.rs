@@ -171,57 +171,102 @@ impl Expr {
 
     /// Recurring parameter (normalization strips `value`).
     pub fn param(name: impl Into<String>, v: impl Into<Value>) -> Expr {
-        Expr::RecurringParam { name: name.into(), value: v.into() }
+        Expr::RecurringParam {
+            name: name.into(),
+            value: v.into(),
+        }
     }
 
     /// `self == other`.
     pub fn eq(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Eq, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self < other`.
     pub fn lt(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Lt, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self <= other`.
     pub fn le(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Le, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Le,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self > other`.
     pub fn gt(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Gt, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self >= other`.
     pub fn ge(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Ge, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Ge,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self AND other`.
     pub fn and(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::And, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self OR other`.
     pub fn or(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Or, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Or,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Add, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Mul, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self % other`.
     pub fn modulo(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Mod, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Mod,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Function call.
@@ -547,11 +592,7 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
                 (Value::Str(s), n) => {
                     let n = n.as_i64().unwrap_or(0).max(0) as usize;
-                    let cut = s
-                        .char_indices()
-                        .nth(n)
-                        .map(|(i, _)| i)
-                        .unwrap_or(s.len());
+                    let cut = s.char_indices().nth(n).map(|(i, _)| i).unwrap_or(s.len());
                     Ok(Value::Str(s[..cut].to_string()))
                 }
                 (other, _) => Err(ScopeError::Expression(format!("prefix on {other}"))),
@@ -587,7 +628,11 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
         }
         ScalarFunc::If => {
             need(3)?;
-            Ok(if args[0].is_true() { args[1].clone() } else { args[2].clone() })
+            Ok(if args[0].is_true() {
+                args[1].clone()
+            } else {
+                args[2].clone()
+            })
         }
         ScalarFunc::Least | ScalarFunc::Greatest => {
             need(2)?;
@@ -595,7 +640,11 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
                 return Ok(Value::Null);
             }
             let pick_first = (args[0] <= args[1]) == (func == ScalarFunc::Least);
-            Ok(if pick_first { args[0].clone() } else { args[1].clone() })
+            Ok(if pick_first {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            })
         }
     }
 }
@@ -612,7 +661,10 @@ pub struct NamedExpr {
 impl NamedExpr {
     /// Builds a named expression.
     pub fn new(name: impl Into<String>, expr: Expr) -> Self {
-        NamedExpr { name: name.into(), expr }
+        NamedExpr {
+            name: name.into(),
+            expr,
+        }
     }
 }
 
@@ -671,7 +723,11 @@ pub struct AggExpr {
 impl AggExpr {
     /// Builds an aggregate expression.
     pub fn new(name: impl Into<String>, func: AggFunc, input: usize) -> Self {
-        AggExpr { name: name.into(), func, input }
+        AggExpr {
+            name: name.into(),
+            func,
+            input,
+        }
     }
 
     /// Feeds into a stable hasher.
@@ -749,12 +805,27 @@ mod tests {
         let null = Expr::col(3);
         let t = Expr::lit(true);
         let f = Expr::lit(false);
-        assert_eq!(f.clone().and(null.clone()).eval(&row()).unwrap(), Value::Bool(false));
-        assert_eq!(t.clone().or(null.clone()).eval(&row()).unwrap(), Value::Bool(true));
-        assert_eq!(t.clone().and(null.clone()).eval(&row()).unwrap(), Value::Null);
-        assert_eq!(f.clone().or(null.clone()).eval(&row()).unwrap(), Value::Null);
+        assert_eq!(
+            f.clone().and(null.clone()).eval(&row()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            t.clone().or(null.clone()).eval(&row()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            t.clone().and(null.clone()).eval(&row()).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            f.clone().or(null.clone()).eval(&row()).unwrap(),
+            Value::Null
+        );
         // Reversed operand order (no short-circuit path).
-        assert_eq!(null.clone().and(f).eval(&row()).unwrap(), Value::Bool(false));
+        assert_eq!(
+            null.clone().and(f).eval(&row()).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(null.or(t).eval(&row()).unwrap(), Value::Bool(true));
     }
 
@@ -844,7 +915,9 @@ mod tests {
 
     #[test]
     fn referenced_columns_collects() {
-        let e = Expr::col(1).add(Expr::col(3)).and(Expr::col(1).eq(Expr::lit(0i64)));
+        let e = Expr::col(1)
+            .add(Expr::col(3))
+            .and(Expr::col(1).eq(Expr::lit(0i64)));
         let mut cols = Vec::new();
         e.referenced_columns(&mut cols);
         cols.sort_unstable();
@@ -869,7 +942,9 @@ mod tests {
             DataType::Bool
         );
         assert_eq!(
-            Expr::func(ScalarFunc::Lower, vec![Expr::col(1)]).infer_type(&s).unwrap(),
+            Expr::func(ScalarFunc::Lower, vec![Expr::col(1)])
+                .infer_type(&s)
+                .unwrap(),
             DataType::Str
         );
     }

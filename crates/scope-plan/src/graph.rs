@@ -45,7 +45,11 @@ impl QueryGraph {
             return Err(ScopeError::InvalidPlan(format!(
                 "{} expects {min}..{} children, got {}",
                 op.kind(),
-                if max == usize::MAX { "*".into() } else { max.to_string() },
+                if max == usize::MAX {
+                    "*".into()
+                } else {
+                    max.to_string()
+                },
                 children.len()
             )));
         }
@@ -125,8 +129,7 @@ impl QueryGraph {
     pub fn schemas(&self) -> Result<Vec<Schema>> {
         let mut out: Vec<Schema> = Vec::with_capacity(self.nodes.len());
         for n in &self.nodes {
-            let inputs: Vec<Schema> =
-                n.children.iter().map(|c| out[c.index()].clone()).collect();
+            let inputs: Vec<Schema> = n.children.iter().map(|c| out[c.index()].clone()).collect();
             let s = n.op.output_schema(&inputs).map_err(|e| {
                 ScopeError::InvalidPlan(format!("node {} ({}): {e}", n.id, n.op.describe()))
             })?;
@@ -193,8 +196,7 @@ impl QueryGraph {
         let mut g = QueryGraph::new();
         for old in &ids {
             let n = &self.nodes[old.index()];
-            let children: Vec<NodeId> =
-                n.children.iter().map(|c| remap[c]).collect();
+            let children: Vec<NodeId> = n.children.iter().map(|c| remap[c]).collect();
             let new_id = g.add(n.op.clone(), children)?;
             remap.insert(*old, new_id);
         }
@@ -238,7 +240,11 @@ impl QueryGraph {
                 let old = &self.nodes[i];
                 let new_id = NodeId::new(nodes.len() as u64);
                 let children = old.children.iter().map(|c| remap[c]).collect();
-                nodes.push(PlanNode { id: new_id, op: old.op.clone(), children });
+                nodes.push(PlanNode {
+                    id: new_id,
+                    op: old.op.clone(),
+                    children,
+                });
                 remap.insert(NodeId::new(i as u64), new_id);
             }
         }
@@ -291,10 +297,21 @@ mod tests {
         let mut g = QueryGraph::new();
         let s = g.add(scan("t"), vec![]).unwrap();
         let f = g
-            .add(Operator::Filter { predicate: Expr::col(0).gt(Expr::lit(0i64)) }, vec![s])
+            .add(
+                Operator::Filter {
+                    predicate: Expr::col(0).gt(Expr::lit(0i64)),
+                },
+                vec![s],
+            )
             .unwrap();
         let o = g
-            .add(Operator::Output { name: "out.ss".into(), stored: false }, vec![f])
+            .add(
+                Operator::Output {
+                    name: "out.ss".into(),
+                    stored: false,
+                },
+                vec![f],
+            )
             .unwrap();
         g.add_root(o).unwrap();
         (g, s, f, o)
@@ -316,14 +333,17 @@ mod tests {
         let s = g.add(scan("t"), vec![]).unwrap();
         // Filter with zero children rejected.
         assert!(g
-            .add(Operator::Filter { predicate: Expr::lit(true) }, vec![])
+            .add(
+                Operator::Filter {
+                    predicate: Expr::lit(true)
+                },
+                vec![]
+            )
             .is_err());
         // Scan with a child rejected.
         assert!(g.add(scan("u"), vec![s]).is_err());
         // Nonexistent child rejected.
-        assert!(g
-            .add(Operator::Nop, vec![NodeId::new(99)])
-            .is_err());
+        assert!(g.add(Operator::Nop, vec![NodeId::new(99)]).is_err());
     }
 
     #[test]
@@ -332,13 +352,39 @@ mod tests {
         let s = g.add(scan("t"), vec![]).unwrap();
         let spool = g.add(Operator::Spool, vec![s]).unwrap();
         let f1 = g
-            .add(Operator::Filter { predicate: Expr::col(0).gt(Expr::lit(0i64)) }, vec![spool])
+            .add(
+                Operator::Filter {
+                    predicate: Expr::col(0).gt(Expr::lit(0i64)),
+                },
+                vec![spool],
+            )
             .unwrap();
         let f2 = g
-            .add(Operator::Filter { predicate: Expr::col(0).lt(Expr::lit(0i64)) }, vec![spool])
+            .add(
+                Operator::Filter {
+                    predicate: Expr::col(0).lt(Expr::lit(0i64)),
+                },
+                vec![spool],
+            )
             .unwrap();
-        let o1 = g.add(Operator::Output { name: "o1".into(), stored: false }, vec![f1]).unwrap();
-        let o2 = g.add(Operator::Output { name: "o2".into(), stored: false }, vec![f2]).unwrap();
+        let o1 = g
+            .add(
+                Operator::Output {
+                    name: "o1".into(),
+                    stored: false,
+                },
+                vec![f1],
+            )
+            .unwrap();
+        let o2 = g
+            .add(
+                Operator::Output {
+                    name: "o2".into(),
+                    stored: false,
+                },
+                vec![f2],
+            )
+            .unwrap();
         g.add_root(o1).unwrap();
         g.add_root(o2).unwrap();
         let parents = g.parents();
@@ -392,7 +438,12 @@ mod tests {
     fn replace_requires_leaf() {
         let (mut g, _, f, _) = simple_graph();
         assert!(g
-            .replace_with_leaf(f, Operator::Filter { predicate: Expr::lit(true) })
+            .replace_with_leaf(
+                f,
+                Operator::Filter {
+                    predicate: Expr::lit(true)
+                }
+            )
             .is_err());
     }
 

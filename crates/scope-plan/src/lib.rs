@@ -33,7 +33,7 @@ pub mod udo;
 pub use builder::PlanBuilder;
 pub use expr::{AggExpr, AggFunc, BinOp, Expr, NamedExpr, ScalarFunc, UnaryOp};
 pub use graph::{PlanNode, QueryGraph};
-pub use op::{JoinImpl, JoinKind, Operator, OpKind, ScanKind};
+pub use op::{JoinImpl, JoinKind, OpKind, Operator, ScanKind};
 pub use props::{Partitioning, PhysicalProps, SortDir, SortKey, SortOrder};
 pub use schema::{Column, Schema};
 pub use types::{DataType, Value};

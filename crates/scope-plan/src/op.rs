@@ -17,7 +17,9 @@ use crate::udo::Udo;
 
 /// The 26 operator kinds of the paper's Figure 4(a), used for the
 /// operator-wise overlap breakdown.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum OpKind {
     /// Physical sort.
     Sort,
@@ -403,12 +405,17 @@ impl Operator {
     /// Derives the output schema from the input schemas.
     pub fn output_schema(&self, inputs: &[Schema]) -> Result<Schema> {
         let one = || -> Result<&Schema> {
-            inputs.first().ok_or_else(|| {
-                ScopeError::InvalidPlan(format!("{} needs an input", self.kind()))
-            })
+            inputs
+                .first()
+                .ok_or_else(|| ScopeError::InvalidPlan(format!("{} needs an input", self.kind())))
         };
         match self {
-            Operator::Get { schema, kind, extractor, .. } => {
+            Operator::Get {
+                schema,
+                kind,
+                extractor,
+                ..
+            } => {
                 if *kind == ScanKind::Extract {
                     let udo = extractor.as_ref().ok_or_else(|| {
                         ScopeError::InvalidPlan("Extract scan without extractor".into())
@@ -486,7 +493,11 @@ impl Operator {
                 }
                 Schema::new(cols)
             }
-            Operator::Window { func, partition, order } => {
+            Operator::Window {
+                func,
+                partition,
+                order,
+            } => {
                 let s = one()?;
                 for &c in partition {
                     s.column(c)?;
@@ -506,9 +517,7 @@ impl Operator {
                 cols.push(Column::new(name, dtype));
                 Schema::new(cols)
             }
-            Operator::Process { udo } | Operator::Combine { udo } => {
-                udo.output_schema(one()?)
-            }
+            Operator::Process { udo } | Operator::Combine { udo } => udo.output_schema(one()?),
             Operator::Reduce { udo, keys } | Operator::GbApply { udo, keys } => {
                 let s = one()?;
                 for &k in keys {
@@ -521,7 +530,12 @@ impl Operator {
                 .last()
                 .ok_or_else(|| ScopeError::InvalidPlan("Sequence needs children".into()))?
                 .clone()),
-            Operator::Join { kind, left_keys, right_keys, .. } => {
+            Operator::Join {
+                kind,
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 if inputs.len() != 2 {
                     return Err(ScopeError::InvalidPlan("Join needs two inputs".into()));
                 }
@@ -569,23 +583,30 @@ impl Operator {
             Operator::Get { .. } => PhysicalProps::any(),
             Operator::ViewGet { props, .. } => props.clone(),
             // Exchange replaces the distribution and destroys order.
-            Operator::Exchange { scheme } => {
-                PhysicalProps { partitioning: scheme.clone(), sort: SortOrder::none() }
-            }
+            Operator::Exchange { scheme } => PhysicalProps {
+                partitioning: scheme.clone(),
+                sort: SortOrder::none(),
+            },
             // Sort sets the order, keeps distribution.
-            Operator::Sort { order } => {
-                PhysicalProps { partitioning: input.partitioning, sort: order.clone() }
-            }
+            Operator::Sort { order } => PhysicalProps {
+                partitioning: input.partitioning,
+                sort: order.clone(),
+            },
             // Top delivers its order (we implement it as sorted output).
-            Operator::Top { order, .. } => {
-                PhysicalProps { partitioning: input.partitioning, sort: order.clone() }
-            }
+            Operator::Top { order, .. } => PhysicalProps {
+                partitioning: input.partitioning,
+                sort: order.clone(),
+            },
             // Filters/pass-throughs preserve everything.
             Operator::Filter { .. } | Operator::Spool | Operator::Nop => input,
             // Aggregation changes the output schema to (keys..., aggs...):
             // positional properties on the grouping keys survive, remapped
             // to their output positions; anything else is lost.
-            Operator::Aggregate { keys, implementation, .. } => {
+            Operator::Aggregate {
+                keys,
+                implementation,
+                ..
+            } => {
                 let remap = |c: &usize| keys.iter().position(|k| k == c);
                 let partitioning = remap_partitioning(&input.partitioning, remap);
                 let sort = match implementation {
@@ -598,17 +619,23 @@ impl Operator {
             // positions are preserved verbatim. Merge join also preserves
             // the left order.
             Operator::Join { implementation, .. } => match implementation {
-                JoinImpl::Merge => {
-                    PhysicalProps { partitioning: input.partitioning, sort: input.sort }
-                }
-                _ => PhysicalProps { partitioning: input.partitioning, sort: SortOrder::none() },
+                JoinImpl::Merge => PhysicalProps {
+                    partitioning: input.partitioning,
+                    sort: input.sort,
+                },
+                _ => PhysicalProps {
+                    partitioning: input.partitioning,
+                    sort: SortOrder::none(),
+                },
             },
             // Projection/remap reorder columns: positional properties are
             // remapped through plain column references; computed columns
             // drop them.
             Operator::Project { exprs } => {
                 let remap = |c: &usize| {
-                    exprs.iter().position(|ne| matches!(&ne.expr, Expr::Col(i) if i == c))
+                    exprs
+                        .iter()
+                        .position(|ne| matches!(&ne.expr, Expr::Col(i) if i == c))
                 };
                 PhysicalProps {
                     partitioning: remap_partitioning(&input.partitioning, remap),
@@ -627,9 +654,10 @@ impl Operator {
             | Operator::Reduce { .. }
             | Operator::GbApply { .. }
             | Operator::Combine { .. }
-            | Operator::Window { .. } => {
-                PhysicalProps { partitioning: input.partitioning, sort: SortOrder::none() }
-            }
+            | Operator::Window { .. } => PhysicalProps {
+                partitioning: input.partitioning,
+                sort: SortOrder::none(),
+            },
             Operator::UnionAll => PhysicalProps::any(),
             Operator::Sequence => inputs.last().cloned().unwrap_or_default(),
             Operator::Output { .. } => input,
@@ -643,14 +671,22 @@ impl Operator {
         let none = PhysicalProps::any;
         match self {
             // Stream agg needs co-partitioned, key-sorted input.
-            Operator::Aggregate { keys, implementation: AggImpl::Stream, .. } => {
+            Operator::Aggregate {
+                keys,
+                implementation: AggImpl::Stream,
+                ..
+            } => {
                 vec![PhysicalProps {
                     partitioning: partition_req(keys, default_dop),
                     sort: SortOrder::asc(keys),
                 }]
             }
             // Hash agg needs co-partitioning only.
-            Operator::Aggregate { keys, implementation: AggImpl::Hash, .. } => {
+            Operator::Aggregate {
+                keys,
+                implementation: AggImpl::Hash,
+                ..
+            } => {
                 vec![PhysicalProps {
                     partitioning: partition_req(keys, default_dop),
                     sort: SortOrder::none(),
@@ -662,23 +698,37 @@ impl Operator {
                     sort: SortOrder::asc(keys),
                 }]
             }
-            Operator::Join { implementation, left_keys, right_keys, .. } => {
+            Operator::Join {
+                implementation,
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 let l_part = partition_req(left_keys, default_dop);
                 let r_part = partition_req(right_keys, default_dop);
                 match implementation {
                     JoinImpl::Merge => vec![
-                        PhysicalProps { partitioning: l_part, sort: SortOrder::asc(left_keys) },
-                        PhysicalProps { partitioning: r_part, sort: SortOrder::asc(right_keys) },
+                        PhysicalProps {
+                            partitioning: l_part,
+                            sort: SortOrder::asc(left_keys),
+                        },
+                        PhysicalProps {
+                            partitioning: r_part,
+                            sort: SortOrder::asc(right_keys),
+                        },
                     ],
                     JoinImpl::Hash => vec![
-                        PhysicalProps { partitioning: l_part, sort: SortOrder::none() },
-                        PhysicalProps { partitioning: r_part, sort: SortOrder::none() },
+                        PhysicalProps {
+                            partitioning: l_part,
+                            sort: SortOrder::none(),
+                        },
+                        PhysicalProps {
+                            partitioning: r_part,
+                            sort: SortOrder::none(),
+                        },
                     ],
                     // Loops join: broadcast-style; right side single.
-                    JoinImpl::Loops => vec![
-                        none(),
-                        PhysicalProps::single(),
-                    ],
+                    JoinImpl::Loops => vec![none(), PhysicalProps::single()],
                 }
             }
             Operator::Combine { .. } => vec![PhysicalProps::single(), PhysicalProps::single()],
@@ -686,7 +736,9 @@ impl Operator {
             // partition-local (enforcer sorts run inside each partition);
             // global ordering comes from gathering.
             Operator::Top { .. } => vec![PhysicalProps::single()],
-            Operator::Window { partition, order, .. } => {
+            Operator::Window {
+                partition, order, ..
+            } => {
                 let mut sort_keys = SortOrder::asc(partition);
                 sort_keys.0.extend(order.0.iter().copied());
                 vec![PhysicalProps {
@@ -696,7 +748,9 @@ impl Operator {
             }
             // Output gathers to a single stream.
             Operator::Output { .. } => vec![PhysicalProps::single()],
-            _ => (0..num_children.max(self.arity().0)).map(|_| none()).collect(),
+            _ => (0..num_children.max(self.arity().0))
+                .map(|_| none())
+                .collect(),
         }
     }
 
@@ -706,7 +760,14 @@ impl Operator {
     pub fn stable_hash_into(&self, h: &mut SipHasher24, mode: HashMode) {
         h.write_str(self.kind().name());
         match self {
-            Operator::Get { dataset, template_name, schema, kind, predicate, extractor } => {
+            Operator::Get {
+                dataset,
+                template_name,
+                schema,
+                kind,
+                predicate,
+                extractor,
+            } => {
                 if mode == HashMode::Precise {
                     h.write_str(template_name);
                     // The concrete input GUID: recurring instances read new
@@ -731,7 +792,11 @@ impl Operator {
                     h.write_u8(0);
                 }
             }
-            Operator::ViewGet { view_sig, schema, props } => {
+            Operator::ViewGet {
+                view_sig,
+                schema,
+                props,
+            } => {
                 h.write_u64(view_sig.hi);
                 h.write_u64(view_sig.lo);
                 schema.stable_hash_into(h);
@@ -754,7 +819,11 @@ impl Operator {
             }
             Operator::Sort { order } => order.stable_hash_into(h),
             Operator::Exchange { scheme } => scheme.stable_hash_into(h),
-            Operator::Aggregate { keys, aggs, implementation } => {
+            Operator::Aggregate {
+                keys,
+                aggs,
+                implementation,
+            } => {
                 h.write_u8(*implementation as u8);
                 h.write_u64(keys.len() as u64);
                 for k in keys {
@@ -769,7 +838,11 @@ impl Operator {
                 h.write_u64(*n as u64);
                 order.stable_hash_into(h);
             }
-            Operator::Window { func, partition, order } => {
+            Operator::Window {
+                func,
+                partition,
+                order,
+            } => {
                 h.write_str(&func.name());
                 h.write_u64(partition.len() as u64);
                 for c in partition {
@@ -786,7 +859,12 @@ impl Operator {
                 }
             }
             Operator::Spool | Operator::Nop | Operator::Sequence | Operator::UnionAll => {}
-            Operator::Join { kind, implementation, left_keys, right_keys } => {
+            Operator::Join {
+                kind,
+                implementation,
+                left_keys,
+                right_keys,
+            } => {
                 h.write_u8(*kind as u8);
                 h.write_u8(*implementation as u8);
                 h.write_u64(left_keys.len() as u64);
@@ -812,7 +890,11 @@ impl Operator {
     /// A one-line description for EXPLAIN-style plan dumps.
     pub fn describe(&self) -> String {
         match self {
-            Operator::Get { template_name, kind, .. } => {
+            Operator::Get {
+                template_name,
+                kind,
+                ..
+            } => {
                 format!("{:?}Scan({template_name})", kind)
             }
             Operator::ViewGet { view_sig, .. } => format!("ViewGet({})", view_sig.short()),
@@ -821,7 +903,11 @@ impl Operator {
             Operator::Remap { cols, .. } => format!("Remap{cols:?}"),
             Operator::Sort { order } => format!("Sort[{:?}]", order.columns()),
             Operator::Exchange { scheme } => format!("Exchange({})", scheme.describe()),
-            Operator::Aggregate { keys, implementation, .. } => {
+            Operator::Aggregate {
+                keys,
+                implementation,
+                ..
+            } => {
                 format!("{:?}Agg{keys:?}", implementation)
             }
             Operator::Top { n, .. } => format!("Top({n})"),
@@ -832,7 +918,12 @@ impl Operator {
             Operator::Spool => "Spool".into(),
             Operator::Nop => "NOP".into(),
             Operator::Sequence => "Sequence".into(),
-            Operator::Join { kind, implementation, left_keys, right_keys } => {
+            Operator::Join {
+                kind,
+                implementation,
+                left_keys,
+                right_keys,
+            } => {
                 format!("{implementation:?}{kind:?}Join({left_keys:?}={right_keys:?})")
             }
             Operator::UnionAll => "UnionAll".into(),
@@ -848,15 +939,15 @@ impl Operator {
 /// output-position mapping. Distribution guarantees on columns the output
 /// no longer exposes positionally degrade to `Any` (the rows are still
 /// distributed that way, but no consumer can rely on it).
-fn remap_partitioning(
-    p: &Partitioning,
-    remap: impl Fn(&usize) -> Option<usize>,
-) -> Partitioning {
+fn remap_partitioning(p: &Partitioning, remap: impl Fn(&usize) -> Option<usize>) -> Partitioning {
     match p {
         Partitioning::Hash { cols, parts } => {
             let mapped: Option<Vec<usize>> = cols.iter().map(&remap).collect();
             match mapped {
-                Some(cols) => Partitioning::Hash { cols, parts: *parts },
+                Some(cols) => Partitioning::Hash {
+                    cols,
+                    parts: *parts,
+                },
                 None => Partitioning::Any,
             }
         }
@@ -887,7 +978,10 @@ fn partition_req(keys: &[usize], default_dop: usize) -> Partitioning {
     if keys.is_empty() {
         Partitioning::Single
     } else {
-        Partitioning::Hash { cols: keys.to_vec(), parts: default_dop }
+        Partitioning::Hash {
+            cols: keys.to_vec(),
+            parts: default_dop,
+        }
     }
 }
 
@@ -968,8 +1062,10 @@ mod tests {
     #[test]
     fn output_schema_propagation() {
         let s = scan_schema();
-        let filter = Operator::Filter { predicate: Expr::col(0).gt(Expr::lit(10i64)) };
-        assert_eq!(filter.output_schema(&[s.clone()]).unwrap(), s);
+        let filter = Operator::Filter {
+            predicate: Expr::col(0).gt(Expr::lit(10i64)),
+        };
+        assert_eq!(filter.output_schema(std::slice::from_ref(&s)).unwrap(), s);
 
         let agg = Operator::Aggregate {
             keys: vec![1],
@@ -979,7 +1075,7 @@ mod tests {
             ],
             implementation: AggImpl::Hash,
         };
-        let out = agg.output_schema(&[s.clone()]).unwrap();
+        let out = agg.output_schema(std::slice::from_ref(&s)).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out.column(0).unwrap().name, "url");
         assert_eq!(out.column(1).unwrap().dtype, DataType::Int);
@@ -988,16 +1084,24 @@ mod tests {
 
     #[test]
     fn filter_validates_columns() {
-        let filter = Operator::Filter { predicate: Expr::col(9).gt(Expr::lit(1i64)) };
+        let filter = Operator::Filter {
+            predicate: Expr::col(9).gt(Expr::lit(1i64)),
+        };
         assert!(filter.output_schema(&[scan_schema()]).is_err());
     }
 
     #[test]
     fn remap_schema() {
-        let remap = Operator::Remap { cols: vec![2, 0], names: vec!["lat".into(), "uid".into()] };
+        let remap = Operator::Remap {
+            cols: vec![2, 0],
+            names: vec!["lat".into(), "uid".into()],
+        };
         let out = remap.output_schema(&[scan_schema()]).unwrap();
         assert_eq!(out.to_string(), "(lat:float, uid:int)");
-        let bad = Operator::Remap { cols: vec![0], names: vec![] };
+        let bad = Operator::Remap {
+            cols: vec![0],
+            names: vec![],
+        };
         assert!(bad.output_schema(&[scan_schema()]).is_err());
     }
 
@@ -1017,7 +1121,12 @@ mod tests {
             left_keys: vec![0],
             right_keys: vec![0],
         };
-        assert_eq!(semi.output_schema(&[scan_schema(), scan_schema()]).unwrap().len(), 3);
+        assert_eq!(
+            semi.output_schema(&[scan_schema(), scan_schema()])
+                .unwrap()
+                .len(),
+            3
+        );
         let bad = Operator::Join {
             kind: JoinKind::Inner,
             implementation: JoinImpl::Hash,
@@ -1038,7 +1147,10 @@ mod tests {
     #[test]
     fn exchange_destroys_sort() {
         let ex = Operator::Exchange {
-            scheme: Partitioning::Hash { cols: vec![0], parts: 8 },
+            scheme: Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
         };
         let sorted_input = PhysicalProps {
             partitioning: Partitioning::Single,
@@ -1051,7 +1163,9 @@ mod tests {
 
     #[test]
     fn sort_preserves_distribution() {
-        let sort = Operator::Sort { order: SortOrder::asc(&[1]) };
+        let sort = Operator::Sort {
+            order: SortOrder::asc(&[1]),
+        };
         let input = PhysicalProps::hashed(vec![0], 4);
         let out = sort.delivered_props(&[input]);
         assert_eq!(out.partitioning.parts(), Some(4));
@@ -1067,14 +1181,19 @@ mod tests {
         };
         let req = &agg.required_props(1, 8)[0];
         assert_eq!(req.sort, SortOrder::asc(&[1]));
-        assert!(matches!(req.partitioning, Partitioning::Hash { ref cols, parts: 8 } if cols == &vec![1]));
+        assert!(
+            matches!(req.partitioning, Partitioning::Hash { ref cols, parts: 8 } if cols == &vec![1])
+        );
         // Global aggregate gathers.
         let global = Operator::Aggregate {
             keys: vec![],
             aggs: vec![AggExpr::new("c", AggFunc::Count, 0)],
             implementation: AggImpl::Hash,
         };
-        assert_eq!(global.required_props(1, 8)[0].partitioning, Partitioning::Single);
+        assert_eq!(
+            global.required_props(1, 8)[0].partitioning,
+            Partitioning::Single
+        );
     }
 
     #[test]
@@ -1131,8 +1250,14 @@ mod tests {
             op.stable_hash_into(&mut s, mode);
             s.finish()
         }
-        let o1 = Operator::Output { name: "out/2017-11-08/r.ss".into(), stored: true };
-        let o2 = Operator::Output { name: "out/2017-11-09/r.ss".into(), stored: true };
+        let o1 = Operator::Output {
+            name: "out/2017-11-08/r.ss".into(),
+            stored: true,
+        };
+        let o2 = Operator::Output {
+            name: "out/2017-11-09/r.ss".into(),
+            stored: true,
+        };
         assert_ne!(h(&o1, HashMode::Precise), h(&o2, HashMode::Precise));
         assert_eq!(h(&o1, HashMode::Normalized), h(&o2, HashMode::Normalized));
     }

@@ -29,12 +29,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending key on `col`.
     pub fn asc(col: usize) -> Self {
-        SortKey { col, dir: SortDir::Asc }
+        SortKey {
+            col,
+            dir: SortDir::Asc,
+        }
     }
 
     /// Descending key on `col`.
     pub fn desc(col: usize) -> Self {
-        SortKey { col, dir: SortDir::Desc }
+        SortKey {
+            col,
+            dir: SortDir::Desc,
+        }
     }
 }
 
@@ -61,8 +67,7 @@ impl SortOrder {
     /// True when `self` is a prefix of (or equal to) `other` — a stream
     /// sorted by `other` satisfies a requirement of `self`.
     pub fn satisfied_by(&self, delivered: &SortOrder) -> bool {
-        self.0.len() <= delivered.0.len()
-            && self.0.iter().zip(&delivered.0).all(|(a, b)| a == b)
+        self.0.len() <= delivered.0.len() && self.0.iter().zip(&delivered.0).all(|(a, b)| a == b)
     }
 
     /// Leading columns of the order.
@@ -182,17 +187,26 @@ pub struct PhysicalProps {
 impl PhysicalProps {
     /// No guarantees.
     pub fn any() -> Self {
-        PhysicalProps { partitioning: Partitioning::Any, sort: SortOrder::none() }
+        PhysicalProps {
+            partitioning: Partitioning::Any,
+            sort: SortOrder::none(),
+        }
     }
 
     /// Single partition, unsorted.
     pub fn single() -> Self {
-        PhysicalProps { partitioning: Partitioning::Single, sort: SortOrder::none() }
+        PhysicalProps {
+            partitioning: Partitioning::Single,
+            sort: SortOrder::none(),
+        }
     }
 
     /// Hash-partitioned, unsorted.
     pub fn hashed(cols: Vec<usize>, parts: usize) -> Self {
-        PhysicalProps { partitioning: Partitioning::Hash { cols, parts }, sort: SortOrder::none() }
+        PhysicalProps {
+            partitioning: Partitioning::Hash { cols, parts },
+            sort: SortOrder::none(),
+        }
     }
 
     /// True when `delivered` satisfies the requirement `self`.
@@ -217,7 +231,11 @@ impl PhysicalProps {
                 .0
                 .iter()
                 .map(|k| {
-                    format!("{}{}", k.col, if k.dir == SortDir::Asc { "asc" } else { "desc" })
+                    format!(
+                        "{}{}",
+                        k.col,
+                        if k.dir == SortDir::Asc { "asc" } else { "desc" }
+                    )
                 })
                 .collect();
             format!("{} sort[{}]", self.partitioning.describe(), keys.join(","))
@@ -249,9 +267,18 @@ mod tests {
 
     #[test]
     fn partitioning_satisfaction() {
-        let h8 = Partitioning::Hash { cols: vec![0], parts: 8 };
-        let h4 = Partitioning::Hash { cols: vec![0], parts: 4 };
-        let h8b = Partitioning::Hash { cols: vec![1], parts: 8 };
+        let h8 = Partitioning::Hash {
+            cols: vec![0],
+            parts: 8,
+        };
+        let h4 = Partitioning::Hash {
+            cols: vec![0],
+            parts: 4,
+        };
+        let h8b = Partitioning::Hash {
+            cols: vec![1],
+            parts: 8,
+        };
         assert!(Partitioning::Any.satisfied_by(&h8));
         assert!(h8.satisfied_by(&h8.clone()));
         assert!(!h8.satisfied_by(&h4));
@@ -263,14 +290,24 @@ mod tests {
     #[test]
     fn parts_counts() {
         assert_eq!(Partitioning::Single.parts(), Some(1));
-        assert_eq!(Partitioning::Hash { cols: vec![], parts: 16 }.parts(), Some(16));
+        assert_eq!(
+            Partitioning::Hash {
+                cols: vec![],
+                parts: 16
+            }
+            .parts(),
+            Some(16)
+        );
         assert_eq!(Partitioning::Any.parts(), None);
     }
 
     #[test]
     fn props_combined_satisfaction() {
         let req = PhysicalProps {
-            partitioning: Partitioning::Hash { cols: vec![0], parts: 4 },
+            partitioning: Partitioning::Hash {
+                cols: vec![0],
+                parts: 4,
+            },
             sort: SortOrder::asc(&[0]),
         };
         let exact = req.clone();
@@ -300,7 +337,10 @@ mod tests {
     fn describe_strings() {
         assert_eq!(PhysicalProps::single().describe(), "single");
         let p = PhysicalProps {
-            partitioning: Partitioning::Hash { cols: vec![0], parts: 8 },
+            partitioning: Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
             sort: SortOrder(vec![SortKey::desc(2)]),
         };
         assert_eq!(p.describe(), "hash[0]x8 sort[2desc]");

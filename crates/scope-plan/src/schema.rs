@@ -19,7 +19,10 @@ pub struct Column {
 impl Column {
     /// Builds a column.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype }
+        Column {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -39,7 +42,9 @@ impl Schema {
     /// An empty schema (used by operators with no columnar output, e.g.
     /// `Output`).
     pub fn empty() -> Self {
-        Schema { columns: Vec::new() }
+        Schema {
+            columns: Vec::new(),
+        }
     }
 
     /// Builds a schema from columns; duplicate names are rejected.
@@ -191,7 +196,10 @@ mod tests {
 
     #[test]
     fn concat_disambiguates() {
-        let s = abc().concat(&Schema::from_pairs(&[("a", DataType::Int), ("d", DataType::Bool)]));
+        let s = abc().concat(&Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("d", DataType::Bool),
+        ]));
         let names: Vec<_> = s.columns().iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b", "c", "r_a", "d"]);
     }

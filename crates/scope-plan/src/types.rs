@@ -275,7 +275,7 @@ mod tests {
         let nan = Value::Float(f64::NAN);
         assert!(Value::Float(f64::INFINITY) < nan);
         assert_eq!(nan.cmp(&nan), Ordering::Equal);
-        let mut v = vec![nan.clone(), Value::Float(1.0), Value::Float(-1.0)];
+        let mut v = [nan.clone(), Value::Float(1.0), Value::Float(-1.0)];
         v.sort(); // must not panic
         assert_eq!(v[0], Value::Float(-1.0));
     }

@@ -124,7 +124,11 @@ pub struct Udo {
 impl Udo {
     /// Builds a UDO instance.
     pub fn new(kind: UdoKind, library: impl Into<String>, version: impl Into<String>) -> Self {
-        Udo { kind: kind.clone(), library: library.into(), version: version.into() }
+        Udo {
+            kind: kind.clone(),
+            library: library.into(),
+            version: version.into(),
+        }
     }
 
     /// Output schema of the UDO given its input schema.
@@ -255,8 +259,7 @@ impl Udo {
     pub fn reduce_group(&self, group: &[Vec<Value>], out: &mut Vec<Vec<Value>>) -> Result<()> {
         match &self.kind {
             UdoKind::TrimBand { col, gap } => {
-                let vals: Vec<f64> =
-                    group.iter().filter_map(|r| r[*col].as_f64()).collect();
+                let vals: Vec<f64> = group.iter().filter_map(|r| r[*col].as_f64()).collect();
                 if vals.is_empty() {
                     return Ok(());
                 }
@@ -321,7 +324,8 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[2][2], Value::Str("c".into()));
         // NULL text produces no rows (and no error).
-        udo.process_row(&[Value::Int(2), Value::Null], &mut out).unwrap();
+        udo.process_row(&[Value::Int(2), Value::Null], &mut out)
+            .unwrap();
         assert_eq!(out.len(), 3);
     }
 
@@ -333,7 +337,15 @@ mod tests {
 
     #[test]
     fn clamp() {
-        let udo = Udo::new(UdoKind::ClampOutliers { col: 0, lo: 0, hi: 10 }, "L", "1");
+        let udo = Udo::new(
+            UdoKind::ClampOutliers {
+                col: 0,
+                lo: 0,
+                hi: 10,
+            },
+            "L",
+            "1",
+        );
         let mut out = Vec::new();
         udo.process_row(&[Value::Int(-5)], &mut out).unwrap();
         udo.process_row(&[Value::Int(5)], &mut out).unwrap();
@@ -345,8 +357,22 @@ mod tests {
 
     #[test]
     fn score_model_is_deterministic_and_seed_sensitive() {
-        let u1 = Udo::new(UdoKind::ScoreModel { cols: vec![0], seed: 1 }, "ML", "2.0");
-        let u2 = Udo::new(UdoKind::ScoreModel { cols: vec![0], seed: 2 }, "ML", "2.0");
+        let u1 = Udo::new(
+            UdoKind::ScoreModel {
+                cols: vec![0],
+                seed: 1,
+            },
+            "ML",
+            "2.0",
+        );
+        let u2 = Udo::new(
+            UdoKind::ScoreModel {
+                cols: vec![0],
+                seed: 2,
+            },
+            "ML",
+            "2.0",
+        );
         let row = vec![Value::Int(42)];
         let mut o1 = Vec::new();
         let mut o1b = Vec::new();
@@ -363,8 +389,7 @@ mod tests {
     #[test]
     fn trim_band_reducer() {
         let udo = Udo::new(UdoKind::TrimBand { col: 0, gap: 1 }, "L", "1");
-        let group: Vec<Vec<Value>> =
-            (0..=10).map(|i| vec![Value::Int(i)]).collect();
+        let group: Vec<Vec<Value>> = (0..=10).map(|i| vec![Value::Int(i)]).collect();
         let mut out = Vec::new();
         udo.reduce_group(&group, &mut out).unwrap();
         // Band is [0+1, 10-1] = [1, 9] -> 9 rows survive.
@@ -374,7 +399,11 @@ mod tests {
     #[test]
     fn count_rows_reducer() {
         let udo = Udo::new(UdoKind::CountRows, "L", "1");
-        let group = vec![vec![Value::Int(7)], vec![Value::Int(7)], vec![Value::Int(7)]];
+        let group = vec![
+            vec![Value::Int(7)],
+            vec![Value::Int(7)],
+            vec![Value::Int(7)],
+        ];
         let mut out = Vec::new();
         udo.reduce_group(&group, &mut out).unwrap();
         assert_eq!(out, vec![vec![Value::Int(7), Value::Int(3)]]);
@@ -387,8 +416,10 @@ mod tests {
     #[test]
     fn top_per_group() {
         let udo = Udo::new(UdoKind::TopPerGroup { col: 0, n: 2 }, "L", "1");
-        let group: Vec<Vec<Value>> =
-            [3i64, 1, 4, 1, 5].iter().map(|&i| vec![Value::Int(i)]).collect();
+        let group: Vec<Vec<Value>> = [3i64, 1, 4, 1, 5]
+            .iter()
+            .map(|&i| vec![Value::Int(i)])
+            .collect();
         let mut out = Vec::new();
         udo.reduce_group(&group, &mut out).unwrap();
         assert_eq!(out.len(), 2);
@@ -399,7 +430,9 @@ mod tests {
     #[test]
     fn kind_mismatch_errors() {
         let reducer = Udo::new(UdoKind::CountRows, "L", "1");
-        assert!(reducer.process_row(&[Value::Int(1)], &mut Vec::new()).is_err());
+        assert!(reducer
+            .process_row(&[Value::Int(1)], &mut Vec::new())
+            .is_err());
         let processor = Udo::new(UdoKind::Tokenize { col: 0 }, "L", "1");
         assert!(processor.reduce_group(&[], &mut Vec::new()).is_err());
     }
@@ -423,8 +456,15 @@ mod tests {
     fn cost_weights_positive() {
         for k in [
             UdoKind::Tokenize { col: 0 },
-            UdoKind::ClampOutliers { col: 0, lo: 0, hi: 1 },
-            UdoKind::ScoreModel { cols: vec![], seed: 0 },
+            UdoKind::ClampOutliers {
+                col: 0,
+                lo: 0,
+                hi: 1,
+            },
+            UdoKind::ScoreModel {
+                cols: vec![],
+                seed: 0,
+            },
             UdoKind::TrimBand { col: 0, gap: 0 },
             UdoKind::CountRows,
             UdoKind::MergeStreams,

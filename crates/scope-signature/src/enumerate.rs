@@ -69,7 +69,11 @@ pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
         let mut my_tags: Vec<String> = Vec::new();
         let mut my_user = false;
         match &node.op {
-            Operator::Get { template_name, extractor, .. } => {
+            Operator::Get {
+                template_name,
+                extractor,
+                ..
+            } => {
                 my_tags.push(normalize_stream_name(template_name));
                 my_user |= extractor.is_some();
             }
@@ -93,8 +97,11 @@ pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
         // "traverse down until we hit one or more physical properties")
         // and remaps or drops them across width-changing ones, so no extra
         // inheritance is needed — or sound — here.
-        let child_props: Vec<PhysicalProps> =
-            node.children.iter().map(|c| props[c.index()].clone()).collect();
+        let child_props: Vec<PhysicalProps> = node
+            .children
+            .iter()
+            .map(|c| props[c.index()].clone())
+            .collect();
         let delivered = node.op.delivered_props(&child_props);
 
         infos.push(SubgraphInfo {
@@ -139,9 +146,7 @@ mod tests {
     use super::*;
     use scope_common::ids::DatasetId;
     use scope_plan::expr::AggFunc;
-    use scope_plan::{
-        AggExpr, DataType, Expr, Partitioning, PlanBuilder, Schema, Udo, UdoKind,
-    };
+    use scope_plan::{AggExpr, DataType, Expr, Partitioning, PlanBuilder, Schema, Udo, UdoKind};
 
     fn schema() -> Schema {
         Schema::from_pairs(&[("user", DataType::Int), ("text", DataType::Str)])
@@ -151,7 +156,13 @@ mod tests {
         let mut b = PlanBuilder::new();
         let s = b.table_scan(DatasetId::new(3), "clicks/2017-11-08/log.ss", schema());
         let f = b.filter(s, Expr::col(0).gt(Expr::lit(10i64)));
-        let ex = b.exchange(f, Partitioning::Hash { cols: vec![0], parts: 8 });
+        let ex = b.exchange(
+            f,
+            Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
+        );
         let a = b.aggregate(ex, vec![0], vec![AggExpr::new("n", AggFunc::Count, 1)]);
         b.output(a, "out/2017-11-08/res.ss").build().unwrap()
     }

@@ -52,17 +52,15 @@ pub fn sign_graph(graph: &QueryGraph) -> Result<SignedGraph> {
     for node in graph.nodes() {
         let precise = hash_node(graph, node.id, &sigs, HashMode::Precise);
         let normalized = hash_node(graph, node.id, &sigs, HashMode::Normalized);
-        sigs.push(NodeSignatures { precise, normalized });
+        sigs.push(NodeSignatures {
+            precise,
+            normalized,
+        });
     }
     Ok(SignedGraph { sigs })
 }
 
-fn hash_node(
-    graph: &QueryGraph,
-    id: NodeId,
-    done: &[NodeSignatures],
-    mode: HashMode,
-) -> Sig128 {
+fn hash_node(graph: &QueryGraph, id: NodeId, done: &[NodeSignatures], mode: HashMode) -> Sig128 {
     let (k0, k1, l0, l1) = match mode {
         HashMode::Precise => (PRECISE_K0, PRECISE_K1, !PRECISE_K0, !PRECISE_K1),
         HashMode::Normalized => (NORM_K0, NORM_K1, !NORM_K0, !NORM_K1),
@@ -93,10 +91,8 @@ fn hash_node(
 mod tests {
     use super::*;
     use scope_common::ids::DatasetId;
-    use scope_plan::{
-        AggExpr, DataType, Expr, PlanBuilder, Schema,
-    };
     use scope_plan::expr::AggFunc;
+    use scope_plan::{AggExpr, DataType, Expr, PlanBuilder, Schema};
 
     fn schema() -> Schema {
         Schema::from_pairs(&[("user", DataType::Int), ("lat", DataType::Float)])
@@ -154,10 +150,7 @@ mod tests {
         let agg = NodeId::new(2);
         assert_eq!(s1.of(agg).precise, s2.of(agg).precise);
         // Roots (outputs) differ because names differ.
-        assert_ne!(
-            s1.of(j1.roots()[0]).precise,
-            s2.of(j2.roots()[0]).precise
-        );
+        assert_ne!(s1.of(j1.roots()[0]).precise, s2.of(j2.roots()[0]).precise);
     }
 
     #[test]
@@ -196,10 +189,7 @@ mod tests {
 
         let s1 = sign_graph(&g1).unwrap();
         let s2 = sign_graph(&g2).unwrap();
-        assert_ne!(
-            s1.of(g1.roots()[0]).precise,
-            s2.of(g2.roots()[0]).precise
-        );
+        assert_ne!(s1.of(g1.roots()[0]).precise, s2.of(g2.roots()[0]).precise);
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        assert!(mean > median, "log-normal mean {mean} must exceed median {median}");
+        assert!(
+            mean > median,
+            "log-normal mean {mean} must exceed median {median}"
+        );
     }
 
     #[test]

@@ -22,7 +22,5 @@ pub mod dists;
 pub mod recurring;
 pub mod tpcds;
 
-pub use recurring::{
-    BusinessUnitSpec, ClusterSpec, RecurringWorkload, WorkloadConfig,
-};
+pub use recurring::{BusinessUnitSpec, ClusterSpec, RecurringWorkload, WorkloadConfig};
 pub use tpcds::{TpcdsQuery, TpcdsWorkload};

@@ -78,17 +78,25 @@ impl TpcdsWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scope_common::time::SimTime;
+    use scope_common::ScopeError;
     use scope_engine::cost::CostModel;
     use scope_engine::job::run_job_baseline;
     use scope_engine::sim::ClusterConfig;
-    use scope_common::time::SimTime;
+
+    /// Wraps a per-query failure with the query number, propagating the
+    /// error instead of panicking so the test harness reports it cleanly.
+    fn with_query(q: u32, e: ScopeError) -> ScopeError {
+        ScopeError::Workload(format!("q{q}: {e}"))
+    }
 
     #[test]
-    fn all_99_queries_build_and_validate() {
+    fn all_99_queries_build_and_validate() -> Result<()> {
         for q in 1..=NUM_QUERIES {
-            let g = build_query(q).unwrap_or_else(|e| panic!("q{q}: {e}"));
-            g.validate().unwrap_or_else(|e| panic!("q{q}: {e}"));
+            let g = build_query(q).map_err(|e| with_query(q, e))?;
+            g.validate().map_err(|e| with_query(q, e))?;
         }
+        Ok(())
     }
 
     #[test]
@@ -99,12 +107,12 @@ mod tests {
     }
 
     #[test]
-    fn sample_queries_execute() {
+    fn sample_queries_execute() -> Result<()> {
         let storage = StorageManager::new();
-        TpcdsWorkload::new(0.02, 1).register_data(&storage).unwrap();
+        TpcdsWorkload::new(0.02, 1).register_data(&storage)?;
         let w = TpcdsWorkload::new(0.02, 1);
         for q in [1, 3, 7, 19, 42, 55, 72, 99] {
-            let spec = w.query_job(q).unwrap();
+            let spec = w.query_job(q).map_err(|e| with_query(q, e))?;
             let out = run_job_baseline(
                 &spec,
                 &storage,
@@ -112,9 +120,10 @@ mod tests {
                 &ClusterConfig::default(),
                 SimTime::ZERO,
             )
-            .unwrap_or_else(|e| panic!("q{q}: {e}"));
+            .map_err(|e| with_query(q, e))?;
             assert!(!out.outputs.is_empty(), "q{q} produced no output");
         }
+        Ok(())
     }
 
     #[test]
@@ -127,12 +136,12 @@ mod tests {
         for q in 1..=NUM_QUERIES {
             let g = build_query(q).unwrap();
             let signed = sign_graph(&g).unwrap();
-            let mut sigs: Vec<scope_common::Sig128> =
-                g.nodes()
-                    .iter()
-                    .filter(|n| !n.children.is_empty())
-                    .map(|n| signed.of(n.id).precise)
-                    .collect();
+            let mut sigs: Vec<scope_common::Sig128> = g
+                .nodes()
+                .iter()
+                .filter(|n| !n.children.is_empty())
+                .map(|n| signed.of(n.id).precise)
+                .collect();
             sigs.sort_unstable();
             sigs.dedup();
             for s in sigs {
@@ -147,7 +156,10 @@ mod tests {
         // And at least one subexpression shared by 5+ queries (top-10
         // selection material).
         let hot = seen.values().map(|qs| qs.len()).max().unwrap_or(0);
-        assert!(hot >= 5, "hottest subexpression only shared by {hot} queries");
+        assert!(
+            hot >= 5,
+            "hottest subexpression only shared by {hot} queries"
+        );
     }
 
     #[test]

@@ -182,111 +182,1105 @@ const fn q(
     metric: Metric,
     top: Option<usize>,
 ) -> TpcdsQuery {
-    TpcdsQuery { id, channels, year, moy, qoy, dims, group, metric, top }
+    TpcdsQuery {
+        id,
+        channels,
+        year,
+        moy,
+        qoy,
+        dims,
+        group,
+        metric,
+        top,
+    }
 }
 
 /// The spec of query `id` (1..=99).
 pub fn query_spec(id: u32) -> Result<TpcdsQuery> {
     let spec = match id {
-        1 => q(1, &[SR], 2000, None, None, &[Customer, Store], StoreState, ReturnAmt, Some(100)),
+        1 => q(
+            1,
+            &[SR],
+            2000,
+            None,
+            None,
+            &[Customer, Store],
+            StoreState,
+            ReturnAmt,
+            Some(100),
+        ),
         2 => q(2, &[WS, CS], 2000, None, None, &[], DayName, ExtPrice, None),
-        3 => q(3, &[SS], 2000, Some(11), None, &[Item], ItemBrand, ExtPrice, Some(100)),
-        4 => q(4, &[SS, CS, WS], 2000, None, None, &[Customer], BirthYear, ExtPrice, Some(100)),
-        5 => q(5, &[SS, CS, WS], 2000, None, None, &[], DayName, ExtPrice, Some(100)),
-        6 => q(6, &[SS], 2000, Some(1), None, &[Customer, CustomerAddress, Item], CaState, ExtPrice, Some(100)),
-        7 => q(7, &[SS], 2000, None, None, &[CustomerDemographics, Item, Promotion], ItemCategory, Quantity, Some(100)),
-        8 => q(8, &[SS], 2000, None, Some(1), &[Store, Customer, CustomerAddress], StoreName, ExtPrice, Some(100)),
+        3 => q(
+            3,
+            &[SS],
+            2000,
+            Some(11),
+            None,
+            &[Item],
+            ItemBrand,
+            ExtPrice,
+            Some(100),
+        ),
+        4 => q(
+            4,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Customer],
+            BirthYear,
+            ExtPrice,
+            Some(100),
+        ),
+        5 => q(
+            5,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[],
+            DayName,
+            ExtPrice,
+            Some(100),
+        ),
+        6 => q(
+            6,
+            &[SS],
+            2000,
+            Some(1),
+            None,
+            &[Customer, CustomerAddress, Item],
+            CaState,
+            ExtPrice,
+            Some(100),
+        ),
+        7 => q(
+            7,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[CustomerDemographics, Item, Promotion],
+            ItemCategory,
+            Quantity,
+            Some(100),
+        ),
+        8 => q(
+            8,
+            &[SS],
+            2000,
+            None,
+            Some(1),
+            &[Store, Customer, CustomerAddress],
+            StoreName,
+            ExtPrice,
+            Some(100),
+        ),
         9 => q(9, &[SS], 2000, None, None, &[], None_, Quantity, None),
-        10 => q(10, &[CS, WS], 2000, None, None, &[Customer, CustomerDemographics, CustomerAddress], Gender, ExtPrice, Some(100)),
-        11 => q(11, &[SS, WS], 2000, None, None, &[Customer], BirthYear, ExtPrice, Some(100)),
-        12 => q(12, &[WS], 2000, None, None, &[Item], ItemCategory, ExtPrice, Some(100)),
-        13 => q(13, &[SS], 2000, None, None, &[Store, CustomerDemographics, HouseholdDemographics, Customer, CustomerAddress], None_, ExtPrice, None),
-        14 => q(14, &[SS, CS, WS], 2000, None, None, &[Item], ItemCategory, ExtPrice, Some(100)),
-        15 => q(15, &[CS], 2000, None, Some(1), &[Customer, CustomerAddress], CaState, ExtPrice, Some(100)),
-        16 => q(16, &[CS], 2000, Some(2), None, &[Customer, CustomerAddress, CallCenter], CallCenterName, ExtPrice, Some(100)),
-        17 => q(17, &[SS, CS], 2000, None, Some(1), &[Item, Store], ItemClass, Quantity, Some(100)),
-        18 => q(18, &[CS], 2000, None, None, &[CustomerDemographics, Customer, CustomerAddress, Item], CaState, Quantity, Some(100)),
-        19 => q(19, &[SS], 2000, Some(11), None, &[Item, Customer, CustomerAddress, Store], ItemBrand, ExtPrice, Some(100)),
-        20 => q(20, &[CS], 2000, None, None, &[Item], ItemCategory, ExtPrice, Some(100)),
-        21 => q(21, &[INV], 2000, Some(3), None, &[Warehouse, Item], WarehouseName, OnHand, Some(100)),
-        22 => q(22, &[INV], 2000, None, None, &[Item, Warehouse], ItemCategory, OnHand, Some(100)),
-        23 => q(23, &[SS, CS, WS], 2000, None, None, &[Customer], None_, ExtPrice, Some(100)),
-        24 => q(24, &[SS, SR], 2000, None, None, &[Store, Item, Customer, CustomerAddress], ItemClass, ExtPrice, None),
-        25 => q(25, &[SS, CS], 2000, Some(4), None, &[Item, Store], ItemClass, NetProfit, Some(100)),
-        26 => q(26, &[CS], 2000, None, None, &[CustomerDemographics, Promotion, Item], ItemCategory, Quantity, Some(100)),
-        27 => q(27, &[SS], 2000, None, None, &[CustomerDemographics, Store, Item], ItemCategory, Quantity, Some(100)),
+        10 => q(
+            10,
+            &[CS, WS],
+            2000,
+            None,
+            None,
+            &[Customer, CustomerDemographics, CustomerAddress],
+            Gender,
+            ExtPrice,
+            Some(100),
+        ),
+        11 => q(
+            11,
+            &[SS, WS],
+            2000,
+            None,
+            None,
+            &[Customer],
+            BirthYear,
+            ExtPrice,
+            Some(100),
+        ),
+        12 => q(
+            12,
+            &[WS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        13 => q(
+            13,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[
+                Store,
+                CustomerDemographics,
+                HouseholdDemographics,
+                Customer,
+                CustomerAddress,
+            ],
+            None_,
+            ExtPrice,
+            None,
+        ),
+        14 => q(
+            14,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        15 => q(
+            15,
+            &[CS],
+            2000,
+            None,
+            Some(1),
+            &[Customer, CustomerAddress],
+            CaState,
+            ExtPrice,
+            Some(100),
+        ),
+        16 => q(
+            16,
+            &[CS],
+            2000,
+            Some(2),
+            None,
+            &[Customer, CustomerAddress, CallCenter],
+            CallCenterName,
+            ExtPrice,
+            Some(100),
+        ),
+        17 => q(
+            17,
+            &[SS, CS],
+            2000,
+            None,
+            Some(1),
+            &[Item, Store],
+            ItemClass,
+            Quantity,
+            Some(100),
+        ),
+        18 => q(
+            18,
+            &[CS],
+            2000,
+            None,
+            None,
+            &[CustomerDemographics, Customer, CustomerAddress, Item],
+            CaState,
+            Quantity,
+            Some(100),
+        ),
+        19 => q(
+            19,
+            &[SS],
+            2000,
+            Some(11),
+            None,
+            &[Item, Customer, CustomerAddress, Store],
+            ItemBrand,
+            ExtPrice,
+            Some(100),
+        ),
+        20 => q(
+            20,
+            &[CS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        21 => q(
+            21,
+            &[INV],
+            2000,
+            Some(3),
+            None,
+            &[Warehouse, Item],
+            WarehouseName,
+            OnHand,
+            Some(100),
+        ),
+        22 => q(
+            22,
+            &[INV],
+            2000,
+            None,
+            None,
+            &[Item, Warehouse],
+            ItemCategory,
+            OnHand,
+            Some(100),
+        ),
+        23 => q(
+            23,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Customer],
+            None_,
+            ExtPrice,
+            Some(100),
+        ),
+        24 => q(
+            24,
+            &[SS, SR],
+            2000,
+            None,
+            None,
+            &[Store, Item, Customer, CustomerAddress],
+            ItemClass,
+            ExtPrice,
+            None,
+        ),
+        25 => q(
+            25,
+            &[SS, CS],
+            2000,
+            Some(4),
+            None,
+            &[Item, Store],
+            ItemClass,
+            NetProfit,
+            Some(100),
+        ),
+        26 => q(
+            26,
+            &[CS],
+            2000,
+            None,
+            None,
+            &[CustomerDemographics, Promotion, Item],
+            ItemCategory,
+            Quantity,
+            Some(100),
+        ),
+        27 => q(
+            27,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[CustomerDemographics, Store, Item],
+            ItemCategory,
+            Quantity,
+            Some(100),
+        ),
         28 => q(28, &[SS], 2000, None, None, &[], None_, ExtPrice, Some(100)),
-        29 => q(29, &[SS, SR], 2000, Some(9), None, &[Item, Store], ItemClass, Quantity, Some(100)),
-        30 => q(30, &[WR], 2000, None, None, &[Customer, CustomerAddress], CaState, ReturnAmt, Some(100)),
-        31 => q(31, &[SS, WS], 2000, None, Some(2), &[Customer, CustomerAddress], CaState, ExtPrice, None),
-        32 => q(32, &[CS], 2000, Some(1), None, &[Item], ManufactId, ExtPrice, Some(100)),
-        33 => q(33, &[SS, CS, WS], 2000, Some(1), None, &[Item, Customer, CustomerAddress], ManufactId, ExtPrice, Some(100)),
-        34 => q(34, &[SS], 2000, None, None, &[Store, HouseholdDemographics, Customer], BuyPotential, Quantity, None),
-        35 => q(35, &[SS, CS, WS], 2000, None, Some(1), &[Customer, CustomerDemographics, CustomerAddress], Gender, Quantity, Some(100)),
-        36 => q(36, &[SS], 2000, None, None, &[Item, Store], ItemClass, NetProfit, Some(100)),
-        37 => q(37, &[INV], 2000, Some(2), None, &[Item, Warehouse], ManufactId, OnHand, Some(100)),
-        38 => q(38, &[SS, CS, WS], 2000, None, None, &[Customer], BirthYear, ExtPrice, Some(100)),
-        39 => q(39, &[INV], 2000, Some(1), None, &[Item, Warehouse], WarehouseName, OnHand, None),
-        40 => q(40, &[CS], 2000, None, None, &[Warehouse, Item], StoreStateOr(WarehouseName), ExtPrice, Some(100)),
-        41 => q(41, &[SS], 2000, None, None, &[Item], ManufactId, Count_(Quantity), Some(100)),
-        42 => q(42, &[SS], 2000, Some(11), None, &[Item], ItemCategory, ExtPrice, Some(100)),
-        43 => q(43, &[SS], 2000, None, None, &[Store], StoreName, ExtPrice, Some(100)),
-        44 => q(44, &[SS], 2000, None, None, &[Item], ItemBrand, NetProfit, Some(100)),
-        45 => q(45, &[WS], 2000, None, Some(2), &[Customer, CustomerAddress, Item], CaState, ExtPrice, Some(100)),
-        46 => q(46, &[SS], 2000, None, None, &[Store, HouseholdDemographics, Customer, CustomerAddress], CaState, ExtPrice, Some(100)),
-        47 => q(47, &[SS], 2000, None, None, &[Item, Store], ItemBrand, ExtPrice, Some(100)),
-        48 => q(48, &[SS], 2000, None, None, &[Store, CustomerDemographics, Customer, CustomerAddress], None_, Quantity, None),
-        49 => q(49, &[SS, CS, WS], 2000, Some(12), None, &[Item], ItemCategory, Quantity, Some(100)),
-        50 => q(50, &[SS, SR], 2000, Some(8), None, &[Store], StoreName, Quantity, Some(100)),
-        51 => q(51, &[SS, WS], 2000, None, None, &[Item], ItemCategory, ExtPrice, Some(100)),
-        52 => q(52, &[SS], 2000, Some(11), None, &[Item], ItemBrand, ExtPrice, Some(100)),
-        53 => q(53, &[SS], 2000, None, None, &[Item, Store], ManufactId, ExtPrice, Some(100)),
-        54 => q(54, &[SS, CS, WS], 2000, Some(12), None, &[Customer, CustomerAddress, Item], CaState, ExtPrice, Some(100)),
-        55 => q(55, &[SS], 2000, Some(11), None, &[Item], ItemBrand, ExtPrice, Some(100)),
-        56 => q(56, &[SS, CS, WS], 2000, Some(1), None, &[Item, Customer, CustomerAddress], ItemCategory, ExtPrice, Some(100)),
-        57 => q(57, &[CS], 2000, None, None, &[Item, CallCenter], ItemBrand, ExtPrice, Some(100)),
-        58 => q(58, &[SS, CS, WS], 2000, None, None, &[Item], ItemCategory, ExtPrice, Some(100)),
-        59 => q(59, &[SS], 2000, None, None, &[Store], StoreName, ExtPrice, None),
-        60 => q(60, &[SS, CS, WS], 2000, Some(9), None, &[Item, Customer, CustomerAddress], ItemCategory, ExtPrice, Some(100)),
-        61 => q(61, &[SS], 2000, Some(11), None, &[Promotion, Store, Customer, CustomerAddress, Item], None_, ExtPrice, Some(100)),
-        62 => q(62, &[WS], 2000, None, None, &[WebSite, ShipMode], ShipModeType, ExtPrice, Some(100)),
-        63 => q(63, &[SS], 2000, None, None, &[Item, Store], ManufactId, ExtPrice, Some(100)),
-        64 => q(64, &[SS, CS], 2000, None, None, &[Customer, CustomerAddress, Store, Item], ItemBrand, ExtPrice, None),
-        65 => q(65, &[SS], 2000, None, None, &[Store, Item], StoreName, ExtPrice, Some(100)),
-        66 => q(66, &[WS, CS], 2000, None, None, &[Warehouse, ShipMode], WarehouseName, Quantity, Some(100)),
-        67 => q(67, &[SS], 2000, None, None, &[Store, Item], ItemClass, Quantity, Some(100)),
-        68 => q(68, &[SS], 2000, None, None, &[Store, HouseholdDemographics, Customer, CustomerAddress], CaState, ExtPrice, Some(100)),
-        69 => q(69, &[CS, WS], 2000, None, Some(2), &[Customer, CustomerDemographics, CustomerAddress], Gender, ExtPrice, Some(100)),
-        70 => q(70, &[SS], 2000, None, None, &[Store], StoreState, NetProfit, Some(100)),
-        71 => q(71, &[SS, CS, WS], 2000, Some(11), None, &[Item], ItemBrand, ExtPrice, None),
-        72 => q(72, &[CS], 2000, None, None, &[Item, Warehouse, CustomerDemographics, HouseholdDemographics, Customer, Promotion], WarehouseName, Quantity, Some(100)),
-        73 => q(73, &[SS], 2000, None, None, &[Store, HouseholdDemographics, Customer], BuyPotential, Quantity, None),
-        74 => q(74, &[SS, WS], 2000, None, None, &[Customer], BirthYear, ExtPrice, Some(100)),
-        75 => q(75, &[SS, CS, WS], 2000, None, None, &[Item], ItemBrand, Quantity, Some(100)),
-        76 => q(76, &[SS, CS, WS], 2000, None, None, &[Item], ItemCategory, ExtPrice, Some(100)),
-        77 => q(77, &[SS, CS, WS], 2000, Some(8), None, &[], DayName, NetProfit, Some(100)),
-        78 => q(78, &[SS, CS, WS], 2000, None, None, &[Customer, Item], ItemBrand, Quantity, Some(100)),
-        79 => q(79, &[SS], 2000, None, None, &[Store, HouseholdDemographics, Customer], StoreName, ExtPrice, Some(100)),
-        80 => q(80, &[SS, CS, WS], 2000, Some(8), None, &[Item, Promotion], ItemCategory, NetProfit, Some(100)),
-        81 => q(81, &[CR], 2000, None, None, &[Customer, CustomerAddress], CaState, ReturnAmt, Some(100)),
-        82 => q(82, &[INV], 2000, Some(6), None, &[Item, Warehouse], ManufactId, OnHand, Some(100)),
-        83 => q(83, &[SR, CR, WR], 2000, None, None, &[Item], ItemCategory, ReturnAmt, Some(100)),
-        84 => q(84, &[SS], 2000, None, None, &[Customer, CustomerAddress, CustomerDemographics, HouseholdDemographics], Gender, ExtPrice, Some(100)),
-        85 => q(85, &[WR], 2000, None, None, &[Customer, CustomerDemographics, CustomerAddress, Reason], ReasonDesc, ReturnAmt, Some(100)),
-        86 => q(86, &[WS], 2000, None, None, &[Item], ItemCategory, NetProfit, Some(100)),
-        87 => q(87, &[SS, CS, WS], 2000, None, None, &[Customer], BirthYear, Count_(Quantity), Some(100)),
-        88 => q(88, &[SS], 2000, None, None, &[Store, HouseholdDemographics], StoreName, Count_(Quantity), None),
-        89 => q(89, &[SS], 2000, None, None, &[Item, Store], ItemClass, ExtPrice, Some(100)),
-        90 => q(90, &[WS], 2000, None, None, &[WebPage, HouseholdDemographics, Customer], BuyPotential, Count_(Quantity), Some(100)),
-        91 => q(91, &[CR], 2000, Some(11), None, &[CallCenter, Customer, CustomerDemographics, HouseholdDemographics, CustomerAddress], CallCenterName, ReturnAmt, None),
-        92 => q(92, &[WS], 2000, Some(1), None, &[Item], ManufactId, ExtPrice, Some(100)),
-        93 => q(93, &[SR], 2000, None, None, &[Reason, Item], ReasonDesc, Quantity, Some(100)),
-        94 => q(94, &[WS], 2000, Some(2), None, &[Customer, CustomerAddress, WebSite], WebSiteName, ExtPrice, Some(100)),
-        95 => q(95, &[WS], 2000, Some(2), None, &[Customer, CustomerAddress, WebSite], WebSiteName, Count_(Quantity), Some(100)),
-        96 => q(96, &[SS], 2000, None, None, &[Store, HouseholdDemographics], None_, Count_(Quantity), Some(100)),
-        97 => q(97, &[SS, CS], 2000, None, None, &[Customer], None_, Count_(Quantity), None),
-        98 => q(98, &[SS], 2000, None, None, &[Item], ItemCategory, ExtPrice, None),
-        99 => q(99, &[CS], 2000, None, None, &[Warehouse, ShipMode, CallCenter], ShipModeType, Count_(Quantity), Some(100)),
+        29 => q(
+            29,
+            &[SS, SR],
+            2000,
+            Some(9),
+            None,
+            &[Item, Store],
+            ItemClass,
+            Quantity,
+            Some(100),
+        ),
+        30 => q(
+            30,
+            &[WR],
+            2000,
+            None,
+            None,
+            &[Customer, CustomerAddress],
+            CaState,
+            ReturnAmt,
+            Some(100),
+        ),
+        31 => q(
+            31,
+            &[SS, WS],
+            2000,
+            None,
+            Some(2),
+            &[Customer, CustomerAddress],
+            CaState,
+            ExtPrice,
+            None,
+        ),
+        32 => q(
+            32,
+            &[CS],
+            2000,
+            Some(1),
+            None,
+            &[Item],
+            ManufactId,
+            ExtPrice,
+            Some(100),
+        ),
+        33 => q(
+            33,
+            &[SS, CS, WS],
+            2000,
+            Some(1),
+            None,
+            &[Item, Customer, CustomerAddress],
+            ManufactId,
+            ExtPrice,
+            Some(100),
+        ),
+        34 => q(
+            34,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, HouseholdDemographics, Customer],
+            BuyPotential,
+            Quantity,
+            None,
+        ),
+        35 => q(
+            35,
+            &[SS, CS, WS],
+            2000,
+            None,
+            Some(1),
+            &[Customer, CustomerDemographics, CustomerAddress],
+            Gender,
+            Quantity,
+            Some(100),
+        ),
+        36 => q(
+            36,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item, Store],
+            ItemClass,
+            NetProfit,
+            Some(100),
+        ),
+        37 => q(
+            37,
+            &[INV],
+            2000,
+            Some(2),
+            None,
+            &[Item, Warehouse],
+            ManufactId,
+            OnHand,
+            Some(100),
+        ),
+        38 => q(
+            38,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Customer],
+            BirthYear,
+            ExtPrice,
+            Some(100),
+        ),
+        39 => q(
+            39,
+            &[INV],
+            2000,
+            Some(1),
+            None,
+            &[Item, Warehouse],
+            WarehouseName,
+            OnHand,
+            None,
+        ),
+        40 => q(
+            40,
+            &[CS],
+            2000,
+            None,
+            None,
+            &[Warehouse, Item],
+            StoreStateOr(WarehouseName),
+            ExtPrice,
+            Some(100),
+        ),
+        41 => q(
+            41,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ManufactId,
+            Count_(Quantity),
+            Some(100),
+        ),
+        42 => q(
+            42,
+            &[SS],
+            2000,
+            Some(11),
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        43 => q(
+            43,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store],
+            StoreName,
+            ExtPrice,
+            Some(100),
+        ),
+        44 => q(
+            44,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemBrand,
+            NetProfit,
+            Some(100),
+        ),
+        45 => q(
+            45,
+            &[WS],
+            2000,
+            None,
+            Some(2),
+            &[Customer, CustomerAddress, Item],
+            CaState,
+            ExtPrice,
+            Some(100),
+        ),
+        46 => q(
+            46,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, HouseholdDemographics, Customer, CustomerAddress],
+            CaState,
+            ExtPrice,
+            Some(100),
+        ),
+        47 => q(
+            47,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item, Store],
+            ItemBrand,
+            ExtPrice,
+            Some(100),
+        ),
+        48 => q(
+            48,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, CustomerDemographics, Customer, CustomerAddress],
+            None_,
+            Quantity,
+            None,
+        ),
+        49 => q(
+            49,
+            &[SS, CS, WS],
+            2000,
+            Some(12),
+            None,
+            &[Item],
+            ItemCategory,
+            Quantity,
+            Some(100),
+        ),
+        50 => q(
+            50,
+            &[SS, SR],
+            2000,
+            Some(8),
+            None,
+            &[Store],
+            StoreName,
+            Quantity,
+            Some(100),
+        ),
+        51 => q(
+            51,
+            &[SS, WS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        52 => q(
+            52,
+            &[SS],
+            2000,
+            Some(11),
+            None,
+            &[Item],
+            ItemBrand,
+            ExtPrice,
+            Some(100),
+        ),
+        53 => q(
+            53,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item, Store],
+            ManufactId,
+            ExtPrice,
+            Some(100),
+        ),
+        54 => q(
+            54,
+            &[SS, CS, WS],
+            2000,
+            Some(12),
+            None,
+            &[Customer, CustomerAddress, Item],
+            CaState,
+            ExtPrice,
+            Some(100),
+        ),
+        55 => q(
+            55,
+            &[SS],
+            2000,
+            Some(11),
+            None,
+            &[Item],
+            ItemBrand,
+            ExtPrice,
+            Some(100),
+        ),
+        56 => q(
+            56,
+            &[SS, CS, WS],
+            2000,
+            Some(1),
+            None,
+            &[Item, Customer, CustomerAddress],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        57 => q(
+            57,
+            &[CS],
+            2000,
+            None,
+            None,
+            &[Item, CallCenter],
+            ItemBrand,
+            ExtPrice,
+            Some(100),
+        ),
+        58 => q(
+            58,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        59 => q(
+            59,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store],
+            StoreName,
+            ExtPrice,
+            None,
+        ),
+        60 => q(
+            60,
+            &[SS, CS, WS],
+            2000,
+            Some(9),
+            None,
+            &[Item, Customer, CustomerAddress],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        61 => q(
+            61,
+            &[SS],
+            2000,
+            Some(11),
+            None,
+            &[Promotion, Store, Customer, CustomerAddress, Item],
+            None_,
+            ExtPrice,
+            Some(100),
+        ),
+        62 => q(
+            62,
+            &[WS],
+            2000,
+            None,
+            None,
+            &[WebSite, ShipMode],
+            ShipModeType,
+            ExtPrice,
+            Some(100),
+        ),
+        63 => q(
+            63,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item, Store],
+            ManufactId,
+            ExtPrice,
+            Some(100),
+        ),
+        64 => q(
+            64,
+            &[SS, CS],
+            2000,
+            None,
+            None,
+            &[Customer, CustomerAddress, Store, Item],
+            ItemBrand,
+            ExtPrice,
+            None,
+        ),
+        65 => q(
+            65,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, Item],
+            StoreName,
+            ExtPrice,
+            Some(100),
+        ),
+        66 => q(
+            66,
+            &[WS, CS],
+            2000,
+            None,
+            None,
+            &[Warehouse, ShipMode],
+            WarehouseName,
+            Quantity,
+            Some(100),
+        ),
+        67 => q(
+            67,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, Item],
+            ItemClass,
+            Quantity,
+            Some(100),
+        ),
+        68 => q(
+            68,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, HouseholdDemographics, Customer, CustomerAddress],
+            CaState,
+            ExtPrice,
+            Some(100),
+        ),
+        69 => q(
+            69,
+            &[CS, WS],
+            2000,
+            None,
+            Some(2),
+            &[Customer, CustomerDemographics, CustomerAddress],
+            Gender,
+            ExtPrice,
+            Some(100),
+        ),
+        70 => q(
+            70,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store],
+            StoreState,
+            NetProfit,
+            Some(100),
+        ),
+        71 => q(
+            71,
+            &[SS, CS, WS],
+            2000,
+            Some(11),
+            None,
+            &[Item],
+            ItemBrand,
+            ExtPrice,
+            None,
+        ),
+        72 => q(
+            72,
+            &[CS],
+            2000,
+            None,
+            None,
+            &[
+                Item,
+                Warehouse,
+                CustomerDemographics,
+                HouseholdDemographics,
+                Customer,
+                Promotion,
+            ],
+            WarehouseName,
+            Quantity,
+            Some(100),
+        ),
+        73 => q(
+            73,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, HouseholdDemographics, Customer],
+            BuyPotential,
+            Quantity,
+            None,
+        ),
+        74 => q(
+            74,
+            &[SS, WS],
+            2000,
+            None,
+            None,
+            &[Customer],
+            BirthYear,
+            ExtPrice,
+            Some(100),
+        ),
+        75 => q(
+            75,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemBrand,
+            Quantity,
+            Some(100),
+        ),
+        76 => q(
+            76,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            Some(100),
+        ),
+        77 => q(
+            77,
+            &[SS, CS, WS],
+            2000,
+            Some(8),
+            None,
+            &[],
+            DayName,
+            NetProfit,
+            Some(100),
+        ),
+        78 => q(
+            78,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Customer, Item],
+            ItemBrand,
+            Quantity,
+            Some(100),
+        ),
+        79 => q(
+            79,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, HouseholdDemographics, Customer],
+            StoreName,
+            ExtPrice,
+            Some(100),
+        ),
+        80 => q(
+            80,
+            &[SS, CS, WS],
+            2000,
+            Some(8),
+            None,
+            &[Item, Promotion],
+            ItemCategory,
+            NetProfit,
+            Some(100),
+        ),
+        81 => q(
+            81,
+            &[CR],
+            2000,
+            None,
+            None,
+            &[Customer, CustomerAddress],
+            CaState,
+            ReturnAmt,
+            Some(100),
+        ),
+        82 => q(
+            82,
+            &[INV],
+            2000,
+            Some(6),
+            None,
+            &[Item, Warehouse],
+            ManufactId,
+            OnHand,
+            Some(100),
+        ),
+        83 => q(
+            83,
+            &[SR, CR, WR],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ReturnAmt,
+            Some(100),
+        ),
+        84 => q(
+            84,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[
+                Customer,
+                CustomerAddress,
+                CustomerDemographics,
+                HouseholdDemographics,
+            ],
+            Gender,
+            ExtPrice,
+            Some(100),
+        ),
+        85 => q(
+            85,
+            &[WR],
+            2000,
+            None,
+            None,
+            &[Customer, CustomerDemographics, CustomerAddress, Reason],
+            ReasonDesc,
+            ReturnAmt,
+            Some(100),
+        ),
+        86 => q(
+            86,
+            &[WS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            NetProfit,
+            Some(100),
+        ),
+        87 => q(
+            87,
+            &[SS, CS, WS],
+            2000,
+            None,
+            None,
+            &[Customer],
+            BirthYear,
+            Count_(Quantity),
+            Some(100),
+        ),
+        88 => q(
+            88,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, HouseholdDemographics],
+            StoreName,
+            Count_(Quantity),
+            None,
+        ),
+        89 => q(
+            89,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item, Store],
+            ItemClass,
+            ExtPrice,
+            Some(100),
+        ),
+        90 => q(
+            90,
+            &[WS],
+            2000,
+            None,
+            None,
+            &[WebPage, HouseholdDemographics, Customer],
+            BuyPotential,
+            Count_(Quantity),
+            Some(100),
+        ),
+        91 => q(
+            91,
+            &[CR],
+            2000,
+            Some(11),
+            None,
+            &[
+                CallCenter,
+                Customer,
+                CustomerDemographics,
+                HouseholdDemographics,
+                CustomerAddress,
+            ],
+            CallCenterName,
+            ReturnAmt,
+            None,
+        ),
+        92 => q(
+            92,
+            &[WS],
+            2000,
+            Some(1),
+            None,
+            &[Item],
+            ManufactId,
+            ExtPrice,
+            Some(100),
+        ),
+        93 => q(
+            93,
+            &[SR],
+            2000,
+            None,
+            None,
+            &[Reason, Item],
+            ReasonDesc,
+            Quantity,
+            Some(100),
+        ),
+        94 => q(
+            94,
+            &[WS],
+            2000,
+            Some(2),
+            None,
+            &[Customer, CustomerAddress, WebSite],
+            WebSiteName,
+            ExtPrice,
+            Some(100),
+        ),
+        95 => q(
+            95,
+            &[WS],
+            2000,
+            Some(2),
+            None,
+            &[Customer, CustomerAddress, WebSite],
+            WebSiteName,
+            Count_(Quantity),
+            Some(100),
+        ),
+        96 => q(
+            96,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Store, HouseholdDemographics],
+            None_,
+            Count_(Quantity),
+            Some(100),
+        ),
+        97 => q(
+            97,
+            &[SS, CS],
+            2000,
+            None,
+            None,
+            &[Customer],
+            None_,
+            Count_(Quantity),
+            None,
+        ),
+        98 => q(
+            98,
+            &[SS],
+            2000,
+            None,
+            None,
+            &[Item],
+            ItemCategory,
+            ExtPrice,
+            None,
+        ),
+        99 => q(
+            99,
+            &[CS],
+            2000,
+            None,
+            None,
+            &[Warehouse, ShipMode, CallCenter],
+            ShipModeType,
+            Count_(Quantity),
+            Some(100),
+        ),
         other => {
             return Err(ScopeError::Workload(format!(
                 "TPC-DS query {other} out of range 1..=99"
@@ -355,7 +1349,11 @@ impl Channel {
             (SS, CustomerAddress) => Some("ss_addr_sk"),
             (SS, CustomerDemographics) => Some("ss_cdemo_sk"),
             (SS, HouseholdDemographics) => Some("ss_hdemo_sk"),
-            (SS | SR, Store) => Some(if self == SS { "ss_store_sk" } else { "sr_store_sk" }),
+            (SS | SR, Store) => Some(if self == SS {
+                "ss_store_sk"
+            } else {
+                "sr_store_sk"
+            }),
             (SS, Promotion) => Some("ss_promo_sk"),
             (CS, Promotion) => Some("cs_promo_sk"),
             (WS, Promotion) => Some("ws_promo_sk"),
@@ -514,14 +1512,14 @@ fn scan(b: &mut PlanBuilder, t: TpcdsTable) -> Tracked {
     Tracked { node, names }
 }
 
-fn join(
-    b: &mut PlanBuilder,
-    left: Tracked,
-    right: Tracked,
-    lcol: usize,
-    rcol: usize,
-) -> Tracked {
-    let node = b.join(left.node, right.node, JoinKind::Inner, vec![lcol], vec![rcol]);
+fn join(b: &mut PlanBuilder, left: Tracked, right: Tracked, lcol: usize, rcol: usize) -> Tracked {
+    let node = b.join(
+        left.node,
+        right.node,
+        JoinKind::Inner,
+        vec![lcol],
+        vec![rcol],
+    );
     let mut names = left.names;
     for n in right.names {
         if names.contains(&n) {
@@ -553,7 +1551,10 @@ fn build_channel(
     if let Some(qy) = spec.qoy {
         pred = pred.and(Expr::col(dd.pos("d_qoy")?).eq(Expr::lit(qy)));
     }
-    let filtered = Tracked { node: b.filter(dd.node, pred), names: dd.names };
+    let filtered = Tracked {
+        node: b.filter(dd.node, pred),
+        names: dd.names,
+    };
 
     let lpos = fact.pos(channel.date_fk())?;
     let rpos = filtered.pos("d_date_sk")?;
@@ -579,7 +1580,11 @@ fn build_channel(
         if let Some(fk) = channel.dim_fk(dim) {
             // Special case: the WS->WebSite fk name differs from the real
             // column name on web_sales.
-            let fk = if fk == "web_site_fk_ws" { "ws_web_site_sk" } else { fk };
+            let fk = if fk == "web_site_fk_ws" {
+                "ws_web_site_sk"
+            } else {
+                fk
+            };
             let d = scan(b, dim.table());
             let l = cur.pos(fk)?;
             let r = d.pos(dim.pk())?;
@@ -621,8 +1626,7 @@ fn build_channel(
     let metric_pos = cur.pos(channel.metric_col(spec.metric))?;
     exprs.push(NamedExpr::new("m", Expr::col(metric_pos)));
     let node = b.project(cur.node, exprs);
-    let mut names: Vec<String> =
-        (0..group_cols.len()).map(|gi| format!("g{gi}")).collect();
+    let mut names: Vec<String> = (0..group_cols.len()).map(|gi| format!("g{gi}")).collect();
     names.push("m".into());
     Ok(Tracked { node, names })
 }
@@ -685,7 +1689,10 @@ pub fn build_query(id: u32) -> Result<QueryGraph> {
     } else {
         b.exchange(
             unioned,
-            Partitioning::Hash { cols: key_cols.clone(), parts: 8 },
+            Partitioning::Hash {
+                cols: key_cols.clone(),
+                parts: 8,
+            },
         )
     };
     let agg = b.aggregate(
@@ -759,9 +1766,12 @@ mod tests {
         let g55 = build_query(55).unwrap();
         let s52 = sign_graph(&g52).unwrap();
         let s55 = sign_graph(&g55).unwrap();
-        let sigs52: std::collections::HashSet<_> =
-            s52.all().iter().map(|s| s.precise).collect();
-        let shared = s55.all().iter().filter(|s| sigs52.contains(&s.precise)).count();
+        let sigs52: std::collections::HashSet<_> = s52.all().iter().map(|s| s.precise).collect();
+        let shared = s55
+            .all()
+            .iter()
+            .filter(|s| sigs52.contains(&s.precise))
+            .count();
         // Everything except possibly the output name should match.
         assert!(shared >= g55.len() - 1, "shared {shared} of {}", g55.len());
     }

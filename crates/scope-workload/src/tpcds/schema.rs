@@ -165,9 +165,7 @@ impl TpcdsTable {
             | TpcdsTable::CatalogReturns
             | TpcdsTable::WebSales
             | TpcdsTable::WebReturns
-            | TpcdsTable::Inventory => {
-                ((self.base_rows() as f64 * scale).round() as u64).max(50)
-            }
+            | TpcdsTable::Inventory => ((self.base_rows() as f64 * scale).round() as u64).max(50),
             _ => self.base_rows(),
         }
     }
@@ -266,10 +264,7 @@ pub fn table_schema(table: TpcdsTable) -> Schema {
             ("cc_name", Str),
             ("cc_county", Str),
         ],
-        TpcdsTable::CatalogPage => &[
-            ("cp_catalog_page_sk", Int),
-            ("cp_catalog_page_number", Int),
-        ],
+        TpcdsTable::CatalogPage => &[("cp_catalog_page_sk", Int), ("cp_catalog_page_number", Int)],
         TpcdsTable::WebSite => &[("web_site_sk", Int), ("web_name", Str)],
         TpcdsTable::WebPage => &[("wp_web_page_sk", Int), ("wp_char_count", Int)],
         TpcdsTable::Warehouse => &[
@@ -323,11 +318,7 @@ pub fn table_schema(table: TpcdsTable) -> Schema {
         ],
         TpcdsTable::Reason => &[("r_reason_sk", Int), ("r_reason_desc", Str)],
         TpcdsTable::ShipMode => &[("sm_ship_mode_sk", Int), ("sm_type", Str)],
-        TpcdsTable::TimeDim => &[
-            ("t_time_sk", Int),
-            ("t_hour", Int),
-            ("t_minute", Int),
-        ],
+        TpcdsTable::TimeDim => &[("t_time_sk", Int), ("t_hour", Int), ("t_minute", Int)],
         TpcdsTable::DateDim => &[
             ("d_date_sk", Int),
             ("d_year", Int),
@@ -347,7 +338,15 @@ const GENDERS: [&str; 2] = ["M", "F"];
 const MARITAL: [&str; 5] = ["S", "M", "D", "W", "U"];
 const EDUCATION: [&str; 4] = ["Primary", "College", "2 yr Degree", "Advanced Degree"];
 const BUY_POTENTIAL: [&str; 4] = [">10000", "5001-10000", "1001-5000", "0-500"];
-const DAY_NAMES: [&str; 7] = ["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"];
+const DAY_NAMES: [&str; 7] = [
+    "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+];
 
 /// Generates one table deterministically at the given scale.
 pub fn generate_table(table: TpcdsTable, scale: f64, seed: u64) -> Table {
@@ -524,11 +523,9 @@ pub fn generate_table(table: TpcdsTable, scale: f64, seed: u64) -> Table {
                 Value::Int(i),
                 Value::Str(["EXPRESS", "OVERNIGHT", "REGULAR", "LIBRARY"][i as usize % 4].into()),
             ],
-            TpcdsTable::TimeDim => vec![
-                Value::Int(i),
-                Value::Int(i / 12),
-                Value::Int((i % 12) * 5),
-            ],
+            TpcdsTable::TimeDim => {
+                vec![Value::Int(i), Value::Int(i / 12), Value::Int((i % 12) * 5)]
+            }
             TpcdsTable::DateDim => {
                 // 1461 days starting 1998-01-01; simplified calendar.
                 let year = 1998 + i / 365;

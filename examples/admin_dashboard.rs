@@ -100,12 +100,24 @@ fn main() -> scope_common::Result<()> {
     };
     for (name, policy) in [
         ("top-5 utility", SelectionPolicy::TopKUtility { k: 5 }),
-        ("top-5 utility/byte", SelectionPolicy::TopKUtilityPerByte { k: 5 }),
-        ("packing 1MB", SelectionPolicy::Packing { storage_budget_bytes: 1_000_000 }),
-        ("packing 10MB", SelectionPolicy::Packing { storage_budget_bytes: 10_000_000 }),
+        (
+            "top-5 utility/byte",
+            SelectionPolicy::TopKUtilityPerByte { k: 5 },
+        ),
+        (
+            "packing 1MB",
+            SelectionPolicy::Packing {
+                storage_budget_bytes: 1_000_000,
+            },
+        ),
+        (
+            "packing 10MB",
+            SelectionPolicy::Packing {
+                storage_budget_bytes: 10_000_000,
+            },
+        ),
     ] {
-        let cluster_records: Vec<JobRecord> =
-            c1.iter().map(|r| (*r).clone()).collect();
+        let cluster_records: Vec<JobRecord> = c1.iter().map(|r| (*r).clone()).collect();
         let outcome = run_analysis(
             &cluster_records,
             &AnalyzerConfig {
@@ -114,9 +126,16 @@ fn main() -> scope_common::Result<()> {
                 ..Default::default()
             },
         )?;
-        let utility: f64 =
-            outcome.selected.iter().map(|s| s.utility.as_secs_f64()).sum();
-        let bytes: u64 = outcome.selected.iter().map(|s| s.annotation.avg_bytes).sum();
+        let utility: f64 = outcome
+            .selected
+            .iter()
+            .map(|s| s.utility.as_secs_f64())
+            .sum();
+        let bytes: u64 = outcome
+            .selected
+            .iter()
+            .map(|s| s.annotation.avg_bytes)
+            .sum();
         println!(
             "{name}\tviews={}\ttotal_utility={utility:.2}s\tstorage={:.2}MB",
             outcome.selected.len(),
@@ -135,7 +154,11 @@ fn main() -> scope_common::Result<()> {
     // Enable CloudViews on cluster1's next instance so views actually exist,
     // then reclaim half the store with the min-objective eviction.
     let outcome = run_analysis(
-        &records.iter().filter(|r| r.cluster.raw() == 0).cloned().collect::<Vec<_>>(),
+        &records
+            .iter()
+            .filter(|r| r.cluster.raw() == 0)
+            .cloned()
+            .collect::<Vec<_>>(),
         &AnalyzerConfig {
             policy: SelectionPolicy::TopKUtility { k: 5 },
             constraints: constraints.clone(),

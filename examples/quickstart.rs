@@ -31,7 +31,10 @@ fn main() -> scope_common::Result<()> {
     // --- Day 0: baseline runs fill the workload repository. ---------------
     workload.register_instance_data(0, 0, &service.storage, 1.0)?;
     let day0 = workload.jobs_for_instance(0, 0)?;
-    println!("day 0: running {} jobs with CloudViews disabled...", day0.len());
+    println!(
+        "day 0: running {} jobs with CloudViews disabled...",
+        day0.len()
+    );
     service.run_sequence(&day0, RunMode::Baseline)?;
 
     // --- The CloudViews analyzer (periodic, offline). ---------------------
@@ -67,15 +70,17 @@ fn main() -> scope_common::Result<()> {
 
     // Outputs must be bit-identical (requirement 3: correctness).
     for (b, e) in baseline.iter().zip(&enabled) {
-        assert_eq!(b.output_checksums, e.output_checksums, "corruption in {}", b.job);
+        assert_eq!(
+            b.output_checksums, e.output_checksums,
+            "corruption in {}",
+            b.job
+        );
     }
     println!("\nday 1 impact (baseline vs CloudViews):");
     print!("{}", reporting::impact_report(&baseline, &enabled));
 
-    let (avg_lat, tot_lat) =
-        reporting::improvement_stats(&baseline, &enabled, |r| r.latency);
-    let (avg_cpu, tot_cpu) =
-        reporting::improvement_stats(&baseline, &enabled, |r| r.cpu_time);
+    let (avg_lat, tot_lat) = reporting::improvement_stats(&baseline, &enabled, |r| r.latency);
+    let (avg_cpu, tot_cpu) = reporting::improvement_stats(&baseline, &enabled, |r| r.cpu_time);
     println!("\nlatency improvement: avg {avg_lat:+.1}%, overall {tot_lat:+.1}%");
     println!("cpu-time improvement: avg {avg_cpu:+.1}%, overall {tot_cpu:+.1}%");
     println!(

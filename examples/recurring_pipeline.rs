@@ -14,9 +14,7 @@
 
 use std::sync::Arc;
 
-use cloudviews::analyzer::{
-    coordination, AnalyzerConfig, SelectionConstraints, SelectionPolicy,
-};
+use cloudviews::analyzer::{coordination, AnalyzerConfig, SelectionConstraints, SelectionPolicy};
 use cloudviews::reporting;
 use cloudviews::{CloudViews, RunMode};
 use scope_common::time::SimDuration;

@@ -27,7 +27,10 @@ fn main() -> scope_common::Result<()> {
     let service = CloudViews::new(Arc::new(StorageManager::new()));
     tpcds.register_data(&service.storage)?;
     let jobs = tpcds.all_jobs()?;
-    println!("TPC-DS at scale {scale}: running {} queries baseline...", jobs.len());
+    println!(
+        "TPC-DS at scale {scale}: running {} queries baseline...",
+        jobs.len()
+    );
     let baseline = service.run_sequence(&jobs, RunMode::Baseline)?;
 
     // Top-10 overlapping computations, as in the paper.
@@ -69,7 +72,11 @@ fn main() -> scope_common::Result<()> {
             regressed += 1;
         }
         // Correctness spot check.
-        assert_eq!(b.output_checksums, e.output_checksums, "q{} corrupted", b.job);
+        assert_eq!(
+            b.output_checksums, e.output_checksums,
+            "q{} corrupted",
+            b.job
+        );
         println!(
             "q{}\t{:+.1}\t{}\t{}",
             b.job.raw(),

@@ -1,0 +1,202 @@
+//! Minimal stand-in for `criterion` 0.5 (see shims/README.md).
+//!
+//! Implements the group/bench API surface the workspace's benches call and
+//! reports mean wall-clock time per iteration (plus element throughput when
+//! declared). No statistical analysis, HTML reports, or CLI filtering —
+//! `cargo bench` stays runnable and comparable release to release.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirror of `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark, for derived rates in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (group name supplies the prefix).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Mean time per iteration of the last `iter` call.
+    elapsed_per_iter: Duration,
+    min_measure_time: Duration,
+}
+
+impl Bencher {
+    fn new(min_measure_time: Duration) -> Bencher {
+        Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            min_measure_time,
+        }
+    }
+
+    /// Times `f` over an adaptively chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: run once to guess per-iter cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.min_measure_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed_per_iter = t1.elapsed() / iters as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the throughput of subsequent benches in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher::new(self.criterion.min_measure_time);
+        f(&mut b, input);
+        report(&label, b.elapsed_per_iter, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an input parameter.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mut b = Bencher::new(self.criterion.min_measure_time);
+        f(&mut b);
+        report(&label, b.elapsed_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    min_measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            min_measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.min_measure_time);
+        f(&mut b);
+        report(&name.to_string(), b.elapsed_per_iter, None);
+        self
+    }
+}
+
+fn report(label: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("bench: {label:<48} {per_iter:>12.2?}/iter{rate}");
+}
+
+/// Builds the group-runner function `criterion_main!` invokes.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Builds `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Minimal stand-in for `serde` (see shims/README.md).
+//!
+//! The workspace derives `serde::Serialize`/`serde::Deserialize` on its
+//! data types as forward-looking annotations but never instantiates a
+//! serializer, so the traits are empty markers with blanket impls and the
+//! derives (re-exported from the `serde_derive` shim, mirroring upstream's
+//! layout) expand to nothing. Swap in real serde if serialization is ever
+//! actually exercised.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -57,10 +57,12 @@ fn three_instance_lifecycle() {
         for (b, e) in baseline.iter().zip(&enabled) {
             assert_eq!(b.output_checksums, e.output_checksums);
         }
-        built_per_instance
-            .push(enabled.iter().map(|r| r.views_built.len()).sum::<usize>());
+        built_per_instance.push(enabled.iter().map(|r| r.views_built.len()).sum::<usize>());
     }
-    assert!(built_per_instance.iter().all(|&b| b > 0), "{built_per_instance:?}");
+    assert!(
+        built_per_instance.iter().all(|&b| b > 0),
+        "{built_per_instance:?}"
+    );
 }
 
 #[test]
@@ -68,7 +70,8 @@ fn savings_are_real_and_outputs_identical() {
     let w = workload(11);
     let cv = CloudViews::new(Arc::new(StorageManager::new()));
     w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
-    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
+    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+        .unwrap();
     let analysis = cv.analyze(&analyzer_cfg()).unwrap();
     cv.install_analysis(&analysis);
 
@@ -91,15 +94,18 @@ fn concurrent_jobs_build_each_view_once() {
     let w = workload(23);
     let cv = CloudViews::new(Arc::new(StorageManager::new()));
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
-    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
+    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+        .unwrap();
     let analysis = cv.analyze(&analyzer_cfg()).unwrap();
     cv.install_analysis(&analysis);
 
     w.register_instance_data(0, 1, &cv.storage, 0.5).unwrap();
     let day1 = w.jobs_for_instance(0, 1).unwrap();
     let reports = cv.run_concurrent(day1, RunMode::CloudViews).unwrap();
-    let mut built: Vec<_> =
-        reports.iter().flat_map(|r| r.views_built.iter().copied()).collect();
+    let mut built: Vec<_> = reports
+        .iter()
+        .flat_map(|r| r.views_built.iter().copied())
+        .collect();
     let n = built.len();
     built.sort_unstable();
     built.dedup();
@@ -115,7 +121,8 @@ fn disabled_vcs_do_not_get_annotations() {
     let w = workload(31);
     let cv = CloudViews::new(Arc::new(StorageManager::new()));
     w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
-    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
+    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+        .unwrap();
     let cfg = AnalyzerConfig {
         exclude_vcs: vec![scope_common::ids::VcId::new(0)],
         ..analyzer_cfg()
@@ -134,12 +141,14 @@ fn views_expire_end_to_end() {
     let w = workload(47);
     let cv = CloudViews::new(Arc::new(StorageManager::new()));
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
-    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
-    let analysis = cv.analyze(&AnalyzerConfig {
-        default_ttl: SimDuration::from_secs(60),
-        ..analyzer_cfg()
-    })
-    .unwrap();
+    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+        .unwrap();
+    let analysis = cv
+        .analyze(&AnalyzerConfig {
+            default_ttl: SimDuration::from_secs(60),
+            ..analyzer_cfg()
+        })
+        .unwrap();
     cv.install_analysis(&analysis);
     w.register_instance_data(0, 1, &cv.storage, 0.5).unwrap();
     let day1 = w.jobs_for_instance(0, 1).unwrap();
@@ -165,13 +174,18 @@ fn baseline_and_enabled_interleave_safely() {
     let w = workload(61);
     let cv = CloudViews::new(Arc::new(StorageManager::new()));
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
-    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
+    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+        .unwrap();
     let analysis = cv.analyze(&analyzer_cfg()).unwrap();
     cv.install_analysis(&analysis);
     w.register_instance_data(0, 1, &cv.storage, 0.5).unwrap();
     let day1 = w.jobs_for_instance(0, 1).unwrap();
     for (i, spec) in day1.iter().enumerate() {
-        let mode = if i % 2 == 0 { RunMode::CloudViews } else { RunMode::Baseline };
+        let mode = if i % 2 == 0 {
+            RunMode::CloudViews
+        } else {
+            RunMode::Baseline
+        };
         let r = cv.run_job_at(spec, mode, cv.clock.now()).unwrap();
         if mode == RunMode::Baseline {
             assert!(r.views_built.is_empty());
@@ -192,7 +206,8 @@ fn offline_mode_builds_views_upfront() {
     let w = workload(71);
     let cv = CloudViews::new(Arc::new(StorageManager::new()));
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
-    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline).unwrap();
+    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+        .unwrap();
     let analysis = cv.analyze(&analyzer_cfg()).unwrap();
     cv.install_analysis(&analysis);
 
@@ -211,15 +226,19 @@ fn offline_mode_builds_views_upfront() {
             enable_reuse: false,
             ..Default::default()
         };
-        let Ok(plan) = optimize(&spec.graph, &annotations, cv.metadata.as_ref(), &cfg, spec.id)
-        else {
+        let Ok(plan) = optimize(
+            &spec.graph,
+            &annotations,
+            cv.metadata.as_ref(),
+            &cfg,
+            spec.id,
+        ) else {
             continue; // nothing to build for this job
         };
         let exec = execute_plan(&plan.physical, &cv.storage, &cv.cost, SimTime::ZERO).unwrap();
         let sim = simulate(&plan.physical, &exec, &ClusterConfig::default());
         for built in
-            materialize_marked_views(&plan, &exec, &sim, &cv.cost, spec.id, SimTime::ZERO)
-                .unwrap()
+            materialize_marked_views(&plan, &exec, &sim, &cv.cost, spec.id, SimTime::ZERO).unwrap()
         {
             let view = scope_engine::optimizer::AvailableView {
                 precise: built.file.meta.precise,
@@ -229,7 +248,8 @@ fn offline_mode_builds_views_upfront() {
             };
             let expires = built.file.meta.expires_at;
             cv.storage.publish_view(built.file).unwrap();
-            cv.metadata.report_materialized(view, spec.id, SimTime::ZERO, expires);
+            cv.metadata
+                .report_materialized(view, spec.id, SimTime::ZERO, expires);
             prebuilt += 1;
         }
     }

@@ -33,7 +33,13 @@ fn run(graph: &QueryGraph, storage: &StorageManager) -> scope_engine::exec::Exec
         JobId::new(1),
     )
     .unwrap();
-    execute_plan(&plan.physical, storage, &CostModel::default(), SimTime::ZERO).unwrap()
+    execute_plan(
+        &plan.physical,
+        storage,
+        &CostModel::default(),
+        SimTime::ZERO,
+    )
+    .unwrap()
 }
 
 fn kv_storage(rows: &[(i64, i64)]) -> StorageManager {
@@ -42,7 +48,9 @@ fn kv_storage(rows: &[(i64, i64)]) -> StorageManager {
         DatasetId::new(1),
         Table::single(
             kv_schema(),
-            rows.iter().map(|&(k, v)| vec![Value::Int(k), Value::Int(v)]).collect(),
+            rows.iter()
+                .map(|&(k, v)| vec![Value::Int(k), Value::Int(v)])
+                .collect(),
         ),
     );
     s
@@ -58,7 +66,10 @@ fn loops_join_matches_hash_join() {
         let j = b.join(l, r, JoinKind::Inner, vec![0], vec![0]);
         let g = b.output(j, "o").build().unwrap();
         let mut g2 = g.clone();
-        if let Operator::Join { implementation: i, .. } = &mut g2.node_mut(j).unwrap().op {
+        if let Operator::Join {
+            implementation: i, ..
+        } = &mut g2.node_mut(j).unwrap().op
+        {
             *i = implementation;
         }
         g2
@@ -81,7 +92,10 @@ fn merge_join_selected_for_sorted_inputs_and_agrees() {
     let ls = {
         let ex = b.exchange(
             l,
-            scope_plan::Partitioning::Hash { cols: vec![0], parts: 8 },
+            scope_plan::Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
         );
         b.sort(ex, SortOrder::asc(&[0]))
     };
@@ -89,7 +103,10 @@ fn merge_join_selected_for_sorted_inputs_and_agrees() {
     let rs = {
         let ex = b.exchange(
             r,
-            scope_plan::Partitioning::Hash { cols: vec![0], parts: 8 },
+            scope_plan::Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
         );
         b.sort(ex, SortOrder::asc(&[0]))
     };
@@ -105,14 +122,27 @@ fn merge_join_selected_for_sorted_inputs_and_agrees() {
     .unwrap();
     // With both inputs hash-partitioned and sorted, the optimizer must pick
     // a merge join.
-    let merged = plan
-        .physical
-        .nodes()
-        .iter()
-        .any(|n| matches!(n.op, Operator::Join { implementation: JoinImpl::Merge, .. }));
-    assert!(merged, "merge join not selected:\n{}", plan.physical.explain());
-    let out = execute_plan(&plan.physical, &storage, &CostModel::default(), SimTime::ZERO)
-        .unwrap();
+    let merged = plan.physical.nodes().iter().any(|n| {
+        matches!(
+            n.op,
+            Operator::Join {
+                implementation: JoinImpl::Merge,
+                ..
+            }
+        )
+    });
+    assert!(
+        merged,
+        "merge join not selected:\n{}",
+        plan.physical.explain()
+    );
+    let out = execute_plan(
+        &plan.physical,
+        &storage,
+        &CostModel::default(),
+        SimTime::ZERO,
+    )
+    .unwrap();
     // k=5 matches 2x2, k=1 matches 2x2, k=3 matches 1: 9 rows.
     assert_eq!(out.outputs["o"].num_rows(), 9);
 }
@@ -122,10 +152,13 @@ fn left_outer_join_pads_through_optimizer() {
     let storage = StorageManager::new();
     storage.put_dataset(
         DatasetId::new(1),
-        Table::single(kv_schema(), vec![
-            vec![Value::Int(1), Value::Int(10)],
-            vec![Value::Int(2), Value::Int(20)],
-        ]),
+        Table::single(
+            kv_schema(),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        ),
     );
     storage.put_dataset(
         DatasetId::new(2),
@@ -149,10 +182,13 @@ fn extract_scan_runs_user_code_at_the_leaf() {
     let storage = StorageManager::new();
     storage.put_dataset(
         DatasetId::new(1),
-        Table::single(text_schema(), vec![
-            vec![Value::Int(1), Value::Str("a b c".into())],
-            vec![Value::Int(2), Value::Str("d".into())],
-        ]),
+        Table::single(
+            text_schema(),
+            vec![
+                vec![Value::Int(1), Value::Str("a b c".into())],
+                vec![Value::Int(2), Value::Str("d".into())],
+            ],
+        ),
     );
     let mut b = PlanBuilder::new();
     let e = b.extract(
@@ -177,7 +213,9 @@ fn range_scan_applies_predicate_during_scan() {
         DatasetId::new(1),
         "t",
         kv_schema(),
-        Expr::col(0).ge(Expr::lit(4i64)).and(Expr::col(0).le(Expr::lit(8i64))),
+        Expr::col(0)
+            .ge(Expr::lit(4i64))
+            .and(Expr::col(0).le(Expr::lit(8i64))),
     );
     let g = b.output(s, "o").build().unwrap();
     let out = run(&g, &storage);
@@ -236,7 +274,10 @@ fn remap_renames_and_reorders() {
     let g = b.output(r, "o").build().unwrap();
     let out = run(&g, &storage);
     assert_eq!(out.outputs["o"].schema.to_string(), "(value:int, key:int)");
-    assert_eq!(out.outputs["o"].all_rows(), vec![vec![Value::Int(70), Value::Int(7)]]);
+    assert_eq!(
+        out.outputs["o"].all_rows(),
+        vec![vec![Value::Int(70), Value::Int(7)]]
+    );
 }
 
 #[test]
@@ -263,7 +304,10 @@ fn top_descending_deterministic_under_dop() {
         let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
         let ex = b.exchange(
             s,
-            scope_plan::Partitioning::Hash { cols: vec![0], parts: 4 },
+            scope_plan::Partitioning::Hash {
+                cols: vec![0],
+                parts: 4,
+            },
         );
         let t = b.top(ex, 2, SortOrder(vec![SortKey::desc(1)]));
         b.output(t, "o").build().unwrap()
@@ -274,13 +318,20 @@ fn top_descending_deterministic_under_dop() {
             &build(),
             &[],
             &NoViewServices,
-            &OptimizerConfig { default_dop: dop, ..Default::default() },
+            &OptimizerConfig {
+                default_dop: dop,
+                ..Default::default()
+            },
             JobId::new(1),
         )
         .unwrap();
-        let out =
-            execute_plan(&plan.physical, &storage, &CostModel::default(), SimTime::ZERO)
-                .unwrap();
+        let out = execute_plan(
+            &plan.physical,
+            &storage,
+            &CostModel::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         sums.push(multiset_checksum(&out.outputs["o"]));
     }
     assert_eq!(sums[0], sums[1]);
@@ -300,7 +351,10 @@ fn stream_agg_count_distinct_and_avg_match_hash() {
         let s = b.table_scan(DatasetId::new(1), "t", kv_schema());
         let ex = b.exchange(
             s,
-            scope_plan::Partitioning::Hash { cols: vec![0], parts: 8 },
+            scope_plan::Partitioning::Hash {
+                cols: vec![0],
+                parts: 8,
+            },
         );
         let so = b.sort(ex, SortOrder::asc(&[0]));
         let a = b.aggregate(so, vec![0], aggs.clone());

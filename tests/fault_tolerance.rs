@@ -1,0 +1,464 @@
+//! Fault-injection and graceful-degradation suite (DESIGN.md "Fault
+//! tolerance & degradation").
+//!
+//! Every test drives the full service through a deterministic, seedable
+//! [`FaultPlan`] and proves the paper's degradation claims: jobs always
+//! complete with outputs **row-multiset-identical** to their baseline runs,
+//! no build lock outlives its mined expiry horizon, and the per-job
+//! degradation counters account for every injected fault.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cloudviews::analyzer::{AnalyzerConfig, SelectionConstraints, SelectionPolicy};
+use cloudviews::{CloudViews, FaultPlan, FaultSite, RunMode, ScriptedFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scope_common::time::SimDuration;
+use scope_engine::job::JobSpec;
+use scope_engine::storage::StorageManager;
+use scope_workload::dists::LogNormal;
+use scope_workload::recurring::{ClusterSpec, RecurringWorkload, WorkloadConfig};
+
+/// Job id → output name → row-multiset checksum: the fault-free ground
+/// truth every degraded run must reproduce.
+type BaselineChecksums = HashMap<u64, HashMap<String, u64>>;
+
+fn workload(seed: u64) -> RecurringWorkload {
+    RecurringWorkload::generate(WorkloadConfig {
+        clusters: vec![ClusterSpec::tiny("ft")],
+        seed,
+        stream_rows: LogNormal::new(6.0, 0.5, 150.0, 1_500.0),
+    })
+    .unwrap()
+}
+
+fn analyzer_cfg() -> AnalyzerConfig {
+    AnalyzerConfig {
+        policy: SelectionPolicy::TopKUtility { k: 5 },
+        constraints: SelectionConstraints {
+            per_job_cap: Some(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Builds a service primed with one analyzed baseline instance, returning
+/// the service, the workload, and the *fault-free baseline* output
+/// checksums of instance 1 (job → output name → checksum).
+fn primed_service(
+    seed: u64,
+) -> (
+    CloudViews,
+    RecurringWorkload,
+    Vec<JobSpec>,
+    BaselineChecksums,
+) {
+    let w = workload(seed);
+    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+    cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+        .unwrap();
+    let analysis = cv.analyze(&analyzer_cfg()).unwrap();
+    assert!(!analysis.selected.is_empty(), "fixture must select views");
+    cv.install_analysis(&analysis);
+
+    w.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+    let day1 = w.jobs_for_instance(0, 1).unwrap();
+    let baseline = cv.run_sequence(&day1, RunMode::Baseline).unwrap();
+    let checksums = baseline
+        .iter()
+        .map(|r| (r.job.raw(), r.output_checksums.clone()))
+        .collect();
+    (cv, w, day1, checksums)
+}
+
+/// Asserts each report's outputs are row-multiset-identical to the
+/// fault-free baseline of the same job.
+fn assert_outputs_match_baseline(
+    reports: &[cloudviews::runtime::JobRunReport],
+    baseline: &BaselineChecksums,
+    context: &str,
+) {
+    for r in reports {
+        assert_eq!(
+            Some(&r.output_checksums),
+            baseline.get(&r.job.raw()),
+            "{context}: job {} output diverged from baseline",
+            r.job
+        );
+    }
+}
+
+/// Asserts the per-job counters sum to exactly the injector's ledger for
+/// every call-site fault, and consistently bound the stored-file faults.
+fn assert_fault_accounting(
+    cv: &CloudViews,
+    reports: &[cloudviews::runtime::JobRunReport],
+    context: &str,
+) {
+    let injected = cv.faults.as_ref().expect("injector installed").injected();
+    let totals = cloudviews::reporting::fault_totals(reports);
+    assert_eq!(
+        totals.lookup_faults, injected.lookup_failures,
+        "{context}: lookup"
+    );
+    assert_eq!(
+        totals.propose_faults, injected.propose_failures,
+        "{context}: propose"
+    );
+    assert_eq!(
+        totals.report_faults, injected.report_failures,
+        "{context}: report"
+    );
+    assert_eq!(
+        totals.builder_crashes, injected.builder_crashes,
+        "{context}: crash"
+    );
+    assert_eq!(
+        totals.delayed_publications, injected.delayed_publications,
+        "{context}: delay"
+    );
+    // Stored-file faults: a lost/corrupt file may be observed by zero or
+    // many readers, but a read fallback can only happen when such a fault
+    // (or a natural expiry, absent here) occurred.
+    if injected.views_lost + injected.views_corrupted == 0 {
+        assert_eq!(totals.view_read_fallbacks, 0, "{context}: phantom fallback");
+    }
+    let stats = cv.metadata.stats();
+    assert_eq!(
+        stats.failed_lookups, injected.lookup_failures,
+        "{context}: svc lookup"
+    );
+    assert_eq!(
+        stats.failed_proposals, injected.propose_failures,
+        "{context}: svc propose"
+    );
+    assert_eq!(
+        stats.failed_reports, injected.report_failures,
+        "{context}: svc report"
+    );
+}
+
+/// Asserts every build lock is reclaimable: after the mined TTL horizon
+/// passes, no lock is active and purging empties the lock table.
+fn assert_locks_reclaimable(cv: &CloudViews, context: &str) {
+    cv.clock.advance(SimDuration::from_secs(30 * 86_400));
+    assert_eq!(
+        cv.metadata.num_active_locks(cv.clock.now()),
+        0,
+        "{context}: a build lock outlived its mined expiry"
+    );
+    cv.purge_expired();
+    assert_eq!(
+        cv.metadata.num_locks(),
+        0,
+        "{context}: lapsed locks not reclaimed"
+    );
+}
+
+#[test]
+fn lookup_failures_retry_then_fall_back_to_baseline_plan() {
+    let (mut cv, _w, day1, baseline) = primed_service(31);
+    // Job A: one transient failure (retry succeeds). Job B: every call
+    // fails (retries exhausted → baseline plan). Everyone else clean.
+    let job_a = day1[0].id;
+    let job_b = day1[1].id;
+    let retries = cv.degradation.lookup_retries as u64;
+    let mut scripted = vec![ScriptedFault {
+        site: FaultSite::MetadataLookup,
+        job: Some(job_a),
+        call_index: 0,
+    }];
+    for i in 0..=retries {
+        scripted.push(ScriptedFault {
+            site: FaultSite::MetadataLookup,
+            job: Some(job_b),
+            call_index: i,
+        });
+    }
+    cv.install_fault_plan(FaultPlan {
+        scripted,
+        ..Default::default()
+    });
+
+    let reports = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+    assert_outputs_match_baseline(&reports, &baseline, "lookup faults");
+
+    let a = &reports[0].faults;
+    assert_eq!((a.lookup_faults, a.lookup_retries), (1, 1));
+    assert!(!a.fell_back_to_baseline);
+    let b = &reports[1].faults;
+    assert_eq!(b.lookup_faults, retries + 1);
+    assert!(
+        b.fell_back_to_baseline,
+        "exhausted retries must degrade to baseline"
+    );
+    assert!(
+        reports[1].views_reused.is_empty() && reports[1].views_built.is_empty(),
+        "baseline fallback must not reuse or build"
+    );
+    // The degraded job paid for its failed calls and backoff.
+    assert!(reports[1].lookup_latency > reports[0].lookup_latency);
+    assert_fault_accounting(&cv, &reports, "lookup faults");
+    assert_locks_reclaimable(&cv, "lookup faults");
+}
+
+#[test]
+fn builder_crash_restarts_job_and_output_is_unaffected() {
+    let (mut cv, _w, day1, baseline) = primed_service(32);
+    // Every job's first materialization attempt dies mid-build.
+    cv.install_fault_plan(FaultPlan {
+        scripted: vec![ScriptedFault {
+            site: FaultSite::BuilderCrash,
+            job: None,
+            call_index: 0,
+        }],
+        ..Default::default()
+    });
+
+    let reports = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+    assert_outputs_match_baseline(&reports, &baseline, "builder crash");
+
+    let totals = cloudviews::reporting::fault_totals(&reports);
+    assert!(
+        totals.builder_crashes > 0,
+        "fixture must exercise the crash path"
+    );
+    // Crashed-and-restarted builders still publish their views.
+    assert!(reports.iter().any(|r| !r.views_built.is_empty()));
+    // The wasted attempt shows up as degraded latency.
+    let crashed = reports
+        .iter()
+        .find(|r| r.faults.builder_crashes > 0)
+        .unwrap();
+    assert!(crashed.faults.degraded_latency > SimDuration::ZERO);
+    assert_fault_accounting(&cv, &reports, "builder crash");
+    assert_locks_reclaimable(&cv, "builder crash");
+}
+
+#[test]
+fn permanently_crashed_builder_fails_alone_and_lock_is_taken_over() {
+    let (mut cv, w, day1, baseline) = primed_service(33);
+    // One job's builder dies on every attempt: the job fails (bounded
+    // restarts), its exclusive build lock stays held, and — satellite of
+    // the paper's Section 6.1 claim — the lock lapses at its mined expiry
+    // so a later job can take over the build. run_concurrent must report
+    // the dead job's error without aborting the other jobs.
+    let doomed = day1[0].id;
+    let scripted = (0..=cv.degradation.max_restarts as u64)
+        .map(|i| ScriptedFault {
+            site: FaultSite::BuilderCrash,
+            job: Some(doomed),
+            call_index: i,
+        })
+        .collect();
+    cv.install_fault_plan(FaultPlan {
+        scripted,
+        ..Default::default()
+    });
+
+    // The doomed job runs first (alone, so it deterministically wins its
+    // build lock) and dies on every restart.
+    let err = cv
+        .run_job_at(&day1[0], RunMode::CloudViews, cv.clock.now())
+        .expect_err("the doomed builder must exhaust its restarts");
+    assert!(err.to_string().contains("crashed"), "{err}");
+
+    // The dead builder's exclusive lock is still held (it never reported).
+    assert!(
+        cv.metadata.num_locks() > 0,
+        "the crashed builder should hold its lock"
+    );
+
+    // The rest of the wave runs concurrently, plus one job whose input data
+    // was never registered: its error must come back as a per-job `Err`
+    // without aborting the driver or the healthy jobs.
+    let mut wave: Vec<JobSpec> = day1[1..].to_vec();
+    let broken_idx = wave.len();
+    wave.push(w.jobs_for_instance(0, 2).unwrap().remove(0)); // data not registered
+    let results = cv.run_concurrent_results(wave, RunMode::CloudViews);
+    let failed: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_err().then_some(i))
+        .collect();
+    assert_eq!(failed, vec![broken_idx], "only the data-less job may fail");
+    let survivors: Vec<_> = results.into_iter().filter_map(|r| r.ok()).collect();
+    assert_outputs_match_baseline(&survivors, &baseline, "crashed builder");
+
+    // But it lapses: a re-submitted wave (fresh job ids, faults cleared)
+    // takes over the expired lock and builds the missing views, exactly
+    // one winner per view.
+    cv.metadata.set_fault_injector(None);
+    cv.faults = None;
+    cv.clock.advance(SimDuration::from_secs(86_400)); // the doomed lock lapses
+    let resubmitted: Vec<JobSpec> = day1
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            s.id = scope_common::ids::JobId::new(s.id.raw() + 10_000);
+            s
+        })
+        .collect();
+    let wave2 = cv.run_concurrent(resubmitted, RunMode::CloudViews).unwrap();
+    let mut built: Vec<_> = wave2
+        .iter()
+        .flat_map(|r| r.views_built.iter().copied())
+        .collect();
+    let n = built.len();
+    built.sort_unstable();
+    built.dedup();
+    assert_eq!(built.len(), n, "a view was built by two winners");
+    assert!(n > 0, "re-submitted wave must rebuild");
+    assert!(
+        cv.metadata.stats().expired_takeovers >= 1,
+        "the dead builder's expired lock must be taken over"
+    );
+    assert_locks_reclaimable(&cv, "crashed builder");
+}
+
+#[test]
+fn lost_and_corrupt_views_fall_back_to_recomputation() {
+    for (loss, corruption) in [(1.0, 0.0), (0.0, 1.0)] {
+        let context = if loss > 0.0 { "loss" } else { "corruption" };
+        let (mut cv, _w, day1, baseline) = primed_service(34);
+        cv.install_fault_plan(FaultPlan {
+            seed: 7,
+            view_loss: loss,
+            view_corruption: corruption,
+            ..Default::default()
+        });
+
+        // Wave 1 builds views; every published file is immediately lost or
+        // corrupted. Wave 2 matches them in the metadata service, fails the
+        // read, and recomputes.
+        let wave1 = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+        assert!(
+            wave1.iter().any(|r| !r.views_built.is_empty()),
+            "{context}: no builds"
+        );
+        let wave2 = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+        assert_outputs_match_baseline(&wave1, &baseline, context);
+        assert_outputs_match_baseline(&wave2, &baseline, context);
+
+        let injected = cv.faults.as_ref().unwrap().injected();
+        assert!(
+            injected.views_lost + injected.views_corrupted > 0,
+            "{context}: nothing injected"
+        );
+        let totals = cloudviews::reporting::fault_totals(&wave2);
+        assert!(
+            totals.view_read_fallbacks > 0,
+            "{context}: matched dead views must trigger recomputation fallback"
+        );
+        assert!(
+            totals.dead_views_unregistered > 0,
+            "{context}: dead views must be unregistered from the metadata service"
+        );
+        assert_fault_accounting(&cv, &wave2, context);
+        assert_locks_reclaimable(&cv, context);
+    }
+}
+
+#[test]
+fn delayed_publication_defers_visibility_without_changing_outputs() {
+    let (mut cv, _w, day1, baseline) = primed_service(35);
+    cv.install_fault_plan(FaultPlan {
+        publish_delay: SimDuration::from_secs(3_600),
+        ..Default::default()
+    });
+    let wave1 = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+    assert_outputs_match_baseline(&wave1, &baseline, "publish delay");
+    let totals = cloudviews::reporting::fault_totals(&wave1);
+    let built: usize = wave1.iter().map(|r| r.views_built.len()).sum();
+    assert!(built > 0);
+    assert_eq!(totals.delayed_publications, built as u64);
+    assert_fault_accounting(&cv, &wave1, "publish delay");
+}
+
+#[test]
+fn chaos_every_fault_mode_at_once_jobs_complete_with_baseline_outputs() {
+    // The acceptance scenario: lookup failures, builder crashes, and view
+    // loss (plus propose/report faults and corruption) all at nonzero
+    // rates. Every job must complete with baseline-identical outputs, no
+    // lock may outlive its mined expiry, and the counters must account for
+    // every injected fault.
+    let (mut cv, _w, day1, baseline) = primed_service(36);
+    cv.degradation.max_restarts = 8; // chaos may crash the same builder repeatedly
+    cv.install_fault_plan(FaultPlan {
+        seed: 2024,
+        lookup_fail: 0.25,
+        propose_fail: 0.2,
+        report_fail: 0.2,
+        builder_crash: 0.2,
+        view_loss: 0.35,
+        view_corruption: 0.25,
+        publish_delay: SimDuration::from_secs_f64(1.5),
+        scripted: Vec::new(),
+    });
+
+    let mut all_reports = Vec::new();
+    for _wave in 0..3 {
+        let reports = cv.run_sequence(&day1, RunMode::CloudViews).unwrap();
+        assert_outputs_match_baseline(&reports, &baseline, "chaos");
+        all_reports.extend(reports);
+    }
+
+    let injected = cv.faults.as_ref().unwrap().injected();
+    assert!(
+        injected.lookup_failures > 0,
+        "chaos must fail lookups: {injected:?}"
+    );
+    assert!(
+        injected.builder_crashes > 0,
+        "chaos must crash builders: {injected:?}"
+    );
+    assert!(
+        injected.views_lost + injected.views_corrupted > 0,
+        "chaos must lose views: {injected:?}"
+    );
+    assert_fault_accounting(&cv, &all_reports, "chaos");
+    assert_locks_reclaimable(&cv, "chaos");
+}
+
+#[test]
+fn property_any_fault_plan_preserves_outputs_and_reclaims_locks() {
+    // Proptest-style: across randomized fault plans, (1) CloudViews output
+    // equals baseline output for every job, and (2) every build lock is
+    // eventually reclaimable. Cases and plans derive from fixed seeds, so
+    // any failure reproduces exactly.
+    const CASES: u64 = 6;
+    for case in 0..CASES {
+        let mut rng =
+            SmallRng::seed_from_u64(scope_common::sip64(format!("ft-prop/{case}").as_bytes()));
+        let plan = FaultPlan {
+            seed: rng.gen_range(0..u64::MAX / 2),
+            lookup_fail: rng.gen_range(0.0..0.4),
+            propose_fail: rng.gen_range(0.0..0.4),
+            report_fail: rng.gen_range(0.0..0.4),
+            builder_crash: rng.gen_range(0.0..0.3),
+            view_loss: rng.gen_range(0.0..0.5),
+            view_corruption: rng.gen_range(0.0..0.5),
+            publish_delay: SimDuration::from_secs_f64(rng.gen_range(0.0..10.0)),
+            scripted: Vec::new(),
+        };
+        let context = format!("case {case}: {plan:?}");
+
+        let (mut cv, _w, day1, baseline) = primed_service(40 + case);
+        cv.degradation.max_restarts = 12;
+        cv.install_fault_plan(plan);
+
+        let mut all_reports = Vec::new();
+        for _wave in 0..2 {
+            let reports = cv
+                .run_sequence(&day1, RunMode::CloudViews)
+                .unwrap_or_else(|e| panic!("{context}: job failed: {e}"));
+            assert_outputs_match_baseline(&reports, &baseline, &context);
+            all_reports.extend(reports);
+        }
+        assert_fault_accounting(&cv, &all_reports, &context);
+        assert_locks_reclaimable(&cv, &context);
+    }
+}

@@ -4,10 +4,14 @@
 //! CloudViews cycle (baseline → annotate a random subgraph → build → reuse),
 //! and asserts output equality — the paper's correctness requirement under
 //! arbitrary plan shapes, not just the curated workloads.
+//!
+//! The cases are driven by a deterministic seeded loop (`for_cases`) instead
+//! of an external property-testing crate: each test draws its inputs from
+//! the documented ranges using the workspace RNG, so failures reproduce
+//! exactly and no crates.io dependency is needed.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scope_common::hash::Sig128;
@@ -25,6 +29,20 @@ use scope_plan::{
     SortOrder, Udo, UdoKind, Value,
 };
 use scope_signature::sign_graph;
+
+/// Number of random cases per property (mirrors the old proptest config).
+const CASES: usize = 24;
+
+/// Runs `body` for `CASES` deterministic case-seeds. Each failure message
+/// carries the case seed, so any counterexample replays exactly.
+fn for_cases(test_name: &str, mut body: impl FnMut(&mut SmallRng)) {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(scope_common::sip64(
+            format!("{test_name}/{case}").as_bytes(),
+        ));
+        body(&mut rng);
+    }
+}
 
 fn base_schema() -> Schema {
     Schema::from_pairs(&[
@@ -63,8 +81,7 @@ fn random_plan(seed: u64, dataset: DatasetId) -> QueryGraph {
             cur = match rng.gen_range(0..8) {
                 0 => b.filter(
                     cur,
-                    Expr::col(rng.gen_range(0..2))
-                        .ge(Expr::lit(rng.gen_range(0..30) as i64)),
+                    Expr::col(rng.gen_range(0..2)).ge(Expr::lit(rng.gen_range(0..30) as i64)),
                 ),
                 1 => b.exchange(
                     cur,
@@ -90,7 +107,10 @@ fn random_plan(seed: u64, dataset: DatasetId) -> QueryGraph {
                 5 => b.reduce(
                     cur,
                     Udo::new(
-                        UdoKind::TrimBand { col: 1, gap: rng.gen_range(0..5) },
+                        UdoKind::TrimBand {
+                            col: 1,
+                            gap: rng.gen_range(0..5),
+                        },
                         "PropLib",
                         "1.0",
                     ),
@@ -130,39 +150,48 @@ fn storage_with_table(seed: u64, dataset: DatasetId) -> StorageManager {
     storage
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Any random plan optimizes, executes, and produces identical output
-    /// multisets at every optimizer configuration (enforcers must never
-    /// change results).
-    #[test]
-    fn optimizer_preserves_semantics(seed in 0u64..10_000) {
+/// Any random plan optimizes, executes, and produces identical output
+/// multisets at every optimizer configuration (enforcers must never
+/// change results).
+#[test]
+fn optimizer_preserves_semantics() {
+    for_cases("optimizer_preserves_semantics", |case_rng| {
+        let seed = case_rng.gen_range(0u64..10_000);
         let dataset = DatasetId::new(9);
         let graph = random_plan(seed, dataset);
         let storage = storage_with_table(seed, dataset);
         let model = CostModel::default();
         let mut checksums = Vec::new();
         for dop in [2usize, 8] {
-            let cfg = OptimizerConfig { default_dop: dop, ..Default::default() };
+            let cfg = OptimizerConfig {
+                default_dop: dop,
+                ..Default::default()
+            };
             let plan = optimize(&graph, &[], &NoViewServices, &cfg, JobId::new(1)).unwrap();
             let exec = execute_plan(&plan.physical, &storage, &model, SimTime::ZERO).unwrap();
             let out = exec.outputs.values().next().unwrap();
             checksums.push((out.num_rows(), multiset_checksum(out)));
         }
-        prop_assert_eq!(checksums[0], checksums[1], "dop changed the answer");
-    }
+        assert_eq!(
+            checksums[0], checksums[1],
+            "dop changed the answer (seed {seed})"
+        );
+    });
+}
 
-    /// The full CloudViews cycle on a random plan: job A builds a view over
-    /// an annotated subgraph, job B (same computation, different output)
-    /// reuses it; both match the baseline bit-for-bit.
-    #[test]
-    fn reuse_cycle_preserves_semantics(seed in 0u64..10_000, node_pick in 0usize..64) {
+/// The full CloudViews cycle on a random plan: job A builds a view over
+/// an annotated subgraph, job B (same computation, different output)
+/// reuses it; both match the baseline bit-for-bit.
+#[test]
+fn reuse_cycle_preserves_semantics() {
+    for_cases("reuse_cycle_preserves_semantics", |case_rng| {
         use cloudviews::analyzer::SelectedView;
         use cloudviews::{CloudViews, RunMode};
         use scope_engine::optimizer::Annotation;
         use scope_plan::PhysicalProps;
 
+        let seed = case_rng.gen_range(0u64..10_000);
+        let node_pick = case_rng.gen_range(0usize..64);
         let dataset = DatasetId::new(9);
         let graph = random_plan(seed, dataset);
         let storage = Arc::new(storage_with_table(seed, dataset));
@@ -172,12 +201,12 @@ proptest! {
         let candidates: Vec<NodeId> = graph
             .nodes()
             .iter()
-            .filter(|n| {
-                !n.children.is_empty() && !matches!(n.op, Operator::Output { .. })
-            })
+            .filter(|n| !n.children.is_empty() && !matches!(n.op, Operator::Output { .. }))
             .map(|n| n.id)
             .collect();
-        prop_assume!(!candidates.is_empty());
+        if candidates.is_empty() {
+            return; // assume(): nothing to annotate in this shape
+        }
         let target = candidates[node_pick % candidates.len()];
         let signed = sign_graph(&graph).unwrap();
         let selected = SelectedView {
@@ -220,18 +249,34 @@ proptest! {
             .run_job_at(&spec(3, graph.clone()), RunMode::CloudViews, cv.clock.now())
             .unwrap();
 
-        prop_assert_eq!(&base.output_checksums, &build.output_checksums);
-        prop_assert_eq!(&base.output_checksums, &reuse.output_checksums);
-        prop_assert_eq!(build.views_built.len(), 1, "builder must build");
+        assert_eq!(
+            &base.output_checksums, &build.output_checksums,
+            "seed {seed}"
+        );
+        assert_eq!(
+            &base.output_checksums, &reuse.output_checksums,
+            "seed {seed}"
+        );
+        assert_eq!(
+            build.views_built.len(),
+            1,
+            "builder must build (seed {seed})"
+        );
         // The annotated subgraph may occur more than once in the random
         // plan (duplicated branches); every occurrence is rewritten.
-        prop_assert!(!reuse.views_reused.is_empty(), "reuser must reuse");
-    }
+        assert!(
+            !reuse.views_reused.is_empty(),
+            "reuser must reuse (seed {seed})"
+        );
+    });
+}
 
-    /// After lowering, every operator's required properties are satisfied
-    /// by what its children actually deliver.
-    #[test]
-    fn enforcers_satisfy_requirements(seed in 0u64..10_000) {
+/// After lowering, every operator's required properties are satisfied
+/// by what its children actually deliver.
+#[test]
+fn enforcers_satisfy_requirements() {
+    for_cases("enforcers_satisfy_requirements", |case_rng| {
+        let seed = case_rng.gen_range(0u64..10_000);
         let graph = random_plan(seed, DatasetId::new(9));
         let cfg = OptimizerConfig::default();
         let plan = optimize(&graph, &[], &NoViewServices, &cfg, JobId::new(1)).unwrap();
@@ -239,64 +284,89 @@ proptest! {
         // Recompute delivered props bottom-up.
         let mut delivered: Vec<scope_plan::PhysicalProps> = Vec::with_capacity(phys.len());
         for node in phys.nodes() {
-            let child_props: Vec<_> =
-                node.children.iter().map(|c| delivered[c.index()].clone()).collect();
+            let child_props: Vec<_> = node
+                .children
+                .iter()
+                .map(|c| delivered[c.index()].clone())
+                .collect();
             let reqs = node.op.required_props(node.children.len(), cfg.default_dop);
             for (i, &child) in node.children.iter().enumerate() {
                 if let Some(req) = reqs.get(i) {
-                    prop_assert!(
+                    assert!(
                         req.satisfied_by(&delivered[child.index()]),
-                        "node {} ({}) requirement {} unsatisfied by child delivering {}",
+                        "node {} ({}) requirement {} unsatisfied by child delivering {} (seed {})",
                         node.id,
                         node.op.describe(),
                         req.describe(),
-                        delivered[child.index()].describe()
+                        delivered[child.index()].describe(),
+                        seed
                     );
                 }
             }
             delivered.push(node.op.delivered_props(&child_props));
         }
-    }
+    });
+}
 
-    /// Recurring-delta invariance: rebinding GUIDs and date parameters
-    /// changes every precise signature on the path but no normalized one.
-    #[test]
-    fn signature_normalization_invariant(seed in 0u64..10_000) {
+/// Recurring-delta invariance: rebinding GUIDs and date parameters
+/// changes every precise signature on the path but no normalized one.
+#[test]
+fn signature_normalization_invariant() {
+    for_cases("signature_normalization_invariant", |case_rng| {
+        let seed = case_rng.gen_range(0u64..10_000);
         let g0 = random_plan(seed, DatasetId::new(100));
         let g1 = random_plan(seed, DatasetId::new(200)); // same shape, new GUID
         let s0 = sign_graph(&g0).unwrap();
         let s1 = sign_graph(&g1).unwrap();
         for (a, b) in s0.all().iter().zip(s1.all()) {
-            prop_assert_eq!(a.normalized, b.normalized);
+            assert_eq!(a.normalized, b.normalized, "seed {seed}");
         }
         // The roots' precise signatures must differ (they read new data).
         let r0 = g0.roots()[0];
-        prop_assert_ne!(s0.of(r0).precise, s1.of(r0).precise);
-    }
+        assert_ne!(s0.of(r0).precise, s1.of(r0).precise, "seed {seed}");
+    });
+}
 
-    /// The multiset checksum is invariant under arbitrary repartitioning.
-    #[test]
-    fn checksum_invariant_under_repartition(seed in 0u64..10_000, parts in 1usize..9) {
+/// The multiset checksum is invariant under arbitrary repartitioning.
+#[test]
+fn checksum_invariant_under_repartition() {
+    for_cases("checksum_invariant_under_repartition", |case_rng| {
+        let seed = case_rng.gen_range(0u64..10_000);
+        let parts = case_rng.gen_range(1usize..9);
         let mut rng = SmallRng::seed_from_u64(seed);
         let t = random_table(&mut rng, 200);
         let by_hash = t.hash_repartition(&[0], parts).unwrap();
         let by_rr = t.round_robin_repartition(parts).unwrap();
         let gathered = by_hash.gather();
         let c = multiset_checksum(&t);
-        prop_assert_eq!(multiset_checksum(&by_hash), c);
-        prop_assert_eq!(multiset_checksum(&by_rr), c);
-        prop_assert_eq!(multiset_checksum(&gathered), c);
-    }
+        assert_eq!(multiset_checksum(&by_hash), c, "seed {seed} parts {parts}");
+        assert_eq!(multiset_checksum(&by_rr), c, "seed {seed} parts {parts}");
+        assert_eq!(multiset_checksum(&gathered), c, "seed {seed} parts {parts}");
+    });
+}
 
-    /// Cost model monotonicity: more rows never costs less.
-    #[test]
-    fn cost_monotone(rows_a in 0u64..1_000_000, rows_b in 0u64..1_000_000) {
-        let (lo, hi) = if rows_a <= rows_b { (rows_a, rows_b) } else { (rows_b, rows_a) };
+/// Cost model monotonicity: more rows never costs less.
+#[test]
+fn cost_monotone() {
+    for_cases("cost_monotone", |case_rng| {
+        let rows_a = case_rng.gen_range(0u64..1_000_000);
+        let rows_b = case_rng.gen_range(0u64..1_000_000);
+        let (lo, hi) = if rows_a <= rows_b {
+            (rows_a, rows_b)
+        } else {
+            (rows_b, rows_a)
+        };
         let model = CostModel::default();
         for op in [
-            Operator::Filter { predicate: Expr::lit(true) },
-            Operator::Sort { order: SortOrder::asc(&[0]) },
-            Operator::Exchange { scheme: Partitioning::Single },
+            Operator::Filter {
+                predicate: Expr::lit(true),
+            },
+            Operator::Sort {
+                order: SortOrder::asc(&[0]),
+            },
+            Operator::Exchange {
+                scheme: Partitioning::Single,
+            },
             Operator::Aggregate {
                 keys: vec![0],
                 aggs: vec![],
@@ -305,26 +375,32 @@ proptest! {
         ] {
             let c_lo = model.op_cpu(&op, lo, lo, lo * 8);
             let c_hi = model.op_cpu(&op, hi, hi, hi * 8);
-            prop_assert!(c_lo <= c_hi, "{} regressed", op.describe());
+            assert!(
+                c_lo <= c_hi,
+                "{} regressed ({lo} vs {hi} rows)",
+                op.describe()
+            );
         }
-    }
+    });
+}
 
-    /// Build locks: under arbitrary interleavings of proposals from many
-    /// jobs, exactly one holds the lock at a time.
-    #[test]
-    fn lock_exclusivity(n_jobs in 2u64..12) {
+/// Build locks: under arbitrary interleavings of proposals from many
+/// jobs, exactly one holds the lock at a time.
+#[test]
+fn lock_exclusivity() {
+    for_cases("lock_exclusivity", |case_rng| {
         use cloudviews::{LockOutcome, MetadataService};
         use scope_common::time::SimClock;
+        let n_jobs = case_rng.gen_range(2u64..12);
         let svc = MetadataService::new(Arc::new(SimClock::new()), 1);
         let sig = Sig128::new(1, 2);
         let mut winners = 0;
         for j in 0..n_jobs {
-            if svc.propose(sig, JobId::new(j), SimDuration::from_secs(60))
-                == LockOutcome::Acquired
+            if svc.propose(sig, JobId::new(j), SimDuration::from_secs(60)) == LockOutcome::Acquired
             {
                 winners += 1;
             }
         }
-        prop_assert_eq!(winners, 1);
-    }
+        assert_eq!(winners, 1, "{n_jobs} jobs");
+    });
 }

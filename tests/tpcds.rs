@@ -46,7 +46,9 @@ fn tpcds_reuse_cycle_is_correct_for_all_queries() {
     );
     service.install_analysis(&analysis);
 
-    let enabled = service.run_sequence(&tpcds.all_jobs().unwrap(), RunMode::CloudViews).unwrap();
+    let enabled = service
+        .run_sequence(&tpcds.all_jobs().unwrap(), RunMode::CloudViews)
+        .unwrap();
     let mut reused = 0usize;
     let mut built = 0usize;
     for (b, e) in baseline.iter().zip(&enabled) {
