@@ -13,6 +13,7 @@ use cloudviews::MetadataService;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scope_common::hash::sip128;
 use scope_common::ids::JobId;
+use scope_common::telemetry::Telemetry;
 use scope_common::time::{SimClock, SimDuration, SimTime};
 use scope_engine::optimizer::{Annotation, AvailableView};
 use scope_plan::PhysicalProps;
@@ -35,19 +36,36 @@ fn selected(i: usize) -> SelectedView {
 }
 
 fn bench_metadata(c: &mut Criterion) {
-    let mut group = c.benchmark_group("metadata_lookup");
-    for n_annotations in [10usize, 100, 1_000] {
-        let svc = MetadataService::new(Arc::new(SimClock::new()), 5);
-        let views: Vec<SelectedView> = (0..n_annotations).map(selected).collect();
-        svc.load_annotations(&views);
-        let tags: Vec<String> = (0..5).map(|i| format!("in/stream{i}.ss")).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_annotations),
-            &tags,
-            |b, tags| b.iter(|| svc.relevant_views_for(std::hint::black_box(tags))),
-        );
+    // Telemetry overhead contract: the instrumented lookup path with an
+    // enabled sink must stay within a few percent of a disabled sink (the
+    // production opt-out), and a missing sink shows the absolute floor.
+    for (label, telemetry) in [
+        ("telemetry_on", Some(Telemetry::new())),
+        ("telemetry_off", Some(Telemetry::disabled())),
+        ("telemetry_none", None),
+    ] {
+        let mut group = c.benchmark_group(format!("metadata_lookup/{label}"));
+        for n_annotations in [10usize, 100, 1_000] {
+            let svc = MetadataService::new(Arc::new(SimClock::new()), 5);
+            svc.set_telemetry(telemetry.clone());
+            let views: Vec<SelectedView> = (0..n_annotations).map(selected).collect();
+            svc.load_annotations(&views);
+            let tags: Vec<String> = (0..5).map(|i| format!("in/stream{i}.ss")).collect();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(n_annotations),
+                &tags,
+                |b, tags| {
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        i += 1;
+                        svc.relevant_views_for(JobId::new(i), std::hint::black_box(tags))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
     }
-    group.finish();
 
     c.bench_function("metadata_propose_report", |b| {
         let svc = MetadataService::new(Arc::new(SimClock::new()), 5);
@@ -55,7 +73,9 @@ fn bench_metadata(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let sig = sip128(&i.to_le_bytes());
-            let lock = svc.propose(sig, JobId::new(i), SimDuration::from_secs(60));
+            let lock = svc
+                .propose(sig, JobId::new(i), SimDuration::from_secs(60))
+                .unwrap();
             std::hint::black_box(lock);
             svc.report_materialized(
                 AvailableView {
@@ -67,7 +87,8 @@ fn bench_metadata(c: &mut Criterion) {
                 JobId::new(i),
                 SimTime::ZERO,
                 SimTime::MAX,
-            );
+            )
+            .unwrap();
         })
     });
 }

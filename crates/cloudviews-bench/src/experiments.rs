@@ -273,7 +273,7 @@ pub fn fig5(seed: u64, row_scale: f64) -> Result<String> {
     let mut config = WorkloadConfig::paper_business_unit(seed);
     config.clusters[0].num_templates = 150; // executed, so keep it tractable
     let workload = RecurringWorkload::generate(config)?;
-    let mut service = CloudViews::new(Arc::new(StorageManager::new()));
+    let mut service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     // Impact ratios need compute to dominate scheduling overhead, as it
     // does in production; shrink the per-vertex overhead accordingly.
     service.cluster.vertex_overhead = SimDuration::from_millis(1);
@@ -342,7 +342,7 @@ pub fn fig5(seed: u64, row_scale: f64) -> Result<String> {
 /// CloudViews (paper: average latency +43%, total +60%; average CPU +36%,
 /// total +54%; the three materializing jobs regress).
 pub fn fig11_12(row_scale: f64) -> Result<String> {
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
 
     // Day 0: baseline to fill the repository.
     prod32::register_data(&service.storage, 0, row_scale)?;
@@ -396,7 +396,7 @@ pub fn fig11_12(row_scale: f64) -> Result<String> {
 /// peaks around ±62%).
 pub fn fig13(scale: f64) -> Result<String> {
     let tpcds = TpcdsWorkload::new(scale, 1);
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     tpcds.register_data(&service.storage)?;
     let jobs = tpcds.all_jobs()?;
     let baseline = service.run_sequence(&jobs, RunMode::Baseline)?;
@@ -467,7 +467,7 @@ pub fn overheads(scale: f64) -> Result<String> {
 
     // (2) Optimizer overhead on TPC-DS: baseline vs materialize vs reuse.
     let tpcds = TpcdsWorkload::new(scale, 1);
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     tpcds.register_data(&service.storage)?;
     let jobs = tpcds.all_jobs()?;
     let baseline = service.run_sequence(&jobs, RunMode::Baseline)?;
@@ -566,7 +566,7 @@ fn run_prod32_with_views_rows(
     shared_rows: [u64; 3],
     mut select: impl FnMut(&CloudViews) -> Result<Vec<cloudviews::SelectedView>>,
 ) -> Result<(SimDuration, SimDuration, usize)> {
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     prod32::register_data_with(&service.storage, 0, row_scale, shared_rows)?;
     service.run_sequence(&prod32::jobs(0)?, RunMode::Baseline)?;
     let selected = select(&service)?;
@@ -682,7 +682,7 @@ pub fn ablation_coordination(row_scale: f64) -> Result<String> {
     // job of each overlap group first, so its view publishes earliest and
     // the most overlapping jobs catch it.
     for (label, hinted) in [("hinted_order", true), ("reverse_order", false)] {
-        let service = CloudViews::new(Arc::new(StorageManager::new()));
+        let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
         prod32::register_data(&service.storage, 0, row_scale)?;
         service.run_sequence(&prod32::jobs(0)?, RunMode::Baseline)?;
         let analysis = service.analyze(&production)?;
@@ -713,7 +713,7 @@ pub fn ablation_coordination(row_scale: f64) -> Result<String> {
 
     // (b) Concurrent arrivals, early materialization on vs off: reuse count.
     for early in [true, false] {
-        let mut service = CloudViews::new(Arc::new(StorageManager::new()));
+        let mut service = CloudViews::builder(Arc::new(StorageManager::new())).build();
         service.early_materialization = early;
         prod32::register_data(&service.storage, 0, row_scale)?;
         service.run_sequence(&prod32::jobs(0)?, RunMode::Baseline)?;
@@ -751,7 +751,7 @@ pub fn ablation_selection(row_scale: f64) -> Result<String> {
     // Probe the candidate view sizes once, then set a budget that fits
     // roughly two of the three views — forcing packing to actually pack.
     let probe = {
-        let service = CloudViews::new(Arc::new(StorageManager::new()));
+        let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
         prod32::register_data(&service.storage, 0, row_scale)?;
         service.run_sequence(&prod32::jobs(0)?, RunMode::Baseline)?;
         service.analyze(&AnalyzerConfig {
@@ -808,7 +808,7 @@ pub fn ablation_selection(row_scale: f64) -> Result<String> {
 /// baseline; returns a one-line confirmation. Also exercised by the
 /// integration tests.
 pub fn verify_correctness(row_scale: f64) -> Result<String> {
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     prod32::register_data(&service.storage, 0, row_scale)?;
     service.run_sequence(&prod32::jobs(0)?, RunMode::Baseline)?;
     let analysis = service.analyze(&AnalyzerConfig {

@@ -291,6 +291,58 @@ pub fn fault_dashboard(service: &CloudViews, reports: &[crate::runtime::JobRunRe
     out
 }
 
+/// The operator-facing observability dashboard: a one-screen summary of the
+/// job-outcome, metadata, and storage series from the service's telemetry
+/// sink, followed by the full Prometheus exposition (scrape-ready).
+///
+/// Complements [`fault_dashboard`]: that one joins per-job degradation
+/// reports; this one is the service-wide counter/histogram view.
+pub fn telemetry_dashboard(service: &CloudViews) -> String {
+    let t = &service.telemetry;
+    let snap = t.metrics.snapshot();
+    let mut out = format!(
+        "jobs: total={} reuse_hit={} build={} baseline_fallback={} failed={} restarts={}\n",
+        snap.counter("cv_jobs_total"),
+        snap.counter("cv_jobs_reuse_hit_total"),
+        snap.counter("cv_jobs_build_total"),
+        snap.counter("cv_jobs_baseline_fallback_total"),
+        snap.counter("cv_jobs_failed_total"),
+        snap.counter("cv_jobs_restarts_total"),
+    );
+    let lookup_ms = snap
+        .histogram("cv_metadata_lookup_sim_micros")
+        .map(|h| h.mean() / 1e3)
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "metadata: lookups={} misses={} mean_lookup={:.1}ms locks_granted={} \
+         conflicts={} active_locks={}\n",
+        snap.counter("cv_metadata_lookups_total"),
+        snap.counter("cv_metadata_lookup_misses_total"),
+        lookup_ms,
+        snap.counter("cv_metadata_locks_granted_total"),
+        snap.counter("cv_metadata_lock_conflicts_total"),
+        snap.gauge("cv_metadata_build_locks"),
+    ));
+    out.push_str(&format!(
+        "storage: published={} written={}B read={}B checksum_failures={} \
+         purged={}B live={}B\n",
+        snap.counter("cv_storage_views_published_total"),
+        snap.counter("cv_storage_bytes_written_total"),
+        snap.counter("cv_storage_bytes_read_total"),
+        snap.counter("cv_storage_checksum_failures_total"),
+        snap.counter("cv_storage_bytes_purged_total"),
+        snap.gauge("cv_storage_view_bytes"),
+    ));
+    out.push_str(&format!(
+        "spans: retained={} dropped={}\n",
+        t.tracer.finished().len(),
+        t.tracer.dropped(),
+    ));
+    out.push_str("\n# Prometheus exposition\n");
+    out.push_str(&snap.prometheus_text());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,7 +360,7 @@ mod tests {
             stream_rows: LogNormal::new(6.0, 0.5, 150.0, 1_500.0),
         })
         .unwrap();
-        let cv = CloudViews::new(Arc::new(StorageManager::new()));
+        let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
         w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
         cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
             .unwrap();
@@ -439,6 +491,27 @@ mod tests {
         assert!(text.contains("injected: total="), "{text}");
         assert!(text.contains("failed_lookups="), "{text}");
         assert!(text.contains("TOTAL"), "{text}");
+    }
+
+    #[test]
+    fn telemetry_dashboard_renders_live_series() {
+        let (cv, _) = running_service();
+        let text = telemetry_dashboard(&cv);
+        assert!(text.contains("jobs: total="), "{text}");
+        assert!(!text.contains("jobs: total=0"), "jobs ran: {text}");
+        assert!(text.contains("mean_lookup="), "{text}");
+        assert!(text.contains("storage: published="), "{text}");
+        assert!(text.contains("# TYPE cv_jobs_total counter"), "{text}");
+        assert!(text.contains("cv_job_latency_sim_micros_count"), "{text}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_matches_builder_defaults() {
+        let cv = CloudViews::new(Arc::new(StorageManager::new()));
+        assert_eq!(cv.max_materialize_per_job, 1);
+        assert!(cv.early_materialization);
+        assert!(cv.telemetry.is_enabled());
     }
 
     #[test]

@@ -79,6 +79,20 @@ impl Default for AnalyzerConfig {
     }
 }
 
+/// Wall-clock time per analyzer phase (Section 7.3 overhead, drilled down
+/// for the `cv_analyzer_*` telemetry series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnalysisPhaseTimes {
+    /// Window/VC filtering of repository records.
+    pub filter: std::time::Duration,
+    /// Overlap enumeration: mining, workload metrics, lineage tracking.
+    pub mining: std::time::Duration,
+    /// View selection under the configured policy and constraints.
+    pub selection: std::time::Duration,
+    /// Physical design, TTL assignment, and coordination hints.
+    pub design: std::time::Duration,
+}
+
 /// The analyzer's output: annotations plus coordination hints.
 #[derive(Clone, Debug)]
 pub struct AnalysisOutcome {
@@ -92,6 +106,8 @@ pub struct AnalysisOutcome {
     pub order_hints: Vec<scope_common::ids::TemplateId>,
     /// Wall-clock time of the analysis (Section 7.3 overhead).
     pub wall_time: std::time::Duration,
+    /// Per-phase breakdown of `wall_time`.
+    pub phase_times: AnalysisPhaseTimes,
     /// Jobs analyzed after window/VC filtering.
     pub jobs_analyzed: usize,
 }
@@ -99,6 +115,7 @@ pub struct AnalysisOutcome {
 /// Runs the full analysis over repository records.
 pub fn run_analysis(records: &[JobRecord], config: &AnalyzerConfig) -> Result<AnalysisOutcome> {
     let start = std::time::Instant::now();
+    let mut phase_times = AnalysisPhaseTimes::default();
     let filtered: Vec<&JobRecord> = records
         .iter()
         .filter(|r| r.submitted_at >= config.window_from && r.submitted_at < config.window_to)
@@ -111,12 +128,19 @@ pub fn run_analysis(records: &[JobRecord], config: &AnalyzerConfig) -> Result<An
                 && !config.exclude_vcs.contains(&r.vc)
         })
         .collect();
+    phase_times.filter = start.elapsed();
 
+    let phase = std::time::Instant::now();
     let groups = mine_overlaps(&filtered);
     let metrics = overlap_metrics(&filtered);
     let lineage = expiry::LineageTracker::from_records(&filtered);
-    let chosen = selection::select(&groups, &config.policy, &config.constraints);
+    phase_times.mining = phase.elapsed();
 
+    let phase = std::time::Instant::now();
+    let chosen = selection::select(&groups, &config.policy, &config.constraints);
+    phase_times.selection = phase.elapsed();
+
+    let phase = std::time::Instant::now();
     let mut selected = Vec::with_capacity(chosen.len());
     for g in &chosen {
         let props = physical::choose_design(g);
@@ -138,6 +162,7 @@ pub fn run_analysis(records: &[JobRecord], config: &AnalyzerConfig) -> Result<An
     }
 
     let order_hints = coordination::order_hints(&chosen, &filtered);
+    phase_times.design = phase.elapsed();
 
     Ok(AnalysisOutcome {
         selected,
@@ -145,6 +170,7 @@ pub fn run_analysis(records: &[JobRecord], config: &AnalyzerConfig) -> Result<An
         metrics,
         order_hints,
         wall_time: start.elapsed(),
+        phase_times,
         jobs_analyzed: filtered.len(),
     })
 }

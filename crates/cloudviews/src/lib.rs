@@ -37,12 +37,14 @@
 //! use scope_engine::storage::StorageManager;
 //! use std::sync::Arc;
 //!
-//! let service = CloudViews::new(Arc::new(StorageManager::new()));
+//! let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
 //! // 1. run jobs with CloudViews disabled to fill the workload repository,
 //! // 2. run the analyzer,
 //! // 3. run the next recurring instance with CloudViews enabled.
 //! let analysis = service.analyze(&AnalyzerConfig::default()).unwrap();
 //! service.install_analysis(&analysis);
+//! // Observability: every run lands in `service.telemetry`.
+//! println!("{}", service.telemetry.metrics.prometheus_text());
 //! ```
 
 pub mod admin;
@@ -54,5 +56,8 @@ pub mod runtime;
 
 pub use analyzer::{AnalysisOutcome, AnalyzerConfig, SelectedView, SelectionPolicy};
 pub use faults::{FaultInjector, FaultPlan, FaultSite, InjectedFaults, ScriptedFault};
-pub use metadata::{LockOutcome, MetadataService};
-pub use runtime::{CloudViews, DegradationPolicy, JobFaultReport, RunMode};
+pub use metadata::{LockOutcome, LookupResponse, MetadataService};
+pub use runtime::{
+    CloudViews, CloudViewsBuilder, DegradationPolicy, JobFaultReport, JobRunReport, PurgeReport,
+    RunMode,
+};

@@ -20,10 +20,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
+use scope_common::telemetry::{Counter, Gauge, Histogram, MetricUnit, Telemetry};
 use scope_common::time::{SimClock, SimDuration, SimTime};
 use scope_common::{Result, ScopeError};
 use scope_engine::optimizer::{Annotation, AvailableView, ViewServices};
@@ -40,6 +42,73 @@ pub enum LockOutcome {
     AlreadyLocked,
     /// The view already exists; nothing to build.
     AlreadyMaterialized,
+}
+
+/// Typed result of the per-job annotation lookup (replaces the old
+/// `(Vec<Annotation>, SimDuration)` tuple).
+#[derive(Clone, Debug, Default)]
+pub struct LookupResponse {
+    /// Annotations whose tags intersect the job's tags (an
+    /// over-approximation the optimizer narrows by matching signatures).
+    pub annotations: Vec<Annotation>,
+    /// Modeled service latency for the request.
+    pub latency: SimDuration,
+    /// Number of the job's tags that hit the inverted index.
+    pub hit_count: usize,
+}
+
+/// Cached telemetry handles for the service's hot paths: resolved once at
+/// [`MetadataService::set_telemetry`], then one atomic op per event.
+struct MetadataMetrics {
+    sink: Arc<Telemetry>,
+    lookups: Counter,
+    lookup_annotations: Counter,
+    lookup_tag_hits: Counter,
+    lookup_misses: Counter,
+    lookup_faults: Counter,
+    lookup_sim_micros: Histogram,
+    lookup_wall_micros: Histogram,
+    proposes: Counter,
+    locks_granted: Counter,
+    lock_conflicts: Counter,
+    already_materialized: Counter,
+    expired_takeovers: Counter,
+    propose_faults: Counter,
+    report_faults: Counter,
+    views_registered: Counter,
+    build_locks: Gauge,
+    registered_views: Gauge,
+}
+
+impl MetadataMetrics {
+    fn new(sink: Arc<Telemetry>) -> MetadataMetrics {
+        let m = &sink.metrics;
+        MetadataMetrics {
+            lookups: m.counter("cv_metadata_lookups_total"),
+            lookup_annotations: m.counter("cv_metadata_lookup_annotations_total"),
+            lookup_tag_hits: m.counter("cv_metadata_lookup_tag_hits_total"),
+            lookup_misses: m.counter("cv_metadata_lookup_misses_total"),
+            lookup_faults: m.counter("cv_metadata_lookup_faults_total"),
+            lookup_sim_micros: m.histogram("cv_metadata_lookup_sim_micros", MetricUnit::SimMicros),
+            lookup_wall_micros: m
+                .histogram("cv_metadata_lookup_wall_micros", MetricUnit::WallMicros),
+            proposes: m.counter("cv_metadata_proposes_total"),
+            locks_granted: m.counter("cv_metadata_locks_granted_total"),
+            lock_conflicts: m.counter("cv_metadata_lock_conflicts_total"),
+            already_materialized: m.counter("cv_metadata_already_materialized_total"),
+            expired_takeovers: m.counter("cv_metadata_expired_takeovers_total"),
+            propose_faults: m.counter("cv_metadata_propose_faults_total"),
+            report_faults: m.counter("cv_metadata_report_faults_total"),
+            views_registered: m.counter("cv_metadata_views_registered_total"),
+            build_locks: m.gauge("cv_metadata_build_locks"),
+            registered_views: m.gauge("cv_metadata_registered_views"),
+            sink,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
 }
 
 /// A registered, currently materialized view.
@@ -98,8 +167,10 @@ pub struct MetadataService {
     /// Number of service threads (affects modeled lookup latency).
     service_threads: usize,
     stats: Mutex<MetadataStats>,
-    /// Optional fault injector consulted by the `try_*` entrypoints.
+    /// Optional fault injector consulted by the fallible entrypoints.
     faults: RwLock<Option<Arc<FaultInjector>>>,
+    /// Optional telemetry sink with pre-resolved handles.
+    telemetry: RwLock<Option<MetadataMetrics>>,
 }
 
 impl MetadataService {
@@ -114,13 +185,20 @@ impl MetadataService {
             service_threads: service_threads.max(1),
             stats: Mutex::new(MetadataStats::default()),
             faults: RwLock::new(None),
+            telemetry: RwLock::new(None),
         }
     }
 
-    /// Installs (or clears) the fault injector consulted by the `try_*`
+    /// Installs (or clears) the fault injector consulted by the fallible
     /// entrypoints. Without one, every call succeeds.
     pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
         *self.faults.write() = injector;
+    }
+
+    /// Installs (or clears) the telemetry sink. Handles are resolved once
+    /// here so per-call recording is a handful of atomic operations.
+    pub fn set_telemetry(&self, sink: Option<Arc<Telemetry>>) {
+        *self.telemetry.write() = sink.map(MetadataMetrics::new);
     }
 
     fn injected_failure(&self, site: FaultSite, job: JobId) -> bool {
@@ -149,16 +227,35 @@ impl MetadataService {
         }
     }
 
-    /// Figure 9 steps 1/2: one lookup per job. Returns every annotation
-    /// whose tags intersect the job's tags (an over-approximation the
-    /// optimizer narrows by matching actual signatures), plus the modeled
-    /// service latency for the request.
-    pub fn relevant_views_for(&self, job_tags: &[String]) -> (Vec<Annotation>, SimDuration) {
+    /// Figure 9 steps 1/2: one lookup per job, attributed to `job` so the
+    /// fault injector can fail it deterministically. Returns every
+    /// annotation whose tags intersect the job's tags (an
+    /// over-approximation the optimizer narrows by matching actual
+    /// signatures), plus the modeled service latency for the request.
+    ///
+    /// **Fault-injection contract:** when the installed injector fires
+    /// [`FaultSite::MetadataLookup`] for `job`, the call returns
+    /// `ServiceUnavailable` and the index is never consulted. The runtime
+    /// retries with backoff and then falls back to the baseline plan
+    /// (DESIGN.md "Fault tolerance & degradation").
+    pub fn relevant_views_for(&self, job: JobId, job_tags: &[String]) -> Result<LookupResponse> {
+        if self.injected_failure(FaultSite::MetadataLookup, job) {
+            self.stats.lock().failed_lookups += 1;
+            if let Some(t) = self.telemetry.read().as_ref() {
+                t.lookup_faults.inc();
+            }
+            return Err(ScopeError::ServiceUnavailable(format!(
+                "metadata lookup for {job} timed out"
+            )));
+        }
+        let wall_start = Instant::now();
         let inverted = self.inverted.read();
         let annotations = self.annotations.read();
         let mut sigs: HashSet<Sig128> = HashSet::new();
+        let mut hit_count = 0usize;
         for tag in job_tags {
             if let Some(set) = inverted.get(tag) {
+                hit_count += 1;
                 sigs.extend(set.iter().copied());
             }
         }
@@ -169,67 +266,26 @@ impl MetadataService {
         let mut stats = self.stats.lock();
         stats.lookups += 1;
         stats.annotations_returned += result.len() as u64;
-        (result, self.lookup_latency())
-    }
-
-    /// Fault-aware wrapper around [`MetadataService::relevant_views_for`]:
-    /// the one-per-job lookup, attributed to `job` so the fault injector can
-    /// fail it deterministically. The runtime retries with backoff and then
-    /// falls back to the baseline plan (DESIGN.md "Fault tolerance &
-    /// degradation").
-    pub fn try_relevant_views_for(
-        &self,
-        job: JobId,
-        job_tags: &[String],
-    ) -> Result<(Vec<Annotation>, SimDuration)> {
-        if self.injected_failure(FaultSite::MetadataLookup, job) {
-            self.stats.lock().failed_lookups += 1;
-            return Err(ScopeError::ServiceUnavailable(format!(
-                "metadata lookup for {job} timed out"
-            )));
+        drop(stats);
+        let latency = self.lookup_latency();
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.lookups.inc();
+            t.lookup_annotations.add(result.len() as u64);
+            t.lookup_tag_hits.add(hit_count as u64);
+            if result.is_empty() {
+                t.lookup_misses.inc();
+            }
+            if t.enabled() {
+                t.lookup_sim_micros.record(latency.micros());
+                t.lookup_wall_micros
+                    .record(wall_start.elapsed().as_micros() as u64);
+            }
         }
-        Ok(self.relevant_views_for(job_tags))
-    }
-
-    /// Fault-aware wrapper around [`MetadataService::propose`]. On an
-    /// injected failure the proposal is lost: no lock is granted and the
-    /// caller simply skips materializing (the view stays buildable by a
-    /// later job).
-    pub fn try_propose(
-        &self,
-        precise: Sig128,
-        job: JobId,
-        lock_ttl: SimDuration,
-    ) -> Result<LockOutcome> {
-        if self.injected_failure(FaultSite::Propose, job) {
-            self.stats.lock().failed_proposals += 1;
-            return Err(ScopeError::ServiceUnavailable(format!(
-                "propose({precise}) by {job} timed out"
-            )));
-        }
-        Ok(self.propose(precise, job, lock_ttl))
-    }
-
-    /// Fault-aware wrapper around [`MetadataService::report_materialized`].
-    /// On an injected failure the report is lost: the built file exists in
-    /// storage but is never registered, and the builder's lock lapses at
-    /// its mined expiry instead of being released.
-    pub fn try_report_materialized(
-        &self,
-        view: AvailableView,
-        producer: JobId,
-        available_at: SimTime,
-        expires_at: SimTime,
-    ) -> Result<()> {
-        if self.injected_failure(FaultSite::ReportMaterialized, producer) {
-            self.stats.lock().failed_reports += 1;
-            return Err(ScopeError::ServiceUnavailable(format!(
-                "report_materialized({}) by {producer} timed out",
-                view.precise
-            )));
-        }
-        self.report_materialized(view, producer, available_at, expires_at);
-        Ok(())
+        Ok(LookupResponse {
+            annotations: result,
+            latency,
+            hit_count,
+        })
     }
 
     /// Modeled lookup latency: a fixed network+query base plus a service
@@ -243,8 +299,49 @@ impl MetadataService {
     /// Figure 9 steps 3/4: propose to materialize `precise`. Grants an
     /// exclusive lock expiring after `lock_ttl` (mined from the subgraph's
     /// average runtime) unless the view exists or the lock is taken.
-    pub fn propose(&self, precise: Sig128, job: JobId, lock_ttl: SimDuration) -> LockOutcome {
+    ///
+    /// **Fault-injection contract:** when the injector fires
+    /// [`FaultSite::Propose`] for `job`, the proposal is lost: no lock is
+    /// granted, the call returns `ServiceUnavailable`, and the caller simply
+    /// skips materializing (the view stays buildable by a later job).
+    pub fn propose(
+        &self,
+        precise: Sig128,
+        job: JobId,
+        lock_ttl: SimDuration,
+    ) -> Result<LockOutcome> {
+        if self.injected_failure(FaultSite::Propose, job) {
+            self.stats.lock().failed_proposals += 1;
+            if let Some(t) = self.telemetry.read().as_ref() {
+                t.propose_faults.inc();
+            }
+            return Err(ScopeError::ServiceUnavailable(format!(
+                "propose({precise}) by {job} timed out"
+            )));
+        }
         let now = self.clock.now();
+        let outcome = self.propose_locked(precise, job, lock_ttl, now);
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.proposes.inc();
+            match outcome {
+                LockOutcome::Acquired => t.locks_granted.inc(),
+                LockOutcome::AlreadyLocked => t.lock_conflicts.inc(),
+                LockOutcome::AlreadyMaterialized => t.already_materialized.inc(),
+            }
+            t.build_locks.set(self.num_locks() as i64);
+        }
+        Ok(outcome)
+    }
+
+    /// The lock-protocol core, always infallible (fault checks and
+    /// telemetry happen in [`MetadataService::propose`]).
+    fn propose_locked(
+        &self,
+        precise: Sig128,
+        job: JobId,
+        lock_ttl: SimDuration,
+        now: SimTime,
+    ) -> LockOutcome {
         if self.lookup_view(precise, now).is_some() {
             self.stats.lock().already_materialized += 1;
             return LockOutcome::AlreadyMaterialized;
@@ -283,6 +380,10 @@ impl MetadataService {
                 stats.locks_granted += 1;
                 if takeover {
                     stats.expired_takeovers += 1;
+                    drop(stats);
+                    if let Some(t) = self.telemetry.read().as_ref() {
+                        t.expired_takeovers.inc();
+                    }
                 }
                 LockOutcome::Acquired
             }
@@ -320,7 +421,36 @@ impl MetadataService {
     /// materialization; the lock is released and the view becomes visible
     /// to future lookups from `available_at` (early materialization may
     /// pre-date job completion).
+    ///
+    /// **Fault-injection contract:** when the injector fires
+    /// [`FaultSite::ReportMaterialized`] for `producer`, the report is
+    /// lost: the built file exists in storage but is never registered, and
+    /// the builder's lock lapses at its mined expiry instead of being
+    /// released.
     pub fn report_materialized(
+        &self,
+        view: AvailableView,
+        producer: JobId,
+        available_at: SimTime,
+        expires_at: SimTime,
+    ) -> Result<()> {
+        if self.injected_failure(FaultSite::ReportMaterialized, producer) {
+            self.stats.lock().failed_reports += 1;
+            if let Some(t) = self.telemetry.read().as_ref() {
+                t.report_faults.inc();
+            }
+            return Err(ScopeError::ServiceUnavailable(format!(
+                "report_materialized({}) by {producer} timed out",
+                view.precise
+            )));
+        }
+        self.register_view(view, producer, available_at, expires_at);
+        Ok(())
+    }
+
+    /// Infallible registration core: used by `report_materialized` and by
+    /// tests that need to seed views without a fault plan in the way.
+    pub fn register_view(
         &self,
         view: AvailableView,
         producer: JobId,
@@ -341,6 +471,11 @@ impl MetadataService {
         });
         self.locks.lock().remove(&precise);
         self.stats.lock().views_registered += 1;
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.views_registered.inc();
+            t.build_locks.set(self.num_locks() as i64);
+            t.registered_views.set(self.num_views() as i64);
+        }
     }
 
     /// View lookup as of an explicit time (used by the runtime to pin a
@@ -370,7 +505,13 @@ impl MetadataService {
         let before = views.len();
         views.retain(|_, v| v.expires_at > now);
         let purged = before - views.len();
+        let remaining = views.len();
+        drop(views);
         self.locks.lock().retain(|_, l| l.expires_at > now);
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.build_locks.set(self.num_locks() as i64);
+            t.registered_views.set(remaining as i64);
+        }
         purged
     }
 
@@ -417,7 +558,12 @@ impl ViewServices for MetadataService {
         job: JobId,
         lock_ttl: SimDuration,
     ) -> bool {
-        self.propose(precise, job, lock_ttl) == LockOutcome::Acquired
+        // An injected propose fault surfaces as "lock not granted": the
+        // optimizer simply skips that materialization.
+        matches!(
+            self.propose(precise, job, lock_ttl),
+            Ok(LockOutcome::Acquired)
+        )
     }
 }
 
@@ -467,16 +613,22 @@ mod tests {
             selected(n2, &["in/c.ss"]),
         ]);
         assert_eq!(m.num_annotations(), 2);
-        let (hits, latency) = m.relevant_views_for(&["in/b.ss".into()]);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].normalized, n1);
-        assert!(latency > SimDuration::ZERO);
+        let job = JobId::new(1);
+        let r = m.relevant_views_for(job, &["in/b.ss".into()]).unwrap();
+        assert_eq!(r.annotations.len(), 1);
+        assert_eq!(r.annotations[0].normalized, n1);
+        assert_eq!(r.hit_count, 1);
+        assert!(r.latency > SimDuration::ZERO);
         // Multi-tag job gets the union.
-        let (hits, _) = m.relevant_views_for(&["in/a.ss".into(), "in/c.ss".into()]);
-        assert_eq!(hits.len(), 2);
+        let r = m
+            .relevant_views_for(job, &["in/a.ss".into(), "in/c.ss".into()])
+            .unwrap();
+        assert_eq!(r.annotations.len(), 2);
+        assert_eq!(r.hit_count, 2);
         // Unknown tags: empty.
-        let (hits, _) = m.relevant_views_for(&["in/zzz.ss".into()]);
-        assert!(hits.is_empty());
+        let r = m.relevant_views_for(job, &["in/zzz.ss".into()]).unwrap();
+        assert!(r.annotations.is_empty());
+        assert_eq!(r.hit_count, 0);
         assert_eq!(m.stats().lookups, 3);
     }
 
@@ -485,9 +637,9 @@ mod tests {
         let m = service();
         m.load_annotations(&[selected(sip128(b"old"), &["t"])]);
         m.load_annotations(&[selected(sip128(b"new"), &["t"])]);
-        let (hits, _) = m.relevant_views_for(&["t".into()]);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].normalized, sip128(b"new"));
+        let r = m.relevant_views_for(JobId::new(1), &["t".into()]).unwrap();
+        assert_eq!(r.annotations.len(), 1);
+        assert_eq!(r.annotations[0].normalized, sip128(b"new"));
     }
 
     #[test]
@@ -495,15 +647,25 @@ mod tests {
         let m = service();
         let p = sip128(b"view");
         let ttl = SimDuration::from_secs(60);
-        assert_eq!(m.propose(p, JobId::new(1), ttl), LockOutcome::Acquired);
-        // Second job is refused.
-        assert_eq!(m.propose(p, JobId::new(2), ttl), LockOutcome::AlreadyLocked);
-        // The holder itself may re-propose (idempotent re-acquire).
-        assert_eq!(m.propose(p, JobId::new(1), ttl), LockOutcome::Acquired);
-        // After the build is reported, proposals see AlreadyMaterialized.
-        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX);
         assert_eq!(
-            m.propose(p, JobId::new(3), ttl),
+            m.propose(p, JobId::new(1), ttl).unwrap(),
+            LockOutcome::Acquired
+        );
+        // Second job is refused.
+        assert_eq!(
+            m.propose(p, JobId::new(2), ttl).unwrap(),
+            LockOutcome::AlreadyLocked
+        );
+        // The holder itself may re-propose (idempotent re-acquire).
+        assert_eq!(
+            m.propose(p, JobId::new(1), ttl).unwrap(),
+            LockOutcome::Acquired
+        );
+        // After the build is reported, proposals see AlreadyMaterialized.
+        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
+            .unwrap();
+        assert_eq!(
+            m.propose(p, JobId::new(3), ttl).unwrap(),
             LockOutcome::AlreadyMaterialized
         );
         let stats = m.stats();
@@ -517,13 +679,15 @@ mod tests {
         let m = MetadataService::new(Arc::clone(&clock), 1);
         let p = sip128(b"crashy");
         assert_eq!(
-            m.propose(p, JobId::new(1), SimDuration::from_secs(10)),
+            m.propose(p, JobId::new(1), SimDuration::from_secs(10))
+                .unwrap(),
             LockOutcome::Acquired
         );
         // Builder "crashes"; 11 seconds later another job may take over.
         clock.advance(SimDuration::from_secs(11));
         assert_eq!(
-            m.propose(p, JobId::new(2), SimDuration::from_secs(10)),
+            m.propose(p, JobId::new(2), SimDuration::from_secs(10))
+                .unwrap(),
             LockOutcome::Acquired
         );
     }
@@ -540,7 +704,8 @@ mod tests {
             JobId::new(1),
             SimTime(5_000_000),
             SimTime(10_000_000),
-        );
+        )
+        .unwrap();
         assert!(m.view_available(p).is_none(), "not yet available");
         clock.advance(SimDuration::from_secs(6));
         assert!(m.view_available(p).is_some());
@@ -554,7 +719,8 @@ mod tests {
     fn unregister_clears_metadata_first() {
         let m = service();
         let p = sip128(b"gone");
-        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX);
+        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
+            .unwrap();
         m.unregister_views(&[p]);
         assert!(m.view_available(p).is_none());
     }
@@ -581,6 +747,7 @@ mod tests {
                 let wins = Arc::clone(&wins);
                 std::thread::spawn(move || {
                     if m.propose(p, JobId::new(i), SimDuration::from_secs(60))
+                        .unwrap()
                         == LockOutcome::Acquired
                     {
                         wins.fetch_add(1, Ordering::SeqCst);
@@ -603,14 +770,18 @@ mod tests {
         let m = Arc::new(MetadataService::new(Arc::clone(&clock), 1));
         let p = sip128(b"crashed-builder");
         assert_eq!(
-            m.propose(p, JobId::new(99), SimDuration::from_secs(10)),
+            m.propose(p, JobId::new(99), SimDuration::from_secs(10))
+                .unwrap(),
             LockOutcome::Acquired
         );
         clock.advance(SimDuration::from_secs(11)); // builder crashed; lock lapsed
         let handles: Vec<_> = (0..12)
             .map(|i| {
                 let m = Arc::clone(&m);
-                std::thread::spawn(move || m.propose(p, JobId::new(i), SimDuration::from_secs(60)))
+                std::thread::spawn(move || {
+                    m.propose(p, JobId::new(i), SimDuration::from_secs(60))
+                        .unwrap()
+                })
             })
             .collect();
         let outcomes: Vec<LockOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
@@ -640,14 +811,18 @@ mod tests {
             let builder = {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
-                    assert_eq!(m.propose(p, JobId::new(1), ttl), LockOutcome::Acquired);
-                    m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX);
+                    assert_eq!(
+                        m.propose(p, JobId::new(1), ttl).unwrap(),
+                        LockOutcome::Acquired
+                    );
+                    m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
+                        .unwrap();
                 })
             };
             let contender = {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || loop {
-                    match m.propose(p, JobId::new(2), ttl) {
+                    match m.propose(p, JobId::new(2), ttl).unwrap() {
                         LockOutcome::Acquired => break false,
                         LockOutcome::AlreadyMaterialized => break true,
                         LockOutcome::AlreadyLocked => std::hint::spin_loop(),
@@ -694,30 +869,30 @@ mod tests {
         m.set_fault_injector(Some(FaultInjector::new(plan)));
         let ttl = SimDuration::from_secs(60);
 
-        let err = m.try_relevant_views_for(job, &["t".into()]).unwrap_err();
+        let err = m.relevant_views_for(job, &["t".into()]).unwrap_err();
         assert_eq!(err.kind(), "service_unavailable");
         assert!(err.is_degradable());
         // Retry succeeds (call index 1).
         assert_eq!(
-            m.try_relevant_views_for(job, &["t".into()])
+            m.relevant_views_for(job, &["t".into()])
                 .unwrap()
-                .0
+                .annotations
                 .len(),
             1
         );
 
-        assert!(m.try_propose(p, job, ttl).is_err());
-        assert_eq!(m.try_propose(p, job, ttl).unwrap(), LockOutcome::Acquired);
+        assert!(m.propose(p, job, ttl).is_err());
+        assert_eq!(m.propose(p, job, ttl).unwrap(), LockOutcome::Acquired);
 
         assert!(m
-            .try_report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
+            .report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
             .is_err());
         assert_eq!(m.num_views(), 0, "failed report must not register the view");
         assert!(
             m.lock_holder(p).is_some(),
             "failed report leaves the lock to lapse"
         );
-        m.try_report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
+        m.report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
             .unwrap();
         assert_eq!(m.num_views(), 1);
         assert!(m.lock_holder(p).is_none());
@@ -732,16 +907,15 @@ mod tests {
             (1, 1, 1)
         );
         // Other jobs are untouched by the scripted plan.
-        assert!(m
-            .try_relevant_views_for(JobId::new(6), &["t".into()])
-            .is_ok());
+        assert!(m.relevant_views_for(JobId::new(6), &["t".into()]).is_ok());
     }
 
     #[test]
     fn view_producer_provenance() {
         let m = service();
         let p = sip128(b"prov");
-        m.report_materialized(a_view(p), JobId::new(42), SimTime::ZERO, SimTime::MAX);
+        m.report_materialized(a_view(p), JobId::new(42), SimTime::ZERO, SimTime::MAX)
+            .unwrap();
         assert_eq!(m.view_producer(p), Some(JobId::new(42)));
         assert_eq!(m.view_producer(sip128(b"other")), None);
     }
@@ -750,8 +924,10 @@ mod tests {
     fn first_report_wins() {
         let m = service();
         let p = sip128(b"dup");
-        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX);
-        m.report_materialized(a_view(p), JobId::new(2), SimTime::ZERO, SimTime::MAX);
+        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
+            .unwrap();
+        m.report_materialized(a_view(p), JobId::new(2), SimTime::ZERO, SimTime::MAX)
+            .unwrap();
         assert_eq!(m.view_producer(p), Some(JobId::new(1)));
         assert_eq!(m.num_views(), 1);
     }

@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
+use scope_common::telemetry::{ActiveSpan, Counter, Histogram, MetricUnit, Telemetry};
 use scope_common::time::{SimClock, SimDuration, SimTime};
 use scope_common::{Result, ScopeError};
 use scope_engine::cost::CostModel;
@@ -53,7 +54,7 @@ use scope_engine::exec::execute_plan;
 use scope_engine::job::{materialize_marked_views, JobSpec};
 use scope_engine::optimizer::{optimize, OptimizerConfig, OptimizerReport};
 use scope_engine::repo::{JobIdentity, WorkloadRepository};
-use scope_engine::sim::{simulate, ClusterConfig};
+use scope_engine::sim::{simulate, ClusterConfig, SimOutcome};
 use scope_engine::storage::StorageManager;
 use scope_signature::job_tags;
 
@@ -66,7 +67,7 @@ use crate::metadata::MetadataService;
 /// builder does not see a view that was published after this job started.
 ///
 /// Materialization proposals go through the fault-aware
-/// [`MetadataService::try_propose`]; an injected propose failure is counted
+/// [`MetadataService::propose`]; an injected propose failure is counted
 /// here and the optimizer simply skips that materialization.
 struct PinnedServices<'a> {
     svc: &'a MetadataService,
@@ -86,7 +87,7 @@ impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
         job: scope_common::ids::JobId,
         lock_ttl: scope_common::time::SimDuration,
     ) -> bool {
-        match self.svc.try_propose(precise, job, lock_ttl) {
+        match self.svc.propose(precise, job, lock_ttl) {
             Ok(outcome) => outcome == crate::metadata::LockOutcome::Acquired,
             Err(_) => {
                 self.propose_faults.set(self.propose_faults.get() + 1);
@@ -247,8 +248,62 @@ enum AttemptFailure {
     Fatal(ScopeError),
 }
 
+/// Typed result of [`CloudViews::purge_expired`] (replaces the old
+/// `(usize, u64)` tuple).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// Views dropped from the metadata service.
+    pub views_purged: usize,
+    /// Bytes of expired view files reclaimed from storage.
+    pub bytes_reclaimed: u64,
+}
+
+/// Cached telemetry handles for the per-job path, resolved once at service
+/// construction so each job pays a handful of atomic operations.
+struct RuntimeMetrics {
+    jobs: Counter,
+    jobs_reuse_hit: Counter,
+    jobs_build: Counter,
+    jobs_baseline_fallback: Counter,
+    jobs_failed: Counter,
+    job_restarts: Counter,
+    views_built: Counter,
+    views_reused: Counter,
+    job_latency: Histogram,
+    job_cpu: Histogram,
+    job_wall: Histogram,
+    stages: Counter,
+    vertices: Counter,
+    stage_vertices: Histogram,
+    token_occupancy: Histogram,
+}
+
+impl RuntimeMetrics {
+    fn new(sink: &Telemetry) -> RuntimeMetrics {
+        let m = &sink.metrics;
+        RuntimeMetrics {
+            jobs: m.counter("cv_jobs_total"),
+            jobs_reuse_hit: m.counter("cv_jobs_reuse_hit_total"),
+            jobs_build: m.counter("cv_jobs_build_total"),
+            jobs_baseline_fallback: m.counter("cv_jobs_baseline_fallback_total"),
+            jobs_failed: m.counter("cv_jobs_failed_total"),
+            job_restarts: m.counter("cv_jobs_restarts_total"),
+            views_built: m.counter("cv_views_built_total"),
+            views_reused: m.counter("cv_views_reused_total"),
+            job_latency: m.histogram("cv_job_latency_sim_micros", MetricUnit::SimMicros),
+            job_cpu: m.histogram("cv_job_cpu_sim_micros", MetricUnit::SimMicros),
+            job_wall: m.histogram("cv_job_wall_micros", MetricUnit::WallMicros),
+            stages: m.counter("cv_sim_stages_total"),
+            vertices: m.counter("cv_sim_vertices_total"),
+            stage_vertices: m.histogram("cv_sim_stage_vertices", MetricUnit::Count),
+            token_occupancy: m.histogram("cv_sim_token_occupancy_pct", MetricUnit::Count),
+        }
+    }
+}
+
 /// The assembled CloudViews service: storage + metadata + repository +
-/// clock + engine configuration.
+/// clock + engine configuration. Construct one with [`CloudViewsBuilder`]
+/// (or [`CloudViews::builder`]).
 pub struct CloudViews {
     /// Shared storage manager (datasets + view files).
     pub storage: Arc<StorageManager>,
@@ -272,26 +327,170 @@ pub struct CloudViews {
     pub degradation: DegradationPolicy,
     /// Installed fault injector, if any (shared with the metadata service).
     pub faults: Option<Arc<FaultInjector>>,
+    /// Telemetry sink shared by every instrumented component.
+    pub telemetry: Arc<Telemetry>,
+    /// Pre-resolved metric handles for the per-job path.
+    metrics: RuntimeMetrics,
 }
 
-impl CloudViews {
-    /// Builds a service over the given storage with default configuration
-    /// (5 metadata service threads, early materialization on).
-    pub fn new(storage: Arc<StorageManager>) -> CloudViews {
-        let clock = Arc::new(SimClock::new());
-        CloudViews {
-            metadata: Arc::new(MetadataService::new(Arc::clone(&clock), 5)),
-            repo: Arc::new(WorkloadRepository::new()),
+/// Fluent construction for [`CloudViews`]: every collaborating service
+/// (clock, fault plan, degradation policy, telemetry sink) is wired up
+/// before the service exists, so no caller can observe a half-configured
+/// runtime.
+///
+/// ```
+/// use std::sync::Arc;
+/// use cloudviews::CloudViewsBuilder;
+/// use scope_engine::storage::StorageManager;
+///
+/// let cv = CloudViewsBuilder::new(Arc::new(StorageManager::new()))
+///     .max_materialize_per_job(2)
+///     .build();
+/// assert!(cv.telemetry.is_enabled());
+/// ```
+pub struct CloudViewsBuilder {
+    storage: Arc<StorageManager>,
+    clock: Arc<SimClock>,
+    metadata_threads: usize,
+    cost: CostModel,
+    cluster: ClusterConfig,
+    max_materialize_per_job: usize,
+    early_materialization: bool,
+    record_runs: bool,
+    degradation: DegradationPolicy,
+    fault_plan: Option<FaultPlan>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl CloudViewsBuilder {
+    /// A builder with the default configuration: fresh clock, 5 metadata
+    /// service threads, early materialization on, telemetry enabled.
+    pub fn new(storage: Arc<StorageManager>) -> CloudViewsBuilder {
+        CloudViewsBuilder {
             storage,
-            clock,
+            clock: Arc::new(SimClock::new()),
+            metadata_threads: 5,
             cost: CostModel::default(),
             cluster: ClusterConfig::default(),
             max_materialize_per_job: 1,
             early_materialization: true,
             record_runs: true,
             degradation: DegradationPolicy::default(),
-            faults: None,
+            fault_plan: None,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Shares an existing simulated clock (e.g. across services).
+    pub fn clock(mut self, clock: Arc<SimClock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Metadata service thread count (affects modeled lookup latency).
+    pub fn metadata_threads(mut self, threads: usize) -> Self {
+        self.metadata_threads = threads;
+        self
+    }
+
+    /// Cost model used for execution accounting.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Cluster/VC execution parameters.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Per-job cap on materialized views.
+    pub fn max_materialize_per_job(mut self, max: usize) -> Self {
+        self.max_materialize_per_job = max;
+        self
+    }
+
+    /// Publish views at stage completion (true) or job completion (false).
+    pub fn early_materialization(mut self, early: bool) -> Self {
+        self.early_materialization = early;
+        self
+    }
+
+    /// Record runs into the workload repository.
+    pub fn record_runs(mut self, record: bool) -> Self {
+        self.record_runs = record;
+        self
+    }
+
+    /// How to absorb failures.
+    pub fn degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = policy;
+        self
+    }
+
+    /// Installs a fault plan at construction; read the injected-fault
+    /// ledger afterwards via [`CloudViews::faults`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Shares a telemetry sink (e.g. one registry across services, or a
+    /// disabled sink for overhead baselines).
+    pub fn telemetry(mut self, sink: Arc<Telemetry>) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// Assembles the service: builds the metadata service on the shared
+    /// clock and wires the fault injector and telemetry sink into every
+    /// component.
+    pub fn build(self) -> CloudViews {
+        let metadata = Arc::new(MetadataService::new(
+            Arc::clone(&self.clock),
+            self.metadata_threads,
+        ));
+        metadata.set_telemetry(Some(Arc::clone(&self.telemetry)));
+        self.storage
+            .set_telemetry(Some(Arc::clone(&self.telemetry)));
+        let faults = self.fault_plan.map(FaultInjector::new);
+        if let Some(inj) = &faults {
+            metadata.set_fault_injector(Some(Arc::clone(inj)));
+        }
+        let metrics = RuntimeMetrics::new(&self.telemetry);
+        CloudViews {
+            storage: self.storage,
+            metadata,
+            repo: Arc::new(WorkloadRepository::new()),
+            clock: self.clock,
+            cost: self.cost,
+            cluster: self.cluster,
+            max_materialize_per_job: self.max_materialize_per_job,
+            early_materialization: self.early_materialization,
+            record_runs: self.record_runs,
+            degradation: self.degradation,
+            faults,
+            telemetry: self.telemetry,
+            metrics,
+        }
+    }
+}
+
+impl CloudViews {
+    /// Starts a [`CloudViewsBuilder`] over the given storage.
+    pub fn builder(storage: Arc<StorageManager>) -> CloudViewsBuilder {
+        CloudViewsBuilder::new(storage)
+    }
+
+    /// Builds a service over the given storage with default configuration
+    /// (5 metadata service threads, early materialization on).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CloudViews::builder` / `CloudViewsBuilder`"
+    )]
+    pub fn new(storage: Arc<StorageManager>) -> CloudViews {
+        CloudViewsBuilder::new(storage).build()
     }
 
     /// Installs a fault plan: builds the injector and shares it with the
@@ -305,9 +504,37 @@ impl CloudViews {
         injector
     }
 
-    /// Runs the analyzer over everything recorded so far.
+    /// Runs the analyzer over everything recorded so far. Phase timings and
+    /// candidate/selected counts land in the `cv_analyzer_*` series.
     pub fn analyze(&self, config: &AnalyzerConfig) -> Result<AnalysisOutcome> {
-        run_analysis(&self.repo.records(), config)
+        let span = self
+            .telemetry
+            .tracer
+            .root("analysis", None, self.clock.now());
+        let outcome = run_analysis(&self.repo.records(), config)?;
+        let m = &self.telemetry.metrics;
+        m.counter("cv_analyzer_runs_total").inc();
+        m.counter("cv_analyzer_jobs_analyzed_total")
+            .add(outcome.jobs_analyzed as u64);
+        m.counter("cv_analyzer_candidates_total")
+            .add(outcome.groups.len() as u64);
+        m.counter("cv_analyzer_selected_total")
+            .add(outcome.selected.len() as u64);
+        if self.telemetry.is_enabled() {
+            let p = &outcome.phase_times;
+            for (name, d) in [
+                ("cv_analyzer_filter_wall_micros", p.filter),
+                ("cv_analyzer_mining_wall_micros", p.mining),
+                ("cv_analyzer_selection_wall_micros", p.selection),
+                ("cv_analyzer_design_wall_micros", p.design),
+                ("cv_analyzer_total_wall_micros", outcome.wall_time),
+            ] {
+                m.histogram(name, MetricUnit::WallMicros)
+                    .record(d.as_micros() as u64);
+            }
+        }
+        self.telemetry.tracer.finish(span, self.clock.now());
+        Ok(outcome)
     }
 
     /// Installs an analysis outcome into the metadata service.
@@ -327,29 +554,86 @@ impl CloudViews {
         mode: RunMode,
         start: SimTime,
     ) -> Result<JobRunReport> {
+        let root = self.telemetry.tracer.root("job", Some(spec.id), start);
+        let wall_start = std::time::Instant::now();
         let mut faults = JobFaultReport::default();
         let mut restarts = 0u32;
-        loop {
-            match self.run_job_attempt(spec, mode, start, &mut faults) {
+        let result = loop {
+            match self.run_job_attempt(spec, mode, start, &mut faults, &root) {
                 Ok(mut report) => {
                     report.latency += faults.degraded_latency;
                     report.faults = faults;
                     self.clock.advance_to(start + report.latency);
-                    return Ok(report);
+                    break Ok(report);
                 }
                 Err(AttemptFailure::BuilderCrash { wasted_latency }) => {
                     faults.builder_crashes += 1;
                     faults.degraded_latency += wasted_latency;
+                    self.metrics.job_restarts.inc();
                     restarts += 1;
                     if restarts > self.degradation.max_restarts {
-                        return Err(ScopeError::Execution(format!(
+                        break Err(ScopeError::Execution(format!(
                             "job {} failed: builder crashed {restarts} times \
                              (max_restarts={})",
                             spec.id, self.degradation.max_restarts
                         )));
                     }
                 }
-                Err(AttemptFailure::Fatal(e)) => return Err(e),
+                Err(AttemptFailure::Fatal(e)) => break Err(e),
+            }
+        };
+        self.finish_job(root, start, wall_start, &result);
+        result
+    }
+
+    /// Closes the job's root span and updates the per-job outcome counters.
+    /// The reuse/build/fallback counters are defined to match the returned
+    /// [`JobRunReport`]s exactly (asserted in `tests/telemetry.rs`).
+    fn finish_job(
+        &self,
+        root: ActiveSpan,
+        start: SimTime,
+        wall_start: std::time::Instant,
+        result: &Result<JobRunReport>,
+    ) {
+        let m = &self.metrics;
+        match result {
+            Ok(report) => {
+                m.jobs.inc();
+                if !report.views_reused.is_empty() {
+                    m.jobs_reuse_hit.inc();
+                }
+                if !report.views_built.is_empty() {
+                    m.jobs_build.inc();
+                }
+                if report.faults.fell_back_to_baseline {
+                    m.jobs_baseline_fallback.inc();
+                }
+                m.views_built.add(report.views_built.len() as u64);
+                m.views_reused.add(report.views_reused.len() as u64);
+                let outcome = if !report.views_reused.is_empty() {
+                    "reuse"
+                } else if !report.views_built.is_empty() {
+                    "build"
+                } else if report.faults.fell_back_to_baseline {
+                    "baseline_fallback"
+                } else {
+                    "baseline"
+                };
+                if self.telemetry.is_enabled() {
+                    m.job_latency.record(report.latency.micros());
+                    m.job_cpu.record(report.cpu_time.micros());
+                    m.job_wall.record(wall_start.elapsed().as_micros() as u64);
+                }
+                self.telemetry
+                    .tracer
+                    .finish_with(root, start + report.latency, Some(outcome));
+            }
+            Err(_) => {
+                m.jobs_failed.inc();
+                self.telemetry
+                    .tracer
+                    .finish_with(root, self.clock.now(), Some("failed"));
             }
         }
     }
@@ -366,8 +650,8 @@ impl CloudViews {
         let tags = job_tags(&spec.graph);
         let mut latency = SimDuration::ZERO;
         for attempt in 0..=self.degradation.lookup_retries {
-            match self.metadata.try_relevant_views_for(spec.id, &tags) {
-                Ok((annotations, l)) => return (annotations, latency + l),
+            match self.metadata.relevant_views_for(spec.id, &tags) {
+                Ok(resp) => return (resp.annotations, latency + resp.latency),
                 Err(_) => {
                     faults.lookup_faults += 1;
                     latency += self.metadata.lookup_latency();
@@ -396,16 +680,22 @@ impl CloudViews {
         mode: RunMode,
         start: SimTime,
         faults: &mut JobFaultReport,
+        root: &ActiveSpan,
     ) -> std::result::Result<JobRunReport, AttemptFailure> {
         self.clock.advance_to(start);
+        let tracer = &self.telemetry.tracer;
 
         // 1. Compiler: one metadata lookup per job (retried on failure).
+        let span = tracer.child(root, "metadata_lookup", start);
         let (annotations, lookup_latency) = match mode {
             RunMode::Baseline => (Vec::new(), SimDuration::ZERO),
             RunMode::CloudViews => self.lookup_with_retry(spec, faults),
         };
+        tracer.finish(span, start + lookup_latency);
+        let after_lookup = start + lookup_latency;
 
         // 2. Optimize with the metadata service as the view oracle.
+        let span = tracer.child(root, "optimize", after_lookup);
         let opt_config = OptimizerConfig {
             default_dop: self.cluster.default_dop,
             max_materialize_per_job: self.max_materialize_per_job,
@@ -420,10 +710,16 @@ impl CloudViews {
         };
         let mut plan = optimize(&spec.graph, &annotations, &pinned, &opt_config, spec.id)
             .map_err(AttemptFailure::Fatal)?;
+        tracer.finish_with(
+            span,
+            after_lookup,
+            (!plan.reused.is_empty()).then_some("reuse"),
+        );
 
         // 3. Execute and simulate. A matched view that cannot be read back
         // (lost or corrupted file) is not fatal: unregister it and
         // re-optimize without reuse — the paper's fallback to recomputation.
+        let span = tracer.child(root, "execute", after_lookup);
         let exec = match execute_plan(&plan.physical, &self.storage, &self.cost, start) {
             Ok(exec) => exec,
             Err(ScopeError::ViewUnavailable(_)) if !plan.reused.is_empty() => {
@@ -450,8 +746,11 @@ impl CloudViews {
         };
         faults.propose_faults += pinned.propose_faults.get();
         let sim = simulate(&plan.physical, &exec, &self.cluster);
+        tracer.finish(span, after_lookup + sim.latency);
+        self.record_sim_metrics(&sim);
 
         // 4. Materialize marked views and publish them (early or at end).
+        let span = tracer.child(root, "publish", after_lookup + sim.latency);
         let built = materialize_marked_views(&plan, &exec, &sim, &self.cost, spec.id, start)
             .map_err(AttemptFailure::Fatal)?;
         let mut extra_cpu = SimDuration::ZERO;
@@ -503,7 +802,7 @@ impl CloudViews {
             }
             if self
                 .metadata
-                .try_report_materialized(view, spec.id, available_at, expires_at)
+                .report_materialized(view, spec.id, available_at, expires_at)
                 .is_err()
             {
                 // Lost report: the file is orphaned (never visible) and the
@@ -511,11 +810,13 @@ impl CloudViews {
                 faults.report_faults += 1;
             }
         }
+        tracer.finish(span, after_lookup + sim.latency + extra_latency);
 
         let latency = lookup_latency + sim.latency + extra_latency;
         let cpu_time = sim.cpu_time + extra_cpu;
 
         // 5. Close the feedback loop.
+        let span = tracer.child(root, "record", start + latency);
         if self.record_runs {
             self.repo
                 .record(
@@ -535,6 +836,7 @@ impl CloudViews {
                 )
                 .map_err(AttemptFailure::Fatal)?;
         }
+        tracer.finish(span, start + latency);
 
         Ok(JobRunReport {
             job: spec.id,
@@ -557,6 +859,33 @@ impl CloudViews {
                 .collect(),
             faults: JobFaultReport::default(),
         })
+    }
+
+    /// Records per-stage vertex counts and token occupancy from one job's
+    /// simulation (the paper's token model: occupancy is the fraction of
+    /// the VC's token-seconds the job's CPU time actually used).
+    fn record_sim_metrics(&self, sim: &SimOutcome) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let m = &self.metrics;
+        m.stages.add(sim.stages.len() as u64);
+        m.vertices.add(sim.vertices as u64);
+        for stage in &sim.stages {
+            m.stage_vertices.record(stage.dop as u64);
+        }
+        let capacity = sim
+            .latency
+            .micros()
+            .saturating_mul(self.cluster.tokens.max(1) as u64);
+        if let Some(pct) = sim
+            .cpu_time
+            .micros()
+            .saturating_mul(100)
+            .checked_div(capacity)
+        {
+            m.token_occupancy.record(pct.min(100));
+        }
     }
 
     /// Runs jobs back-to-back (each starts when the previous finishes),
@@ -620,12 +949,14 @@ impl CloudViews {
             .collect()
     }
 
-    /// Purges expired views from both the metadata service and storage;
-    /// returns (views purged, bytes reclaimed).
-    pub fn purge_expired(&self) -> (usize, u64) {
-        let purged = self.metadata.purge_expired();
-        let bytes = self.storage.purge_expired(self.clock.now());
-        (purged, bytes)
+    /// Purges expired views from both the metadata service and storage.
+    pub fn purge_expired(&self) -> PurgeReport {
+        let views_purged = self.metadata.purge_expired();
+        let bytes_reclaimed = self.storage.purge_expired(self.clock.now());
+        PurgeReport {
+            views_purged,
+            bytes_reclaimed,
+        }
     }
 }
 
@@ -644,7 +975,7 @@ mod tests {
         })
         .unwrap();
         let storage = Arc::new(StorageManager::new());
-        let cv = CloudViews::new(storage);
+        let cv = CloudViews::builder(storage).build();
         (cv, workload)
     }
 
@@ -805,9 +1136,9 @@ mod tests {
         assert!(cv.storage.num_views() > 0);
         // Jump far into the future and purge.
         cv.clock.advance(SimDuration::from_secs(10 * 86_400));
-        let (purged, bytes) = cv.purge_expired();
-        assert!(purged > 0);
-        assert!(bytes > 0);
+        let report = cv.purge_expired();
+        assert!(report.views_purged > 0);
+        assert!(report.bytes_reclaimed > 0);
         assert_eq!(cv.storage.num_views(), 0);
         assert_eq!(cv.metadata.num_views(), 0);
     }

@@ -16,14 +16,20 @@
 //!   services, so stability is a hard requirement).
 //! * [`stats`] — summary statistics and CDF helpers used when regenerating
 //!   the paper's distribution figures (Figures 2–5).
+//! * [`telemetry`] — the observability layer: a lock-sharded metrics
+//!   registry (counters, gauges, log-scale histograms with wall vs
+//!   simulated units kept distinct), structured tracing into a bounded ring
+//!   buffer, and Prometheus/JSON exporters.
 //! * [`error`] — the workspace-wide error type.
 
 pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use error::{Result, ScopeError};
 pub use hash::{sip128, sip64, Sig128, SipHasher24};
+pub use telemetry::{MetricUnit, MetricsRegistry, MetricsSnapshot, Telemetry, Tracer};
 pub use time::{SimClock, SimDuration, SimTime};

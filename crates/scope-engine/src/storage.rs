@@ -22,6 +22,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use scope_common::hash::Sig128;
 use scope_common::ids::{DatasetId, JobId};
+use scope_common::telemetry::{Counter, Gauge, Telemetry};
 use scope_common::time::SimTime;
 use scope_common::{Result, ScopeError};
 use scope_plan::PhysicalProps;
@@ -67,6 +68,14 @@ impl ViewFile {
     }
 }
 
+/// Why a view read was refused (pre-formatting, so telemetry can classify
+/// checksum failures without string matching).
+enum OpenFailure {
+    Missing,
+    Expired(SimTime),
+    Corrupt,
+}
+
 /// A stored view plus the content checksum recorded when it was published.
 struct StoredView {
     file: ViewFile,
@@ -80,16 +89,65 @@ struct Inner {
     views: HashMap<Sig128, StoredView>,
 }
 
+/// Cached telemetry handles for the view-store hot paths, resolved once at
+/// [`StorageManager::set_telemetry`].
+struct StorageMetrics {
+    views_published: Counter,
+    bytes_written: Counter,
+    view_opens: Counter,
+    bytes_read: Counter,
+    checksum_failures: Counter,
+    open_failures: Counter,
+    views_purged: Counter,
+    bytes_purged: Counter,
+    live_views: Gauge,
+    live_bytes: Gauge,
+}
+
+impl StorageMetrics {
+    fn new(sink: &Telemetry) -> StorageMetrics {
+        let m = &sink.metrics;
+        StorageMetrics {
+            views_published: m.counter("cv_storage_views_published_total"),
+            bytes_written: m.counter("cv_storage_bytes_written_total"),
+            view_opens: m.counter("cv_storage_view_opens_total"),
+            bytes_read: m.counter("cv_storage_bytes_read_total"),
+            checksum_failures: m.counter("cv_storage_checksum_failures_total"),
+            open_failures: m.counter("cv_storage_open_failures_total"),
+            views_purged: m.counter("cv_storage_views_purged_total"),
+            bytes_purged: m.counter("cv_storage_bytes_purged_total"),
+            live_views: m.gauge("cv_storage_views"),
+            live_bytes: m.gauge("cv_storage_view_bytes"),
+        }
+    }
+}
+
 /// Thread-safe catalog of base datasets and materialized views.
 #[derive(Default)]
 pub struct StorageManager {
     inner: RwLock<Inner>,
+    telemetry: RwLock<Option<StorageMetrics>>,
 }
 
 impl StorageManager {
     /// An empty storage manager.
     pub fn new() -> Self {
         StorageManager::default()
+    }
+
+    /// Installs (or clears) the telemetry sink. Handles are resolved once
+    /// here so per-call recording is a handful of atomic operations.
+    pub fn set_telemetry(&self, sink: Option<Arc<Telemetry>>) {
+        *self.telemetry.write() = sink.map(|s| StorageMetrics::new(&s));
+    }
+
+    /// Refreshes the live-view gauges from the current catalog state.
+    fn update_view_gauges(&self, inner: &Inner) {
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.live_views.set(inner.views.len() as i64);
+            t.live_bytes
+                .set(inner.views.values().map(|v| v.file.meta.bytes).sum::<u64>() as i64);
+        }
     }
 
     /// Registers (or replaces) a base dataset.
@@ -127,11 +185,21 @@ impl StorageManager {
     /// its file is discarded — first-writer-wins keeps provenance stable).
     pub fn publish_view(&self, file: ViewFile) -> Result<()> {
         let integrity = multiset_checksum(&file.table);
+        let bytes = file.meta.bytes;
         let mut inner = self.inner.write();
+        let before = inner.views.len();
         inner
             .views
             .entry(file.meta.precise)
             .or_insert(StoredView { file, integrity });
+        let written = inner.views.len() > before;
+        if let Some(t) = self.telemetry.read().as_ref() {
+            if written {
+                t.views_published.inc();
+                t.bytes_written.add(bytes);
+            }
+        }
+        self.update_view_gauges(&inner);
         Ok(())
     }
 
@@ -153,20 +221,43 @@ impl StorageManager {
     /// [`ScopeError::ViewUnavailable`] so the caller can fall back to
     /// recomputation.
     pub fn open_view(&self, precise: Sig128, now: SimTime) -> Result<ViewFile> {
+        let result = self.open_view_inner(precise, now);
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.view_opens.inc();
+            match &result {
+                Ok(file) => t.bytes_read.add(file.meta.bytes),
+                Err(OpenFailure::Corrupt) => {
+                    t.checksum_failures.inc();
+                    t.open_failures.inc();
+                }
+                Err(_) => t.open_failures.inc(),
+            }
+        }
+        result.map_err(|e| match e {
+            OpenFailure::Missing => {
+                ScopeError::ViewUnavailable(format!("view {precise}: file not found"))
+            }
+            OpenFailure::Expired(at) => {
+                ScopeError::ViewUnavailable(format!("view {precise}: expired at {at:?}"))
+            }
+            OpenFailure::Corrupt => ScopeError::ViewUnavailable(format!(
+                "view {precise}: content checksum mismatch (corrupt file)"
+            )),
+        })
+    }
+
+    fn open_view_inner(
+        &self,
+        precise: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<ViewFile, OpenFailure> {
         let inner = self.inner.read();
-        let stored = inner.views.get(&precise).ok_or_else(|| {
-            ScopeError::ViewUnavailable(format!("view {precise}: file not found"))
-        })?;
+        let stored = inner.views.get(&precise).ok_or(OpenFailure::Missing)?;
         if stored.file.meta.expires_at <= now {
-            return Err(ScopeError::ViewUnavailable(format!(
-                "view {precise}: expired at {:?}",
-                stored.file.meta.expires_at
-            )));
+            return Err(OpenFailure::Expired(stored.file.meta.expires_at));
         }
         if multiset_checksum(&stored.file.table) != stored.integrity {
-            return Err(ScopeError::ViewUnavailable(format!(
-                "view {precise}: content checksum mismatch (corrupt file)"
-            )));
+            return Err(OpenFailure::Corrupt);
         }
         Ok(stored.file.clone())
     }
@@ -212,6 +303,7 @@ impl StorageManager {
     /// Removes expired view files; returns the reclaimed bytes.
     pub fn purge_expired(&self, now: SimTime) -> u64 {
         let mut inner = self.inner.write();
+        let before = inner.views.len();
         let mut reclaimed = 0;
         inner.views.retain(|_, v| {
             if v.file.meta.expires_at <= now {
@@ -221,17 +313,23 @@ impl StorageManager {
                 true
             }
         });
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.views_purged.add((before - inner.views.len()) as u64);
+            t.bytes_purged.add(reclaimed);
+        }
+        self.update_view_gauges(&inner);
         reclaimed
     }
 
     /// Deletes a specific view (admin space reclamation, Section 5.4);
     /// returns the reclaimed bytes.
     pub fn delete_view(&self, precise: Sig128) -> Option<u64> {
-        self.inner
-            .write()
-            .views
-            .remove(&precise)
-            .map(|v| v.file.meta.bytes)
+        let mut inner = self.inner.write();
+        let bytes = inner.views.remove(&precise).map(|v| v.file.meta.bytes);
+        if bytes.is_some() {
+            self.update_view_gauges(&inner);
+        }
+        bytes
     }
 
     /// Total bytes currently held by materialized views.

@@ -49,7 +49,7 @@ fn main() -> scope_common::Result<()> {
     })?;
 
     // Run one instance of every cluster baseline to populate repositories.
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     println!("running one recurring instance of 5 clusters (baseline)...\n");
     for c in 0..5 {
         workload.register_instance_data(c, 0, &service.storage, 1.0)?;

@@ -36,7 +36,7 @@ fn main() -> scope_common::Result<()> {
         seed: 7,
         stream_rows: LogNormal::new(10.0, 0.6, 8_000.0, 60_000.0),
     })?;
-    let mut service = CloudViews::new(Arc::new(StorageManager::new()));
+    let mut service = CloudViews::builder(Arc::new(StorageManager::new())).build();
 
     // Prime: day 0 baseline fills the repository, then analyze + install.
     workload.register_instance_data(0, 0, &service.storage, 1.0)?;

@@ -26,7 +26,7 @@ fn main() -> scope_common::Result<()> {
         seed: 7,
         stream_rows: LogNormal::new(10.0, 0.6, 8_000.0, 60_000.0),
     })?;
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
 
     // --- Day 0: baseline runs fill the workload repository. ---------------
     workload.register_instance_data(0, 0, &service.storage, 1.0)?;

@@ -37,7 +37,7 @@ fn workload(seed: u64) -> RecurringWorkload {
 fn main() -> scope_common::Result<()> {
     let original = workload(21);
     let changed = workload(9_999); // the day-4 script rewrite
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
 
     // Day 0: baseline + analysis.
     original.register_instance_data(0, 0, &service.storage, 1.0)?;
@@ -76,7 +76,7 @@ fn main() -> scope_common::Result<()> {
         // A day of simulated time passes, then the nightly maintenance
         // purge reclaims everything past its lineage-derived expiry.
         service.clock.advance(SimDuration::from_secs(86_400));
-        let (purged, _) = service.purge_expired();
+        let purged = service.purge_expired().views_purged;
         println!(
             "{day}\t{}\t{:.2}\t{:+.1}\t{built}\t{reused}\t{stored_mb:.2}\t{purged}",
             reports.len(),

@@ -24,7 +24,7 @@ fn main() -> scope_common::Result<()> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.5);
     let tpcds = TpcdsWorkload::new(scale, 1);
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     tpcds.register_data(&service.storage)?;
     let jobs = tpcds.all_jobs()?;
     println!(

@@ -34,7 +34,7 @@ fn analyzer_cfg() -> AnalyzerConfig {
 #[test]
 fn three_instance_lifecycle() {
     let w = workload(5);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
 
     // Instance 0: baseline fills the repository.
     w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
@@ -68,7 +68,7 @@ fn three_instance_lifecycle() {
 #[test]
 fn savings_are_real_and_outputs_identical() {
     let w = workload(11);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
     w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
     cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
         .unwrap();
@@ -92,7 +92,7 @@ fn savings_are_real_and_outputs_identical() {
 #[test]
 fn concurrent_jobs_build_each_view_once() {
     let w = workload(23);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
     cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
         .unwrap();
@@ -119,7 +119,7 @@ fn disabled_vcs_do_not_get_annotations() {
     // Admin excludes vc0 from analysis: no computation owned solely by vc0
     // may be selected.
     let w = workload(31);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
     w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
     cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
         .unwrap();
@@ -139,7 +139,7 @@ fn disabled_vcs_do_not_get_annotations() {
 #[test]
 fn views_expire_end_to_end() {
     let w = workload(47);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
     cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
         .unwrap();
@@ -159,8 +159,9 @@ fn views_expire_end_to_end() {
     // A job submitted after expiry cannot read the views; it recomputes and
     // (with a fresh lock) rebuilds.
     cv.clock.advance(SimDuration::from_secs(7 * 86_400));
-    let (purged, _) = cv.purge_expired();
-    assert_eq!(purged, views_before);
+    let purge = cv.purge_expired();
+    assert_eq!(purge.views_purged, views_before);
+    assert!(purge.bytes_reclaimed > 0);
     let report = cv
         .run_job_at(&day1[0], RunMode::CloudViews, cv.clock.now())
         .unwrap();
@@ -172,7 +173,7 @@ fn baseline_and_enabled_interleave_safely() {
     // Mixed traffic: some jobs opt in, some do not (the paper's opt-in
     // deployment mode). Opted-out jobs are never rewritten and never build.
     let w = workload(61);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
     cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
         .unwrap();
@@ -204,7 +205,7 @@ fn offline_mode_builds_views_upfront() {
     use scope_signature::job_tags;
 
     let w = workload(71);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
     w.register_instance_data(0, 0, &cv.storage, 0.5).unwrap();
     cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
         .unwrap();
@@ -217,7 +218,11 @@ fn offline_mode_builds_views_upfront() {
     let day1 = w.jobs_for_instance(0, 1).unwrap();
     let mut prebuilt = 0;
     for spec in &day1 {
-        let (annotations, _) = cv.metadata.relevant_views_for(&job_tags(&spec.graph));
+        let annotations = cv
+            .metadata
+            .relevant_views_for(spec.id, &job_tags(&spec.graph))
+            .unwrap()
+            .annotations;
         if annotations.is_empty() {
             continue;
         }
@@ -249,7 +254,8 @@ fn offline_mode_builds_views_upfront() {
             let expires = built.file.meta.expires_at;
             cv.storage.publish_view(built.file).unwrap();
             cv.metadata
-                .report_materialized(view, spec.id, SimTime::ZERO, expires);
+                .report_materialized(view, spec.id, SimTime::ZERO, expires)
+                .unwrap();
             prebuilt += 1;
         }
     }

@@ -56,7 +56,7 @@ fn primed_service(
     BaselineChecksums,
 ) {
     let w = workload(seed);
-    let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
     w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
     cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
         .unwrap();

@@ -195,7 +195,7 @@ fn reuse_cycle_preserves_semantics() {
         let dataset = DatasetId::new(9);
         let graph = random_plan(seed, dataset);
         let storage = Arc::new(storage_with_table(seed, dataset));
-        let cv = CloudViews::new(storage);
+        let cv = CloudViews::builder(storage).build();
 
         // Pick a random non-leaf, non-output node to annotate as a view.
         let candidates: Vec<NodeId> = graph
@@ -396,7 +396,10 @@ fn lock_exclusivity() {
         let sig = Sig128::new(1, 2);
         let mut winners = 0;
         for j in 0..n_jobs {
-            if svc.propose(sig, JobId::new(j), SimDuration::from_secs(60)) == LockOutcome::Acquired
+            if svc
+                .propose(sig, JobId::new(j), SimDuration::from_secs(60))
+                .unwrap()
+                == LockOutcome::Acquired
             {
                 winners += 1;
             }

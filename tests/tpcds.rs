@@ -28,7 +28,7 @@ fn all_99_queries_validate_and_have_stable_signatures() {
 #[test]
 fn tpcds_reuse_cycle_is_correct_for_all_queries() {
     let tpcds = TpcdsWorkload::new(0.03, 1);
-    let service = CloudViews::new(Arc::new(StorageManager::new()));
+    let service = CloudViews::builder(Arc::new(StorageManager::new())).build();
     tpcds.register_data(&service.storage).unwrap();
     let jobs = tpcds.all_jobs().unwrap();
     let baseline = service.run_sequence(&jobs, RunMode::Baseline).unwrap();
