@@ -13,6 +13,7 @@ use cloudviews::MetadataService;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scope_common::hash::sip128;
 use scope_common::ids::JobId;
+use scope_common::intern::Symbol;
 use scope_common::telemetry::Telemetry;
 use scope_common::time::{SimClock, SimDuration, SimTime};
 use scope_engine::optimizer::{Annotation, AvailableView};
@@ -28,7 +29,7 @@ fn selected(i: usize) -> SelectedView {
             avg_rows: 1_000,
             avg_bytes: 100_000,
         },
-        input_tags: vec![format!("in/stream{}.ss", i % 50)],
+        input_tags: vec![Symbol::intern(&format!("in/stream{}.ss", i % 50))],
         utility: SimDuration::from_secs(30),
         frequency: 4,
         precise_last_seen: sip128(format!("precise{i}").as_bytes()),
@@ -50,7 +51,9 @@ fn bench_metadata(c: &mut Criterion) {
             svc.set_telemetry(telemetry.clone());
             let views: Vec<SelectedView> = (0..n_annotations).map(selected).collect();
             svc.load_annotations(&views);
-            let tags: Vec<String> = (0..5).map(|i| format!("in/stream{i}.ss")).collect();
+            let tags: Vec<Symbol> = (0..5)
+                .map(|i| Symbol::intern(&format!("in/stream{i}.ss")))
+                .collect();
             group.bench_with_input(
                 BenchmarkId::from_parameter(n_annotations),
                 &tags,

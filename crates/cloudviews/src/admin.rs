@@ -506,12 +506,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_matches_builder_defaults() {
-        let cv = CloudViews::new(Arc::new(StorageManager::new()));
+    fn builder_defaults_are_stable() {
+        let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
         assert_eq!(cv.max_materialize_per_job, 1);
         assert!(cv.early_materialization);
         assert!(cv.telemetry.is_enabled());
+        assert_eq!(cv.templates.stats().entries, 0);
     }
 
     #[test]

@@ -136,7 +136,7 @@ mod tests {
             avg_out_rows: 1,
             avg_out_bytes: 1,
             avg_job_cpu: SimDuration::from_secs(4),
-            props_votes: vec![(PhysicalProps::any(), 1)],
+            props_votes: vec![(std::sync::Arc::new(PhysicalProps::any()), 1)],
         }
     }
 

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use scope_common::ids::TemplateId;
+use scope_common::intern::Symbol;
 use scope_common::time::{SimDuration, SimTime};
 use scope_engine::repo::JobRecord;
 
@@ -27,7 +28,7 @@ pub struct LineageTracker {
     /// Per-template observed recurrence period.
     template_period: HashMap<TemplateId, SimDuration>,
     /// Input tag → consuming templates.
-    consumers: HashMap<String, Vec<TemplateId>>,
+    consumers: HashMap<Symbol, Vec<TemplateId>>,
 }
 
 impl LineageTracker {
@@ -35,14 +36,14 @@ impl LineageTracker {
     pub fn from_records(records: &[&JobRecord]) -> LineageTracker {
         // Observed submission times per template instance.
         let mut times: HashMap<TemplateId, Vec<(u64, SimTime)>> = HashMap::new();
-        let mut consumers: HashMap<String, Vec<TemplateId>> = HashMap::new();
+        let mut consumers: HashMap<Symbol, Vec<TemplateId>> = HashMap::new();
         for r in records {
             times
                 .entry(r.template)
                 .or_default()
                 .push((r.instance, r.submitted_at));
-            for tag in &r.tags {
-                let list = consumers.entry(tag.clone()).or_default();
+            for &tag in &r.tags {
+                let list = consumers.entry(tag).or_default();
                 if !list.contains(&r.template) {
                     list.push(r.template);
                 }
@@ -83,7 +84,7 @@ impl LineageTracker {
     /// TTL for a view over the given input tags: the slowest consuming
     /// template's period times a safety factor; `default_ttl` when no
     /// consumer period is known.
-    pub fn ttl_for_tags(&self, tags: &[String], default_ttl: SimDuration) -> SimDuration {
+    pub fn ttl_for_tags(&self, tags: &[Symbol], default_ttl: SimDuration) -> SimDuration {
         let mut max_period = SimDuration::ZERO;
         for tag in tags {
             if let Some(templates) = self.consumers.get(tag) {
@@ -118,7 +119,7 @@ mod tests {
             submitted_at: SimTime(at_secs * 1_000_000),
             latency: SimDuration::from_secs(1),
             cpu_time: SimDuration::from_secs(4),
-            tags: tags.iter().map(|s| s.to_string()).collect(),
+            tags: tags.iter().map(|s| Symbol::intern(s)).collect(),
             subgraphs: vec![],
         }
     }

@@ -22,6 +22,7 @@ pub mod selection;
 
 use scope_common::hash::Sig128;
 use scope_common::ids::VcId;
+use scope_common::intern::Symbol;
 use scope_common::time::{SimDuration, SimTime};
 use scope_common::Result;
 use scope_engine::optimizer::Annotation;
@@ -35,8 +36,8 @@ pub use selection::{SelectionConstraints, SelectionPolicy};
 pub struct SelectedView {
     /// The annotation shipped to the metadata service.
     pub annotation: Annotation,
-    /// Tags for the inverted index (normalized input names).
-    pub input_tags: Vec<String>,
+    /// Tags for the inverted index (normalized input names, interned).
+    pub input_tags: Vec<Symbol>,
     /// Estimated per-instance utility (CPU saved by reuse).
     pub utility: SimDuration,
     /// Observed per-instance occurrence count.

@@ -9,9 +9,11 @@
 //! runtime statistics — never from optimizer estimates.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use scope_common::hash::Sig128;
 use scope_common::ids::{JobId, TemplateId, UserId, VcId};
+use scope_common::intern::Symbol;
 use scope_common::time::SimDuration;
 use scope_engine::repo::JobRecord;
 use scope_plan::{OpKind, PhysicalProps};
@@ -42,8 +44,8 @@ pub struct OverlapGroup {
     pub num_nodes: usize,
     /// Whether user code runs inside.
     pub has_user_code: bool,
-    /// Normalized input names feeding it (inverted-index tags).
-    pub input_tags: Vec<String>,
+    /// Normalized input names feeding it (inverted-index tags, interned).
+    pub input_tags: Vec<Symbol>,
     /// Mean cumulative CPU of computing the subgraph (utility unit).
     pub avg_cumulative_cpu: SimDuration,
     /// Mean output rows.
@@ -54,7 +56,8 @@ pub struct OverlapGroup {
     /// cost ratio of Figure 5d).
     pub avg_job_cpu: SimDuration,
     /// Observed output physical properties with vote counts (Section 5.3).
-    pub props_votes: Vec<(PhysicalProps, usize)>,
+    /// Shapes are shared with the enumeration's property pool.
+    pub props_votes: Vec<(Arc<PhysicalProps>, usize)>,
 }
 
 impl OverlapGroup {
@@ -126,13 +129,13 @@ pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
         root_kind: OpKind,
         num_nodes: usize,
         has_user_code: bool,
-        input_tags: Vec<String>,
+        input_tags: Vec<Symbol>,
         cum_cpu_sum: u128,
         rows_sum: u128,
         bytes_sum: u128,
         job_cpu_sum: u128,
         samples: u64,
-        props_votes: HashMap<PhysicalProps, usize>,
+        props_votes: HashMap<Arc<PhysicalProps>, usize>,
     }
     let mut by_norm: HashMap<Sig128, NormAcc> = HashMap::new();
     for r in records {
@@ -171,7 +174,7 @@ pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
             acc.bytes_sum += s.out_bytes as u128;
             acc.job_cpu_sum += r.cpu_time.micros() as u128;
             acc.samples += 1;
-            *acc.props_votes.entry(s.props.clone()).or_default() += 1;
+            *acc.props_votes.entry(Arc::clone(&s.props)).or_default() += 1;
         }
     }
 
@@ -179,7 +182,7 @@ pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
         .into_iter()
         .map(|(normalized, acc)| {
             let n = acc.samples.max(1) as u128;
-            let mut props_votes: Vec<(PhysicalProps, usize)> =
+            let mut props_votes: Vec<(Arc<PhysicalProps>, usize)> =
                 acc.props_votes.into_iter().collect();
             props_votes.sort_by_key(|v| std::cmp::Reverse(v.1));
             let mut jobs: Vec<JobId> = acc.jobs.into_iter().collect();
@@ -249,7 +252,7 @@ pub struct OverlapMetrics {
     pub per_vc: HashMap<VcId, u64>,
     /// Consumption count per input tag, counting only inputs consumed by
     /// the same subgraph at least twice (Figure 3b).
-    pub per_input: HashMap<String, u64>,
+    pub per_input: HashMap<Symbol, u64>,
     /// Jobs per VC (for percentage denominators).
     pub vc_jobs: HashMap<VcId, (usize, usize)>,
     /// Precise-signature frequency of every overlapping subgraph.
@@ -324,8 +327,8 @@ pub fn overlap_metrics(records: &[&JobRecord]) -> OverlapMetrics {
             if overlapping.contains(&s.precise) {
                 m.occurrences_overlapping += 1;
                 job_overlaps += 1;
-                for tag in &s.input_tags {
-                    *m.per_input.entry(tag.clone()).or_default() += 1;
+                for &tag in &s.input_tags {
+                    *m.per_input.entry(tag).or_default() += 1;
                 }
             }
         }

@@ -19,7 +19,7 @@ pub fn choose_design(group: &OverlapGroup) -> PhysicalProps {
     group
         .props_votes
         .first()
-        .map(|(p, _)| p.clone())
+        .map(|(p, _)| (**p).clone())
         .unwrap_or_else(PhysicalProps::any)
 }
 
@@ -44,7 +44,7 @@ pub fn design_variants(group: &OverlapGroup) -> Vec<PhysicalProps> {
         .props_votes
         .iter()
         .filter(|(_, c)| *c == top)
-        .map(|(p, _)| p.clone())
+        .map(|(p, _)| (**p).clone())
         .collect()
 }
 
@@ -57,6 +57,10 @@ mod tests {
     use scope_plan::OpKind;
 
     fn group_with_votes(votes: Vec<(PhysicalProps, usize)>) -> OverlapGroup {
+        let votes = votes
+            .into_iter()
+            .map(|(p, c)| (std::sync::Arc::new(p), c))
+            .collect();
         OverlapGroup {
             normalized: sip128(b"g"),
             sample_precise: sip128(b"p"),

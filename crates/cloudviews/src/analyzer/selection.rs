@@ -284,7 +284,7 @@ mod tests {
             avg_out_rows: 10,
             avg_out_bytes: bytes,
             avg_job_cpu: SimDuration::from_secs(cpu_secs * 4),
-            props_votes: vec![(PhysicalProps::any(), 1)],
+            props_votes: vec![(std::sync::Arc::new(PhysicalProps::any()), 1)],
         }
     }
 

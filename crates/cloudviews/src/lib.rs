@@ -51,13 +51,16 @@ pub mod admin;
 pub mod analyzer;
 pub mod faults;
 pub mod metadata;
+pub mod pipeline;
 pub mod reporting;
 pub mod runtime;
 
 pub use analyzer::{AnalysisOutcome, AnalyzerConfig, SelectedView, SelectionPolicy};
 pub use faults::{FaultInjector, FaultPlan, FaultSite, InjectedFaults, ScriptedFault};
 pub use metadata::{LockOutcome, LookupResponse, MetadataService};
+pub use pipeline::PipelineOptions;
 pub use runtime::{
     CloudViews, CloudViewsBuilder, DegradationPolicy, JobFaultReport, JobRunReport, PurgeReport,
     RunMode,
 };
+pub use scope_signature::{TemplateCache, TemplateCacheStats};

@@ -25,6 +25,7 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
+use scope_common::intern::Symbol;
 use scope_common::telemetry::{Counter, Gauge, Histogram, MetricUnit, Telemetry};
 use scope_common::time::{SimClock, SimDuration, SimTime};
 use scope_common::{Result, ScopeError};
@@ -156,8 +157,9 @@ pub struct MetadataStats {
 pub struct MetadataService {
     /// Annotations by normalized signature.
     annotations: RwLock<HashMap<Sig128, Annotation>>,
-    /// Inverted index: normalized tag → normalized signatures.
-    inverted: RwLock<HashMap<String, HashSet<Sig128>>>,
+    /// Inverted index: normalized tag → normalized signatures. Keys are
+    /// interned symbols, so a lookup probe is integer hashing.
+    inverted: RwLock<HashMap<Symbol, HashSet<Sig128>>>,
     /// Exclusive build locks by precise signature.
     locks: Mutex<HashMap<Sig128, BuildLock>>,
     /// Registered materialized views by precise signature.
@@ -218,9 +220,9 @@ impl MetadataService {
         inverted.clear();
         for s in selected {
             annotations.insert(s.annotation.normalized, s.annotation.clone());
-            for tag in &s.input_tags {
+            for &tag in &s.input_tags {
                 inverted
-                    .entry(tag.clone())
+                    .entry(tag)
                     .or_default()
                     .insert(s.annotation.normalized);
             }
@@ -238,7 +240,7 @@ impl MetadataService {
     /// `ServiceUnavailable` and the index is never consulted. The runtime
     /// retries with backoff and then falls back to the baseline plan
     /// (DESIGN.md "Fault tolerance & degradation").
-    pub fn relevant_views_for(&self, job: JobId, job_tags: &[String]) -> Result<LookupResponse> {
+    pub fn relevant_views_for(&self, job: JobId, job_tags: &[Symbol]) -> Result<LookupResponse> {
         if self.injected_failure(FaultSite::MetadataLookup, job) {
             self.stats.lock().failed_lookups += 1;
             if let Some(t) = self.telemetry.read().as_ref() {
@@ -583,7 +585,7 @@ mod tests {
                 avg_rows: 100,
                 avg_bytes: 1000,
             },
-            input_tags: tags.iter().map(|s| s.to_string()).collect(),
+            input_tags: tags.iter().map(|s| Symbol::intern(s)).collect(),
             utility: SimDuration::from_secs(30),
             frequency: 3,
             precise_last_seen: Sig128::ZERO,
@@ -808,13 +810,16 @@ mod tests {
             let m = Arc::new(service());
             let p = sip128(format!("race{round}").as_bytes());
             let ttl = SimDuration::from_secs(3600);
+            // Acquire before spawning the contender so the race under test
+            // is propose-vs-registration, not propose-vs-propose (under
+            // load the contender could otherwise win the first propose).
+            assert_eq!(
+                m.propose(p, JobId::new(1), ttl).unwrap(),
+                LockOutcome::Acquired
+            );
             let builder = {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
-                    assert_eq!(
-                        m.propose(p, JobId::new(1), ttl).unwrap(),
-                        LockOutcome::Acquired
-                    );
                     m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
                         .unwrap();
                 })

@@ -1,0 +1,729 @@
+//! The staged per-job pipeline and the multi-job driver.
+//!
+//! One job attempt is a fixed sequence of five [`Stage`]s — metadata lookup
+//! → reuse rewrite (optimize) → execute → publish → record — mirroring the
+//! paper's per-job path (Sections 6.1–6.4) and the span tree of DESIGN.md
+//! §8: the stage driver opens one child span per stage at the attempt's
+//! simulated cursor, runs the stage (which advances the cursor by whatever
+//! simulated latency it charges), and closes the span at the new cursor
+//! with the stage's outcome label. A stage that fails leaves its span
+//! unfinished, exactly like the pre-staged driver's early returns.
+//!
+//! Many jobs run through [`CloudViews::run_many`]: a work-stealing worker
+//! pool with bounded admission. Jobs are dealt round-robin onto per-worker
+//! deques; an idle worker first drains its own deque from the front, then
+//! steals from the back of a victim's. Admission is a counting semaphore
+//! bounding jobs in flight (modeling the job service's admission control),
+//! and each job runs under `catch_unwind` so one pathological job cannot
+//! take down the driver or its siblings.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+use scope_common::hash::Sig128;
+use scope_common::ids::JobId;
+use scope_common::time::{SimDuration, SimTime};
+use scope_common::{Result, ScopeError};
+use scope_engine::data::multiset_checksum;
+use scope_engine::exec::{execute_plan, ExecOutcome};
+use scope_engine::job::{materialize_marked_views, JobSpec};
+use scope_engine::optimizer::{optimize_with_infos, Annotation, OptimizedPlan, OptimizerConfig};
+use scope_engine::repo::JobIdentity;
+use scope_engine::sim::{simulate, SimOutcome};
+use scope_signature::CompiledJob;
+
+use crate::faults::FaultSite;
+use crate::metadata::MetadataService;
+use crate::runtime::{
+    panic_message, AttemptFailure, CloudViews, JobFaultReport, JobRunReport, RunMode,
+};
+
+/// A job-start-pinned view of the metadata service: view availability is
+/// judged at the job's submission time, so a job overlapping with the
+/// builder does not see a view that was published after this job started.
+///
+/// Materialization proposals go through the fault-aware
+/// [`MetadataService::propose`]; an injected propose failure is counted
+/// here and the optimizer simply skips that materialization.
+struct PinnedServices<'a> {
+    svc: &'a MetadataService,
+    now: SimTime,
+    propose_faults: std::cell::Cell<u64>,
+}
+
+impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
+    fn view_available(&self, precise: Sig128) -> Option<scope_engine::optimizer::AvailableView> {
+        self.svc.view_available_at(precise, self.now)
+    }
+
+    fn propose_materialize(
+        &self,
+        precise: Sig128,
+        _normalized: Sig128,
+        job: JobId,
+        lock_ttl: SimDuration,
+    ) -> bool {
+        match self.svc.propose(precise, job, lock_ttl) {
+            Ok(outcome) => outcome == crate::metadata::LockOutcome::Acquired,
+            Err(_) => {
+                self.propose_faults.set(self.propose_faults.get() + 1);
+                false
+            }
+        }
+    }
+}
+
+/// Everything one attempt accumulates while flowing through the stages.
+///
+/// `cursor` is the attempt's simulated-time position: each stage's span
+/// opens at the cursor it inherits and closes at the cursor it leaves
+/// behind, so span shapes are defined by how stages advance it (the lookup
+/// charges its modeled latency, optimize is zero-width, execute charges the
+/// simulated runtime, publish charges view-write latency, record is
+/// zero-width at job end).
+pub(crate) struct AttemptCtx<'a> {
+    spec: &'a JobSpec,
+    mode: RunMode,
+    start: SimTime,
+    cursor: SimTime,
+    compiled: &'a CompiledJob,
+    faults: &'a mut JobFaultReport,
+    /// Outcome label for the stage currently running (taken by the driver).
+    outcome: Option<&'static str>,
+    pinned: PinnedServices<'a>,
+    opt_config: OptimizerConfig,
+    annotations: Vec<Annotation>,
+    lookup_latency: SimDuration,
+    plan: Option<OptimizedPlan>,
+    exec: Option<ExecOutcome>,
+    sim: Option<SimOutcome>,
+    views_built: Vec<Sig128>,
+    extra_cpu: SimDuration,
+    extra_latency: SimDuration,
+}
+
+impl AttemptCtx<'_> {
+    fn into_report(self) -> JobRunReport {
+        let plan = self.plan.expect("optimize stage ran");
+        let exec = self.exec.expect("execute stage ran");
+        let sim = self.sim.expect("execute stage ran");
+        let latency = self.lookup_latency + sim.latency + self.extra_latency;
+        JobRunReport {
+            job: self.spec.id,
+            started_at: self.start,
+            latency,
+            cpu_time: sim.cpu_time + self.extra_cpu,
+            lookup_latency: self.lookup_latency,
+            views_built: self.views_built,
+            views_reused: plan.reused.iter().map(|r| r.precise).collect(),
+            optimizer: plan.report.clone(),
+            output_checksums: exec
+                .outputs
+                .iter()
+                .map(|(name, t)| (name.clone(), multiset_checksum(t)))
+                .collect(),
+            output_rows: exec
+                .outputs
+                .iter()
+                .map(|(name, t)| (name.clone(), t.num_rows()))
+                .collect(),
+            faults: JobFaultReport::default(),
+        }
+    }
+}
+
+/// One unit of the per-job pipeline. Stages are stateless; everything an
+/// attempt owns lives in [`AttemptCtx`].
+pub(crate) trait Stage {
+    /// Span name (DESIGN.md §8's stage-to-span mapping is the identity).
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage, advancing `ctx.cursor` by any simulated latency the
+    /// stage charges and leaving its products in `ctx`.
+    fn run(
+        &self,
+        cv: &CloudViews,
+        ctx: &mut AttemptCtx<'_>,
+    ) -> std::result::Result<(), AttemptFailure>;
+}
+
+/// Stage 1 — the compiler's one metadata lookup per job (Section 6.1),
+/// retried under the degradation policy; exhausted retries degrade the job
+/// to its baseline plan. Tags come from the template-cache compile, not a
+/// fresh signature pass.
+struct LookupStage;
+
+impl Stage for LookupStage {
+    fn name(&self) -> &'static str {
+        "metadata_lookup"
+    }
+
+    fn run(
+        &self,
+        cv: &CloudViews,
+        ctx: &mut AttemptCtx<'_>,
+    ) -> std::result::Result<(), AttemptFailure> {
+        let (annotations, lookup_latency) = match ctx.mode {
+            RunMode::Baseline => (Vec::new(), SimDuration::ZERO),
+            RunMode::CloudViews => {
+                cv.lookup_with_retry(ctx.spec.id, &ctx.compiled.tags, ctx.faults)
+            }
+        };
+        ctx.annotations = annotations;
+        ctx.lookup_latency = lookup_latency;
+        ctx.cursor = ctx.start + lookup_latency;
+        Ok(())
+    }
+}
+
+/// Stage 2 — the reuse rewrite: optimize with the pinned metadata service
+/// as the view oracle (Figure 10's two hooks), reusing the subgraph records
+/// from the template-cache compile instead of re-enumerating.
+struct OptimizeStage;
+
+impl Stage for OptimizeStage {
+    fn name(&self) -> &'static str {
+        "optimize"
+    }
+
+    fn run(
+        &self,
+        cv: &CloudViews,
+        ctx: &mut AttemptCtx<'_>,
+    ) -> std::result::Result<(), AttemptFailure> {
+        let _ = cv;
+        let plan = optimize_with_infos(
+            &ctx.spec.graph,
+            &ctx.compiled.infos,
+            &ctx.annotations,
+            &ctx.pinned,
+            &ctx.opt_config,
+            ctx.spec.id,
+        )
+        .map_err(AttemptFailure::Fatal)?;
+        ctx.outcome = (!plan.reused.is_empty()).then_some("reuse");
+        ctx.plan = Some(plan);
+        Ok(())
+    }
+}
+
+/// Stage 3 — execute and simulate. A matched view that cannot be read back
+/// (lost or corrupted file) is not fatal: unregister it and re-optimize
+/// without reuse — the paper's fallback to recomputation.
+struct ExecuteStage;
+
+impl Stage for ExecuteStage {
+    fn name(&self) -> &'static str {
+        "execute"
+    }
+
+    fn run(
+        &self,
+        cv: &CloudViews,
+        ctx: &mut AttemptCtx<'_>,
+    ) -> std::result::Result<(), AttemptFailure> {
+        let plan_ref = ctx.plan.as_ref().expect("optimize stage ran");
+        let exec = match execute_plan(&plan_ref.physical, &cv.storage, &cv.cost, ctx.start) {
+            Ok(exec) => exec,
+            Err(ScopeError::ViewUnavailable(_)) if !plan_ref.reused.is_empty() => {
+                ctx.faults.view_read_fallbacks += 1;
+                if cv.degradation.unregister_dead_views {
+                    for r in &plan_ref.reused {
+                        if cv.storage.open_view(r.precise, ctx.start).is_err() {
+                            cv.metadata.unregister_views(&[r.precise]);
+                            cv.storage.delete_view(r.precise);
+                            ctx.faults.dead_views_unregistered += 1;
+                        }
+                    }
+                }
+                let no_reuse = OptimizerConfig {
+                    enable_reuse: false,
+                    ..ctx.opt_config.clone()
+                };
+                let plan = optimize_with_infos(
+                    &ctx.spec.graph,
+                    &ctx.compiled.infos,
+                    &ctx.annotations,
+                    &ctx.pinned,
+                    &no_reuse,
+                    ctx.spec.id,
+                )
+                .map_err(AttemptFailure::Fatal)?;
+                let exec = execute_plan(&plan.physical, &cv.storage, &cv.cost, ctx.start)
+                    .map_err(AttemptFailure::Fatal)?;
+                ctx.plan = Some(plan);
+                exec
+            }
+            Err(e) => return Err(AttemptFailure::Fatal(e)),
+        };
+        ctx.faults.propose_faults += ctx.pinned.propose_faults.get();
+        let sim = simulate(
+            &ctx.plan.as_ref().expect("plan set").physical,
+            &exec,
+            &cv.cluster,
+        );
+        ctx.cursor += sim.latency;
+        cv.record_sim_metrics(&sim);
+        ctx.exec = Some(exec);
+        ctx.sim = Some(sim);
+        Ok(())
+    }
+}
+
+/// Stage 4 — materialize marked views and publish each one (early — at its
+/// producing stage's completion time — or at job end, Section 6.4). This is
+/// the stage where an injected builder crash kills the attempt: the error
+/// propagates with the latency already wasted, the stage's span stays
+/// unfinished, and the driver restarts the job.
+struct PublishStage;
+
+impl Stage for PublishStage {
+    fn name(&self) -> &'static str {
+        "publish"
+    }
+
+    fn run(
+        &self,
+        cv: &CloudViews,
+        ctx: &mut AttemptCtx<'_>,
+    ) -> std::result::Result<(), AttemptFailure> {
+        let plan = ctx.plan.as_ref().expect("optimize stage ran");
+        let exec = ctx.exec.as_ref().expect("execute stage ran");
+        let sim = ctx.sim.as_ref().expect("execute stage ran");
+        let built = materialize_marked_views(plan, exec, sim, &cv.cost, ctx.spec.id, ctx.start)
+            .map_err(AttemptFailure::Fatal)?;
+        let job_end_offset = ctx.lookup_latency
+            + sim.latency
+            + built.iter().map(|b| b.extra_latency).sum::<SimDuration>();
+        for b in built {
+            // The builder may die right here — mid-materialization, after
+            // winning its build lock, before publishing this view.
+            if let Some(inj) = &cv.faults {
+                if inj.should_fail(FaultSite::BuilderCrash, ctx.spec.id) {
+                    return Err(AttemptFailure::BuilderCrash {
+                        wasted_latency: ctx.lookup_latency + sim.latency + ctx.extra_latency,
+                    });
+                }
+            }
+            ctx.extra_cpu += b.extra_cpu;
+            ctx.extra_latency += b.extra_latency;
+            let mut available_at = if cv.early_materialization {
+                ctx.start + ctx.lookup_latency + b.available_offset
+            } else {
+                ctx.start + job_end_offset
+            };
+            if let Some(inj) = &cv.faults {
+                let delay = inj.publication_delay();
+                if delay > SimDuration::ZERO {
+                    available_at += delay;
+                    ctx.faults.delayed_publications += 1;
+                }
+            }
+            let view = scope_engine::optimizer::AvailableView {
+                precise: b.file.meta.precise,
+                rows: b.file.meta.rows,
+                bytes: b.file.meta.bytes,
+                props: b.file.props.clone(),
+            };
+            let expires_at = b.file.meta.expires_at;
+            let precise = b.file.meta.precise;
+            ctx.views_built.push(precise);
+            cv.storage
+                .publish_view(b.file)
+                .map_err(AttemptFailure::Fatal)?;
+            // The stored file's fate: the plan may lose or corrupt it right
+            // after publication (readers fall back to recomputation).
+            if let Some(inj) = &cv.faults {
+                inj.apply_view_fate(&cv.storage, precise, ctx.spec.id);
+            }
+            if cv
+                .metadata
+                .report_materialized(view, ctx.spec.id, available_at, expires_at)
+                .is_err()
+            {
+                // Lost report: the file is orphaned (never visible) and the
+                // build lock lapses at its mined expiry.
+                ctx.faults.report_faults += 1;
+            }
+        }
+        ctx.cursor += ctx.extra_latency;
+        Ok(())
+    }
+}
+
+/// Stage 5 — close the feedback loop: reconcile the run into the workload
+/// repository, reusing the template-cache compile's subgraph records and
+/// tags instead of re-enumerating the plan.
+struct RecordStage;
+
+impl Stage for RecordStage {
+    fn name(&self) -> &'static str {
+        "record"
+    }
+
+    fn run(
+        &self,
+        cv: &CloudViews,
+        ctx: &mut AttemptCtx<'_>,
+    ) -> std::result::Result<(), AttemptFailure> {
+        if cv.record_runs {
+            let spec = ctx.spec;
+            cv.repo
+                .record_compiled(
+                    JobIdentity {
+                        job: spec.id,
+                        cluster: spec.cluster,
+                        vc: spec.vc,
+                        user: spec.user,
+                        template: spec.template,
+                        instance: spec.instance,
+                        submitted_at: ctx.start,
+                    },
+                    &ctx.compiled.infos,
+                    &ctx.compiled.tags,
+                    ctx.plan.as_ref().expect("optimize stage ran"),
+                    ctx.exec.as_ref().expect("execute stage ran"),
+                    ctx.sim.as_ref().expect("execute stage ran"),
+                )
+                .map_err(AttemptFailure::Fatal)?;
+        }
+        Ok(())
+    }
+}
+
+/// The pipeline, in order. Adding a stage here adds its child span to every
+/// job's trace — keep DESIGN.md §9's stage table in sync.
+const STAGES: [&dyn Stage; 5] = [
+    &LookupStage,
+    &OptimizeStage,
+    &ExecuteStage,
+    &PublishStage,
+    &RecordStage,
+];
+
+/// One attempt at running a job end to end through the stage pipeline.
+///
+/// The driver owns the per-stage telemetry: each stage gets a child span of
+/// `root` opening at the attempt's simulated cursor and closing at the
+/// cursor the stage left behind, labeled with the stage's outcome. A failed
+/// stage's span is deliberately dropped unfinished (a crashed builder never
+/// reports a publish time).
+pub(crate) fn run_attempt(
+    cv: &CloudViews,
+    spec: &JobSpec,
+    mode: RunMode,
+    start: SimTime,
+    compiled: &CompiledJob,
+    faults: &mut JobFaultReport,
+    root: &scope_common::telemetry::ActiveSpan,
+) -> std::result::Result<JobRunReport, AttemptFailure> {
+    cv.clock.advance_to(start);
+    let mut ctx = AttemptCtx {
+        spec,
+        mode,
+        start,
+        cursor: start,
+        compiled,
+        faults,
+        outcome: None,
+        pinned: PinnedServices {
+            svc: cv.metadata.as_ref(),
+            now: start,
+            propose_faults: std::cell::Cell::new(0),
+        },
+        opt_config: OptimizerConfig {
+            default_dop: cv.cluster.default_dop,
+            max_materialize_per_job: cv.max_materialize_per_job,
+            enable_reuse: mode == RunMode::CloudViews,
+            enable_materialize: mode == RunMode::CloudViews,
+            ..Default::default()
+        },
+        annotations: Vec::new(),
+        lookup_latency: SimDuration::ZERO,
+        plan: None,
+        exec: None,
+        sim: None,
+        views_built: Vec::new(),
+        extra_cpu: SimDuration::ZERO,
+        extra_latency: SimDuration::ZERO,
+    };
+    let tracer = &cv.telemetry.tracer;
+    for stage in STAGES {
+        let span = tracer.child(root, stage.name(), ctx.cursor);
+        stage.run(cv, &mut ctx)?;
+        tracer.finish_with(span, ctx.cursor, ctx.outcome.take());
+    }
+    Ok(ctx.into_report())
+}
+
+/// Options for [`CloudViews::run_many`]. The default (all zeros) means one
+/// worker per available core and unbounded admission.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineOptions {
+    /// Worker threads. `0` means one per available core (and never more
+    /// than the number of jobs).
+    pub workers: usize,
+    /// Jobs admitted concurrently (the admission-control bound). `0` means
+    /// unbounded.
+    pub max_in_flight: usize,
+}
+
+/// Counting semaphore (permits + condvar) bounding jobs in flight.
+struct Admission {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+struct Permit<'a>(&'a Admission);
+
+impl Admission {
+    fn new(permits: usize) -> Admission {
+        Admission {
+            permits: Mutex::new(permits),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free; `waited` reports whether admission
+    /// control actually held the job back.
+    fn acquire(&self) -> (Permit<'_>, bool) {
+        let mut permits = self.permits.lock().expect("admission lock poisoned");
+        let waited = *permits == 0;
+        while *permits == 0 {
+            permits = self.freed.wait(permits).expect("admission lock poisoned");
+        }
+        *permits -= 1;
+        (Permit(self), waited)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.0.permits.lock().expect("admission lock poisoned") += 1;
+        self.0.freed.notify_one();
+    }
+}
+
+/// Pops the next job index: own deque from the front, else steal from the
+/// back of the first non-empty victim. Returns `None` when every deque is
+/// drained (no stage re-enqueues, so empty-everywhere means done).
+fn next_job(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<(usize, bool)> {
+    if let Some(idx) = queues[own].lock().expect("queue poisoned").pop_front() {
+        return Some((idx, false));
+    }
+    for offset in 1..queues.len() {
+        let victim = (own + offset) % queues.len();
+        if let Some(idx) = queues[victim].lock().expect("queue poisoned").pop_back() {
+            return Some((idx, true));
+        }
+    }
+    None
+}
+
+impl CloudViews {
+    /// Runs a batch of jobs on a work-stealing worker pool with bounded
+    /// admission — the service-side driver for concurrent arrivals
+    /// (Sections 6.4/6.5 at fleet scale).
+    ///
+    /// Every job is submitted at the same simulated time (the clock's `now`
+    /// when the call is made). Jobs are dealt round-robin onto per-worker
+    /// deques; idle workers steal. At most `max_in_flight` jobs run
+    /// concurrently. Results come back in submission order; a job that
+    /// panics or errors yields its own `Err` without disturbing the others.
+    pub fn run_many(
+        &self,
+        specs: Vec<JobSpec>,
+        mode: RunMode,
+        options: PipelineOptions,
+    ) -> Vec<Result<JobRunReport>> {
+        let n = specs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = if options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            options.workers
+        }
+        .clamp(1, n);
+        let max_in_flight = if options.max_in_flight == 0 {
+            n
+        } else {
+            options.max_in_flight
+        };
+        let start = self.clock.now();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for idx in 0..n {
+            queues[idx % workers]
+                .lock()
+                .expect("queue poisoned")
+                .push_back(idx);
+        }
+        let admission = Admission::new(max_in_flight);
+        let results: Vec<Mutex<Option<Result<JobRunReport>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let specs = &specs;
+        let queues = &queues;
+        let admission = &admission;
+        let results = &results;
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                scope.spawn(move || {
+                    while let Some((idx, stolen)) = next_job(queues, worker) {
+                        if stolen {
+                            self.metrics.pipeline_steals.inc();
+                        }
+                        let (_permit, waited) = admission.acquire();
+                        if waited {
+                            self.metrics.pipeline_admission_waits.inc();
+                        }
+                        let spec = &specs[idx];
+                        let job = spec.id;
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| self.run_job_at(spec, mode, start)));
+                        let result = match outcome {
+                            Ok(result) => result,
+                            Err(payload) => Err(ScopeError::Execution(format!(
+                                "job {job} thread panicked: {}",
+                                panic_message(payload.as_ref())
+                            ))),
+                        };
+                        *results[idx].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+        results
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("result slot poisoned")
+                    .take()
+                    .expect("every job produced a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_engine::storage::StorageManager;
+    use scope_workload::dists::LogNormal;
+    use scope_workload::recurring::{ClusterSpec, RecurringWorkload, WorkloadConfig};
+    use std::sync::Arc;
+
+    fn setup() -> (CloudViews, RecurringWorkload) {
+        let workload = RecurringWorkload::generate(WorkloadConfig {
+            clusters: vec![ClusterSpec::tiny("pl")],
+            seed: 77,
+            stream_rows: LogNormal::new(5.8, 0.5, 100.0, 1_200.0),
+        })
+        .unwrap();
+        let storage = Arc::new(StorageManager::new());
+        let cv = CloudViews::builder(storage).build();
+        (cv, workload)
+    }
+
+    #[test]
+    fn run_many_matches_submission_order_and_outputs() {
+        let (cv, workload) = setup();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
+        let jobs = workload.jobs_for_instance(0, 0).unwrap();
+        let expected: Vec<_> = jobs.iter().map(|s| s.id).collect();
+        let reports = cv.run_many(
+            jobs,
+            RunMode::Baseline,
+            PipelineOptions {
+                workers: 3,
+                max_in_flight: 2,
+            },
+        );
+        let ids: Vec<_> = reports.iter().map(|r| r.as_ref().unwrap().job).collect();
+        assert_eq!(ids, expected, "results must come back in submission order");
+    }
+
+    #[test]
+    fn run_many_single_worker_equals_thread_per_job_aggregates() {
+        let (cv_a, workload) = setup();
+        workload
+            .register_instance_data(0, 0, &cv_a.storage, 1.0)
+            .unwrap();
+        let jobs = workload.jobs_for_instance(0, 0).unwrap();
+        let serial = cv_a.run_many(
+            jobs.clone(),
+            RunMode::Baseline,
+            PipelineOptions {
+                workers: 1,
+                max_in_flight: 1,
+            },
+        );
+
+        let (cv_b, workload_b) = setup();
+        workload_b
+            .register_instance_data(0, 0, &cv_b.storage, 1.0)
+            .unwrap();
+        let wide = cv_b.run_many(jobs, RunMode::Baseline, PipelineOptions::default());
+
+        for (a, b) in serial.iter().zip(&wide) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.job, b.job);
+            assert_eq!(a.output_checksums, b.output_checksums);
+            assert_eq!(a.latency, b.latency);
+        }
+    }
+
+    #[test]
+    fn run_many_isolates_a_panicking_job() {
+        let (cv, workload) = setup();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
+        let mut jobs = workload.jobs_for_instance(0, 0).unwrap();
+        // Point one job at data that was never registered: it fails alone.
+        let broken = workload.jobs_for_instance(0, 1).unwrap().remove(0);
+        let broken_id = broken.id;
+        jobs.push(broken);
+        let results = cv.run_many(
+            jobs,
+            RunMode::Baseline,
+            PipelineOptions {
+                workers: 2,
+                max_in_flight: 0,
+            },
+        );
+        let (ok, failed): (Vec<_>, Vec<_>) = results.iter().partition(|r| r.is_ok());
+        assert_eq!(failed.len(), 1, "exactly the broken job fails");
+        assert_eq!(ok.len(), results.len() - 1);
+        let _ = broken_id;
+    }
+
+    #[test]
+    fn admission_bound_never_exceeded() {
+        // With max_in_flight=1 the pipeline serializes: total lookups and
+        // job counts still match, and nothing deadlocks.
+        let (cv, workload) = setup();
+        workload
+            .register_instance_data(0, 0, &cv.storage, 1.0)
+            .unwrap();
+        let jobs = workload.jobs_for_instance(0, 0).unwrap();
+        let n = jobs.len();
+        let reports = cv.run_many(
+            jobs,
+            RunMode::CloudViews,
+            PipelineOptions {
+                workers: 4,
+                max_in_flight: 1,
+            },
+        );
+        assert_eq!(reports.len(), n);
+        assert!(reports.iter().all(|r| r.is_ok()));
+        assert_eq!(cv.metadata.stats().lookups, n as u64);
+    }
+}

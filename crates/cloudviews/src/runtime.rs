@@ -45,57 +45,22 @@ use std::sync::Arc;
 
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
+use scope_common::intern::Symbol;
 use scope_common::telemetry::{ActiveSpan, Counter, Histogram, MetricUnit, Telemetry};
 use scope_common::time::{SimClock, SimDuration, SimTime};
 use scope_common::{Result, ScopeError};
 use scope_engine::cost::CostModel;
-use scope_engine::data::multiset_checksum;
-use scope_engine::exec::execute_plan;
-use scope_engine::job::{materialize_marked_views, JobSpec};
-use scope_engine::optimizer::{optimize, OptimizerConfig, OptimizerReport};
-use scope_engine::repo::{JobIdentity, WorkloadRepository};
-use scope_engine::sim::{simulate, ClusterConfig, SimOutcome};
+use scope_engine::job::JobSpec;
+use scope_engine::optimizer::OptimizerReport;
+use scope_engine::repo::WorkloadRepository;
+use scope_engine::sim::{ClusterConfig, SimOutcome};
 use scope_engine::storage::StorageManager;
-use scope_signature::job_tags;
+use scope_signature::TemplateCache;
 
 use crate::analyzer::{run_analysis, AnalysisOutcome, AnalyzerConfig};
-use crate::faults::{FaultInjector, FaultPlan, FaultSite};
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::metadata::MetadataService;
-
-/// A job-start-pinned view of the metadata service: view availability is
-/// judged at the job's submission time, so a job overlapping with the
-/// builder does not see a view that was published after this job started.
-///
-/// Materialization proposals go through the fault-aware
-/// [`MetadataService::propose`]; an injected propose failure is counted
-/// here and the optimizer simply skips that materialization.
-struct PinnedServices<'a> {
-    svc: &'a MetadataService,
-    now: SimTime,
-    propose_faults: std::cell::Cell<u64>,
-}
-
-impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
-    fn view_available(&self, precise: Sig128) -> Option<scope_engine::optimizer::AvailableView> {
-        self.svc.view_available_at(precise, self.now)
-    }
-
-    fn propose_materialize(
-        &self,
-        precise: Sig128,
-        _normalized: Sig128,
-        job: scope_common::ids::JobId,
-        lock_ttl: scope_common::time::SimDuration,
-    ) -> bool {
-        match self.svc.propose(precise, job, lock_ttl) {
-            Ok(outcome) => outcome == crate::metadata::LockOutcome::Acquired,
-            Err(_) => {
-                self.propose_faults.set(self.propose_faults.get() + 1);
-                false
-            }
-        }
-    }
-}
+use crate::pipeline::{self, PipelineOptions};
 
 /// Whether a job runs with CloudViews on or off.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -227,7 +192,7 @@ pub struct JobRunReport {
 /// Best-effort extraction of a panic payload's message (`panic!` with a
 /// string literal or a formatted `String` covers practically every panic in
 /// this workspace).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     payload
         .downcast_ref::<&str>()
         .copied()
@@ -236,7 +201,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 }
 
 /// Why one attempt at a job did not produce a report.
-enum AttemptFailure {
+pub(crate) enum AttemptFailure {
     /// The fault injector killed the builder mid-materialization; the
     /// driver restarts the job (its build lock stays held and is
     /// re-acquired by the restart, or lapses at its mined expiry).
@@ -260,7 +225,7 @@ pub struct PurgeReport {
 
 /// Cached telemetry handles for the per-job path, resolved once at service
 /// construction so each job pays a handful of atomic operations.
-struct RuntimeMetrics {
+pub(crate) struct RuntimeMetrics {
     jobs: Counter,
     jobs_reuse_hit: Counter,
     jobs_build: Counter,
@@ -276,6 +241,10 @@ struct RuntimeMetrics {
     vertices: Counter,
     stage_vertices: Histogram,
     token_occupancy: Histogram,
+    template_hits: Counter,
+    template_misses: Counter,
+    pub(crate) pipeline_steals: Counter,
+    pub(crate) pipeline_admission_waits: Counter,
 }
 
 impl RuntimeMetrics {
@@ -297,6 +266,10 @@ impl RuntimeMetrics {
             vertices: m.counter("cv_sim_vertices_total"),
             stage_vertices: m.histogram("cv_sim_stage_vertices", MetricUnit::Count),
             token_occupancy: m.histogram("cv_sim_token_occupancy_pct", MetricUnit::Count),
+            template_hits: m.counter("cv_template_cache_hits_total"),
+            template_misses: m.counter("cv_template_cache_misses_total"),
+            pipeline_steals: m.counter("cv_pipeline_steals_total"),
+            pipeline_admission_waits: m.counter("cv_pipeline_admission_waits_total"),
         }
     }
 }
@@ -329,8 +302,12 @@ pub struct CloudViews {
     pub faults: Option<Arc<FaultInjector>>,
     /// Telemetry sink shared by every instrumented component.
     pub telemetry: Arc<Telemetry>,
+    /// Compile-path template cache: recurring jobs whose normalized
+    /// signatures match a cached skeleton skip subgraph enumeration and
+    /// property derivation, re-deriving only the precise hashes.
+    pub templates: Arc<TemplateCache>,
     /// Pre-resolved metric handles for the per-job path.
-    metrics: RuntimeMetrics,
+    pub(crate) metrics: RuntimeMetrics,
 }
 
 /// Fluent construction for [`CloudViews`]: every collaborating service
@@ -360,6 +337,7 @@ pub struct CloudViewsBuilder {
     degradation: DegradationPolicy,
     fault_plan: Option<FaultPlan>,
     telemetry: Arc<Telemetry>,
+    templates: Arc<TemplateCache>,
 }
 
 impl CloudViewsBuilder {
@@ -378,6 +356,7 @@ impl CloudViewsBuilder {
             degradation: DegradationPolicy::default(),
             fault_plan: None,
             telemetry: Telemetry::new(),
+            templates: Arc::new(TemplateCache::new()),
         }
     }
 
@@ -443,6 +422,13 @@ impl CloudViewsBuilder {
         self
     }
 
+    /// Shares a compile-path template cache (e.g. one cache across service
+    /// instances, or a pre-warmed cache in benchmarks).
+    pub fn template_cache(mut self, templates: Arc<TemplateCache>) -> Self {
+        self.templates = templates;
+        self
+    }
+
     /// Assembles the service: builds the metadata service on the shared
     /// clock and wires the fault injector and telemetry sink into every
     /// component.
@@ -472,6 +458,7 @@ impl CloudViewsBuilder {
             degradation: self.degradation,
             faults,
             telemetry: self.telemetry,
+            templates: self.templates,
             metrics,
         }
     }
@@ -481,16 +468,6 @@ impl CloudViews {
     /// Starts a [`CloudViewsBuilder`] over the given storage.
     pub fn builder(storage: Arc<StorageManager>) -> CloudViewsBuilder {
         CloudViewsBuilder::new(storage)
-    }
-
-    /// Builds a service over the given storage with default configuration
-    /// (5 metadata service threads, early materialization on).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `CloudViews::builder` / `CloudViewsBuilder`"
-    )]
-    pub fn new(storage: Arc<StorageManager>) -> CloudViews {
-        CloudViewsBuilder::new(storage).build()
     }
 
     /// Installs a fault plan: builds the injector and shares it with the
@@ -556,15 +533,38 @@ impl CloudViews {
     ) -> Result<JobRunReport> {
         let root = self.telemetry.tracer.root("job", Some(spec.id), start);
         let wall_start = std::time::Instant::now();
+        let result = self.drive_attempts(spec, mode, start, &root);
+        self.finish_job(root, start, wall_start, &result);
+        result
+    }
+
+    /// Compiles the job once through the template cache, then drives
+    /// attempts through the stage pipeline until one succeeds, the builder
+    /// crash budget is exhausted, or a fatal error surfaces.
+    fn drive_attempts(
+        &self,
+        spec: &JobSpec,
+        mode: RunMode,
+        start: SimTime,
+        root: &ActiveSpan,
+    ) -> Result<JobRunReport> {
+        // One signature/enumeration compile per job — shared by the lookup,
+        // optimize, and record stages across every restart.
+        let compiled = self.templates.compile(&spec.graph)?;
+        if compiled.template_hit {
+            self.metrics.template_hits.inc();
+        } else {
+            self.metrics.template_misses.inc();
+        }
         let mut faults = JobFaultReport::default();
         let mut restarts = 0u32;
-        let result = loop {
-            match self.run_job_attempt(spec, mode, start, &mut faults, &root) {
+        loop {
+            match pipeline::run_attempt(self, spec, mode, start, &compiled, &mut faults, root) {
                 Ok(mut report) => {
                     report.latency += faults.degraded_latency;
                     report.faults = faults;
                     self.clock.advance_to(start + report.latency);
-                    break Ok(report);
+                    return Ok(report);
                 }
                 Err(AttemptFailure::BuilderCrash { wasted_latency }) => {
                     faults.builder_crashes += 1;
@@ -572,18 +572,16 @@ impl CloudViews {
                     self.metrics.job_restarts.inc();
                     restarts += 1;
                     if restarts > self.degradation.max_restarts {
-                        break Err(ScopeError::Execution(format!(
+                        return Err(ScopeError::Execution(format!(
                             "job {} failed: builder crashed {restarts} times \
                              (max_restarts={})",
                             spec.id, self.degradation.max_restarts
                         )));
                     }
                 }
-                Err(AttemptFailure::Fatal(e)) => break Err(e),
+                Err(AttemptFailure::Fatal(e)) => return Err(e),
             }
-        };
-        self.finish_job(root, start, wall_start, &result);
-        result
+        }
     }
 
     /// Closes the job's root span and updates the per-job outcome counters.
@@ -642,15 +640,15 @@ impl CloudViews {
     /// still pays the modeled lookup latency, plus backoff before each
     /// retry; exhausted retries degrade to the baseline plan (no
     /// annotations).
-    fn lookup_with_retry(
+    pub(crate) fn lookup_with_retry(
         &self,
-        spec: &JobSpec,
+        job: JobId,
+        tags: &[Symbol],
         faults: &mut JobFaultReport,
     ) -> (Vec<scope_engine::optimizer::Annotation>, SimDuration) {
-        let tags = job_tags(&spec.graph);
         let mut latency = SimDuration::ZERO;
         for attempt in 0..=self.degradation.lookup_retries {
-            match self.metadata.relevant_views_for(spec.id, &tags) {
+            match self.metadata.relevant_views_for(job, tags) {
                 Ok(resp) => return (resp.annotations, latency + resp.latency),
                 Err(_) => {
                     faults.lookup_faults += 1;
@@ -668,203 +666,10 @@ impl CloudViews {
         (Vec::new(), latency)
     }
 
-    /// One attempt at running the job end to end. Returns
-    /// [`AttemptFailure::BuilderCrash`] when the fault injector kills the
-    /// builder mid-materialization — the caller restarts the job; the
-    /// crashed attempt published nothing past the crash point and its build
-    /// lock stays held (the restarted job re-acquires it; if the job never
-    /// returns, the lock lapses at its mined expiry).
-    fn run_job_attempt(
-        &self,
-        spec: &JobSpec,
-        mode: RunMode,
-        start: SimTime,
-        faults: &mut JobFaultReport,
-        root: &ActiveSpan,
-    ) -> std::result::Result<JobRunReport, AttemptFailure> {
-        self.clock.advance_to(start);
-        let tracer = &self.telemetry.tracer;
-
-        // 1. Compiler: one metadata lookup per job (retried on failure).
-        let span = tracer.child(root, "metadata_lookup", start);
-        let (annotations, lookup_latency) = match mode {
-            RunMode::Baseline => (Vec::new(), SimDuration::ZERO),
-            RunMode::CloudViews => self.lookup_with_retry(spec, faults),
-        };
-        tracer.finish(span, start + lookup_latency);
-        let after_lookup = start + lookup_latency;
-
-        // 2. Optimize with the metadata service as the view oracle.
-        let span = tracer.child(root, "optimize", after_lookup);
-        let opt_config = OptimizerConfig {
-            default_dop: self.cluster.default_dop,
-            max_materialize_per_job: self.max_materialize_per_job,
-            enable_reuse: mode == RunMode::CloudViews,
-            enable_materialize: mode == RunMode::CloudViews,
-            ..Default::default()
-        };
-        let pinned = PinnedServices {
-            svc: self.metadata.as_ref(),
-            now: start,
-            propose_faults: std::cell::Cell::new(0),
-        };
-        let mut plan = optimize(&spec.graph, &annotations, &pinned, &opt_config, spec.id)
-            .map_err(AttemptFailure::Fatal)?;
-        tracer.finish_with(
-            span,
-            after_lookup,
-            (!plan.reused.is_empty()).then_some("reuse"),
-        );
-
-        // 3. Execute and simulate. A matched view that cannot be read back
-        // (lost or corrupted file) is not fatal: unregister it and
-        // re-optimize without reuse — the paper's fallback to recomputation.
-        let span = tracer.child(root, "execute", after_lookup);
-        let exec = match execute_plan(&plan.physical, &self.storage, &self.cost, start) {
-            Ok(exec) => exec,
-            Err(ScopeError::ViewUnavailable(_)) if !plan.reused.is_empty() => {
-                faults.view_read_fallbacks += 1;
-                if self.degradation.unregister_dead_views {
-                    for r in &plan.reused {
-                        if self.storage.open_view(r.precise, start).is_err() {
-                            self.metadata.unregister_views(&[r.precise]);
-                            self.storage.delete_view(r.precise);
-                            faults.dead_views_unregistered += 1;
-                        }
-                    }
-                }
-                let no_reuse = OptimizerConfig {
-                    enable_reuse: false,
-                    ..opt_config
-                };
-                plan = optimize(&spec.graph, &annotations, &pinned, &no_reuse, spec.id)
-                    .map_err(AttemptFailure::Fatal)?;
-                execute_plan(&plan.physical, &self.storage, &self.cost, start)
-                    .map_err(AttemptFailure::Fatal)?
-            }
-            Err(e) => return Err(AttemptFailure::Fatal(e)),
-        };
-        faults.propose_faults += pinned.propose_faults.get();
-        let sim = simulate(&plan.physical, &exec, &self.cluster);
-        tracer.finish(span, after_lookup + sim.latency);
-        self.record_sim_metrics(&sim);
-
-        // 4. Materialize marked views and publish them (early or at end).
-        let span = tracer.child(root, "publish", after_lookup + sim.latency);
-        let built = materialize_marked_views(&plan, &exec, &sim, &self.cost, spec.id, start)
-            .map_err(AttemptFailure::Fatal)?;
-        let mut extra_cpu = SimDuration::ZERO;
-        let mut extra_latency = SimDuration::ZERO;
-        let mut views_built = Vec::with_capacity(built.len());
-        let job_end_offset = lookup_latency
-            + sim.latency
-            + built.iter().map(|b| b.extra_latency).sum::<SimDuration>();
-        for b in built {
-            // The builder may die right here — mid-materialization, after
-            // winning its build lock, before publishing this view.
-            if let Some(inj) = &self.faults {
-                if inj.should_fail(FaultSite::BuilderCrash, spec.id) {
-                    return Err(AttemptFailure::BuilderCrash {
-                        wasted_latency: lookup_latency + sim.latency + extra_latency,
-                    });
-                }
-            }
-            extra_cpu += b.extra_cpu;
-            extra_latency += b.extra_latency;
-            let mut available_at = if self.early_materialization {
-                start + lookup_latency + b.available_offset
-            } else {
-                start + job_end_offset
-            };
-            if let Some(inj) = &self.faults {
-                let delay = inj.publication_delay();
-                if delay > SimDuration::ZERO {
-                    available_at += delay;
-                    faults.delayed_publications += 1;
-                }
-            }
-            let view = scope_engine::optimizer::AvailableView {
-                precise: b.file.meta.precise,
-                rows: b.file.meta.rows,
-                bytes: b.file.meta.bytes,
-                props: b.file.props.clone(),
-            };
-            let expires_at = b.file.meta.expires_at;
-            let precise = b.file.meta.precise;
-            views_built.push(precise);
-            self.storage
-                .publish_view(b.file)
-                .map_err(AttemptFailure::Fatal)?;
-            // The stored file's fate: the plan may lose or corrupt it right
-            // after publication (readers fall back to recomputation).
-            if let Some(inj) = &self.faults {
-                inj.apply_view_fate(&self.storage, precise, spec.id);
-            }
-            if self
-                .metadata
-                .report_materialized(view, spec.id, available_at, expires_at)
-                .is_err()
-            {
-                // Lost report: the file is orphaned (never visible) and the
-                // build lock lapses at its mined expiry.
-                faults.report_faults += 1;
-            }
-        }
-        tracer.finish(span, after_lookup + sim.latency + extra_latency);
-
-        let latency = lookup_latency + sim.latency + extra_latency;
-        let cpu_time = sim.cpu_time + extra_cpu;
-
-        // 5. Close the feedback loop.
-        let span = tracer.child(root, "record", start + latency);
-        if self.record_runs {
-            self.repo
-                .record(
-                    JobIdentity {
-                        job: spec.id,
-                        cluster: spec.cluster,
-                        vc: spec.vc,
-                        user: spec.user,
-                        template: spec.template,
-                        instance: spec.instance,
-                        submitted_at: start,
-                    },
-                    &spec.graph,
-                    &plan,
-                    &exec,
-                    &sim,
-                )
-                .map_err(AttemptFailure::Fatal)?;
-        }
-        tracer.finish(span, start + latency);
-
-        Ok(JobRunReport {
-            job: spec.id,
-            started_at: start,
-            latency,
-            cpu_time,
-            lookup_latency,
-            views_built,
-            views_reused: plan.reused.iter().map(|r| r.precise).collect(),
-            optimizer: plan.report.clone(),
-            output_checksums: exec
-                .outputs
-                .iter()
-                .map(|(name, t)| (name.clone(), multiset_checksum(t)))
-                .collect(),
-            output_rows: exec
-                .outputs
-                .iter()
-                .map(|(name, t)| (name.clone(), t.num_rows()))
-                .collect(),
-            faults: JobFaultReport::default(),
-        })
-    }
-
     /// Records per-stage vertex counts and token occupancy from one job's
     /// simulation (the paper's token model: occupancy is the fraction of
     /// the VC's token-seconds the job's CPU time actually used).
-    fn record_sim_metrics(&self, sim: &SimOutcome) {
+    pub(crate) fn record_sim_metrics(&self, sim: &SimOutcome) {
         if !self.telemetry.is_enabled() {
             return;
         }
@@ -901,49 +706,35 @@ impl CloudViews {
         Ok(reports)
     }
 
-    /// Runs jobs on OS threads, all submitted at the same simulated time —
-    /// the concurrent-arrival scenario of Sections 6.4/6.5. Returns one
-    /// `Result` per job, in submission order: a job whose thread panics (or
+    /// Runs jobs all submitted at the same simulated time — the
+    /// concurrent-arrival scenario of Sections 6.4/6.5. Returns one
+    /// `Result` per job, in submission order: a job whose worker panics (or
     /// errors) yields its own `Err` without aborting the driver or the
     /// other jobs.
+    ///
+    /// This is [`CloudViews::run_many`] with one worker per job and no
+    /// admission bound (maximum contention on the build/use locks).
     pub fn run_concurrent_results(
         &self,
         specs: Vec<JobSpec>,
         mode: RunMode,
-    ) -> Vec<Result<JobRunReport>>
-    where
-        Self: Sync,
-    {
-        let start = self.clock.now();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = specs
-                .iter()
-                .map(|spec| {
-                    let job = spec.id;
-                    (job, scope.spawn(move || self.run_job_at(spec, mode, start)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|(job, h)| match h.join() {
-                    Ok(result) => result,
-                    Err(payload) => Err(ScopeError::Execution(format!(
-                        "job {job} thread panicked: {}",
-                        panic_message(payload.as_ref())
-                    ))),
-                })
-                .collect()
-        })
+    ) -> Vec<Result<JobRunReport>> {
+        let workers = specs.len().max(1);
+        self.run_many(
+            specs,
+            mode,
+            PipelineOptions {
+                workers,
+                max_in_flight: 0,
+            },
+        )
     }
 
     /// Like [`CloudViews::run_concurrent_results`], collected into one
     /// `Result`: the first failing job's error is returned, but only after
-    /// every thread has been joined (a pathological job cannot abort the
-    /// driver mid-flight).
-    pub fn run_concurrent(&self, specs: Vec<JobSpec>, mode: RunMode) -> Result<Vec<JobRunReport>>
-    where
-        Self: Sync,
-    {
+    /// every job has finished (a pathological job cannot abort the driver
+    /// mid-flight).
+    pub fn run_concurrent(&self, specs: Vec<JobSpec>, mode: RunMode) -> Result<Vec<JobRunReport>> {
         self.run_concurrent_results(specs, mode)
             .into_iter()
             .collect()

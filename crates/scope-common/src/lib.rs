@@ -14,6 +14,10 @@
 //!   signatures are stable across Rust versions, platforms, and process runs
 //!   (the paper's signatures are persisted in file paths and metadata
 //!   services, so stability is a hard requirement).
+//! * [`intern`] — a process-global string interner ([`intern::Symbol`])
+//!   and a hash-consing [`intern::SharedPool`], so recurring templates
+//!   share one allocation for stream names, tags, and physical-property
+//!   shapes instead of cloning them per compiled instance.
 //! * [`stats`] — summary statistics and CDF helpers used when regenerating
 //!   the paper's distribution figures (Figures 2–5).
 //! * [`telemetry`] — the observability layer: a lock-sharded metrics
@@ -25,11 +29,13 @@
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod intern;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 
 pub use error::{Result, ScopeError};
 pub use hash::{sip128, sip64, Sig128, SipHasher24};
+pub use intern::{SharedPool, Symbol};
 pub use telemetry::{MetricUnit, MetricsRegistry, MetricsSnapshot, Telemetry, Tracer};
 pub use time::{SimClock, SimDuration, SimTime};

@@ -98,7 +98,7 @@ pub fn execute_plan(
         };
         let cpu = model.op_cpu(&node.op, effective_in, out_rows, out_bytes);
         if let Operator::Output { name, .. } = &node.op {
-            outputs.insert(name.clone(), table.gather());
+            outputs.insert(name.as_str().to_string(), table.gather());
         }
         stats.push(NodeRuntimeStats {
             in_rows: effective_in,

@@ -219,9 +219,27 @@ pub fn optimize(
     config: &OptimizerConfig,
     job: JobId,
 ) -> Result<OptimizedPlan> {
+    let infos = enumerate_subgraphs(logical)?;
+    optimize_with_infos(logical, &infos, annotations, services, config, job)
+}
+
+/// [`optimize`] with the subgraph enumeration already in hand.
+///
+/// The runtime compiles each job exactly once through the template cache
+/// and threads the resulting [`SubgraphInfo`]s here, so a recurring
+/// instance never re-enumerates inside the optimizer. `infos` must be the
+/// enumeration of `logical` (one record per node, bottom-up) — anything
+/// else yields nonsense rewrites.
+pub fn optimize_with_infos(
+    logical: &QueryGraph,
+    infos: &[SubgraphInfo],
+    annotations: &[Annotation],
+    services: &dyn ViewServices,
+    config: &OptimizerConfig,
+    job: JobId,
+) -> Result<OptimizedPlan> {
     let start = std::time::Instant::now();
     logical.validate()?;
-    let infos = enumerate_subgraphs(logical)?;
     let by_normalized: HashMap<Sig128, &Annotation> =
         annotations.iter().map(|a| (a.normalized, a)).collect();
 

@@ -14,10 +14,13 @@
 use parking_lot::Mutex;
 use scope_common::hash::Sig128;
 use scope_common::ids::{ClusterId, JobId, NodeId, TemplateId, UserId, VcId};
+use scope_common::intern::Symbol;
 use scope_common::time::{SimDuration, SimTime};
 use scope_common::Result;
 use scope_plan::{OpKind, PhysicalProps, QueryGraph};
-use scope_signature::{enumerate_subgraphs, job_tags};
+use scope_signature::{enumerate_subgraphs, job_tags, SubgraphInfo};
+
+use std::sync::Arc;
 
 use crate::exec::ExecOutcome;
 use crate::optimizer::OptimizedPlan;
@@ -37,10 +40,11 @@ pub struct SubgraphRun {
     pub root_kind: OpKind,
     /// Subgraph size in nodes.
     pub num_nodes: usize,
-    /// Normalized input stream names feeding the subgraph.
-    pub input_tags: Vec<String>,
-    /// Output physical properties observed at the root (Section 5.3).
-    pub props: PhysicalProps,
+    /// Normalized input stream names feeding the subgraph (interned).
+    pub input_tags: Vec<Symbol>,
+    /// Output physical properties observed at the root (Section 5.3),
+    /// shared with the enumeration's property pool.
+    pub props: Arc<PhysicalProps>,
     /// Whether user code runs anywhere inside.
     pub has_user_code: bool,
     /// Output rows observed.
@@ -78,8 +82,8 @@ pub struct JobRecord {
     pub latency: SimDuration,
     /// Total CPU time.
     pub cpu_time: SimDuration,
-    /// Inverted-index tags (normalized inputs + outputs).
-    pub tags: Vec<String>,
+    /// Inverted-index tags (normalized inputs + outputs, interned).
+    pub tags: Vec<Symbol>,
     /// Per-subgraph reconciled statistics.
     pub subgraphs: Vec<SubgraphRun>,
 }
@@ -127,6 +131,22 @@ impl WorkloadRepository {
         sim: &SimOutcome,
     ) -> Result<()> {
         let infos = enumerate_subgraphs(logical)?;
+        let tags = job_tags(logical);
+        self.record_compiled(identity, &infos, &tags, plan, exec, sim)
+    }
+
+    /// [`WorkloadRepository::record`] when the subgraph records and job tags
+    /// are already compiled (the runtime's template cache computes them once
+    /// per job; re-enumerating here would throw that work away).
+    pub fn record_compiled(
+        &self,
+        identity: JobIdentity,
+        infos: &[SubgraphInfo],
+        tags: &[Symbol],
+        plan: &OptimizedPlan,
+        exec: &ExecOutcome,
+        sim: &SimOutcome,
+    ) -> Result<()> {
         let mut subgraphs = Vec::with_capacity(infos.len());
         for info in infos {
             // Subgraphs replaced by a view this run did not execute; the
@@ -141,8 +161,8 @@ impl WorkloadRepository {
                 normalized: info.normalized,
                 root_kind: info.root_kind,
                 num_nodes: info.num_nodes,
-                input_tags: info.input_tags,
-                props: info.props,
+                input_tags: info.input_tags.clone(),
+                props: Arc::clone(&info.props),
                 has_user_code: info.has_user_code,
                 out_rows: stats.out_rows,
                 out_bytes: stats.out_bytes,
@@ -161,7 +181,7 @@ impl WorkloadRepository {
             submitted_at: identity.submitted_at,
             latency: sim.latency,
             cpu_time: sim.cpu_time,
-            tags: job_tags(logical),
+            tags: tags.to_vec(),
             subgraphs,
         };
         self.records.lock().push(record);
@@ -283,7 +303,7 @@ mod tests {
             .find(|s| s.root == NodeId::new(2))
             .unwrap();
         assert_eq!(agg_run.out_rows, 10);
-        assert!(rec.tags.contains(&"in/<date>/t.ss".to_string()));
+        assert!(rec.tags.contains(&Symbol::intern("in/<date>/t.ss")));
         assert!(rec.latency > SimDuration::ZERO);
     }
 

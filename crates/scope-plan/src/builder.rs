@@ -20,6 +20,7 @@
 //! ```
 
 use scope_common::ids::{DatasetId, NodeId};
+use scope_common::intern::Symbol;
 use scope_common::Result;
 
 use crate::expr::{AggExpr, Expr, NamedExpr};
@@ -55,13 +56,13 @@ impl PlanBuilder {
     pub fn table_scan(
         &mut self,
         dataset: DatasetId,
-        template_name: impl Into<String>,
+        template_name: impl AsRef<str>,
         schema: Schema,
     ) -> NodeId {
         self.push(
             Operator::Get {
                 dataset,
-                template_name: template_name.into(),
+                template_name: Symbol::intern(template_name.as_ref()),
                 schema,
                 kind: ScanKind::Table,
                 predicate: None,
@@ -75,14 +76,14 @@ impl PlanBuilder {
     pub fn range_scan(
         &mut self,
         dataset: DatasetId,
-        template_name: impl Into<String>,
+        template_name: impl AsRef<str>,
         schema: Schema,
         predicate: Expr,
     ) -> NodeId {
         self.push(
             Operator::Get {
                 dataset,
-                template_name: template_name.into(),
+                template_name: Symbol::intern(template_name.as_ref()),
                 schema,
                 kind: ScanKind::Range,
                 predicate: Some(predicate),
@@ -96,14 +97,14 @@ impl PlanBuilder {
     pub fn extract(
         &mut self,
         dataset: DatasetId,
-        template_name: impl Into<String>,
+        template_name: impl AsRef<str>,
         schema: Schema,
         extractor: Udo,
     ) -> NodeId {
         self.push(
             Operator::Get {
                 dataset,
-                template_name: template_name.into(),
+                template_name: Symbol::intern(template_name.as_ref()),
                 schema,
                 kind: ScanKind::Extract,
                 predicate: None,
@@ -236,10 +237,10 @@ impl PlanBuilder {
 
     /// Terminal output; automatically registered as a root. Returns `self`
     /// for chaining multiple outputs.
-    pub fn output(&mut self, input: NodeId, name: impl Into<String>) -> &mut Self {
+    pub fn output(&mut self, input: NodeId, name: impl AsRef<str>) -> &mut Self {
         let id = self.push(
             Operator::Output {
-                name: name.into(),
+                name: Symbol::intern(name.as_ref()),
                 stored: false,
             },
             vec![input],
@@ -249,10 +250,10 @@ impl PlanBuilder {
     }
 
     /// Terminal stored-stream write; automatically registered as a root.
-    pub fn write(&mut self, input: NodeId, name: impl Into<String>) -> &mut Self {
+    pub fn write(&mut self, input: NodeId, name: impl AsRef<str>) -> &mut Self {
         let id = self.push(
             Operator::Output {
-                name: name.into(),
+                name: Symbol::intern(name.as_ref()),
                 stored: true,
             },
             vec![input],

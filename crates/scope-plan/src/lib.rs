@@ -33,8 +33,9 @@ pub mod udo;
 pub use builder::PlanBuilder;
 pub use expr::{AggExpr, AggFunc, BinOp, Expr, NamedExpr, ScalarFunc, UnaryOp};
 pub use graph::{PlanNode, QueryGraph};
+pub use op::{normalize_stream_name, normalize_stream_symbol};
 pub use op::{JoinImpl, JoinKind, OpKind, Operator, ScanKind};
-pub use props::{Partitioning, PhysicalProps, SortDir, SortKey, SortOrder};
+pub use props::{shared_props, Partitioning, PhysicalProps, SortDir, SortKey, SortOrder};
 pub use schema::{Column, Schema};
 pub use types::{DataType, Value};
 pub use udo::{Udo, UdoKind};

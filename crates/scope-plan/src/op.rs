@@ -7,6 +7,7 @@
 
 use scope_common::hash::SipHasher24;
 use scope_common::ids::DatasetId;
+use scope_common::intern::Symbol;
 use scope_common::{Result, ScopeError};
 
 use crate::expr::{AggExpr, Expr, HashMode, NamedExpr};
@@ -221,8 +222,9 @@ pub enum Operator {
     Get {
         /// Concrete input GUID for this recurring instance.
         dataset: DatasetId,
-        /// Normalized stream name, stable across instances.
-        template_name: String,
+        /// Normalized stream name, stable across instances (interned: the
+        /// same template recurring daily shares one allocation).
+        template_name: Symbol,
         /// The stored schema.
         schema: Schema,
         /// Scan flavour (plain, range-restricted, extractor).
@@ -340,8 +342,8 @@ pub enum Operator {
     },
     /// Job output: terminal sink publishing rows under a user-visible name.
     Output {
-        /// Output stream name.
-        name: String,
+        /// Output stream name (interned).
+        name: Symbol,
         /// True for `Write` (stored structured stream), false for plain
         /// `Output`.
         stored: bool,
@@ -769,13 +771,13 @@ impl Operator {
                 extractor,
             } => {
                 if mode == HashMode::Precise {
-                    h.write_str(template_name);
+                    h.write_str(template_name.as_str());
                     // The concrete input GUID: recurring instances read new
                     // data, so this is precisely what normalization strips.
                     h.write_u64(dataset.raw());
                 } else {
                     // Mask date/GUID path segments, like the output names.
-                    h.write_str(&normalize_stream_name(template_name));
+                    h.write_str(normalize_stream_symbol(*template_name).as_str());
                 }
                 schema.stable_hash_into(h);
                 h.write_u8(*kind as u8);
@@ -878,9 +880,9 @@ impl Operator {
             Operator::Output { name, stored } => {
                 // Output names often embed dates; normalize by template.
                 if mode == HashMode::Precise {
-                    h.write_str(name);
+                    h.write_str(name.as_str());
                 } else {
-                    h.write_str(&normalize_stream_name(name));
+                    h.write_str(normalize_stream_symbol(*name).as_str());
                 }
                 h.write_u8(*stored as u8);
             }
@@ -1002,6 +1004,25 @@ pub fn normalize_stream_name(name: &str) -> String {
         })
         .collect::<Vec<_>>()
         .join("/")
+}
+
+/// Interned, memoized form of [`normalize_stream_name`]: the first call for
+/// a given symbol does the segment scan and allocates the normalized string
+/// (once, in the interner); every later call — i.e. every recurring
+/// instance of the template — is a lock-shared map probe.
+pub fn normalize_stream_symbol(name: Symbol) -> Symbol {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, RwLock};
+    static MEMO: OnceLock<RwLock<HashMap<Symbol, Symbol>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(&normalized) = memo.read().expect("normalize memo poisoned").get(&name) {
+        return normalized;
+    }
+    let normalized = Symbol::intern(&normalize_stream_name(name.as_str()));
+    memo.write()
+        .expect("normalize memo poisoned")
+        .insert(name, normalized);
+    normalized
 }
 
 fn looks_like_date(seg: &str) -> bool {

@@ -6,7 +6,10 @@
 //! The analyzer mines the *output physical properties* of each overlapping
 //! subgraph and uses them as the view's physical design.
 
+use std::sync::{Arc, OnceLock};
+
 use scope_common::hash::SipHasher24;
+use scope_common::intern::SharedPool;
 
 /// Sort direction.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
@@ -247,6 +250,17 @@ impl Default for PhysicalProps {
     fn default() -> Self {
         PhysicalProps::any()
     }
+}
+
+/// The process-global hash-consing pool for delivered property shapes.
+///
+/// A workload has a handful of distinct `PhysicalProps` values but emits one
+/// per enumerated subgraph per compiled job; sharing them behind `Arc`s
+/// turns that per-node clone churn into a pointer copy. The pool only grows
+/// (shapes are tiny and the universe is bounded by the workload's templates).
+pub fn shared_props(props: PhysicalProps) -> Arc<PhysicalProps> {
+    static POOL: OnceLock<SharedPool<PhysicalProps>> = OnceLock::new();
+    POOL.get_or_init(SharedPool::new).intern(props)
 }
 
 #[cfg(test)]

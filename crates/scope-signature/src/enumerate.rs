@@ -10,12 +10,20 @@
 //! index is built on (Section 6.1): the normalized names of the job's inputs
 //! and outputs. A job's compile-time lookup sends its tags once and receives
 //! every normalized signature relevant to any of them.
+//!
+//! Tags are interned [`Symbol`]s and delivered properties are pooled behind
+//! `Arc`s, so the records a recurring workload emits over and over share
+//! allocations instead of cloning strings and property structs per node.
+
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use scope_common::hash::Sig128;
 use scope_common::ids::NodeId;
+use scope_common::intern::Symbol;
 use scope_common::Result;
-use scope_plan::op::normalize_stream_name;
-use scope_plan::{OpKind, Operator, PhysicalProps, QueryGraph};
+use scope_plan::op::normalize_stream_symbol;
+use scope_plan::{shared_props, OpKind, Operator, PhysicalProps, QueryGraph};
 
 use crate::signature::{sign_graph, SignedGraph};
 
@@ -33,13 +41,14 @@ pub struct SubgraphInfo {
     /// Number of nodes in the subgraph.
     pub num_nodes: usize,
     /// Normalized names of the input streams feeding this subgraph.
-    pub input_tags: Vec<String>,
+    pub input_tags: Vec<Symbol>,
     /// Output physical properties delivered at the subgraph root, mined for
     /// view physical design (Section 5.3). Guarantees propagate bottom-up
     /// through position-preserving operators and are remapped (or dropped)
     /// across width-changing ones — the paper's "traverse down until we hit
-    /// one or more physical properties", done soundly.
-    pub props: PhysicalProps,
+    /// one or more physical properties", done soundly. Shared via the
+    /// global [`shared_props`] pool.
+    pub props: Arc<PhysicalProps>,
     /// True when the subgraph contains user code (affects costing trust).
     pub has_user_code: bool,
 }
@@ -51,22 +60,34 @@ pub struct SubgraphInfo {
 /// callers filter by kind when appropriate.
 pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
     let signed: SignedGraph = sign_graph(graph)?;
+    enumerate_with_signed(graph, &signed)
+}
+
+/// [`enumerate_subgraphs`] when the signatures are already computed — the
+/// template cache's miss path signs once and enumerates with the result.
+pub fn enumerate_with_signed(
+    graph: &QueryGraph,
+    signed: &SignedGraph,
+) -> Result<Vec<SubgraphInfo>> {
     let mut infos: Vec<SubgraphInfo> = Vec::with_capacity(graph.len());
     // Per-node accumulators, reusing children's results (DAG-aware).
-    let mut node_counts: Vec<usize> = Vec::with_capacity(graph.len());
-    let mut tags: Vec<Vec<String>> = Vec::with_capacity(graph.len());
+    let mut tags: Vec<Vec<Symbol>> = Vec::with_capacity(graph.len());
     let mut user_code: Vec<bool> = Vec::with_capacity(graph.len());
-    let mut props: Vec<PhysicalProps> = Vec::with_capacity(graph.len());
+    let mut props: Vec<Arc<PhysicalProps>> = Vec::with_capacity(graph.len());
+    // Scratch set for O(1) duplicate checks while merging child tag lists
+    // (symbols hash as integers); cleared per node.
+    let mut seen: HashSet<Symbol> = HashSet::new();
 
     for node in graph.nodes() {
         let idx = node.id.index();
-        debug_assert_eq!(idx, node_counts.len());
+        debug_assert_eq!(idx, tags.len());
 
         // num_nodes: exact via subgraph walk (cheap for our plan sizes, and
         // exact in the presence of shared spools where child sums overcount).
         let num_nodes = graph.subgraph_nodes(node.id)?.len();
 
-        let mut my_tags: Vec<String> = Vec::new();
+        seen.clear();
+        let mut my_tags: Vec<Symbol> = Vec::new();
         let mut my_user = false;
         match &node.op {
             Operator::Get {
@@ -74,7 +95,10 @@ pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
                 extractor,
                 ..
             } => {
-                my_tags.push(normalize_stream_name(template_name));
+                let tag = normalize_stream_symbol(*template_name);
+                if seen.insert(tag) {
+                    my_tags.push(tag);
+                }
                 my_user |= extractor.is_some();
             }
             Operator::Process { .. }
@@ -84,9 +108,9 @@ pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
             _ => {}
         }
         for &c in &node.children {
-            for t in &tags[c.index()] {
-                if !my_tags.contains(t) {
-                    my_tags.push(t.clone());
+            for &t in &tags[c.index()] {
+                if seen.insert(t) {
+                    my_tags.push(t);
                 }
             }
             my_user |= user_code[c.index()];
@@ -100,9 +124,9 @@ pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
         let child_props: Vec<PhysicalProps> = node
             .children
             .iter()
-            .map(|c| props[c.index()].clone())
+            .map(|c| (*props[c.index()]).clone())
             .collect();
-        let delivered = node.op.delivered_props(&child_props);
+        let delivered = shared_props(node.op.delivered_props(&child_props));
 
         infos.push(SubgraphInfo {
             root: node.id,
@@ -111,10 +135,9 @@ pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
             root_kind: node.op.kind(),
             num_nodes,
             input_tags: my_tags.clone(),
-            props: delivered.clone(),
+            props: Arc::clone(&delivered),
             has_user_code: my_user,
         });
-        node_counts.push(num_nodes);
         tags.push(my_tags);
         user_code.push(my_user);
         props.push(delivered);
@@ -124,16 +147,17 @@ pub fn enumerate_subgraphs(graph: &QueryGraph) -> Result<Vec<SubgraphInfo>> {
 
 /// The normalized tags identifying a job for the metadata-service inverted
 /// index: normalized input stream names plus normalized output names.
-pub fn job_tags(graph: &QueryGraph) -> Vec<String> {
-    let mut tags: Vec<String> = Vec::new();
+pub fn job_tags(graph: &QueryGraph) -> Vec<Symbol> {
+    let mut seen: HashSet<Symbol> = HashSet::new();
+    let mut tags: Vec<Symbol> = Vec::new();
     for node in graph.nodes() {
         let tag = match &node.op {
-            Operator::Get { template_name, .. } => Some(normalize_stream_name(template_name)),
-            Operator::Output { name, .. } => Some(normalize_stream_name(name)),
+            Operator::Get { template_name, .. } => Some(normalize_stream_symbol(*template_name)),
+            Operator::Output { name, .. } => Some(normalize_stream_symbol(*name)),
             _ => None,
         };
         if let Some(t) = tag {
-            if !tags.contains(&t) {
+            if seen.insert(t) {
                 tags.push(t);
             }
         }
@@ -185,7 +209,10 @@ mod tests {
         let g = pipeline_graph();
         let infos = enumerate_subgraphs(&g).unwrap();
         for info in &infos {
-            assert_eq!(info.input_tags, vec!["clicks/<date>/log.ss".to_string()]);
+            assert_eq!(
+                info.input_tags,
+                vec![Symbol::intern("clicks/<date>/log.ss")]
+            );
         }
     }
 
@@ -193,8 +220,8 @@ mod tests {
     fn job_tags_include_inputs_and_outputs() {
         let g = pipeline_graph();
         let tags = job_tags(&g);
-        assert!(tags.contains(&"clicks/<date>/log.ss".to_string()));
-        assert!(tags.contains(&"out/<date>/res.ss".to_string()));
+        assert!(tags.contains(&Symbol::intern("clicks/<date>/log.ss")));
+        assert!(tags.contains(&Symbol::intern("out/<date>/res.ss")));
         assert_eq!(tags.len(), 2);
     }
 
@@ -211,7 +238,16 @@ mod tests {
         assert_eq!(agg.props.partitioning.parts(), Some(8));
         // The filter below the exchange has no explicit props and no
         // property-delivering descendant -> Any.
-        assert_eq!(infos[1].props, PhysicalProps::any());
+        assert_eq!(*infos[1].props, PhysicalProps::any());
+    }
+
+    #[test]
+    fn identical_props_share_one_allocation() {
+        let g = pipeline_graph();
+        let infos = enumerate_subgraphs(&g).unwrap();
+        // Exchange and the aggregate above it deliver the same shape — the
+        // pool must hand back the same Arc, not two equal copies.
+        assert!(Arc::ptr_eq(&infos[2].props, &infos[3].props));
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 pub mod enumerate;
 pub mod signature;
+pub mod template;
 
-pub use enumerate::{enumerate_subgraphs, job_tags, SubgraphInfo};
+pub use enumerate::{enumerate_subgraphs, enumerate_with_signed, job_tags, SubgraphInfo};
 pub use signature::{sign_graph, NodeSignatures, SignedGraph};
+pub use template::{CompiledJob, TemplateCache, TemplateCacheStats};

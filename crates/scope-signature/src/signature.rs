@@ -31,6 +31,21 @@ impl SignedGraph {
     pub fn all(&self) -> &[NodeSignatures] {
         &self.sigs
     }
+
+    /// Zips independently computed per-mode passes into one signed graph.
+    pub(crate) fn from_passes(precise: Vec<Sig128>, normalized: Vec<Sig128>) -> SignedGraph {
+        debug_assert_eq!(precise.len(), normalized.len());
+        SignedGraph {
+            sigs: precise
+                .into_iter()
+                .zip(normalized)
+                .map(|(precise, normalized)| NodeSignatures {
+                    precise,
+                    normalized,
+                })
+                .collect(),
+        }
+    }
 }
 
 // Domain-separation keys for the two Merkle trees.
@@ -48,19 +63,28 @@ const NORM_K1: u64 = 0x6e6f_726d_616c_7a32;
 /// (spooled) children are hashed once and their signature reused, so the
 /// cost is O(nodes), not O(paths).
 pub fn sign_graph(graph: &QueryGraph) -> Result<SignedGraph> {
-    let mut sigs: Vec<NodeSignatures> = Vec::with_capacity(graph.len());
-    for node in graph.nodes() {
-        let precise = hash_node(graph, node.id, &sigs, HashMode::Precise);
-        let normalized = hash_node(graph, node.id, &sigs, HashMode::Normalized);
-        sigs.push(NodeSignatures {
-            precise,
-            normalized,
-        });
-    }
-    Ok(SignedGraph { sigs })
+    let precise = signature_pass(graph, HashMode::Precise);
+    let normalized = signature_pass(graph, HashMode::Normalized);
+    Ok(SignedGraph::from_passes(precise, normalized))
 }
 
-fn hash_node(graph: &QueryGraph, id: NodeId, done: &[NodeSignatures], mode: HashMode) -> Sig128 {
+/// One Merkle pass over `graph` in a single [`HashMode`], in node order.
+///
+/// The byte stream fed to the hashers is exactly the one [`sign_graph`]
+/// feeds for that mode, so the resulting `Sig128`s are interchangeable with
+/// the corresponding half of a [`SignedGraph`]. Split out so the template
+/// cache can compute the (always-needed) normalized pass first, consult the
+/// cache, and run the precise pass alone on a hit.
+pub(crate) fn signature_pass(graph: &QueryGraph, mode: HashMode) -> Vec<Sig128> {
+    let mut sigs: Vec<Sig128> = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let sig = hash_node(graph, node.id, &sigs, mode);
+        sigs.push(sig);
+    }
+    sigs
+}
+
+fn hash_node(graph: &QueryGraph, id: NodeId, done: &[Sig128], mode: HashMode) -> Sig128 {
     let (k0, k1, l0, l1) = match mode {
         HashMode::Precise => (PRECISE_K0, PRECISE_K1, !PRECISE_K0, !PRECISE_K1),
         HashMode::Normalized => (NORM_K0, NORM_K1, !NORM_K0, !NORM_K1),
@@ -74,11 +98,7 @@ fn hash_node(graph: &QueryGraph, id: NodeId, done: &[NodeSignatures], mode: Hash
         h.write_u64(node.children.len() as u64);
     }
     for &c in &node.children {
-        let child = done[c.index()];
-        let pick = match mode {
-            HashMode::Precise => child.precise,
-            HashMode::Normalized => child.normalized,
-        };
+        let pick = done[c.index()];
         for h in [&mut hi, &mut lo] {
             h.write_u64(pick.hi);
             h.write_u64(pick.lo);

@@ -1783,7 +1783,7 @@ mod tests {
         let g = build_query(4).unwrap();
         let has_customer_scan = g.nodes().iter().any(|n| {
             matches!(&n.op, scope_plan::Operator::Get { template_name, .. }
-                if template_name.contains("customer.ss"))
+                if template_name.as_str().contains("customer.ss"))
         });
         assert!(has_customer_scan);
     }

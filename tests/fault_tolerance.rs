@@ -424,6 +424,74 @@ fn chaos_every_fault_mode_at_once_jobs_complete_with_baseline_outputs() {
 }
 
 #[test]
+fn run_many_under_chaos_preserves_outputs_and_build_once() {
+    // The staged pipeline's worker pool under every fault mode at once:
+    // a 3-worker pool with a 2-job admission bound must deliver the same
+    // guarantees as the thread-per-job driver — baseline-identical outputs,
+    // exact fault accounting, at most one builder per view per wave, and
+    // reclaimable locks.
+    use cloudviews::PipelineOptions;
+
+    let (mut cv, _w, day1, baseline) = primed_service(37);
+    cv.degradation.max_restarts = 12;
+    let options = PipelineOptions {
+        workers: 3,
+        max_in_flight: 2,
+    };
+
+    // Fault-free pooled wave first: the build locks must let exactly one
+    // winner materialize each view even with three workers racing.
+    let reports: Vec<_> = cv
+        .run_many(day1.clone(), RunMode::CloudViews, options)
+        .into_iter()
+        .map(|r| r.expect("fault-free wave"))
+        .collect();
+    assert_outputs_match_baseline(&reports, &baseline, "run_many fault-free");
+    let mut built: Vec<_> = reports
+        .iter()
+        .flat_map(|r| r.views_built.iter().copied())
+        .collect();
+    let n = built.len();
+    assert!(n > 0, "fault-free wave must build views");
+    built.sort_unstable();
+    built.dedup();
+    assert_eq!(built.len(), n, "a view was built twice in one wave");
+    let mut all_reports = reports;
+
+    // Now every fault mode at once. Rebuilds within a wave are legal here
+    // (crashed builders and lost views hand the lock to a later job), so
+    // only output fidelity, accounting, and lock hygiene are asserted.
+    cv.install_fault_plan(FaultPlan {
+        seed: 4242,
+        lookup_fail: 0.2,
+        propose_fail: 0.15,
+        report_fail: 0.15,
+        builder_crash: 0.15,
+        view_loss: 0.25,
+        view_corruption: 0.2,
+        publish_delay: SimDuration::from_secs_f64(1.5),
+        scripted: Vec::new(),
+    });
+    for wave in 0..3 {
+        let reports: Vec<_> = cv
+            .run_many(day1.clone(), RunMode::CloudViews, options)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("wave {wave}: job failed: {e}")))
+            .collect();
+        assert_outputs_match_baseline(&reports, &baseline, "run_many chaos");
+        all_reports.extend(reports);
+    }
+
+    let injected = cv.faults.as_ref().unwrap().injected();
+    assert!(
+        injected.lookup_failures + injected.builder_crashes > 0,
+        "chaos must inject: {injected:?}"
+    );
+    assert_fault_accounting(&cv, &all_reports, "run_many chaos");
+    assert_locks_reclaimable(&cv, "run_many chaos");
+}
+
+#[test]
 fn property_any_fault_plan_preserves_outputs_and_reclaims_locks() {
     // Proptest-style: across randomized fault plans, (1) CloudViews output
     // equals baseline output for every job, and (2) every build lock is

@@ -308,6 +308,85 @@ fn enforcers_satisfy_requirements() {
     });
 }
 
+/// Golden-hash snapshot: the interned-symbol signature path must produce
+/// byte-identical Merkle hashes to the pre-interning string path. Each
+/// digest below folds every node's (precise, normalized) pair of a random
+/// plan, in arena order, through `sip64`; the constants were captured by
+/// running the same fold on the commit immediately before the interner
+/// landed. Any change to what bytes feed the signature hasher — symbol
+/// tables, normalization memos, template caching — trips this test.
+#[test]
+fn golden_signatures_match_pre_interning_snapshot() {
+    const GOLDEN: [(u64, u64); 8] = [
+        (0, 0xe6f454b873a78ed4),
+        (1, 0xddf0904696acbd3a),
+        (2, 0xa4d3f393f841567e),
+        (3, 0x5761f330d186e9fd),
+        (4, 0xdce1144471443ff1),
+        (5, 0x26b10f04b622303a),
+        (6, 0x8b1a7d5a6dd239a4),
+        (7, 0xd04512a67129e23f),
+    ];
+    for (seed, expected) in GOLDEN {
+        let graph = random_plan(seed, DatasetId::new(777));
+        let signed = sign_graph(&graph).unwrap();
+        let mut bytes = Vec::new();
+        for sig in signed.all() {
+            bytes.extend_from_slice(&sig.precise.hi.to_le_bytes());
+            bytes.extend_from_slice(&sig.precise.lo.to_le_bytes());
+            bytes.extend_from_slice(&sig.normalized.hi.to_le_bytes());
+            bytes.extend_from_slice(&sig.normalized.lo.to_le_bytes());
+        }
+        assert_eq!(
+            scope_common::sip64(&bytes),
+            expected,
+            "signature drift from the pre-interning snapshot (seed {seed})"
+        );
+    }
+}
+
+/// Template-cache equivalence: compiling through a warm cache (normalized
+/// skeleton hit) must produce exactly the signatures, subgraph records, and
+/// job tags of a cold compile — for the *recurring instance* case too,
+/// where the second graph differs only in its input GUID.
+#[test]
+fn template_cache_hit_is_equivalent_to_cold_compile() {
+    use scope_signature::{enumerate_subgraphs, job_tags, TemplateCache};
+    for_cases("template_cache_hit_equivalence", |case_rng| {
+        let seed = case_rng.gen_range(0u64..10_000);
+        let cache = TemplateCache::new();
+
+        // Instance 0: cold compile, then an exact re-compile (hit).
+        let g0 = random_plan(seed, DatasetId::new(100));
+        let cold = cache.compile(&g0).unwrap();
+        assert!(!cold.template_hit, "first compile must miss (seed {seed})");
+        let hit = cache.compile(&g0).unwrap();
+        assert!(hit.template_hit, "second compile must hit (seed {seed})");
+
+        // Instance 1: same template, new GUID — still a hit, because the
+        // normalized skeleton is GUID-invariant.
+        let g1 = random_plan(seed, DatasetId::new(200));
+        let next = cache.compile(&g1).unwrap();
+        assert!(
+            next.template_hit,
+            "recurring instance must hit (seed {seed})"
+        );
+
+        // Every compile, hit or miss, must equal the from-scratch path.
+        for (graph, compiled) in [(&g0, &cold), (&g0, &hit), (&g1, &next)] {
+            let signed = sign_graph(graph).unwrap();
+            let infos = enumerate_subgraphs(graph).unwrap();
+            let tags = job_tags(graph);
+            assert_eq!(compiled.infos, infos, "seed {seed}");
+            assert_eq!(compiled.tags, tags, "seed {seed}");
+            for (node, reference) in compiled.signed.all().iter().zip(signed.all()) {
+                assert_eq!(node.precise, reference.precise, "seed {seed}");
+                assert_eq!(node.normalized, reference.normalized, "seed {seed}");
+            }
+        }
+    });
+}
+
 /// Recurring-delta invariance: rebinding GUIDs and date parameters
 /// changes every precise signature on the path but no normalized one.
 #[test]

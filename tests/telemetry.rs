@@ -411,3 +411,104 @@ fn counters_match_reports_under_scripted_faults() {
     assert!(!by_id(day1[0].id).faults.fell_back_to_baseline);
     assert!(by_id(day1[1].id).faults.fell_back_to_baseline);
 }
+
+/// Builds a CloudViews service over one registered workload instance with
+/// a scripted lookup-fault plan but *no installed analysis*: every job
+/// makes its metadata lookup (which can fault) yet receives no
+/// annotations, so per-job behavior is independent of scheduling.
+fn faulted_service_no_annotations(seed: u64) -> (CloudViews, Vec<JobSpec>) {
+    let w = workload(seed);
+    let mut cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
+    w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+    let jobs = w.jobs_for_instance(0, 0).unwrap();
+    let retries = cv.degradation.lookup_retries as u64;
+    // Job 0: one transient lookup fault (retry recovers). Job 1: every
+    // lookup call fails (retries exhaust, baseline fallback).
+    let mut scripted = vec![ScriptedFault {
+        site: FaultSite::MetadataLookup,
+        job: Some(jobs[0].id),
+        call_index: 0,
+    }];
+    scripted.extend((0..=retries).map(|call_index| ScriptedFault {
+        site: FaultSite::MetadataLookup,
+        job: Some(jobs[1].id),
+        call_index,
+    }));
+    cv.install_fault_plan(FaultPlan {
+        scripted,
+        ..Default::default()
+    });
+    (cv, jobs)
+}
+
+/// The staged pipeline's scheduling must be invisible in the results: the
+/// same workload under the same scripted fault plan produces identical
+/// per-job reports and identical aggregate telemetry whether jobs run on
+/// one worker or on a stealing pool with a tight admission bound.
+#[test]
+fn run_many_aggregates_match_serial_under_scripted_faults() {
+    use cloudviews::PipelineOptions;
+
+    let (serial_cv, jobs) = faulted_service_no_annotations(419);
+    let serial = serial_cv.run_many(
+        jobs.clone(),
+        RunMode::CloudViews,
+        PipelineOptions {
+            workers: 1,
+            max_in_flight: 1,
+        },
+    );
+
+    let (pool_cv, jobs_again) = faulted_service_no_annotations(419);
+    let pooled = pool_cv.run_many(
+        jobs_again,
+        RunMode::CloudViews,
+        PipelineOptions {
+            workers: 4,
+            max_in_flight: 2,
+        },
+    );
+
+    // Job-by-job equality of everything the service reports.
+    assert_eq!(serial.len(), pooled.len());
+    for (s, p) in serial.iter().zip(&pooled) {
+        let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+        assert_eq!(s.job, p.job);
+        assert_eq!(s.latency, p.latency, "job {}", s.job);
+        assert_eq!(s.lookup_latency, p.lookup_latency, "job {}", s.job);
+        assert_eq!(s.cpu_time, p.cpu_time, "job {}", s.job);
+        assert_eq!(s.output_checksums, p.output_checksums, "job {}", s.job);
+        assert_eq!(s.faults, p.faults, "job {}", s.job);
+    }
+    // The scripted faults actually fired, identically on both sides.
+    let fell_back: Vec<_> = serial
+        .iter()
+        .map(|r| r.as_ref().unwrap().faults.fell_back_to_baseline)
+        .collect();
+    assert!(fell_back.iter().any(|&f| f), "fixture must exercise faults");
+
+    // Aggregate telemetry is identical: counters and the exact latency
+    // histogram (count and sum) agree across schedulers.
+    let a = serial_cv.telemetry.metrics.snapshot();
+    let b = pool_cv.telemetry.metrics.snapshot();
+    for counter in [
+        "cv_jobs_total",
+        "cv_jobs_failed_total",
+        "cv_jobs_baseline_fallback_total",
+        "cv_jobs_reuse_hit_total",
+        "cv_jobs_build_total",
+        "cv_metadata_lookup_faults_total",
+    ] {
+        assert_eq!(a.counter(counter), b.counter(counter), "{counter}");
+    }
+    // Hit/miss split may differ when concurrent first compiles race, but
+    // every job compiles exactly once either way.
+    let compiles = |s: &MetricsSnapshot| {
+        s.counter("cv_template_cache_hits_total") + s.counter("cv_template_cache_misses_total")
+    };
+    assert_eq!(compiles(&a), serial.len() as u64);
+    assert_eq!(compiles(&a), compiles(&b), "template compiles");
+    let ha = a.histogram("cv_job_latency_sim_micros").unwrap();
+    let hb = b.histogram("cv_job_latency_sim_micros").unwrap();
+    assert_eq!((ha.count, ha.sum), (hb.count, hb.sum), "latency histogram");
+}
