@@ -87,6 +87,7 @@ fn bench_metadata(c: &mut Criterion) {
                     bytes: 100,
                     props: PhysicalProps::any(),
                 },
+                sip128(format!("norm{i}").as_bytes()),
                 JobId::new(i),
                 SimTime::ZERO,
                 SimTime::MAX,

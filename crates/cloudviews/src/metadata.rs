@@ -77,6 +77,7 @@ struct MetadataMetrics {
     propose_faults: Counter,
     report_faults: Counter,
     views_registered: Counter,
+    purged_annotations: Counter,
     build_locks: Gauge,
     registered_views: Gauge,
 }
@@ -101,6 +102,7 @@ impl MetadataMetrics {
             propose_faults: m.counter("cv_metadata_propose_faults_total"),
             report_faults: m.counter("cv_metadata_report_faults_total"),
             views_registered: m.counter("cv_metadata_views_registered_total"),
+            purged_annotations: m.counter("cv_metadata_purged_annotations_total"),
             build_locks: m.gauge("cv_metadata_build_locks"),
             registered_views: m.gauge("cv_metadata_registered_views"),
             sink,
@@ -112,13 +114,38 @@ impl MetadataMetrics {
     }
 }
 
-/// A registered, currently materialized view.
+/// A registered, currently materialized view. `normalized` links the view
+/// back to its driving annotation so that purging a dead view can clean the
+/// annotation and inverted-index entries in the same pass (without the link,
+/// those entries leaked and kept matching future lookups forever).
 #[derive(Clone, Debug)]
 struct RegisteredView {
     view: AvailableView,
+    normalized: Sig128,
     producer: JobId,
     created_at: SimTime,
     expires_at: SimTime,
+}
+
+/// An installed annotation plus the bookkeeping the janitor needs to sweep
+/// it consistently with the views it produced.
+#[derive(Clone, Debug)]
+struct AnnotationEntry {
+    annotation: Annotation,
+    /// The tags indexing this entry, kept so removal can drain the exact
+    /// inverted-index buckets without a full index scan.
+    tags: Vec<Symbol>,
+    /// GC horizon. Starts at install time + TTL and is *renewed* to
+    /// `view_expiry + TTL` by every registration for this normalized
+    /// signature: a build proves the annotation still matches the live
+    /// workload, and the grace period keeps recurring templates alive
+    /// across the gap between one instance's view expiring and the next
+    /// instance building. Once the workload changes and builds stop, the
+    /// entry lapses one TTL after its last view expired.
+    keep_until: SimTime,
+    /// Precise signatures of the currently registered views built from
+    /// this annotation (pruned as those views are purged/unregistered).
+    precise_views: Vec<Sig128>,
 }
 
 #[derive(Clone, Debug)]
@@ -151,12 +178,15 @@ pub struct MetadataStats {
     pub failed_proposals: u64,
     /// Report calls failed by the fault injector.
     pub failed_reports: u64,
+    /// Annotation entries swept (with their inverted-index entries) because
+    /// their views died and their GC horizon lapsed.
+    pub purged_annotations: u64,
 }
 
 /// The metadata service.
 pub struct MetadataService {
     /// Annotations by normalized signature.
-    annotations: RwLock<HashMap<Sig128, Annotation>>,
+    annotations: RwLock<HashMap<Sig128, AnnotationEntry>>,
     /// Inverted index: normalized tag → normalized signatures. Keys are
     /// interned symbols, so a lookup probe is integer hashing.
     inverted: RwLock<HashMap<Symbol, HashSet<Sig128>>>,
@@ -214,12 +244,21 @@ impl MetadataService {
     /// rebuilds the inverted index ("the metadata service periodically
     /// polls for the output of the CloudViews analyzer").
     pub fn load_annotations(&self, selected: &[SelectedView]) {
+        let now = self.clock.now();
         let mut annotations = self.annotations.write();
         let mut inverted = self.inverted.write();
         annotations.clear();
         inverted.clear();
         for s in selected {
-            annotations.insert(s.annotation.normalized, s.annotation.clone());
+            annotations.insert(
+                s.annotation.normalized,
+                AnnotationEntry {
+                    keep_until: now + s.annotation.ttl,
+                    annotation: s.annotation.clone(),
+                    tags: s.input_tags.clone(),
+                    precise_views: Vec::new(),
+                },
+            );
             for &tag in &s.input_tags {
                 inverted
                     .entry(tag)
@@ -263,7 +302,7 @@ impl MetadataService {
         }
         let result: Vec<Annotation> = sigs
             .iter()
-            .filter_map(|s| annotations.get(s).cloned())
+            .filter_map(|s| annotations.get(s).map(|e| e.annotation.clone()))
             .collect();
         let mut stats = self.stats.lock();
         stats.lookups += 1;
@@ -432,6 +471,7 @@ impl MetadataService {
     pub fn report_materialized(
         &self,
         view: AvailableView,
+        normalized: Sig128,
         producer: JobId,
         available_at: SimTime,
         expires_at: SimTime,
@@ -446,15 +486,18 @@ impl MetadataService {
                 view.precise
             )));
         }
-        self.register_view(view, producer, available_at, expires_at);
+        self.register_view(view, normalized, producer, available_at, expires_at);
         Ok(())
     }
 
     /// Infallible registration core: used by `report_materialized` and by
     /// tests that need to seed views without a fault plan in the way.
+    /// `normalized` links the view to its driving annotation (pass
+    /// [`Sig128::ZERO`] when there is none, e.g. in protocol-only tests).
     pub fn register_view(
         &self,
         view: AvailableView,
+        normalized: Sig128,
         producer: JobId,
         available_at: SimTime,
         expires_at: SimTime,
@@ -465,12 +508,35 @@ impl MetadataService {
         // double-check), so overlapping the two here would be an ABBA
         // deadlock. Each guard below is a temporary dropped at the end of
         // its own statement.
-        self.views.write().entry(precise).or_insert(RegisteredView {
-            view,
-            producer,
-            created_at: available_at,
-            expires_at,
-        });
+        let inserted = {
+            let mut views = self.views.write();
+            match views.entry(precise) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(RegisteredView {
+                        view,
+                        normalized,
+                        producer,
+                        created_at: available_at,
+                        expires_at,
+                    });
+                    true
+                }
+            }
+        };
+        if inserted {
+            // Renew the annotation's GC horizon: a successful build proves
+            // the annotation still matches the workload, so it must outlive
+            // the view it just produced by one more TTL (the grace window a
+            // recurring template needs to rebuild next instance).
+            if let Some(entry) = self.annotations.write().get_mut(&normalized) {
+                let ttl = entry.annotation.ttl;
+                entry.keep_until = entry.keep_until.max(expires_at + ttl);
+                if !entry.precise_views.contains(&precise) {
+                    entry.precise_views.push(precise);
+                }
+            }
+        }
         self.locks.lock().remove(&precise);
         self.stats.lock().views_registered += 1;
         if let Some(t) = self.telemetry.read().as_ref() {
@@ -499,17 +565,27 @@ impl MetadataService {
         self.views.read().get(&precise).map(|v| v.producer)
     }
 
-    /// Drops expired views and lapsed locks; returns how many views were
-    /// purged. The storage manager purges the corresponding files.
+    /// Drops expired views and lapsed locks — and, in the same pass, the
+    /// annotation and inverted-index entries those dead views strand (the
+    /// entries used to leak and keep matching future lookups forever).
+    /// Returns how many views were purged; the storage manager purges the
+    /// corresponding files.
     pub fn purge_expired(&self) -> usize {
         let now = self.clock.now();
+        let mut dead: Vec<(Sig128, Sig128)> = Vec::new();
         let mut views = self.views.write();
-        let before = views.len();
-        views.retain(|_, v| v.expires_at > now);
-        let purged = before - views.len();
+        views.retain(|p, v| {
+            let keep = v.expires_at > now;
+            if !keep {
+                dead.push((*p, v.normalized));
+            }
+            keep
+        });
+        let purged = dead.len();
         let remaining = views.len();
         drop(views);
         self.locks.lock().retain(|_, l| l.expires_at > now);
+        self.sweep_annotations(&dead, now, false);
         if let Some(t) = self.telemetry.read().as_ref() {
             t.build_locks.set(self.num_locks() as i64);
             t.registered_views.set(remaining as i64);
@@ -519,12 +595,94 @@ impl MetadataService {
 
     /// Unregisters specific views (admin space reclamation, Section 5.4:
     /// "cleaning the views from the metadata service first before deleting
-    /// any of the physical files").
+    /// any of the physical files"; also the dead-view degradation path).
+    /// The annotations that drove the removed views — and their inverted-
+    /// index entries — go with them unless another live view still needs
+    /// them, so a reclaimed or lost view stops matching future lookups.
     pub fn unregister_views(&self, precise: &[Sig128]) {
-        let mut views = self.views.write();
-        for p in precise {
-            views.remove(p);
+        let now = self.clock.now();
+        let mut dead: Vec<(Sig128, Sig128)> = Vec::new();
+        {
+            let mut views = self.views.write();
+            for p in precise {
+                if let Some(v) = views.remove(p) {
+                    dead.push((*p, v.normalized));
+                }
+            }
         }
+        self.sweep_annotations(&dead, now, true);
+    }
+
+    /// The consistent annotation/inverted sweep shared by
+    /// [`MetadataService::purge_expired`] and
+    /// [`MetadataService::unregister_views`]: prunes the dead views'
+    /// backrefs, removes every annotation entry past its GC horizon (or,
+    /// with `force_dead`, linked to a just-removed view) that has no live
+    /// registered view left, and drains the emptied inverted-index buckets.
+    /// Returns the number of annotation entries swept.
+    ///
+    /// Lock discipline: `annotations` is written first and *dropped* before
+    /// `inverted` is taken — lookups acquire `inverted` then `annotations`,
+    /// so holding both here in the opposite order would be an ABBA deadlock.
+    fn sweep_annotations(
+        &self,
+        dead_views: &[(Sig128, Sig128)],
+        now: SimTime,
+        force_dead: bool,
+    ) -> usize {
+        let removed: Vec<(Sig128, Vec<Symbol>)> = {
+            let mut annotations = self.annotations.write();
+            for (precise, normalized) in dead_views {
+                if let Some(e) = annotations.get_mut(normalized) {
+                    e.precise_views.retain(|p| p != precise);
+                }
+            }
+            let forced: HashSet<Sig128> = if force_dead {
+                dead_views.iter().map(|(_, n)| *n).collect()
+            } else {
+                HashSet::new()
+            };
+            let dead_entries: Vec<Sig128> = {
+                // Safe nested acquire: no path takes `annotations` while
+                // holding `views`.
+                let views = self.views.read();
+                annotations
+                    .iter()
+                    .filter(|(n, e)| e.keep_until <= now || forced.contains(n))
+                    .filter(|(_, e)| {
+                        !e.precise_views
+                            .iter()
+                            .any(|p| views.get(p).is_some_and(|v| v.expires_at > now))
+                    })
+                    .map(|(n, _)| *n)
+                    .collect()
+            };
+            dead_entries
+                .into_iter()
+                .filter_map(|n| annotations.remove(&n).map(|e| (n, e.tags)))
+                .collect()
+        };
+        if removed.is_empty() {
+            return 0;
+        }
+        let mut inverted = self.inverted.write();
+        for (n, tags) in &removed {
+            for tag in tags {
+                if let Some(bucket) = inverted.get_mut(tag) {
+                    bucket.remove(n);
+                    if bucket.is_empty() {
+                        inverted.remove(tag);
+                    }
+                }
+            }
+        }
+        drop(inverted);
+        let swept = removed.len();
+        self.stats.lock().purged_annotations += swept as u64;
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.purged_annotations.add(swept as u64);
+        }
+        swept
     }
 
     /// Registered (non-expired) view count.
@@ -535,6 +693,17 @@ impl MetadataService {
     /// Loaded annotation count.
     pub fn num_annotations(&self) -> usize {
         self.annotations.read().len()
+    }
+
+    /// Total inverted-index postings (signature entries summed over every
+    /// tag bucket) — the quantity that used to grow without bound.
+    pub fn num_inverted_entries(&self) -> usize {
+        self.inverted.read().values().map(HashSet::len).sum()
+    }
+
+    /// Non-empty tag buckets in the inverted index.
+    pub fn num_tag_buckets(&self) -> usize {
+        self.inverted.read().len()
     }
 
     /// Counter snapshot.
@@ -664,8 +833,14 @@ mod tests {
             LockOutcome::Acquired
         );
         // After the build is reported, proposals see AlreadyMaterialized.
-        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
-            .unwrap();
+        m.report_materialized(
+            a_view(p),
+            Sig128::ZERO,
+            JobId::new(1),
+            SimTime::ZERO,
+            SimTime::MAX,
+        )
+        .unwrap();
         assert_eq!(
             m.propose(p, JobId::new(3), ttl).unwrap(),
             LockOutcome::AlreadyMaterialized
@@ -703,6 +878,7 @@ mod tests {
         // by a job that started later than now).
         m.report_materialized(
             a_view(p),
+            Sig128::ZERO,
             JobId::new(1),
             SimTime(5_000_000),
             SimTime(10_000_000),
@@ -721,10 +897,124 @@ mod tests {
     fn unregister_clears_metadata_first() {
         let m = service();
         let p = sip128(b"gone");
-        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
-            .unwrap();
+        m.report_materialized(
+            a_view(p),
+            Sig128::ZERO,
+            JobId::new(1),
+            SimTime::ZERO,
+            SimTime::MAX,
+        )
+        .unwrap();
         m.unregister_views(&[p]);
         assert!(m.view_available(p).is_none());
+    }
+
+    #[test]
+    fn unregister_sweeps_annotation_and_inverted_entries() {
+        // Regression for the dead-view index leak: unregistering a view
+        // must drop its driving annotation and drain the tag buckets, or
+        // the entries keep matching future lookups forever.
+        let m = service();
+        let n = sip128(b"norm");
+        let p = sip128(b"precise");
+        m.load_annotations(&[selected(n, &["in/a.ss", "in/b.ss"])]);
+        m.register_view(a_view(p), n, JobId::new(1), SimTime::ZERO, SimTime::MAX);
+        assert_eq!(m.num_annotations(), 1);
+        assert_eq!(m.num_inverted_entries(), 2);
+
+        m.unregister_views(&[p]);
+        assert_eq!(m.num_annotations(), 0, "annotation leaked");
+        assert_eq!(m.num_inverted_entries(), 0, "inverted entries leaked");
+        assert_eq!(m.num_tag_buckets(), 0, "empty tag buckets not drained");
+        let r = m
+            .relevant_views_for(JobId::new(2), &["in/a.ss".into()])
+            .unwrap();
+        assert!(r.annotations.is_empty(), "dead view still matches lookups");
+        assert_eq!(m.stats().purged_annotations, 1);
+    }
+
+    #[test]
+    fn unregister_keeps_annotation_while_another_view_is_live() {
+        // Two recurring instances share one normalized annotation; killing
+        // one instance's view must not strand the other's reuse.
+        let m = service();
+        let n = sip128(b"norm");
+        let (p1, p2) = (sip128(b"inst1"), sip128(b"inst2"));
+        m.load_annotations(&[selected(n, &["in/a.ss"])]);
+        m.register_view(a_view(p1), n, JobId::new(1), SimTime::ZERO, SimTime::MAX);
+        m.register_view(a_view(p2), n, JobId::new(2), SimTime::ZERO, SimTime::MAX);
+        m.unregister_views(&[p1]);
+        assert_eq!(m.num_annotations(), 1, "live view's annotation was swept");
+        assert_eq!(m.num_inverted_entries(), 1);
+        m.unregister_views(&[p2]);
+        assert_eq!(m.num_annotations(), 0);
+        assert_eq!(m.num_inverted_entries(), 0);
+    }
+
+    #[test]
+    fn purge_sweeps_annotations_of_expired_views_after_grace() {
+        // The headline leak: views expire and get purged, but their
+        // annotation/inverted entries used to stay forever. With the fix
+        // they lapse one TTL (the rebuild-grace window) after the last
+        // view dies, in the same purge pass.
+        let clock = Arc::new(SimClock::new());
+        let m = MetadataService::new(Arc::clone(&clock), 1);
+        let n = sip128(b"norm");
+        let ttl = SimDuration::from_secs(3600); // `selected` uses ttl 3600
+        m.load_annotations(&[selected(n, &["in/a.ss"])]);
+        let view_expiry = SimTime::ZERO + SimDuration::from_secs(100);
+        m.register_view(
+            a_view(sip128(b"p")),
+            n,
+            JobId::new(1),
+            SimTime::ZERO,
+            view_expiry,
+        );
+
+        // View dead, but still inside the grace window: the annotation must
+        // survive so the next recurring instance can rebuild.
+        clock.advance(SimDuration::from_secs(200));
+        assert_eq!(m.purge_expired(), 1, "expired view purged");
+        assert_eq!(m.num_annotations(), 1, "annotation swept inside grace");
+
+        // Past view expiry + TTL with no rebuild: swept, buckets drained.
+        clock.advance(ttl);
+        assert_eq!(m.purge_expired(), 0);
+        assert_eq!(m.num_annotations(), 0, "annotation leaked past grace");
+        assert_eq!(m.num_inverted_entries(), 0, "inverted entries leaked");
+        assert_eq!(m.num_tag_buckets(), 0);
+        assert_eq!(m.stats().purged_annotations, 1);
+    }
+
+    #[test]
+    fn rebuilds_renew_the_annotation_across_instances() {
+        // A recurring template: each instance's build renews the GC horizon,
+        // so daily purges never strand the template even though every
+        // instance's view expires before the next instance runs.
+        let clock = Arc::new(SimClock::new());
+        let m = MetadataService::new(Arc::clone(&clock), 1);
+        let n = sip128(b"norm");
+        let day = SimDuration::from_secs(3600); // == `selected` ttl
+        m.load_annotations(&[selected(n, &["in/a.ss"])]);
+        for instance in 0..5u64 {
+            let now = clock.now();
+            let p = sip128(format!("inst{instance}").as_bytes());
+            m.register_view(a_view(p), n, JobId::new(instance), now, now + day);
+            clock.advance(day + SimDuration::from_secs(1));
+            m.purge_expired();
+            assert_eq!(
+                m.num_annotations(),
+                1,
+                "instance {instance}: annotation swept mid-recurrence"
+            );
+            // Dead instances' views and backrefs stay bounded.
+            assert_eq!(m.num_views(), 0);
+        }
+        // The workload stops: one grace TTL later the entry drains.
+        clock.advance(day + day);
+        m.purge_expired();
+        assert_eq!(m.num_annotations(), 0);
+        assert_eq!(m.num_inverted_entries(), 0);
     }
 
     #[test]
@@ -820,8 +1110,14 @@ mod tests {
             let builder = {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
-                    m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
-                        .unwrap();
+                    m.report_materialized(
+                        a_view(p),
+                        Sig128::ZERO,
+                        JobId::new(1),
+                        SimTime::ZERO,
+                        SimTime::MAX,
+                    )
+                    .unwrap();
                 })
             };
             let contender = {
@@ -890,14 +1186,14 @@ mod tests {
         assert_eq!(m.propose(p, job, ttl).unwrap(), LockOutcome::Acquired);
 
         assert!(m
-            .report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
+            .report_materialized(a_view(p), Sig128::ZERO, job, SimTime::ZERO, SimTime::MAX)
             .is_err());
         assert_eq!(m.num_views(), 0, "failed report must not register the view");
         assert!(
             m.lock_holder(p).is_some(),
             "failed report leaves the lock to lapse"
         );
-        m.report_materialized(a_view(p), job, SimTime::ZERO, SimTime::MAX)
+        m.report_materialized(a_view(p), Sig128::ZERO, job, SimTime::ZERO, SimTime::MAX)
             .unwrap();
         assert_eq!(m.num_views(), 1);
         assert!(m.lock_holder(p).is_none());
@@ -919,8 +1215,14 @@ mod tests {
     fn view_producer_provenance() {
         let m = service();
         let p = sip128(b"prov");
-        m.report_materialized(a_view(p), JobId::new(42), SimTime::ZERO, SimTime::MAX)
-            .unwrap();
+        m.report_materialized(
+            a_view(p),
+            Sig128::ZERO,
+            JobId::new(42),
+            SimTime::ZERO,
+            SimTime::MAX,
+        )
+        .unwrap();
         assert_eq!(m.view_producer(p), Some(JobId::new(42)));
         assert_eq!(m.view_producer(sip128(b"other")), None);
     }
@@ -929,10 +1231,22 @@ mod tests {
     fn first_report_wins() {
         let m = service();
         let p = sip128(b"dup");
-        m.report_materialized(a_view(p), JobId::new(1), SimTime::ZERO, SimTime::MAX)
-            .unwrap();
-        m.report_materialized(a_view(p), JobId::new(2), SimTime::ZERO, SimTime::MAX)
-            .unwrap();
+        m.report_materialized(
+            a_view(p),
+            Sig128::ZERO,
+            JobId::new(1),
+            SimTime::ZERO,
+            SimTime::MAX,
+        )
+        .unwrap();
+        m.report_materialized(
+            a_view(p),
+            Sig128::ZERO,
+            JobId::new(2),
+            SimTime::ZERO,
+            SimTime::MAX,
+        )
+        .unwrap();
         assert_eq!(m.view_producer(p), Some(JobId::new(1)));
         assert_eq!(m.num_views(), 1);
     }

@@ -327,6 +327,7 @@ impl Stage for PublishStage {
                 props: b.file.props.clone(),
             };
             let expires_at = b.file.meta.expires_at;
+            let normalized = b.file.meta.normalized;
             let precise = b.file.meta.precise;
             ctx.views_built.push(precise);
             cv.storage
@@ -339,7 +340,7 @@ impl Stage for PublishStage {
             }
             if cv
                 .metadata
-                .report_materialized(view, ctx.spec.id, available_at, expires_at)
+                .report_materialized(view, normalized, ctx.spec.id, available_at, expires_at)
                 .is_err()
             {
                 // Lost report: the file is orphaned (never visible) and the

@@ -252,9 +252,10 @@ fn offline_mode_builds_views_upfront() {
                 props: built.file.props.clone(),
             };
             let expires = built.file.meta.expires_at;
+            let normalized = built.file.meta.normalized;
             cv.storage.publish_view(built.file).unwrap();
             cv.metadata
-                .report_materialized(view, spec.id, SimTime::ZERO, expires)
+                .report_materialized(view, normalized, spec.id, SimTime::ZERO, expires)
                 .unwrap();
             prebuilt += 1;
         }
