@@ -153,6 +153,7 @@ fn bench_run_many(w: &RecurringWorkload, cores: usize) -> PipelineNumbers {
         PipelineOptions {
             workers: cores,
             max_in_flight: 2 * cores,
+            janitor: false,
         },
     );
     let pool_micros = t.elapsed().as_micros();

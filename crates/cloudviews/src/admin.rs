@@ -259,13 +259,15 @@ pub fn fault_dashboard(service: &CloudViews, reports: &[crate::runtime::JobRunRe
     let stats = service.metadata.stats();
     let now = service.clock.now();
     let mut out = format!(
-        "metadata: lookups={} failed_lookups={} failed_proposals={} \
-         failed_reports={}\nlocks: granted={} conflicts={} expired_takeovers={} \
-         active_now={}\n",
+        "metadata: shards={} lookups={} failed_lookups={} failed_proposals={} \
+         failed_reports={} purged_annotations={}\nlocks: granted={} conflicts={} \
+         expired_takeovers={} active_now={}\n",
+        service.metadata.num_shards(),
         stats.lookups,
         stats.failed_lookups,
         stats.failed_proposals,
         stats.failed_reports,
+        stats.purged_annotations,
         stats.locks_granted,
         stats.lock_conflicts,
         stats.expired_takeovers,
@@ -314,14 +316,16 @@ pub fn telemetry_dashboard(service: &CloudViews) -> String {
         .map(|h| h.mean() / 1e3)
         .unwrap_or(0.0);
     out.push_str(&format!(
-        "metadata: lookups={} misses={} mean_lookup={:.1}ms locks_granted={} \
-         conflicts={} active_locks={}\n",
+        "metadata: shards={} lookups={} misses={} mean_lookup={:.1}ms \
+         locks_granted={} conflicts={} active_locks={} purged_annotations={}\n",
+        service.metadata.num_shards(),
         snap.counter("cv_metadata_lookups_total"),
         snap.counter("cv_metadata_lookup_misses_total"),
         lookup_ms,
         snap.counter("cv_metadata_locks_granted_total"),
         snap.counter("cv_metadata_lock_conflicts_total"),
         snap.gauge("cv_metadata_build_locks"),
+        snap.counter("cv_metadata_purged_annotations_total"),
     ));
     out.push_str(&format!(
         "storage: published={} written={}B read={}B checksum_failures={} \
@@ -467,7 +471,8 @@ mod tests {
         let (cv, w) = running_service();
         // Clean service: counters render, no injected section, no drill-down.
         let text = fault_dashboard(&cv, &[]);
-        assert!(text.contains("metadata: lookups="));
+        assert!(text.contains("metadata: shards=16"));
+        assert!(text.contains("purged_annotations="));
         assert!(text.contains("expired_takeovers="));
         assert!(!text.contains("injected:"));
         assert!(text.contains("no faults observed"));
@@ -500,6 +505,8 @@ mod tests {
         assert!(text.contains("jobs: total="), "{text}");
         assert!(!text.contains("jobs: total=0"), "jobs ran: {text}");
         assert!(text.contains("mean_lookup="), "{text}");
+        assert!(text.contains("metadata: shards=16"), "{text}");
+        assert!(text.contains("purged_annotations="), "{text}");
         assert!(text.contains("storage: published="), "{text}");
         assert!(text.contains("# TYPE cv_jobs_total counter"), "{text}");
         assert!(text.contains("cv_job_latency_sim_micros_count"), "{text}");

@@ -57,7 +57,7 @@ pub mod runtime;
 
 pub use analyzer::{AnalysisOutcome, AnalyzerConfig, SelectedView, SelectionPolicy};
 pub use faults::{FaultInjector, FaultPlan, FaultSite, InjectedFaults, ScriptedFault};
-pub use metadata::{LockOutcome, LookupResponse, MetadataService};
+pub use metadata::{LockOutcome, LookupResponse, MetadataService, MetadataStats, PurgeSweep};
 pub use pipeline::PipelineOptions;
 pub use runtime::{
     CloudViews, CloudViewsBuilder, DegradationPolicy, JobFaultReport, JobRunReport, PurgeReport,

@@ -17,8 +17,26 @@
 //! thread-safe service (see DESIGN.md substitution table). Lookup latency is
 //! modeled after the paper's measurements (19 ms single-threaded, 14.3 ms
 //! with 5 service threads) via a calibrated base + per-thread service term.
+//!
+//! ## Sharding (DESIGN.md §10)
+//!
+//! All four hot maps — annotations, the inverted index, registered views,
+//! and build locks — are split over a power-of-two number of
+//! signature-keyed [`Sharded`] shards (16 by default, the same pattern the
+//! metrics registry uses). A lookup takes only *read* locks, each shard's
+//! at most once per request: one probe per tag bucket, then one pass per
+//! annotation shard with the candidate signatures grouped by shard. The
+//! lock protocol is shard-local to the precise signature, so proposals on
+//! different views never contend. Purging is incremental: a janitor sweeps
+//! one shard at a time ([`MetadataService::purge_next_shard`]), dropping
+//! expired views *and* the annotation/inverted-index entries they strand in
+//! one consistent pass; [`MetadataService::purge_expired`] is a full sweep
+//! of every shard. Service counters are plain atomics — the old global
+//! stats mutex serialized every lookup even when the maps themselves were
+//! sharded.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -26,6 +44,7 @@ use parking_lot::{Mutex, RwLock};
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
 use scope_common::intern::Symbol;
+use scope_common::shard::Sharded;
 use scope_common::telemetry::{Counter, Gauge, Histogram, MetricUnit, Telemetry};
 use scope_common::time::{SimClock, SimDuration, SimTime};
 use scope_common::{Result, ScopeError};
@@ -33,6 +52,9 @@ use scope_engine::optimizer::{Annotation, AvailableView, ViewServices};
 
 use crate::analyzer::SelectedView;
 use crate::faults::{FaultInjector, FaultSite};
+
+/// Default shard count, matching the metrics registry's 16-way split.
+const DEFAULT_SHARDS: usize = 16;
 
 /// Result of a materialization proposal (Figure 9, step 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +78,24 @@ pub struct LookupResponse {
     pub latency: SimDuration,
     /// Number of the job's tags that hit the inverted index.
     pub hit_count: usize,
+}
+
+/// What one purge pass reclaimed (a single shard for the incremental
+/// janitor, or every shard for [`MetadataService::purge_expired`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PurgeSweep {
+    /// Expired views dropped.
+    pub views_purged: usize,
+    /// Annotation entries (with their inverted-index postings) swept
+    /// because their views died and their GC horizon lapsed.
+    pub annotations_purged: usize,
+}
+
+impl PurgeSweep {
+    fn absorb(&mut self, other: PurgeSweep) {
+        self.views_purged += other.views_purged;
+        self.annotations_purged += other.annotations_purged;
+    }
 }
 
 /// Cached telemetry handles for the service's hot paths: resolved once at
@@ -183,22 +223,74 @@ pub struct MetadataStats {
     pub purged_annotations: u64,
 }
 
-/// The metadata service.
-pub struct MetadataService {
+/// Lock-free service counters. The pre-shard service funneled every lookup
+/// through one `Mutex<MetadataStats>`, which serialized the read path even
+/// after the maps were sharded; each cell here is an independent relaxed
+/// atomic (the snapshot is monotonic per counter, not a consistent cut —
+/// exactly what a stats endpoint needs).
+#[derive(Default)]
+struct StatCells {
+    lookups: AtomicU64,
+    annotations_returned: AtomicU64,
+    locks_granted: AtomicU64,
+    lock_conflicts: AtomicU64,
+    already_materialized: AtomicU64,
+    views_registered: AtomicU64,
+    expired_takeovers: AtomicU64,
+    failed_lookups: AtomicU64,
+    failed_proposals: AtomicU64,
+    failed_reports: AtomicU64,
+    purged_annotations: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> MetadataStats {
+        MetadataStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            annotations_returned: self.annotations_returned.load(Ordering::Relaxed),
+            locks_granted: self.locks_granted.load(Ordering::Relaxed),
+            lock_conflicts: self.lock_conflicts.load(Ordering::Relaxed),
+            already_materialized: self.already_materialized.load(Ordering::Relaxed),
+            views_registered: self.views_registered.load(Ordering::Relaxed),
+            expired_takeovers: self.expired_takeovers.load(Ordering::Relaxed),
+            failed_lookups: self.failed_lookups.load(Ordering::Relaxed),
+            failed_proposals: self.failed_proposals.load(Ordering::Relaxed),
+            failed_reports: self.failed_reports.load(Ordering::Relaxed),
+            purged_annotations: self.purged_annotations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One shard of the service state. The four maps are keyed independently —
+/// annotations by normalized signature, views and locks by precise
+/// signature, the inverted index by tag symbol — so one logical operation
+/// may touch maps in *different* shards; every method acquires at most one
+/// write lock at a time (collect-then-act) except the documented nested
+/// `annotations → views` read in the sweep.
+#[derive(Default)]
+struct MetadataShard {
     /// Annotations by normalized signature.
     annotations: RwLock<HashMap<Sig128, AnnotationEntry>>,
     /// Inverted index: normalized tag → normalized signatures. Keys are
     /// interned symbols, so a lookup probe is integer hashing.
     inverted: RwLock<HashMap<Symbol, HashSet<Sig128>>>,
-    /// Exclusive build locks by precise signature.
-    locks: Mutex<HashMap<Sig128, BuildLock>>,
     /// Registered materialized views by precise signature.
     views: RwLock<HashMap<Sig128, RegisteredView>>,
+    /// Exclusive build locks by precise signature.
+    locks: Mutex<HashMap<Sig128, BuildLock>>,
+}
+
+/// The metadata service.
+pub struct MetadataService {
+    shards: Sharded<MetadataShard>,
     /// Shared simulated clock.
     clock: Arc<SimClock>,
-    /// Number of service threads (affects modeled lookup latency).
+    /// Number of service threads (affects modeled lookup latency); clamped
+    /// to at least 1 at construction — the latency model divides by it.
     service_threads: usize,
-    stats: Mutex<MetadataStats>,
+    stats: StatCells,
+    /// Round-robin cursor for [`MetadataService::purge_next_shard`].
+    janitor_cursor: AtomicUsize,
     /// Optional fault injector consulted by the fallible entrypoints.
     faults: RwLock<Option<Arc<FaultInjector>>>,
     /// Optional telemetry sink with pre-resolved handles.
@@ -206,19 +298,46 @@ pub struct MetadataService {
 }
 
 impl MetadataService {
-    /// A service with the given clock and thread count.
+    /// A service with the given clock and thread count and the default
+    /// 16-way sharding.
     pub fn new(clock: Arc<SimClock>, service_threads: usize) -> Self {
+        MetadataService::with_shards(clock, service_threads, DEFAULT_SHARDS)
+    }
+
+    /// A service with an explicit shard count (clamped to a power of two;
+    /// `1` gives the global-lock layout, useful as a contention baseline).
+    pub fn with_shards(clock: Arc<SimClock>, service_threads: usize, shards: usize) -> Self {
         MetadataService {
-            annotations: RwLock::new(HashMap::new()),
-            inverted: RwLock::new(HashMap::new()),
-            locks: Mutex::new(HashMap::new()),
-            views: RwLock::new(HashMap::new()),
+            shards: Sharded::new(shards, |_| MetadataShard::default()),
             clock,
             service_threads: service_threads.max(1),
-            stats: Mutex::new(MetadataStats::default()),
+            stats: StatCells::default(),
+            janitor_cursor: AtomicUsize::new(0),
             faults: RwLock::new(None),
             telemetry: RwLock::new(None),
         }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard owning a signature-keyed entry (annotations by normalized,
+    /// views/locks by precise). Sip output is uniform, but it still goes
+    /// through the sharder's mixer — harmless, and keeps one code path.
+    fn sig_shard(&self, sig: Sig128) -> &MetadataShard {
+        self.shards.for_key(sig.lo ^ sig.hi)
+    }
+
+    fn sig_shard_index(&self, sig: Sig128) -> usize {
+        self.shards.index_for(sig.lo ^ sig.hi)
+    }
+
+    /// Shard owning a tag's inverted-index bucket. Interned symbols are
+    /// sequential integers; the sharder's mixer spreads them.
+    fn tag_shard_index(&self, tag: Symbol) -> usize {
+        self.shards.index_for(tag.raw() as u64)
     }
 
     /// Installs (or clears) the fault injector consulted by the fallible
@@ -245,22 +364,28 @@ impl MetadataService {
     /// polls for the output of the CloudViews analyzer").
     pub fn load_annotations(&self, selected: &[SelectedView]) {
         let now = self.clock.now();
-        let mut annotations = self.annotations.write();
-        let mut inverted = self.inverted.write();
-        annotations.clear();
-        inverted.clear();
+        for shard in &self.shards {
+            shard.annotations.write().clear();
+            shard.inverted.write().clear();
+        }
         for s in selected {
-            annotations.insert(
-                s.annotation.normalized,
-                AnnotationEntry {
-                    keep_until: now + s.annotation.ttl,
-                    annotation: s.annotation.clone(),
-                    tags: s.input_tags.clone(),
-                    precise_views: Vec::new(),
-                },
-            );
+            self.sig_shard(s.annotation.normalized)
+                .annotations
+                .write()
+                .insert(
+                    s.annotation.normalized,
+                    AnnotationEntry {
+                        keep_until: now + s.annotation.ttl,
+                        annotation: s.annotation.clone(),
+                        tags: s.input_tags.clone(),
+                        precise_views: Vec::new(),
+                    },
+                );
             for &tag in &s.input_tags {
-                inverted
+                self.shards
+                    .at(self.tag_shard_index(tag))
+                    .inverted
+                    .write()
                     .entry(tag)
                     .or_default()
                     .insert(s.annotation.normalized);
@@ -274,6 +399,11 @@ impl MetadataService {
     /// over-approximation the optimizer narrows by matching actual
     /// signatures), plus the modeled service latency for the request.
     ///
+    /// The read path is a single pass over per-shard *read* locks: one
+    /// inverted-bucket probe per tag, then the candidate signatures grouped
+    /// by annotation shard so each shard's lock is taken at most once. No
+    /// two locks are ever held together.
+    ///
     /// **Fault-injection contract:** when the installed injector fires
     /// [`FaultSite::MetadataLookup`] for `job`, the call returns
     /// `ServiceUnavailable` and the index is never consulted. The runtime
@@ -281,7 +411,7 @@ impl MetadataService {
     /// (DESIGN.md "Fault tolerance & degradation").
     pub fn relevant_views_for(&self, job: JobId, job_tags: &[Symbol]) -> Result<LookupResponse> {
         if self.injected_failure(FaultSite::MetadataLookup, job) {
-            self.stats.lock().failed_lookups += 1;
+            self.stats.failed_lookups.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.telemetry.read().as_ref() {
                 t.lookup_faults.inc();
             }
@@ -290,24 +420,41 @@ impl MetadataService {
             )));
         }
         let wall_start = Instant::now();
-        let inverted = self.inverted.read();
-        let annotations = self.annotations.read();
-        let mut sigs: HashSet<Sig128> = HashSet::new();
+        // One flat candidate buffer, sorted by owning shard, instead of a
+        // Vec-per-shard: candidate sets are small (a handful of tag hits),
+        // so one allocation + a tiny sort beats up to `shards` inner-Vec
+        // allocations per request on the uncontended path.
+        let mut candidates: Vec<(usize, Sig128)> = Vec::new();
+        let mut seen: HashSet<Sig128> = HashSet::new();
         let mut hit_count = 0usize;
         for tag in job_tags {
+            let inverted = self.shards.at(self.tag_shard_index(*tag)).inverted.read();
             if let Some(set) = inverted.get(tag) {
                 hit_count += 1;
-                sigs.extend(set.iter().copied());
+                for &sig in set {
+                    if seen.insert(sig) {
+                        candidates.push((self.sig_shard_index(sig), sig));
+                    }
+                }
             }
         }
-        let result: Vec<Annotation> = sigs
-            .iter()
-            .filter_map(|s| annotations.get(s).map(|e| e.annotation.clone()))
-            .collect();
-        let mut stats = self.stats.lock();
-        stats.lookups += 1;
-        stats.annotations_returned += result.len() as u64;
-        drop(stats);
+        candidates.sort_unstable_by_key(|&(shard, _)| shard);
+        let mut result: Vec<Annotation> = Vec::with_capacity(candidates.len());
+        let mut rest = candidates.as_slice();
+        while let Some(&(index, _)) = rest.first() {
+            let run = rest.partition_point(|&(s, _)| s == index);
+            let annotations = self.shards.at(index).annotations.read();
+            result.extend(
+                rest[..run]
+                    .iter()
+                    .filter_map(|(_, s)| annotations.get(s).map(|e| e.annotation.clone())),
+            );
+            rest = &rest[run..];
+        }
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .annotations_returned
+            .fetch_add(result.len() as u64, Ordering::Relaxed);
         let latency = self.lookup_latency();
         if let Some(t) = self.telemetry.read().as_ref() {
             t.lookups.inc();
@@ -331,7 +478,8 @@ impl MetadataService {
 
     /// Modeled lookup latency: a fixed network+query base plus a service
     /// term that parallelizes across service threads. Calibrated to the
-    /// paper's 19 ms (1 thread) and 14.3 ms (5 threads).
+    /// paper's 19 ms (1 thread) and 14.3 ms (5 threads). `service_threads`
+    /// is clamped to ≥ 1 at construction, so the division is always sound.
     pub fn lookup_latency(&self) -> SimDuration {
         let ms = 13.12 + 5.88 / self.service_threads as f64;
         SimDuration::from_secs_f64(ms / 1e3)
@@ -339,7 +487,8 @@ impl MetadataService {
 
     /// Figure 9 steps 3/4: propose to materialize `precise`. Grants an
     /// exclusive lock expiring after `lock_ttl` (mined from the subgraph's
-    /// average runtime) unless the view exists or the lock is taken.
+    /// average runtime) unless the view exists or the lock is taken. The
+    /// protocol is entirely local to the shard owning `precise`.
     ///
     /// **Fault-injection contract:** when the injector fires
     /// [`FaultSite::Propose`] for `job`, the proposal is lost: no lock is
@@ -352,7 +501,7 @@ impl MetadataService {
         lock_ttl: SimDuration,
     ) -> Result<LockOutcome> {
         if self.injected_failure(FaultSite::Propose, job) {
-            self.stats.lock().failed_proposals += 1;
+            self.stats.failed_proposals.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.telemetry.read().as_ref() {
                 t.propose_faults.inc();
             }
@@ -384,22 +533,27 @@ impl MetadataService {
         now: SimTime,
     ) -> LockOutcome {
         if self.lookup_view(precise, now).is_some() {
-            self.stats.lock().already_materialized += 1;
+            self.stats
+                .already_materialized
+                .fetch_add(1, Ordering::Relaxed);
             return LockOutcome::AlreadyMaterialized;
         }
-        let mut locks = self.locks.lock();
-        // Double-check under the lock-table mutex: a concurrent
+        let shard = self.sig_shard(precise);
+        let mut locks = shard.locks.lock();
+        // Double-check under the shard's lock-table mutex: a concurrent
         // report_materialized may have registered the view (and released
         // its lock) between the unlocked check above and acquiring the
         // mutex; without the re-check this job would be granted a lock for
         // a view that already exists and duplicate the build.
         if self.lookup_view(precise, now).is_some() {
-            self.stats.lock().already_materialized += 1;
+            self.stats
+                .already_materialized
+                .fetch_add(1, Ordering::Relaxed);
             return LockOutcome::AlreadyMaterialized;
         }
         match locks.get(&precise) {
             Some(lock) if lock.expires_at > now && lock.holder != job => {
-                self.stats.lock().lock_conflicts += 1;
+                self.stats.lock_conflicts.fetch_add(1, Ordering::Relaxed);
                 LockOutcome::AlreadyLocked
             }
             prev => {
@@ -417,11 +571,9 @@ impl MetadataService {
                         expires_at: now + lock_ttl,
                     },
                 );
-                let mut stats = self.stats.lock();
-                stats.locks_granted += 1;
+                self.stats.locks_granted.fetch_add(1, Ordering::Relaxed);
                 if takeover {
-                    stats.expired_takeovers += 1;
-                    drop(stats);
+                    self.stats.expired_takeovers.fetch_add(1, Ordering::Relaxed);
                     if let Some(t) = self.telemetry.read().as_ref() {
                         t.expired_takeovers.inc();
                     }
@@ -435,7 +587,8 @@ impl MetadataService {
     /// (expired locks are reported until purged — they are reclaimable, not
     /// gone).
     pub fn lock_holder(&self, precise: Sig128) -> Option<(JobId, SimTime)> {
-        self.locks
+        self.sig_shard(precise)
+            .locks
             .lock()
             .get(&precise)
             .map(|l| (l.holder, l.expires_at))
@@ -446,16 +599,21 @@ impl MetadataService {
     /// finish and the mined TTLs elapse — a crashed builder can never wedge
     /// a view signature forever.
     pub fn num_active_locks(&self, now: SimTime) -> usize {
-        self.locks
-            .lock()
-            .values()
-            .filter(|l| l.expires_at > now)
-            .count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.locks
+                    .lock()
+                    .values()
+                    .filter(|l| l.expires_at > now)
+                    .count()
+            })
+            .sum()
     }
 
     /// Number of build locks present (active or lapsed-but-unpurged).
     pub fn num_locks(&self) -> usize {
-        self.locks.lock().len()
+        self.shards.iter().map(|s| s.locks.lock().len()).sum()
     }
 
     /// Figure 9 steps 5/6: the job manager reports a successful
@@ -477,7 +635,7 @@ impl MetadataService {
         expires_at: SimTime,
     ) -> Result<()> {
         if self.injected_failure(FaultSite::ReportMaterialized, producer) {
-            self.stats.lock().failed_reports += 1;
+            self.stats.failed_reports.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.telemetry.read().as_ref() {
                 t.report_faults.inc();
             }
@@ -494,6 +652,12 @@ impl MetadataService {
     /// tests that need to seed views without a fault plan in the way.
     /// `normalized` links the view to its driving annotation (pass
     /// [`Sig128::ZERO`] when there is none, e.g. in protocol-only tests).
+    ///
+    /// The view (precise shard), annotation renewal (normalized shard), and
+    /// lock release (precise shard) are three separate acquisitions; no two
+    /// locks are held together — propose() holds a shard's lock mutex while
+    /// reading that shard's views (its double-check), so overlapping guards
+    /// here would be an ABBA deadlock.
     pub fn register_view(
         &self,
         view: AvailableView,
@@ -503,13 +667,9 @@ impl MetadataService {
         expires_at: SimTime,
     ) {
         let precise = view.precise;
-        // Lock order: never hold the views guard while taking the locks
-        // mutex — propose() holds the locks mutex while reading views (its
-        // double-check), so overlapping the two here would be an ABBA
-        // deadlock. Each guard below is a temporary dropped at the end of
-        // its own statement.
+        let shard = self.sig_shard(precise);
         let inserted = {
-            let mut views = self.views.write();
+            let mut views = shard.views.write();
             match views.entry(precise) {
                 std::collections::hash_map::Entry::Occupied(_) => false,
                 std::collections::hash_map::Entry::Vacant(slot) => {
@@ -529,7 +689,12 @@ impl MetadataService {
             // the annotation still matches the workload, so it must outlive
             // the view it just produced by one more TTL (the grace window a
             // recurring template needs to rebuild next instance).
-            if let Some(entry) = self.annotations.write().get_mut(&normalized) {
+            if let Some(entry) = self
+                .sig_shard(normalized)
+                .annotations
+                .write()
+                .get_mut(&normalized)
+            {
                 let ttl = entry.annotation.ttl;
                 entry.keep_until = entry.keep_until.max(expires_at + ttl);
                 if !entry.precise_views.contains(&precise) {
@@ -537,8 +702,8 @@ impl MetadataService {
                 }
             }
         }
-        self.locks.lock().remove(&precise);
-        self.stats.lock().views_registered += 1;
+        shard.locks.lock().remove(&precise);
+        self.stats.views_registered.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = self.telemetry.read().as_ref() {
             t.views_registered.inc();
             t.build_locks.set(self.num_locks() as i64);
@@ -553,44 +718,83 @@ impl MetadataService {
     }
 
     fn lookup_view(&self, precise: Sig128, now: SimTime) -> Option<AvailableView> {
-        let views = self.views.read();
+        let views = self.sig_shard(precise).views.read();
         views
             .get(&precise)
             .filter(|v| v.created_at <= now && v.expires_at > now)
             .map(|v| v.view.clone())
     }
 
-    /// Producer job of a registered view (provenance, requirement 6).
-    pub fn view_producer(&self, precise: Sig128) -> Option<JobId> {
-        self.views.read().get(&precise).map(|v| v.producer)
+    /// Whether a registered view is live (unexpired) at `now`.
+    fn view_live(&self, precise: Sig128, now: SimTime) -> bool {
+        self.sig_shard(precise)
+            .views
+            .read()
+            .get(&precise)
+            .is_some_and(|v| v.expires_at > now)
     }
 
-    /// Drops expired views and lapsed locks — and, in the same pass, the
-    /// annotation and inverted-index entries those dead views strand (the
-    /// entries used to leak and keep matching future lookups forever).
-    /// Returns how many views were purged; the storage manager purges the
+    /// Producer job of a registered view (provenance, requirement 6).
+    pub fn view_producer(&self, precise: Sig128) -> Option<JobId> {
+        self.sig_shard(precise)
+            .views
+            .read()
+            .get(&precise)
+            .map(|v| v.producer)
+    }
+
+    /// Full sweep: drops expired views and lapsed locks from *every* shard
+    /// — and, in the same pass, the annotation and inverted-index entries
+    /// those dead views strand (the entries used to leak and keep matching
+    /// future lookups forever). The storage manager purges the
     /// corresponding files.
-    pub fn purge_expired(&self) -> usize {
+    pub fn purge_expired(&self) -> PurgeSweep {
         let now = self.clock.now();
+        let mut total = PurgeSweep::default();
+        for index in 0..self.shards.len() {
+            total.absorb(self.purge_shard_at(index, now));
+        }
+        total
+    }
+
+    /// Incremental janitor step: sweeps the next shard in round-robin
+    /// order. `shards` consecutive calls cover the whole service, so the
+    /// run_many pool can amortize purging across jobs instead of stopping
+    /// the world (`PipelineOptions::janitor`).
+    pub fn purge_next_shard(&self) -> PurgeSweep {
+        let index = self.janitor_cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.purge_shard_at(index, self.clock.now())
+    }
+
+    /// One shard's janitor pass: expire the shard's views and locks, prune
+    /// the dead views' annotation backrefs (which may live in *other*
+    /// shards), then sweep this shard's annotations past their GC horizon.
+    /// An annotation stranded in another shard is collected when the cursor
+    /// reaches that shard.
+    fn purge_shard_at(&self, index: usize, now: SimTime) -> PurgeSweep {
+        let shard = self.shards.at(index);
         let mut dead: Vec<(Sig128, Sig128)> = Vec::new();
-        let mut views = self.views.write();
-        views.retain(|p, v| {
-            let keep = v.expires_at > now;
-            if !keep {
-                dead.push((*p, v.normalized));
-            }
-            keep
-        });
-        let purged = dead.len();
-        let remaining = views.len();
-        drop(views);
-        self.locks.lock().retain(|_, l| l.expires_at > now);
-        self.sweep_annotations(&dead, now, false);
+        {
+            let mut views = shard.views.write();
+            views.retain(|p, v| {
+                let keep = v.expires_at > now;
+                if !keep {
+                    dead.push((*p, v.normalized));
+                }
+                keep
+            });
+        }
+        shard.locks.lock().retain(|_, l| l.expires_at > now);
+        self.prune_backrefs(&dead);
+        let annotations_purged = self.sweep_annotation_shard(index, &HashSet::new(), now);
         if let Some(t) = self.telemetry.read().as_ref() {
             t.build_locks.set(self.num_locks() as i64);
-            t.registered_views.set(remaining as i64);
+            t.registered_views.set(self.num_views() as i64);
         }
-        purged
+        PurgeSweep {
+            views_purged: dead.len(),
+            annotations_purged,
+        }
     }
 
     /// Unregisters specific views (admin space reclamation, Section 5.4:
@@ -602,61 +806,74 @@ impl MetadataService {
     pub fn unregister_views(&self, precise: &[Sig128]) {
         let now = self.clock.now();
         let mut dead: Vec<(Sig128, Sig128)> = Vec::new();
-        {
-            let mut views = self.views.write();
-            for p in precise {
-                if let Some(v) = views.remove(p) {
-                    dead.push((*p, v.normalized));
+        for p in precise {
+            if let Some(v) = self.sig_shard(*p).views.write().remove(p) {
+                dead.push((*p, v.normalized));
+            }
+        }
+        self.prune_backrefs(&dead);
+        // Force-sweep the dead views' annotations (GC horizon ignored —
+        // the view was deliberately removed), grouped by owning shard.
+        let mut forced_by_shard: HashMap<usize, HashSet<Sig128>> = HashMap::new();
+        for &(_, normalized) in &dead {
+            forced_by_shard
+                .entry(self.sig_shard_index(normalized))
+                .or_default()
+                .insert(normalized);
+        }
+        for (index, forced) in forced_by_shard {
+            self.sweep_annotation_shard(index, &forced, now);
+        }
+    }
+
+    /// Removes dead views' precise signatures from their annotations'
+    /// backref lists (the annotations may live in any shard; each affected
+    /// shard's write lock is taken once).
+    fn prune_backrefs(&self, dead_views: &[(Sig128, Sig128)]) {
+        let mut by_shard: HashMap<usize, Vec<(Sig128, Sig128)>> = HashMap::new();
+        for &(precise, normalized) in dead_views {
+            by_shard
+                .entry(self.sig_shard_index(normalized))
+                .or_default()
+                .push((precise, normalized));
+        }
+        for (index, pairs) in by_shard {
+            let mut annotations = self.shards.at(index).annotations.write();
+            for (precise, normalized) in pairs {
+                if let Some(e) = annotations.get_mut(&normalized) {
+                    e.precise_views.retain(|p| *p != precise);
                 }
             }
         }
-        self.sweep_annotations(&dead, now, true);
     }
 
-    /// The consistent annotation/inverted sweep shared by
-    /// [`MetadataService::purge_expired`] and
-    /// [`MetadataService::unregister_views`]: prunes the dead views'
-    /// backrefs, removes every annotation entry past its GC horizon (or,
-    /// with `force_dead`, linked to a just-removed view) that has no live
-    /// registered view left, and drains the emptied inverted-index buckets.
-    /// Returns the number of annotation entries swept.
+    /// The consistent annotation/inverted sweep shared by the janitor and
+    /// [`MetadataService::unregister_views`]: removes every annotation
+    /// entry in shard `index` past its GC horizon (or named in `forced`)
+    /// that has no live registered view left, then drains the emptied
+    /// inverted-index buckets (which may live in other shards). Returns the
+    /// number of annotation entries swept.
     ///
-    /// Lock discipline: `annotations` is written first and *dropped* before
-    /// `inverted` is taken — lookups acquire `inverted` then `annotations`,
-    /// so holding both here in the opposite order would be an ABBA deadlock.
-    fn sweep_annotations(
+    /// Lock discipline: this holds `annotations[index]` (write) while
+    /// probing view shards (read) for liveness — safe because no path
+    /// acquires an annotations lock while holding a views lock. The
+    /// inverted locks are taken only after the annotations guard drops —
+    /// lookups acquire `inverted` then `annotations`, so holding both here
+    /// in the opposite order would be an ABBA deadlock.
+    fn sweep_annotation_shard(
         &self,
-        dead_views: &[(Sig128, Sig128)],
+        index: usize,
+        forced: &HashSet<Sig128>,
         now: SimTime,
-        force_dead: bool,
     ) -> usize {
         let removed: Vec<(Sig128, Vec<Symbol>)> = {
-            let mut annotations = self.annotations.write();
-            for (precise, normalized) in dead_views {
-                if let Some(e) = annotations.get_mut(normalized) {
-                    e.precise_views.retain(|p| p != precise);
-                }
-            }
-            let forced: HashSet<Sig128> = if force_dead {
-                dead_views.iter().map(|(_, n)| *n).collect()
-            } else {
-                HashSet::new()
-            };
-            let dead_entries: Vec<Sig128> = {
-                // Safe nested acquire: no path takes `annotations` while
-                // holding `views`.
-                let views = self.views.read();
-                annotations
-                    .iter()
-                    .filter(|(n, e)| e.keep_until <= now || forced.contains(n))
-                    .filter(|(_, e)| {
-                        !e.precise_views
-                            .iter()
-                            .any(|p| views.get(p).is_some_and(|v| v.expires_at > now))
-                    })
-                    .map(|(n, _)| *n)
-                    .collect()
-            };
+            let mut annotations = self.shards.at(index).annotations.write();
+            let dead_entries: Vec<Sig128> = annotations
+                .iter()
+                .filter(|(n, e)| e.keep_until <= now || forced.contains(n))
+                .filter(|(_, e)| !e.precise_views.iter().any(|p| self.view_live(*p, now)))
+                .map(|(n, _)| *n)
+                .collect();
             dead_entries
                 .into_iter()
                 .filter_map(|n| annotations.remove(&n).map(|e| (n, e.tags)))
@@ -665,20 +882,30 @@ impl MetadataService {
         if removed.is_empty() {
             return 0;
         }
-        let mut inverted = self.inverted.write();
-        for (n, tags) in &removed {
-            for tag in tags {
-                if let Some(bucket) = inverted.get_mut(tag) {
-                    bucket.remove(n);
+        let mut by_shard: HashMap<usize, Vec<(Sig128, Symbol)>> = HashMap::new();
+        for (normalized, tags) in &removed {
+            for &tag in tags {
+                by_shard
+                    .entry(self.tag_shard_index(tag))
+                    .or_default()
+                    .push((*normalized, tag));
+            }
+        }
+        for (shard_index, entries) in by_shard {
+            let mut inverted = self.shards.at(shard_index).inverted.write();
+            for (normalized, tag) in entries {
+                if let Some(bucket) = inverted.get_mut(&tag) {
+                    bucket.remove(&normalized);
                     if bucket.is_empty() {
-                        inverted.remove(tag);
+                        inverted.remove(&tag);
                     }
                 }
             }
         }
-        drop(inverted);
         let swept = removed.len();
-        self.stats.lock().purged_annotations += swept as u64;
+        self.stats
+            .purged_annotations
+            .fetch_add(swept as u64, Ordering::Relaxed);
         if let Some(t) = self.telemetry.read().as_ref() {
             t.purged_annotations.add(swept as u64);
         }
@@ -687,28 +914,31 @@ impl MetadataService {
 
     /// Registered (non-expired) view count.
     pub fn num_views(&self) -> usize {
-        self.views.read().len()
+        self.shards.iter().map(|s| s.views.read().len()).sum()
     }
 
     /// Loaded annotation count.
     pub fn num_annotations(&self) -> usize {
-        self.annotations.read().len()
+        self.shards.iter().map(|s| s.annotations.read().len()).sum()
     }
 
     /// Total inverted-index postings (signature entries summed over every
     /// tag bucket) — the quantity that used to grow without bound.
     pub fn num_inverted_entries(&self) -> usize {
-        self.inverted.read().values().map(HashSet::len).sum()
+        self.shards
+            .iter()
+            .map(|s| s.inverted.read().values().map(HashSet::len).sum::<usize>())
+            .sum()
     }
 
     /// Non-empty tag buckets in the inverted index.
     pub fn num_tag_buckets(&self) -> usize {
-        self.inverted.read().len()
+        self.shards.iter().map(|s| s.inverted.read().len()).sum()
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> MetadataStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// The shared clock (used by the runtime to time operations).
@@ -804,6 +1034,32 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_layout_serves_the_same_answers() {
+        // shards=1 is the global-lock baseline the scale bench compares
+        // against; it must be behaviorally identical to the sharded layout.
+        for shards in [1usize, 4, 16] {
+            let m = MetadataService::with_shards(Arc::new(SimClock::new()), 1, shards);
+            assert_eq!(m.num_shards(), shards);
+            let views: Vec<SelectedView> = (0..64)
+                .map(|i| {
+                    selected(
+                        sip128(format!("norm{i}").as_bytes()),
+                        &[&format!("in/s{}.ss", i % 8)],
+                    )
+                })
+                .collect();
+            m.load_annotations(&views);
+            assert_eq!(m.num_annotations(), 64);
+            assert_eq!(m.num_inverted_entries(), 64);
+            assert_eq!(m.num_tag_buckets(), 8);
+            let r = m
+                .relevant_views_for(JobId::new(1), &["in/s3.ss".into()])
+                .unwrap();
+            assert_eq!(r.annotations.len(), 8, "shards={shards}");
+        }
+    }
+
+    #[test]
     fn reload_replaces_annotations() {
         let m = service();
         m.load_annotations(&[selected(sip128(b"old"), &["t"])]);
@@ -889,7 +1145,7 @@ mod tests {
         assert!(m.view_available(p).is_some());
         clock.advance(SimDuration::from_secs(10));
         assert!(m.view_available(p).is_none(), "expired");
-        assert_eq!(m.purge_expired(), 1);
+        assert_eq!(m.purge_expired().views_purged, 1);
         assert_eq!(m.num_views(), 0);
     }
 
@@ -974,12 +1230,14 @@ mod tests {
         // View dead, but still inside the grace window: the annotation must
         // survive so the next recurring instance can rebuild.
         clock.advance(SimDuration::from_secs(200));
-        assert_eq!(m.purge_expired(), 1, "expired view purged");
+        assert_eq!(m.purge_expired().views_purged, 1, "expired view purged");
         assert_eq!(m.num_annotations(), 1, "annotation swept inside grace");
 
         // Past view expiry + TTL with no rebuild: swept, buckets drained.
         clock.advance(ttl);
-        assert_eq!(m.purge_expired(), 0);
+        let sweep = m.purge_expired();
+        assert_eq!(sweep.views_purged, 0);
+        assert_eq!(sweep.annotations_purged, 1);
         assert_eq!(m.num_annotations(), 0, "annotation leaked past grace");
         assert_eq!(m.num_inverted_entries(), 0, "inverted entries leaked");
         assert_eq!(m.num_tag_buckets(), 0);
@@ -1018,6 +1276,41 @@ mod tests {
     }
 
     #[test]
+    fn incremental_janitor_covers_every_shard() {
+        // purge_next_shard round-robins; num_shards() consecutive calls
+        // must reclaim everything a full purge_expired would.
+        let clock = Arc::new(SimClock::new());
+        let m = MetadataService::with_shards(Arc::clone(&clock), 1, 8);
+        let views: Vec<SelectedView> = (0..40)
+            .map(|i| {
+                selected(
+                    sip128(format!("n{i}").as_bytes()),
+                    &[&format!("in/t{i}.ss")],
+                )
+            })
+            .collect();
+        m.load_annotations(&views);
+        let expiry = SimTime::ZERO + SimDuration::from_secs(10);
+        for i in 0..40u64 {
+            let n = sip128(format!("n{i}").as_bytes());
+            let p = sip128(format!("p{i}").as_bytes());
+            m.register_view(a_view(p), n, JobId::new(i), SimTime::ZERO, expiry);
+        }
+        assert_eq!(m.num_views(), 40);
+        // Everything (views and grace horizons) lapses.
+        clock.advance(SimDuration::from_secs(10 + 3600 + 1));
+        let mut total = PurgeSweep::default();
+        for _ in 0..m.num_shards() {
+            total.absorb(m.purge_next_shard());
+        }
+        assert_eq!(total.views_purged, 40);
+        assert_eq!(total.annotations_purged, 40);
+        assert_eq!(m.num_views(), 0);
+        assert_eq!(m.num_annotations(), 0);
+        assert_eq!(m.num_inverted_entries(), 0);
+    }
+
+    #[test]
     fn lookup_latency_matches_paper_calibration() {
         let single = MetadataService::new(Arc::new(SimClock::new()), 1);
         let five = MetadataService::new(Arc::new(SimClock::new()), 5);
@@ -1025,6 +1318,15 @@ mod tests {
         let l5 = five.lookup_latency().as_secs_f64() * 1e3;
         assert!((l1 - 19.0).abs() < 0.1, "{l1}");
         assert!((l5 - 14.3).abs() < 0.1, "{l5}");
+    }
+
+    #[test]
+    fn zero_service_threads_is_clamped() {
+        // service_threads=0 would make the latency model divide by zero
+        // (an infinite modeled latency); construction clamps to 1.
+        let m = MetadataService::new(Arc::new(SimClock::new()), 0);
+        let ms = m.lookup_latency().as_secs_f64() * 1e3;
+        assert!(ms.is_finite() && (ms - 19.0).abs() < 0.1, "{ms}");
     }
 
     #[test]

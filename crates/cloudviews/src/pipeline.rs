@@ -468,6 +468,12 @@ pub struct PipelineOptions {
     /// Jobs admitted concurrently (the admission-control bound). `0` means
     /// unbounded.
     pub max_in_flight: usize,
+    /// Run the incremental metadata janitor as a background stage of the
+    /// pool: after each job, the finishing worker sweeps one metadata
+    /// shard ([`MetadataService::purge_next_shard`]), so expired views and
+    /// the annotation/inverted-index entries they strand are reclaimed
+    /// continuously instead of in stop-the-world purges.
+    pub janitor: bool,
 }
 
 /// Counting semaphore (permits + condvar) bounding jobs in flight.
@@ -556,6 +562,33 @@ impl CloudViews {
             options.max_in_flight
         };
         let start = self.clock.now();
+        // One effective worker needs none of the pool machinery — the
+        // queues, the admission semaphore, and the spawned thread only add
+        // overhead (the pooled path used to run ~12% slower than the serial
+        // driver on a single-core host). Run inline on the calling thread;
+        // panic isolation, result order, and the janitor cadence are
+        // identical to the pooled path.
+        if workers == 1 {
+            return specs
+                .iter()
+                .map(|spec| {
+                    let job = spec.id;
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| self.run_job_at(spec, mode, start)));
+                    let result = match outcome {
+                        Ok(result) => result,
+                        Err(payload) => Err(ScopeError::Execution(format!(
+                            "job {job} thread panicked: {}",
+                            panic_message(payload.as_ref())
+                        ))),
+                    };
+                    if options.janitor {
+                        self.metadata.purge_next_shard();
+                    }
+                    result
+                })
+                .collect();
+        }
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for idx in 0..n {
@@ -594,6 +627,11 @@ impl CloudViews {
                             ))),
                         };
                         *results[idx].lock().expect("result slot poisoned") = Some(result);
+                        if options.janitor {
+                            // Background janitor stage: the worker that just
+                            // finished a job sweeps one metadata shard.
+                            self.metadata.purge_next_shard();
+                        }
                     }
                 });
             }
@@ -644,6 +682,7 @@ mod tests {
             PipelineOptions {
                 workers: 3,
                 max_in_flight: 2,
+                janitor: false,
             },
         );
         let ids: Vec<_> = reports.iter().map(|r| r.as_ref().unwrap().job).collect();
@@ -663,6 +702,7 @@ mod tests {
             PipelineOptions {
                 workers: 1,
                 max_in_flight: 1,
+                janitor: false,
             },
         );
 
@@ -697,6 +737,7 @@ mod tests {
             PipelineOptions {
                 workers: 2,
                 max_in_flight: 0,
+                janitor: false,
             },
         );
         let (ok, failed): (Vec<_>, Vec<_>) = results.iter().partition(|r| r.is_ok());
@@ -721,6 +762,7 @@ mod tests {
             PipelineOptions {
                 workers: 4,
                 max_in_flight: 1,
+                janitor: false,
             },
         );
         assert_eq!(reports.len(), n);

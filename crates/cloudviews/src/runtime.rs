@@ -219,6 +219,9 @@ pub(crate) enum AttemptFailure {
 pub struct PurgeReport {
     /// Views dropped from the metadata service.
     pub views_purged: usize,
+    /// Annotation entries (with their inverted-index postings) swept
+    /// because their views died and their GC horizon lapsed.
+    pub annotations_purged: usize,
     /// Bytes of expired view files reclaimed from storage.
     pub bytes_reclaimed: u64,
 }
@@ -329,6 +332,7 @@ pub struct CloudViewsBuilder {
     storage: Arc<StorageManager>,
     clock: Arc<SimClock>,
     metadata_threads: usize,
+    metadata_shards: usize,
     cost: CostModel,
     cluster: ClusterConfig,
     max_materialize_per_job: usize,
@@ -348,6 +352,7 @@ impl CloudViewsBuilder {
             storage,
             clock: Arc::new(SimClock::new()),
             metadata_threads: 5,
+            metadata_shards: 16,
             cost: CostModel::default(),
             cluster: ClusterConfig::default(),
             max_materialize_per_job: 1,
@@ -367,8 +372,17 @@ impl CloudViewsBuilder {
     }
 
     /// Metadata service thread count (affects modeled lookup latency).
+    /// `build` clamps `0` to 1; `try_build` rejects it with a typed error.
     pub fn metadata_threads(mut self, threads: usize) -> Self {
         self.metadata_threads = threads;
+        self
+    }
+
+    /// Metadata service shard count (clamped to a power of two in
+    /// `1..=1024`). `1` gives the pre-shard global-lock layout, useful as
+    /// a contention baseline.
+    pub fn metadata_shards(mut self, shards: usize) -> Self {
+        self.metadata_shards = shards;
         self
     }
 
@@ -429,13 +443,30 @@ impl CloudViewsBuilder {
         self
     }
 
+    /// Like [`CloudViewsBuilder::build`], but rejects configurations the
+    /// infallible path silently corrects: `metadata_threads == 0` would
+    /// make the modeled lookup latency divide by zero (the service clamps
+    /// it, but a caller setting 0 explicitly almost certainly miscomputed
+    /// a thread count and should hear about it).
+    pub fn try_build(self) -> Result<CloudViews> {
+        if self.metadata_threads == 0 {
+            return Err(ScopeError::Metadata(
+                "metadata_threads must be >= 1 (the modeled lookup latency \
+                 divides the service term by the thread count)"
+                    .into(),
+            ));
+        }
+        Ok(self.build())
+    }
+
     /// Assembles the service: builds the metadata service on the shared
     /// clock and wires the fault injector and telemetry sink into every
     /// component.
     pub fn build(self) -> CloudViews {
-        let metadata = Arc::new(MetadataService::new(
+        let metadata = Arc::new(MetadataService::with_shards(
             Arc::clone(&self.clock),
             self.metadata_threads,
+            self.metadata_shards,
         ));
         metadata.set_telemetry(Some(Arc::clone(&self.telemetry)));
         self.storage
@@ -726,6 +757,7 @@ impl CloudViews {
             PipelineOptions {
                 workers,
                 max_in_flight: 0,
+                janitor: false,
             },
         )
     }
@@ -740,12 +772,15 @@ impl CloudViews {
             .collect()
     }
 
-    /// Purges expired views from both the metadata service and storage.
+    /// Purges expired views from both the metadata service and storage
+    /// (a full sweep of every metadata shard; the incremental alternative
+    /// is the pipeline janitor, `PipelineOptions::janitor`).
     pub fn purge_expired(&self) -> PurgeReport {
-        let views_purged = self.metadata.purge_expired();
+        let sweep = self.metadata.purge_expired();
         let bytes_reclaimed = self.storage.purge_expired(self.clock.now());
         PurgeReport {
-            views_purged,
+            views_purged: sweep.views_purged,
+            annotations_purged: sweep.annotations_purged,
             bytes_reclaimed,
         }
     }

@@ -1,0 +1,123 @@
+//! Lock sharding for hash-keyed concurrent state.
+//!
+//! [`Sharded<T>`] splits one logical container into a power-of-two number
+//! of independently locked shards, picked by a mixed key hash. It is the
+//! generalization of the 16-way pattern the metrics registry has always
+//! used (`telemetry::MetricsRegistry`) and the backbone of the sharded
+//! metadata service: readers on different shards never contend, and a
+//! janitor can sweep one shard at a time without stopping the world.
+//!
+//! The key is mixed through a finalizer before masking because callers
+//! shard on values that are *not* uniformly distributed — interned
+//! [`crate::intern::Symbol`]s are sequential integers, and the low bits of
+//! some ids correlate with allocation order. `Sharded` itself holds no
+//! locks; `T` brings its own interior mutability.
+
+/// A fixed, power-of-two collection of shards addressed by key hash.
+pub struct Sharded<T> {
+    shards: Box<[T]>,
+    mask: u64,
+}
+
+impl<T> Sharded<T> {
+    /// Builds `count` shards (clamped to `1..=1024`, rounded up to the next
+    /// power of two so selection is a mask, not a division), initializing
+    /// each with `init(index)`.
+    pub fn new(count: usize, init: impl FnMut(usize) -> T) -> Sharded<T> {
+        let count = count.clamp(1, 1024).next_power_of_two();
+        let shards: Box<[T]> = (0..count).map(init).collect();
+        Sharded {
+            mask: (count - 1) as u64,
+            shards,
+        }
+    }
+
+    /// Number of shards (always a power of two, at least 1).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always `false`; present for the `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shard index for `key`.
+    pub fn index_for(&self, key: u64) -> usize {
+        (mix(key) & self.mask) as usize
+    }
+
+    /// The shard owning `key`.
+    pub fn for_key(&self, key: u64) -> &T {
+        &self.shards[self.index_for(key)]
+    }
+
+    /// The shard at a fixed index (for round-robin sweeps and iteration).
+    pub fn at(&self, index: usize) -> &T {
+        &self.shards[index & self.mask as usize]
+    }
+
+    /// All shards in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.shards.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Sharded<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.shards.iter()
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed bijection so sequential
+/// keys (interned symbols, counter-derived ids) spread across all shards.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_clamped_to_power_of_two() {
+        assert_eq!(Sharded::new(0, |_| ()).len(), 1);
+        assert_eq!(Sharded::new(1, |_| ()).len(), 1);
+        assert_eq!(Sharded::new(3, |_| ()).len(), 4);
+        assert_eq!(Sharded::new(16, |_| ()).len(), 16);
+        assert_eq!(Sharded::new(100_000, |_| ()).len(), 1024);
+    }
+
+    #[test]
+    fn init_sees_indices_and_at_wraps() {
+        let s = Sharded::new(4, |i| i);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(*s.at(5), 1, "at() wraps by mask for round-robin cursors");
+    }
+
+    #[test]
+    fn sequential_keys_spread_over_shards() {
+        // Raw sequential keys land in every shard once mixed — the exact
+        // property interned symbols need.
+        let s = Sharded::new(16, |_| ());
+        let mut hit = vec![false; 16];
+        for key in 0..256u64 {
+            hit[s.index_for(key)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "{hit:?}");
+    }
+
+    #[test]
+    fn same_key_same_shard() {
+        let s = Sharded::new(8, |i| i);
+        for key in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(s.for_key(key), s.at(s.index_for(key)));
+        }
+    }
+}

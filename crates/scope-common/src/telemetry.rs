@@ -51,6 +51,8 @@ use crate::time::SimTime;
 /// different metrics rarely contend.
 const SHARDS: usize = 16;
 
+use crate::shard::Sharded;
+
 /// Ring-buffer capacity of a default [`Tracer`].
 const DEFAULT_SPAN_CAPACITY: usize = 4096;
 
@@ -297,7 +299,7 @@ struct Shard {
 /// returned handles are lock-free. Names should be Prometheus-compatible
 /// (`[a-zA-Z_][a-zA-Z0-9_]*`); the exporters sanitize anything else.
 pub struct MetricsRegistry {
-    shards: Vec<Shard>,
+    shards: Sharded<Shard>,
 }
 
 impl Default for MetricsRegistry {
@@ -310,12 +312,12 @@ impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> MetricsRegistry {
         MetricsRegistry {
-            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            shards: Sharded::new(SHARDS, |_| Shard::default()),
         }
     }
 
     fn shard(&self, name: &str) -> &Shard {
-        &self.shards[crate::hash::sip64(name.as_bytes()) as usize % SHARDS]
+        self.shards.for_key(crate::hash::sip64(name.as_bytes()))
     }
 
     /// Resolves (creating on first use) the counter `name`.

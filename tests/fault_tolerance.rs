@@ -440,6 +440,7 @@ fn run_many_under_chaos_preserves_outputs_and_build_once() {
     let options = PipelineOptions {
         workers: 3,
         max_in_flight: 2,
+        janitor: false,
     };
 
     // Fault-free pooled wave first: the build locks must let exactly one

@@ -463,6 +463,297 @@ fn cost_monotone() {
     });
 }
 
+/// Shared fixture for the metadata-shard properties below: `n` analyzer
+/// annotations, each tagged with its own input plus one shared tag.
+fn shard_test_annotations(n: usize, ttl: SimDuration) -> Vec<cloudviews::analyzer::SelectedView> {
+    use cloudviews::analyzer::SelectedView;
+    use scope_common::Symbol;
+    use scope_engine::optimizer::Annotation;
+    use scope_plan::PhysicalProps;
+    (0..n)
+        .map(|i| SelectedView {
+            annotation: Annotation {
+                normalized: scope_common::sip128(format!("shard-prop/norm/{i}").as_bytes()),
+                props: PhysicalProps::any(),
+                ttl,
+                avg_cpu: SimDuration::from_secs(10),
+                avg_rows: 100,
+                avg_bytes: 1_000,
+            },
+            input_tags: vec![
+                Symbol::intern(&format!("shard-prop/tag/{i}")),
+                Symbol::intern("shard-prop/tag/shared"),
+            ],
+            utility: SimDuration::from_secs(30),
+            frequency: 2,
+            precise_last_seen: Sig128::ZERO,
+        })
+        .collect()
+}
+
+/// DESIGN.md §10 janitor invariant: after any purge — a full sweep or one
+/// round-robin pass of the incremental per-shard janitor — no lookup
+/// returns an annotation whose views have all expired and whose GC
+/// horizon has lapsed, and the inverted index holds exactly the postings
+/// of the surviving annotations (the dead-view leak, had it survived,
+/// trips the posting-count assert).
+#[test]
+fn purge_never_leaks_dead_annotations() {
+    for_cases("purge_never_leaks_dead_annotations", |rng| {
+        use cloudviews::MetadataService;
+        use scope_common::time::SimClock;
+        use scope_common::Symbol;
+        use scope_engine::optimizer::AvailableView;
+        use scope_plan::PhysicalProps;
+
+        let shards = 1usize << rng.gen_range(0u32..5); // 1, 2, 4, 8, 16
+        let clock = Arc::new(SimClock::new());
+        let m = MetadataService::with_shards(Arc::clone(&clock), 1, shards);
+        let ttl = SimDuration::from_secs(3_600);
+        let selected = shard_test_annotations(rng.gen_range(4..32), ttl);
+        m.load_annotations(&selected);
+
+        // One view per annotation, each with its own expiry; registration
+        // renews the annotation's GC horizon to view-expiry + ttl.
+        let mut view_expiry = Vec::new();
+        for (i, s) in selected.iter().enumerate() {
+            let expires = SimTime::ZERO + SimDuration::from_secs(rng.gen_range(10..1_000));
+            view_expiry.push(expires);
+            m.register_view(
+                AvailableView {
+                    precise: scope_common::sip128(format!("shard-prop/precise/{i}").as_bytes()),
+                    rows: 10,
+                    bytes: 100,
+                    props: PhysicalProps::any(),
+                },
+                s.annotation.normalized,
+                JobId::new(i as u64),
+                SimTime::ZERO,
+                expires,
+            );
+        }
+
+        let now = clock.advance(SimDuration::from_secs(rng.gen_range(0..6_000)));
+        if rng.gen_bool(0.5) {
+            m.purge_expired();
+        } else {
+            for _ in 0..m.num_shards() {
+                m.purge_next_shard();
+            }
+        }
+
+        let mut live = 0usize;
+        for (i, s) in selected.iter().enumerate() {
+            let horizon = view_expiry[i] + ttl;
+            let expect_live = horizon > now;
+            live += expect_live as usize;
+            let r = m
+                .relevant_views_for(JobId::new(1_000 + i as u64), &[s.input_tags[0]])
+                .unwrap();
+            let returned = r
+                .annotations
+                .iter()
+                .any(|a| a.normalized == s.annotation.normalized);
+            assert_eq!(
+                returned, expect_live,
+                "annotation {i}: horizon {horizon} vs now {now} (shards {shards})"
+            );
+        }
+        assert_eq!(m.num_annotations(), live, "shards {shards}");
+        // Exactly two postings per surviving annotation: its own tag plus
+        // the shared one. Any excess is a leaked back-reference.
+        assert_eq!(m.num_inverted_entries(), 2 * live, "shards {shards}");
+        let shared = m
+            .relevant_views_for(
+                JobId::new(9_999),
+                &[Symbol::intern("shard-prop/tag/shared")],
+            )
+            .unwrap();
+        assert_eq!(shared.annotations.len(), live, "shards {shards}");
+    });
+}
+
+/// The dead-view leak regression (ISSUE 4 acceptance): 1,000 recurring
+/// instances, each registering fresh precise views that expire before the
+/// next instance, must leave every metadata cardinality bounded by the
+/// loaded analysis — not growing with instance count — and once
+/// registrations stop and the GC horizon lapses, the service drains to
+/// empty.
+#[test]
+fn thousand_recurring_instances_stay_bounded() {
+    use cloudviews::MetadataService;
+    use scope_common::time::SimClock;
+    use scope_engine::optimizer::AvailableView;
+    use scope_plan::PhysicalProps;
+
+    let clock = Arc::new(SimClock::new());
+    let m = MetadataService::with_shards(Arc::clone(&clock), 1, 16);
+    let ttl = SimDuration::from_secs(3_600);
+    const K: usize = 4;
+    let selected = shard_test_annotations(K, ttl);
+    m.load_annotations(&selected);
+
+    for instance in 0..1_000u64 {
+        let now = clock.now();
+        for (k, s) in selected.iter().enumerate() {
+            m.register_view(
+                AvailableView {
+                    precise: scope_common::sip128(
+                        format!("bounded/inst/{instance}/{k}").as_bytes(),
+                    ),
+                    rows: 10,
+                    bytes: 100,
+                    props: PhysicalProps::any(),
+                },
+                s.annotation.normalized,
+                JobId::new(instance * K as u64 + k as u64),
+                now,
+                now + SimDuration::from_secs(50),
+            );
+        }
+        clock.advance(SimDuration::from_secs(100));
+        // The background janitor: one shard swept per job-sized step.
+        m.purge_next_shard();
+        if instance % 50 == 49 {
+            // Every shard gets swept at least every 16 steps; the bound
+            // below is deliberately loose (dead views linger at most one
+            // full janitor rotation).
+            assert!(
+                m.num_views() <= K * (m.num_shards() + 1),
+                "instance {instance}: {} live views",
+                m.num_views()
+            );
+            assert_eq!(m.num_annotations(), K, "instance {instance}");
+            assert_eq!(m.num_inverted_entries(), 2 * K, "instance {instance}");
+        }
+    }
+
+    let swept = m.purge_expired();
+    assert_eq!(swept.annotations_purged, 0, "horizons are still renewed");
+    assert_eq!(m.num_annotations(), K);
+    assert!(m.num_views() <= K);
+
+    // Registrations stop; once the last view's horizon lapses everything
+    // drains — annotations, postings, buckets, views.
+    clock.advance(SimDuration::from_secs(50 + 3_600 + 1));
+    let swept = m.purge_expired();
+    assert_eq!(swept.annotations_purged, K);
+    assert_eq!(m.num_views(), 0);
+    assert_eq!(m.num_annotations(), 0);
+    assert_eq!(m.num_inverted_entries(), 0);
+    assert_eq!(m.num_tag_buckets(), 0);
+    assert!(m.stats().purged_annotations >= K as u64);
+}
+
+/// Concurrent cross-shard stress: many threads mixing lookups, proposals,
+/// registrations, and janitor sweeps against one sharded service, plus the
+/// expired-lock takeover race — exactly one of the contending threads may
+/// win the lapsed lock.
+#[test]
+fn concurrent_shard_stress_with_single_takeover_winner() {
+    use cloudviews::{LockOutcome, MetadataService};
+    use scope_common::time::SimClock;
+    use scope_engine::optimizer::AvailableView;
+    use scope_plan::PhysicalProps;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const THREADS: u64 = 8;
+    const OPS: u64 = 200;
+
+    let clock = Arc::new(SimClock::new());
+    let m = MetadataService::with_shards(Arc::clone(&clock), 1, 8);
+    const K: usize = 16;
+    let selected = shard_test_annotations(K, SimDuration::from_secs(3_600));
+    m.load_annotations(&selected);
+
+    // Seed a build lock whose TTL lapses before the threads start.
+    let contested = scope_common::sip128(b"stress/contested");
+    assert_eq!(
+        m.propose(contested, JobId::new(0), SimDuration::from_secs(10))
+            .unwrap(),
+        LockOutcome::Acquired
+    );
+    clock.advance(SimDuration::from_secs(11));
+    let now = clock.now();
+
+    let takeover_wins = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let m = &m;
+            let selected = &selected;
+            let takeover_wins = &takeover_wins;
+            scope.spawn(move || {
+                // The takeover race: every thread sees the same expired
+                // lock; the shard's lock-table mutex must elect one winner.
+                match m
+                    .propose(contested, JobId::new(100 + t), SimDuration::from_secs(60))
+                    .unwrap()
+                {
+                    LockOutcome::Acquired => {
+                        takeover_wins.fetch_add(1, Ordering::SeqCst);
+                    }
+                    LockOutcome::AlreadyLocked => {}
+                    LockOutcome::AlreadyMaterialized => {
+                        panic!("contested view was never materialized")
+                    }
+                }
+                // Mixed traffic spread across shards: lookups on the
+                // shared annotations, builds of thread-unique views
+                // (half released via registration, half left locked),
+                // and janitor sweeps interleaved throughout.
+                for i in 0..OPS {
+                    let s = &selected[((t + i) % K as u64) as usize];
+                    let r = m
+                        .relevant_views_for(JobId::new(1_000 + t), &[s.input_tags[0]])
+                        .unwrap();
+                    assert!(
+                        r.annotations
+                            .iter()
+                            .any(|a| a.normalized == s.annotation.normalized),
+                        "lookup lost a loaded annotation mid-stress"
+                    );
+                    let precise = scope_common::sip128(format!("stress/{t}/{i}").as_bytes());
+                    assert_eq!(
+                        m.propose(precise, JobId::new(1_000 + t), SimDuration::from_secs(60))
+                            .unwrap(),
+                        LockOutcome::Acquired,
+                        "thread-unique signature must never conflict"
+                    );
+                    if i % 2 == 0 {
+                        m.register_view(
+                            AvailableView {
+                                precise,
+                                rows: 10,
+                                bytes: 100,
+                                props: PhysicalProps::any(),
+                            },
+                            s.annotation.normalized,
+                            JobId::new(1_000 + t),
+                            now,
+                            now + SimDuration::from_secs(1_000),
+                        );
+                    }
+                    if i % 32 == 0 {
+                        m.purge_next_shard();
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(takeover_wins.load(Ordering::SeqCst), 1);
+    let stats = m.stats();
+    assert_eq!(stats.expired_takeovers, 1);
+    // Registered views all survive (they expire well after `now`), and the
+    // annotations they renewed are all intact.
+    assert_eq!(m.num_views(), (THREADS * OPS / 2) as usize);
+    assert_eq!(m.num_annotations(), K);
+    assert_eq!(m.num_inverted_entries(), 2 * K);
+    // Unreleased thread-unique locks plus the takeover winner's.
+    assert_eq!(m.num_locks(), (THREADS * OPS / 2) as usize + 1);
+    assert!(stats.lookups >= THREADS * OPS);
+}
+
 /// Build locks: under arbitrary interleavings of proposals from many
 /// jobs, exactly one holds the lock at a time.
 #[test]

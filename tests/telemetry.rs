@@ -456,6 +456,7 @@ fn run_many_aggregates_match_serial_under_scripted_faults() {
         PipelineOptions {
             workers: 1,
             max_in_flight: 1,
+            janitor: false,
         },
     );
 
@@ -466,6 +467,7 @@ fn run_many_aggregates_match_serial_under_scripted_faults() {
         PipelineOptions {
             workers: 4,
             max_in_flight: 2,
+            janitor: false,
         },
     );
 
