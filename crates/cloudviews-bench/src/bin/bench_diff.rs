@@ -1,0 +1,192 @@
+//! Compares a fresh `BENCH_*.json` artifact against the committed baseline
+//! and fails (exit 1) when a gated metric regresses by more than 25%.
+//!
+//! Usage: `bench_diff <baseline.json> <fresh.json>`
+//!
+//! The two files must describe the same bench (matching `"bench"` field);
+//! which metrics are gated is keyed off that name. Ratios and wall-time
+//! derived metrics are compared relatively (25% tolerance absorbs CI-runner
+//! noise); boolean gates must not flip from `true` to `false`. Metrics that
+//! only mean anything on multi-core hosts (fold/shard speedups) are skipped
+//! unless *both* artifacts report `multi_core_target_applicable` — a 1-core
+//! baseline cannot anchor a speedup comparison.
+
+use std::process::ExitCode;
+
+use cloudviews_bench::jsonlite::{parse, Value};
+
+/// Direction of improvement for a numeric gate.
+#[derive(Clone, Copy)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+/// Allowed relative regression before the gate fails.
+const TOLERANCE: f64 = 0.25;
+
+struct Gate {
+    /// Dotted path into the artifact, e.g. `leak.bounded`.
+    path: &'static str,
+    better: Better,
+    /// Only compare when both artifacts flag multi-core applicability.
+    multi_core_only: bool,
+}
+
+fn numeric_gates(bench: &str) -> &'static [Gate] {
+    match bench {
+        "metadata_scale" => &[
+            Gate {
+                path: "single_thread_ratio",
+                better: Better::Higher,
+                multi_core_only: false,
+            },
+            Gate {
+                path: "speedup_at_4_threads",
+                better: Better::Higher,
+                multi_core_only: true,
+            },
+        ],
+        "analyzer_scale" => &[
+            Gate {
+                path: "incremental_ratio",
+                better: Better::Lower,
+                multi_core_only: false,
+            },
+            Gate {
+                path: "speedup_at_4_threads",
+                better: Better::Higher,
+                multi_core_only: true,
+            },
+        ],
+        _ => &[],
+    }
+}
+
+fn bool_gates(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "metadata_scale" => &["single_thread_within_10pct", "leak.bounded"],
+        "analyzer_scale" => &[
+            "meets_25pct_target",
+            "incremental_matches_full",
+            "parallel_matches_serial",
+        ],
+        _ => &[],
+    }
+}
+
+fn lookup<'a>(root: &'a Value, path: &str) -> Option<&'a Value> {
+    path.split('.').try_fold(root, |v, key| v.get(key))
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("bench_diff: read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("bench_diff: parse {path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(fresh_path)) = (args.next(), args.next()) else {
+        return Err("usage: bench_diff <baseline.json> <fresh.json>".into());
+    };
+    let baseline = load(&baseline_path)?;
+    let fresh = load(&fresh_path)?;
+
+    let bench = baseline
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{baseline_path}: missing \"bench\" field"))?
+        .to_string();
+    let fresh_bench = fresh.get("bench").and_then(Value::as_str).unwrap_or("?");
+    if bench != fresh_bench {
+        return Err(format!(
+            "bench mismatch: baseline is {bench:?}, fresh is {fresh_bench:?}"
+        ));
+    }
+    if numeric_gates(&bench).is_empty() && bool_gates(&bench).is_empty() {
+        println!("bench_diff[{bench}]: no gated metrics for this bench, nothing to compare");
+        return Ok(true);
+    }
+
+    let multi_core = |v: &Value| {
+        lookup(v, "multi_core_target_applicable")
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+    };
+    let both_multi_core = multi_core(&baseline) && multi_core(&fresh);
+
+    let mut ok = true;
+    for gate in numeric_gates(&bench) {
+        if gate.multi_core_only && !both_multi_core {
+            println!(
+                "bench_diff[{bench}] {:<28} SKIP (multi-core gate, not applicable on both runs)",
+                gate.path
+            );
+            continue;
+        }
+        let base = lookup(&baseline, gate.path).and_then(Value::as_f64);
+        let new = lookup(&fresh, gate.path).and_then(Value::as_f64);
+        let (Some(base), Some(new)) = (base, new) else {
+            println!(
+                "bench_diff[{bench}] {:<28} FAIL (metric missing)",
+                gate.path
+            );
+            ok = false;
+            continue;
+        };
+        // Relative change in the direction of "worse"; zero baselines
+        // cannot regress relatively.
+        let regression = if base.abs() < f64::EPSILON {
+            0.0
+        } else {
+            match gate.better {
+                Better::Higher => (base - new) / base,
+                Better::Lower => (new - base) / base,
+            }
+        };
+        let pass = regression <= TOLERANCE;
+        println!(
+            "bench_diff[{bench}] {:<28} {}  baseline={base:.3} fresh={new:.3} regression={:+.1}%",
+            gate.path,
+            if pass { "ok  " } else { "FAIL" },
+            regression * 100.0,
+        );
+        ok &= pass;
+    }
+
+    for path in bool_gates(&bench) {
+        let base = lookup(&baseline, path).and_then(Value::as_bool);
+        let new = lookup(&fresh, path).and_then(Value::as_bool);
+        // A gate the baseline never met (e.g. recorded on a 1-core host)
+        // cannot regress; it only binds once a baseline achieved it.
+        let pass = match (base, new) {
+            (Some(true), got) => got == Some(true),
+            (Some(false) | None, _) => true,
+        };
+        println!(
+            "bench_diff[{bench}] {path:<28} {}  baseline={base:?} fresh={new:?}",
+            if pass { "ok  " } else { "FAIL" },
+        );
+        ok &= pass;
+    }
+
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!(
+                "bench_diff: gated metric regressed beyond {:.0}%",
+                TOLERANCE * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -26,4 +26,5 @@
 
 pub mod compile_only;
 pub mod experiments;
+pub mod jsonlite;
 pub mod prod32;

@@ -347,6 +347,52 @@ pub fn telemetry_dashboard(service: &CloudViews) -> String {
     out
 }
 
+/// The operator-facing analyzer dashboard: the resident incremental
+/// analyzer's accumulated state (jobs folded, distinct subgraphs, live
+/// overlap groups) and the last round's delta — what churned in the
+/// selected-view set and what the round cost, ingest vs. select.
+///
+/// Complements [`telemetry_dashboard`]: that one shows the service-wide
+/// `cv_analyzer_*` series; this one drills into the analyzer state itself.
+pub fn analyzer_dashboard(service: &CloudViews) -> String {
+    let Some(analyzer) = &service.analyzer else {
+        return "analyzer: none installed (CloudViewsBuilder::incremental_analyzer)\n".into();
+    };
+    let state = analyzer.state();
+    let mut out = format!(
+        "analyzer: rounds={} jobs_admitted={} jobs_skipped={} \
+         distinct_subgraphs={} groups_tracked={}\n",
+        analyzer.rounds(),
+        state.jobs_admitted(),
+        state.jobs_skipped(),
+        state.distinct_subgraphs(),
+        state.groups_tracked(),
+    );
+    match analyzer.last_delta() {
+        None => out.push_str("last round: none yet\n"),
+        Some(d) => {
+            out.push_str(&format!(
+                "last round #{}: ingested={} (total {}) groups={} selected={} \
+                 ingest={}µs select={}µs\n",
+                d.round,
+                d.ingested_jobs,
+                d.jobs_total,
+                d.groups_total,
+                d.selected_total,
+                d.ingest_wall.as_micros(),
+                d.select_wall.as_micros(),
+            ));
+            for sig in &d.newly_selected {
+                out.push_str(&format!("  + {}\n", sig.short()));
+            }
+            for sig in &d.dropped {
+                out.push_str(&format!("  - {}\n", sig.short()));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,6 +556,50 @@ mod tests {
         assert!(text.contains("storage: published="), "{text}");
         assert!(text.contains("# TYPE cv_jobs_total counter"), "{text}");
         assert!(text.contains("cv_job_latency_sim_micros_count"), "{text}");
+    }
+
+    #[test]
+    fn analyzer_dashboard_shows_round_deltas() {
+        use scope_engine::storage::StorageManager;
+
+        // No analyzer installed: the dashboard says so instead of lying
+        // with zeros.
+        let bare = CloudViews::builder(Arc::new(StorageManager::new())).build();
+        assert!(analyzer_dashboard(&bare).contains("none installed"));
+
+        let w = RecurringWorkload::generate(WorkloadConfig {
+            clusters: vec![ClusterSpec::tiny("admin-inc")],
+            seed: 77,
+            stream_rows: LogNormal::new(6.0, 0.5, 150.0, 1_500.0),
+        })
+        .unwrap();
+        let cv = CloudViews::builder(Arc::new(StorageManager::new()))
+            .incremental_analyzer(AnalyzerConfig {
+                policy: SelectionPolicy::TopKUtility { k: 6 },
+                ..Default::default()
+            })
+            .build();
+        w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+            .unwrap();
+        let text = analyzer_dashboard(&cv);
+        assert!(text.contains("rounds=0"), "{text}");
+        assert!(text.contains("none yet"), "{text}");
+        // Records were absorbed as the pipeline recorded them.
+        assert!(!text.contains("jobs_admitted=0"), "{text}");
+
+        let outcome = cv.analyze_round().unwrap();
+        assert!(!outcome.selected.is_empty());
+        let text = analyzer_dashboard(&cv);
+        assert!(text.contains("rounds=1"), "{text}");
+        assert!(text.contains("last round #1"), "{text}");
+        // First round: every selected view is newly selected.
+        assert_eq!(
+            text.matches("  + ").count(),
+            outcome.selected.len(),
+            "{text}"
+        );
+        assert_eq!(text.matches("  - ").count(), 0, "{text}");
     }
 
     #[test]

@@ -22,9 +22,25 @@ use super::overlap::OverlapGroup;
 
 /// Builds the run-first template list from the selected overlap groups.
 pub fn order_hints(selected: &[OverlapGroup], records: &[&JobRecord]) -> Vec<TemplateId> {
-    let latency: HashMap<JobId, SimDuration> = records.iter().map(|r| (r.job, r.latency)).collect();
-    let template_of: HashMap<JobId, TemplateId> =
-        records.iter().map(|r| (r.job, r.template)).collect();
+    order_hints_from_jobs(
+        selected,
+        records.iter().map(|r| (r.job, r.template, r.latency)),
+    )
+}
+
+/// [`order_hints`] over bare job metadata — what the incremental analyzer
+/// keeps per admitted record instead of the records themselves. Duplicate
+/// job ids resolve last-wins, matching record iteration order.
+pub fn order_hints_from_jobs(
+    selected: &[OverlapGroup],
+    jobs: impl IntoIterator<Item = (JobId, TemplateId, SimDuration)>,
+) -> Vec<TemplateId> {
+    let mut latency: HashMap<JobId, SimDuration> = HashMap::new();
+    let mut template_of: HashMap<JobId, TemplateId> = HashMap::new();
+    for (job, template, lat) in jobs {
+        latency.insert(job, lat);
+        template_of.insert(job, template);
+    }
 
     // Overlap count per job across the selected groups.
     let mut overlaps_per_job: HashMap<JobId, usize> = HashMap::new();

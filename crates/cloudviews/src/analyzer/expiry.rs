@@ -12,7 +12,7 @@
 //! (observed gap between its instances); a view over some inputs expires
 //! after the slowest consumer's period (times a safety factor).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use scope_common::ids::TemplateId;
 use scope_common::intern::Symbol;
@@ -34,14 +34,20 @@ pub struct LineageTracker {
 impl LineageTracker {
     /// Builds lineage from repository records.
     pub fn from_records(records: &[&JobRecord]) -> LineageTracker {
-        // Observed submission times per template instance.
-        let mut times: HashMap<TemplateId, Vec<(u64, SimTime)>> = HashMap::new();
+        // Observed submission times per template instance (duplicate
+        // instance observations — e.g. a baseline and an enabled run —
+        // resolve deterministically to the earliest submission).
+        let mut times: HashMap<TemplateId, BTreeMap<u64, SimTime>> = HashMap::new();
         let mut consumers: HashMap<Symbol, Vec<TemplateId>> = HashMap::new();
         for r in records {
-            times
+            let slot = times
                 .entry(r.template)
                 .or_default()
-                .push((r.instance, r.submitted_at));
+                .entry(r.instance)
+                .or_insert(r.submitted_at);
+            if r.submitted_at < *slot {
+                *slot = r.submitted_at;
+            }
             for &tag in &r.tags {
                 let list = consumers.entry(tag).or_default();
                 if !list.contains(&r.template) {
@@ -49,24 +55,35 @@ impl LineageTracker {
                 }
             }
         }
+        Self::from_observations(&times, consumers)
+    }
+
+    /// Builds lineage from already-maintained observations: per-template
+    /// instance→submission maps plus the tag→consumers index. This is what
+    /// the incremental analyzer accumulates at ingest, so no record replay
+    /// is needed at selection time.
+    pub fn from_observations(
+        times: &HashMap<TemplateId, BTreeMap<u64, SimTime>>,
+        consumers: HashMap<Symbol, Vec<TemplateId>>,
+    ) -> LineageTracker {
         let mut template_period = HashMap::new();
-        for (template, mut observed) in times {
-            observed.sort_unstable_by_key(|(inst, _)| *inst);
-            observed.dedup_by_key(|(inst, _)| *inst);
+        for (template, observed) in times {
             // Max gap between consecutive instances, normalized by the
             // instance-index gap (a weekly job analyzed over one day shows
             // no second instance — handled by the default TTL fallback).
             let mut period = SimDuration::ZERO;
-            for w in observed.windows(2) {
-                let (i0, t0) = w[0];
-                let (i1, t1) = w[1];
-                let gap = t1.since(t0);
-                let steps = (i1 - i0).max(1);
-                let per_step = SimDuration::from_micros(gap.micros() / steps);
-                period = period.max(per_step);
+            let mut prev: Option<(u64, SimTime)> = None;
+            for (&inst, &at) in observed {
+                if let Some((i0, t0)) = prev {
+                    let gap = at.since(t0);
+                    let steps = (inst - i0).max(1);
+                    let per_step = SimDuration::from_micros(gap.micros() / steps);
+                    period = period.max(per_step);
+                }
+                prev = Some((inst, at));
             }
             if period > SimDuration::ZERO {
-                template_period.insert(template, period);
+                template_period.insert(*template, period);
             }
         }
         LineageTracker {

@@ -1,0 +1,929 @@
+//! The incremental, parallel analyzer state (DESIGN.md §11).
+//!
+//! `run_analysis` used to be a one-shot batch: every round re-enumerated
+//! every `JobRecord` ever recorded, so analysis cost grew linearly with
+//! repository age. [`AnalyzerState`] keeps the overlap statistics *live*
+//! across rounds instead: [`AnalyzerState::ingest`] folds only the delta of
+//! new records into persistent per-signature aggregates, and
+//! [`AnalyzerState::select`] re-runs view selection from those aggregates —
+//! no re-enumeration of old instances.
+//!
+//! ## The transition-flush trick
+//!
+//! Batch mining is two passes: count occurrences by precise signature, then
+//! fold the occurrences whose precise count is ≥ 2 by normalized signature.
+//! A naive incremental port would have to re-scan history whenever a
+//! signature crosses the threshold. Instead each [`PreciseAcc`] buffers its
+//! *first* occurrence; when the second arrives (count 1 → 2) the buffered
+//! occurrence is flushed retroactively into the normalized accumulator
+//! together with the new one, and every later occurrence folds directly.
+//! Each occurrence is therefore touched exactly once, and the normalized
+//! aggregates are at all times identical to what the batch two-pass would
+//! produce over the same prefix.
+//!
+//! ## Parallel merge semantics
+//!
+//! Ingest is two phases. A serial *admit* phase applies the window/VC
+//! filter, assigns each record a record sequence number and each occurrence
+//! a global sequence number, and maintains the per-record metadata
+//! (lineage observations, job metas). A parallel *fold* phase then deals
+//! record batches over a work-stealing pool (the `run_many` pattern) and
+//! applies them to [`scope_common::shard::Sharded`] accumulator tables.
+//! Every normalized-accumulator update commutes: sums, sets, and vote
+//! counts are order-free, while the order-sensitive fields are guarded by
+//! the pre-assigned sequence numbers (min-seq for the "first occurrence"
+//! fields, max-seq for `sample_precise`, min-seq tie-breaks for property
+//! votes). The outcome is bit-identical whatever the thread count or the
+//! partitioning of the stream — property-tested in
+//! `tests/analyzer_incremental.rs`.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use scope_common::hash::Sig128;
+use scope_common::ids::{JobId, TemplateId, UserId, VcId};
+use scope_common::intern::Symbol;
+use scope_common::shard::Sharded;
+use scope_common::time::{SimDuration, SimTime};
+use scope_common::Result;
+use scope_engine::repo::{JobRecord, SubgraphRun, WorkloadRepository};
+use scope_plan::{OpKind, PhysicalProps};
+
+use super::overlap::{OverlapGroup, OverlapMetrics};
+use super::{
+    coordination, expiry, physical, selection, AnalysisOutcome, AnalysisPhaseTimes, AnalyzerConfig,
+    SelectedView,
+};
+
+/// Shards for the precise-signature table (the hot, high-cardinality one).
+const PRECISE_SHARDS: usize = 64;
+/// Shards for the normalized-accumulator table.
+const NORM_SHARDS: usize = 32;
+/// Records per work-stealing chunk in the parallel fold.
+const FOLD_CHUNK: usize = 16;
+
+fn sig_key(sig: Sig128) -> u64 {
+    sig.lo ^ sig.hi
+}
+
+/// The buffered first occurrence of a precise signature — everything needed
+/// to fold it retroactively once the signature proves overlapping.
+struct FirstOcc {
+    seq: u64,
+    record_seq: u64,
+    job: JobId,
+    user: UserId,
+    vc: VcId,
+    template: TemplateId,
+    job_cpu: SimDuration,
+    precise: Sig128,
+    normalized: Sig128,
+    root_kind: OpKind,
+    num_nodes: usize,
+    has_user_code: bool,
+    input_tags: Vec<Symbol>,
+    props: Arc<PhysicalProps>,
+    cum_cpu: SimDuration,
+    out_rows: u64,
+    out_bytes: u64,
+}
+
+/// Per-precise-signature accumulator: a count plus the buffered first
+/// occurrence (present only while the count is exactly 1).
+struct PreciseAcc {
+    count: u64,
+    first: Option<Box<FirstOcc>>,
+}
+
+struct PropsVote {
+    count: usize,
+    /// Sequence of the earliest occurrence voting for this design — the
+    /// deterministic tie-break when two designs draw the same vote count.
+    first_seq: u64,
+}
+
+/// Per-normalized-signature aggregates, maintained incrementally. All
+/// updates commute (see the module docs), so parallel folding is exact.
+struct NormAcc {
+    /// Sequence of the earliest overlapping occurrence: guards the
+    /// "first occurrence" fields below.
+    first_seq: u64,
+    /// Sequence of the latest overlapping occurrence: guards
+    /// `sample_precise`.
+    last_seq: u64,
+    sample_precise: Sig128,
+    root_kind: OpKind,
+    num_nodes: usize,
+    has_user_code: bool,
+    input_tags: Vec<Symbol>,
+    occurrences: u64,
+    /// Distinct precise signatures that crossed the overlap threshold.
+    instances: u64,
+    jobs: HashSet<JobId>,
+    users: HashSet<UserId>,
+    vcs: HashSet<VcId>,
+    templates: HashSet<TemplateId>,
+    cum_cpu_sum: u128,
+    rows_sum: u128,
+    bytes_sum: u128,
+    job_cpu_sum: u128,
+    props_votes: HashMap<Arc<PhysicalProps>, PropsVote>,
+}
+
+impl NormAcc {
+    fn new() -> NormAcc {
+        NormAcc {
+            first_seq: u64::MAX,
+            last_seq: 0,
+            sample_precise: Sig128::ZERO,
+            root_kind: OpKind::Output,
+            num_nodes: 0,
+            has_user_code: false,
+            input_tags: Vec::new(),
+            occurrences: 0,
+            instances: 0,
+            jobs: HashSet::new(),
+            users: HashSet::new(),
+            vcs: HashSet::new(),
+            templates: HashSet::new(),
+            cum_cpu_sum: 0,
+            rows_sum: 0,
+            bytes_sum: 0,
+            job_cpu_sum: 0,
+            props_votes: HashMap::new(),
+        }
+    }
+}
+
+/// Per-admitted-record metadata kept for the metrics and coordination
+/// passes (the record itself is never re-read).
+struct JobMeta {
+    job: JobId,
+    user: UserId,
+    vc: VcId,
+    template: TemplateId,
+    latency: SimDuration,
+}
+
+/// Serial-phase state: everything the admit pass owns.
+#[derive(Default)]
+struct AdmitState {
+    metas: Vec<JobMeta>,
+    occurrences_total: u64,
+    skipped: u64,
+    /// Template → instance → earliest observed submission (lineage input).
+    template_times: HashMap<TemplateId, BTreeMap<u64, SimTime>>,
+    /// Input tag → consuming templates, insertion-ordered.
+    consumers: HashMap<Symbol, Vec<TemplateId>>,
+}
+
+/// What one [`AnalyzerState::ingest`] call did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestReport {
+    /// Records admitted past the window/VC filter this call.
+    pub admitted: usize,
+    /// Records the filter rejected this call.
+    pub skipped: usize,
+    /// Subgraph occurrences folded (admitted records × their subgraphs).
+    pub occurrences: u64,
+    /// Wall time of the serial admit (filter + sequence assignment) phase.
+    pub filter_wall: Duration,
+    /// Wall time of the (possibly parallel) fold phase.
+    pub fold_wall: Duration,
+}
+
+/// One occurrence as seen by the fold, borrowing from the record where
+/// possible (only the buffered first occurrence per precise signature pays
+/// an owned copy).
+struct OccView<'a> {
+    seq: u64,
+    record_seq: u64,
+    job: JobId,
+    user: UserId,
+    vc: VcId,
+    template: TemplateId,
+    job_cpu: SimDuration,
+    precise: Sig128,
+    normalized: Sig128,
+    root_kind: OpKind,
+    num_nodes: usize,
+    has_user_code: bool,
+    input_tags: &'a [Symbol],
+    props: &'a Arc<PhysicalProps>,
+    cum_cpu: SimDuration,
+    out_rows: u64,
+    out_bytes: u64,
+}
+
+impl<'a> OccView<'a> {
+    fn from_sub(meta: &RecordCtx<'_>, seq: u64, sub: &'a SubgraphRun) -> OccView<'a> {
+        OccView {
+            seq,
+            record_seq: meta.record_seq,
+            job: meta.job,
+            user: meta.user,
+            vc: meta.vc,
+            template: meta.template,
+            job_cpu: meta.job_cpu,
+            precise: sub.precise,
+            normalized: sub.normalized,
+            root_kind: sub.root_kind,
+            num_nodes: sub.num_nodes,
+            has_user_code: sub.has_user_code,
+            input_tags: &sub.input_tags,
+            props: &sub.props,
+            cum_cpu: sub.cumulative_cpu,
+            out_rows: sub.out_rows,
+            out_bytes: sub.out_bytes,
+        }
+    }
+
+    fn from_first(first: &'a FirstOcc) -> OccView<'a> {
+        OccView {
+            seq: first.seq,
+            record_seq: first.record_seq,
+            job: first.job,
+            user: first.user,
+            vc: first.vc,
+            template: first.template,
+            job_cpu: first.job_cpu,
+            precise: first.precise,
+            normalized: first.normalized,
+            root_kind: first.root_kind,
+            num_nodes: first.num_nodes,
+            has_user_code: first.has_user_code,
+            input_tags: &first.input_tags,
+            props: &first.props,
+            cum_cpu: first.cum_cpu,
+            out_rows: first.out_rows,
+            out_bytes: first.out_bytes,
+        }
+    }
+
+    fn to_first(&self) -> FirstOcc {
+        FirstOcc {
+            seq: self.seq,
+            record_seq: self.record_seq,
+            job: self.job,
+            user: self.user,
+            vc: self.vc,
+            template: self.template,
+            job_cpu: self.job_cpu,
+            precise: self.precise,
+            normalized: self.normalized,
+            root_kind: self.root_kind,
+            num_nodes: self.num_nodes,
+            has_user_code: self.has_user_code,
+            input_tags: self.input_tags.to_vec(),
+            props: Arc::clone(self.props),
+            cum_cpu: self.cum_cpu,
+            out_rows: self.out_rows,
+            out_bytes: self.out_bytes,
+        }
+    }
+}
+
+/// Per-record identity shared by all of a record's occurrences during fold.
+struct RecordCtx<'a> {
+    record: &'a JobRecord,
+    record_seq: u64,
+    base_seq: u64,
+    job: JobId,
+    user: UserId,
+    vc: VcId,
+    template: TemplateId,
+    job_cpu: SimDuration,
+}
+
+/// The persistent analyzer state: ingest deltas, select from aggregates.
+pub struct AnalyzerState {
+    config: AnalyzerConfig,
+    /// Worker threads for the fold phase (`0` = one per available core).
+    workers: usize,
+    /// Serializes whole ingest/select rounds; the sharded tables below are
+    /// only contended *within* a parallel fold.
+    round: Mutex<()>,
+    admit: Mutex<AdmitState>,
+    precise: Sharded<Mutex<HashMap<Sig128, PreciseAcc>>>,
+    norm: Sharded<Mutex<HashMap<Sig128, NormAcc>>>,
+    /// Overlapping-occurrence count per admitted record, indexed by record
+    /// sequence (atomic so parallel folds can bump concurrently).
+    rec_overlaps: RwLock<Vec<AtomicU64>>,
+}
+
+impl AnalyzerState {
+    /// A fresh state for `config`, folding with `workers` threads
+    /// (`0` = one per available core; ingest falls back to inline folding
+    /// whenever one worker would do).
+    pub fn new(config: AnalyzerConfig, workers: usize) -> AnalyzerState {
+        AnalyzerState {
+            config,
+            workers,
+            round: Mutex::new(()),
+            admit: Mutex::new(AdmitState::default()),
+            precise: Sharded::new(PRECISE_SHARDS, |_| Mutex::new(HashMap::new())),
+            norm: Sharded::new(NORM_SHARDS, |_| Mutex::new(HashMap::new())),
+            rec_overlaps: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The configuration this state selects under.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Records admitted so far (post window/VC filter).
+    pub fn jobs_admitted(&self) -> usize {
+        let _g = self.round.lock();
+        self.admit.lock().metas.len()
+    }
+
+    /// Records the filter rejected so far.
+    pub fn jobs_skipped(&self) -> u64 {
+        let _g = self.round.lock();
+        self.admit.lock().skipped
+    }
+
+    /// Distinct precise signatures tracked.
+    pub fn distinct_subgraphs(&self) -> usize {
+        let _g = self.round.lock();
+        self.precise.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Normalized overlap groups currently live.
+    pub fn groups_tracked(&self) -> usize {
+        let _g = self.round.lock();
+        self.norm.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn admits(&self, r: &JobRecord) -> bool {
+        r.submitted_at >= self.config.window_from
+            && r.submitted_at < self.config.window_to
+            && self
+                .config
+                .include_vcs
+                .as_ref()
+                .map(|inc| inc.contains(&r.vc))
+                .unwrap_or(true)
+            && !self.config.exclude_vcs.contains(&r.vc)
+    }
+
+    /// Folds a delta of new records into the state. Only the delta is
+    /// touched; history lives entirely in the aggregates.
+    pub fn ingest(&self, records: &[JobRecord]) -> IngestReport {
+        let _g = self.round.lock();
+        self.ingest_locked(records.iter())
+    }
+
+    /// [`AnalyzerState::ingest`] over borrowed records (the batch entry
+    /// points hold `&[&JobRecord]`).
+    pub fn ingest_refs<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a JobRecord>,
+    ) -> IngestReport {
+        let _g = self.round.lock();
+        self.ingest_locked(records.into_iter())
+    }
+
+    fn ingest_locked<'a>(&self, records: impl Iterator<Item = &'a JobRecord>) -> IngestReport {
+        let t_admit = std::time::Instant::now();
+        let mut work: Vec<RecordCtx<'a>> = Vec::new();
+        let mut skipped = 0usize;
+        {
+            let mut admit = self.admit.lock();
+            let mut overlaps = self.rec_overlaps.write();
+            for r in records {
+                if !self.admits(r) {
+                    admit.skipped += 1;
+                    skipped += 1;
+                    continue;
+                }
+                let record_seq = admit.metas.len() as u64;
+                let base_seq = admit.occurrences_total;
+                admit.occurrences_total += r.subgraphs.len() as u64;
+                admit.metas.push(JobMeta {
+                    job: r.job,
+                    user: r.user,
+                    vc: r.vc,
+                    template: r.template,
+                    latency: r.latency,
+                });
+                overlaps.push(AtomicU64::new(0));
+                // Lineage observations: earliest submission per (template,
+                // instance) — duplicate instances (baseline + enabled runs)
+                // resolve deterministically to the min.
+                let slot = admit
+                    .template_times
+                    .entry(r.template)
+                    .or_default()
+                    .entry(r.instance)
+                    .or_insert(r.submitted_at);
+                if r.submitted_at < *slot {
+                    *slot = r.submitted_at;
+                }
+                for &tag in &r.tags {
+                    let list = admit.consumers.entry(tag).or_default();
+                    if !list.contains(&r.template) {
+                        list.push(r.template);
+                    }
+                }
+                work.push(RecordCtx {
+                    record: r,
+                    record_seq,
+                    base_seq,
+                    job: r.job,
+                    user: r.user,
+                    vc: r.vc,
+                    template: r.template,
+                    job_cpu: r.cpu_time,
+                });
+            }
+        }
+        let filter_wall = t_admit.elapsed();
+
+        let t_fold = std::time::Instant::now();
+        let workers = self.effective_workers(work.len());
+        if workers <= 1 {
+            let overlaps = self.rec_overlaps.read();
+            for ctx in &work {
+                self.fold_record(ctx, &overlaps);
+            }
+        } else {
+            self.fold_parallel(&work, workers);
+        }
+        let fold_wall = t_fold.elapsed();
+
+        IngestReport {
+            admitted: work.len(),
+            skipped,
+            occurrences: work.iter().map(|w| w.record.subgraphs.len() as u64).sum(),
+            filter_wall,
+            fold_wall,
+        }
+    }
+
+    fn effective_workers(&self, jobs: usize) -> usize {
+        let configured = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        configured.clamp(1, jobs.max(1))
+    }
+
+    /// Parallel fold: chunks of records dealt round-robin onto per-worker
+    /// deques; idle workers steal from the back of a victim's (the
+    /// `run_many` pool shape, without admission control — folding has no
+    /// external side effects to bound).
+    fn fold_parallel(&self, work: &[RecordCtx<'_>], workers: usize) {
+        let chunks: Vec<std::ops::Range<usize>> = (0..work.len())
+            .step_by(FOLD_CHUNK)
+            .map(|lo| lo..(lo + FOLD_CHUNK).min(work.len()))
+            .collect();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, _) in chunks.iter().enumerate() {
+            queues[i % workers].lock().push_back(i);
+        }
+        let chunks = &chunks;
+        let queues = &queues;
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                scope.spawn(move || {
+                    let overlaps = self.rec_overlaps.read();
+                    while let Some(ci) = next_chunk(queues, worker) {
+                        for ctx in &work[chunks[ci].clone()] {
+                            self.fold_record(ctx, &overlaps);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    fn fold_record(&self, ctx: &RecordCtx<'_>, overlaps: &[AtomicU64]) {
+        for (i, sub) in ctx.record.subgraphs.iter().enumerate() {
+            let occ = OccView::from_sub(ctx, ctx.base_seq + i as u64, sub);
+            self.fold_occurrence(occ, overlaps);
+        }
+    }
+
+    /// One occurrence through the transition-flush accumulator: buffer at
+    /// count 1, flush the buffered first plus this one at count 2, fold
+    /// directly afterwards.
+    fn fold_occurrence(&self, occ: OccView<'_>, overlaps: &[AtomicU64]) {
+        let flushed: Option<Box<FirstOcc>>;
+        let count;
+        {
+            let mut shard = self.precise.for_key(sig_key(occ.precise)).lock();
+            let acc = shard.entry(occ.precise).or_insert(PreciseAcc {
+                count: 0,
+                first: None,
+            });
+            acc.count += 1;
+            count = acc.count;
+            if count == 1 {
+                acc.first = Some(Box::new(occ.to_first()));
+                return;
+            }
+            flushed = acc.first.take();
+        }
+        if let Some(first) = flushed {
+            // This occurrence just proved the signature overlapping: the
+            // buffered first occurrence enters the aggregates retroactively
+            // and carries the new-instance increment.
+            self.fold_norm(OccView::from_first(&first), true, overlaps);
+        }
+        self.fold_norm(occ, false, overlaps);
+    }
+
+    /// Applies one overlapping occurrence to its normalized accumulator.
+    /// Every update commutes; see the module docs for the merge rules.
+    fn fold_norm(&self, occ: OccView<'_>, new_instance: bool, overlaps: &[AtomicU64]) {
+        overlaps[occ.record_seq as usize].fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.norm.for_key(sig_key(occ.normalized)).lock();
+        let acc = shard.entry(occ.normalized).or_insert_with(NormAcc::new);
+        acc.occurrences += 1;
+        if new_instance {
+            acc.instances += 1;
+        }
+        if occ.seq < acc.first_seq {
+            acc.first_seq = occ.seq;
+            acc.root_kind = occ.root_kind;
+            acc.num_nodes = occ.num_nodes;
+            acc.has_user_code = occ.has_user_code;
+            acc.input_tags = occ.input_tags.to_vec();
+        }
+        if acc.occurrences == 1 || occ.seq > acc.last_seq {
+            acc.last_seq = occ.seq;
+            acc.sample_precise = occ.precise;
+        }
+        acc.jobs.insert(occ.job);
+        acc.users.insert(occ.user);
+        acc.vcs.insert(occ.vc);
+        acc.templates.insert(occ.template);
+        acc.cum_cpu_sum += occ.cum_cpu.micros() as u128;
+        acc.rows_sum += occ.out_rows as u128;
+        acc.bytes_sum += occ.out_bytes as u128;
+        acc.job_cpu_sum += occ.job_cpu.micros() as u128;
+        let vote = acc
+            .props_votes
+            .entry(Arc::clone(occ.props))
+            .or_insert(PropsVote {
+                count: 0,
+                first_seq: occ.seq,
+            });
+        vote.count += 1;
+        if occ.seq < vote.first_seq {
+            vote.first_seq = occ.seq;
+        }
+    }
+
+    /// Materializes the current overlap groups from the aggregates,
+    /// deterministically ordered (utility descending, then signature).
+    pub fn groups(&self) -> Vec<OverlapGroup> {
+        let _g = self.round.lock();
+        self.groups_locked()
+    }
+
+    fn groups_locked(&self) -> Vec<OverlapGroup> {
+        let mut groups: Vec<OverlapGroup> = Vec::new();
+        for shard in self.norm.iter() {
+            let shard = shard.lock();
+            for (&normalized, acc) in shard.iter() {
+                let n = acc.occurrences.max(1) as u128;
+                let mut props_votes: Vec<(Arc<PhysicalProps>, usize, u64)> = acc
+                    .props_votes
+                    .iter()
+                    .map(|(p, v)| (Arc::clone(p), v.count, v.first_seq))
+                    .collect();
+                props_votes
+                    .sort_by_key(|(_, count, first_seq)| (std::cmp::Reverse(*count), *first_seq));
+                let mut jobs: Vec<JobId> = acc.jobs.iter().copied().collect();
+                jobs.sort_unstable();
+                let mut users: Vec<UserId> = acc.users.iter().copied().collect();
+                users.sort_unstable();
+                let mut vcs: Vec<VcId> = acc.vcs.iter().copied().collect();
+                vcs.sort_unstable();
+                let mut templates: Vec<TemplateId> = acc.templates.iter().copied().collect();
+                templates.sort_unstable();
+                groups.push(OverlapGroup {
+                    normalized,
+                    sample_precise: acc.sample_precise,
+                    occurrences: acc.occurrences,
+                    instances: acc.instances,
+                    jobs,
+                    users,
+                    vcs,
+                    templates,
+                    root_kind: acc.root_kind,
+                    num_nodes: acc.num_nodes,
+                    has_user_code: acc.has_user_code,
+                    input_tags: acc.input_tags.clone(),
+                    avg_cumulative_cpu: SimDuration::from_micros((acc.cum_cpu_sum / n) as u64),
+                    avg_out_rows: (acc.rows_sum / n) as u64,
+                    avg_out_bytes: (acc.bytes_sum / n) as u64,
+                    avg_job_cpu: SimDuration::from_micros((acc.job_cpu_sum / n) as u64),
+                    props_votes: props_votes
+                        .into_iter()
+                        .map(|(p, count, _)| (p, count))
+                        .collect(),
+                });
+            }
+        }
+        groups.sort_by(|a, b| {
+            b.utility()
+                .cmp(&a.utility())
+                .then(a.normalized.cmp(&b.normalized))
+        });
+        groups
+    }
+
+    /// Workload-wide overlap metrics from the maintained aggregates.
+    pub fn metrics(&self) -> OverlapMetrics {
+        let _g = self.round.lock();
+        self.metrics_locked()
+    }
+
+    fn metrics_locked(&self) -> OverlapMetrics {
+        let admit = self.admit.lock();
+        let overlaps = self.rec_overlaps.read();
+        let mut m = OverlapMetrics {
+            jobs_total: admit.metas.len(),
+            occurrences_total: admit.occurrences_total,
+            ..Default::default()
+        };
+        for shard in self.precise.iter() {
+            let shard = shard.lock();
+            m.subgraphs_total += shard.len();
+            for acc in shard.values() {
+                if acc.count >= 2 {
+                    m.subgraphs_overlapping += 1;
+                    m.overlap_frequencies.push(acc.count);
+                }
+            }
+        }
+        // Deterministic regardless of shard layout and fold order.
+        m.overlap_frequencies.sort_unstable_by(|a, b| b.cmp(a));
+        for shard in self.norm.iter() {
+            let shard = shard.lock();
+            for acc in shard.values() {
+                m.occurrences_overlapping += acc.occurrences;
+                for &tag in &acc.input_tags {
+                    *m.per_input.entry(tag).or_default() += acc.occurrences;
+                }
+            }
+        }
+        let mut users: HashSet<UserId> = HashSet::new();
+        let mut users_overlapping: HashSet<UserId> = HashSet::new();
+        for (meta, ov) in admit.metas.iter().zip(overlaps.iter()) {
+            let job_overlaps = ov.load(Ordering::Relaxed);
+            users.insert(meta.user);
+            let entry = m.vc_jobs.entry(meta.vc).or_default();
+            entry.0 += 1;
+            if job_overlaps > 0 {
+                m.jobs_overlapping += 1;
+                users_overlapping.insert(meta.user);
+                entry.1 += 1;
+            }
+            *m.per_job.entry(meta.job).or_default() += job_overlaps;
+            *m.per_user.entry(meta.user).or_default() += job_overlaps;
+            *m.per_vc.entry(meta.vc).or_default() += job_overlaps;
+        }
+        m.users_total = users.len();
+        m.users_overlapping = users_overlapping.len();
+        m
+    }
+
+    fn lineage_locked(&self) -> expiry::LineageTracker {
+        let admit = self.admit.lock();
+        expiry::LineageTracker::from_observations(&admit.template_times, admit.consumers.clone())
+    }
+
+    /// Re-runs view selection from the maintained aggregates: groups →
+    /// policy/constraints (budget-aware) → physical design → lineage TTLs →
+    /// coordination hints. No record is re-read.
+    pub fn select(&self) -> Result<AnalysisOutcome> {
+        let _g = self.round.lock();
+        self.select_locked()
+    }
+
+    fn select_locked(&self) -> Result<AnalysisOutcome> {
+        let start = std::time::Instant::now();
+        let mut phase_times = AnalysisPhaseTimes::default();
+
+        let phase = std::time::Instant::now();
+        let groups = self.groups_locked();
+        let metrics = self.metrics_locked();
+        let lineage = self.lineage_locked();
+        phase_times.mining = phase.elapsed();
+
+        let phase = std::time::Instant::now();
+        let chosen = selection::select_budgeted(
+            &groups,
+            &self.config.policy,
+            &self.config.constraints,
+            self.config.storage_budget_bytes,
+        );
+        phase_times.selection = phase.elapsed();
+
+        let phase = std::time::Instant::now();
+        let mut selected = Vec::with_capacity(chosen.len());
+        for g in &chosen {
+            let props = physical::choose_design(g);
+            let ttl = lineage.ttl_for_tags(&g.input_tags, self.config.default_ttl);
+            selected.push(SelectedView {
+                annotation: scope_engine::optimizer::Annotation {
+                    normalized: g.normalized,
+                    props,
+                    ttl,
+                    avg_cpu: g.avg_cumulative_cpu,
+                    avg_rows: g.avg_out_rows,
+                    avg_bytes: g.avg_out_bytes,
+                },
+                input_tags: g.input_tags.clone(),
+                utility: g.utility(),
+                frequency: g.per_instance_frequency(),
+                precise_last_seen: g.sample_precise,
+            });
+        }
+        let order_hints = {
+            let admit = self.admit.lock();
+            coordination::order_hints_from_jobs(
+                &chosen,
+                admit.metas.iter().map(|m| (m.job, m.template, m.latency)),
+            )
+        };
+        phase_times.design = phase.elapsed();
+
+        let jobs_analyzed = self.admit.lock().metas.len();
+        Ok(AnalysisOutcome {
+            selected,
+            groups,
+            metrics,
+            order_hints,
+            wall_time: start.elapsed(),
+            phase_times,
+            jobs_analyzed,
+        })
+    }
+
+    /// One full round under a single lock acquisition: ingest the delta,
+    /// then select. Returns the ingest report alongside the outcome.
+    pub fn round(&self, records: &[JobRecord]) -> Result<(IngestReport, AnalysisOutcome)> {
+        let _g = self.round.lock();
+        let report = self.ingest_locked(records.iter());
+        let mut outcome = self.select_locked()?;
+        outcome.phase_times.filter = report.filter_wall;
+        outcome.phase_times.mining += report.fold_wall;
+        Ok((report, outcome))
+    }
+}
+
+/// Pops the next chunk index: own deque from the front, else steal from the
+/// back of the first non-empty victim.
+fn next_chunk(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
+    if let Some(idx) = queues[own].lock().pop_front() {
+        return Some(idx);
+    }
+    for offset in 1..queues.len() {
+        let victim = (own + offset) % queues.len();
+        if let Some(idx) = queues[victim].lock().pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// What changed between two consecutive analyzer rounds (admin drill-down).
+#[derive(Clone, Debug)]
+pub struct RoundDelta {
+    /// Round number (1-based).
+    pub round: u64,
+    /// Records ingested by this round.
+    pub ingested_jobs: usize,
+    /// Total records admitted across all rounds.
+    pub jobs_total: usize,
+    /// Overlap groups live after this round.
+    pub groups_total: usize,
+    /// Views selected by this round.
+    pub selected_total: usize,
+    /// Views selected now but not in the previous round.
+    pub newly_selected: Vec<Sig128>,
+    /// Views selected previously but dropped now.
+    pub dropped: Vec<Sig128>,
+    /// Wall time of the delta ingest.
+    pub ingest_wall: Duration,
+    /// Wall time of selection from aggregates.
+    pub select_wall: Duration,
+}
+
+/// The analyzer as a *service*: an [`AnalyzerState`] plus a cursor into the
+/// workload repository, so each round pulls exactly the records that
+/// arrived since the last one. The pipeline's record stage hands new
+/// records over as they are recorded (`CloudViews::analyzer`), keeping the
+/// state warm between rounds.
+pub struct IncrementalAnalyzer {
+    state: AnalyzerState,
+    /// Index of the first repository record not yet ingested.
+    cursor: Mutex<usize>,
+    rounds: AtomicU64,
+    last_delta: Mutex<Option<RoundDelta>>,
+    prev_selected: Mutex<Vec<Sig128>>,
+}
+
+impl IncrementalAnalyzer {
+    /// A fresh service selecting under `config`, folding with `workers`
+    /// threads (`0` = one per core).
+    pub fn new(config: AnalyzerConfig, workers: usize) -> IncrementalAnalyzer {
+        IncrementalAnalyzer {
+            state: AnalyzerState::new(config, workers),
+            cursor: Mutex::new(0),
+            rounds: AtomicU64::new(0),
+            last_delta: Mutex::new(None),
+            prev_selected: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying state (introspection/dashboards).
+    pub fn state(&self) -> &AnalyzerState {
+        &self.state
+    }
+
+    /// Completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// The last round's delta, if any round has run.
+    pub fn last_delta(&self) -> Option<RoundDelta> {
+        self.last_delta.lock().clone()
+    }
+
+    /// Ingests any repository records that arrived since the last call.
+    /// Cheap when nothing is new; called by the pipeline's record stage.
+    pub fn absorb(&self, repo: &WorkloadRepository) -> IngestReport {
+        let mut cursor = self.cursor.lock();
+        repo.with_records(|all| {
+            if *cursor >= all.len() {
+                return IngestReport::default();
+            }
+            let report = self.state.ingest(&all[*cursor..]);
+            *cursor = all.len();
+            report
+        })
+    }
+
+    /// One analyzer round: absorb the repository delta, re-select from the
+    /// aggregates, and publish the round delta.
+    pub fn round(&self, repo: &WorkloadRepository) -> Result<AnalysisOutcome> {
+        let t_ingest = std::time::Instant::now();
+        let report = self.absorb(repo);
+        let ingest_wall = t_ingest.elapsed();
+
+        let t_select = std::time::Instant::now();
+        let mut outcome = self.state.select()?;
+        let select_wall = t_select.elapsed();
+        outcome.phase_times.filter = report.filter_wall;
+        outcome.phase_times.mining += report.fold_wall;
+        outcome.wall_time = ingest_wall + select_wall;
+
+        let round = self.rounds.fetch_add(1, Ordering::Relaxed) + 1;
+        let selected_now: Vec<Sig128> = outcome
+            .selected
+            .iter()
+            .map(|s| s.annotation.normalized)
+            .collect();
+        let mut prev = self.prev_selected.lock();
+        let prev_set: HashSet<Sig128> = prev.iter().copied().collect();
+        let now_set: HashSet<Sig128> = selected_now.iter().copied().collect();
+        let delta = RoundDelta {
+            round,
+            ingested_jobs: report.admitted,
+            jobs_total: outcome.jobs_analyzed,
+            groups_total: outcome.groups.len(),
+            selected_total: selected_now.len(),
+            newly_selected: selected_now
+                .iter()
+                .filter(|s| !prev_set.contains(s))
+                .copied()
+                .collect(),
+            dropped: prev
+                .iter()
+                .filter(|s| !now_set.contains(s))
+                .copied()
+                .collect(),
+            ingest_wall,
+            select_wall,
+        };
+        *prev = selected_now;
+        *self.last_delta.lock() = Some(delta);
+        Ok(outcome)
+    }
+}

@@ -12,10 +12,14 @@
 //! * [`physical`] — per-view physical design from observed output
 //!   properties (Section 5.3);
 //! * [`expiry`] — input-lineage-based view TTLs (Section 5.4);
-//! * [`coordination`] — job submission order hints (Section 6.5).
+//! * [`coordination`] — job submission order hints (Section 6.5);
+//! * [`incremental`] — the persistent [`AnalyzerState`] behind all of the
+//!   above: overlap statistics folded incrementally (and in parallel) as
+//!   records arrive, so a round costs the delta, not the history.
 
 pub mod coordination;
 pub mod expiry;
+pub mod incremental;
 pub mod overlap;
 pub mod physical;
 pub mod selection;
@@ -28,6 +32,7 @@ use scope_common::Result;
 use scope_engine::optimizer::Annotation;
 use scope_engine::repo::JobRecord;
 
+pub use incremental::{AnalyzerState, IncrementalAnalyzer, IngestReport, RoundDelta};
 pub use overlap::{mine_overlaps, overlap_metrics, OverlapGroup, OverlapMetrics};
 pub use selection::{SelectionConstraints, SelectionPolicy};
 
@@ -64,6 +69,10 @@ pub struct AnalyzerConfig {
     pub constraints: SelectionConstraints,
     /// TTL used when lineage gives no answer.
     pub default_ttl: SimDuration,
+    /// Optional storage budget (bytes) applied on top of the top-k
+    /// policies: the ranked candidates are packed under this budget with
+    /// an exchange-improvement pass (Section 5.3). `None` = unbounded.
+    pub storage_budget_bytes: Option<u64>,
 }
 
 impl Default for AnalyzerConfig {
@@ -76,6 +85,7 @@ impl Default for AnalyzerConfig {
             policy: SelectionPolicy::TopKUtility { k: 10 },
             constraints: SelectionConstraints::default(),
             default_ttl: SimDuration::from_secs(86_400),
+            storage_budget_bytes: None,
         }
     }
 }
@@ -114,66 +124,17 @@ pub struct AnalysisOutcome {
 }
 
 /// Runs the full analysis over repository records.
+///
+/// One-shot convenience over [`AnalyzerState`]: a fresh state ingests all
+/// `records` serially and selects once. Long-lived callers should keep an
+/// [`IncrementalAnalyzer`] instead and pay only for the delta each round —
+/// this entry point re-folds history every call.
 pub fn run_analysis(records: &[JobRecord], config: &AnalyzerConfig) -> Result<AnalysisOutcome> {
     let start = std::time::Instant::now();
-    let mut phase_times = AnalysisPhaseTimes::default();
-    let filtered: Vec<&JobRecord> = records
-        .iter()
-        .filter(|r| r.submitted_at >= config.window_from && r.submitted_at < config.window_to)
-        .filter(|r| {
-            config
-                .include_vcs
-                .as_ref()
-                .map(|inc| inc.contains(&r.vc))
-                .unwrap_or(true)
-                && !config.exclude_vcs.contains(&r.vc)
-        })
-        .collect();
-    phase_times.filter = start.elapsed();
-
-    let phase = std::time::Instant::now();
-    let groups = mine_overlaps(&filtered);
-    let metrics = overlap_metrics(&filtered);
-    let lineage = expiry::LineageTracker::from_records(&filtered);
-    phase_times.mining = phase.elapsed();
-
-    let phase = std::time::Instant::now();
-    let chosen = selection::select(&groups, &config.policy, &config.constraints);
-    phase_times.selection = phase.elapsed();
-
-    let phase = std::time::Instant::now();
-    let mut selected = Vec::with_capacity(chosen.len());
-    for g in &chosen {
-        let props = physical::choose_design(g);
-        let ttl = lineage.ttl_for_tags(&g.input_tags, config.default_ttl);
-        selected.push(SelectedView {
-            annotation: Annotation {
-                normalized: g.normalized,
-                props,
-                ttl,
-                avg_cpu: g.avg_cumulative_cpu,
-                avg_rows: g.avg_out_rows,
-                avg_bytes: g.avg_out_bytes,
-            },
-            input_tags: g.input_tags.clone(),
-            utility: g.utility(),
-            frequency: g.per_instance_frequency(),
-            precise_last_seen: g.sample_precise,
-        });
-    }
-
-    let order_hints = coordination::order_hints(&chosen, &filtered);
-    phase_times.design = phase.elapsed();
-
-    Ok(AnalysisOutcome {
-        selected,
-        groups,
-        metrics,
-        order_hints,
-        wall_time: start.elapsed(),
-        phase_times,
-        jobs_analyzed: filtered.len(),
-    })
+    let state = AnalyzerState::new(config.clone(), 1);
+    let (_report, mut outcome) = state.round(records)?;
+    outcome.wall_time = start.elapsed();
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! dashboards need is aggregated here from the repository's reconciled
 //! runtime statistics — never from optimizer estimates.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use scope_common::hash::Sig128;
@@ -92,135 +92,15 @@ impl OverlapGroup {
 /// Terminal `Output`/`Write` subgraphs are kept (the paper's "reusing
 /// existing outputs" lesson found real redundancy there), as are whole-job
 /// overlaps; selection constraints decide what to do with them.
+///
+/// One-shot wrapper over [`AnalyzerState`](super::AnalyzerState): a fresh
+/// state folds the records serially and materializes the groups. The
+/// incremental fold is the single mining implementation — batch and
+/// round-based callers see identical aggregates by construction.
 pub fn mine_overlaps(records: &[&JobRecord]) -> Vec<OverlapGroup> {
-    // Pass 1: group occurrences by precise signature.
-    struct PreciseAcc {
-        count: u64,
-        jobs: HashSet<JobId>,
-    }
-    let mut by_precise: HashMap<Sig128, PreciseAcc> = HashMap::new();
-    for r in records {
-        for s in &r.subgraphs {
-            let acc = by_precise.entry(s.precise).or_insert_with(|| PreciseAcc {
-                count: 0,
-                jobs: HashSet::new(),
-            });
-            acc.count += 1;
-            acc.jobs.insert(r.job);
-        }
-    }
-
-    // Keep only computations that actually repeat.
-    let overlapping: HashSet<Sig128> = by_precise
-        .iter()
-        .filter(|(_, acc)| acc.count >= 2)
-        .map(|(sig, _)| *sig)
-        .collect();
-
-    // Pass 2: fold by normalized signature, aggregating statistics.
-    struct NormAcc {
-        sample_precise: Sig128,
-        occurrences: u64,
-        precise_set: HashSet<Sig128>,
-        jobs: HashSet<JobId>,
-        users: HashSet<UserId>,
-        vcs: HashSet<VcId>,
-        templates: HashSet<TemplateId>,
-        root_kind: OpKind,
-        num_nodes: usize,
-        has_user_code: bool,
-        input_tags: Vec<Symbol>,
-        cum_cpu_sum: u128,
-        rows_sum: u128,
-        bytes_sum: u128,
-        job_cpu_sum: u128,
-        samples: u64,
-        props_votes: HashMap<Arc<PhysicalProps>, usize>,
-    }
-    let mut by_norm: HashMap<Sig128, NormAcc> = HashMap::new();
-    for r in records {
-        for s in &r.subgraphs {
-            if !overlapping.contains(&s.precise) {
-                continue;
-            }
-            let acc = by_norm.entry(s.normalized).or_insert_with(|| NormAcc {
-                sample_precise: s.precise,
-                occurrences: 0,
-                precise_set: HashSet::new(),
-                jobs: HashSet::new(),
-                users: HashSet::new(),
-                vcs: HashSet::new(),
-                templates: HashSet::new(),
-                root_kind: s.root_kind,
-                num_nodes: s.num_nodes,
-                has_user_code: s.has_user_code,
-                input_tags: s.input_tags.clone(),
-                cum_cpu_sum: 0,
-                rows_sum: 0,
-                bytes_sum: 0,
-                job_cpu_sum: 0,
-                samples: 0,
-                props_votes: HashMap::new(),
-            });
-            acc.sample_precise = s.precise;
-            acc.occurrences += 1;
-            acc.precise_set.insert(s.precise);
-            acc.jobs.insert(r.job);
-            acc.users.insert(r.user);
-            acc.vcs.insert(r.vc);
-            acc.templates.insert(r.template);
-            acc.cum_cpu_sum += s.cumulative_cpu.micros() as u128;
-            acc.rows_sum += s.out_rows as u128;
-            acc.bytes_sum += s.out_bytes as u128;
-            acc.job_cpu_sum += r.cpu_time.micros() as u128;
-            acc.samples += 1;
-            *acc.props_votes.entry(Arc::clone(&s.props)).or_default() += 1;
-        }
-    }
-
-    let mut groups: Vec<OverlapGroup> = by_norm
-        .into_iter()
-        .map(|(normalized, acc)| {
-            let n = acc.samples.max(1) as u128;
-            let mut props_votes: Vec<(Arc<PhysicalProps>, usize)> =
-                acc.props_votes.into_iter().collect();
-            props_votes.sort_by_key(|v| std::cmp::Reverse(v.1));
-            let mut jobs: Vec<JobId> = acc.jobs.into_iter().collect();
-            jobs.sort_unstable();
-            let mut users: Vec<UserId> = acc.users.into_iter().collect();
-            users.sort_unstable();
-            let mut vcs: Vec<VcId> = acc.vcs.into_iter().collect();
-            vcs.sort_unstable();
-            let mut templates: Vec<TemplateId> = acc.templates.into_iter().collect();
-            templates.sort_unstable();
-            OverlapGroup {
-                normalized,
-                sample_precise: acc.sample_precise,
-                occurrences: acc.occurrences,
-                instances: acc.precise_set.len() as u64,
-                jobs,
-                users,
-                vcs,
-                templates,
-                root_kind: acc.root_kind,
-                num_nodes: acc.num_nodes,
-                has_user_code: acc.has_user_code,
-                input_tags: acc.input_tags,
-                avg_cumulative_cpu: SimDuration::from_micros((acc.cum_cpu_sum / n) as u64),
-                avg_out_rows: (acc.rows_sum / n) as u64,
-                avg_out_bytes: (acc.bytes_sum / n) as u64,
-                avg_job_cpu: SimDuration::from_micros((acc.job_cpu_sum / n) as u64),
-                props_votes,
-            }
-        })
-        .collect();
-    // Deterministic order: utility descending, then signature.
-    groups.sort_by(|a, b| {
-        b.utility()
-            .cmp(&a.utility())
-            .then(a.normalized.cmp(&b.normalized))
-    });
-    groups
+    let state = super::AnalyzerState::new(super::AnalyzerConfig::default(), 1);
+    state.ingest_refs(records.iter().copied());
+    state.groups()
 }
 
 /// Workload-wide overlap metrics: the series behind Figures 1–5.
@@ -293,59 +173,13 @@ impl OverlapMetrics {
 }
 
 /// Computes workload-wide overlap metrics.
+///
+/// Like [`mine_overlaps`], a one-shot wrapper over the incremental
+/// [`AnalyzerState`](super::AnalyzerState).
 pub fn overlap_metrics(records: &[&JobRecord]) -> OverlapMetrics {
-    // Precise-signature counts across the whole window.
-    let mut counts: HashMap<Sig128, u64> = HashMap::new();
-    for r in records {
-        for s in &r.subgraphs {
-            *counts.entry(s.precise).or_default() += 1;
-        }
-    }
-    let overlapping: HashSet<Sig128> = counts
-        .iter()
-        .filter(|(_, c)| **c >= 2)
-        .map(|(s, _)| *s)
-        .collect();
-
-    let mut m = OverlapMetrics {
-        jobs_total: records.len(),
-        subgraphs_total: counts.len(),
-        subgraphs_overlapping: overlapping.len(),
-        overlap_frequencies: counts.values().filter(|c| **c >= 2).copied().collect(),
-        ..Default::default()
-    };
-
-    let mut users: HashSet<UserId> = HashSet::new();
-    let mut users_overlapping: HashSet<UserId> = HashSet::new();
-    // Per-input: count consumptions of each tag by overlapping subgraphs
-    // whose own scan-level signature repeats.
-    for r in records {
-        users.insert(r.user);
-        let mut job_overlaps = 0u64;
-        for s in &r.subgraphs {
-            m.occurrences_total += 1;
-            if overlapping.contains(&s.precise) {
-                m.occurrences_overlapping += 1;
-                job_overlaps += 1;
-                for &tag in &s.input_tags {
-                    *m.per_input.entry(tag).or_default() += 1;
-                }
-            }
-        }
-        let entry = m.vc_jobs.entry(r.vc).or_default();
-        entry.0 += 1;
-        if job_overlaps > 0 {
-            m.jobs_overlapping += 1;
-            users_overlapping.insert(r.user);
-            entry.1 += 1;
-        }
-        *m.per_job.entry(r.job).or_default() += job_overlaps;
-        *m.per_user.entry(r.user).or_default() += job_overlaps;
-        *m.per_vc.entry(r.vc).or_default() += job_overlaps;
-    }
-    m.users_total = users.len();
-    m.users_overlapping = users_overlapping.len();
-    m
+    let state = super::AnalyzerState::new(super::AnalyzerConfig::default(), 1);
+    state.ingest_refs(records.iter().copied());
+    state.metrics()
 }
 
 #[cfg(test)]

@@ -135,13 +135,30 @@ pub fn select(
     policy: &SelectionPolicy,
     constraints: &SelectionConstraints,
 ) -> Vec<OverlapGroup> {
+    select_budgeted(groups, policy, constraints, None)
+}
+
+/// [`select`] with an optional storage budget layered on top of the top-k
+/// policies: the policy ranks, then the ranked list is packed under
+/// `budget` with an exchange-improvement pass. `None` = unbounded (pure
+/// top-k). `Packing` uses its own budget (intersected with `budget` when
+/// both are set); `MinUtility` ranks for eviction and ignores the budget.
+pub fn select_budgeted(
+    groups: &[OverlapGroup],
+    policy: &SelectionPolicy,
+    constraints: &SelectionConstraints,
+    budget: Option<u64>,
+) -> Vec<OverlapGroup> {
     let mut candidates: Vec<&OverlapGroup> =
         groups.iter().filter(|g| constraints.admits(g)).collect();
 
     let picked: Vec<&OverlapGroup> = match policy {
         SelectionPolicy::TopKUtility { k } => {
             candidates.sort_by_key(|g| std::cmp::Reverse(g.utility()));
-            take_with_job_cap(&candidates, *k, constraints.per_job_cap)
+            match budget {
+                None => take_with_job_cap(&candidates, *k, constraints.per_job_cap),
+                Some(b) => pack_ranked(&candidates, b, *k, constraints.per_job_cap),
+            }
         }
         SelectionPolicy::TopKUtilityPerByte { k } => {
             candidates.sort_by(|a, b| {
@@ -149,7 +166,10 @@ pub fn select(
                     .partial_cmp(&a.utility_per_byte())
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
-            take_with_job_cap(&candidates, *k, constraints.per_job_cap)
+            match budget {
+                None => take_with_job_cap(&candidates, *k, constraints.per_job_cap),
+                Some(b) => pack_ranked(&candidates, b, *k, constraints.per_job_cap),
+            }
         }
         SelectionPolicy::MinUtility { k } => {
             candidates.sort_by_key(|a| a.utility());
@@ -157,7 +177,17 @@ pub fn select(
         }
         SelectionPolicy::Packing {
             storage_budget_bytes,
-        } => pack(&candidates, *storage_budget_bytes),
+        } => {
+            candidates.sort_by(|a, b| {
+                b.utility_per_byte()
+                    .partial_cmp(&a.utility_per_byte())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let b = budget
+                .map(|outer| outer.min(*storage_budget_bytes))
+                .unwrap_or(*storage_budget_bytes);
+            pack_ranked(&candidates, b, usize::MAX, constraints.per_job_cap)
+        }
     };
     picked.into_iter().cloned().collect()
 }
@@ -190,29 +220,54 @@ fn take_with_job_cap<'a>(
     out
 }
 
-/// Storage-budget packing: greedy by utility density, then a bounded
-/// local-search pass swapping one selected view for one or more unselected
-/// ones when the swap raises total utility within budget.
-fn pack<'a>(candidates: &[&'a OverlapGroup], budget: u64) -> Vec<&'a OverlapGroup> {
-    let mut ranked: Vec<&OverlapGroup> = candidates.to_vec();
-    ranked.sort_by(|a, b| {
-        b.utility_per_byte()
-            .partial_cmp(&a.utility_per_byte())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-
-    let mut selected: Vec<&OverlapGroup> = Vec::new();
-    let mut used: u64 = 0;
-    for g in &ranked {
-        let sz = g.avg_out_bytes.max(1);
-        if used + sz <= budget {
-            selected.push(*g);
-            used += sz;
+/// Storage-budget packing over an already-ranked candidate list: greedy in
+/// rank order under the byte budget (honoring the per-job cap and the `k`
+/// limit), then a bounded exchange pass swapping one selected view for an
+/// unselected one when the swap raises total utility within budget, and a
+/// final fill of any space the swaps freed.
+fn pack_ranked<'a>(
+    ranked: &[&'a OverlapGroup],
+    budget: u64,
+    k: usize,
+    cap: Option<usize>,
+) -> Vec<&'a OverlapGroup> {
+    fn size(g: &OverlapGroup) -> u64 {
+        g.avg_out_bytes.max(1)
+    }
+    fn fits_cap(
+        job_use: &std::collections::HashMap<JobId, usize>,
+        cap: Option<usize>,
+        g: &OverlapGroup,
+    ) -> bool {
+        match cap {
+            Some(cap) => !g
+                .jobs
+                .iter()
+                .any(|j| job_use.get(j).copied().unwrap_or(0) >= cap),
+            None => true,
         }
     }
 
-    // Local search: try replacing each selected view with the best
-    // unselected one that fits in the freed space and improves utility.
+    let mut selected: Vec<&OverlapGroup> = Vec::new();
+    let mut used: u64 = 0;
+    let mut job_use: std::collections::HashMap<JobId, usize> = std::collections::HashMap::new();
+    for g in ranked {
+        if selected.len() >= k {
+            break;
+        }
+        if used + size(g) > budget || !fits_cap(&job_use, cap, g) {
+            continue;
+        }
+        for j in &g.jobs {
+            *job_use.entry(*j).or_default() += 1;
+        }
+        used += size(g);
+        selected.push(*g);
+    }
+
+    // Exchange improvement: replace a selected view with the best-utility
+    // unselected one that fits in the freed space (greedy packs by the
+    // policy objective, which can strand one large high-utility view).
     let selected_set: HashSet<scope_common::Sig128> =
         selected.iter().map(|g| g.normalized).collect();
     let mut unselected: Vec<&OverlapGroup> = ranked
@@ -228,27 +283,57 @@ fn pack<'a>(candidates: &[&'a OverlapGroup], budget: u64) -> Vec<&'a OverlapGrou
         improved = false;
         passes += 1;
         for slot in selected.iter_mut() {
-            let freed = used - slot.avg_out_bytes.max(1);
-            let out_util = slot.utility();
-            if let Some(pos) = unselected
-                .iter()
-                .position(|c| freed + c.avg_out_bytes.max(1) <= budget && c.utility() > out_util)
-            {
-                let incoming = unselected.remove(pos);
-                let outgoing = std::mem::replace(slot, incoming);
-                used = freed + incoming_size(slot);
-                unselected.push(outgoing);
-                unselected.sort_by_key(|g| std::cmp::Reverse(g.utility()));
-                improved = true;
+            let outgoing = *slot;
+            let freed = used - size(outgoing);
+            // Release the outgoing view's job slots while probing the cap.
+            for j in &outgoing.jobs {
+                if let Some(u) = job_use.get_mut(j) {
+                    *u -= 1;
+                }
+            }
+            let pos = unselected.iter().position(|c| {
+                freed + size(c) <= budget
+                    && c.utility() > outgoing.utility()
+                    && fits_cap(&job_use, cap, c)
+            });
+            match pos {
+                Some(pos) => {
+                    let incoming = unselected.remove(pos);
+                    for j in &incoming.jobs {
+                        *job_use.entry(*j).or_default() += 1;
+                    }
+                    used = freed + size(incoming);
+                    *slot = incoming;
+                    unselected.push(outgoing);
+                    unselected.sort_by_key(|g| std::cmp::Reverse(g.utility()));
+                    improved = true;
+                }
+                None => {
+                    for j in &outgoing.jobs {
+                        *job_use.entry(*j).or_default() += 1;
+                    }
+                }
             }
         }
     }
+
+    // Fill: swaps may have freed budget another candidate now fits.
+    for g in &unselected {
+        if selected.len() >= k {
+            break;
+        }
+        if used + size(g) > budget || !fits_cap(&job_use, cap, g) {
+            continue;
+        }
+        for j in &g.jobs {
+            *job_use.entry(*j).or_default() += 1;
+        }
+        used += size(g);
+        selected.push(*g);
+    }
+
     selected.sort_by_key(|g| std::cmp::Reverse(g.utility()));
     selected
-}
-
-fn incoming_size(g: &OverlapGroup) -> u64 {
-    g.avg_out_bytes.max(1)
 }
 
 #[cfg(test)]

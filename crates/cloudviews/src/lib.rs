@@ -55,7 +55,10 @@ pub mod pipeline;
 pub mod reporting;
 pub mod runtime;
 
-pub use analyzer::{AnalysisOutcome, AnalyzerConfig, SelectedView, SelectionPolicy};
+pub use analyzer::{
+    AnalysisOutcome, AnalyzerConfig, AnalyzerState, IncrementalAnalyzer, IngestReport, RoundDelta,
+    SelectedView, SelectionPolicy,
+};
 pub use faults::{FaultInjector, FaultPlan, FaultSite, InjectedFaults, ScriptedFault};
 pub use metadata::{LockOutcome, LookupResponse, MetadataService, MetadataStats, PurgeSweep};
 pub use pipeline::PipelineOptions;

@@ -388,6 +388,11 @@ impl Stage for RecordStage {
                     ctx.sim.as_ref().expect("execute stage ran"),
                 )
                 .map_err(AttemptFailure::Fatal)?;
+            // Keep the resident analyzer warm: fold the fresh record(s)
+            // into its aggregates now, so an analyze_round only re-selects.
+            if let Some(analyzer) = &cv.analyzer {
+                analyzer.absorb(&cv.repo);
+            }
         }
         Ok(())
     }

@@ -57,7 +57,7 @@ use scope_engine::sim::{ClusterConfig, SimOutcome};
 use scope_engine::storage::StorageManager;
 use scope_signature::TemplateCache;
 
-use crate::analyzer::{run_analysis, AnalysisOutcome, AnalyzerConfig};
+use crate::analyzer::{run_analysis, AnalysisOutcome, AnalyzerConfig, IncrementalAnalyzer};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::metadata::MetadataService;
 use crate::pipeline::{self, PipelineOptions};
@@ -309,6 +309,11 @@ pub struct CloudViews {
     /// signatures match a cached skeleton skip subgraph enumeration and
     /// property derivation, re-deriving only the precise hashes.
     pub templates: Arc<TemplateCache>,
+    /// The resident incremental analyzer, when one was installed via
+    /// [`CloudViewsBuilder::incremental_analyzer`]. The pipeline's record
+    /// stage feeds it each record as it lands; [`CloudViews::analyze_round`]
+    /// re-selects from its aggregates.
+    pub analyzer: Option<Arc<IncrementalAnalyzer>>,
     /// Pre-resolved metric handles for the per-job path.
     pub(crate) metrics: RuntimeMetrics,
 }
@@ -342,6 +347,8 @@ pub struct CloudViewsBuilder {
     fault_plan: Option<FaultPlan>,
     telemetry: Arc<Telemetry>,
     templates: Arc<TemplateCache>,
+    incremental_analyzer: Option<AnalyzerConfig>,
+    analyzer_workers: usize,
 }
 
 impl CloudViewsBuilder {
@@ -362,6 +369,8 @@ impl CloudViewsBuilder {
             fault_plan: None,
             telemetry: Telemetry::new(),
             templates: Arc::new(TemplateCache::new()),
+            incremental_analyzer: None,
+            analyzer_workers: 1,
         }
     }
 
@@ -443,6 +452,22 @@ impl CloudViewsBuilder {
         self
     }
 
+    /// Installs a resident incremental analyzer selecting under `config`.
+    /// The pipeline's record stage then feeds it every record as it lands,
+    /// and [`CloudViews::analyze_round`] re-selects from the maintained
+    /// aggregates instead of replaying the repository.
+    pub fn incremental_analyzer(mut self, config: AnalyzerConfig) -> Self {
+        self.incremental_analyzer = Some(config);
+        self
+    }
+
+    /// Worker threads for the analyzer's parallel overlap fold (`0` = one
+    /// per available core; the fold runs inline when one worker suffices).
+    pub fn analyzer_workers(mut self, workers: usize) -> Self {
+        self.analyzer_workers = workers;
+        self
+    }
+
     /// Like [`CloudViewsBuilder::build`], but rejects configurations the
     /// infallible path silently corrects: `metadata_threads == 0` would
     /// make the modeled lookup latency divide by zero (the service clamps
@@ -476,6 +501,9 @@ impl CloudViewsBuilder {
             metadata.set_fault_injector(Some(Arc::clone(inj)));
         }
         let metrics = RuntimeMetrics::new(&self.telemetry);
+        let analyzer = self
+            .incremental_analyzer
+            .map(|cfg| Arc::new(IncrementalAnalyzer::new(cfg, self.analyzer_workers)));
         CloudViews {
             storage: self.storage,
             metadata,
@@ -490,6 +518,7 @@ impl CloudViewsBuilder {
             faults,
             telemetry: self.telemetry,
             templates: self.templates,
+            analyzer,
             metrics,
         }
     }
@@ -539,6 +568,55 @@ impl CloudViews {
             ] {
                 m.histogram(name, MetricUnit::WallMicros)
                     .record(d.as_micros() as u64);
+            }
+        }
+        self.telemetry.tracer.finish(span, self.clock.now());
+        Ok(outcome)
+    }
+
+    /// One incremental analyzer round: absorbs any repository records not
+    /// yet ingested into the resident [`IncrementalAnalyzer`] and
+    /// re-selects from its aggregates — the cost is the record delta plus
+    /// selection, not the repository's age. Requires
+    /// [`CloudViewsBuilder::incremental_analyzer`]; round deltas land in
+    /// the `cv_analyzer_round_*` series and [`IncrementalAnalyzer::last_delta`].
+    pub fn analyze_round(&self) -> Result<AnalysisOutcome> {
+        let analyzer = self.analyzer.as_ref().ok_or_else(|| {
+            ScopeError::Metadata(
+                "no incremental analyzer installed \
+                 (CloudViewsBuilder::incremental_analyzer)"
+                    .into(),
+            )
+        })?;
+        let span = self
+            .telemetry
+            .tracer
+            .root("analyzer_round", None, self.clock.now());
+        let outcome = analyzer.round(&self.repo)?;
+        let m = &self.telemetry.metrics;
+        m.counter("cv_analyzer_rounds_total").inc();
+        m.counter("cv_analyzer_candidates_total")
+            .add(outcome.groups.len() as u64);
+        m.counter("cv_analyzer_selected_total")
+            .add(outcome.selected.len() as u64);
+        if let Some(delta) = analyzer.last_delta() {
+            m.counter("cv_analyzer_round_ingested_jobs_total")
+                .add(delta.ingested_jobs as u64);
+            m.counter("cv_analyzer_round_newly_selected_total")
+                .add(delta.newly_selected.len() as u64);
+            m.counter("cv_analyzer_round_dropped_total")
+                .add(delta.dropped.len() as u64);
+            if self.telemetry.is_enabled() {
+                m.histogram(
+                    "cv_analyzer_round_ingest_wall_micros",
+                    MetricUnit::WallMicros,
+                )
+                .record(delta.ingest_wall.as_micros() as u64);
+                m.histogram(
+                    "cv_analyzer_round_select_wall_micros",
+                    MetricUnit::WallMicros,
+                )
+                .record(delta.select_wall.as_micros() as u64);
             }
         }
         self.telemetry.tracer.finish(span, self.clock.now());

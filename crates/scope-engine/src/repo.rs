@@ -193,6 +193,13 @@ impl WorkloadRepository {
         self.records.lock().clone()
     }
 
+    /// Runs `f` over the records in place, without cloning them. The
+    /// repository lock is held for the duration of `f`; don't call back
+    /// into the repository from inside.
+    pub fn with_records<R>(&self, f: impl FnOnce(&[JobRecord]) -> R) -> R {
+        f(&self.records.lock())
+    }
+
     /// Records submitted within `[from, to)`.
     pub fn records_in_window(&self, from: SimTime, to: SimTime) -> Vec<JobRecord> {
         self.records

@@ -359,6 +359,46 @@ impl RecurringWorkload {
             .get(vc.index() % self.clusters[cluster_idx].vc_bu.len().max(1))
             .copied()
     }
+
+    /// Starts a [`RoundDriver`] over one cluster — the multi-round
+    /// recurring driver for incremental-analysis experiments.
+    pub fn rounds(&self, cluster_idx: usize) -> RoundDriver<'_> {
+        RoundDriver {
+            workload: self,
+            cluster_idx,
+            next_instance: 0,
+        }
+    }
+}
+
+/// Drives a cluster's recurring instances round by round: each
+/// [`RoundDriver::next_round`] registers the next instance's input data and
+/// returns its job specs, modeling the periodic arrival the incremental
+/// analyzer ingests between selection rounds.
+pub struct RoundDriver<'a> {
+    workload: &'a RecurringWorkload,
+    cluster_idx: usize,
+    next_instance: u64,
+}
+
+impl RoundDriver<'_> {
+    /// The instance the next round will run.
+    pub fn next_instance(&self) -> u64 {
+        self.next_instance
+    }
+
+    /// Registers the next instance's datasets into `storage` and returns
+    /// its job specs, advancing the cursor.
+    pub fn next_round(&mut self, storage: &StorageManager, row_scale: f64) -> Result<Vec<JobSpec>> {
+        let instance = self.next_instance;
+        self.workload
+            .register_instance_data(self.cluster_idx, instance, storage, row_scale)?;
+        let jobs = self
+            .workload
+            .jobs_for_instance(self.cluster_idx, instance)?;
+        self.next_instance += 1;
+        Ok(jobs)
+    }
 }
 
 fn generate_cluster(
