@@ -6,78 +6,17 @@
 //! The two files must describe the same bench (matching `"bench"` field);
 //! which metrics are gated is keyed off that name. Ratios and wall-time
 //! derived metrics are compared relatively (25% tolerance absorbs CI-runner
-//! noise); boolean gates must not flip from `true` to `false`. Metrics that
-//! only mean anything on multi-core hosts (fold/shard speedups) are skipped
+//! noise); boolean gates must not flip from `true` to `false`. A gated key
+//! that is missing, non-numeric, or NaN in either artifact fails the gate —
+//! see [`cloudviews_bench::gates`] for the exact rules. Metrics that only
+//! mean anything on multi-core hosts (fold/shard speedups) are skipped
 //! unless *both* artifacts report `multi_core_target_applicable` — a 1-core
 //! baseline cannot anchor a speedup comparison.
 
 use std::process::ExitCode;
 
+use cloudviews_bench::gates::{self, GateStatus, TOLERANCE};
 use cloudviews_bench::jsonlite::{parse, Value};
-
-/// Direction of improvement for a numeric gate.
-#[derive(Clone, Copy)]
-enum Better {
-    Higher,
-    Lower,
-}
-
-/// Allowed relative regression before the gate fails.
-const TOLERANCE: f64 = 0.25;
-
-struct Gate {
-    /// Dotted path into the artifact, e.g. `leak.bounded`.
-    path: &'static str,
-    better: Better,
-    /// Only compare when both artifacts flag multi-core applicability.
-    multi_core_only: bool,
-}
-
-fn numeric_gates(bench: &str) -> &'static [Gate] {
-    match bench {
-        "metadata_scale" => &[
-            Gate {
-                path: "single_thread_ratio",
-                better: Better::Higher,
-                multi_core_only: false,
-            },
-            Gate {
-                path: "speedup_at_4_threads",
-                better: Better::Higher,
-                multi_core_only: true,
-            },
-        ],
-        "analyzer_scale" => &[
-            Gate {
-                path: "incremental_ratio",
-                better: Better::Lower,
-                multi_core_only: false,
-            },
-            Gate {
-                path: "speedup_at_4_threads",
-                better: Better::Higher,
-                multi_core_only: true,
-            },
-        ],
-        _ => &[],
-    }
-}
-
-fn bool_gates(bench: &str) -> &'static [&'static str] {
-    match bench {
-        "metadata_scale" => &["single_thread_within_10pct", "leak.bounded"],
-        "analyzer_scale" => &[
-            "meets_25pct_target",
-            "incremental_matches_full",
-            "parallel_matches_serial",
-        ],
-        _ => &[],
-    }
-}
-
-fn lookup<'a>(root: &'a Value, path: &str) -> Option<&'a Value> {
-    path.split('.').try_fold(root, |v, key| v.get(key))
-}
 
 fn load(path: &str) -> Result<Value, String> {
     let text =
@@ -104,74 +43,21 @@ fn run() -> Result<bool, String> {
             "bench mismatch: baseline is {bench:?}, fresh is {fresh_bench:?}"
         ));
     }
-    if numeric_gates(&bench).is_empty() && bool_gates(&bench).is_empty() {
+
+    let results = gates::evaluate(&bench, &baseline, &fresh);
+    if results.is_empty() {
         println!("bench_diff[{bench}]: no gated metrics for this bench, nothing to compare");
         return Ok(true);
     }
-
-    let multi_core = |v: &Value| {
-        lookup(v, "multi_core_target_applicable")
-            .and_then(Value::as_bool)
-            .unwrap_or(false)
-    };
-    let both_multi_core = multi_core(&baseline) && multi_core(&fresh);
-
-    let mut ok = true;
-    for gate in numeric_gates(&bench) {
-        if gate.multi_core_only && !both_multi_core {
-            println!(
-                "bench_diff[{bench}] {:<28} SKIP (multi-core gate, not applicable on both runs)",
-                gate.path
-            );
-            continue;
-        }
-        let base = lookup(&baseline, gate.path).and_then(Value::as_f64);
-        let new = lookup(&fresh, gate.path).and_then(Value::as_f64);
-        let (Some(base), Some(new)) = (base, new) else {
-            println!(
-                "bench_diff[{bench}] {:<28} FAIL (metric missing)",
-                gate.path
-            );
-            ok = false;
-            continue;
+    for r in &results {
+        let status = match r.status {
+            GateStatus::Pass => "ok  ",
+            GateStatus::Skip => "SKIP",
+            GateStatus::Fail => "FAIL",
         };
-        // Relative change in the direction of "worse"; zero baselines
-        // cannot regress relatively.
-        let regression = if base.abs() < f64::EPSILON {
-            0.0
-        } else {
-            match gate.better {
-                Better::Higher => (base - new) / base,
-                Better::Lower => (new - base) / base,
-            }
-        };
-        let pass = regression <= TOLERANCE;
-        println!(
-            "bench_diff[{bench}] {:<28} {}  baseline={base:.3} fresh={new:.3} regression={:+.1}%",
-            gate.path,
-            if pass { "ok  " } else { "FAIL" },
-            regression * 100.0,
-        );
-        ok &= pass;
+        println!("bench_diff[{bench}] {:<28} {status}  {}", r.path, r.detail);
     }
-
-    for path in bool_gates(&bench) {
-        let base = lookup(&baseline, path).and_then(Value::as_bool);
-        let new = lookup(&fresh, path).and_then(Value::as_bool);
-        // A gate the baseline never met (e.g. recorded on a 1-core host)
-        // cannot regress; it only binds once a baseline achieved it.
-        let pass = match (base, new) {
-            (Some(true), got) => got == Some(true),
-            (Some(false) | None, _) => true,
-        };
-        println!(
-            "bench_diff[{bench}] {path:<28} {}  baseline={base:?} fresh={new:?}",
-            if pass { "ok  " } else { "FAIL" },
-        );
-        ok &= pass;
-    }
-
-    Ok(ok)
+    Ok(results.iter().all(|r| r.passed()))
 }
 
 fn main() -> ExitCode {
@@ -179,7 +65,7 @@ fn main() -> ExitCode {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!(
-                "bench_diff: gated metric regressed beyond {:.0}%",
+                "bench_diff: a gated metric regressed beyond {:.0}% or was malformed",
                 TOLERANCE * 100.0
             );
             ExitCode::FAILURE

@@ -26,5 +26,6 @@
 
 pub mod compile_only;
 pub mod experiments;
+pub mod gates;
 pub mod jsonlite;
 pub mod prod32;

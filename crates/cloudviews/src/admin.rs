@@ -327,6 +327,14 @@ pub fn telemetry_dashboard(service: &CloudViews) -> String {
         snap.gauge("cv_metadata_build_locks"),
         snap.counter("cv_metadata_purged_annotations_total"),
     ));
+    let tier_ms = |name: &str| snap.histogram(name).map(|h| h.mean() / 1e3).unwrap_or(0.0);
+    out.push_str(&format!(
+        "cascade: tier2_hits={} tier2_rejects={} mean_tier1={:.1}ms mean_tier2={:.1}ms\n",
+        snap.counter("cv_metadata_tier2_hits_total"),
+        snap.counter("cv_metadata_tier2_rejects_total"),
+        tier_ms("cv_metadata_lookup_tier1_sim_micros"),
+        tier_ms("cv_metadata_lookup_tier2_sim_micros"),
+    ));
     out.push_str(&format!(
         "storage: published={} written={}B read={}B checksum_failures={} \
          purged={}B live={}B\n",
@@ -553,6 +561,8 @@ mod tests {
         assert!(text.contains("mean_lookup="), "{text}");
         assert!(text.contains("metadata: shards=16"), "{text}");
         assert!(text.contains("purged_annotations="), "{text}");
+        assert!(text.contains("cascade: tier2_hits="), "{text}");
+        assert!(text.contains("mean_tier1="), "{text}");
         assert!(text.contains("storage: published="), "{text}");
         assert!(text.contains("# TYPE cv_jobs_total counter"), "{text}");
         assert!(text.contains("cv_job_latency_sim_micros_count"), "{text}");

@@ -17,21 +17,25 @@
 //! and each job runs under `catch_unwind` so one pathological job cannot
 //! take down the driver or its siblings.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 
 use scope_common::hash::Sig128;
-use scope_common::ids::JobId;
+use scope_common::ids::{JobId, NodeId};
 use scope_common::time::{SimDuration, SimTime};
 use scope_common::{Result, ScopeError};
 use scope_engine::data::multiset_checksum;
 use scope_engine::exec::{execute_plan, ExecOutcome};
 use scope_engine::job::{materialize_marked_views, JobSpec};
-use scope_engine::optimizer::{optimize_with_infos, Annotation, OptimizedPlan, OptimizerConfig};
+use scope_engine::optimizer::{
+    optimize_with_cascade, optimize_with_infos, Annotation, OptimizedPlan, OptimizerConfig,
+    SubsumedView,
+};
 use scope_engine::repo::JobIdentity;
 use scope_engine::sim::{simulate, SimOutcome};
-use scope_signature::CompiledJob;
+use scope_plan::QueryGraph;
+use scope_signature::{CompiledJob, SubgraphInfo, SubsumeDescriptor};
 
 use crate::faults::FaultSite;
 use crate::metadata::MetadataService;
@@ -64,7 +68,9 @@ impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
         job: JobId,
         lock_ttl: SimDuration,
     ) -> bool {
-        match self.svc.propose(precise, job, lock_ttl) {
+        // Pinned like `view_available`: lock expiry is judged at this job's
+        // submission time, not the live clock (which peers advance mid-wave).
+        match self.svc.propose_at(precise, job, lock_ttl, self.now) {
             Ok(outcome) => outcome == crate::metadata::LockOutcome::Acquired,
             Err(_) => {
                 self.propose_faults.set(self.propose_faults.get() + 1);
@@ -94,6 +100,7 @@ pub(crate) struct AttemptCtx<'a> {
     pinned: PinnedServices<'a>,
     opt_config: OptimizerConfig,
     annotations: Vec<Annotation>,
+    tier2: Vec<SubsumedView>,
     lookup_latency: SimDuration,
     plan: Option<OptimizedPlan>,
     exec: Option<ExecOutcome>,
@@ -164,13 +171,28 @@ impl Stage for LookupStage {
         cv: &CloudViews,
         ctx: &mut AttemptCtx<'_>,
     ) -> std::result::Result<(), AttemptFailure> {
-        let (annotations, lookup_latency) = match ctx.mode {
-            RunMode::Baseline => (Vec::new(), SimDuration::ZERO),
+        let (annotations, tier2, lookup_latency) = match ctx.mode {
+            RunMode::Baseline => (Vec::new(), Vec::new(), SimDuration::ZERO),
             RunMode::CloudViews => {
-                cv.lookup_with_retry(ctx.spec.id, &ctx.compiled.tags, ctx.faults)
+                // Subsumption probes are per-instance (they embed concrete
+                // predicate and parameter values), so they are computed
+                // fresh here and never cached in the template.
+                let probes = if cv.subsumption {
+                    subsume_probes(&ctx.spec.graph, &ctx.compiled.infos)
+                } else {
+                    Vec::new()
+                };
+                cv.lookup_with_retry(
+                    ctx.spec.id,
+                    &ctx.compiled.tags,
+                    &probes,
+                    ctx.start,
+                    ctx.faults,
+                )
             }
         };
         ctx.annotations = annotations;
+        ctx.tier2 = tier2;
         ctx.lookup_latency = lookup_latency;
         ctx.cursor = ctx.start + lookup_latency;
         Ok(())
@@ -193,10 +215,11 @@ impl Stage for OptimizeStage {
         ctx: &mut AttemptCtx<'_>,
     ) -> std::result::Result<(), AttemptFailure> {
         let _ = cv;
-        let plan = optimize_with_infos(
+        let plan = optimize_with_cascade(
             &ctx.spec.graph,
             &ctx.compiled.infos,
             &ctx.annotations,
+            &ctx.tier2,
             &ctx.pinned,
             &ctx.opt_config,
             ctx.spec.id,
@@ -338,9 +361,21 @@ impl Stage for PublishStage {
             if let Some(inj) = &cv.faults {
                 inj.apply_view_fate(&cv.storage, precise, ctx.spec.id);
             }
+            // The view-side descriptor comes from the *original* logical
+            // plan: even when this root was itself compensated by a tier-2
+            // rewrite, the materialized bytes equal the original subgraph's
+            // output, which is exactly what the descriptor describes.
+            let descriptor = view_descriptor(&ctx.spec.graph, &ctx.compiled.infos, precise);
             if cv
                 .metadata
-                .report_materialized(view, normalized, ctx.spec.id, available_at, expires_at)
+                .report_materialized_with_descriptor(
+                    view,
+                    normalized,
+                    ctx.spec.id,
+                    available_at,
+                    expires_at,
+                    descriptor,
+                )
                 .is_err()
             {
                 // Lost report: the file is orphaned (never visible) and the
@@ -398,6 +433,43 @@ impl Stage for RecordStage {
     }
 }
 
+/// Query-side subsumption probes: one descriptor per tier-2-eligible unary
+/// root of the job's logical plan. Descriptors embed per-instance values
+/// (predicate constants, parameter bindings), so they are computed per
+/// attempt from the concrete plan — never cached in the template.
+fn subsume_probes(graph: &QueryGraph, infos: &[SubgraphInfo]) -> Vec<SubsumeDescriptor> {
+    let precise_of: HashMap<NodeId, Sig128> = infos.iter().map(|i| (i.root, i.precise)).collect();
+    infos
+        .iter()
+        .filter_map(|info| {
+            let node = graph.node(info.root).ok()?;
+            let child = match node.children.as_slice() {
+                [c] => *c,
+                _ => return None,
+            };
+            SubsumeDescriptor::of(graph, info.root, *precise_of.get(&child)?)
+        })
+        .collect()
+}
+
+/// View-side descriptor for a freshly built view whose subgraph root has
+/// precise signature `precise` in the job's original logical plan. `None`
+/// (non-unary or otherwise ineligible root) keeps the view tier-1-only.
+fn view_descriptor(
+    graph: &QueryGraph,
+    infos: &[SubgraphInfo],
+    precise: Sig128,
+) -> Option<SubsumeDescriptor> {
+    let info = infos.iter().find(|i| i.precise == precise)?;
+    let node = graph.node(info.root).ok()?;
+    let child = match node.children.as_slice() {
+        [c] => *c,
+        _ => return None,
+    };
+    let child_precise = infos.iter().find(|i| i.root == child)?.precise;
+    SubsumeDescriptor::of(graph, info.root, child_precise)
+}
+
 /// The pipeline, in order. Adding a stage here adds its child span to every
 /// job's trace — keep DESIGN.md §9's stage table in sync.
 const STAGES: [&dyn Stage; 5] = [
@@ -443,9 +515,11 @@ pub(crate) fn run_attempt(
             max_materialize_per_job: cv.max_materialize_per_job,
             enable_reuse: mode == RunMode::CloudViews,
             enable_materialize: mode == RunMode::CloudViews,
+            enable_subsumption: cv.subsumption,
             ..Default::default()
         },
         annotations: Vec::new(),
+        tier2: Vec::new(),
         lookup_latency: SimDuration::ZERO,
         plan: None,
         exec: None,
@@ -482,6 +556,15 @@ pub struct PipelineOptions {
 }
 
 /// Counting semaphore (permits + condvar) bounding jobs in flight.
+///
+/// Poisoning is *recovered*, never propagated: the permit counter is a bare
+/// `usize` whose guarded sections cannot themselves panic, so a poisoned
+/// mutex (some thread panicked with the lock held — e.g. a pathological job
+/// unwinding through the pool) leaves the count intact. Propagating the
+/// poison instead would panic inside [`Permit::drop`] during that unwind —
+/// aborting the process — or kill every waiter in `acquire`, leaking the
+/// crashed job's permit and silently shrinking the admission bound for the
+/// rest of the batch.
 struct Admission {
     permits: Mutex<usize>,
     freed: Condvar,
@@ -500,10 +583,16 @@ impl Admission {
     /// Blocks until a permit is free; `waited` reports whether admission
     /// control actually held the job back.
     fn acquire(&self) -> (Permit<'_>, bool) {
-        let mut permits = self.permits.lock().expect("admission lock poisoned");
+        let mut permits = self
+            .permits
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let waited = *permits == 0;
         while *permits == 0 {
-            permits = self.freed.wait(permits).expect("admission lock poisoned");
+            permits = self
+                .freed
+                .wait(permits)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         *permits -= 1;
         (Permit(self), waited)
@@ -512,7 +601,11 @@ impl Admission {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        *self.0.permits.lock().expect("admission lock poisoned") += 1;
+        *self
+            .0
+            .permits
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) += 1;
         self.0.freed.notify_one();
     }
 }

@@ -297,6 +297,9 @@ pub struct CloudViews {
     pub max_materialize_per_job: usize,
     /// Publish views at stage completion (true) or job completion (false).
     pub early_materialization: bool,
+    /// Tier-2 subsumption matching in the lookup/optimize cascade (on by
+    /// default; tier-1 exact matching is unaffected).
+    pub subsumption: bool,
     /// Record runs into the repository.
     pub record_runs: bool,
     /// How to absorb failures (see DESIGN.md "Fault tolerance & degradation").
@@ -342,6 +345,7 @@ pub struct CloudViewsBuilder {
     cluster: ClusterConfig,
     max_materialize_per_job: usize,
     early_materialization: bool,
+    subsumption: bool,
     record_runs: bool,
     degradation: DegradationPolicy,
     fault_plan: Option<FaultPlan>,
@@ -364,6 +368,7 @@ impl CloudViewsBuilder {
             cluster: ClusterConfig::default(),
             max_materialize_per_job: 1,
             early_materialization: true,
+            subsumption: true,
             record_runs: true,
             degradation: DegradationPolicy::default(),
             fault_plan: None,
@@ -422,6 +427,12 @@ impl CloudViewsBuilder {
     /// Record runs into the workload repository.
     pub fn record_runs(mut self, record: bool) -> Self {
         self.record_runs = record;
+        self
+    }
+
+    /// Toggle tier-2 subsumption matching (exact-only ablation when off).
+    pub fn subsumption(mut self, enabled: bool) -> Self {
+        self.subsumption = enabled;
         self
     }
 
@@ -513,6 +524,7 @@ impl CloudViewsBuilder {
             cluster: self.cluster,
             max_materialize_per_job: self.max_materialize_per_job,
             early_materialization: self.early_materialization,
+            subsumption: self.subsumption,
             record_runs: self.record_runs,
             degradation: self.degradation,
             faults,
@@ -745,20 +757,26 @@ impl CloudViews {
         }
     }
 
-    /// The per-job annotation lookup with bounded retry. A timed-out call
-    /// still pays the modeled lookup latency, plus backoff before each
-    /// retry; exhausted retries degrade to the baseline plan (no
-    /// annotations).
+    /// The per-job cascade lookup with bounded retry, pinned to the job's
+    /// submission time `at`. A timed-out call still pays the modeled lookup
+    /// latency, plus backoff before each retry; exhausted retries degrade to
+    /// the baseline plan (no annotations, no tier-2 candidates).
     pub(crate) fn lookup_with_retry(
         &self,
         job: JobId,
         tags: &[Symbol],
+        probes: &[scope_signature::SubsumeDescriptor],
+        at: SimTime,
         faults: &mut JobFaultReport,
-    ) -> (Vec<scope_engine::optimizer::Annotation>, SimDuration) {
+    ) -> (
+        Vec<scope_engine::optimizer::Annotation>,
+        Vec<scope_engine::optimizer::SubsumedView>,
+        SimDuration,
+    ) {
         let mut latency = SimDuration::ZERO;
         for attempt in 0..=self.degradation.lookup_retries {
-            match self.metadata.relevant_views_for(job, tags) {
-                Ok(resp) => return (resp.annotations, latency + resp.latency),
+            match self.metadata.relevant_views_for_at(job, tags, probes, at) {
+                Ok(resp) => return (resp.annotations, resp.tier2, latency + resp.latency),
                 Err(_) => {
                     faults.lookup_faults += 1;
                     latency += self.metadata.lookup_latency();
@@ -772,7 +790,7 @@ impl CloudViews {
             }
         }
         faults.fell_back_to_baseline = true;
-        (Vec::new(), latency)
+        (Vec::new(), Vec::new(), latency)
     }
 
     /// Records per-stage vertex counts and token occupancy from one job's

@@ -35,7 +35,9 @@ use scope_common::time::SimDuration;
 use scope_common::{Result, ScopeError};
 use scope_plan::op::AggImpl;
 use scope_plan::{JoinImpl, Operator, Partitioning, PhysicalProps, QueryGraph, SortOrder};
-use scope_signature::{enumerate_subgraphs, SubgraphInfo};
+use scope_signature::{
+    enumerate_subgraphs, rollup_safe_for_rows, Compensation, SubgraphInfo, SubsumeDescriptor,
+};
 
 /// A materialized view the metadata service reports as available.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,6 +50,25 @@ pub struct AvailableView {
     pub bytes: u64,
     /// Stored physical design.
     pub props: PhysicalProps,
+}
+
+/// A tier-2 candidate delivered by the metadata service's cascade lookup: a
+/// live materialized view plus the subsumption descriptor of the subgraph it
+/// materialized. The optimizer decides per query root whether the candidate
+/// subsumes it and what compensation (residual filter, re-projection, or
+/// rollup aggregate) bridges the gap.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubsumedView {
+    /// The view itself (signature, stored size, physical design).
+    pub view: AvailableView,
+    /// Normalized signature of the view's template (provenance).
+    pub normalized: Sig128,
+    /// Descriptor of the materialized root (kind, child signature, feature
+    /// bitsets, output schema, and the detail needed for full checks).
+    pub descriptor: SubsumeDescriptor,
+    /// Mined average CPU of recomputing the view's subgraph — the tier-2
+    /// recompute proxy when the query's own template is unannotated.
+    pub avg_cpu: SimDuration,
 }
 
 /// One annotation delivered by the CloudViews analyzer via the metadata
@@ -126,6 +147,9 @@ pub struct OptimizerConfig {
     /// When false, skip the read-vs-recompute cost check and always accept a
     /// matching view (ablation knob).
     pub cost_based_reuse: bool,
+    /// Enable tier-2 subsumption matching (the cascade's semantic tier).
+    /// Tier-1 exact matching is unaffected by this knob.
+    pub enable_subsumption: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -137,6 +161,7 @@ impl Default for OptimizerConfig {
             enable_materialize: true,
             offline_mode: false,
             cost_based_reuse: true,
+            enable_subsumption: true,
         }
     }
 }
@@ -178,8 +203,11 @@ pub struct OptimizerReport {
     pub annotations: usize,
     /// Subgraphs whose normalized signature matched an annotation.
     pub normalized_matches: usize,
-    /// Views reused.
+    /// Views reused (tier-1 exact plus tier-2 subsumption).
     pub views_reused: usize,
+    /// Of `views_reused`, how many came from tier-2 subsumption matches
+    /// (a compensated rewrite rather than an exact signature hit).
+    pub tier2_reused: usize,
     /// Views this job will materialize.
     pub views_materialized: usize,
     /// Nodes in the logical plan before rewriting.
@@ -238,6 +266,29 @@ pub fn optimize_with_infos(
     config: &OptimizerConfig,
     job: JobId,
 ) -> Result<OptimizedPlan> {
+    optimize_with_cascade(logical, infos, annotations, &[], services, config, job)
+}
+
+/// [`optimize_with_infos`] plus the tier-2 half of the matching cascade.
+///
+/// `tier2` carries the subsumption candidates the metadata service's cascade
+/// lookup returned: live views whose feature vectors survived the cheap
+/// compatibility gate against this job's probes. For every subgraph root the
+/// exact tier leaves uncovered, the optimizer runs the full subsumption check
+/// and — when a candidate serves the root at lower cost than recomputing —
+/// replaces the root's *child* with a [`Operator::ViewGet`] of the candidate
+/// and rewrites the root into the compensation operator (residual filter,
+/// re-projection, or rollup aggregate).
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_with_cascade(
+    logical: &QueryGraph,
+    infos: &[SubgraphInfo],
+    annotations: &[Annotation],
+    tier2: &[SubsumedView],
+    services: &dyn ViewServices,
+    config: &OptimizerConfig,
+    job: JobId,
+) -> Result<OptimizedPlan> {
     let start = std::time::Instant::now();
     logical.validate()?;
     let by_normalized: HashMap<Sig128, &Annotation> =
@@ -254,6 +305,22 @@ pub fn optimize_with_infos(
     let mut replaced: Vec<bool> = vec![false; logical.len()];
     let mut reuse_sigs: Vec<(NodeId, Sig128, Sig128, SimDuration)> = Vec::new();
     if config.enable_reuse {
+        let use_tier2 = config.enable_subsumption && !tier2.is_empty();
+        let parent_map = if use_tier2 {
+            logical.parents()
+        } else {
+            HashMap::new()
+        };
+        let precise_of: HashMap<NodeId, Sig128> = if use_tier2 {
+            infos.iter().map(|i| (i.root, i.precise)).collect()
+        } else {
+            HashMap::new()
+        };
+        // Cheapest-to-read candidates first, so the first acceptable
+        // candidate is also the one the cost model likes best.
+        let mut tier2_sorted: Vec<&SubsumedView> = tier2.iter().collect();
+        tier2_sorted.sort_by_key(|c| c.view.rows);
+
         let mut order: Vec<&SubgraphInfo> = infos.iter().collect();
         order.sort_by_key(|info| std::cmp::Reverse(info.num_nodes));
         for info in order {
@@ -264,40 +331,122 @@ pub fn optimize_with_infos(
             if matches!(working.node(info.root)?.op, Operator::Output { .. }) {
                 continue;
             }
-            let Some(annotation) = by_normalized.get(&info.normalized) else {
+            // Tier 1: exact precise-signature match.
+            let mut exact_hit = false;
+            if let Some(annotation) = by_normalized.get(&info.normalized) {
+                report.normalized_matches += 1;
+                if let Some(view) = services.view_available(info.precise) {
+                    // Cost-based acceptance using mined statistics: reading
+                    // must be cheaper than recomputing (plus a repartition
+                    // penalty when the stored design does not line up with
+                    // what the consumer needs).
+                    if !config.cost_based_reuse || view_read_cost(&view) < annotation.avg_cpu {
+                        let schema = working.schema_of(info.root)?;
+                        let savings = annotation.avg_cpu;
+                        working.replace_with_leaf(
+                            info.root,
+                            Operator::ViewGet {
+                                view_sig: view.precise,
+                                schema,
+                                props: view.props.clone(),
+                            },
+                        )?;
+                        // Mark the whole old subtree as gone.
+                        for id in logical.subgraph_nodes(info.root)? {
+                            if id != info.root {
+                                replaced[id.index()] = true;
+                            }
+                        }
+                        reuse_sigs.push((info.root, view.precise, info.normalized, savings));
+                        report.views_reused += 1;
+                        exact_hit = true;
+                    }
+                }
+            }
+            if exact_hit || !use_tier2 {
+                continue;
+            }
+            // Tier 2: subsumption. The root must be a unary Filter/Project/
+            // Aggregate whose child subgraph is still intact and feeds no
+            // other consumer (a shared child still has to produce its full
+            // output for the other parents).
+            let children = working.node(info.root)?.children.clone();
+            if children.len() != 1 {
+                continue;
+            }
+            let child = children[0];
+            if replaced[child.index()]
+                || matches!(working.node(child)?.op, Operator::ViewGet { .. })
+                || parent_map.get(&child).map(Vec::len) != Some(1)
+            {
+                continue;
+            }
+            let Some(&child_precise) = precise_of.get(&child) else {
                 continue;
             };
-            report.normalized_matches += 1;
-            let Some(view) = services.view_available(info.precise) else {
+            let Some(qdesc) = SubsumeDescriptor::of(&working, info.root, child_precise) else {
                 continue;
             };
-            // Cost-based acceptance using mined statistics: reading must be
-            // cheaper than recomputing (plus a repartition penalty when the
-            // stored design does not line up with what the consumer needs).
-            if config.cost_based_reuse {
-                let read_cost = view_read_cost(&view);
-                if read_cost >= annotation.avg_cpu {
+            let recompute = by_normalized.get(&info.normalized).map(|a| a.avg_cpu);
+            for &cand in &tier2_sorted {
+                if cand.view.precise == info.precise {
+                    // The exact view of this very root: tier-1 territory
+                    // (reuse of unannotated templates stays annotation-driven).
                     continue;
                 }
-            }
-            let schema = working.schema_of(info.root)?;
-            let savings = annotation.avg_cpu;
-            working.replace_with_leaf(
-                info.root,
-                Operator::ViewGet {
-                    view_sig: view.precise,
-                    schema,
-                    props: view.props.clone(),
-                },
-            )?;
-            // Mark the whole old subtree as gone.
-            for id in logical.subgraph_nodes(info.root)? {
-                if id != info.root {
+                let Some(comp) = SubsumeDescriptor::subsumes(&qdesc, &cand.descriptor) else {
+                    continue;
+                };
+                if !rollup_safe_for_rows(&comp, cand.view.rows) {
+                    continue;
+                }
+                // Recompute proxy: prefer the query template's own mined
+                // cost; fall back to the candidate view's mined cost.
+                let recompute = recompute.unwrap_or(cand.avg_cpu);
+                if config.cost_based_reuse
+                    && view_read_cost(&cand.view) + compensation_cost(&comp, cand.view.rows)
+                        >= recompute
+                {
+                    continue;
+                }
+                working.replace_with_leaf(
+                    child,
+                    Operator::ViewGet {
+                        view_sig: cand.view.precise,
+                        schema: cand.descriptor.schema.clone(),
+                        props: cand.view.props.clone(),
+                    },
+                )?;
+                match comp {
+                    // View rows ⊇ query rows; the query's own filter
+                    // re-applies verbatim over the view's (identical) schema.
+                    Compensation::Residual => {}
+                    Compensation::Reproject { exprs } => {
+                        working.node_mut(info.root)?.op = Operator::Project { exprs };
+                    }
+                    Compensation::Rollup { keys, aggs } => {
+                        let implementation = match &working.node(info.root)?.op {
+                            Operator::Aggregate { implementation, .. } => *implementation,
+                            _ => AggImpl::Hash,
+                        };
+                        working.node_mut(info.root)?.op = Operator::Aggregate {
+                            keys,
+                            aggs,
+                            implementation,
+                        };
+                    }
+                }
+                // The child subtree is gone; the (rewritten) root survives,
+                // so phase 3 may still materialize its exact view from the
+                // compensated — and result-identical — plan.
+                for id in logical.subgraph_nodes(child)? {
                     replaced[id.index()] = true;
                 }
+                reuse_sigs.push((child, cand.view.precise, cand.normalized, recompute));
+                report.views_reused += 1;
+                report.tier2_reused += 1;
+                break;
             }
-            reuse_sigs.push((info.root, view.precise, info.normalized, savings));
-            report.views_reused += 1;
         }
     }
 
@@ -442,6 +591,17 @@ pub fn optimize_with_infos(
 fn view_read_cost(view: &AvailableView) -> SimDuration {
     let us = view.rows as f64 * 0.2 + view.bytes as f64 / 1024.0 * 2.5;
     SimDuration::from_micros(us.round() as u64)
+}
+
+/// Estimated CPU of running a compensation operator over the view's stored
+/// rows: stream weight for residual filters and re-projections, hash-agg
+/// weight for rollups (mirrors `CostModel::op_cpu`).
+fn compensation_cost(comp: &Compensation, view_rows: u64) -> SimDuration {
+    let per_row = match comp {
+        Compensation::Residual | Compensation::Reproject { .. } => 0.2,
+        Compensation::Rollup { .. } => 1.2,
+    };
+    SimDuration::from_micros((view_rows as f64 * per_row).round() as u64)
 }
 
 /// Lowers a logical plan: selects implementations and inserts enforcers.
@@ -938,6 +1098,142 @@ mod tests {
             "mismatched view design must force extra repartitioning"
         );
         let _ = agg_node;
+    }
+
+    fn filter_graph(bound: i64, out: &str) -> QueryGraph {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t/<date>/x.ss", kv_schema());
+        let f = b.filter(s, Expr::col(1).ge(Expr::lit(bound)));
+        b.output(f, out).build().unwrap()
+    }
+
+    /// Builds a tier-2 candidate for the unary root `root` of `view_g`, as
+    /// the metadata service's cascade lookup would deliver it.
+    fn tier2_candidate(view_g: &QueryGraph, root: NodeId) -> SubsumedView {
+        let signed = sign_graph(view_g).unwrap();
+        let child = view_g.node(root).unwrap().children[0];
+        let descriptor = SubsumeDescriptor::of(view_g, root, signed.of(child).precise).unwrap();
+        SubsumedView {
+            view: AvailableView {
+                precise: signed.of(root).precise,
+                rows: 10,
+                bytes: 100,
+                props: PhysicalProps::any(),
+            },
+            normalized: signed.of(root).normalized,
+            descriptor,
+            avg_cpu: SimDuration::from_secs(10),
+        }
+    }
+
+    fn cascade(
+        g: &QueryGraph,
+        annotations: &[Annotation],
+        tier2: &[SubsumedView],
+        config: &OptimizerConfig,
+    ) -> OptimizedPlan {
+        let infos = enumerate_subgraphs(g).unwrap();
+        optimize_with_cascade(
+            g,
+            &infos,
+            annotations,
+            tier2,
+            &no_views(),
+            config,
+            JobId::new(7),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tier2_filter_subsumption_rewrites_child() {
+        // View filtered wider (v >= 0) serves a query filtered tighter
+        // (v >= 10): the scan child becomes a ViewGet, the query's own
+        // filter survives as the residual compensation.
+        let q = filter_graph(10, "o");
+        let v = filter_graph(0, "v");
+        let cand = tier2_candidate(&v, NodeId::new(1));
+        let plan = cascade(
+            &q,
+            &[],
+            std::slice::from_ref(&cand),
+            &OptimizerConfig::default(),
+        );
+        assert_eq!(plan.report.tier2_reused, 1);
+        assert_eq!(plan.report.views_reused, 1);
+        assert_eq!(plan.reused.len(), 1);
+        assert_eq!(plan.reused[0].precise, cand.view.precise);
+        let has = |pred: fn(&Operator) -> bool| plan.physical.nodes().iter().any(|n| pred(&n.op));
+        assert!(has(|op| matches!(op, Operator::Filter { .. })));
+        assert!(has(|op| matches!(op, Operator::ViewGet { .. })));
+        assert!(!has(|op| matches!(op, Operator::Get { .. })));
+
+        // The wrong direction must not match: a tighter view cannot serve a
+        // wider query.
+        let plan = cascade(
+            &filter_graph(0, "o"),
+            &[],
+            &[tier2_candidate(&filter_graph(10, "v"), NodeId::new(1))],
+            &OptimizerConfig::default(),
+        );
+        assert_eq!(plan.report.tier2_reused, 0);
+    }
+
+    #[test]
+    fn tier2_rollup_rewrites_aggregate() {
+        // View grouped by (k, v) rolls up to the query's group-by (k); the
+        // query's Count over raw rows becomes a Sum over the view's counts.
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t/<date>/x.ss", kv_schema());
+        let a = b.aggregate(s, vec![0, 1], vec![AggExpr::new("n", AggFunc::Count, 1)]);
+        let v = b.output(a, "v").build().unwrap();
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(DatasetId::new(1), "t/<date>/x.ss", kv_schema());
+        let a = b.aggregate(s, vec![0], vec![AggExpr::new("n", AggFunc::Count, 1)]);
+        let q = b.output(a, "o").build().unwrap();
+        let cand = tier2_candidate(&v, NodeId::new(1));
+        let plan = cascade(&q, &[], &[cand], &OptimizerConfig::default());
+        assert_eq!(plan.report.tier2_reused, 1);
+        let rollup = plan
+            .physical
+            .nodes()
+            .iter()
+            .find_map(|n| match &n.op {
+                Operator::Aggregate { keys, aggs, .. } => Some((keys.clone(), aggs.clone())),
+                _ => None,
+            })
+            .expect("compensation aggregate survives lowering");
+        assert_eq!(rollup.0, vec![0]);
+        assert_eq!(rollup.1.len(), 1);
+        assert_eq!(rollup.1[0].func, AggFunc::Sum);
+        assert_eq!(rollup.1[0].name, "n");
+        assert_eq!(rollup.1[0].input, 2, "sums the view's count column");
+    }
+
+    #[test]
+    fn tier2_respects_cost_gate_and_knob() {
+        let q = filter_graph(10, "o");
+        let v = filter_graph(0, "v");
+        // Huge view, cheap recompute: the cost gate declines.
+        let mut cand = tier2_candidate(&v, NodeId::new(1));
+        cand.view.rows = 10_000_000;
+        cand.view.bytes = 1 << 32;
+        cand.avg_cpu = SimDuration::from_micros(1);
+        let plan = cascade(&q, &[], &[cand], &OptimizerConfig::default());
+        assert_eq!(plan.report.tier2_reused, 0);
+        // Knob off: no tier-2 even for a perfectly good candidate.
+        let cand = tier2_candidate(&v, NodeId::new(1));
+        let plan = cascade(
+            &q,
+            &[],
+            &[cand],
+            &OptimizerConfig {
+                enable_subsumption: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plan.report.tier2_reused, 0);
+        assert_eq!(plan.report.views_reused, 0);
     }
 
     #[test]

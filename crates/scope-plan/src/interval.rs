@@ -1,0 +1,272 @@
+//! Per-column interval extraction from filter predicates.
+//!
+//! The subsumption cascade (ISSUE 6, GEqO-style tier-2 matching) needs to
+//! decide whether one filter predicate *implies* another — e.g. a view
+//! filtered on `date >= X` serves any query asking for a tighter range.
+//! Full predicate implication is undecidable in general, so this module
+//! implements the sound, conservative fragment that covers the recurring
+//! date/range predicates of the paper's workloads:
+//!
+//! * a predicate is **eligible** when it is a conjunction (`AND` tree) of
+//!   comparisons between a column and a constant (`Lit` or the bound value
+//!   of a `RecurringParam`), with operators `=`, `<`, `<=`, `>`, `>=`;
+//! * each eligible predicate abstracts to one [`Interval`] per referenced
+//!   column; everything else (disjunctions, `!=`, arithmetic, functions,
+//!   column-column comparisons) makes extraction return `None` and the
+//!   caller must fall back to exact matching.
+//!
+//! Comparisons use [`Value`]'s total order — the same order
+//! `Expr::eval` uses for comparison operators, so the abstraction agrees
+//! with execution semantics. NULL handling is inherited: a NULL column makes
+//! every conjunct non-true, so a row with NULL in any constrained column is
+//! dropped by *both* predicates whenever [`implies`] holds (the implied
+//! predicate's columns are a subset of the implying one's).
+
+use std::collections::BTreeMap;
+
+use crate::expr::{BinOp, Expr};
+use crate::types::Value;
+
+/// A one-dimensional interval over [`Value`]'s total order. `None` bounds
+/// are unbounded; the `bool` is `true` for an inclusive endpoint.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Interval {
+    /// Lower bound (value, inclusive).
+    pub lo: Option<(Value, bool)>,
+    /// Upper bound (value, inclusive).
+    pub hi: Option<(Value, bool)>,
+}
+
+impl Interval {
+    /// The unbounded interval.
+    pub fn all() -> Interval {
+        Interval::default()
+    }
+
+    /// Tightens the lower bound to at least `(v, incl)`.
+    fn meet_lo(&mut self, v: Value, incl: bool) {
+        let tighter = match &self.lo {
+            None => true,
+            Some((cur, cur_incl)) => v > *cur || (v == *cur && *cur_incl && !incl),
+        };
+        if tighter {
+            self.lo = Some((v, incl));
+        }
+    }
+
+    /// Tightens the upper bound to at most `(v, incl)`.
+    fn meet_hi(&mut self, v: Value, incl: bool) {
+        let tighter = match &self.hi {
+            None => true,
+            Some((cur, cur_incl)) => v < *cur || (v == *cur && *cur_incl && !incl),
+        };
+        if tighter {
+            self.hi = Some((v, incl));
+        }
+    }
+
+    /// True when `self` contains every point of `other` (`other ⊆ self`).
+    pub fn contains(&self, other: &Interval) -> bool {
+        let lo_ok = match (&self.lo, &other.lo) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some((a, a_incl)), Some((b, b_incl))) => a < b || (a == b && (*a_incl || !*b_incl)),
+        };
+        let hi_ok = match (&self.hi, &other.hi) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some((a, a_incl)), Some((b, b_incl))) => a > b || (a == b && (*a_incl || !*b_incl)),
+        };
+        lo_ok && hi_ok
+    }
+}
+
+/// The per-column interval abstraction of a conjunctive predicate.
+pub type ColumnIntervals = BTreeMap<usize, Interval>;
+
+/// One side of an eligible comparison: which operand is the column.
+fn as_col_const(left: &Expr, right: &Expr) -> Option<(usize, Value, bool)> {
+    let constant = |e: &Expr| -> Option<Value> {
+        match e {
+            Expr::Lit(v) => Some(v.clone()),
+            Expr::RecurringParam { value, .. } => Some(value.clone()),
+            _ => None,
+        }
+    };
+    match (left, right) {
+        (Expr::Col(c), rhs) => constant(rhs).map(|v| (*c, v, false)),
+        (lhs, Expr::Col(c)) => constant(lhs).map(|v| (*c, v, true)),
+        _ => None,
+    }
+}
+
+/// Extracts the per-column intervals of a conjunctive comparison predicate,
+/// or `None` when any conjunct falls outside the eligible fragment.
+pub fn column_intervals(pred: &Expr) -> Option<ColumnIntervals> {
+    let mut out = ColumnIntervals::new();
+    collect(pred, &mut out).then_some(out)
+}
+
+fn collect(pred: &Expr, out: &mut ColumnIntervals) -> bool {
+    match pred {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => collect(left, out) && collect(right, out),
+        Expr::Binary { op, left, right } => {
+            let (col, v, flipped) = match as_col_const(left, right) {
+                Some(t) => t,
+                None => return false,
+            };
+            if v.is_null() {
+                // `col OP NULL` never evaluates true; refuse rather than
+                // model an empty interval.
+                return false;
+            }
+            // When the constant is on the left (`10 <= col`), mirror the
+            // operator so it reads `col >= 10`.
+            let op = if flipped { mirror(*op) } else { *op };
+            let iv = out.entry(col).or_default();
+            match op {
+                BinOp::Eq => {
+                    iv.meet_lo(v.clone(), true);
+                    iv.meet_hi(v, true);
+                }
+                BinOp::Lt => iv.meet_hi(v, false),
+                BinOp::Le => iv.meet_hi(v, true),
+                BinOp::Gt => iv.meet_lo(v, false),
+                BinOp::Ge => iv.meet_lo(v, true),
+                _ => return false,
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+fn mirror(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// True when predicate `q` (abstracted as `q_ivs`) implies predicate `v`
+/// (abstracted as `v_ivs`): every row satisfying `q` satisfies `v`, so a
+/// view filtered by `v` contains every row a query filtered by `q` needs.
+///
+/// Soundness requires every column `v` constrains to also be constrained by
+/// `q` with an interval `v` contains; columns only `q` constrains tighten
+/// the query further and are harmless.
+pub fn implies(q_ivs: &ColumnIntervals, v_ivs: &ColumnIntervals) -> bool {
+    v_ivs
+        .iter()
+        .all(|(col, v_iv)| q_ivs.get(col).is_some_and(|q_iv| v_iv.contains(q_iv)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn date(d: i32) -> Expr {
+        Expr::lit(Value::Date(d))
+    }
+
+    #[test]
+    fn simple_range_extraction() {
+        let p = Expr::col(2).ge(date(100)).and(Expr::col(2).lt(date(200)));
+        let ivs = column_intervals(&p).unwrap();
+        assert_eq!(ivs.len(), 1);
+        let iv = &ivs[&2];
+        assert_eq!(iv.lo, Some((Value::Date(100), true)));
+        assert_eq!(iv.hi, Some((Value::Date(200), false)));
+    }
+
+    #[test]
+    fn constant_on_left_mirrors() {
+        let p = Expr::Binary {
+            op: BinOp::Le,
+            left: Box::new(date(100)),
+            right: Box::new(Expr::col(0)),
+        };
+        let ivs = column_intervals(&p).unwrap();
+        assert_eq!(ivs[&0].lo, Some((Value::Date(100), true)));
+        assert_eq!(ivs[&0].hi, None);
+    }
+
+    #[test]
+    fn equality_pins_both_bounds() {
+        let p = Expr::col(1).eq(Expr::lit(7i64));
+        let ivs = column_intervals(&p).unwrap();
+        assert_eq!(ivs[&1].lo, Some((Value::Int(7), true)));
+        assert_eq!(ivs[&1].hi, Some((Value::Int(7), true)));
+    }
+
+    #[test]
+    fn recurring_param_uses_bound_value() {
+        let p = Expr::col(0).ge(Expr::param("@@start", Value::Date(42)));
+        let ivs = column_intervals(&p).unwrap();
+        assert_eq!(ivs[&0].lo, Some((Value::Date(42), true)));
+    }
+
+    #[test]
+    fn ineligible_shapes_reject() {
+        // Disjunction.
+        assert!(column_intervals(&Expr::col(0).ge(date(1)).or(Expr::col(0).lt(date(0)))).is_none());
+        // Not-equal.
+        let ne = Expr::Binary {
+            op: BinOp::Ne,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(date(1)),
+        };
+        assert!(column_intervals(&ne).is_none());
+        // Column-column comparison.
+        assert!(column_intervals(&Expr::col(0).lt(Expr::col(1))).is_none());
+        // Arithmetic operand.
+        assert!(column_intervals(&Expr::col(0).add(Expr::lit(1i64)).lt(date(9))).is_none());
+        // NULL constant.
+        assert!(column_intervals(&Expr::col(0).eq(Expr::lit(Value::Null))).is_none());
+    }
+
+    #[test]
+    fn repeated_conjuncts_intersect() {
+        let p = Expr::col(0)
+            .ge(date(10))
+            .and(Expr::col(0).ge(date(50)))
+            .and(Expr::col(0).gt(date(50)));
+        let ivs = column_intervals(&p).unwrap();
+        // Strict > at the same endpoint is tighter than >=.
+        assert_eq!(ivs[&0].lo, Some((Value::Date(50), false)));
+    }
+
+    #[test]
+    fn containment_and_implication() {
+        let wide = column_intervals(&Expr::col(0).ge(date(0))).unwrap();
+        let tight =
+            column_intervals(&Expr::col(0).ge(date(10)).and(Expr::col(0).lt(date(20)))).unwrap();
+        assert!(implies(&tight, &wide), "tight range implies wide range");
+        assert!(!implies(&wide, &tight));
+        // Same endpoints, inclusivity matters.
+        let ge = column_intervals(&Expr::col(0).ge(date(10))).unwrap();
+        let gt = column_intervals(&Expr::col(0).gt(date(10))).unwrap();
+        assert!(implies(&gt, &ge));
+        assert!(!implies(&ge, &gt));
+        // Extra query-side constraints are harmless.
+        let extra =
+            column_intervals(&Expr::col(0).ge(date(10)).and(Expr::col(1).eq(date(3)))).unwrap();
+        assert!(implies(&extra, &wide));
+        // View constrains a column the query leaves free: no implication.
+        let other_col = column_intervals(&Expr::col(9).ge(date(0))).unwrap();
+        assert!(!implies(&wide, &other_col));
+    }
+
+    #[test]
+    fn trivial_implication_of_empty_view_predicate() {
+        let q = column_intervals(&Expr::col(0).ge(date(10))).unwrap();
+        assert!(implies(&q, &ColumnIntervals::new()));
+    }
+}

@@ -11,6 +11,9 @@
 //!   [`expr::Expr::RecurringParam`], the plan-level marker for values that
 //!   change between recurring instances (dates, run ids) and that signature
 //!   normalization strips (paper Section 3).
+//! * [`interval`] — conservative per-column interval extraction from
+//!   conjunctive predicates, the foundation of the subsumption cascade's
+//!   predicate-containment checks.
 //! * [`udo`] — the synthetic library of deterministic user-defined operators
 //!   (processors, reducers, combiners) standing in for SCOPE's C# user code.
 //! * [`props`] — output physical properties (partitioning, sort order), the
@@ -24,6 +27,7 @@
 pub mod builder;
 pub mod expr;
 pub mod graph;
+pub mod interval;
 pub mod op;
 pub mod props;
 pub mod schema;
@@ -33,6 +37,7 @@ pub mod udo;
 pub use builder::PlanBuilder;
 pub use expr::{AggExpr, AggFunc, BinOp, Expr, NamedExpr, ScalarFunc, UnaryOp};
 pub use graph::{PlanNode, QueryGraph};
+pub use interval::{column_intervals, implies, ColumnIntervals, Interval};
 pub use op::{normalize_stream_name, normalize_stream_symbol};
 pub use op::{JoinImpl, JoinKind, OpKind, Operator, ScanKind};
 pub use props::{shared_props, Partitioning, PhysicalProps, SortDir, SortKey, SortOrder};

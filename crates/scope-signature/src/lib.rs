@@ -25,8 +25,12 @@
 
 pub mod enumerate;
 pub mod signature;
+pub mod subsume;
 pub mod template;
 
 pub use enumerate::{enumerate_subgraphs, enumerate_with_signed, job_tags, SubgraphInfo};
 pub use signature::{sign_graph, NodeSignatures, SignedGraph};
+pub use subsume::{
+    rollup_safe_for_rows, Compensation, SubsumeDescriptor, SubsumeDetail, SubsumeKind,
+};
 pub use template::{CompiledJob, TemplateCache, TemplateCacheStats};

@@ -495,6 +495,101 @@ fn run_many_under_chaos_preserves_outputs_and_build_once() {
     assert_locks_reclaimable(&cv, "run_many chaos");
 }
 
+/// ISSUE 6 satellite 2 — admission permits survive panicking jobs. Jobs
+/// whose execution genuinely panics inside the worker (a group key past
+/// the physical row width trips an index panic in the aggregate) must
+/// not leak counting-semaphore permits: with `max_in_flight` *below* the
+/// panic count, a single leaked permit per panic would strangle the pool
+/// to zero concurrency and a follow-up wave would deadlock. The pool's
+/// throughput — every healthy job admitted, run, and baseline-identical —
+/// must be unchanged after N panics.
+#[test]
+fn run_many_pool_throughput_unchanged_after_panicking_jobs() {
+    use cloudviews::PipelineOptions;
+    use scope_common::ids::{ClusterId, DatasetId, JobId, TemplateId, UserId, VcId};
+    use scope_engine::data::Table;
+    use scope_plan::{AggExpr, AggFunc, DataType, PlanBuilder, Schema, Value};
+
+    let (cv, _w, day1, baseline) = primed_service(53);
+
+    // A dataset narrower than the schema its jobs declare: the scan passes
+    // one-column rows through, then the aggregate's group key indexes
+    // column 2 and the worker thread genuinely panics (caught by
+    // `run_many`'s per-job `catch_unwind`).
+    let narrow = DatasetId::new(999_983);
+    cv.storage.put_dataset(
+        narrow,
+        Table::single(
+            Schema::from_pairs(&[("a", DataType::Int)]),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        ),
+    );
+    let panicking_job = |id: u64| {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(
+            narrow,
+            "chaos/narrow.ss",
+            Schema::from_pairs(&[
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+                ("c", DataType::Int),
+            ]),
+        );
+        let a = b.aggregate(s, vec![2], vec![AggExpr::new("n", AggFunc::Count, 0)]);
+        JobSpec {
+            id: JobId::new(id),
+            cluster: ClusterId::new(0),
+            vc: VcId::new(0),
+            user: UserId::new(0),
+            template: TemplateId::new(7_777),
+            instance: 0,
+            graph: b.output(a, "boom").build().unwrap(),
+        }
+    };
+
+    const PANICS: usize = 4;
+    let options = PipelineOptions {
+        workers: 3,
+        max_in_flight: 2,
+        janitor: false,
+    };
+
+    // Wave 1: healthy jobs interleaved with the panicking ones.
+    let mut jobs = Vec::new();
+    for (i, spec) in day1.iter().enumerate() {
+        jobs.push(spec.clone());
+        if i < PANICS {
+            jobs.push(panicking_job(900_000 + i as u64));
+        }
+    }
+    let results = cv.run_many(jobs, RunMode::CloudViews, options);
+    let (ok, failed): (Vec<_>, Vec<_>) = results.into_iter().partition(|r| r.is_ok());
+    assert_eq!(failed.len(), PANICS, "exactly the panicking jobs fail");
+    for f in &failed {
+        let msg = f.as_ref().unwrap_err().to_string();
+        assert!(
+            msg.contains("panicked"),
+            "failure must be a caught panic, got: {msg}"
+        );
+    }
+    let reports: Vec<_> = ok.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(reports.len(), day1.len());
+    assert_outputs_match_baseline(&reports, &baseline, "panic wave");
+
+    // Wave 2: a full healthy wave through the same pool configuration.
+    // Any permit leaked in wave 1 (PANICS >= max_in_flight) would leave
+    // zero permits and deadlock here; partial leaks would still show up
+    // as missing or failed jobs.
+    let reports: Vec<_> = cv
+        .run_many(day1.clone(), RunMode::CloudViews, options)
+        .into_iter()
+        .map(|r| r.expect("post-panic wave must be unaffected"))
+        .collect();
+    assert_eq!(reports.len(), day1.len());
+    assert_outputs_match_baseline(&reports, &baseline, "post-panic wave");
+    assert_locks_reclaimable(&cv, "post-panic wave");
+}
+
 #[test]
 fn property_any_fault_plan_preserves_outputs_and_reclaims_locks() {
     // Proptest-style: across randomized fault plans, (1) CloudViews output

@@ -573,6 +573,113 @@ fn purge_never_leaks_dead_annotations() {
     });
 }
 
+/// ISSUE 6 satellite 1 — clock-skew regression: tier-2 candidate
+/// visibility is decided against the *caller's pinned lookup time* (the
+/// job's submission time), never the service's live clock. A shard whose
+/// local clock has raced ahead (or lagged behind) must return exactly the
+/// views that were live at the pinned instant: nothing before
+/// `view_available_at`, nothing at-or-after expiry.
+#[test]
+fn tier2_lookup_pins_caller_time_under_clock_skew() {
+    for_cases("tier2_lookup_pins_caller_time_under_clock_skew", |rng| {
+        use cloudviews::MetadataService;
+        use scope_common::time::SimClock;
+        use scope_common::Symbol;
+        use scope_engine::optimizer::AvailableView;
+        use scope_plan::{PhysicalProps, PlanBuilder};
+        use scope_signature::SubsumeDescriptor;
+
+        // A view filtered wide (v >= 0) and a query probe filtered tight
+        // (v >= 10): the probe is compatible, so visibility is purely a
+        // question of time-window filtering.
+        let descriptor_for = |bound: i64| {
+            let mut b = PlanBuilder::new();
+            let s = b.table_scan(
+                DatasetId::new(1),
+                "skew/a.ss",
+                Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]),
+            );
+            let f = b.filter(s, Expr::col(1).ge(Expr::lit(bound)));
+            let g = b.output(f, "o").build().unwrap();
+            let signed = sign_graph(&g).unwrap();
+            let root = NodeId::new(1);
+            let desc = SubsumeDescriptor::of(&g, root, signed.of(NodeId::new(0)).precise).unwrap();
+            (signed.of(root).precise, signed.of(root).normalized, desc)
+        };
+        let (view_precise, view_norm, view_desc) = descriptor_for(0);
+        let (_, _, probe) = descriptor_for(10);
+
+        let clock = Arc::new(SimClock::new());
+        let m = MetadataService::with_shards(Arc::clone(&clock), 1, 1 << rng.gen_range(0u32..5));
+        m.load_annotations(&[cloudviews::analyzer::SelectedView {
+            annotation: scope_engine::optimizer::Annotation {
+                normalized: view_norm,
+                props: PhysicalProps::any(),
+                ttl: SimDuration::from_secs(86_400),
+                avg_cpu: SimDuration::from_secs(10),
+                avg_rows: 100,
+                avg_bytes: 1_000,
+            },
+            input_tags: vec![Symbol::intern("skew/a.ss")],
+            utility: SimDuration::from_secs(30),
+            frequency: 2,
+            precise_last_seen: view_precise,
+        }]);
+
+        let created = SimTime::ZERO + SimDuration::from_secs(rng.gen_range(100..1_000));
+        let expires = created + SimDuration::from_secs(rng.gen_range(100..1_000));
+        m.register_view_with_descriptor(
+            AvailableView {
+                precise: view_precise,
+                rows: 10,
+                bytes: 100,
+                props: PhysicalProps::any(),
+            },
+            view_norm,
+            JobId::new(1),
+            created,
+            expires,
+            Some(view_desc),
+        );
+
+        // Skew the service's live clock to an arbitrary point — possibly
+        // far past expiry — and probe at pinned times on both sides of
+        // every boundary. The live clock must not influence the answer.
+        clock.advance(SimDuration::from_secs(rng.gen_range(0..10_000)));
+        let tags = [Symbol::intern("skew/a.ss")];
+        let probes = std::slice::from_ref(&probe);
+        for (at, expect) in [
+            (SimTime::ZERO, false),
+            (created + SimDuration::ZERO, true),
+            (
+                created
+                    + SimDuration::from_secs(rng.gen_range(0..(expires.0 - created.0) / 1_000_000)),
+                true,
+            ),
+            (expires, false),
+            (expires + SimDuration::from_secs(1), false),
+        ] {
+            let r = m
+                .relevant_views_for_at(JobId::new(2), &tags, probes, at)
+                .unwrap();
+            assert_eq!(
+                r.annotations.len(),
+                1,
+                "tier-1 annotations are time-agnostic"
+            );
+            assert_eq!(
+                r.tier2.len(),
+                expect as usize,
+                "pinned at {at}: created {created}, expires {expires}, live {}",
+                clock.now()
+            );
+            if expect {
+                assert_eq!(r.tier2[0].view.precise, view_precise);
+            }
+        }
+    });
+}
+
 /// The dead-view leak regression (ISSUE 4 acceptance): 1,000 recurring
 /// instances, each registering fresh precise views that expire before the
 /// next instance, must leave every metadata cardinality bounded by the
