@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use cloudviews::analyzer::SelectedView;
-use cloudviews::MetadataService;
+use cloudviews::{MetadataService, ReportRequest};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scope_common::hash::sip128;
 use scope_common::ids::JobId;
@@ -77,10 +77,10 @@ fn bench_metadata(c: &mut Criterion) {
             i += 1;
             let sig = sip128(&i.to_le_bytes());
             let lock = svc
-                .propose(sig, JobId::new(i), SimDuration::from_secs(60))
+                .propose_now(sig, JobId::new(i), SimDuration::from_secs(60))
                 .unwrap();
             std::hint::black_box(lock);
-            svc.report_materialized(
+            svc.report(ReportRequest::new(
                 AvailableView {
                     precise: sig,
                     rows: 10,
@@ -91,7 +91,7 @@ fn bench_metadata(c: &mut Criterion) {
                 JobId::new(i),
                 SimTime::ZERO,
                 SimTime::MAX,
-            )
+            ))
             .unwrap();
         })
     });

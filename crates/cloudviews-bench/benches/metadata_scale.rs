@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cloudviews::analyzer::SelectedView;
-use cloudviews::MetadataService;
+use cloudviews::{MetadataService, ReportRequest};
 use scope_common::hash::Sig128;
 use scope_common::ids::JobId;
 use scope_common::time::{SimClock, SimDuration};
@@ -92,8 +92,9 @@ fn worker(m: &MetadataService, selected: &[SelectedView], tid: usize, ops: usize
                 (tid as u64) * 1_000_003 + i as u64,
                 (i as u64) * 2_654_435_761 + tid as u64,
             );
-            m.propose(precise, job, SimDuration::from_secs(60)).unwrap();
-            m.register_view(
+            m.propose_now(precise, job, SimDuration::from_secs(60))
+                .unwrap();
+            m.register(ReportRequest::new(
                 AvailableView {
                     precise,
                     rows: 10,
@@ -104,7 +105,7 @@ fn worker(m: &MetadataService, selected: &[SelectedView], tid: usize, ops: usize
                 job,
                 now,
                 now + SimDuration::from_secs(100_000),
-            );
+            ));
         }
         if i % 64 == 0 {
             m.purge_next_shard();
@@ -158,7 +159,7 @@ fn bench_leak(selected: &[SelectedView], instances: usize) -> LeakNumbers {
     for instance in 0..instances {
         let now = clock.now();
         for (k, s) in selected[..K].iter().enumerate() {
-            m.register_view(
+            m.register(ReportRequest::new(
                 AvailableView {
                     precise: scope_common::sip128(format!("leak/{instance}/{k}").as_bytes()),
                     rows: 10,
@@ -169,7 +170,7 @@ fn bench_leak(selected: &[SelectedView], instances: usize) -> LeakNumbers {
                 JobId::new((instance * K + k) as u64),
                 now,
                 now + SimDuration::from_secs(50),
-            );
+            ));
         }
         clock.advance(SimDuration::from_secs(100));
         m.purge_next_shard();

@@ -1,9 +1,10 @@
 //! Bench-gate evaluation shared by the `bench_diff` binary and its tests.
 //!
 //! A *gate* is a metric inside a `BENCH_*.json` artifact that CI compares
-//! against the committed baseline. Numeric gates tolerate
-//! [`TOLERANCE`]-sized relative regressions (CI-runner noise); boolean
-//! gates must not flip from `true` to `false`.
+//! against the committed baseline. Numeric gates tolerate a per-gate
+//! relative regression ([`TOLERANCE`] by default, wider for wall-clock
+//! metrics — CI-runner noise); boolean gates must not flip from `true`
+//! to `false`.
 //!
 //! Malformed artifacts fail **loudly**: a gated key that is missing,
 //! non-numeric, NaN, or non-finite in *either* artifact is a gate failure,
@@ -22,8 +23,14 @@ pub enum Better {
     Lower,
 }
 
-/// Allowed relative regression before a numeric gate fails.
+/// Default allowed relative regression before a numeric gate fails.
 pub const TOLERANCE: f64 = 0.25;
+
+/// Wide tolerance for wall-clock gates measured over loopback TCP: the
+/// scheduler owns the tail there, and the regressions these gates exist to
+/// catch (a Nagle stall, a starved admission queue) are order-of-magnitude,
+/// not percentage-sized.
+pub const WALL_CLOCK_TOLERANCE: f64 = 0.75;
 
 /// One gated numeric metric.
 pub struct Gate {
@@ -32,6 +39,8 @@ pub struct Gate {
     pub better: Better,
     /// Only compare when both artifacts flag multi-core applicability.
     pub multi_core_only: bool,
+    /// Allowed relative regression for this gate.
+    pub tolerance: f64,
 }
 
 /// The numeric gates for a bench, keyed by its `"bench"` field.
@@ -42,11 +51,13 @@ pub fn numeric_gates(bench: &str) -> &'static [Gate] {
                 path: "single_thread_ratio",
                 better: Better::Higher,
                 multi_core_only: false,
+                tolerance: TOLERANCE,
             },
             Gate {
                 path: "speedup_at_4_threads",
                 better: Better::Higher,
                 multi_core_only: true,
+                tolerance: TOLERANCE,
             },
         ],
         "analyzer_scale" => &[
@@ -54,11 +65,13 @@ pub fn numeric_gates(bench: &str) -> &'static [Gate] {
                 path: "incremental_ratio",
                 better: Better::Lower,
                 multi_core_only: false,
+                tolerance: TOLERANCE,
             },
             Gate {
                 path: "speedup_at_4_threads",
                 better: Better::Higher,
                 multi_core_only: true,
+                tolerance: TOLERANCE,
             },
         ],
         "subsumption" => &[
@@ -66,16 +79,33 @@ pub fn numeric_gates(bench: &str) -> &'static [Gate] {
                 path: "tier2_hit_rate",
                 better: Better::Higher,
                 multi_core_only: false,
+                tolerance: TOLERANCE,
             },
             Gate {
                 path: "hit_rate_uplift",
                 better: Better::Higher,
                 multi_core_only: false,
+                tolerance: TOLERANCE,
             },
             Gate {
                 path: "p99_sim_ratio",
                 better: Better::Lower,
                 multi_core_only: false,
+                tolerance: TOLERANCE,
+            },
+        ],
+        "frontdoor" => &[
+            Gate {
+                path: "p99_lookup_wall_micros",
+                better: Better::Lower,
+                multi_core_only: false,
+                tolerance: WALL_CLOCK_TOLERANCE,
+            },
+            Gate {
+                path: "saturation_ops_per_sec",
+                better: Better::Higher,
+                multi_core_only: false,
+                tolerance: WALL_CLOCK_TOLERANCE,
             },
         ],
         _ => &[],
@@ -92,6 +122,7 @@ pub fn bool_gates(bench: &str) -> &'static [&'static str] {
             "parallel_matches_serial",
         ],
         "subsumption" => &["p99_within_10pct", "uplift_positive", "results_equivalent"],
+        "frontdoor" => &["shed_rate_ok"],
         _ => &[],
     }
 }
@@ -194,7 +225,7 @@ pub fn evaluate(bench: &str, baseline: &Value, fresh: &Value) -> Vec<GateResult>
                 Better::Lower => (new - base) / base,
             }
         };
-        let pass = regression <= TOLERANCE;
+        let pass = regression <= gate.tolerance;
         results.push(GateResult {
             path: gate.path,
             status: if pass {
@@ -386,6 +417,39 @@ mod tests {
             .unwrap();
         assert_eq!(gate.status, GateStatus::Fail);
         assert!(gate.detail.contains("missing"), "{}", gate.detail);
+    }
+
+    #[test]
+    fn wall_clock_gates_get_the_wide_tolerance() {
+        let base = r#"{
+            "bench": "frontdoor",
+            "p99_lookup_wall_micros": 200,
+            "saturation_ops_per_sec": 70000,
+            "shed_rate_ok": true
+        }"#;
+        // +60% p99 / -40% throughput: scheduler-noise territory over
+        // loopback, inside WALL_CLOCK_TOLERANCE, outside TOLERANCE.
+        let noisy = r#"{
+            "bench": "frontdoor",
+            "p99_lookup_wall_micros": 320,
+            "saturation_ops_per_sec": 42000,
+            "shed_rate_ok": true
+        }"#;
+        assert!(all_pass(&eval("frontdoor", base, noisy)));
+
+        // An order-of-magnitude stall (a Nagle re-regression) still fails.
+        let stalled = r#"{
+            "bench": "frontdoor",
+            "p99_lookup_wall_micros": 40000,
+            "saturation_ops_per_sec": 70000,
+            "shed_rate_ok": true
+        }"#;
+        let results = eval("frontdoor", base, stalled);
+        let gate = results
+            .iter()
+            .find(|r| r.path == "p99_lookup_wall_micros")
+            .unwrap();
+        assert_eq!(gate.status, GateStatus::Fail);
     }
 
     #[test]

@@ -345,6 +345,42 @@ pub fn telemetry_dashboard(service: &CloudViews) -> String {
         snap.counter("cv_storage_bytes_purged_total"),
         snap.gauge("cv_storage_view_bytes"),
     ));
+    // The front-door series only exists when a network server is running
+    // against this telemetry sink; skip the section for in-process-only
+    // deployments rather than printing a row of zeros.
+    if snap.counter("cv_net_connections_total") > 0 || snap.counter("cv_net_frames_total") > 0 {
+        let wall_ms = |name: &str| snap.histogram(name).map(|h| h.mean() / 1e3).unwrap_or(0.0);
+        out.push_str(&format!(
+            "net: connections={} disconnects={} frames={} \
+             (lookup={} propose={} report={} purge={} stats={})\n",
+            snap.counter("cv_net_connections_total"),
+            snap.counter("cv_net_disconnects_total"),
+            snap.counter("cv_net_frames_total"),
+            snap.counter("cv_net_frames_lookup_total"),
+            snap.counter("cv_net_frames_propose_total"),
+            snap.counter("cv_net_frames_report_total"),
+            snap.counter("cv_net_frames_purge_total"),
+            snap.counter("cv_net_frames_stats_total"),
+        ));
+        out.push_str(&format!(
+            "net admission: shed={} over_quota={} malformed={} errors={} \
+             queue_depth={}\n",
+            snap.counter("cv_net_shed_total"),
+            snap.counter("cv_net_quota_rejections_total"),
+            snap.counter("cv_net_malformed_total"),
+            snap.counter("cv_net_error_responses_total"),
+            snap.gauge("cv_net_queue_depth"),
+        ));
+        out.push_str(&format!(
+            "net io: read={}B written={}B mean_lookup={:.1}ms mean_propose={:.1}ms \
+             mean_report={:.1}ms\n",
+            snap.counter("cv_net_bytes_read_total"),
+            snap.counter("cv_net_bytes_written_total"),
+            wall_ms("cv_net_lookup_wall_micros"),
+            wall_ms("cv_net_propose_wall_micros"),
+            wall_ms("cv_net_report_wall_micros"),
+        ));
+    }
     out.push_str(&format!(
         "spans: retained={} dropped={}\n",
         t.tracer.finished().len(),

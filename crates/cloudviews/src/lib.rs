@@ -49,6 +49,7 @@
 
 pub mod admin;
 pub mod analyzer;
+pub mod api;
 pub mod faults;
 pub mod metadata;
 pub mod pipeline;
@@ -59,6 +60,7 @@ pub use analyzer::{
     AnalysisOutcome, AnalyzerConfig, AnalyzerState, IncrementalAnalyzer, IngestReport, RoundDelta,
     SelectedView, SelectionPolicy,
 };
+pub use api::{LookupRequest, ProposeRequest, ReportRequest};
 pub use faults::{FaultInjector, FaultPlan, FaultSite, InjectedFaults, ScriptedFault};
 pub use metadata::{LockOutcome, LookupResponse, MetadataService, MetadataStats, PurgeSweep};
 pub use pipeline::PipelineOptions;

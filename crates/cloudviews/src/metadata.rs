@@ -52,6 +52,7 @@ use scope_engine::optimizer::{Annotation, AvailableView, SubsumedView, ViewServi
 use scope_signature::SubsumeDescriptor;
 
 use crate::analyzer::SelectedView;
+use crate::api::{LookupRequest, ProposeRequest, ReportRequest};
 use crate::faults::{FaultInjector, FaultSite};
 
 /// Default shard count, matching the metrics registry's 16-way split.
@@ -439,30 +440,26 @@ impl MetadataService {
     /// retries with backoff and then falls back to the baseline plan
     /// (DESIGN.md "Fault tolerance & degradation").
     pub fn relevant_views_for(&self, job: JobId, job_tags: &[Symbol]) -> Result<LookupResponse> {
-        self.relevant_views_for_at(job, job_tags, &[], self.clock.now())
+        self.lookup(&LookupRequest::new(job, job_tags, self.clock.now()))
     }
 
-    /// The cascade lookup: [`MetadataService::relevant_views_for`] plus the
-    /// tier-2 candidate scan, pinned to an explicit lookup time.
+    /// The single pinned-time cascade lookup:
+    /// [`MetadataService::relevant_views_for`] plus the tier-2 candidate
+    /// scan, judged at the request's pinned submission time (`req.at`).
     ///
     /// Tier-1 is unchanged — every tag-matching annotation is returned with
     /// no time filtering (annotation GC is the janitor's job, and the
     /// optimizer still has to rebuild views whose files expired). Tier-2
     /// walks the matched annotations' registered-view backrefs and returns
-    /// each view that (a) is live at `at` — **the caller's pinned clock, not
-    /// the service's** — so a job pinned to its submission time never sees a
-    /// view that expired mid-flight or was published after it started;
-    /// (b) carries a subsumption descriptor; and (c) passes the cheap
-    /// feature-vector gate against at least one of the job's `probes`.
-    /// Everything else is counted as a tier-2 reject and never reaches plan
-    /// inspection.
-    pub fn relevant_views_for_at(
-        &self,
-        job: JobId,
-        job_tags: &[Symbol],
-        probes: &[SubsumeDescriptor],
-        at: SimTime,
-    ) -> Result<LookupResponse> {
+    /// each view that (a) is live at `req.at` — **the caller's pinned
+    /// clock, not the service's** — so a job pinned to its submission time
+    /// never sees a view that expired mid-flight or was published after it
+    /// started; (b) carries a subsumption descriptor; and (c) passes the
+    /// cheap feature-vector gate against at least one of the request's
+    /// `probes`. Everything else is counted as a tier-2 reject and never
+    /// reaches plan inspection.
+    pub fn lookup(&self, req: &LookupRequest) -> Result<LookupResponse> {
+        let (job, job_tags, probes, at) = (req.job, &req.tags, &req.probes, req.at);
         if self.injected_failure(FaultSite::MetadataLookup, job) {
             self.stats.failed_lookups.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.telemetry.read().as_ref() {
@@ -606,40 +603,46 @@ impl MetadataService {
         SimDuration::from_secs_f64(ms / 1e3)
     }
 
-    /// Figure 9 steps 3/4: propose to materialize `precise`. Grants an
-    /// exclusive lock expiring after `lock_ttl` (mined from the subgraph's
-    /// average runtime) unless the view exists or the lock is taken. The
-    /// protocol is entirely local to the shard owning `precise`.
-    ///
-    /// **Fault-injection contract:** when the injector fires
-    /// [`FaultSite::Propose`] for `job`, the proposal is lost: no lock is
-    /// granted, the call returns `ServiceUnavailable`, and the caller simply
-    /// skips materializing (the view stays buildable by a later job).
-    pub fn propose(
+    /// Thin default-now wrapper over [`MetadataService::propose`]: a
+    /// proposal pinned at the service clock's current reading, for callers
+    /// outside a submission wave (admin tooling, single-job tests).
+    pub fn propose_now(
         &self,
         precise: Sig128,
         job: JobId,
         lock_ttl: SimDuration,
     ) -> Result<LockOutcome> {
-        self.propose_at(precise, job, lock_ttl, self.clock.now())
+        self.propose(&ProposeRequest::new(
+            precise,
+            job,
+            lock_ttl,
+            self.clock.now(),
+        ))
     }
 
-    /// [`MetadataService::propose`] against the caller's *pinned* clock
-    /// (the job's submission time), mirroring
-    /// [`MetadataService::relevant_views_for_at`]. Judging lock expiry by
-    /// the service's live clock is wrong under overlapped arrivals: peer
-    /// jobs completing mid-wave advance the shared clock, which could lapse
-    /// a still-running builder's lock and hand the same view to a second
-    /// "takeover" winner. With every job in a wave proposing at its own
-    /// submission time, a lock granted within the wave is never expired for
-    /// the wave's peers, so each view has exactly one builder.
-    pub fn propose_at(
-        &self,
-        precise: Sig128,
-        job: JobId,
-        lock_ttl: SimDuration,
-        at: SimTime,
-    ) -> Result<LockOutcome> {
+    /// Figure 9 steps 3/4: propose to materialize `req.precise`. Grants an
+    /// exclusive lock expiring after `req.lock_ttl` (mined from the
+    /// subgraph's average runtime) unless the view exists or the lock is
+    /// taken. The protocol is entirely local to the shard owning the
+    /// precise signature.
+    ///
+    /// The request is judged against its *pinned* clock (`req.at`, the
+    /// job's submission time), mirroring [`MetadataService::lookup`].
+    /// Judging lock expiry by the service's live clock is wrong under
+    /// overlapped arrivals: peer jobs completing mid-wave advance the
+    /// shared clock, which could lapse a still-running builder's lock and
+    /// hand the same view to a second "takeover" winner. With every job in
+    /// a wave proposing at its own submission time, a lock granted within
+    /// the wave is never expired for the wave's peers, so each view has
+    /// exactly one builder.
+    ///
+    /// **Fault-injection contract:** when the injector fires
+    /// [`FaultSite::Propose`] for `req.job`, the proposal is lost: no lock
+    /// is granted, the call returns `ServiceUnavailable`, and the caller
+    /// simply skips materializing (the view stays buildable by a later
+    /// job).
+    pub fn propose(&self, req: &ProposeRequest) -> Result<LockOutcome> {
+        let (precise, job, lock_ttl, at) = (req.precise, req.job, req.lock_ttl, req.at);
         if self.injected_failure(FaultSite::Propose, job) {
             self.stats.failed_proposals.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.telemetry.read().as_ref() {
@@ -763,104 +766,52 @@ impl MetadataService {
 
     /// Figure 9 steps 5/6: the job manager reports a successful
     /// materialization; the lock is released and the view becomes visible
-    /// to future lookups from `available_at` (early materialization may
-    /// pre-date job completion).
+    /// to future lookups from `req.available_at` (early materialization
+    /// may pre-date job completion). A request carrying a
+    /// [`SubsumeDescriptor`] makes the view a tier-2 candidate for future
+    /// cascade lookups.
     ///
     /// **Fault-injection contract:** when the injector fires
-    /// [`FaultSite::ReportMaterialized`] for `producer`, the report is
+    /// [`FaultSite::ReportMaterialized`] for `req.producer`, the report is
     /// lost: the built file exists in storage but is never registered, and
     /// the builder's lock lapses at its mined expiry instead of being
     /// released.
-    pub fn report_materialized(
-        &self,
-        view: AvailableView,
-        normalized: Sig128,
-        producer: JobId,
-        available_at: SimTime,
-        expires_at: SimTime,
-    ) -> Result<()> {
-        self.report_materialized_with_descriptor(
-            view,
-            normalized,
-            producer,
-            available_at,
-            expires_at,
-            None,
-        )
-    }
-
-    /// [`MetadataService::report_materialized`] carrying the view's
-    /// subsumption descriptor, which makes the view a tier-2 candidate for
-    /// future cascade lookups (`None` keeps it tier-1-only).
-    pub fn report_materialized_with_descriptor(
-        &self,
-        view: AvailableView,
-        normalized: Sig128,
-        producer: JobId,
-        available_at: SimTime,
-        expires_at: SimTime,
-        descriptor: Option<SubsumeDescriptor>,
-    ) -> Result<()> {
-        if self.injected_failure(FaultSite::ReportMaterialized, producer) {
+    pub fn report(&self, req: ReportRequest) -> Result<()> {
+        if self.injected_failure(FaultSite::ReportMaterialized, req.producer) {
             self.stats.failed_reports.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.telemetry.read().as_ref() {
                 t.report_faults.inc();
             }
             return Err(ScopeError::ServiceUnavailable(format!(
-                "report_materialized({}) by {producer} timed out",
-                view.precise
+                "report({}) by {} timed out",
+                req.view.precise, req.producer
             )));
         }
-        self.register_view_with_descriptor(
-            view,
-            normalized,
-            producer,
-            available_at,
-            expires_at,
-            descriptor,
-        );
+        self.register(req);
         Ok(())
     }
 
-    /// Infallible registration core: used by `report_materialized` and by
-    /// tests that need to seed views without a fault plan in the way.
-    /// `normalized` links the view to its driving annotation (pass
-    /// [`Sig128::ZERO`] when there is none, e.g. in protocol-only tests).
+    /// Infallible registration core: used by [`MetadataService::report`]
+    /// and by tests that need to seed views without a fault plan in the
+    /// way. `req.normalized` links the view to its driving annotation
+    /// (pass [`Sig128::ZERO`] when there is none, e.g. in protocol-only
+    /// tests).
     ///
     /// The view (precise shard), annotation renewal (normalized shard), and
     /// lock release (precise shard) are three separate acquisitions; no two
     /// locks are held together — propose() holds a shard's lock mutex while
     /// reading that shard's views (its double-check), so overlapping guards
     /// here would be an ABBA deadlock.
-    pub fn register_view(
-        &self,
-        view: AvailableView,
-        normalized: Sig128,
-        producer: JobId,
-        available_at: SimTime,
-        expires_at: SimTime,
-    ) {
-        self.register_view_with_descriptor(
+    pub fn register(&self, req: ReportRequest) {
+        let ReportRequest {
             view,
             normalized,
             producer,
+            vc: _,
             available_at,
             expires_at,
-            None,
-        )
-    }
-
-    /// [`MetadataService::register_view`] carrying an optional subsumption
-    /// descriptor (the tier-2 eligibility record).
-    pub fn register_view_with_descriptor(
-        &self,
-        view: AvailableView,
-        normalized: Sig128,
-        producer: JobId,
-        available_at: SimTime,
-        expires_at: SimTime,
-        descriptor: Option<SubsumeDescriptor>,
-    ) {
+            descriptor,
+        } = req;
         let precise = view.precise;
         let shard = self.sig_shard(precise);
         let inserted = {
@@ -1158,7 +1109,7 @@ impl ViewServices for MetadataService {
         // An injected propose fault surfaces as "lock not granted": the
         // optimizer simply skips that materialization.
         matches!(
-            self.propose(precise, job, lock_ttl),
+            self.propose_now(precise, job, lock_ttl),
             Ok(LockOutcome::Acquired)
         )
     }
@@ -1232,13 +1183,15 @@ mod tests {
         m.load_annotations(&[selected(view_norm, &["in/a.ss"])]);
         let created = SimTime::ZERO + SimDuration::from_secs(10);
         let expires = SimTime::ZERO + SimDuration::from_secs(20);
-        m.register_view_with_descriptor(
-            a_view(view_precise),
-            view_norm,
-            JobId::new(1),
-            created,
-            expires,
-            Some(view_desc),
+        m.register(
+            ReportRequest::new(
+                a_view(view_precise),
+                view_norm,
+                JobId::new(1),
+                created,
+                expires,
+            )
+            .with_descriptor(Some(view_desc)),
         );
         let job = JobId::new(2);
         let tags = ["in/a.ss".into()];
@@ -1247,11 +1200,9 @@ mod tests {
         // Pinned before the view was published: tier-2 must stay empty even
         // though the live clock (ZERO) is irrelevant here.
         let r = m
-            .relevant_views_for_at(
-                job,
-                &tags,
-                probes,
-                SimTime::ZERO + SimDuration::from_secs(5),
+            .lookup(
+                &LookupRequest::new(job, &tags, SimTime::ZERO + SimDuration::from_secs(5))
+                    .with_probes(probes.to_vec()),
             )
             .unwrap();
         assert_eq!(r.annotations.len(), 1, "tier-1 is time-agnostic");
@@ -1261,11 +1212,9 @@ mod tests {
         // expiry: the pinned time must win (clock-skew regression).
         clock.advance(SimDuration::from_secs(3600));
         let r = m
-            .relevant_views_for_at(
-                job,
-                &tags,
-                probes,
-                SimTime::ZERO + SimDuration::from_secs(15),
+            .lookup(
+                &LookupRequest::new(job, &tags, SimTime::ZERO + SimDuration::from_secs(15))
+                    .with_probes(probes.to_vec()),
             )
             .unwrap();
         assert_eq!(r.tier2.len(), 1);
@@ -1285,11 +1234,9 @@ mod tests {
 
         // Pinned after expiry: gone again.
         let r = m
-            .relevant_views_for_at(
-                job,
-                &tags,
-                probes,
-                SimTime::ZERO + SimDuration::from_secs(25),
+            .lookup(
+                &LookupRequest::new(job, &tags, SimTime::ZERO + SimDuration::from_secs(25))
+                    .with_probes(probes.to_vec()),
             )
             .unwrap();
         assert!(r.tier2.is_empty(), "view visible after expiry");
@@ -1309,13 +1256,15 @@ mod tests {
         let m = service();
         let (view_precise, view_norm, view_desc) = filter_descriptor(0);
         m.load_annotations(&[selected(view_norm, &["in/a.ss"])]);
-        m.register_view_with_descriptor(
-            a_view(view_precise),
-            view_norm,
-            JobId::new(1),
-            SimTime::ZERO,
-            SimTime::MAX,
-            Some(view_desc),
+        m.register(
+            ReportRequest::new(
+                a_view(view_precise),
+                view_norm,
+                JobId::new(1),
+                SimTime::ZERO,
+                SimTime::MAX,
+            )
+            .with_descriptor(Some(view_desc)),
         );
         // Probe whose child signature differs (different filter bound means
         // same child here, so craft a mismatched child by descriptor of a
@@ -1336,7 +1285,10 @@ mod tests {
             SubsumeDescriptor::of(&g, NodeId::new(1), signed.of(NodeId::new(0)).precise).unwrap()
         };
         let r = m
-            .relevant_views_for_at(JobId::new(2), &["in/a.ss".into()], &[probe], SimTime::ZERO)
+            .lookup(
+                &LookupRequest::new(JobId::new(2), &["in/a.ss".into()], SimTime::ZERO)
+                    .with_probes(vec![probe]),
+            )
             .unwrap();
         assert!(r.tier2.is_empty(), "kind-mismatched probe passed the gate");
         assert_eq!(m.stats().tier2_rejects, 1);
@@ -1346,15 +1298,18 @@ mod tests {
         let m2 = service();
         let (_, _, probe2) = filter_descriptor(10);
         m2.load_annotations(&[selected(view_norm, &["in/a.ss"])]);
-        m2.register_view(
+        m2.register(ReportRequest::new(
             a_view(view_precise),
             view_norm,
             JobId::new(1),
             SimTime::ZERO,
             SimTime::MAX,
-        );
+        ));
         let r = m2
-            .relevant_views_for_at(JobId::new(2), &["in/a.ss".into()], &[probe2], SimTime::ZERO)
+            .lookup(
+                &LookupRequest::new(JobId::new(2), &["in/a.ss".into()], SimTime::ZERO)
+                    .with_probes(vec![probe2]),
+            )
             .unwrap();
         assert!(r.tier2.is_empty());
         assert_eq!(m2.stats().tier2_rejects, 1);
@@ -1367,13 +1322,15 @@ mod tests {
         let m = service();
         let (view_precise, view_norm, view_desc) = filter_descriptor(0);
         m.load_annotations(&[selected(view_norm, &["in/a.ss"])]);
-        m.register_view_with_descriptor(
-            a_view(view_precise),
-            view_norm,
-            JobId::new(1),
-            SimTime::ZERO,
-            SimTime::MAX,
-            Some(view_desc),
+        m.register(
+            ReportRequest::new(
+                a_view(view_precise),
+                view_norm,
+                JobId::new(1),
+                SimTime::ZERO,
+                SimTime::MAX,
+            )
+            .with_descriptor(Some(view_desc)),
         );
         let r = m
             .relevant_views_for(JobId::new(2), &["in/a.ss".into()])
@@ -1456,30 +1413,30 @@ mod tests {
         let p = sip128(b"view");
         let ttl = SimDuration::from_secs(60);
         assert_eq!(
-            m.propose(p, JobId::new(1), ttl).unwrap(),
+            m.propose_now(p, JobId::new(1), ttl).unwrap(),
             LockOutcome::Acquired
         );
         // Second job is refused.
         assert_eq!(
-            m.propose(p, JobId::new(2), ttl).unwrap(),
+            m.propose_now(p, JobId::new(2), ttl).unwrap(),
             LockOutcome::AlreadyLocked
         );
         // The holder itself may re-propose (idempotent re-acquire).
         assert_eq!(
-            m.propose(p, JobId::new(1), ttl).unwrap(),
+            m.propose_now(p, JobId::new(1), ttl).unwrap(),
             LockOutcome::Acquired
         );
         // After the build is reported, proposals see AlreadyMaterialized.
-        m.report_materialized(
+        m.report(ReportRequest::new(
             a_view(p),
             Sig128::ZERO,
             JobId::new(1),
             SimTime::ZERO,
             SimTime::MAX,
-        )
+        ))
         .unwrap();
         assert_eq!(
-            m.propose(p, JobId::new(3), ttl).unwrap(),
+            m.propose_now(p, JobId::new(3), ttl).unwrap(),
             LockOutcome::AlreadyMaterialized
         );
         let stats = m.stats();
@@ -1493,14 +1450,14 @@ mod tests {
         let m = MetadataService::new(Arc::clone(&clock), 1);
         let p = sip128(b"crashy");
         assert_eq!(
-            m.propose(p, JobId::new(1), SimDuration::from_secs(10))
+            m.propose_now(p, JobId::new(1), SimDuration::from_secs(10))
                 .unwrap(),
             LockOutcome::Acquired
         );
         // Builder "crashes"; 11 seconds later another job may take over.
         clock.advance(SimDuration::from_secs(11));
         assert_eq!(
-            m.propose(p, JobId::new(2), SimDuration::from_secs(10))
+            m.propose_now(p, JobId::new(2), SimDuration::from_secs(10))
                 .unwrap(),
             LockOutcome::Acquired
         );
@@ -1513,13 +1470,13 @@ mod tests {
         let p = sip128(b"early");
         // Published with created_at in the future (early materialization
         // by a job that started later than now).
-        m.report_materialized(
+        m.report(ReportRequest::new(
             a_view(p),
             Sig128::ZERO,
             JobId::new(1),
             SimTime(5_000_000),
             SimTime(10_000_000),
-        )
+        ))
         .unwrap();
         assert!(m.view_available(p).is_none(), "not yet available");
         clock.advance(SimDuration::from_secs(6));
@@ -1534,13 +1491,13 @@ mod tests {
     fn unregister_clears_metadata_first() {
         let m = service();
         let p = sip128(b"gone");
-        m.report_materialized(
+        m.report(ReportRequest::new(
             a_view(p),
             Sig128::ZERO,
             JobId::new(1),
             SimTime::ZERO,
             SimTime::MAX,
-        )
+        ))
         .unwrap();
         m.unregister_views(&[p]);
         assert!(m.view_available(p).is_none());
@@ -1555,7 +1512,13 @@ mod tests {
         let n = sip128(b"norm");
         let p = sip128(b"precise");
         m.load_annotations(&[selected(n, &["in/a.ss", "in/b.ss"])]);
-        m.register_view(a_view(p), n, JobId::new(1), SimTime::ZERO, SimTime::MAX);
+        m.register(ReportRequest::new(
+            a_view(p),
+            n,
+            JobId::new(1),
+            SimTime::ZERO,
+            SimTime::MAX,
+        ));
         assert_eq!(m.num_annotations(), 1);
         assert_eq!(m.num_inverted_entries(), 2);
 
@@ -1578,8 +1541,20 @@ mod tests {
         let n = sip128(b"norm");
         let (p1, p2) = (sip128(b"inst1"), sip128(b"inst2"));
         m.load_annotations(&[selected(n, &["in/a.ss"])]);
-        m.register_view(a_view(p1), n, JobId::new(1), SimTime::ZERO, SimTime::MAX);
-        m.register_view(a_view(p2), n, JobId::new(2), SimTime::ZERO, SimTime::MAX);
+        m.register(ReportRequest::new(
+            a_view(p1),
+            n,
+            JobId::new(1),
+            SimTime::ZERO,
+            SimTime::MAX,
+        ));
+        m.register(ReportRequest::new(
+            a_view(p2),
+            n,
+            JobId::new(2),
+            SimTime::ZERO,
+            SimTime::MAX,
+        ));
         m.unregister_views(&[p1]);
         assert_eq!(m.num_annotations(), 1, "live view's annotation was swept");
         assert_eq!(m.num_inverted_entries(), 1);
@@ -1600,13 +1575,13 @@ mod tests {
         let ttl = SimDuration::from_secs(3600); // `selected` uses ttl 3600
         m.load_annotations(&[selected(n, &["in/a.ss"])]);
         let view_expiry = SimTime::ZERO + SimDuration::from_secs(100);
-        m.register_view(
+        m.register(ReportRequest::new(
             a_view(sip128(b"p")),
             n,
             JobId::new(1),
             SimTime::ZERO,
             view_expiry,
-        );
+        ));
 
         // View dead, but still inside the grace window: the annotation must
         // survive so the next recurring instance can rebuild.
@@ -1638,7 +1613,13 @@ mod tests {
         for instance in 0..5u64 {
             let now = clock.now();
             let p = sip128(format!("inst{instance}").as_bytes());
-            m.register_view(a_view(p), n, JobId::new(instance), now, now + day);
+            m.register(ReportRequest::new(
+                a_view(p),
+                n,
+                JobId::new(instance),
+                now,
+                now + day,
+            ));
             clock.advance(day + SimDuration::from_secs(1));
             m.purge_expired();
             assert_eq!(
@@ -1675,7 +1656,13 @@ mod tests {
         for i in 0..40u64 {
             let n = sip128(format!("n{i}").as_bytes());
             let p = sip128(format!("p{i}").as_bytes());
-            m.register_view(a_view(p), n, JobId::new(i), SimTime::ZERO, expiry);
+            m.register(ReportRequest::new(
+                a_view(p),
+                n,
+                JobId::new(i),
+                SimTime::ZERO,
+                expiry,
+            ));
         }
         assert_eq!(m.num_views(), 40);
         // Everything (views and grace horizons) lapses.
@@ -1721,7 +1708,7 @@ mod tests {
                 let m = Arc::clone(&m);
                 let wins = Arc::clone(&wins);
                 std::thread::spawn(move || {
-                    if m.propose(p, JobId::new(i), SimDuration::from_secs(60))
+                    if m.propose_now(p, JobId::new(i), SimDuration::from_secs(60))
                         .unwrap()
                         == LockOutcome::Acquired
                     {
@@ -1745,7 +1732,7 @@ mod tests {
         let m = Arc::new(MetadataService::new(Arc::clone(&clock), 1));
         let p = sip128(b"crashed-builder");
         assert_eq!(
-            m.propose(p, JobId::new(99), SimDuration::from_secs(10))
+            m.propose_now(p, JobId::new(99), SimDuration::from_secs(10))
                 .unwrap(),
             LockOutcome::Acquired
         );
@@ -1754,7 +1741,7 @@ mod tests {
             .map(|i| {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
-                    m.propose(p, JobId::new(i), SimDuration::from_secs(60))
+                    m.propose_now(p, JobId::new(i), SimDuration::from_secs(60))
                         .unwrap()
                 })
             })
@@ -1787,26 +1774,26 @@ mod tests {
             // is propose-vs-registration, not propose-vs-propose (under
             // load the contender could otherwise win the first propose).
             assert_eq!(
-                m.propose(p, JobId::new(1), ttl).unwrap(),
+                m.propose_now(p, JobId::new(1), ttl).unwrap(),
                 LockOutcome::Acquired
             );
             let builder = {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
-                    m.report_materialized(
+                    m.report(ReportRequest::new(
                         a_view(p),
                         Sig128::ZERO,
                         JobId::new(1),
                         SimTime::ZERO,
                         SimTime::MAX,
-                    )
+                    ))
                     .unwrap();
                 })
             };
             let contender = {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || loop {
-                    match m.propose(p, JobId::new(2), ttl).unwrap() {
+                    match m.propose_now(p, JobId::new(2), ttl).unwrap() {
                         LockOutcome::Acquired => break false,
                         LockOutcome::AlreadyMaterialized => break true,
                         LockOutcome::AlreadyLocked => std::hint::spin_loop(),
@@ -1832,22 +1819,28 @@ mod tests {
         let m = service();
         let p = sip128(b"future-visible");
         let ttl = SimDuration::from_secs(60);
-        m.register_view(
+        m.register(ReportRequest::new(
             a_view(p),
             Sig128::ZERO,
             JobId::new(1),
             SimTime(5_000_000), // visible 5s in — after the proposer's `at`
             SimTime(10_000_000),
-        );
+        ));
         assert_eq!(
-            m.propose_at(p, JobId::new(2), ttl, SimTime::ZERO).unwrap(),
+            m.propose(&ProposeRequest::new(p, JobId::new(2), ttl, SimTime::ZERO))
+                .unwrap(),
             LockOutcome::AlreadyMaterialized,
             "a registered-but-not-yet-visible view is still built"
         );
         // An *expired* view is legitimately rebuildable.
         assert_eq!(
-            m.propose_at(p, JobId::new(2), ttl, SimTime(10_000_001))
-                .unwrap(),
+            m.propose(&ProposeRequest::new(
+                p,
+                JobId::new(2),
+                ttl,
+                SimTime(10_000_001)
+            ))
+            .unwrap(),
             LockOutcome::Acquired
         );
     }
@@ -1864,21 +1857,28 @@ mod tests {
         let p = sip128(b"slow-builder");
         let ttl = SimDuration::from_secs(10);
         assert_eq!(
-            m.propose_at(p, JobId::new(1), ttl, SimTime::ZERO).unwrap(),
+            m.propose(&ProposeRequest::new(p, JobId::new(1), ttl, SimTime::ZERO))
+                .unwrap(),
             LockOutcome::Acquired
         );
         // A peer job finishes and drags the live clock far past the TTL.
         clock.advance(SimDuration::from_secs(3_600));
         assert_eq!(
-            m.propose_at(p, JobId::new(2), ttl, SimTime::ZERO).unwrap(),
+            m.propose(&ProposeRequest::new(p, JobId::new(2), ttl, SimTime::ZERO))
+                .unwrap(),
             LockOutcome::AlreadyLocked,
             "the builder is still running at the wave's submission time"
         );
         assert_eq!(m.stats().expired_takeovers, 0);
         // A job from a genuinely later wave still takes the lapsed lock.
         assert_eq!(
-            m.propose_at(p, JobId::new(3), ttl, SimTime(11_000_000))
-                .unwrap(),
+            m.propose(&ProposeRequest::new(
+                p,
+                JobId::new(3),
+                ttl,
+                SimTime(11_000_000)
+            ))
+            .unwrap(),
             LockOutcome::Acquired
         );
         assert_eq!(m.stats().expired_takeovers, 1);
@@ -1928,19 +1928,31 @@ mod tests {
             1
         );
 
-        assert!(m.propose(p, job, ttl).is_err());
-        assert_eq!(m.propose(p, job, ttl).unwrap(), LockOutcome::Acquired);
+        assert!(m.propose_now(p, job, ttl).is_err());
+        assert_eq!(m.propose_now(p, job, ttl).unwrap(), LockOutcome::Acquired);
 
         assert!(m
-            .report_materialized(a_view(p), Sig128::ZERO, job, SimTime::ZERO, SimTime::MAX)
+            .report(ReportRequest::new(
+                a_view(p),
+                Sig128::ZERO,
+                job,
+                SimTime::ZERO,
+                SimTime::MAX
+            ))
             .is_err());
         assert_eq!(m.num_views(), 0, "failed report must not register the view");
         assert!(
             m.lock_holder(p).is_some(),
             "failed report leaves the lock to lapse"
         );
-        m.report_materialized(a_view(p), Sig128::ZERO, job, SimTime::ZERO, SimTime::MAX)
-            .unwrap();
+        m.report(ReportRequest::new(
+            a_view(p),
+            Sig128::ZERO,
+            job,
+            SimTime::ZERO,
+            SimTime::MAX,
+        ))
+        .unwrap();
         assert_eq!(m.num_views(), 1);
         assert!(m.lock_holder(p).is_none());
 
@@ -1961,13 +1973,13 @@ mod tests {
     fn view_producer_provenance() {
         let m = service();
         let p = sip128(b"prov");
-        m.report_materialized(
+        m.report(ReportRequest::new(
             a_view(p),
             Sig128::ZERO,
             JobId::new(42),
             SimTime::ZERO,
             SimTime::MAX,
-        )
+        ))
         .unwrap();
         assert_eq!(m.view_producer(p), Some(JobId::new(42)));
         assert_eq!(m.view_producer(sip128(b"other")), None);
@@ -1977,21 +1989,21 @@ mod tests {
     fn first_report_wins() {
         let m = service();
         let p = sip128(b"dup");
-        m.report_materialized(
+        m.report(ReportRequest::new(
             a_view(p),
             Sig128::ZERO,
             JobId::new(1),
             SimTime::ZERO,
             SimTime::MAX,
-        )
+        ))
         .unwrap();
-        m.report_materialized(
+        m.report(ReportRequest::new(
             a_view(p),
             Sig128::ZERO,
             JobId::new(2),
             SimTime::ZERO,
             SimTime::MAX,
-        )
+        ))
         .unwrap();
         assert_eq!(m.view_producer(p), Some(JobId::new(1)));
         assert_eq!(m.num_views(), 1);

@@ -37,6 +37,7 @@ use scope_engine::sim::{simulate, SimOutcome};
 use scope_plan::QueryGraph;
 use scope_signature::{CompiledJob, SubgraphInfo, SubsumeDescriptor};
 
+use crate::api::{ProposeRequest, ReportRequest};
 use crate::faults::FaultSite;
 use crate::metadata::MetadataService;
 use crate::runtime::{
@@ -70,7 +71,10 @@ impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
     ) -> bool {
         // Pinned like `view_available`: lock expiry is judged at this job's
         // submission time, not the live clock (which peers advance mid-wave).
-        match self.svc.propose_at(precise, job, lock_ttl, self.now) {
+        match self
+            .svc
+            .propose(&ProposeRequest::new(precise, job, lock_ttl, self.now))
+        {
             Ok(outcome) => outcome == crate::metadata::LockOutcome::Acquired,
             Err(_) => {
                 self.propose_faults.set(self.propose_faults.get() + 1);
@@ -368,13 +372,10 @@ impl Stage for PublishStage {
             let descriptor = view_descriptor(&ctx.spec.graph, &ctx.compiled.infos, precise);
             if cv
                 .metadata
-                .report_materialized_with_descriptor(
-                    view,
-                    normalized,
-                    ctx.spec.id,
-                    available_at,
-                    expires_at,
-                    descriptor,
+                .report(
+                    ReportRequest::new(view, normalized, ctx.spec.id, available_at, expires_at)
+                        .with_descriptor(descriptor)
+                        .for_vc(ctx.spec.vc),
                 )
                 .is_err()
             {

@@ -58,6 +58,7 @@ use scope_engine::storage::StorageManager;
 use scope_signature::TemplateCache;
 
 use crate::analyzer::{run_analysis, AnalysisOutcome, AnalyzerConfig, IncrementalAnalyzer};
+use crate::api::LookupRequest;
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::metadata::MetadataService;
 use crate::pipeline::{self, PipelineOptions};
@@ -774,8 +775,9 @@ impl CloudViews {
         SimDuration,
     ) {
         let mut latency = SimDuration::ZERO;
+        let req = LookupRequest::new(job, tags, at).with_probes(probes.to_vec());
         for attempt in 0..=self.degradation.lookup_retries {
-            match self.metadata.relevant_views_for_at(job, tags, probes, at) {
+            match self.metadata.lookup(&req) {
                 Ok(resp) => return (resp.annotations, resp.tier2, latency + resp.latency),
                 Err(_) => {
                     faults.lookup_faults += 1;

@@ -1,0 +1,299 @@
+//! Typed request/response messages and their frame-level dispatch.
+//!
+//! The wire carries exactly the `cloudviews::api` request structs the
+//! in-process facade takes — encoding them here is the *only* serialization
+//! in the system, so a remote caller and a local caller cannot drift apart.
+//! Every request frame is answered by either its matching response frame or
+//! an [`ErrorFrame`] carrying the service's [`ScopeError`] taxonomy plus
+//! the three wire-level outcomes the in-process path never sees: `Busy`
+//! (load shed), `OverQuota` (per-VC token bucket empty), and `Malformed`
+//! (undecodable frame).
+
+use cloudviews::api::{LookupRequest, ProposeRequest, ReportRequest};
+use cloudviews::metadata::{LockOutcome, LookupResponse, MetadataStats, PurgeSweep};
+use scope_common::ScopeError;
+
+use crate::codec::{
+    get_lock_outcome, get_lookup_request, get_lookup_response, get_propose_request,
+    get_purge_sweep, get_report_request, get_stats, put_lock_outcome, put_lookup_request,
+    put_lookup_response, put_propose_request, put_purge_sweep, put_report_request, put_stats, Dec,
+    Enc,
+};
+use crate::wire::{frame_type, WireError};
+
+/// A request frame: one of the five front-door endpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Pinned-time annotation lookup.
+    Lookup(LookupRequest),
+    /// Build-lock proposal.
+    Propose(ProposeRequest),
+    /// Materialization report.
+    Report(ReportRequest),
+    /// Full expiry sweep across every shard.
+    Purge,
+    /// Service-counter snapshot.
+    Stats,
+}
+
+impl Request {
+    /// The virtual cluster the request is attributed to (the quota
+    /// principal). `Purge`/`Stats` are admin endpoints and carry none.
+    pub fn vc(&self) -> Option<scope_common::ids::VcId> {
+        match self {
+            Request::Lookup(r) => Some(r.vc),
+            Request::Propose(r) => Some(r.vc),
+            Request::Report(r) => Some(r.vc),
+            Request::Purge | Request::Stats => None,
+        }
+    }
+
+    /// Frame type tag plus encoded payload.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut e = Enc::new();
+        let ty = match self {
+            Request::Lookup(r) => {
+                put_lookup_request(&mut e, r);
+                frame_type::LOOKUP
+            }
+            Request::Propose(r) => {
+                put_propose_request(&mut e, r);
+                frame_type::PROPOSE
+            }
+            Request::Report(r) => {
+                put_report_request(&mut e, r);
+                frame_type::REPORT
+            }
+            Request::Purge => frame_type::PURGE,
+            Request::Stats => frame_type::STATS,
+        };
+        (ty, e.buf)
+    }
+
+    /// Decodes the payload of a request frame of type `ty`.
+    pub fn decode(ty: u8, payload: &[u8]) -> Result<Request, WireError> {
+        let mut d = Dec::new(payload);
+        let req = match ty {
+            frame_type::LOOKUP => Request::Lookup(get_lookup_request(&mut d)?),
+            frame_type::PROPOSE => Request::Propose(get_propose_request(&mut d)?),
+            frame_type::REPORT => Request::Report(get_report_request(&mut d)?),
+            frame_type::PURGE => Request::Purge,
+            frame_type::STATS => Request::Stats,
+            other => return Err(WireError::BadFrameType(other)),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+/// A response frame: the matching answer for each endpoint, or an error.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Answer to [`Request::Lookup`].
+    Lookup(LookupResponse),
+    /// Answer to [`Request::Propose`].
+    Propose(LockOutcome),
+    /// Acknowledgement of [`Request::Report`].
+    Report,
+    /// Answer to [`Request::Purge`].
+    Purge(PurgeSweep),
+    /// Answer to [`Request::Stats`].
+    Stats(MetadataStats),
+    /// Any request may be answered with an error frame.
+    Error(ErrorFrame),
+}
+
+impl Response {
+    /// Frame type tag plus encoded payload.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut e = Enc::new();
+        let ty = match self {
+            Response::Lookup(r) => {
+                put_lookup_response(&mut e, r);
+                frame_type::LOOKUP_OK
+            }
+            Response::Propose(o) => {
+                put_lock_outcome(&mut e, *o);
+                frame_type::PROPOSE_OK
+            }
+            Response::Report => frame_type::REPORT_OK,
+            Response::Purge(p) => {
+                put_purge_sweep(&mut e, p);
+                frame_type::PURGE_OK
+            }
+            Response::Stats(s) => {
+                put_stats(&mut e, s);
+                frame_type::STATS_OK
+            }
+            Response::Error(err) => {
+                err.encode_into(&mut e);
+                frame_type::ERROR
+            }
+        };
+        (ty, e.buf)
+    }
+
+    /// Decodes the payload of a response frame of type `ty`.
+    pub fn decode(ty: u8, payload: &[u8]) -> Result<Response, WireError> {
+        let mut d = Dec::new(payload);
+        let resp = match ty {
+            frame_type::LOOKUP_OK => Response::Lookup(get_lookup_response(&mut d)?),
+            frame_type::PROPOSE_OK => Response::Propose(get_lock_outcome(&mut d)?),
+            frame_type::REPORT_OK => Response::Report,
+            frame_type::PURGE_OK => Response::Purge(get_purge_sweep(&mut d)?),
+            frame_type::STATS_OK => Response::Stats(get_stats(&mut d)?),
+            frame_type::ERROR => Response::Error(ErrorFrame::decode_from(&mut d)?),
+            other => return Err(WireError::BadFrameType(other)),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Failure domain carried by an [`ErrorFrame`]: the nine [`ScopeError`]
+/// variants plus the three wire-level outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// [`ScopeError::InvalidPlan`].
+    InvalidPlan,
+    /// [`ScopeError::Expression`].
+    Expression,
+    /// [`ScopeError::Optimizer`].
+    Optimizer,
+    /// [`ScopeError::Execution`].
+    Execution,
+    /// [`ScopeError::Storage`].
+    Storage,
+    /// [`ScopeError::Metadata`].
+    Metadata,
+    /// [`ScopeError::Workload`].
+    Workload,
+    /// [`ScopeError::ServiceUnavailable`] — transient; clients retry.
+    ServiceUnavailable,
+    /// [`ScopeError::ViewUnavailable`] — transient; clients retry.
+    ViewUnavailable,
+    /// The server shed the request instead of queueing it (admission bound
+    /// or worker backlog). Transient by definition: retry with backoff.
+    Busy,
+    /// The requesting VC's token bucket is empty. Not transient at the
+    /// client's timescale — retrying immediately just burns quota.
+    OverQuota,
+    /// The server could not decode the request frame.
+    Malformed,
+}
+
+impl ErrorKind {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorKind::InvalidPlan => 0,
+            ErrorKind::Expression => 1,
+            ErrorKind::Optimizer => 2,
+            ErrorKind::Execution => 3,
+            ErrorKind::Storage => 4,
+            ErrorKind::Metadata => 5,
+            ErrorKind::Workload => 6,
+            ErrorKind::ServiceUnavailable => 7,
+            ErrorKind::ViewUnavailable => 8,
+            ErrorKind::Busy => 9,
+            ErrorKind::OverQuota => 10,
+            ErrorKind::Malformed => 11,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<ErrorKind> {
+        Some(match t {
+            0 => ErrorKind::InvalidPlan,
+            1 => ErrorKind::Expression,
+            2 => ErrorKind::Optimizer,
+            3 => ErrorKind::Execution,
+            4 => ErrorKind::Storage,
+            5 => ErrorKind::Metadata,
+            6 => ErrorKind::Workload,
+            7 => ErrorKind::ServiceUnavailable,
+            8 => ErrorKind::ViewUnavailable,
+            9 => ErrorKind::Busy,
+            10 => ErrorKind::OverQuota,
+            11 => ErrorKind::Malformed,
+            _ => return None,
+        })
+    }
+
+    /// True for failures a client should absorb by retrying with backoff
+    /// (mirrors [`ScopeError::is_degradable`], plus `Busy`).
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::ServiceUnavailable | ErrorKind::ViewUnavailable | ErrorKind::Busy
+        )
+    }
+}
+
+/// The error payload: a failure domain plus a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The failure domain.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorFrame {
+    /// Builds an error frame.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ErrorFrame {
+        ErrorFrame {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn encode_into(&self, e: &mut Enc) {
+        e.put_u8(self.kind.tag());
+        e.put_str(&self.message);
+    }
+
+    fn decode_from(d: &mut Dec) -> Result<ErrorFrame, WireError> {
+        let tag = d.u8()?;
+        let kind = ErrorKind::from_tag(tag)
+            .ok_or_else(|| WireError::Malformed(format!("error kind tag {tag}")))?;
+        let message = d.str()?;
+        Ok(ErrorFrame { kind, message })
+    }
+
+    /// Maps a service-side [`ScopeError`] onto the wire taxonomy.
+    pub fn from_scope_error(e: &ScopeError) -> ErrorFrame {
+        let kind = match e {
+            ScopeError::InvalidPlan(_) => ErrorKind::InvalidPlan,
+            ScopeError::Expression(_) => ErrorKind::Expression,
+            ScopeError::Optimizer(_) => ErrorKind::Optimizer,
+            ScopeError::Execution(_) => ErrorKind::Execution,
+            ScopeError::Storage(_) => ErrorKind::Storage,
+            ScopeError::Metadata(_) => ErrorKind::Metadata,
+            ScopeError::Workload(_) => ErrorKind::Workload,
+            ScopeError::ServiceUnavailable(_) => ErrorKind::ServiceUnavailable,
+            ScopeError::ViewUnavailable(_) => ErrorKind::ViewUnavailable,
+        };
+        ErrorFrame::new(kind, e.message())
+    }
+
+    /// Maps the wire taxonomy back onto [`ScopeError`] for the client's
+    /// caller. `Busy` degrades to `ServiceUnavailable` (same retry
+    /// contract); `OverQuota` and `Malformed` surface as `Metadata` errors
+    /// (the request was refused, not the service broken).
+    pub fn to_scope_error(&self) -> ScopeError {
+        let m = self.message.clone();
+        match self.kind {
+            ErrorKind::InvalidPlan => ScopeError::InvalidPlan(m),
+            ErrorKind::Expression => ScopeError::Expression(m),
+            ErrorKind::Optimizer => ScopeError::Optimizer(m),
+            ErrorKind::Execution => ScopeError::Execution(m),
+            ErrorKind::Storage => ScopeError::Storage(m),
+            ErrorKind::Metadata => ScopeError::Metadata(m),
+            ErrorKind::Workload => ScopeError::Workload(m),
+            ErrorKind::ServiceUnavailable => ScopeError::ServiceUnavailable(m),
+            ErrorKind::ViewUnavailable => ScopeError::ViewUnavailable(m),
+            ErrorKind::Busy => ScopeError::ServiceUnavailable(format!("server busy: {m}")),
+            ErrorKind::OverQuota => ScopeError::Metadata(format!("over quota: {m}")),
+            ErrorKind::Malformed => ScopeError::Metadata(format!("malformed request: {m}")),
+        }
+    }
+}

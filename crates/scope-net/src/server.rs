@@ -1,0 +1,596 @@
+//! The threaded TCP front door: one acceptor, a fixed worker pool, bounded
+//! admission, and per-VC token-bucket quotas.
+//!
+//! Architecture mirrors the pipeline's `run_many` discipline (bounded
+//! semaphore + condvar, poison-recovering locks) rather than async I/O:
+//!
+//! * the **acceptor** thread owns the listener. Accepted connections go
+//!   into a *bounded* pending queue; when the queue is full the connection
+//!   is answered with a `Busy` error frame and closed — load is shed at the
+//!   door, never queued without bound (the paper's metadata service sits on
+//!   the job-submission hot path, where queueing delay is the failure mode);
+//! * **workers** (fixed pool) pop connections and serve frames until the
+//!   peer disconnects or goes idle past the configured horizon. Connections
+//!   are reused across requests — one TCP round trip per request, not per
+//!   session;
+//! * each request is charged against its VC's **token bucket** before any
+//!   service work happens. An empty bucket answers `OverQuota` without
+//!   touching the metadata service, so one tenant's burst cannot consume
+//!   another's lookup capacity. A refill rate of zero makes the bucket a
+//!   fixed budget (deterministic for tests).
+//!
+//! Every stage is counted under `cv_net_*` metrics: frames by type, bytes
+//! both ways, queue depth, sheds, quota rejections, and per-endpoint wall
+//! latency.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cloudviews::metadata::MetadataService;
+use scope_common::telemetry::{Counter, Gauge, Histogram, MetricUnit, Telemetry};
+use scope_common::{Result, ScopeError};
+
+use crate::proto::{ErrorFrame, ErrorKind, Request, Response};
+use crate::wire::{read_frame_continued, write_frame, WireError};
+
+/// Per-VC token-bucket parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuotaConfig {
+    /// Tokens added per second. `0.0` disables refill — the bucket is a
+    /// fixed budget of `burst` requests (deterministic tests).
+    pub rate_per_sec: f64,
+    /// Bucket capacity: the largest burst a VC can spend at once. Buckets
+    /// start full.
+    pub burst: f64,
+}
+
+/// Front-door server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 picks an ephemeral port (tests, loopback
+    /// benches); read the bound address back via [`NetServer::addr`].
+    pub addr: String,
+    /// Worker threads. Each serves one connection at a time, so this is
+    /// also the concurrent-connection bound.
+    pub workers: usize,
+    /// Pending-connection queue bound. An accept beyond this is shed with
+    /// a `Busy` frame instead of queued.
+    pub max_pending: usize,
+    /// Per-VC token bucket; `None` admits everything.
+    pub quota: Option<QuotaConfig>,
+    /// Poll interval for shutdown checks on idle reads.
+    pub idle_poll: Duration,
+    /// A connection idle past this horizon is closed, freeing its worker.
+    pub idle_timeout: Duration,
+    /// Once a frame has *started* arriving, the peer has this long to
+    /// deliver the rest of it. Bounds how long a slow (or slow-loris) peer
+    /// can hold a worker mid-frame, and keeps the idle poll from ever
+    /// splitting a frame that arrives across TCP segments.
+    pub frame_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_pending: 64,
+            quota: None,
+            idle_poll: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(60),
+            frame_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Pre-resolved `cv_net_*` metric handles (the `MetadataMetrics` pattern:
+/// resolve once at startup, never take the registry lock on the hot path).
+struct NetMetrics {
+    sink: Arc<Telemetry>,
+    connections: Counter,
+    disconnects: Counter,
+    shed: Counter,
+    quota_rejections: Counter,
+    malformed: Counter,
+    frames: Counter,
+    frames_lookup: Counter,
+    frames_propose: Counter,
+    frames_report: Counter,
+    frames_purge: Counter,
+    frames_stats: Counter,
+    error_responses: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    queue_depth: Gauge,
+    lookup_wall: Histogram,
+    propose_wall: Histogram,
+    report_wall: Histogram,
+}
+
+impl NetMetrics {
+    fn new(sink: Arc<Telemetry>) -> NetMetrics {
+        let m = &sink.metrics;
+        NetMetrics {
+            connections: m.counter("cv_net_connections_total"),
+            disconnects: m.counter("cv_net_disconnects_total"),
+            shed: m.counter("cv_net_shed_total"),
+            quota_rejections: m.counter("cv_net_quota_rejections_total"),
+            malformed: m.counter("cv_net_malformed_total"),
+            frames: m.counter("cv_net_frames_total"),
+            frames_lookup: m.counter("cv_net_frames_lookup_total"),
+            frames_propose: m.counter("cv_net_frames_propose_total"),
+            frames_report: m.counter("cv_net_frames_report_total"),
+            frames_purge: m.counter("cv_net_frames_purge_total"),
+            frames_stats: m.counter("cv_net_frames_stats_total"),
+            error_responses: m.counter("cv_net_error_responses_total"),
+            bytes_read: m.counter("cv_net_bytes_read_total"),
+            bytes_written: m.counter("cv_net_bytes_written_total"),
+            queue_depth: m.gauge("cv_net_queue_depth"),
+            lookup_wall: m.histogram("cv_net_lookup_wall_micros", MetricUnit::WallMicros),
+            propose_wall: m.histogram("cv_net_propose_wall_micros", MetricUnit::WallMicros),
+            report_wall: m.histogram("cv_net_report_wall_micros", MetricUnit::WallMicros),
+            sink,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+}
+
+/// One VC's bucket state.
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// Per-VC token buckets behind one lock (quota checks are a handful of
+/// float ops; contention is negligible next to the socket round trip).
+struct Quota {
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<u64, Bucket>>,
+}
+
+impl Quota {
+    fn new(config: QuotaConfig) -> Quota {
+        Quota {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Charges one token against `vc`'s bucket; `false` means over quota.
+    fn admit(&self, vc: u64) -> bool {
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let now = Instant::now();
+        let b = buckets.entry(vc).or_insert(Bucket {
+            tokens: self.config.burst,
+            last_refill: now,
+        });
+        if self.config.rate_per_sec > 0.0 {
+            let elapsed = now.duration_since(b.last_refill).as_secs_f64();
+            b.tokens = (b.tokens + elapsed * self.config.rate_per_sec).min(self.config.burst);
+            b.last_refill = now;
+        }
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Bounded pending-connection queue (the `Admission` semaphore idiom with
+/// the connection riding along; poison-recovering like the pipeline's).
+/// Each entry carries the connection's idle-since instant so the idle
+/// horizon keeps accruing across worker rotations.
+struct ConnQueue {
+    pending: Mutex<VecDeque<(TcpStream, Instant)>>,
+    max: usize,
+    wake: Condvar,
+}
+
+impl ConnQueue {
+    fn new(max: usize) -> ConnQueue {
+        ConnQueue {
+            pending: Mutex::new(VecDeque::new()),
+            max,
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Enqueues unless full; a full queue returns the entry for shedding
+    /// (or, on a rotation push, for the worker to keep serving).
+    fn push(
+        &self,
+        conn: TcpStream,
+        idle_since: Instant,
+    ) -> std::result::Result<usize, (TcpStream, Instant)> {
+        let mut q = self
+            .pending
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if q.len() >= self.max {
+            return Err((conn, idle_since));
+        }
+        q.push_back((conn, idle_since));
+        let depth = q.len();
+        drop(q);
+        self.wake.notify_one();
+        Ok(depth)
+    }
+
+    /// Pops the next connection, waiting at most `timeout`.
+    fn pop(&self, timeout: Duration) -> Option<(TcpStream, Instant, usize)> {
+        let mut q = self
+            .pending
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if q.is_empty() {
+            let (guard, _) = self
+                .wake
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            q = guard;
+        }
+        let (conn, idle_since) = q.pop_front()?;
+        Some((conn, idle_since, q.len()))
+    }
+
+    /// Connections currently waiting for a worker.
+    fn backlog(&self) -> usize {
+        self.pending
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+}
+
+struct Shared {
+    service: Arc<MetadataService>,
+    metrics: NetMetrics,
+    quota: Option<Quota>,
+    queue: ConnQueue,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A running front-door server. Dropping it (or calling
+/// [`NetServer::shutdown`]) stops the acceptor, drains the workers, and
+/// joins every thread.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `config.addr` and spawns the acceptor + worker pool.
+    pub fn spawn(
+        service: Arc<MetadataService>,
+        telemetry: Arc<Telemetry>,
+        config: ServerConfig,
+    ) -> Result<NetServer> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ScopeError::ServiceUnavailable(format!("bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ScopeError::ServiceUnavailable(format!("local_addr: {e}")))?;
+        let shared = Arc::new(Shared {
+            service,
+            metrics: NetMetrics::new(telemetry),
+            quota: config.quota.map(Quota::new),
+            queue: ConnQueue::new(config.max_pending.max(1)),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+        });
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        let acceptor_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("scope-net-acceptor".into())
+                .spawn(move || acceptor(listener, &acceptor_shared))
+                .map_err(|e| ScopeError::ServiceUnavailable(format!("spawn acceptor: {e}")))?,
+        );
+        for i in 0..config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("scope-net-worker-{i}"))
+                    .spawn(move || worker(&worker_shared))
+                    .map_err(|e| ScopeError::ServiceUnavailable(format!("spawn worker: {e}")))?,
+            );
+        }
+        Ok(NetServer {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (read this after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains workers, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection; it re-checks
+        // the flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue.wake.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor(listener: TcpListener, shared: &Shared) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.metrics.enabled() {
+            shared.metrics.connections.inc();
+        }
+        match shared.queue.push(conn, Instant::now()) {
+            Ok(depth) => shared.metrics.queue_depth.set(depth as i64),
+            Err((conn, _)) => shed(conn, shared),
+        }
+    }
+}
+
+/// Answers a connection the queue cannot hold with `Busy` and closes it.
+fn shed(mut conn: TcpStream, shared: &Shared) {
+    if shared.metrics.enabled() {
+        shared.metrics.shed.inc();
+    }
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(1)));
+    let busy = Response::Error(ErrorFrame::new(
+        ErrorKind::Busy,
+        "admission queue full; retry with backoff",
+    ));
+    let (ty, payload) = busy.encode();
+    let _ = write_frame(&mut conn, ty, &payload);
+}
+
+fn worker(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let Some((conn, idle_since, depth)) = shared.queue.pop(shared.config.idle_poll) else {
+            continue;
+        };
+        shared.metrics.queue_depth.set(depth as i64);
+        serve_connection(conn, idle_since, shared);
+    }
+}
+
+/// Serves one connection until disconnect, idle timeout, a framing error,
+/// or shutdown. Request frames keep arriving on the same socket —
+/// connection reuse is the client's norm, not an optimization.
+///
+/// Fairness: a worker does not camp on an idle connection while other
+/// connections wait. At each idle tick with a non-empty backlog it parks
+/// its connection back into the queue and picks up the next, so the pool
+/// multiplexes arbitrarily many mostly-idle connections at idle-poll
+/// granularity instead of starving everything past `workers`. (A full
+/// queue skips the rotation — the worker keeps what it has rather than
+/// dropping a healthy connection.) Latency-sensitive deployments still
+/// provision `workers` at or above the expected concurrent connections:
+/// a parked connection's next request waits up to one idle tick to be
+/// noticed.
+fn serve_connection(mut conn: TcpStream, mut idle_since: Instant, shared: &Shared) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(shared.config.idle_poll));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(1)));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Two-phase read: poll one byte at the idle tick (cheap shutdown
+        // checks), and only once a frame has *started* grant the peer the
+        // full frame deadline for the rest. Reading the whole frame at the
+        // idle tick would let the poll timeout fire between a frame's TCP
+        // segments, misframing a perfectly healthy connection.
+        let mut first = [0u8; 1];
+        let first = match conn.read(&mut first) {
+            Ok(1) => first[0],
+            Ok(_) => {
+                // Read of zero bytes: orderly disconnect.
+                if shared.metrics.enabled() {
+                    shared.metrics.disconnects.inc();
+                }
+                return;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if idle_since.elapsed() > shared.config.idle_timeout {
+                    if shared.metrics.enabled() {
+                        shared.metrics.disconnects.inc();
+                    }
+                    return;
+                }
+                if shared.queue.backlog() > 0 {
+                    match shared.queue.push(conn, idle_since) {
+                        Ok(depth) => {
+                            shared.metrics.queue_depth.set(depth as i64);
+                            return;
+                        }
+                        Err((c, _)) => conn = c,
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if shared.metrics.enabled() {
+                    shared.metrics.disconnects.inc();
+                }
+                return;
+            }
+        };
+        let _ = conn.set_read_timeout(Some(shared.config.frame_deadline));
+        let frame = read_frame_continued(&mut conn, first);
+        let _ = conn.set_read_timeout(Some(shared.config.idle_poll));
+        let (ty, payload) = match frame {
+            Ok(frame) => frame,
+            Err(WireError::Io(_)) => {
+                // Disconnect or mid-frame stall past the deadline. The
+                // worker simply moves on to the next pending connection —
+                // nothing is wedged.
+                if shared.metrics.enabled() {
+                    shared.metrics.disconnects.inc();
+                }
+                return;
+            }
+            Err(e) => {
+                // Framing is broken (bad magic/version/type/length): answer
+                // once, then close — the byte stream can't be resynced.
+                if shared.metrics.enabled() {
+                    shared.metrics.malformed.inc();
+                }
+                respond(
+                    &mut conn,
+                    shared,
+                    Response::Error(ErrorFrame::new(ErrorKind::Malformed, e.to_string())),
+                );
+                return;
+            }
+        };
+        idle_since = Instant::now();
+        if shared.metrics.enabled() {
+            shared.metrics.frames.inc();
+            shared
+                .metrics
+                .bytes_read
+                .add((crate::wire::HEADER_LEN + payload.len()) as u64);
+        }
+        let req = match Request::decode(ty, &payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // The frame parsed but the payload didn't: the stream is
+                // still framed, so answer and keep serving.
+                if shared.metrics.enabled() {
+                    shared.metrics.malformed.inc();
+                }
+                if !respond(
+                    &mut conn,
+                    shared,
+                    Response::Error(ErrorFrame::new(ErrorKind::Malformed, e.to_string())),
+                ) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = process(&req, shared);
+        if !respond(&mut conn, shared, response) {
+            if shared.metrics.enabled() {
+                shared.metrics.disconnects.inc();
+            }
+            return;
+        }
+    }
+}
+
+/// Runs one decoded request: quota first, then the service call.
+fn process(req: &Request, shared: &Shared) -> Response {
+    let m = &shared.metrics;
+    if m.enabled() {
+        match req {
+            Request::Lookup(_) => m.frames_lookup.inc(),
+            Request::Propose(_) => m.frames_propose.inc(),
+            Request::Report(_) => m.frames_report.inc(),
+            Request::Purge => m.frames_purge.inc(),
+            Request::Stats => m.frames_stats.inc(),
+        }
+    }
+    if let (Some(quota), Some(vc)) = (&shared.quota, req.vc()) {
+        if !quota.admit(vc.raw()) {
+            if m.enabled() {
+                m.quota_rejections.inc();
+            }
+            return Response::Error(ErrorFrame::new(
+                ErrorKind::OverQuota,
+                format!("vc {} token bucket empty", vc.raw()),
+            ));
+        }
+    }
+    let start = Instant::now();
+    let response = match req {
+        Request::Lookup(r) => match shared.service.lookup(r) {
+            Ok(resp) => Response::Lookup(resp),
+            Err(e) => Response::Error(ErrorFrame::from_scope_error(&e)),
+        },
+        Request::Propose(r) => match shared.service.propose(r) {
+            Ok(outcome) => Response::Propose(outcome),
+            Err(e) => Response::Error(ErrorFrame::from_scope_error(&e)),
+        },
+        Request::Report(r) => match shared.service.report(r.clone()) {
+            Ok(()) => Response::Report,
+            Err(e) => Response::Error(ErrorFrame::from_scope_error(&e)),
+        },
+        Request::Purge => Response::Purge(shared.service.purge_expired()),
+        Request::Stats => Response::Stats(shared.service.stats()),
+    };
+    if m.enabled() {
+        let wall = start.elapsed().as_micros() as u64;
+        match req {
+            Request::Lookup(_) => m.lookup_wall.record(wall),
+            Request::Propose(_) => m.propose_wall.record(wall),
+            Request::Report(_) => m.report_wall.record(wall),
+            Request::Purge | Request::Stats => {}
+        }
+    }
+    response
+}
+
+/// Writes a response frame; `false` means the connection is gone.
+fn respond(conn: &mut TcpStream, shared: &Shared, response: Response) -> bool {
+    let m = &shared.metrics;
+    if m.enabled() {
+        if let Response::Error(_) = &response {
+            m.error_responses.inc();
+        }
+    }
+    let (ty, payload) = response.encode();
+    if m.enabled() {
+        m.bytes_written
+            .add((crate::wire::HEADER_LEN + payload.len()) as u64);
+    }
+    write_frame(conn, ty, &payload).is_ok()
+}

@@ -1,0 +1,651 @@
+//! Protocol property tests: every frame type round-trips bit-for-bit, and
+//! no sequence of adversarial bytes — truncations, mutations, random
+//! garbage, hostile length prefixes, nesting bombs — makes the decoder
+//! panic. The decoder is the server's first line of defense; its only legal
+//! failure mode is `WireError`.
+
+use std::collections::BTreeMap;
+use std::io::Cursor;
+
+use cloudviews::api::{LookupRequest, ProposeRequest, ReportRequest};
+use cloudviews::metadata::{LockOutcome, LookupResponse, MetadataStats, PurgeSweep};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scope_common::hash::Sig128;
+use scope_common::ids::{JobId, VcId};
+use scope_common::time::{SimDuration, SimTime};
+use scope_common::ScopeError;
+use scope_engine::optimizer::{Annotation, AvailableView, SubsumedView};
+use scope_net::proto::{ErrorFrame, ErrorKind, Request, Response};
+use scope_net::wire::{
+    self, frame_type, read_frame, write_frame, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+use scope_plan::expr::{AggExpr, AggFunc, BinOp, ScalarFunc, UnaryOp};
+use scope_plan::interval::Interval;
+use scope_plan::{
+    Column, DataType, Expr, NamedExpr, Partitioning, PhysicalProps, Schema, SortDir, SortKey,
+    SortOrder, Value,
+};
+use scope_signature::{SubsumeDescriptor, SubsumeDetail, SubsumeKind};
+
+// ---------------------------------------------------------------------------
+// Fixtures: one instance of everything that can ride the wire, exercising
+// every enum variant the codec knows about.
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("ts", DataType::Date),
+        Column::new("name", DataType::Str),
+        Column::new("score", DataType::Float),
+        Column::new("ok", DataType::Bool),
+    ])
+    .expect("fixture schema")
+}
+
+fn props() -> PhysicalProps {
+    PhysicalProps {
+        partitioning: Partitioning::Hash {
+            cols: vec![0, 2],
+            parts: 64,
+        },
+        sort: SortOrder(vec![
+            SortKey {
+                col: 0,
+                dir: SortDir::Asc,
+            },
+            SortKey {
+                col: 3,
+                dir: SortDir::Desc,
+            },
+        ]),
+    }
+}
+
+/// An expression using every node kind, every value tag, and a few ops.
+fn gnarly_expr() -> Expr {
+    Expr::Func {
+        func: ScalarFunc::If,
+        args: vec![
+            Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(Expr::Binary {
+                    op: BinOp::Ge,
+                    left: Box::new(Expr::Col(1)),
+                    right: Box::new(Expr::RecurringParam {
+                        name: "@start".into(),
+                        value: Value::Date(19_723),
+                    }),
+                }),
+                right: Box::new(Expr::Unary {
+                    op: UnaryOp::Not,
+                    child: Box::new(Expr::Unary {
+                        op: UnaryOp::IsNull,
+                        child: Box::new(Expr::Col(2)),
+                    }),
+                }),
+            },
+            Expr::Lit(Value::Str("kept".into())),
+            Expr::Func {
+                func: ScalarFunc::Concat,
+                args: vec![
+                    Expr::Lit(Value::Null),
+                    Expr::Lit(Value::Bool(true)),
+                    Expr::Lit(Value::Int(-42)),
+                    Expr::Lit(Value::Float(2.5)),
+                ],
+            },
+        ],
+    }
+}
+
+fn filter_descriptor() -> SubsumeDescriptor {
+    let mut intervals = BTreeMap::new();
+    intervals.insert(
+        1,
+        Interval {
+            lo: Some((Value::Date(19_000), true)),
+            hi: Some((Value::Date(19_700), false)),
+        },
+    );
+    intervals.insert(
+        3,
+        Interval {
+            lo: None,
+            hi: Some((Value::Float(0.75), true)),
+        },
+    );
+    SubsumeDescriptor {
+        kind: SubsumeKind::Filter,
+        child_precise: Sig128::new(0xDEAD_BEEF, 0xFEED_FACE),
+        cols: 0b10111,
+        keys: 0b00001,
+        schema: schema(),
+        detail: SubsumeDetail::Filter { intervals },
+    }
+}
+
+fn project_descriptor() -> SubsumeDescriptor {
+    SubsumeDescriptor {
+        kind: SubsumeKind::Project,
+        child_precise: Sig128::new(7, 9),
+        cols: 0b00111,
+        keys: 0,
+        schema: schema(),
+        detail: SubsumeDetail::Project {
+            exprs: vec![
+                NamedExpr {
+                    name: "key".into(),
+                    expr: Expr::Col(0),
+                },
+                NamedExpr {
+                    name: "derived".into(),
+                    expr: gnarly_expr(),
+                },
+            ],
+        },
+    }
+}
+
+fn rollup_descriptor() -> SubsumeDescriptor {
+    SubsumeDescriptor {
+        kind: SubsumeKind::Rollup,
+        child_precise: Sig128::new(u64::MAX, 0),
+        cols: u64::MAX,
+        keys: 0b11,
+        schema: schema(),
+        detail: SubsumeDetail::Rollup {
+            keys: vec![0, 1],
+            aggs: vec![
+                AggExpr {
+                    name: "n".into(),
+                    func: AggFunc::Count,
+                    input: 0,
+                },
+                AggExpr {
+                    name: "total".into(),
+                    func: AggFunc::Sum,
+                    input: 3,
+                },
+                AggExpr {
+                    name: "lo".into(),
+                    func: AggFunc::Min,
+                    input: 3,
+                },
+                AggExpr {
+                    name: "hi".into(),
+                    func: AggFunc::Max,
+                    input: 3,
+                },
+                AggExpr {
+                    name: "mean".into(),
+                    func: AggFunc::Avg,
+                    input: 3,
+                },
+                AggExpr {
+                    name: "uniq".into(),
+                    func: AggFunc::CountDistinct,
+                    input: 2,
+                },
+            ],
+        },
+    }
+}
+
+fn available_view() -> AvailableView {
+    AvailableView {
+        precise: Sig128::new(11, 13),
+        rows: 1_000_000,
+        bytes: 64 << 20,
+        props: props(),
+    }
+}
+
+fn lookup_response() -> LookupResponse {
+    LookupResponse {
+        annotations: vec![
+            Annotation {
+                normalized: Sig128::new(1, 2),
+                props: props(),
+                ttl: SimDuration::from_micros(3_600_000_000),
+                avg_cpu: SimDuration::from_micros(250_000),
+                avg_rows: 1234,
+                avg_bytes: 1 << 22,
+            },
+            Annotation {
+                normalized: Sig128::new(3, 4),
+                props: PhysicalProps {
+                    partitioning: Partitioning::Any,
+                    sort: SortOrder(Vec::new()),
+                },
+                ttl: SimDuration::from_micros(0),
+                avg_cpu: SimDuration::from_micros(0),
+                avg_rows: 0,
+                avg_bytes: 0,
+            },
+        ],
+        tier2: vec![SubsumedView {
+            view: available_view(),
+            normalized: Sig128::new(5, 6),
+            descriptor: filter_descriptor(),
+            avg_cpu: SimDuration::from_micros(99),
+        }],
+        latency: SimDuration::from_micros(777),
+        hit_count: 3,
+    }
+}
+
+/// Every request frame, exercising every descriptor variant.
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Lookup(
+            LookupRequest::new(
+                JobId::new(42),
+                &["wasb://in/clicks.ss".into(), "wasb://in/users.ss".into()],
+                SimTime(1_234_567),
+            )
+            .with_probes(vec![
+                filter_descriptor(),
+                project_descriptor(),
+                rollup_descriptor(),
+            ])
+            .for_vc(VcId::new(7)),
+        ),
+        Request::Lookup(LookupRequest::new(JobId::new(0), &[], SimTime::ZERO)),
+        Request::Propose(
+            ProposeRequest::new(
+                Sig128::new(21, 22),
+                JobId::new(9),
+                SimDuration::from_micros(600_000_000),
+                SimTime(55),
+            )
+            .for_vc(VcId::new(3)),
+        ),
+        Request::Report(
+            ReportRequest::new(
+                available_view(),
+                Sig128::new(31, 32),
+                JobId::new(17),
+                SimTime(100),
+                SimTime(10_000_000),
+            )
+            .with_descriptor(Some(rollup_descriptor()))
+            .for_vc(VcId::new(5)),
+        ),
+        Request::Report(ReportRequest::new(
+            available_view(),
+            Sig128::new(33, 34),
+            JobId::new(18),
+            SimTime(200),
+            SimTime(20_000_000),
+        )),
+        Request::Purge,
+        Request::Stats,
+    ]
+}
+
+/// Every response frame, including an error frame for every kind.
+fn all_responses() -> Vec<Response> {
+    let mut out = vec![
+        Response::Lookup(lookup_response()),
+        Response::Lookup(LookupResponse {
+            annotations: Vec::new(),
+            tier2: Vec::new(),
+            latency: SimDuration::from_micros(0),
+            hit_count: 0,
+        }),
+        Response::Propose(LockOutcome::Acquired),
+        Response::Propose(LockOutcome::AlreadyLocked),
+        Response::Propose(LockOutcome::AlreadyMaterialized),
+        Response::Report,
+        Response::Purge(PurgeSweep {
+            views_purged: 12,
+            annotations_purged: 99,
+        }),
+        Response::Stats(MetadataStats {
+            lookups: 1,
+            annotations_returned: 2,
+            locks_granted: 3,
+            lock_conflicts: 4,
+            already_materialized: 5,
+            views_registered: 6,
+            expired_takeovers: 7,
+            failed_lookups: 8,
+            failed_proposals: 9,
+            failed_reports: 10,
+            purged_annotations: 11,
+            tier2_hits: 12,
+            tier2_rejects: 13,
+        }),
+    ];
+    for kind in ALL_ERROR_KINDS {
+        out.push(Response::Error(ErrorFrame::new(kind, "detail text")));
+    }
+    out
+}
+
+const ALL_ERROR_KINDS: [ErrorKind; 12] = [
+    ErrorKind::InvalidPlan,
+    ErrorKind::Expression,
+    ErrorKind::Optimizer,
+    ErrorKind::Execution,
+    ErrorKind::Storage,
+    ErrorKind::Metadata,
+    ErrorKind::Workload,
+    ErrorKind::ServiceUnavailable,
+    ErrorKind::ViewUnavailable,
+    ErrorKind::Busy,
+    ErrorKind::OverQuota,
+    ErrorKind::Malformed,
+];
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+#[test]
+fn every_request_round_trips() {
+    for req in all_requests() {
+        let (ty, payload) = req.encode();
+        let back = Request::decode(ty, &payload).expect("valid request payload decodes");
+        assert_eq!(req, back);
+        // Stability: re-encoding the decoded value is byte-identical.
+        assert_eq!((ty, payload), back.encode());
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    for resp in all_responses() {
+        let (ty, payload) = resp.encode();
+        let back = Response::decode(ty, &payload).expect("valid response payload decodes");
+        // `LookupResponse` has no `Eq`; byte-identical re-encoding is the
+        // round-trip witness (and the contract the acceptance test uses).
+        assert_eq!((ty, payload), back.encode());
+    }
+}
+
+#[test]
+fn every_frame_survives_the_wire_layer() {
+    for req in all_requests() {
+        let (ty, payload) = req.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ty, &payload).expect("write");
+        let (rty, rpayload) = read_frame(&mut Cursor::new(&buf)).expect("read");
+        assert_eq!((rty, rpayload), (ty, payload));
+    }
+    for resp in all_responses() {
+        let (ty, payload) = resp.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ty, &payload).expect("write");
+        let (rty, rpayload) = read_frame(&mut Cursor::new(&buf)).expect("read");
+        assert_eq!((rty, rpayload), (ty, payload));
+    }
+}
+
+#[test]
+fn error_frames_map_the_scope_error_taxonomy_both_ways() {
+    let errors = [
+        ScopeError::InvalidPlan("a".into()),
+        ScopeError::Expression("b".into()),
+        ScopeError::Optimizer("c".into()),
+        ScopeError::Execution("d".into()),
+        ScopeError::Storage("e".into()),
+        ScopeError::Metadata("f".into()),
+        ScopeError::Workload("g".into()),
+        ScopeError::ServiceUnavailable("h".into()),
+        ScopeError::ViewUnavailable("i".into()),
+    ];
+    for err in &errors {
+        let frame = ErrorFrame::from_scope_error(err);
+        let back = frame.to_scope_error();
+        assert_eq!(err.kind(), back.kind(), "taxonomy preserved for {err:?}");
+        assert_eq!(err.message(), back.message());
+        assert_eq!(
+            err.is_degradable(),
+            frame.kind.is_transient(),
+            "retry contract preserved for {err:?}"
+        );
+    }
+    // The three wire-level kinds have no ScopeError twin; they degrade to
+    // the documented fallbacks and keep their transiency.
+    assert!(ErrorKind::Busy.is_transient());
+    assert!(!ErrorKind::OverQuota.is_transient());
+    assert!(!ErrorKind::Malformed.is_transient());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial headers
+
+#[test]
+fn header_rejects_bad_magic() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame_type::PURGE, &[]).unwrap();
+    buf[0] = b'X';
+    match read_frame(&mut Cursor::new(&buf)) {
+        Err(WireError::BadMagic(m)) => assert_eq!(&m[1..], &MAGIC[1..]),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_rejects_wrong_version() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame_type::STATS, &[]).unwrap();
+    buf[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    match read_frame(&mut Cursor::new(&buf)) {
+        Err(WireError::BadVersion(v)) => assert_eq!(v, VERSION + 1),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_rejects_unknown_frame_type() {
+    for ty in [0x00u8, 0x06, 0x42, 0x80, 0x86, 0xE1, 0xFF] {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, frame_type::PURGE, &[]).unwrap();
+        buf[6] = ty;
+        match read_frame(&mut Cursor::new(&buf)) {
+            Err(WireError::BadFrameType(t)) => assert_eq!(t, ty),
+            other => panic!("expected BadFrameType(0x{ty:02x}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn header_rejects_oversized_length_prefix_before_allocating() {
+    // A hostile length prefix (4 GiB - 1) must be rejected from the 12-byte
+    // header alone — no payload bytes exist to back it.
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame_type::LOOKUP, &[]).unwrap();
+    buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    match read_frame(&mut Cursor::new(&buf)) {
+        Err(WireError::Oversized(n)) => assert_eq!(n, u32::MAX),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    const { assert!(MAX_PAYLOAD < u32::MAX) };
+}
+
+#[test]
+fn truncated_header_and_payload_fail_as_io() {
+    let req = &all_requests()[0];
+    let (ty, payload) = req.encode();
+    let mut buf = Vec::new();
+    write_frame(&mut buf, ty, &payload).unwrap();
+    for cut in 0..buf.len() {
+        match read_frame(&mut Cursor::new(&buf[..cut])) {
+            Err(e) => assert!(e.is_io(), "cut at {cut}: expected io error, got {e}"),
+            Ok(_) => panic!("cut at {cut}: truncated frame decoded"),
+        }
+    }
+}
+
+#[test]
+fn writer_refuses_oversized_payloads() {
+    // Claiming more than MAX_PAYLOAD is a local bug, caught before any
+    // bytes hit the socket. (Build the length check input without actually
+    // allocating 16 MiB: write_frame checks `payload.len()` only.)
+    let payload = vec![0u8; MAX_PAYLOAD as usize + 1];
+    let mut sink = Vec::new();
+    match write_frame(&mut sink, frame_type::REPORT, &payload) {
+        Err(WireError::Oversized(_)) => {}
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    assert!(
+        sink.is_empty(),
+        "nothing may be written for a refused frame"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial payloads: the decoder may refuse, never panic.
+
+#[test]
+fn every_strict_prefix_of_a_valid_payload_is_rejected() {
+    for req in all_requests() {
+        let (ty, payload) = req.encode();
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(ty, &payload[..cut]).is_err(),
+                "{ty:#x} prefix of {cut}/{} decoded",
+                payload.len()
+            );
+        }
+    }
+    for resp in all_responses() {
+        let (ty, payload) = resp.encode();
+        for cut in 0..payload.len() {
+            assert!(
+                Response::decode(ty, &payload[..cut]).is_err(),
+                "{ty:#x} prefix of {cut}/{} decoded",
+                payload.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    for req in all_requests() {
+        let (ty, mut payload) = req.encode();
+        payload.push(0);
+        assert!(Request::decode(ty, &payload).is_err());
+    }
+    for resp in all_responses() {
+        let (ty, mut payload) = resp.encode();
+        payload.push(0);
+        assert!(Response::decode(ty, &payload).is_err());
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_panic() {
+    // Flip every byte of every valid payload through a few values. Decode
+    // may succeed (some bytes are free), but must never panic; successful
+    // decodes must re-encode without panicking too.
+    for req in all_requests() {
+        let (ty, payload) = req.encode();
+        for pos in 0..payload.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = payload.clone();
+                mutated[pos] ^= flip;
+                if let Ok(back) = Request::decode(ty, &mutated) {
+                    let _ = back.encode();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_payloads_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xC10D_41E5);
+    let types = [
+        frame_type::LOOKUP,
+        frame_type::PROPOSE,
+        frame_type::REPORT,
+        frame_type::PURGE,
+        frame_type::STATS,
+        frame_type::LOOKUP_OK,
+        frame_type::PROPOSE_OK,
+        frame_type::REPORT_OK,
+        frame_type::PURGE_OK,
+        frame_type::STATS_OK,
+        frame_type::ERROR,
+    ];
+    for round in 0..2000 {
+        let len = rng.gen_range(0..256usize);
+        let payload: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        let ty = types[round % types.len()];
+        let _ = Request::decode(ty, &payload);
+        let _ = Response::decode(ty, &payload);
+    }
+}
+
+#[test]
+fn hostile_sequence_lengths_are_rejected_without_allocation() {
+    // A lookup request whose tag count claims 2^32-1 entries: the length
+    // prefix must be refused (MAX_SEQ), not trusted for a reservation.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&42u64.to_le_bytes()); // job
+    payload.extend_from_slice(&7u64.to_le_bytes()); // vc
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // tag count
+    let err = Request::decode(frame_type::LOOKUP, &payload).unwrap_err();
+    assert!(matches!(err, WireError::Malformed(_)), "got {err}");
+
+    // Same for a hostile string length inside the first tag.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&42u64.to_le_bytes());
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload.extend_from_slice(&1u32.to_le_bytes()); // one tag
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // of absurd length
+    let err = Request::decode(frame_type::LOOKUP, &payload).unwrap_err();
+    assert!(matches!(err, WireError::Malformed(_)), "got {err}");
+}
+
+#[test]
+fn expression_nesting_bombs_are_depth_limited() {
+    // 200 nested unary nodes squeeze into ~400 bytes; an unchecked decoder
+    // would recurse once per node. The codec caps depth at MAX_EXPR_DEPTH.
+    let mut deep = Expr::Col(0);
+    for _ in 0..200 {
+        deep = Expr::Unary {
+            op: UnaryOp::Not,
+            child: Box::new(deep),
+        };
+    }
+    let desc = SubsumeDescriptor {
+        kind: SubsumeKind::Project,
+        child_precise: Sig128::ZERO,
+        cols: 1,
+        keys: 0,
+        schema: schema(),
+        detail: SubsumeDetail::Project {
+            exprs: vec![NamedExpr {
+                name: "bomb".into(),
+                expr: deep,
+            }],
+        },
+    };
+    let req = Request::Lookup(
+        LookupRequest::new(JobId::new(1), &[], SimTime::ZERO).with_probes(vec![desc]),
+    );
+    let (ty, payload) = req.encode();
+    let err = Request::decode(ty, &payload).unwrap_err();
+    match err {
+        WireError::Malformed(m) => assert!(m.contains("nesting"), "unexpected message: {m}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_constants_are_pinned() {
+    // The wire format is a compatibility contract; lock the constants so an
+    // accidental change fails loudly instead of silently forking the
+    // protocol.
+    assert_eq!(MAGIC, *b"SCPN");
+    assert_eq!(VERSION, 1);
+    assert_eq!(HEADER_LEN, 12);
+    assert_eq!(MAX_PAYLOAD, 16 * 1024 * 1024);
+    assert_eq!(wire::frame_type::LOOKUP, 0x01);
+    assert_eq!(wire::frame_type::ERROR, 0xE0);
+}

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cloudviews::analyzer::{AnalyzerConfig, SelectionConstraints, SelectionPolicy};
-use cloudviews::{CloudViews, RunMode};
+use cloudviews::{CloudViews, ReportRequest, RunMode};
 use scope_common::time::{SimDuration, SimTime};
 use scope_engine::storage::StorageManager;
 use scope_workload::dists::LogNormal;
@@ -255,7 +255,13 @@ fn offline_mode_builds_views_upfront() {
             let normalized = built.file.meta.normalized;
             cv.storage.publish_view(built.file).unwrap();
             cv.metadata
-                .report_materialized(view, normalized, spec.id, SimTime::ZERO, expires)
+                .report(ReportRequest::new(
+                    view,
+                    normalized,
+                    spec.id,
+                    SimTime::ZERO,
+                    expires,
+                ))
                 .unwrap();
             prebuilt += 1;
         }

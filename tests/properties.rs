@@ -500,7 +500,7 @@ fn shard_test_annotations(n: usize, ttl: SimDuration) -> Vec<cloudviews::analyze
 #[test]
 fn purge_never_leaks_dead_annotations() {
     for_cases("purge_never_leaks_dead_annotations", |rng| {
-        use cloudviews::MetadataService;
+        use cloudviews::{MetadataService, ReportRequest};
         use scope_common::time::SimClock;
         use scope_common::Symbol;
         use scope_engine::optimizer::AvailableView;
@@ -519,7 +519,7 @@ fn purge_never_leaks_dead_annotations() {
         for (i, s) in selected.iter().enumerate() {
             let expires = SimTime::ZERO + SimDuration::from_secs(rng.gen_range(10..1_000));
             view_expiry.push(expires);
-            m.register_view(
+            m.register(ReportRequest::new(
                 AvailableView {
                     precise: scope_common::sip128(format!("shard-prop/precise/{i}").as_bytes()),
                     rows: 10,
@@ -530,7 +530,7 @@ fn purge_never_leaks_dead_annotations() {
                 JobId::new(i as u64),
                 SimTime::ZERO,
                 expires,
-            );
+            ));
         }
 
         let now = clock.advance(SimDuration::from_secs(rng.gen_range(0..6_000)));
@@ -582,7 +582,7 @@ fn purge_never_leaks_dead_annotations() {
 #[test]
 fn tier2_lookup_pins_caller_time_under_clock_skew() {
     for_cases("tier2_lookup_pins_caller_time_under_clock_skew", |rng| {
-        use cloudviews::MetadataService;
+        use cloudviews::{LookupRequest, MetadataService, ReportRequest};
         use scope_common::time::SimClock;
         use scope_common::Symbol;
         use scope_engine::optimizer::AvailableView;
@@ -628,18 +628,20 @@ fn tier2_lookup_pins_caller_time_under_clock_skew() {
 
         let created = SimTime::ZERO + SimDuration::from_secs(rng.gen_range(100..1_000));
         let expires = created + SimDuration::from_secs(rng.gen_range(100..1_000));
-        m.register_view_with_descriptor(
-            AvailableView {
-                precise: view_precise,
-                rows: 10,
-                bytes: 100,
-                props: PhysicalProps::any(),
-            },
-            view_norm,
-            JobId::new(1),
-            created,
-            expires,
-            Some(view_desc),
+        m.register(
+            ReportRequest::new(
+                AvailableView {
+                    precise: view_precise,
+                    rows: 10,
+                    bytes: 100,
+                    props: PhysicalProps::any(),
+                },
+                view_norm,
+                JobId::new(1),
+                created,
+                expires,
+            )
+            .with_descriptor(Some(view_desc)),
         );
 
         // Skew the service's live clock to an arbitrary point — possibly
@@ -660,7 +662,7 @@ fn tier2_lookup_pins_caller_time_under_clock_skew() {
             (expires + SimDuration::from_secs(1), false),
         ] {
             let r = m
-                .relevant_views_for_at(JobId::new(2), &tags, probes, at)
+                .lookup(&LookupRequest::new(JobId::new(2), &tags, at).with_probes(probes.to_vec()))
                 .unwrap();
             assert_eq!(
                 r.annotations.len(),
@@ -688,7 +690,7 @@ fn tier2_lookup_pins_caller_time_under_clock_skew() {
 /// empty.
 #[test]
 fn thousand_recurring_instances_stay_bounded() {
-    use cloudviews::MetadataService;
+    use cloudviews::{MetadataService, ReportRequest};
     use scope_common::time::SimClock;
     use scope_engine::optimizer::AvailableView;
     use scope_plan::PhysicalProps;
@@ -703,7 +705,7 @@ fn thousand_recurring_instances_stay_bounded() {
     for instance in 0..1_000u64 {
         let now = clock.now();
         for (k, s) in selected.iter().enumerate() {
-            m.register_view(
+            m.register(ReportRequest::new(
                 AvailableView {
                     precise: scope_common::sip128(
                         format!("bounded/inst/{instance}/{k}").as_bytes(),
@@ -716,7 +718,7 @@ fn thousand_recurring_instances_stay_bounded() {
                 JobId::new(instance * K as u64 + k as u64),
                 now,
                 now + SimDuration::from_secs(50),
-            );
+            ));
         }
         clock.advance(SimDuration::from_secs(100));
         // The background janitor: one shard swept per job-sized step.
@@ -758,7 +760,7 @@ fn thousand_recurring_instances_stay_bounded() {
 /// win the lapsed lock.
 #[test]
 fn concurrent_shard_stress_with_single_takeover_winner() {
-    use cloudviews::{LockOutcome, MetadataService};
+    use cloudviews::{LockOutcome, MetadataService, ReportRequest};
     use scope_common::time::SimClock;
     use scope_engine::optimizer::AvailableView;
     use scope_plan::PhysicalProps;
@@ -776,7 +778,7 @@ fn concurrent_shard_stress_with_single_takeover_winner() {
     // Seed a build lock whose TTL lapses before the threads start.
     let contested = scope_common::sip128(b"stress/contested");
     assert_eq!(
-        m.propose(contested, JobId::new(0), SimDuration::from_secs(10))
+        m.propose_now(contested, JobId::new(0), SimDuration::from_secs(10))
             .unwrap(),
         LockOutcome::Acquired
     );
@@ -793,7 +795,7 @@ fn concurrent_shard_stress_with_single_takeover_winner() {
                 // The takeover race: every thread sees the same expired
                 // lock; the shard's lock-table mutex must elect one winner.
                 match m
-                    .propose(contested, JobId::new(100 + t), SimDuration::from_secs(60))
+                    .propose_now(contested, JobId::new(100 + t), SimDuration::from_secs(60))
                     .unwrap()
                 {
                     LockOutcome::Acquired => {
@@ -821,13 +823,13 @@ fn concurrent_shard_stress_with_single_takeover_winner() {
                     );
                     let precise = scope_common::sip128(format!("stress/{t}/{i}").as_bytes());
                     assert_eq!(
-                        m.propose(precise, JobId::new(1_000 + t), SimDuration::from_secs(60))
+                        m.propose_now(precise, JobId::new(1_000 + t), SimDuration::from_secs(60))
                             .unwrap(),
                         LockOutcome::Acquired,
                         "thread-unique signature must never conflict"
                     );
                     if i % 2 == 0 {
-                        m.register_view(
+                        m.register(ReportRequest::new(
                             AvailableView {
                                 precise,
                                 rows: 10,
@@ -838,7 +840,7 @@ fn concurrent_shard_stress_with_single_takeover_winner() {
                             JobId::new(1_000 + t),
                             now,
                             now + SimDuration::from_secs(1_000),
-                        );
+                        ));
                     }
                     if i % 32 == 0 {
                         m.purge_next_shard();
@@ -874,7 +876,7 @@ fn lock_exclusivity() {
         let mut winners = 0;
         for j in 0..n_jobs {
             if svc
-                .propose(sig, JobId::new(j), SimDuration::from_secs(60))
+                .propose_now(sig, JobId::new(j), SimDuration::from_secs(60))
                 .unwrap()
                 == LockOutcome::Acquired
             {
