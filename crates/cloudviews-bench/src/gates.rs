@@ -108,6 +108,22 @@ pub fn numeric_gates(bench: &str) -> &'static [Gate] {
                 tolerance: WALL_CLOCK_TOLERANCE,
             },
         ],
+        "executor" => &[
+            // Ratio of executors on the same host: stable across machines,
+            // so the ordinary tolerance applies.
+            Gate {
+                path: "speedup",
+                better: Better::Higher,
+                multi_core_only: false,
+                tolerance: TOLERANCE,
+            },
+            Gate {
+                path: "rows_per_sec_columnar",
+                better: Better::Higher,
+                multi_core_only: false,
+                tolerance: WALL_CLOCK_TOLERANCE,
+            },
+        ],
         _ => &[],
     }
 }
@@ -123,6 +139,7 @@ pub fn bool_gates(bench: &str) -> &'static [&'static str] {
         ],
         "subsumption" => &["p99_within_10pct", "uplift_positive", "results_equivalent"],
         "frontdoor" => &["shed_rate_ok"],
+        "executor" => &["stats_equal", "meets_5x_target"],
         _ => &[],
     }
 }

@@ -102,6 +102,42 @@ pub fn sip128(bytes: &[u8]) -> Sig128 {
     }
 }
 
+/// One-shot SipHash-2-4 of a short (under 16 bytes) message: digest is
+/// identical to writing the same bytes through [`SipHasher24`] and calling
+/// `finish`, but skips the buffering state machine. Hot path for the
+/// columnar exchange, which hashes one small tagged cell per row.
+#[inline]
+pub fn sip24_short(k0: u64, k1: u64, msg: &[u8]) -> u64 {
+    debug_assert!(msg.len() < 16, "sip24_short is for sub-16-byte messages");
+    let mut v0 = k0 ^ 0x736f_6d65_7073_6575;
+    let mut v1 = k1 ^ 0x646f_7261_6e64_6f6d;
+    let mut v2 = k0 ^ 0x6c79_6765_6e65_7261;
+    let mut v3 = k1 ^ 0x7465_6462_7974_6573;
+    let mut rest = msg;
+    if rest.len() >= 8 {
+        let m = u64::from_le_bytes(rest[..8].try_into().expect("8-byte block"));
+        v3 ^= m;
+        sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        v0 ^= m;
+        rest = &rest[8..];
+    }
+    let mut b = (msg.len() as u64 & 0xff) << 56;
+    for (i, &x) in rest.iter().enumerate() {
+        b |= (x as u64) << (8 * i);
+    }
+    v3 ^= b;
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    v0 ^= b;
+    v2 ^= 0xff;
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    v0 ^ v1 ^ v2 ^ v3
+}
+
 /// Incremental SipHash-2-4 implementation (reference algorithm).
 ///
 /// Implements the c=2, d=4 variant from Aumasson & Bernstein's reference
@@ -283,6 +319,22 @@ mod tests {
             let mut h = SipHasher24::new_with_keys(K0, K1);
             h.write(&msg[..len]);
             assert_eq!(h.finish(), want, "vector length {len}");
+        }
+    }
+
+    #[test]
+    fn short_one_shot_matches_incremental() {
+        let data: Vec<u8> = (0u8..16)
+            .map(|b| b.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        for len in 0..16 {
+            let mut h = SipHasher24::new_with_keys(0x9e3779b97f4a7c15, 0x85ebca6b);
+            h.write(&data[..len]);
+            assert_eq!(
+                sip24_short(0x9e3779b97f4a7c15, 0x85ebca6b, &data[..len]),
+                h.finish(),
+                "length {len}"
+            );
         }
     }
 

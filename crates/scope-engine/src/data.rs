@@ -1,22 +1,659 @@
-//! Partitioned in-memory tables.
+//! Partitioned in-memory tables, stored columnar.
+//!
+//! A [`Table`] is a list of partitions; each partition is a list of
+//! immutable, reference-counted [`RecordBatch`]es; each batch holds typed
+//! [`ColumnVector`]s with optional null masks. Rows exist only at the edges:
+//! [`Table::single`]/[`Table::from_rows`] build batches from rows, and
+//! [`Table::iter_rows`]/[`Table::all_rows`] materialize them back for
+//! callers (UDOs, tests) that still think row-at-a-time.
+//!
+//! Two invariants carry the whole CloudViews reproduction:
+//!
+//! * **Logical equivalence with the seed row layout.** A batch is exactly a
+//!   run of rows; [`Cell`] mirrors [`Value`] ordering, hashing, and byte
+//!   accounting bit for bit, so checksums, hash partitioning, sort orders,
+//!   and `NodeRuntimeStats.out_bytes` are unchanged by the columnar move.
+//! * **Immutability.** Batches are never mutated after construction, which
+//!   is why the per-batch cached byte size needs no invalidation and why
+//!   `gather`/clone/`UnionAll` are `Arc` pointer copies.
 
-use scope_common::hash::{sip64, SipHasher24};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use scope_common::hash::{sip24_short, sip64, SipHasher24};
 use scope_common::{Result, ScopeError};
-use scope_plan::{Partitioning, PhysicalProps, Schema, SortOrder, Value};
+use scope_plan::{DataType, Partitioning, PhysicalProps, Schema, SortOrder, Value};
 
-/// One row of values.
+/// One row of values (the bridge representation).
 pub type Row = Vec<Value>;
 
+/// Null mask: `mask[i]` is true when row `i` of the column is NULL.
+pub type NullMask = Vec<bool>;
+
+// ---------------------------------------------------------------------------
+// Cell: a borrowed scalar
+// ---------------------------------------------------------------------------
+
+/// A borrowed view of one cell, mirroring [`Value`] without owning strings.
+///
+/// Every comparison/hash/size method here must agree exactly with the
+/// corresponding [`Value`] method — the byte-identity of runtime statistics
+/// and checksums across the columnar refactor rests on it.
+#[derive(Clone, Copy, Debug)]
+pub enum Cell<'a> {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(&'a str),
+    /// Days since epoch.
+    Date(i32),
+}
+
+impl<'a> Cell<'a> {
+    /// Borrows a [`Value`] as a cell.
+    pub fn of(v: &'a Value) -> Cell<'a> {
+        match v {
+            Value::Null => Cell::Null,
+            Value::Bool(b) => Cell::Bool(*b),
+            Value::Int(i) => Cell::Int(*i),
+            Value::Float(f) => Cell::Float(*f),
+            Value::Str(s) => Cell::Str(s),
+            Value::Date(d) => Cell::Date(*d),
+        }
+    }
+
+    /// Owned value.
+    pub fn to_value(self) -> Value {
+        match self {
+            Cell::Null => Value::Null,
+            Cell::Bool(b) => Value::Bool(b),
+            Cell::Int(i) => Value::Int(i),
+            Cell::Float(f) => Value::Float(f),
+            Cell::Str(s) => Value::Str(s.to_string()),
+            Cell::Date(d) => Value::Date(d),
+        }
+    }
+
+    /// True when NULL.
+    pub fn is_null(self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// Byte accounting identical to [`Value::byte_size`].
+    pub fn byte_size(self) -> usize {
+        match self {
+            Cell::Null => 1,
+            Cell::Bool(_) => 1,
+            Cell::Int(_) | Cell::Float(_) => 8,
+            Cell::Date(_) => 4,
+            Cell::Str(s) => 8 + s.len(),
+        }
+    }
+
+    /// Integer coercion identical to [`Value::as_i64`].
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Cell::Int(i) => Some(i),
+            Cell::Date(d) => Some(d as i64),
+            Cell::Bool(b) => Some(b as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion identical to [`Value::as_f64`].
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(i as f64),
+            Cell::Float(f) => Some(f),
+            Cell::Date(d) => Some(d as f64),
+            Cell::Bool(b) => Some(b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Cell::Null => 0,
+            Cell::Bool(_) => 1,
+            Cell::Int(_) => 2,
+            Cell::Float(_) => 3,
+            Cell::Str(_) => 4,
+            Cell::Date(_) => 5,
+        }
+    }
+
+    /// Stable hash identical to [`Value::stable_hash_into`].
+    pub fn stable_hash_into(self, h: &mut SipHasher24) {
+        h.write_u8(self.tag());
+        match self {
+            Cell::Null => {}
+            Cell::Bool(b) => h.write_u8(b as u8),
+            Cell::Int(i) => h.write_u64(i as u64),
+            Cell::Float(f) => h.write_u64(f.to_bits()),
+            Cell::Str(s) => h.write_str(s),
+            Cell::Date(d) => h.write_u32(d as u32),
+        }
+    }
+
+    /// Total order identical to [`Value`]'s `Ord` (`f64::total_cmp` is the
+    /// same IEEE total order the value model builds by bit-twiddling).
+    pub fn cmp_cell(self, other: Cell<'_>) -> Ordering {
+        use Cell::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(&b),
+            (Int(a), Int(b)) => a.cmp(&b),
+            (Float(a), Float(b)) => a.total_cmp(&b),
+            (Int(a), Float(b)) => (a as f64).total_cmp(&b),
+            (Float(a), Int(b)) => a.total_cmp(&(b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(&b),
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnVector
+// ---------------------------------------------------------------------------
+
+/// A typed column with an optional null mask; `Mixed` is the untyped
+/// fallback for columns that hold more than one runtime type.
+#[derive(Clone, Debug)]
+pub enum ColumnVector {
+    /// 64-bit integers.
+    Int {
+        /// Values (undefined where masked null).
+        data: Vec<i64>,
+        /// Null mask.
+        nulls: Option<NullMask>,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Values (undefined where masked null).
+        data: Vec<f64>,
+        /// Null mask.
+        nulls: Option<NullMask>,
+    },
+    /// Booleans.
+    Bool {
+        /// Values (undefined where masked null).
+        data: Vec<bool>,
+        /// Null mask.
+        nulls: Option<NullMask>,
+    },
+    /// Dates (days since epoch).
+    Date {
+        /// Values (undefined where masked null).
+        data: Vec<i32>,
+        /// Null mask.
+        nulls: Option<NullMask>,
+    },
+    /// UTF-8 strings.
+    Str {
+        /// Values (empty where masked null).
+        data: Vec<String>,
+        /// Null mask.
+        nulls: Option<NullMask>,
+    },
+    /// Untyped fallback: one [`Value`] per row.
+    Mixed(Vec<Value>),
+}
+
+fn mask_get(nulls: &Option<NullMask>, i: usize) -> bool {
+    nulls.as_ref().map(|m| m[i]).unwrap_or(false)
+}
+
+impl ColumnVector {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVector::Int { data, .. } => data.len(),
+            ColumnVector::Float { data, .. } => data.len(),
+            ColumnVector::Bool { data, .. } => data.len(),
+            ColumnVector::Date { data, .. } => data.len(),
+            ColumnVector::Str { data, .. } => data.len(),
+            ColumnVector::Mixed(data) => data.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrowed view of row `i` (panics when out of range, like `row[i]`).
+    pub fn cell(&self, i: usize) -> Cell<'_> {
+        match self {
+            ColumnVector::Int { data, nulls } => {
+                let v = data[i];
+                if mask_get(nulls, i) {
+                    Cell::Null
+                } else {
+                    Cell::Int(v)
+                }
+            }
+            ColumnVector::Float { data, nulls } => {
+                let v = data[i];
+                if mask_get(nulls, i) {
+                    Cell::Null
+                } else {
+                    Cell::Float(v)
+                }
+            }
+            ColumnVector::Bool { data, nulls } => {
+                let v = data[i];
+                if mask_get(nulls, i) {
+                    Cell::Null
+                } else {
+                    Cell::Bool(v)
+                }
+            }
+            ColumnVector::Date { data, nulls } => {
+                let v = data[i];
+                if mask_get(nulls, i) {
+                    Cell::Null
+                } else {
+                    Cell::Date(v)
+                }
+            }
+            ColumnVector::Str { data, nulls } => {
+                if mask_get(nulls, i) {
+                    Cell::Null
+                } else {
+                    Cell::Str(&data[i])
+                }
+            }
+            ColumnVector::Mixed(data) => Cell::of(&data[i]),
+        }
+    }
+
+    /// Owned value of row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        self.cell(i).to_value()
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnVector::Mixed(data) => data[i].is_null(),
+            ColumnVector::Int { nulls, .. }
+            | ColumnVector::Float { nulls, .. }
+            | ColumnVector::Bool { nulls, .. }
+            | ColumnVector::Date { nulls, .. }
+            | ColumnVector::Str { nulls, .. } => mask_get(nulls, i),
+        }
+    }
+
+    /// Total byte size under the [`Value::byte_size`] accounting.
+    pub fn byte_total(&self) -> u64 {
+        let masked = |nulls: &Option<NullMask>, per: u64, n: usize| -> u64 {
+            match nulls {
+                None => per * n as u64,
+                Some(m) => {
+                    let nn = m.iter().filter(|&&x| x).count() as u64;
+                    per * (n as u64 - nn) + nn
+                }
+            }
+        };
+        match self {
+            ColumnVector::Int { data, nulls } => masked(nulls, 8, data.len()),
+            ColumnVector::Float { data, nulls } => masked(nulls, 8, data.len()),
+            ColumnVector::Bool { data, nulls } => masked(nulls, 1, data.len()),
+            ColumnVector::Date { data, nulls } => masked(nulls, 4, data.len()),
+            ColumnVector::Str { data, nulls } => {
+                let mut total = 0u64;
+                for (i, s) in data.iter().enumerate() {
+                    total += if mask_get(nulls, i) {
+                        1
+                    } else {
+                        8 + s.len() as u64
+                    };
+                }
+                total
+            }
+            ColumnVector::Mixed(data) => data.iter().map(|v| v.byte_size() as u64).sum(),
+        }
+    }
+
+    /// Builds a column from owned values: single-typed columns get a typed
+    /// vector (with a null mask when needed); anything else stays `Mixed`.
+    pub fn from_values(values: Vec<Value>) -> ColumnVector {
+        let mut dtype: Option<DataType> = None;
+        let mut has_null = false;
+        for v in &values {
+            match v.data_type() {
+                None => has_null = true,
+                Some(t) => match dtype {
+                    None => dtype = Some(t),
+                    Some(prev) if prev == t => {}
+                    Some(_) => return ColumnVector::Mixed(values),
+                },
+            }
+        }
+        let Some(dtype) = dtype else {
+            // All-NULL (or empty) column: Mixed represents it exactly.
+            return ColumnVector::Mixed(values);
+        };
+        let n = values.len();
+        let nulls = if has_null {
+            Some(values.iter().map(Value::is_null).collect::<NullMask>())
+        } else {
+            None
+        };
+        macro_rules! build {
+            ($variant:ident, $default:expr, $pat:pat => $val:expr) => {{
+                let mut data = Vec::with_capacity(n);
+                for v in values {
+                    data.push(match v {
+                        $pat => $val,
+                        _ => $default,
+                    });
+                }
+                ColumnVector::$variant { data, nulls }
+            }};
+        }
+        match dtype {
+            DataType::Int => build!(Int, 0, Value::Int(x) => x),
+            DataType::Float => build!(Float, 0.0, Value::Float(x) => x),
+            DataType::Bool => build!(Bool, false, Value::Bool(x) => x),
+            DataType::Date => build!(Date, 0, Value::Date(x) => x),
+            DataType::Str => build!(Str, String::new(), Value::Str(x) => x),
+        }
+    }
+
+    /// Gathers rows at `idx` into a new column (panics on out-of-range).
+    pub fn take(&self, idx: &[usize]) -> ColumnVector {
+        fn mask_take(nulls: &Option<NullMask>, idx: &[usize]) -> Option<NullMask> {
+            nulls.as_ref().map(|m| idx.iter().map(|&i| m[i]).collect())
+        }
+        match self {
+            ColumnVector::Int { data, nulls } => ColumnVector::Int {
+                data: idx.iter().map(|&i| data[i]).collect(),
+                nulls: mask_take(nulls, idx),
+            },
+            ColumnVector::Float { data, nulls } => ColumnVector::Float {
+                data: idx.iter().map(|&i| data[i]).collect(),
+                nulls: mask_take(nulls, idx),
+            },
+            ColumnVector::Bool { data, nulls } => ColumnVector::Bool {
+                data: idx.iter().map(|&i| data[i]).collect(),
+                nulls: mask_take(nulls, idx),
+            },
+            ColumnVector::Date { data, nulls } => ColumnVector::Date {
+                data: idx.iter().map(|&i| data[i]).collect(),
+                nulls: mask_take(nulls, idx),
+            },
+            ColumnVector::Str { data, nulls } => ColumnVector::Str {
+                data: idx.iter().map(|&i| data[i].clone()).collect(),
+                nulls: mask_take(nulls, idx),
+            },
+            ColumnVector::Mixed(data) => {
+                ColumnVector::Mixed(idx.iter().map(|&i| data[i].clone()).collect())
+            }
+        }
+    }
+
+    /// Gathers rows at `idx`, producing NULL where the index is `None`
+    /// (used for the unmatched side of left-outer joins).
+    pub fn take_opt(&self, idx: &[Option<usize>]) -> ColumnVector {
+        fn mask(nulls: &Option<NullMask>, idx: &[Option<usize>]) -> Option<NullMask> {
+            if nulls.is_none() && idx.iter().all(Option::is_some) {
+                return None;
+            }
+            Some(
+                idx.iter()
+                    .map(|i| match i {
+                        None => true,
+                        Some(i) => mask_get(nulls, *i),
+                    })
+                    .collect(),
+            )
+        }
+        match self {
+            ColumnVector::Int { data, nulls } => ColumnVector::Int {
+                data: idx
+                    .iter()
+                    .map(|i| i.map(|i| data[i]).unwrap_or(0))
+                    .collect(),
+                nulls: mask(nulls, idx),
+            },
+            ColumnVector::Float { data, nulls } => ColumnVector::Float {
+                data: idx
+                    .iter()
+                    .map(|i| i.map(|i| data[i]).unwrap_or(0.0))
+                    .collect(),
+                nulls: mask(nulls, idx),
+            },
+            ColumnVector::Bool { data, nulls } => ColumnVector::Bool {
+                data: idx
+                    .iter()
+                    .map(|i| i.map(|i| data[i]).unwrap_or(false))
+                    .collect(),
+                nulls: mask(nulls, idx),
+            },
+            ColumnVector::Date { data, nulls } => ColumnVector::Date {
+                data: idx
+                    .iter()
+                    .map(|i| i.map(|i| data[i]).unwrap_or(0))
+                    .collect(),
+                nulls: mask(nulls, idx),
+            },
+            ColumnVector::Str { data, nulls } => ColumnVector::Str {
+                data: idx
+                    .iter()
+                    .map(|i| i.map(|i| data[i].clone()).unwrap_or_default())
+                    .collect(),
+                nulls: mask(nulls, idx),
+            },
+            ColumnVector::Mixed(data) => ColumnVector::Mixed(
+                idx.iter()
+                    .map(|i| i.map(|i| data[i].clone()).unwrap_or(Value::Null))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Concatenates columns of the same position across batches.
+    ///
+    /// Same-variant inputs splice their typed buffers directly (the mask is
+    /// kept only when some input row is actually NULL, matching what
+    /// [`ColumnVector::from_values`] would build); mixed variants fall back
+    /// to value materialization and re-typing.
+    fn concat(cols: &[&ColumnVector]) -> ColumnVector {
+        let total: usize = cols.iter().map(|c| c.len()).sum();
+
+        macro_rules! typed_concat {
+            ($variant:ident) => {{
+                let mut data = Vec::with_capacity(total);
+                let mut mask: NullMask = Vec::with_capacity(total);
+                let mut any_null = false;
+                for c in cols {
+                    if let ColumnVector::$variant { data: d, nulls } = c {
+                        data.extend(d.iter().cloned());
+                        match nulls {
+                            Some(m) => {
+                                any_null |= m.iter().any(|&b| b);
+                                mask.extend_from_slice(m);
+                            }
+                            None => mask.extend(std::iter::repeat(false).take(d.len())),
+                        }
+                    } else {
+                        unreachable!("typed_concat on mixed variants");
+                    }
+                }
+                ColumnVector::$variant {
+                    data,
+                    nulls: if any_null { Some(mask) } else { None },
+                }
+            }};
+        }
+
+        use ColumnVector::*;
+        if cols.iter().all(|c| matches!(c, Int { .. })) {
+            return typed_concat!(Int);
+        }
+        if cols.iter().all(|c| matches!(c, Float { .. })) {
+            return typed_concat!(Float);
+        }
+        if cols.iter().all(|c| matches!(c, Bool { .. })) {
+            return typed_concat!(Bool);
+        }
+        if cols.iter().all(|c| matches!(c, Date { .. })) {
+            return typed_concat!(Date);
+        }
+        if cols.iter().all(|c| matches!(c, Str { .. })) {
+            return typed_concat!(Str);
+        }
+
+        let mut values = Vec::with_capacity(total);
+        for c in cols {
+            for i in 0..c.len() {
+                values.push(c.value(i));
+            }
+        }
+        ColumnVector::from_values(values)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RecordBatch
+// ---------------------------------------------------------------------------
+
+/// An immutable batch of rows stored column-wise, with the byte size cached
+/// at construction (immutability is the cache-invalidation strategy).
+#[derive(Clone, Debug)]
+pub struct RecordBatch {
+    columns: Vec<Arc<ColumnVector>>,
+    rows: usize,
+    bytes: u64,
+}
+
+impl RecordBatch {
+    /// Builds a batch from columns; all columns must share `rows` length.
+    pub fn new(columns: Vec<Arc<ColumnVector>>, rows: usize) -> RecordBatch {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        let bytes = columns.iter().map(|c| c.byte_total()).sum();
+        RecordBatch {
+            columns,
+            rows,
+            bytes,
+        }
+    }
+
+    /// Builds a batch from uniform-width rows (consuming them).
+    pub fn from_rows(rows: Vec<Row>) -> RecordBatch {
+        let n = rows.len();
+        let width = rows.first().map(Vec::len).unwrap_or(0);
+        let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(n)).collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), width);
+            for (j, v) in row.into_iter().enumerate() {
+                cols[j].push(v);
+            }
+        }
+        let columns = cols
+            .into_iter()
+            .map(|c| Arc::new(ColumnVector::from_values(c)))
+            .collect();
+        RecordBatch::new(columns, n)
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the physical row width).
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Cached byte size (sum of [`Value::byte_size`] over all cells).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Arc<ColumnVector>] {
+        &self.columns
+    }
+
+    /// Column `i` (panics when out of range, like `row[i]`).
+    pub fn column(&self, i: usize) -> &Arc<ColumnVector> {
+        &self.columns[i]
+    }
+
+    /// Cell at (`row`, `col`); panics like `row[col]` on a bad column.
+    pub fn cell(&self, row: usize, col: usize) -> Cell<'_> {
+        self.columns[col].cell(row)
+    }
+
+    /// Materializes row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Gathers rows at `idx` into a new batch.
+    pub fn take(&self, idx: &[usize]) -> RecordBatch {
+        let columns = self.columns.iter().map(|c| Arc::new(c.take(idx))).collect();
+        RecordBatch::new(columns, idx.len())
+    }
+
+    /// Concatenates batches of equal width into one.
+    pub fn concat(batches: &[&RecordBatch]) -> RecordBatch {
+        let width = batches.first().map(|b| b.width()).unwrap_or(0);
+        debug_assert!(batches.iter().all(|b| b.width() == width));
+        let rows = batches.iter().map(|b| b.num_rows()).sum();
+        let columns = (0..width)
+            .map(|j| {
+                let parts: Vec<&ColumnVector> =
+                    batches.iter().map(|b| b.columns[j].as_ref()).collect();
+                Arc::new(ColumnVector::concat(&parts))
+            })
+            .collect();
+        RecordBatch::new(columns, rows)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
 /// A partitioned table: the unit flowing between operators and stored in
-/// the storage manager.
-#[derive(Clone, Debug, PartialEq)]
+/// the storage manager. Each partition is an ordered list of batches.
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Column schema.
     pub schema: Schema,
-    /// Rows per partition.
-    pub partitions: Vec<Vec<Row>>,
+    /// Batches per partition. Private to the engine: external callers go
+    /// through the batch/row APIs so the physical layout can evolve.
+    pub(crate) partitions: Vec<Vec<Arc<RecordBatch>>>,
     /// Physical properties the data actually satisfies.
     pub props: PhysicalProps,
+}
+
+/// Splits rows into maximal runs of uniform width, one batch per run.
+/// (Almost every table is uniform — then this is a single batch.)
+pub(crate) fn batches_from_rows(rows: Vec<Row>) -> Vec<Arc<RecordBatch>> {
+    let mut out = Vec::new();
+    let mut run: Vec<Row> = Vec::new();
+    for row in rows {
+        if run.last().is_some_and(|prev| prev.len() != row.len()) {
+            out.push(Arc::new(RecordBatch::from_rows(std::mem::take(&mut run))));
+        }
+        run.push(row);
+    }
+    if !run.is_empty() {
+        out.push(Arc::new(RecordBatch::from_rows(run)));
+    }
+    out
 }
 
 impl Table {
@@ -33,14 +670,54 @@ impl Table {
     pub fn single(schema: Schema, rows: Vec<Row>) -> Self {
         Table {
             schema,
-            partitions: vec![rows],
+            partitions: vec![batches_from_rows(rows)],
             props: PhysicalProps::single(),
+        }
+    }
+
+    /// A table from per-partition row lists (row bridge).
+    pub fn from_rows(schema: Schema, partitions: Vec<Vec<Row>>, props: PhysicalProps) -> Self {
+        Table {
+            schema,
+            partitions: partitions.into_iter().map(batches_from_rows).collect(),
+            props,
+        }
+    }
+
+    /// A single-partition table built directly from columns — the batch-first
+    /// construction path (no row materialization at all).
+    pub fn from_columns(schema: Schema, columns: Vec<ColumnVector>) -> Result<Self> {
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        if let Some(i) = columns.iter().position(|c| c.len() != rows) {
+            return Err(ScopeError::Execution(format!(
+                "from_columns: column {i} has {} rows, expected {rows}",
+                columns[i].len()
+            )));
+        }
+        let batch = RecordBatch::new(columns.into_iter().map(Arc::new).collect(), rows);
+        Ok(Table {
+            schema,
+            partitions: vec![vec![Arc::new(batch)]],
+            props: PhysicalProps::single(),
+        })
+    }
+
+    /// A table from per-partition batch lists (engine-internal).
+    pub(crate) fn from_batches(
+        schema: Schema,
+        partitions: Vec<Vec<Arc<RecordBatch>>>,
+        props: PhysicalProps,
+    ) -> Self {
+        Table {
+            schema,
+            partitions,
+            props,
         }
     }
 
     /// Total row count.
     pub fn num_rows(&self) -> usize {
-        self.partitions.iter().map(Vec::len).sum()
+        self.partitions.iter().flatten().map(|b| b.num_rows()).sum()
     }
 
     /// Number of partitions.
@@ -48,23 +725,70 @@ impl Table {
         self.partitions.len()
     }
 
-    /// Approximate total byte size.
+    /// Approximate total byte size (cached per batch at construction).
     pub fn num_bytes(&self) -> u64 {
+        self.partitions.iter().flatten().map(|b| b.bytes()).sum()
+    }
+
+    /// Row count of partition `p`.
+    pub fn partition_num_rows(&self, p: usize) -> usize {
+        self.partitions[p].iter().map(|b| b.num_rows()).sum()
+    }
+
+    /// Largest per-partition row count (skew input for the simulator).
+    pub fn max_partition_rows(&self) -> usize {
+        (0..self.num_partitions())
+            .map(|p| self.partition_num_rows(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Batches of partition `p`.
+    pub fn partition_batches(&self, p: usize) -> &[Arc<RecordBatch>] {
+        &self.partitions[p]
+    }
+
+    /// Partition `p` as one batch: zero-copy when it is already a single
+    /// batch, concatenated otherwise. `None` when the partition is ragged
+    /// (batches of differing widths) — callers fall back to rows.
+    pub(crate) fn partition_as_batch(&self, p: usize) -> Option<Arc<RecordBatch>> {
+        let batches = &self.partitions[p];
+        match batches.len() {
+            0 => Some(Arc::new(RecordBatch::new(Vec::new(), 0))),
+            1 => Some(batches[0].clone()),
+            _ => {
+                let width = batches[0].width();
+                if batches.iter().any(|b| b.width() != width) {
+                    return None;
+                }
+                let refs: Vec<&RecordBatch> = batches.iter().map(|b| b.as_ref()).collect();
+                Some(Arc::new(RecordBatch::concat(&refs)))
+            }
+        }
+    }
+
+    /// Materializes the rows of partition `p`.
+    pub fn partition_rows(&self, p: usize) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.partition_num_rows(p));
+        for batch in &self.partitions[p] {
+            for i in 0..batch.num_rows() {
+                out.push(batch.row(i));
+            }
+        }
+        out
+    }
+
+    /// Iterates all rows across partitions (materializing each).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Row> + '_ {
         self.partitions
             .iter()
             .flatten()
-            .map(|r| r.iter().map(Value::byte_size).sum::<usize>() as u64)
-            .sum()
+            .flat_map(|b| (0..b.num_rows()).map(move |i| b.row(i)))
     }
 
-    /// Iterates all rows across partitions.
-    pub fn iter_rows(&self) -> impl Iterator<Item = &Row> {
-        self.partitions.iter().flatten()
-    }
-
-    /// Collects all rows into a single vector (copying).
+    /// Collects all rows into a single vector.
     pub fn all_rows(&self) -> Vec<Row> {
-        self.iter_rows().cloned().collect()
+        self.iter_rows().collect()
     }
 
     /// Repartitions by hash on `cols` into `parts` partitions.
@@ -77,14 +801,56 @@ impl Table {
         for &c in cols {
             self.schema.column(c)?;
         }
-        let mut out: Vec<Vec<Row>> = vec![Vec::new(); parts];
-        for row in self.iter_rows() {
-            let mut h = SipHasher24::new_with_keys(0x9e3779b97f4a7c15, 0x85ebca6b);
-            for &c in cols {
-                row[c].stable_hash_into(&mut h);
+        const K0: u64 = 0x9e3779b97f4a7c15;
+        const K1: u64 = 0x85ebca6b;
+        let mut out: Vec<Vec<Arc<RecordBatch>>> = vec![Vec::new(); parts];
+        for batch in self.partitions.iter().flatten() {
+            // Typed single-key routing: fuse the tagged-cell byte stream
+            // (identical to `Cell::stable_hash_into`) into a one-shot short
+            // SipHash, skipping the incremental hasher's buffering.
+            let fast = match cols {
+                [c] => Some(batch.column(*c).as_ref()),
+                _ => None,
+            };
+            match fast {
+                Some(ColumnVector::Int { data, nulls }) => {
+                    Self::scatter_one(&mut out, batch, |i| {
+                        let h = match nulls {
+                            Some(m) if m[i] => sip24_short(K0, K1, &[0]),
+                            _ => {
+                                let mut msg = [0u8; 9];
+                                msg[0] = 2;
+                                msg[1..].copy_from_slice(&(data[i] as u64).to_le_bytes());
+                                sip24_short(K0, K1, &msg)
+                            }
+                        };
+                        (h % parts as u64) as usize
+                    });
+                }
+                Some(ColumnVector::Date { data, nulls }) => {
+                    Self::scatter_one(&mut out, batch, |i| {
+                        let h = match nulls {
+                            Some(m) if m[i] => sip24_short(K0, K1, &[0]),
+                            _ => {
+                                let mut msg = [0u8; 5];
+                                msg[0] = 5;
+                                msg[1..].copy_from_slice(&(data[i] as u32).to_le_bytes());
+                                sip24_short(K0, K1, &msg)
+                            }
+                        };
+                        (h % parts as u64) as usize
+                    });
+                }
+                _ => {
+                    Self::scatter_one(&mut out, batch, |i| {
+                        let mut h = SipHasher24::new_with_keys(K0, K1);
+                        for &c in cols {
+                            batch.cell(i, c).stable_hash_into(&mut h);
+                        }
+                        (h.finish() % parts as u64) as usize
+                    });
+                }
             }
-            let p = (h.finish() % parts as u64) as usize;
-            out[p].push(row.clone());
         }
         Ok(Table {
             schema: self.schema.clone(),
@@ -108,7 +874,7 @@ impl Table {
             ));
         }
         self.schema.column(col)?;
-        let mut keys: Vec<Value> = self.iter_rows().map(|r| r[col].clone()).collect();
+        let mut keys: Vec<Value> = self.iter_cells(col).map(Cell::to_value).collect();
         keys.sort();
         let boundaries: Vec<Value> = (1..parts)
             .map(|i| {
@@ -117,11 +883,11 @@ impl Table {
                     .unwrap_or(Value::Null)
             })
             .collect();
-        let mut out: Vec<Vec<Row>> = vec![Vec::new(); parts];
-        for row in self.iter_rows() {
-            let p = boundaries.partition_point(|b| *b <= row[col]);
-            out[p].push(row.clone());
-        }
+        let mut out: Vec<Vec<Arc<RecordBatch>>> = vec![Vec::new(); parts];
+        self.scatter(&mut out, |batch, i| {
+            let cell = batch.cell(i, col);
+            boundaries.partition_point(|b| Cell::of(b).cmp_cell(cell) != Ordering::Greater)
+        });
         Ok(Table {
             schema: self.schema.clone(),
             partitions: out,
@@ -137,10 +903,13 @@ impl Table {
         if parts == 0 {
             return Err(ScopeError::Execution("round_robin with 0 parts".into()));
         }
-        let mut out: Vec<Vec<Row>> = vec![Vec::new(); parts];
-        for (i, row) in self.iter_rows().enumerate() {
-            out[i % parts].push(row.clone());
-        }
+        let mut out: Vec<Vec<Arc<RecordBatch>>> = vec![Vec::new(); parts];
+        let mut global = 0usize;
+        self.scatter(&mut out, |_, _| {
+            let p = global % parts;
+            global += 1;
+            p
+        });
         Ok(Table {
             schema: self.schema.clone(),
             partitions: out,
@@ -151,20 +920,80 @@ impl Table {
         })
     }
 
-    /// Gathers all partitions into one.
+    /// Routes every row to `route(batch, row_index)`, appending one selection
+    /// sub-batch per (source batch, destination) in scan order — the same row
+    /// order per destination as the row-at-a-time scatter produced.
+    fn scatter(
+        &self,
+        out: &mut [Vec<Arc<RecordBatch>>],
+        mut route: impl FnMut(&RecordBatch, usize) -> usize,
+    ) {
+        for batch in self.partitions.iter().flatten() {
+            Self::scatter_one(out, batch, |i| route(batch, i));
+        }
+    }
+
+    /// Iterates the cells of column `col` across all partitions.
+    fn iter_cells(&self, col: usize) -> impl Iterator<Item = Cell<'_>> {
+        self.partitions
+            .iter()
+            .flatten()
+            .flat_map(move |b| (0..b.num_rows()).map(move |i| b.cell(i, col)))
+    }
+
+    /// Routes every row of one batch to `route(row_index)`, appending one
+    /// selection sub-batch per destination in scan order — the same row
+    /// order per destination as the row-at-a-time scatter produced.
+    fn scatter_one(
+        out: &mut [Vec<Arc<RecordBatch>>],
+        batch: &Arc<RecordBatch>,
+        mut route: impl FnMut(usize) -> usize,
+    ) {
+        let parts = out.len();
+        let mut sel: Vec<Vec<usize>> = vec![Vec::new(); parts];
+        for i in 0..batch.num_rows() {
+            sel[route(i)].push(i);
+        }
+        for (p, idx) in sel.iter().enumerate() {
+            if idx.is_empty() {
+                continue;
+            }
+            if idx.len() == batch.num_rows() {
+                out[p].push(batch.clone());
+            } else {
+                out[p].push(Arc::new(batch.take(idx)));
+            }
+        }
+    }
+
+    /// Gathers all partitions into one. Zero-copy: the batch buffers are
+    /// shared, only `Arc`s move.
     pub fn gather(&self) -> Table {
         Table {
             schema: self.schema.clone(),
-            partitions: vec![self.all_rows()],
+            partitions: vec![self.partitions.iter().flatten().cloned().collect()],
             props: PhysicalProps::single(),
         }
     }
 
     /// Sorts every partition by `order` (stable).
     pub fn sort_partitions(&self, order: &SortOrder) -> Table {
-        let mut parts = self.partitions.clone();
-        for p in &mut parts {
-            sort_rows(p, order);
+        let mut parts: Vec<Vec<Arc<RecordBatch>>> = Vec::with_capacity(self.num_partitions());
+        for p in 0..self.num_partitions() {
+            match self.partition_as_batch(p) {
+                Some(batch) if batch.num_rows() > 1 => {
+                    let mut idx: Vec<usize> = (0..batch.num_rows()).collect();
+                    idx.sort_by(|&a, &b| compare_batch_rows(&batch, a, b, order));
+                    parts.push(vec![Arc::new(batch.take(&idx))]);
+                }
+                Some(_) => parts.push(self.partitions[p].clone()),
+                None => {
+                    // Ragged partition: sort via the row bridge.
+                    let mut rows = self.partition_rows(p);
+                    sort_rows(&mut rows, order);
+                    parts.push(batches_from_rows(rows));
+                }
+            }
         }
         Table {
             schema: self.schema.clone(),
@@ -175,6 +1004,50 @@ impl Table {
             },
         }
     }
+}
+
+impl PartialEq for Table {
+    /// Logical equality: same schema, properties, and per-partition row
+    /// sequences — batch boundaries are physical and do not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.props == other.props
+            && self.num_partitions() == other.num_partitions()
+            && (0..self.num_partitions()).all(|p| self.partition_rows(p) == other.partition_rows(p))
+    }
+}
+
+/// Compares two batch rows under a sort order (cell-wise; identical to
+/// [`compare_rows`] on the materialized rows).
+pub(crate) fn compare_batch_rows(
+    batch: &RecordBatch,
+    a: usize,
+    b: usize,
+    order: &SortOrder,
+) -> Ordering {
+    for key in &order.0 {
+        let ord = batch.cell(a, key.col).cmp_cell(batch.cell(b, key.col));
+        let ord = match key.dir {
+            scope_plan::SortDir::Asc => ord,
+            scope_plan::SortDir::Desc => ord.reverse(),
+        };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Full-row lexicographic comparison of two batch rows (`Row::cmp` on the
+/// materialized rows; widths are uniform within a batch).
+pub(crate) fn compare_batch_rows_full(batch: &RecordBatch, a: usize, b: usize) -> Ordering {
+    for col in 0..batch.width() {
+        let ord = batch.cell(a, col).cmp_cell(batch.cell(b, col));
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    Ordering::Equal
 }
 
 /// Stable in-place sort of rows by a sort order.
@@ -205,12 +1078,14 @@ pub fn compare_rows(a: &Row, b: &Row, order: &SortOrder) -> std::cmp::Ordering {
 /// introduce data corruption" (paper requirement 3).
 pub fn multiset_checksum(table: &Table) -> u64 {
     let mut acc: u64 = sip64(b"multiset") ^ table.num_rows() as u64;
-    for row in table.iter_rows() {
-        let mut h = SipHasher24::new_with_keys(0xc0ffee, 0xdecaf);
-        for v in row {
-            v.stable_hash_into(&mut h);
+    for batch in table.partitions.iter().flatten() {
+        for i in 0..batch.num_rows() {
+            let mut h = SipHasher24::new_with_keys(0xc0ffee, 0xdecaf);
+            for col in batch.columns() {
+                col.cell(i).stable_hash_into(&mut h);
+            }
+            acc = acc.wrapping_add(h.finish());
         }
-        acc = acc.wrapping_add(h.finish());
     }
     acc
 }
@@ -228,6 +1103,13 @@ mod tests {
         Table::single(schema, rows)
     }
 
+    /// The old row-at-a-time byte accounting, for parity checks.
+    fn row_bytes(t: &Table) -> u64 {
+        t.iter_rows()
+            .map(|r| r.iter().map(Value::byte_size).sum::<usize>() as u64)
+            .sum()
+    }
+
     #[test]
     fn counts_and_bytes() {
         let t = table(10);
@@ -235,6 +1117,130 @@ mod tests {
         assert_eq!(t.num_partitions(), 1);
         assert!(t.num_bytes() > 0);
         assert_eq!(Table::empty(t.schema.clone()).num_rows(), 0);
+    }
+
+    #[test]
+    fn cached_bytes_match_row_accounting() {
+        let schema = Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+            ("b", DataType::Bool),
+            ("d", DataType::Date),
+        ]);
+        let rows: Vec<Row> = (0..40)
+            .map(|i| {
+                vec![
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                    Value::Float(i as f64 / 3.0),
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Str(format!("s{i}"))
+                    },
+                    Value::Bool(i % 2 == 0),
+                    Value::Date(i as i32),
+                ]
+            })
+            .collect();
+        let t = Table::single(schema, rows);
+        assert_eq!(t.num_bytes(), row_bytes(&t));
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)]);
+        let rows: Vec<Row> = (0..20)
+            .map(|i| vec![Value::Int(i), Value::Str(format!("x{i}"))])
+            .collect();
+        let by_rows = Table::single(schema.clone(), rows);
+        let by_cols = Table::from_columns(
+            schema,
+            vec![
+                ColumnVector::Int {
+                    data: (0..20).collect(),
+                    nulls: None,
+                },
+                ColumnVector::Str {
+                    data: (0..20).map(|i| format!("x{i}")).collect(),
+                    nulls: None,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(by_rows, by_cols);
+        assert_eq!(multiset_checksum(&by_rows), multiset_checksum(&by_cols));
+        assert_eq!(by_rows.num_bytes(), by_cols.num_bytes());
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged_lengths() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let err = Table::from_columns(
+            schema,
+            vec![
+                ColumnVector::Int {
+                    data: vec![1, 2],
+                    nulls: None,
+                },
+                ColumnVector::Int {
+                    data: vec![1],
+                    nulls: None,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("length") || err.to_string().contains("rows"));
+    }
+
+    #[test]
+    fn cell_mirrors_value_semantics() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::Str("abc".into()),
+            Value::Date(44),
+        ];
+        for a in &vals {
+            assert_eq!(Cell::of(a).byte_size(), a.byte_size());
+            assert_eq!(Cell::of(a).to_value(), *a);
+            let mut h1 = SipHasher24::new_with_keys(7, 9);
+            let mut h2 = SipHasher24::new_with_keys(7, 9);
+            a.stable_hash_into(&mut h1);
+            Cell::of(a).stable_hash_into(&mut h2);
+            assert_eq!(h1.finish(), h2.finish());
+            for b in &vals {
+                assert_eq!(Cell::of(a).cmp_cell(Cell::of(b)), a.cmp(b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_column_round_trips() {
+        let vals = vec![Value::Int(1), Value::Str("two".into()), Value::Null];
+        let col = ColumnVector::from_values(vals.clone());
+        assert!(matches!(col, ColumnVector::Mixed(_)));
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&col.value(i), v);
+        }
+    }
+
+    #[test]
+    fn typed_column_with_nulls_round_trips() {
+        let vals = vec![Value::Int(5), Value::Null, Value::Int(7)];
+        let col = ColumnVector::from_values(vals.clone());
+        assert!(matches!(col, ColumnVector::Int { .. }));
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&col.value(i), v);
+        }
+        assert_eq!(col.byte_total(), 8 + 1 + 8);
     }
 
     #[test]
@@ -246,12 +1252,12 @@ mod tests {
         assert_eq!(multiset_checksum(&t), multiset_checksum(&r));
         // Same key never in two partitions.
         for key in 0..7i64 {
-            let holders: Vec<usize> = r
-                .partitions
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.iter().any(|row| row[0] == Value::Int(key)))
-                .map(|(i, _)| i)
+            let holders: Vec<usize> = (0..r.num_partitions())
+                .filter(|&p| {
+                    r.partition_rows(p)
+                        .iter()
+                        .any(|row| row[0] == Value::Int(key))
+                })
                 .collect();
             assert!(holders.len() <= 1, "key {key} in partitions {holders:?}");
         }
@@ -263,15 +1269,11 @@ mod tests {
         let r = t.range_repartition(0, 4).unwrap();
         assert_eq!(r.num_rows(), 100);
         // Every value in partition i is <= every value in partition j>i.
-        let maxes: Vec<Option<Value>> = r
-            .partitions
-            .iter()
-            .map(|p| p.iter().map(|row| row[0].clone()).max())
+        let maxes: Vec<Option<Value>> = (0..4)
+            .map(|p| r.partition_rows(p).iter().map(|row| row[0].clone()).max())
             .collect();
-        let mins: Vec<Option<Value>> = r
-            .partitions
-            .iter()
-            .map(|p| p.iter().map(|row| row[0].clone()).min())
+        let mins: Vec<Option<Value>> = (0..4)
+            .map(|p| r.partition_rows(p).iter().map(|row| row[0].clone()).min())
             .collect();
         for i in 0..3 {
             if let (Some(mx), Some(mn)) = (&maxes[i], &mins[i + 1]) {
@@ -288,19 +1290,26 @@ mod tests {
     fn round_robin_balances() {
         let t = table(100);
         let r = t.round_robin_repartition(4).unwrap();
-        for p in &r.partitions {
-            assert_eq!(p.len(), 25);
+        for p in 0..4 {
+            assert_eq!(r.partition_num_rows(p), 25);
         }
         assert_eq!(multiset_checksum(&t), multiset_checksum(&r));
     }
 
     #[test]
-    fn gather_restores_single() {
+    fn gather_restores_single_and_shares_batches() {
         let t = table(50).hash_repartition(&[0], 8).unwrap();
         let g = t.gather();
         assert_eq!(g.num_partitions(), 1);
         assert_eq!(g.num_rows(), 50);
         assert_eq!(multiset_checksum(&g), multiset_checksum(&t));
+        // Zero-copy: gathered batches are the same allocations.
+        let originals: Vec<*const RecordBatch> = (0..t.num_partitions())
+            .flat_map(|p| t.partition_batches(p).iter().map(Arc::as_ptr))
+            .collect();
+        for b in g.partition_batches(0) {
+            assert!(originals.contains(&Arc::as_ptr(b)));
+        }
     }
 
     #[test]
@@ -316,11 +1325,24 @@ mod tests {
     fn sort_partitions_sorts_each() {
         let t = table(50).hash_repartition(&[0], 4).unwrap();
         let s = t.sort_partitions(&SortOrder::asc(&[0]));
-        for p in &s.partitions {
-            assert!(p.windows(2).all(|w| w[0][0] <= w[1][0]));
+        for p in 0..s.num_partitions() {
+            let rows = s.partition_rows(p);
+            assert!(rows.windows(2).all(|w| w[0][0] <= w[1][0]));
         }
         assert_eq!(s.props.sort, SortOrder::asc(&[0]));
         assert_eq!(multiset_checksum(&s), multiset_checksum(&t));
+    }
+
+    #[test]
+    fn sort_is_stable_like_row_sort() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("seq", DataType::Int)]);
+        let rows: Vec<Row> = (0..40)
+            .map(|i| vec![Value::Int(i % 3), Value::Int(i)])
+            .collect();
+        let mut reference = rows.clone();
+        sort_rows(&mut reference, &SortOrder::asc(&[0]));
+        let t = Table::single(schema, rows).sort_partitions(&SortOrder::asc(&[0]));
+        assert_eq!(t.all_rows(), reference);
     }
 
     #[test]
@@ -334,16 +1356,43 @@ mod tests {
     #[test]
     fn checksum_order_insensitive_but_content_sensitive() {
         let t1 = table(20);
-        let mut rev = t1.clone();
-        rev.partitions[0].reverse();
+        let mut rows = t1.all_rows();
+        rows.reverse();
+        let rev = Table::single(t1.schema.clone(), rows);
         assert_eq!(multiset_checksum(&t1), multiset_checksum(&rev));
-        let mut changed = t1.clone();
-        changed.partitions[0][0][0] = Value::Int(999);
+        let mut rows = t1.all_rows();
+        rows[0][0] = Value::Int(999);
+        let changed = Table::single(t1.schema.clone(), rows);
         assert_ne!(multiset_checksum(&t1), multiset_checksum(&changed));
         // Duplicate row multiplicity matters.
-        let mut dup = t1.clone();
-        let row = dup.partitions[0][0].clone();
-        dup.partitions[0].push(row);
+        let mut rows = t1.all_rows();
+        rows.push(rows[0].clone());
+        let dup = Table::single(t1.schema.clone(), rows);
         assert_ne!(multiset_checksum(&t1), multiset_checksum(&dup));
+    }
+
+    #[test]
+    fn ragged_rows_split_into_batches_and_round_trip() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2), Value::Int(3)],
+            vec![Value::Int(4), Value::Int(5)],
+            vec![Value::Int(6)],
+        ];
+        let t = Table::single(schema, rows.clone());
+        assert_eq!(t.all_rows(), rows);
+        assert_eq!(t.partition_batches(0).len(), 3);
+        assert!(t.partition_as_batch(0).is_none());
+        assert_eq!(t.num_bytes(), row_bytes(&t));
+    }
+
+    #[test]
+    fn take_opt_pads_nulls() {
+        let col = ColumnVector::from_values(vec![Value::Int(1), Value::Int(2)]);
+        let taken = col.take_opt(&[Some(1), None, Some(0)]);
+        assert_eq!(taken.value(0), Value::Int(2));
+        assert_eq!(taken.value(1), Value::Null);
+        assert_eq!(taken.value(2), Value::Int(1));
     }
 }

@@ -1,10 +1,25 @@
-//! The row-at-a-time physical executor.
+//! The columnar batch-at-a-time physical executor.
 //!
 //! [`execute_plan`] runs an optimized plan bottom-up against the
 //! [`StorageManager`], producing the output table of every node plus the
 //! per-node runtime statistics ([`NodeRuntimeStats`]) that feed the
 //! CloudViews feedback loop: rows, bytes, and exclusive CPU from the
 //! calibrated [`CostModel`].
+//!
+//! Operators process whole [`RecordBatch`]es: filters compute selection
+//! vectors and gather once, projections evaluate expressions column-wise
+//! ([`crate::vexpr`]), joins and aggregates run typed single-key fast paths
+//! over the raw vectors, and column-preserving operators (Remap, Exchange,
+//! UnionAll, Spool, gather) move `Arc`'d buffers without copying data.
+//!
+//! **Pinned semantics.** Every [`NodeRuntimeStats`] field, the cost-model
+//! inputs, partition counts, and per-partition row order are byte-identical
+//! to the seed row executor (preserved in [`crate::rowref`]); the
+//! EXPERIMENTS.md figures and the subsumption byte-identity suite depend on
+//! it. Cases the batch kernels cannot reproduce exactly — user-defined
+//! operators, window functions, loops joins, ragged partitions, mismatched
+//! LeftOuter padding widths, and any vectorized expression error — drop to
+//! the row kernels in [`crate::rowref`], so the two paths cannot disagree.
 //!
 //! The executor trusts the optimizer's property enforcement: group-wise
 //! operators assume their input is co-partitioned (and, for stream variants,
@@ -13,19 +28,26 @@
 //! single-partition reference runs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use scope_common::ids::NodeId;
 use scope_common::time::{SimDuration, SimTime};
 use scope_common::{Result, ScopeError};
-use scope_plan::op::{AggImpl, WindowFunc};
+use scope_plan::expr::AggFunc;
+use scope_plan::op::AggImpl;
 use scope_plan::{
-    AggExpr, AggFunc, JoinImpl, JoinKind, Operator, Partitioning, PhysicalProps, QueryGraph,
-    Schema, SortOrder, Value,
+    AggExpr, Expr, JoinImpl, JoinKind, Operator, Partitioning, PhysicalProps, QueryGraph, Schema,
+    SortOrder, Value,
 };
 
 use crate::cost::CostModel;
-use crate::data::{compare_rows, sort_rows, Row, Table};
+use crate::data::{
+    batches_from_rows, compare_batch_rows, compare_batch_rows_full, compare_rows, sort_rows,
+    ColumnVector, RecordBatch, Row, Table,
+};
+use crate::rowref::{self, Acc};
 use crate::storage::StorageManager;
+use crate::vexpr;
 
 /// Observed execution statistics of one plan node.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -98,7 +120,9 @@ pub fn execute_plan(
         };
         let cpu = model.op_cpu(&node.op, effective_in, out_rows, out_bytes);
         if let Operator::Output { name, .. } = &node.op {
-            outputs.insert(name.as_str().to_string(), table.gather());
+            // The Output kernel already gathered; a clone shares the batch
+            // buffers instead of re-materializing the table.
+            outputs.insert(name.as_str().to_string(), table.clone());
         }
         stats.push(NodeRuntimeStats {
             in_rows: effective_in,
@@ -114,6 +138,33 @@ pub fn execute_plan(
         node_stats: stats,
         outputs,
     })
+}
+
+/// Applies an optional predicate to every batch of one partition: selection
+/// vector, then a single gather (or a zero-copy pass-through when every row
+/// survives).
+fn filter_batches(
+    batches: &[Arc<RecordBatch>],
+    predicate: Option<&Expr>,
+) -> Result<Vec<Arc<RecordBatch>>> {
+    let mut out = Vec::with_capacity(batches.len());
+    for batch in batches {
+        if batch.num_rows() == 0 {
+            continue;
+        }
+        match predicate {
+            None => out.push(batch.clone()),
+            Some(pred) => {
+                let sel = vexpr::eval_predicate_selection(pred, batch)?;
+                if sel.len() == batch.num_rows() {
+                    out.push(batch.clone());
+                } else if !sel.is_empty() {
+                    out.push(Arc::new(batch.take(&sel)));
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Executes one operator. Returns the output table and, for leaves, the
@@ -141,102 +192,104 @@ fn exec_node(
         } => {
             let stored = storage.dataset(*dataset)?;
             let scanned = stored.num_rows() as u64;
-            let mut partitions: Vec<Vec<Row>> = Vec::with_capacity(stored.num_partitions());
-            for part in &stored.partitions {
-                let mut out_part: Vec<Row> = Vec::new();
-                for row in part {
-                    if let Some(pred) = predicate {
-                        if !pred.eval(row)?.is_true() {
-                            continue;
+            let mut parts: Vec<Vec<Arc<RecordBatch>>> = Vec::with_capacity(stored.num_partitions());
+            for p in 0..stored.num_partitions() {
+                if matches!(kind, scope_plan::ScanKind::Extract) {
+                    // Extract scans interleave predicate and UDO per row;
+                    // stay row-at-a-time to keep error order identical.
+                    let udo = extractor.as_ref().ok_or_else(|| {
+                        ScopeError::Execution("extract scan without extractor".into())
+                    })?;
+                    let mut out_part: Vec<Row> = Vec::new();
+                    for batch in stored.partition_batches(p) {
+                        for i in 0..batch.num_rows() {
+                            let row = batch.row(i);
+                            if let Some(pred) = predicate {
+                                if !pred.eval(&row)?.is_true() {
+                                    continue;
+                                }
+                            }
+                            udo.process_row(&row, &mut out_part)?;
                         }
                     }
-                    match kind {
-                        scope_plan::ScanKind::Extract => {
-                            let udo = extractor.as_ref().ok_or_else(|| {
-                                ScopeError::Execution("extract scan without extractor".into())
-                            })?;
-                            udo.process_row(row, &mut out_part)?;
-                        }
-                        _ => out_part.push(row.clone()),
-                    }
+                    parts.push(batches_from_rows(out_part));
+                } else {
+                    parts.push(filter_batches(
+                        stored.partition_batches(p),
+                        predicate.as_ref(),
+                    )?);
                 }
-                partitions.push(out_part);
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: stored.props.clone(),
-                },
+                Table::from_batches(out_schema.clone(), parts, stored.props.clone()),
                 scanned,
             ))
         }
         Operator::ViewGet { view_sig, .. } => {
             // Integrity-verified read: a lost or corrupted file surfaces as
             // ViewUnavailable, which the CloudViews runtime absorbs by
-            // falling back to recomputation.
+            // falling back to recomputation. The clone is batch-buffer
+            // sharing, not a data copy.
             let file = storage.open_view(*view_sig, now)?;
             let scanned = file.table.num_rows() as u64;
             Ok(((*file.table).clone(), scanned))
         }
         Operator::Filter { predicate } => {
             let input = one()?;
-            let mut partitions = Vec::with_capacity(input.num_partitions());
-            for part in &input.partitions {
-                let mut out = Vec::new();
-                for row in part {
-                    if predicate.eval(row)?.is_true() {
-                        out.push(row.clone());
-                    }
-                }
-                partitions.push(out);
+            let mut parts = Vec::with_capacity(input.num_partitions());
+            for p in 0..input.num_partitions() {
+                parts.push(filter_batches(input.partition_batches(p), Some(predicate))?);
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: input.props.clone(),
-                },
+                Table::from_batches(out_schema.clone(), parts, input.props.clone()),
                 0,
             ))
         }
         Operator::Project { exprs } => {
             let input = one()?;
-            let mut partitions = Vec::with_capacity(input.num_partitions());
-            for part in &input.partitions {
-                let mut out = Vec::with_capacity(part.len());
-                for row in part {
-                    let new_row: Result<Row> = exprs.iter().map(|ne| ne.expr.eval(row)).collect();
-                    out.push(new_row?);
+            let mut parts = Vec::with_capacity(input.num_partitions());
+            for p in 0..input.num_partitions() {
+                let mut out = Vec::new();
+                for batch in input.partition_batches(p) {
+                    if batch.num_rows() == 0 {
+                        continue;
+                    }
+                    let cols = vexpr::eval_exprs(exprs, batch)?;
+                    out.push(Arc::new(RecordBatch::new(cols, batch.num_rows())));
                 }
-                partitions.push(out);
+                parts.push(out);
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: op.delivered_props(std::slice::from_ref(&input.props)),
-                },
+                Table::from_batches(
+                    out_schema.clone(),
+                    parts,
+                    op.delivered_props(std::slice::from_ref(&input.props)),
+                ),
                 0,
             ))
         }
         Operator::Remap { cols, .. } => {
             let input = one()?;
-            let partitions = input
-                .partitions
-                .iter()
-                .map(|part| {
-                    part.iter()
-                        .map(|row| cols.iter().map(|&c| row[c].clone()).collect())
-                        .collect()
-                })
-                .collect();
+            let mut parts = Vec::with_capacity(input.num_partitions());
+            for p in 0..input.num_partitions() {
+                let mut out = Vec::new();
+                for batch in input.partition_batches(p) {
+                    if batch.num_rows() == 0 {
+                        continue;
+                    }
+                    // Pure column shuffle: Arc bumps, no data movement.
+                    let picked: Vec<Arc<ColumnVector>> =
+                        cols.iter().map(|&c| batch.column(c).clone()).collect();
+                    out.push(Arc::new(RecordBatch::new(picked, batch.num_rows())));
+                }
+                parts.push(out);
+            }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: op.delivered_props(std::slice::from_ref(&input.props)),
-                },
+                Table::from_batches(
+                    out_schema.clone(),
+                    parts,
+                    op.delivered_props(std::slice::from_ref(&input.props)),
+                ),
                 0,
             ))
         }
@@ -261,104 +314,136 @@ fn exec_node(
             implementation,
         } => {
             let input = one()?;
-            let mut partitions: Vec<Vec<Row>> = Vec::with_capacity(input.num_partitions());
-            for part in &input.partitions {
-                let rows = match implementation {
-                    AggImpl::Hash => hash_aggregate(part, keys, aggs)?,
-                    AggImpl::Stream => stream_aggregate(part, keys, aggs)?,
+            let mut parts: Vec<Vec<Row>> = Vec::with_capacity(input.num_partitions());
+            for p in 0..input.num_partitions() {
+                let rows = match input.partition_as_batch(p) {
+                    Some(batch) => match implementation {
+                        AggImpl::Hash => hash_aggregate_batch(&batch, keys, aggs)?,
+                        AggImpl::Stream => stream_aggregate_batch(&batch, keys, aggs)?,
+                    },
+                    None => {
+                        // Ragged partition: row kernels.
+                        let rows = input.partition_rows(p);
+                        match implementation {
+                            AggImpl::Hash => rowref::hash_aggregate(&rows, keys, aggs)?,
+                            AggImpl::Stream => rowref::stream_aggregate(&rows, keys, aggs)?,
+                        }
+                    }
                 };
-                partitions.push(rows);
+                parts.push(rows);
             }
             // Global aggregate over an empty input emits exactly one row.
             if keys.is_empty() {
-                let total: usize = partitions.iter().map(Vec::len).sum();
-                if total == 0 && !partitions.is_empty() {
-                    partitions[0].push(empty_global_agg_row(aggs));
+                let total: usize = parts.iter().map(Vec::len).sum();
+                if total == 0 && !parts.is_empty() {
+                    parts[0].push(rowref::empty_global_agg_row(aggs));
                 }
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: op.delivered_props(std::slice::from_ref(&input.props)),
-                },
+                Table::from_rows(
+                    out_schema.clone(),
+                    parts,
+                    op.delivered_props(std::slice::from_ref(&input.props)),
+                ),
                 0,
             ))
         }
         Operator::Top { n, order } => {
             let input = one()?;
-            let mut rows = input.all_rows();
+            let gathered = input.gather();
             // Deterministic top-N: ties under the requested order are broken
             // by full-row comparison, so the result is independent of the
             // physical arrival order (and hence of view reuse).
-            rows.sort_by(|a, b| compare_rows(a, b, order).then_with(|| a.cmp(b)));
-            rows.truncate(*n);
-            Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions: vec![rows],
-                    props: PhysicalProps {
-                        partitioning: Partitioning::Single,
-                        sort: order.clone(),
-                    },
-                },
-                0,
-            ))
+            let props = PhysicalProps {
+                partitioning: Partitioning::Single,
+                sort: order.clone(),
+            };
+            let table = match gathered.partition_as_batch(0) {
+                Some(batch) => {
+                    let mut idx: Vec<usize> = (0..batch.num_rows()).collect();
+                    idx.sort_by(|&a, &b| {
+                        compare_batch_rows(&batch, a, b, order)
+                            .then_with(|| compare_batch_rows_full(&batch, a, b))
+                    });
+                    idx.truncate(*n);
+                    let out = if idx.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![Arc::new(batch.take(&idx))]
+                    };
+                    Table::from_batches(out_schema.clone(), vec![out], props)
+                }
+                None => {
+                    let mut rows = gathered.all_rows();
+                    rows.sort_by(|a, b| compare_rows(a, b, order).then_with(|| a.cmp(b)));
+                    rows.truncate(*n);
+                    Table::from_rows(out_schema.clone(), vec![rows], props)
+                }
+            };
+            Ok((table, 0))
         }
         Operator::Window {
             func,
             partition,
             order,
         } => {
+            // Window functions are row-ordered by definition; the row kernel
+            // is the semantics.
             let input = one()?;
-            let mut partitions = Vec::with_capacity(input.num_partitions());
-            for part in &input.partitions {
-                partitions.push(exec_window(part, func, partition, order)?);
+            let mut parts = Vec::with_capacity(input.num_partitions());
+            for p in 0..input.num_partitions() {
+                parts.push(rowref::exec_window(
+                    &input.partition_rows(p),
+                    func,
+                    partition,
+                    order,
+                )?);
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: op.delivered_props(std::slice::from_ref(&input.props)),
-                },
+                Table::from_rows(
+                    out_schema.clone(),
+                    parts,
+                    op.delivered_props(std::slice::from_ref(&input.props)),
+                ),
                 0,
             ))
         }
         Operator::Process { udo } => {
             let input = one()?;
-            let mut partitions = Vec::with_capacity(input.num_partitions());
-            for part in &input.partitions {
+            let mut parts = Vec::with_capacity(input.num_partitions());
+            for p in 0..input.num_partitions() {
                 let mut out = Vec::new();
-                for row in part {
-                    udo.process_row(row, &mut out)?;
+                for row in input.partition_rows(p) {
+                    udo.process_row(&row, &mut out)?;
                 }
-                partitions.push(out);
+                parts.push(out);
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: op.delivered_props(std::slice::from_ref(&input.props)),
-                },
+                Table::from_rows(
+                    out_schema.clone(),
+                    parts,
+                    op.delivered_props(std::slice::from_ref(&input.props)),
+                ),
                 0,
             ))
         }
         Operator::Reduce { udo, keys } | Operator::GbApply { udo, keys } => {
             let input = one()?;
-            let mut partitions = Vec::with_capacity(input.num_partitions());
-            for part in &input.partitions {
+            let mut parts = Vec::with_capacity(input.num_partitions());
+            for p in 0..input.num_partitions() {
+                let rows = input.partition_rows(p);
                 let mut out = Vec::new();
-                for group in key_runs(part, keys) {
+                for group in rowref::key_runs(&rows, keys) {
                     udo.reduce_group(group, &mut out)?;
                 }
-                partitions.push(out);
+                parts.push(out);
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: op.delivered_props(std::slice::from_ref(&input.props)),
-                },
+                Table::from_rows(
+                    out_schema.clone(),
+                    parts,
+                    op.delivered_props(std::slice::from_ref(&input.props)),
+                ),
                 0,
             ))
         }
@@ -389,16 +474,14 @@ fn exec_node(
             Ok((table, 0))
         }
         Operator::UnionAll => {
-            let mut partitions = Vec::new();
+            let mut parts = Vec::new();
             for t in inputs {
-                partitions.extend(t.partitions.iter().cloned());
+                for p in 0..t.num_partitions() {
+                    parts.push(t.partition_batches(p).to_vec());
+                }
             }
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions,
-                    props: PhysicalProps::any(),
-                },
+                Table::from_batches(out_schema.clone(), parts, PhysicalProps::any()),
                 0,
             ))
         }
@@ -418,11 +501,7 @@ fn exec_node(
             sort_rows(&mut right, &order);
             left.extend(right);
             Ok((
-                Table {
-                    schema: out_schema.clone(),
-                    partitions: vec![left],
-                    props: PhysicalProps::single(),
-                },
+                Table::from_rows(out_schema.clone(), vec![left], PhysicalProps::single()),
                 0,
             ))
         }
@@ -433,218 +512,258 @@ fn exec_node(
     }
 }
 
-/// Aggregate accumulator for one group.
-///
-/// Float sums are accumulated as a value list and added in a *deterministic
-/// order* at finish time: IEEE addition is not associative, so summing in
-/// physical arrival order would make results depend on partitioning — and a
-/// view-fed plan (different partition order) could differ from the baseline
-/// in the last ulp. Integer sums stay incremental.
-#[derive(Clone, Debug)]
-struct Acc {
-    count: u64,
-    int_sum: i64,
-    float_values: Vec<f64>,
-    sum_is_float: bool,
-    min: Option<Value>,
-    max: Option<Value>,
-    distinct: std::collections::HashSet<Value>,
-    non_null: u64,
+// ---------------------------------------------------------------------------
+// Vectorized aggregation
+// ---------------------------------------------------------------------------
+
+/// Group index per input row, plus the distinct keys in first-seen order —
+/// the seed hash aggregate's grouping, computed column-wise with a typed
+/// fast path for single integer-like keys.
+/// Null-test closure over a typed column's optional mask.
+fn null_at(nulls: &Option<crate::data::NullMask>) -> impl Fn(usize) -> bool + '_ {
+    move |i| nulls.as_ref().is_some_and(|m| m[i])
 }
 
-impl Acc {
-    fn new() -> Self {
-        Acc {
-            count: 0,
-            int_sum: 0,
-            float_values: Vec::new(),
-            sum_is_float: false,
-            min: None,
-            max: None,
-            distinct: std::collections::HashSet::new(),
-            non_null: 0,
+/// Monomorphized single-key grouping over an i64-valued key accessor.
+/// Group ids are assigned in first-seen row order (NULL is its own group),
+/// matching the generic `HashMap<Vec<Value>>` kernel exactly. Small key
+/// ranges get a direct-address table instead of a hash map.
+fn group_typed_ints(
+    rows: usize,
+    key_at: impl Fn(usize) -> i64,
+    is_null: impl Fn(usize) -> bool,
+    value_at: impl Fn(usize) -> Value,
+) -> (Vec<u32>, Vec<Vec<Value>>) {
+    let mut group_of = Vec::with_capacity(rows);
+    let mut key_rows: Vec<Vec<Value>> = Vec::new();
+    let (mut lo, mut hi, mut any) = (i64::MAX, i64::MIN, false);
+    for i in 0..rows {
+        if !is_null(i) {
+            let v = key_at(i);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            any = true;
         }
     }
-
-    fn update(&mut self, func: AggFunc, v: &Value) {
-        self.count += 1;
-        if v.is_null() {
-            return;
+    let range = if any { (hi - lo) as u128 + 1 } else { 0 };
+    if range <= (rows as u128) * 4 + 1024 && range <= 1 << 21 {
+        let mut table = vec![u32::MAX; range as usize];
+        let mut null_gid = u32::MAX;
+        for i in 0..rows {
+            let gid = if is_null(i) {
+                if null_gid == u32::MAX {
+                    null_gid = key_rows.len() as u32;
+                    key_rows.push(vec![Value::Null]);
+                }
+                null_gid
+            } else {
+                let slot = (key_at(i) - lo) as usize;
+                if table[slot] == u32::MAX {
+                    table[slot] = key_rows.len() as u32;
+                    key_rows.push(vec![value_at(i)]);
+                }
+                table[slot]
+            };
+            group_of.push(gid);
         }
-        self.non_null += 1;
-        match func {
-            AggFunc::Count => {}
-            AggFunc::Sum | AggFunc::Avg => match v {
-                Value::Float(f) => {
-                    self.sum_is_float = true;
-                    self.float_values.push(*f);
-                }
-                other => {
-                    if let Some(x) = other.as_i64() {
-                        self.int_sum = self.int_sum.wrapping_add(x);
-                    }
-                }
-            },
-            AggFunc::Min => {
-                if self.min.as_ref().map(|m| v < m).unwrap_or(true) {
-                    self.min = Some(v.clone());
-                }
-            }
-            AggFunc::Max => {
-                if self.max.as_ref().map(|m| v > m).unwrap_or(true) {
-                    self.max = Some(v.clone());
-                }
-            }
-            AggFunc::CountDistinct => {
-                self.distinct.insert(v.clone());
-            }
-        }
-    }
-
-    /// Order-insensitive float total: sort by IEEE total order, then add.
-    fn float_total(&self) -> f64 {
-        let mut vals = self.float_values.clone();
-        vals.sort_by(|a, b| a.total_cmp(b));
-        vals.iter().sum::<f64>() + self.int_sum as f64
-    }
-
-    fn finish(&self, func: AggFunc) -> Value {
-        match func {
-            AggFunc::Count => Value::Int(self.count as i64),
-            AggFunc::Sum => {
-                if self.non_null == 0 {
-                    Value::Null
-                } else if self.sum_is_float {
-                    Value::Float(self.float_total())
-                } else {
-                    Value::Int(self.int_sum)
-                }
-            }
-            AggFunc::Avg => {
-                if self.non_null == 0 {
+    } else {
+        let mut map: HashMap<Option<i64>, u32> = HashMap::new();
+        for i in 0..rows {
+            let key = if is_null(i) { None } else { Some(key_at(i)) };
+            let gid = *map.entry(key).or_insert_with(|| {
+                key_rows.push(vec![if key.is_none() {
                     Value::Null
                 } else {
-                    Value::Float(self.float_total() / self.non_null as f64)
-                }
-            }
-            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
-            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
-            AggFunc::CountDistinct => Value::Int(self.distinct.len() as i64),
+                    value_at(i)
+                }]);
+                (key_rows.len() - 1) as u32
+            });
+            group_of.push(gid);
         }
     }
+    (group_of, key_rows)
 }
 
-fn agg_row(key: &[Value], accs: &[Acc], aggs: &[AggExpr]) -> Row {
-    let mut row: Row = key.to_vec();
-    for (acc, a) in accs.iter().zip(aggs) {
-        row.push(acc.finish(a.func));
+fn group_rows(batch: &RecordBatch, keys: &[usize]) -> (Vec<u32>, Vec<Vec<Value>>) {
+    let rows = batch.num_rows();
+
+    if let [k] = keys {
+        // Typed single-key grouping: one i64 (or NULL) per row. Valid
+        // because a typed column never mixes numeric types, so i64 equality
+        // coincides with Value equality.
+        let kcol = batch.column(*k);
+        match kcol.as_ref() {
+            ColumnVector::Int { data, nulls } => {
+                return group_typed_ints(rows, |i| data[i], null_at(nulls), |i| kcol.value(i));
+            }
+            ColumnVector::Date { data, nulls } => {
+                return group_typed_ints(
+                    rows,
+                    |i| data[i] as i64,
+                    null_at(nulls),
+                    |i| kcol.value(i),
+                );
+            }
+            _ => {}
+        }
     }
-    row
-}
 
-fn empty_global_agg_row(aggs: &[AggExpr]) -> Row {
-    let accs: Vec<Acc> = aggs.iter().map(|_| Acc::new()).collect();
-    agg_row(&[], &accs, aggs)
-}
-
-fn hash_aggregate(rows: &[Row], keys: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
-    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    for row in rows {
-        let key: Vec<Value> = keys.iter().map(|&k| row[k].clone()).collect();
-        let accs = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            aggs.iter().map(|_| Acc::new()).collect()
+    let mut group_of = Vec::with_capacity(rows);
+    let mut key_rows: Vec<Vec<Value>> = Vec::new();
+    let mut map: HashMap<Vec<Value>, u32> = HashMap::new();
+    for i in 0..rows {
+        let key: Vec<Value> = keys.iter().map(|&k| batch.cell(i, k).to_value()).collect();
+        let gid = *map.entry(key.clone()).or_insert_with(|| {
+            key_rows.push(key);
+            (key_rows.len() - 1) as u32
         });
-        for (acc, a) in accs.iter_mut().zip(aggs) {
-            acc.update(a.func, &row[a.input.min(row.len() - 1)]);
-        }
+        group_of.push(gid);
     }
-    Ok(order
-        .into_iter()
-        .map(|key| {
-            let accs = &groups[&key];
-            agg_row(&key, accs, aggs)
+    (group_of, key_rows)
+}
+
+fn hash_aggregate_batch(batch: &RecordBatch, keys: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
+    let rows = batch.num_rows();
+    if rows == 0 {
+        return Ok(Vec::new());
+    }
+    let width = batch.width();
+    let (group_of, key_rows) = group_rows(batch, keys);
+    let ngroups = key_rows.len();
+    let mut group_sizes = vec![0u64; ngroups];
+    for &g in &group_of {
+        group_sizes[g as usize] += 1;
+    }
+
+    // Column-wise accumulation: one pass per aggregate over its input
+    // column. COUNT/SUM/AVG over typed numeric columns run monomorphized
+    // loops feeding the exact `Acc` fields their `finish` arm reads;
+    // everything else falls back to the borrowed-cell update.
+    let mut acc_cols: Vec<Vec<Acc>> = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        let col = batch.column(a.input.min(width - 1));
+        let mut accs: Vec<Acc> = (0..ngroups).map(|_| Acc::new()).collect();
+        match (a.func, col.as_ref()) {
+            (AggFunc::Count, _) => {
+                // finish(Count) reads only the row count; nulls don't matter.
+                for (acc, &n) in accs.iter_mut().zip(&group_sizes) {
+                    acc.bump_rows(n, 0);
+                }
+            }
+            (AggFunc::Sum | AggFunc::Avg, ColumnVector::Int { data, nulls }) => {
+                accumulate_sums(&mut accs, &group_of, &group_sizes, nulls, |acc, i| {
+                    acc.add_int(data[i])
+                });
+            }
+            (AggFunc::Sum | AggFunc::Avg, ColumnVector::Float { data, nulls }) => {
+                accumulate_sums(&mut accs, &group_of, &group_sizes, nulls, |acc, i| {
+                    acc.push_float(data[i])
+                });
+            }
+            _ => {
+                for (i, &g) in group_of.iter().enumerate() {
+                    accs[g as usize].update_cell(a.func, col.cell(i));
+                }
+            }
+        }
+        acc_cols.push(accs);
+    }
+    Ok(key_rows
+        .iter()
+        .enumerate()
+        .map(|(g, key)| {
+            let mut row: Row = key.clone();
+            for (j, a) in aggs.iter().enumerate() {
+                row.push(acc_cols[j][g].finish(a.func));
+            }
+            row
         })
         .collect())
 }
 
-fn stream_aggregate(rows: &[Row], keys: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
-    let mut out = Vec::new();
-    for group in key_runs(rows, keys) {
-        let mut accs: Vec<Acc> = aggs.iter().map(|_| Acc::new()).collect();
-        for row in group {
-            for (acc, a) in accs.iter_mut().zip(aggs) {
-                acc.update(a.func, &row[a.input.min(row.len() - 1)]);
+/// SUM/AVG inner loop shared by the typed numeric columns: `add` feeds one
+/// non-null value into its group's accumulator; row/non-null counts are
+/// bulk-applied afterwards so the per-row work is a single indexed update.
+fn accumulate_sums(
+    accs: &mut [Acc],
+    group_of: &[u32],
+    group_sizes: &[u64],
+    nulls: &Option<crate::data::NullMask>,
+    mut add: impl FnMut(&mut Acc, usize),
+) {
+    match nulls {
+        None => {
+            for (i, &g) in group_of.iter().enumerate() {
+                add(&mut accs[g as usize], i);
+            }
+            for (acc, &n) in accs.iter_mut().zip(group_sizes) {
+                acc.bump_rows(n, n);
             }
         }
-        let key: Vec<Value> = keys.iter().map(|&k| group[0][k].clone()).collect();
-        out.push(agg_row(&key, &accs, aggs));
+        Some(mask) => {
+            let mut non_null = vec![0u64; accs.len()];
+            for (i, &g) in group_of.iter().enumerate() {
+                if !mask[i] {
+                    non_null[g as usize] += 1;
+                    add(&mut accs[g as usize], i);
+                }
+            }
+            for ((acc, &n), &nn) in accs.iter_mut().zip(group_sizes).zip(&non_null) {
+                acc.bump_rows(n, nn);
+            }
+        }
     }
-    Ok(out)
 }
 
-/// Splits sorted rows into maximal runs of equal keys. For unsorted input
-/// this still groups *adjacent* equal keys only — callers needing full
-/// grouping must sort first (the optimizer's enforcers do).
-fn key_runs<'a>(rows: &'a [Row], keys: &'a [usize]) -> impl Iterator<Item = &'a [Row]> + 'a {
+fn stream_aggregate_batch(
+    batch: &RecordBatch,
+    keys: &[usize],
+    aggs: &[AggExpr],
+) -> Result<Vec<Row>> {
+    let rows = batch.num_rows();
+    let mut out = Vec::new();
+    if rows == 0 {
+        return Ok(out);
+    }
+    let width = batch.width();
+    let key_cols: Vec<&Arc<ColumnVector>> = keys.iter().map(|&k| batch.column(k)).collect();
+    let agg_cols: Vec<&Arc<ColumnVector>> = aggs
+        .iter()
+        .map(|a| batch.column(a.input.min(width - 1)))
+        .collect();
     let mut start = 0;
-    std::iter::from_fn(move || {
-        if start >= rows.len() {
-            return None;
-        }
+    while start < rows {
+        // Maximal run of adjacent equal keys, like the row kernel.
         let mut end = start + 1;
-        while end < rows.len() && keys.iter().all(|&k| rows[end][k] == rows[start][k]) {
+        while end < rows
+            && key_cols
+                .iter()
+                .all(|c| c.cell(end).cmp_cell(c.cell(start)).is_eq())
+        {
             end += 1;
         }
-        let run = &rows[start..end];
-        start = end;
-        Some(run)
-    })
-}
-
-fn exec_window(
-    rows: &[Row],
-    func: &WindowFunc,
-    partition: &[usize],
-    order: &SortOrder,
-) -> Result<Vec<Row>> {
-    let mut out = Vec::with_capacity(rows.len());
-    for group in key_runs(rows, partition) {
-        // Deterministic in-group order: the requested order, ties broken by
-        // full-row comparison (running sums would otherwise depend on
-        // physical arrival order).
-        let mut group: Vec<&Row> = group.iter().collect();
-        group.sort_by(|a, b| compare_rows(a, b, order).then_with(|| a.cmp(b)));
-        let group: Vec<Row> = group.into_iter().cloned().collect();
-        let group = &group[..];
-        let mut running_sum = 0.0;
-        let mut rank = 0usize;
-        let mut seen = 0usize;
-        let mut prev: Option<&Row> = None;
-        for row in group {
-            seen += 1;
-            let tied = prev
-                .map(|p| compare_rows(p, row, order).is_eq())
-                .unwrap_or(false);
-            if !tied {
-                rank = seen;
+        let mut accs: Vec<Acc> = aggs.iter().map(|_| Acc::new()).collect();
+        for i in start..end {
+            for (acc, (a, col)) in accs.iter_mut().zip(aggs.iter().zip(&agg_cols)) {
+                acc.update_cell(a.func, col.cell(i));
             }
-            let v = match func {
-                WindowFunc::RowNumber => Value::Int(seen as i64),
-                WindowFunc::Rank => Value::Int(rank as i64),
-                WindowFunc::RunningSum(c) => {
-                    running_sum += row[*c].as_f64().unwrap_or(0.0);
-                    Value::Float(running_sum)
-                }
-            };
-            let mut r = row.clone();
-            r.push(v);
-            out.push(r);
-            prev = Some(row);
         }
+        let key: Vec<Value> = key_cols.iter().map(|c| c.value(start)).collect();
+        out.push(rowref::agg_row(&key, &accs, aggs));
+        start = end;
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized hash join
+// ---------------------------------------------------------------------------
+
+fn join_props(left: &Table) -> PhysicalProps {
+    PhysicalProps {
+        partitioning: left.props.partitioning.clone(),
+        sort: SortOrder::none(),
+    }
 }
 
 fn exec_join(
@@ -657,115 +776,306 @@ fn exec_join(
     out_schema: &Schema,
 ) -> Result<Table> {
     let rwidth = right.schema.len();
-    let pairs: Vec<(&Vec<Row>, &Vec<Row>)> = match implementation {
-        JoinImpl::Loops => {
-            // Right side gathered single (enforced): pair every left
-            // partition with the single right partition.
-            let rp = right.partitions.first().ok_or_else(|| {
-                ScopeError::Execution("loops join with no right partition".into())
-            })?;
-            left.partitions.iter().map(|lp| (lp, rp)).collect()
+
+    if matches!(implementation, JoinImpl::Loops) {
+        // Loops joins are rare and inherently row-pairwise; the row kernel
+        // is the semantics. Right side gathered single (enforced).
+        if right.num_partitions() == 0 {
+            return Err(ScopeError::Execution(
+                "loops join with no right partition".into(),
+            ));
         }
-        _ => {
-            if left.num_partitions() != right.num_partitions() {
-                return Err(ScopeError::Execution(format!(
-                    "join partition mismatch: {} vs {}",
-                    left.num_partitions(),
-                    right.num_partitions()
-                )));
+        let rp = right.partition_rows(0);
+        let parts = (0..left.num_partitions())
+            .map(|p| {
+                rowref::loops_join_rows(
+                    &left.partition_rows(p),
+                    &rp,
+                    kind,
+                    left_keys,
+                    right_keys,
+                    rwidth,
+                )
+            })
+            .collect();
+        return Ok(Table::from_rows(
+            out_schema.clone(),
+            parts,
+            join_props(left),
+        ));
+    }
+
+    if left.num_partitions() != right.num_partitions() {
+        return Err(ScopeError::Execution(format!(
+            "join partition mismatch: {} vs {}",
+            left.num_partitions(),
+            right.num_partitions()
+        )));
+    }
+
+    let mut parts: Vec<Vec<Arc<RecordBatch>>> = Vec::with_capacity(left.num_partitions());
+    for p in 0..left.num_partitions() {
+        let row_fallback = |parts: &mut Vec<Vec<Arc<RecordBatch>>>| {
+            let rows = rowref::hash_join_rows(
+                &left.partition_rows(p),
+                &right.partition_rows(p),
+                kind,
+                left_keys,
+                right_keys,
+                rwidth,
+            );
+            parts.push(batches_from_rows(rows));
+        };
+        let (Some(lb), Some(rb)) = (left.partition_as_batch(p), right.partition_as_batch(p)) else {
+            row_fallback(&mut parts); // ragged partition
+            continue;
+        };
+        // LeftOuter pads unmatched rows to the right *schema* width; when the
+        // physical width disagrees (or the right side is empty, width 0),
+        // only the row kernel reproduces that padding.
+        if kind == JoinKind::LeftOuter && rb.width() != rwidth {
+            row_fallback(&mut parts);
+            continue;
+        }
+        parts.push(hash_join_batch(&lb, &rb, kind, left_keys, right_keys));
+    }
+    Ok(Table::from_batches(
+        out_schema.clone(),
+        parts,
+        join_props(left),
+    ))
+}
+
+/// Right-side groups of row indices plus, per left row, the matching group.
+type BuildProbe = (Vec<Vec<u32>>, Vec<Option<u32>>);
+
+/// Build/probe grouping: distinct non-NULL right keys get a group of right
+/// row indices (arrival order); each left row resolves to its group or none.
+fn build_probe<K: std::hash::Hash + Eq>(
+    rrows: usize,
+    lrows: usize,
+    rkey: impl Fn(usize) -> Option<K>,
+    lkey: impl Fn(usize) -> Option<K>,
+) -> BuildProbe {
+    let mut map: HashMap<K, u32> = HashMap::new();
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    for i in 0..rrows {
+        if let Some(k) = rkey(i) {
+            let gid = *map.entry(k).or_insert_with(|| {
+                groups.push(Vec::new());
+                (groups.len() - 1) as u32
+            });
+            groups[gid as usize].push(i as u32);
+        }
+    }
+    let lgroup = (0..lrows)
+        .map(|i| lkey(i).and_then(|k| map.get(&k).copied()))
+        .collect();
+    (groups, lgroup)
+}
+
+/// Monomorphized i64 build/probe with the same group-id contract as
+/// [`build_probe`] (build groups in right arrival order, NULL keys never
+/// match). Small build-key ranges use a direct-address table so the probe
+/// is an array lookup per left row instead of a hash.
+fn build_probe_ints(
+    rrows: usize,
+    lrows: usize,
+    rkey: impl Fn(usize) -> i64,
+    rnull: impl Fn(usize) -> bool,
+    lkey: impl Fn(usize) -> i64,
+    lnull: impl Fn(usize) -> bool,
+) -> BuildProbe {
+    let (mut lo, mut hi, mut any) = (i64::MAX, i64::MIN, false);
+    for i in 0..rrows {
+        if !rnull(i) {
+            let v = rkey(i);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            any = true;
+        }
+    }
+    let range = if any { (hi - lo) as u128 + 1 } else { 0 };
+    if range <= (rrows as u128) * 4 + 1024 && range <= 1 << 21 {
+        let mut table = vec![u32::MAX; range as usize];
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        for i in 0..rrows {
+            if rnull(i) {
+                continue;
             }
-            left.partitions.iter().zip(&right.partitions).collect()
+            let slot = (rkey(i) - lo) as usize;
+            if table[slot] == u32::MAX {
+                table[slot] = groups.len() as u32;
+                groups.push(Vec::new());
+            }
+            groups[table[slot] as usize].push(i as u32);
+        }
+        let lgroup = (0..lrows)
+            .map(|i| {
+                if lnull(i) {
+                    return None;
+                }
+                let k = lkey(i);
+                if k < lo || k > hi {
+                    return None;
+                }
+                let g = table[(k - lo) as usize];
+                (g != u32::MAX).then_some(g)
+            })
+            .collect();
+        (groups, lgroup)
+    } else {
+        build_probe(
+            rrows,
+            lrows,
+            |i| (!rnull(i)).then(|| rkey(i)),
+            |i| (!lnull(i)).then(|| lkey(i)),
+        )
+    }
+}
+
+fn hash_join_batch(
+    lb: &RecordBatch,
+    rb: &RecordBatch,
+    kind: JoinKind,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Arc<RecordBatch>> {
+    let lrows = lb.num_rows();
+    if lrows == 0 {
+        return Vec::new();
+    }
+    let rrows = rb.num_rows();
+
+    // Typed single-key fast path: both sides must be the *same* concrete
+    // type — Value equality is cross-type for numerics, but a typed column
+    // never mixes types, so same-variant i64 equality is exact. An empty
+    // right side may be a zero-width batch whose key columns don't exist;
+    // the row kernel never touches right keys then, so neither may we.
+    let typed: Option<BuildProbe> = if let (true, [lk], [rk]) = (rrows > 0, left_keys, right_keys) {
+        match (lb.column(*lk).as_ref(), rb.column(*rk).as_ref()) {
+            (
+                ColumnVector::Int {
+                    data: ld,
+                    nulls: ln,
+                },
+                ColumnVector::Int {
+                    data: rd,
+                    nulls: rn,
+                },
+            ) => Some(build_probe_ints(
+                rrows,
+                lrows,
+                |i| rd[i],
+                null_at(rn),
+                |i| ld[i],
+                null_at(ln),
+            )),
+            (
+                ColumnVector::Date {
+                    data: ld,
+                    nulls: ln,
+                },
+                ColumnVector::Date {
+                    data: rd,
+                    nulls: rn,
+                },
+            ) => Some(build_probe_ints(
+                rrows,
+                lrows,
+                |i| rd[i] as i64,
+                null_at(rn),
+                |i| ld[i] as i64,
+                null_at(ln),
+            )),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let (groups, lgroup) = typed.unwrap_or_else(|| {
+        let key_of = |b: &RecordBatch, keys: &[usize], i: usize| -> Option<Vec<Value>> {
+            let key: Vec<Value> = keys.iter().map(|&k| b.cell(i, k).to_value()).collect();
+            if key.iter().any(Value::is_null) {
+                None
+            } else {
+                Some(key)
+            }
+        };
+        build_probe(
+            rrows,
+            lrows,
+            |i| key_of(rb, right_keys, i),
+            |i| key_of(lb, left_keys, i),
+        )
+    });
+
+    // Emit phase: index pairs, then one gather per side.
+    let batch = match kind {
+        JoinKind::LeftSemi => {
+            let sel: Vec<usize> = (0..lrows).filter(|&i| lgroup[i].is_some()).collect();
+            if sel.is_empty() {
+                return Vec::new();
+            }
+            lb.take(&sel)
+        }
+        JoinKind::Inner => {
+            let mut lidx = Vec::new();
+            let mut ridx = Vec::new();
+            for (i, g) in lgroup.iter().enumerate() {
+                if let Some(g) = g {
+                    for &r in &groups[*g as usize] {
+                        lidx.push(i);
+                        ridx.push(r as usize);
+                    }
+                }
+            }
+            if lidx.is_empty() {
+                return Vec::new();
+            }
+            let mut cols: Vec<Arc<ColumnVector>> = lb
+                .columns()
+                .iter()
+                .map(|c| Arc::new(c.take(&lidx)))
+                .collect();
+            cols.extend(rb.columns().iter().map(|c| Arc::new(c.take(&ridx))));
+            RecordBatch::new(cols, lidx.len())
+        }
+        JoinKind::LeftOuter => {
+            let mut lidx = Vec::new();
+            let mut ridx: Vec<Option<usize>> = Vec::new();
+            for (i, g) in lgroup.iter().enumerate() {
+                match g {
+                    Some(g) => {
+                        for &r in &groups[*g as usize] {
+                            lidx.push(i);
+                            ridx.push(Some(r as usize));
+                        }
+                    }
+                    None => {
+                        lidx.push(i);
+                        ridx.push(None);
+                    }
+                }
+            }
+            let mut cols: Vec<Arc<ColumnVector>> = lb
+                .columns()
+                .iter()
+                .map(|c| Arc::new(c.take(&lidx)))
+                .collect();
+            cols.extend(rb.columns().iter().map(|c| Arc::new(c.take_opt(&ridx))));
+            RecordBatch::new(cols, lidx.len())
         }
     };
-
-    let mut partitions = Vec::with_capacity(pairs.len());
-    for (lp, rp) in pairs {
-        let mut out: Vec<Row> = Vec::new();
-        match implementation {
-            JoinImpl::Hash | JoinImpl::Merge => {
-                // Build on right, probe left (merge implemented as hash for
-                // result purposes; cost model differentiates).
-                let mut built: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
-                for row in rp {
-                    let key: Vec<Value> = right_keys.iter().map(|&k| row[k].clone()).collect();
-                    if key.iter().any(Value::is_null) {
-                        continue; // NULL keys never join
-                    }
-                    built.entry(key).or_default().push(row);
-                }
-                for lrow in lp {
-                    let key: Vec<Value> = left_keys.iter().map(|&k| lrow[k].clone()).collect();
-                    let matches = if key.iter().any(Value::is_null) {
-                        None
-                    } else {
-                        built.get(&key)
-                    };
-                    emit_join_rows(lrow, matches.map(|v| v.as_slice()), kind, rwidth, &mut out);
-                }
-            }
-            JoinImpl::Loops => {
-                for lrow in lp {
-                    let matches: Vec<&Row> = rp
-                        .iter()
-                        .filter(|rrow| {
-                            left_keys
-                                .iter()
-                                .zip(right_keys)
-                                .all(|(&lk, &rk)| !lrow[lk].is_null() && lrow[lk] == rrow[rk])
-                        })
-                        .collect();
-                    let m = if matches.is_empty() {
-                        None
-                    } else {
-                        Some(matches.as_slice())
-                    };
-                    emit_join_rows(lrow, m, kind, rwidth, &mut out);
-                }
-            }
-        }
-        partitions.push(out);
-    }
-    Ok(Table {
-        schema: out_schema.clone(),
-        partitions,
-        props: PhysicalProps {
-            partitioning: left.props.partitioning.clone(),
-            sort: SortOrder::none(),
-        },
-    })
+    vec![Arc::new(batch)]
 }
-
-fn emit_join_rows(
-    lrow: &Row,
-    matches: Option<&[&Row]>,
-    kind: JoinKind,
-    rwidth: usize,
-    out: &mut Vec<Row>,
-) {
-    match (kind, matches) {
-        (JoinKind::LeftSemi, Some(m)) if !m.is_empty() => out.push(lrow.clone()),
-        (JoinKind::LeftSemi, _) => {}
-        (_, Some(m)) if !m.is_empty() => {
-            for rrow in m {
-                let mut row = lrow.clone();
-                row.extend(rrow.iter().cloned());
-                out.push(row);
-            }
-        }
-        (JoinKind::LeftOuter, _) => {
-            let mut row = lrow.clone();
-            row.extend(std::iter::repeat_n(Value::Null, rwidth));
-            out.push(row);
-        }
-        (JoinKind::Inner, _) => {}
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::data::multiset_checksum;
     use scope_common::ids::DatasetId;
+    use scope_plan::expr::AggFunc;
+    use scope_plan::op::WindowFunc;
     use scope_plan::{DataType, Expr, PlanBuilder, SortKey, Udo, UdoKind};
 
     fn storage_with(rows: Vec<Row>, schema: Schema) -> StorageManager {

@@ -5,16 +5,19 @@
 //! runtime statistics, and a store for materialized view files — so this
 //! crate implements a small but *real* engine exposing exactly those seams:
 //!
-//! * [`data`] — partitioned in-memory tables of rows, with multiset
-//!   checksums used by the correctness tests (baseline output must equal
-//!   CloudViews output bit-for-bit).
+//! * [`data`] — partitioned in-memory tables stored as columnar record
+//!   batches ([`data::RecordBatch`], [`data::ColumnVector`]), with a row
+//!   bridge for tests and UDOs, and multiset checksums used by the
+//!   correctness tests (baseline output must equal CloudViews output
+//!   bit-for-bit).
 //! * [`cost`] — the calibrated cost model translating actual row counts into
 //!   simulated CPU time, plus the deliberately naive *compile-time*
 //!   cardinality estimator whose errors motivate the paper's feedback loop.
 //! * [`storage`] — the storage manager: base datasets plus the materialized
 //!   view store with expiry-based purging (paper Section 5.4).
-//! * [`exec`] — the row-at-a-time physical executor for every operator kind
-//!   in the paper's Figure 4(a), with per-node runtime statistics.
+//! * [`exec`] — the columnar batch-at-a-time physical executor for every
+//!   operator kind in the paper's Figure 4(a), with per-node runtime
+//!   statistics byte-identical to the row reference executor in [`rowref`].
 //! * [`sim`] — the discrete-event cluster model: plans split into stages at
 //!   exchange boundaries, stages run as waves of parallel vertices under a
 //!   token budget; produces end-to-end latency and total CPU-time, the two
@@ -33,11 +36,13 @@ pub mod exec;
 pub mod job;
 pub mod optimizer;
 pub mod repo;
+pub mod rowref;
 pub mod sim;
 pub mod storage;
+mod vexpr;
 
 pub use cost::{CostEstimator, CostModel};
-pub use data::{multiset_checksum, Row, Table};
+pub use data::{multiset_checksum, Cell, ColumnVector, RecordBatch, Row, Table};
 pub use exec::{execute_plan, ExecOutcome, NodeRuntimeStats};
 pub use job::{run_job_baseline, JobOutcome, JobSpec};
 pub use optimizer::{

@@ -122,7 +122,7 @@ fn build_stages(graph: &QueryGraph, exec: &ExecOutcome) -> Vec<Stage> {
             let t = &exec.node_tables[nid.index()];
             let total = t.num_rows();
             if total > 0 && t.num_partitions() > 1 {
-                let max_part = t.partitions.iter().map(Vec::len).max().unwrap_or(0) as f64;
+                let max_part = t.max_partition_rows() as f64;
                 share = share.max(max_part / total as f64);
             }
         }

@@ -1,0 +1,505 @@
+//! Vectorized expression evaluation over [`RecordBatch`]es.
+//!
+//! The expression tree is walked **once per batch**; each node produces a
+//! whole column (or a constant). Hot patterns — typed column vs. literal
+//! comparisons, integer arithmetic, boolean three-valued logic — run as
+//! tight loops over the typed vectors; everything else falls through to a
+//! generic per-element loop that calls the scalar kernels
+//! ([`scope_plan::eval_binary`] / [`scope_plan::eval_func`]) so the scalar
+//! semantics are shared with [`Expr::eval`], not reimplemented.
+//!
+//! # Equivalence contract
+//!
+//! The row executor evaluated expressions lazily: `AND`/`OR` short-circuit
+//! per row, so the right operand was never evaluated for rows where the left
+//! decided the result. The batch evaluator computes whole columns eagerly —
+//! a *superset* of the elements the row path touched. That superset can hit
+//! errors the row path never would. The entry points therefore fall back to
+//! exact row-at-a-time evaluation whenever the vectorized pass errors:
+//!
+//! * if the row path would have errored, the vectorized pass errors too
+//!   (it evaluates a superset with identical per-element semantics), and the
+//!   fallback then reproduces the row path's exact first error;
+//! * if the vectorized error was spurious (a row the row path skipped), the
+//!   fallback succeeds with the row path's exact values.
+//!
+//! Either way, callers observe byte-identical results to the seed executor.
+
+use std::sync::Arc;
+
+use scope_common::{Result, ScopeError};
+use scope_plan::{eval_binary, eval_func, BinOp, Expr, NamedExpr, UnaryOp, Value};
+
+use crate::data::{Cell, ColumnVector, NullMask, RecordBatch};
+
+/// An evaluated expression over one batch: a column, or one constant that
+/// stands for every row (literals and recurring parameters stay scalar).
+enum Ev {
+    Col(Arc<ColumnVector>),
+    Const(Value),
+}
+
+impl Ev {
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            Ev::Col(c) => c.value(i),
+            Ev::Const(v) => v.clone(),
+        }
+    }
+
+    fn into_column(self, rows: usize) -> Arc<ColumnVector> {
+        match self {
+            Ev::Col(c) => c,
+            Ev::Const(v) => Arc::new(ColumnVector::from_values(vec![v; rows])),
+        }
+    }
+}
+
+/// Evaluates `pred` over the batch and returns the selection vector: the
+/// indices (in order) of rows where the predicate is `Bool(true)`.
+///
+/// Exactly equivalent to `pred.eval(row)?.is_true()` per row (see the module
+/// docs for the fallback argument).
+pub(crate) fn eval_predicate_selection(pred: &Expr, batch: &RecordBatch) -> Result<Vec<usize>> {
+    let rows = batch.num_rows();
+    if rows == 0 {
+        return Ok(Vec::new());
+    }
+    match eval_ev(pred, batch) {
+        Ok(Ev::Const(v)) => Ok(if v.is_true() {
+            (0..rows).collect()
+        } else {
+            Vec::new()
+        }),
+        Ok(Ev::Col(col)) => Ok((0..rows)
+            .filter(|&i| matches!(col.cell(i), Cell::Bool(true)))
+            .collect()),
+        Err(_) => {
+            // Rowwise fallback: reproduces the row executor bit for bit.
+            let mut sel = Vec::new();
+            for i in 0..rows {
+                if pred.eval(&batch.row(i))?.is_true() {
+                    sel.push(i);
+                }
+            }
+            Ok(sel)
+        }
+    }
+}
+
+/// Evaluates a projection list over the batch, one output column per
+/// expression. Equivalent to evaluating each expression per row in
+/// row-major order (the row executor's error order is preserved via the
+/// fallback).
+pub(crate) fn eval_exprs(
+    exprs: &[NamedExpr],
+    batch: &RecordBatch,
+) -> Result<Vec<Arc<ColumnVector>>> {
+    let rows = batch.num_rows();
+    if rows == 0 {
+        return Ok(exprs
+            .iter()
+            .map(|_| Arc::new(ColumnVector::Mixed(Vec::new())))
+            .collect());
+    }
+    let mut out = Vec::with_capacity(exprs.len());
+    let mut failed = false;
+    for e in exprs {
+        match eval_ev(&e.expr, batch) {
+            Ok(ev) => out.push(ev.into_column(rows)),
+            Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+    }
+    if !failed {
+        return Ok(out);
+    }
+    // Rowwise fallback, row-major like the seed Project kernel.
+    let mut cols: Vec<Vec<Value>> = exprs.iter().map(|_| Vec::with_capacity(rows)).collect();
+    for i in 0..rows {
+        let row = batch.row(i);
+        for (j, e) in exprs.iter().enumerate() {
+            cols[j].push(e.expr.eval(&row)?);
+        }
+    }
+    Ok(cols
+        .into_iter()
+        .map(|c| Arc::new(ColumnVector::from_values(c)))
+        .collect())
+}
+
+fn col_oob(i: usize, width: usize) -> ScopeError {
+    ScopeError::Expression(format!("column {i} out of range (row width {width})"))
+}
+
+fn eval_ev(expr: &Expr, batch: &RecordBatch) -> Result<Ev> {
+    let rows = batch.num_rows();
+    match expr {
+        Expr::Col(i) => {
+            if *i >= batch.width() {
+                return Err(col_oob(*i, batch.width()));
+            }
+            Ok(Ev::Col(batch.column(*i).clone()))
+        }
+        Expr::Lit(v) => Ok(Ev::Const(v.clone())),
+        Expr::RecurringParam { value, .. } => Ok(Ev::Const(value.clone())),
+        Expr::Unary { op, child } => {
+            let c = eval_ev(child, batch)?;
+            eval_unary_ev(*op, c, rows)
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval_ev(left, batch)?;
+            // Constant short-circuit: when the left operand is the same
+            // decisive constant for every row, the row path never evaluated
+            // the right subtree — neither do we.
+            match (&l, op) {
+                (Ev::Const(v), BinOp::And) if *v == Value::Bool(false) => {
+                    return Ok(Ev::Const(Value::Bool(false)));
+                }
+                (Ev::Const(v), BinOp::Or) if *v == Value::Bool(true) => {
+                    return Ok(Ev::Const(Value::Bool(true)));
+                }
+                _ => {}
+            }
+            let r = eval_ev(right, batch)?;
+            eval_binary_ev(*op, l, r, rows)
+        }
+        Expr::Func { func, args } => {
+            let evs: Vec<Ev> = args
+                .iter()
+                .map(|a| eval_ev(a, batch))
+                .collect::<Result<_>>()?;
+            if evs.iter().all(|e| matches!(e, Ev::Const(_))) {
+                let vals: Vec<Value> = evs.iter().map(|e| e.value_at(0)).collect();
+                return Ok(Ev::Const(eval_func(*func, &vals)?));
+            }
+            let mut out = Vec::with_capacity(rows);
+            let mut scratch: Vec<Value> = Vec::with_capacity(evs.len());
+            for i in 0..rows {
+                scratch.clear();
+                scratch.extend(evs.iter().map(|e| e.value_at(i)));
+                out.push(eval_func(*func, &scratch)?);
+            }
+            Ok(Ev::Col(Arc::new(ColumnVector::from_values(out))))
+        }
+    }
+}
+
+fn eval_unary_ev(op: UnaryOp, child: Ev, rows: usize) -> Result<Ev> {
+    match child {
+        Ev::Const(v) => Ok(Ev::Const(unary_scalar(op, v)?)),
+        Ev::Col(col) => {
+            // Typed fast paths.
+            match (op, col.as_ref()) {
+                (UnaryOp::IsNull, c) => {
+                    let data: Vec<bool> = (0..rows).map(|i| c.is_null(i)).collect();
+                    return Ok(Ev::Col(Arc::new(ColumnVector::Bool { data, nulls: None })));
+                }
+                (UnaryOp::Not, ColumnVector::Bool { data, nulls }) => {
+                    return Ok(Ev::Col(Arc::new(ColumnVector::Bool {
+                        data: data.iter().map(|b| !b).collect(),
+                        nulls: nulls.clone(),
+                    })));
+                }
+                (UnaryOp::Neg, ColumnVector::Int { data, nulls }) => {
+                    return Ok(Ev::Col(Arc::new(ColumnVector::Int {
+                        data: data.iter().map(|i| i.wrapping_neg()).collect(),
+                        nulls: nulls.clone(),
+                    })));
+                }
+                (UnaryOp::Neg, ColumnVector::Float { data, nulls }) => {
+                    return Ok(Ev::Col(Arc::new(ColumnVector::Float {
+                        data: data.iter().map(|f| -f).collect(),
+                        nulls: nulls.clone(),
+                    })));
+                }
+                _ => {}
+            }
+            let mut out = Vec::with_capacity(rows);
+            for i in 0..rows {
+                out.push(unary_scalar(op, col.value(i))?);
+            }
+            Ok(Ev::Col(Arc::new(ColumnVector::from_values(out))))
+        }
+    }
+}
+
+/// One-value unary semantics, identical to the `Expr::Unary` arm of
+/// [`Expr::eval`].
+fn unary_scalar(op: UnaryOp, v: Value) -> Result<Value> {
+    Ok(match op {
+        UnaryOp::Not => match v {
+            Value::Null => Value::Null,
+            Value::Bool(b) => Value::Bool(!b),
+            other => return Err(ScopeError::Expression(format!("NOT on {other}"))),
+        },
+        UnaryOp::Neg => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            other => return Err(ScopeError::Expression(format!("NEG on {other}"))),
+        },
+        UnaryOp::IsNull => Value::Bool(v.is_null()),
+    })
+}
+
+fn is_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    )
+}
+
+fn cmp_holds(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => !ord.is_eq(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!("cmp_holds on non-comparison"),
+    }
+}
+
+/// Mirrors a comparison so `const OP col` can reuse the `col OP const`
+/// kernels: `a < b  ⟺  b > a`, etc.
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other, // Eq / Ne are symmetric
+    }
+}
+
+fn eval_binary_ev(op: BinOp, l: Ev, r: Ev, rows: usize) -> Result<Ev> {
+    // Const ⊗ Const: one scalar evaluation covers every row.
+    if let (Ev::Const(a), Ev::Const(b)) = (&l, &r) {
+        return Ok(Ev::Const(eval_binary(op, a.clone(), b.clone())?));
+    }
+
+    // Typed fast paths.
+    if is_cmp(op) {
+        match (&l, &r) {
+            (Ev::Col(c), Ev::Const(k)) => {
+                if let Some(out) = cmp_col_const(op, c, k, rows) {
+                    return Ok(Ev::Col(Arc::new(out)));
+                }
+            }
+            (Ev::Const(k), Ev::Col(c)) => {
+                if let Some(out) = cmp_col_const(flip_cmp(op), c, k, rows) {
+                    return Ok(Ev::Col(Arc::new(out)));
+                }
+            }
+            _ => {}
+        }
+    }
+    if matches!(
+        op,
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+    ) {
+        if let Some(out) = int_arith(op, &l, &r, rows) {
+            return Ok(Ev::Col(Arc::new(out)));
+        }
+    }
+    if matches!(op, BinOp::And | BinOp::Or) {
+        if let Some(out) = bool_logic(op, &l, &r, rows) {
+            return Ok(Ev::Col(Arc::new(out)));
+        }
+    }
+
+    // Generic per-element path: same scalar kernel as the row executor,
+    // including its per-row AND/OR short-circuit.
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let lv = l.value_at(i);
+        match op {
+            BinOp::And if lv == Value::Bool(false) => {
+                out.push(Value::Bool(false));
+                continue;
+            }
+            BinOp::Or if lv == Value::Bool(true) => {
+                out.push(Value::Bool(true));
+                continue;
+            }
+            _ => {}
+        }
+        out.push(eval_binary(op, lv, r.value_at(i))?);
+    }
+    Ok(Ev::Col(Arc::new(ColumnVector::from_values(out))))
+}
+
+/// `col OP const` comparisons on matching concrete types. Returns `None`
+/// when no fast kernel applies (the generic path takes over).
+fn cmp_col_const(op: BinOp, col: &ColumnVector, k: &Value, rows: usize) -> Option<ColumnVector> {
+    // NULL literal: every comparison is NULL.
+    if k.is_null() {
+        return Some(ColumnVector::Bool {
+            data: vec![false; rows],
+            nulls: Some(vec![true; rows]),
+        });
+    }
+    macro_rules! kernel {
+        ($data:expr, $nulls:expr, $k:expr, $cmp:expr) => {{
+            let data: Vec<bool> = $data.iter().map(|v| cmp_holds(op, $cmp(v, $k))).collect();
+            Some(ColumnVector::Bool {
+                data,
+                nulls: $nulls.clone(),
+            })
+        }};
+    }
+    match (col, k) {
+        (ColumnVector::Int { data, nulls }, Value::Int(k)) => {
+            kernel!(data, nulls, k, |v: &i64, k: &i64| v.cmp(k))
+        }
+        (ColumnVector::Date { data, nulls }, Value::Date(k)) => {
+            kernel!(data, nulls, k, |v: &i32, k: &i32| v.cmp(k))
+        }
+        (ColumnVector::Str { data, nulls }, Value::Str(k)) => {
+            kernel!(data, nulls, k, |v: &String, k: &String| v.as_str().cmp(k))
+        }
+        (ColumnVector::Float { data, nulls }, Value::Float(k)) => {
+            kernel!(data, nulls, k, |v: &f64, k: &f64| v.total_cmp(k))
+        }
+        // Cross-numeric (Int col vs Float literal and vice versa) follows the
+        // Value total order numerically.
+        (ColumnVector::Int { data, nulls }, Value::Float(k)) => {
+            kernel!(data, nulls, k, |v: &i64, k: &f64| (*v as f64).total_cmp(k))
+        }
+        (ColumnVector::Float { data, nulls }, Value::Int(k)) => {
+            kernel!(data, nulls, k, |v: &f64, k: &i64| v.total_cmp(&(*k as f64)))
+        }
+        _ => None,
+    }
+}
+
+/// Integer arithmetic kernels for `Int col ⊗ Int {col,const}` (and the
+/// mirrored const-col forms). Div yields Float (x/0 → NULL), Mod stays Int
+/// (x%0 → NULL) — exactly the scalar `arith` integer fast path.
+fn int_arith(op: BinOp, l: &Ev, r: &Ev, rows: usize) -> Option<ColumnVector> {
+    enum Side<'a> {
+        Col(&'a [i64], &'a Option<NullMask>),
+        Const(i64),
+    }
+    impl Side<'_> {
+        fn get(&self, i: usize) -> Option<i64> {
+            match self {
+                Side::Const(k) => Some(*k),
+                Side::Col(data, nulls) => match nulls {
+                    Some(m) if m[i] => None,
+                    _ => Some(data[i]),
+                },
+            }
+        }
+    }
+    fn side(e: &Ev) -> Option<Side<'_>> {
+        match e {
+            Ev::Const(Value::Int(k)) => Some(Side::Const(*k)),
+            Ev::Col(c) => match c.as_ref() {
+                ColumnVector::Int { data, nulls } => Some(Side::Col(data, nulls)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    let (a, b) = (side(l)?, side(r)?);
+
+    if op == BinOp::Div {
+        // Int/Int division produces floats (or NULL on /0).
+        let mut data = Vec::with_capacity(rows);
+        let mut nulls: NullMask = Vec::with_capacity(rows);
+        let mut any_null = false;
+        for i in 0..rows {
+            match (a.get(i), b.get(i)) {
+                (Some(x), Some(y)) if y != 0 => {
+                    data.push(x as f64 / y as f64);
+                    nulls.push(false);
+                }
+                _ => {
+                    data.push(0.0);
+                    nulls.push(true);
+                    any_null = true;
+                }
+            }
+        }
+        return Some(ColumnVector::Float {
+            data,
+            nulls: if any_null { Some(nulls) } else { None },
+        });
+    }
+
+    let mut data = Vec::with_capacity(rows);
+    let mut nulls: NullMask = Vec::with_capacity(rows);
+    let mut any_null = false;
+    for i in 0..rows {
+        let out = match (a.get(i), b.get(i)) {
+            (Some(x), Some(y)) => match op {
+                BinOp::Add => Some(x.wrapping_add(y)),
+                BinOp::Sub => Some(x.wrapping_sub(y)),
+                BinOp::Mul => Some(x.wrapping_mul(y)),
+                BinOp::Mod => (y != 0).then(|| x.rem_euclid(y)),
+                _ => unreachable!("int_arith on non-arith op"),
+            },
+            _ => None,
+        };
+        data.push(out.unwrap_or(0));
+        nulls.push(out.is_none());
+        any_null |= out.is_none();
+    }
+    Some(ColumnVector::Int {
+        data,
+        nulls: if any_null { Some(nulls) } else { None },
+    })
+}
+
+/// Three-valued AND/OR over boolean columns/constants. Returns `None` when
+/// either side is not boolean-typed (the generic path handles errors).
+fn bool_logic(op: BinOp, l: &Ev, r: &Ev, rows: usize) -> Option<ColumnVector> {
+    fn tri(e: &Ev, i: usize) -> Option<Option<bool>> {
+        match e {
+            Ev::Const(Value::Bool(b)) => Some(Some(*b)),
+            Ev::Const(Value::Null) => Some(None),
+            Ev::Const(_) => None,
+            Ev::Col(c) => match c.as_ref() {
+                ColumnVector::Bool { data, nulls } => Some(match nulls {
+                    Some(m) if m[i] => None,
+                    _ => Some(data[i]),
+                }),
+                _ => None,
+            },
+        }
+    }
+    // Reject non-boolean shapes up front (probe row 0 is not enough for
+    // Mixed columns, so only typed Bool columns and Bool/Null consts pass).
+    let ok = |e: &Ev| {
+        matches!(e, Ev::Const(Value::Bool(_)) | Ev::Const(Value::Null))
+            || matches!(e, Ev::Col(c) if matches!(c.as_ref(), ColumnVector::Bool { .. }))
+    };
+    if !ok(l) || !ok(r) {
+        return None;
+    }
+    let mut data = Vec::with_capacity(rows);
+    let mut nulls: NullMask = Vec::with_capacity(rows);
+    let mut any_null = false;
+    for i in 0..rows {
+        let (a, b) = (tri(l, i)?, tri(r, i)?);
+        let out: Option<bool> = match (op, a, b) {
+            (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
+            (BinOp::And, Some(true), Some(true)) => Some(true),
+            (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
+            (BinOp::Or, Some(false), Some(false)) => Some(false),
+            _ => None,
+        };
+        data.push(out.unwrap_or(false));
+        nulls.push(out.is_none());
+        any_null |= out.is_none();
+    }
+    Some(ColumnVector::Bool {
+        data,
+        nulls: if any_null { Some(nulls) } else { None },
+    })
+}

@@ -490,7 +490,13 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     })
 }
 
-fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+/// Applies a binary operator to two already-evaluated operands.
+///
+/// Public so vectorized evaluators can apply the exact same scalar
+/// semantics element-wise; [`Expr::eval`] routes through this after its
+/// short-circuit check, so per-element calls agree with row-at-a-time
+/// evaluation bit for bit.
+pub fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
     use BinOp::*;
     match op {
         Add | Sub | Mul | Div | Mod => arith(op, &l, &r),
@@ -535,7 +541,11 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
     }
 }
 
-fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+/// Applies a scalar function to already-evaluated arguments.
+///
+/// Public for the same reason as [`eval_binary`]: batch evaluators call it
+/// per element to stay value- and error-identical with [`Expr::eval`].
+pub fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
     let need = |n: usize| -> Result<()> {
         if args.len() != n {
             Err(ScopeError::Expression(format!(

@@ -35,7 +35,9 @@ pub mod types;
 pub mod udo;
 
 pub use builder::PlanBuilder;
-pub use expr::{AggExpr, AggFunc, BinOp, Expr, NamedExpr, ScalarFunc, UnaryOp};
+pub use expr::{
+    eval_binary, eval_func, AggExpr, AggFunc, BinOp, Expr, NamedExpr, ScalarFunc, UnaryOp,
+};
 pub use graph::{PlanNode, QueryGraph};
 pub use interval::{column_intervals, implies, ColumnIntervals, Interval};
 pub use op::{normalize_stream_name, normalize_stream_symbol};

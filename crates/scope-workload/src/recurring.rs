@@ -23,7 +23,7 @@ use rand::Rng;
 use scope_common::hash::sip64;
 use scope_common::ids::{BusinessUnitId, ClusterId, DatasetId, JobId, TemplateId, UserId, VcId};
 use scope_common::{Result, ScopeError};
-use scope_engine::data::Table;
+use scope_engine::data::{ColumnVector, Table};
 use scope_engine::job::JobSpec;
 use scope_engine::storage::StorageManager;
 use scope_plan::expr::AggFunc;
@@ -563,22 +563,52 @@ fn generate_stream_table(cluster: ClusterId, stream: usize, instance: u64, rows:
     let cats = ["news", "video", "shop", "mail", "search"];
     let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
     let date = (instance as i32) + 17_000;
-    let data: Vec<Vec<Value>> = (0..rows)
-        .map(|_| {
-            let user = (rng.gen_range(0.0_f64..1.0).powi(2) * 500.0) as i64; // skewed
-            let w1 = words[rng.gen_range(0..words.len())];
-            let w2 = words[rng.gen_range(0..words.len())];
-            vec![
-                Value::Int(user),
-                Value::Int(rng.gen_range(0..10_000)),
-                Value::Str(cats[rng.gen_range(0..cats.len())].to_string()),
-                Value::Float((rng.gen_range(0.0_f64..100.0) * 100.0).round() / 100.0),
-                Value::Date(date),
-                Value::Str(format!("{w1} {w2}")),
-            ]
-        })
-        .collect();
-    Table::single(stream_schema(), data)
+    // Batch-first synthesis: fill typed columns directly, no row
+    // materialization. Draw order per row is unchanged, so the data is
+    // byte-identical to the historical row-wise generator.
+    let n = rows as usize;
+    let mut users = Vec::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    let mut categories = Vec::with_capacity(n);
+    let mut amounts = Vec::with_capacity(n);
+    let mut texts = Vec::with_capacity(n);
+    for _ in 0..rows {
+        // Draw order matches the historical row-wise generator exactly.
+        users.push((rng.gen_range(0.0_f64..1.0).powi(2) * 500.0) as i64); // skewed
+        let w1 = words[rng.gen_range(0..words.len())];
+        let w2 = words[rng.gen_range(0..words.len())];
+        ids.push(rng.gen_range(0..10_000));
+        categories.push(cats[rng.gen_range(0..cats.len())].to_string());
+        amounts.push((rng.gen_range(0.0_f64..100.0) * 100.0).round() / 100.0);
+        texts.push(format!("{w1} {w2}"));
+    }
+    let columns = vec![
+        ColumnVector::Int {
+            data: users,
+            nulls: None,
+        },
+        ColumnVector::Int {
+            data: ids,
+            nulls: None,
+        },
+        ColumnVector::Str {
+            data: categories,
+            nulls: None,
+        },
+        ColumnVector::Float {
+            data: amounts,
+            nulls: None,
+        },
+        ColumnVector::Date {
+            data: vec![date; n],
+            nulls: None,
+        },
+        ColumnVector::Str {
+            data: texts,
+            nulls: None,
+        },
+    ];
+    Table::from_columns(stream_schema(), columns).expect("uniform column lengths")
 }
 
 /// Builds one fragment's sub-plan. Identical calls (same fragment, same

@@ -863,6 +863,383 @@ fn concurrent_shard_stress_with_single_takeover_winner() {
     assert!(stats.lookups >= THREADS * OPS);
 }
 
+// ---------------------------------------------------------------------------
+// PR 8 satellite 3 — columnar executor vs row-reference differential suite
+// ---------------------------------------------------------------------------
+
+/// Wider schema for the executor differential: integer join keys, a dense
+/// and a sparse int, a float, a date, and a string column, so every typed
+/// column kernel (and the null-mask path of each) gets exercised.
+fn diff_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("v", DataType::Int),
+        ("amt", DataType::Float),
+        ("day", DataType::Date),
+        ("tag", DataType::Str),
+    ])
+}
+
+/// Random table over [`diff_schema`]; roughly 8% NULLs per cell when
+/// `with_nulls`, including in join/group keys (NULL keys never join but do
+/// form their own group — both kernels must agree on that).
+fn random_diff_table(rng: &mut SmallRng, rows: usize, with_nulls: bool) -> Table {
+    let tags = ["news", "video", "shop", "mail", "search"];
+    let cell = |rng: &mut SmallRng, v: Value| {
+        if with_nulls && rng.gen_bool(0.08) {
+            Value::Null
+        } else {
+            v
+        }
+    };
+    let data = (0..rows)
+        .map(|_| {
+            let k = Value::Int(rng.gen_range(0..12));
+            let v = Value::Int(rng.gen_range(0..100));
+            let amt = Value::Float((rng.gen_range(-50.0_f64..50.0) * 10.0).round() / 10.0);
+            let day = Value::Date(rng.gen_range(0..50));
+            let tag = Value::Str(tags[rng.gen_range(0..tags.len())].into());
+            vec![
+                cell(rng, k),
+                cell(rng, v),
+                cell(rng, amt),
+                cell(rng, day),
+                cell(rng, tag),
+            ]
+        })
+        .collect();
+    Table::single(diff_schema(), data)
+}
+
+/// One random schema-compatible unary operator on `cur`. Operators that
+/// append columns (window, tokenize) are fine mid-chain: downstream ops only
+/// reference columns 0..5.
+fn random_diff_unary(
+    b: &mut PlanBuilder,
+    rng: &mut SmallRng,
+    cur: NodeId,
+    used_windows: &mut [bool; 3],
+) -> NodeId {
+    use scope_plan::op::WindowFunc;
+    use scope_plan::{NamedExpr, ScalarFunc};
+    match rng.gen_range(0..14) {
+        0 => b.filter(
+            cur,
+            Expr::col(rng.gen_range(0..2)).ge(Expr::lit(rng.gen_range(0..40) as i64)),
+        ),
+        1 => b.filter(cur, Expr::col(4).eq(Expr::lit("news"))),
+        // Conjunction over nullable columns: 3-valued logic differential.
+        2 => b.filter(
+            cur,
+            Expr::col(0)
+                .ge(Expr::lit(rng.gen_range(0..8) as i64))
+                .and(Expr::col(1).lt(Expr::lit(rng.gen_range(40..90) as i64))),
+        ),
+        3 => b.project(
+            cur,
+            vec![
+                NamedExpr::new("k", Expr::col(0)),
+                NamedExpr::new("v2", Expr::col(0).add(Expr::col(1))),
+                NamedExpr::new("amt", Expr::col(2).mul(Expr::lit(2.0))),
+                NamedExpr::new("day", Expr::col(3)),
+                NamedExpr::new("tag", Expr::col(4)),
+            ],
+        ),
+        4 => b.project(
+            cur,
+            vec![
+                NamedExpr::new("k", Expr::col(0).modulo(Expr::lit(5i64))),
+                NamedExpr::new("v", Expr::col(1)),
+                NamedExpr::new("yr", Expr::func(ScalarFunc::Year, vec![Expr::col(3)])),
+                NamedExpr::new("day", Expr::col(3)),
+                NamedExpr::new("tagl", Expr::func(ScalarFunc::Len, vec![Expr::col(4)])),
+            ],
+        ),
+        5 => b.remap(
+            cur,
+            vec![0, 1, 2, 3, 4],
+            ["a", "b", "c", "d", "e"].map(String::from).to_vec(),
+        ),
+        6 => {
+            let col = rng.gen_range(0..5);
+            let key = if rng.gen_bool(0.5) {
+                SortKey::asc(col)
+            } else {
+                SortKey::desc(col)
+            };
+            b.sort(cur, SortOrder(vec![key]))
+        }
+        7 => b.top(
+            cur,
+            rng.gen_range(5..60),
+            SortOrder(vec![SortKey::desc(rng.gen_range(0..5))]),
+        ),
+        8 => b.exchange(
+            cur,
+            match rng.gen_range(0..4) {
+                0 => Partitioning::Hash {
+                    cols: vec![rng.gen_range(0..2)],
+                    parts: rng.gen_range(2..6),
+                },
+                1 => Partitioning::Range {
+                    col: rng.gen_range(0..2),
+                    parts: rng.gen_range(2..6),
+                },
+                2 => Partitioning::RoundRobin {
+                    parts: rng.gen_range(2..6),
+                },
+                _ => Partitioning::Single,
+            },
+        ),
+        9 => {
+            // Each window func names its output column after itself; a
+            // second use would collide, so each appears at most once.
+            let pick = rng.gen_range(0..3);
+            if used_windows[pick] {
+                return b.nop(cur);
+            }
+            used_windows[pick] = true;
+            let func = match pick {
+                0 => WindowFunc::RowNumber,
+                1 => WindowFunc::Rank,
+                _ => WindowFunc::RunningSum(1),
+            };
+            b.window(cur, func, vec![0], SortOrder(vec![SortKey::asc(1)]))
+        }
+        10 => b.process(
+            cur,
+            Udo::new(
+                UdoKind::ClampOutliers {
+                    col: 2,
+                    lo: -10,
+                    hi: rng.gen_range(10..40),
+                },
+                "DiffLib",
+                "1.0",
+            ),
+        ),
+        11 => b.reduce(
+            cur,
+            Udo::new(
+                UdoKind::TrimBand {
+                    col: 1,
+                    gap: rng.gen_range(0..5),
+                },
+                "DiffLib",
+                "1.0",
+            ),
+            vec![0],
+        ),
+        12 => b.gb_apply(
+            cur,
+            Udo::new(
+                UdoKind::TopPerGroup {
+                    col: 1,
+                    n: rng.gen_range(1..4),
+                },
+                "DiffLib",
+                "1.0",
+            ),
+            vec![0],
+        ),
+        _ => b.spool(cur),
+    }
+}
+
+/// A random plan exercising every executor operator family: scans (plain,
+/// range-predicated, extract), unary chains, a join of random kind, an
+/// optional union, and an optional terminal aggregate.
+fn random_diff_plan(seed: u64, d1: DatasetId, d2: DatasetId) -> QueryGraph {
+    use scope_plan::JoinKind;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = PlanBuilder::new();
+    let mut used_windows = [false; 3];
+
+    let scan = |b: &mut PlanBuilder, rng: &mut SmallRng, d: DatasetId| match rng.gen_range(0..4) {
+        0 => b.range_scan(
+            d,
+            "diff/<date>/t.ss",
+            diff_schema(),
+            Expr::col(3).lt(Expr::lit(Value::Date(rng.gen_range(10..50)))),
+        ),
+        1 => b.extract(
+            d,
+            "diff/<date>/raw.ss",
+            diff_schema(),
+            Udo::new(UdoKind::Tokenize { col: 4 }, "DiffLib", "1.0"),
+        ),
+        _ => b.table_scan(d, "diff/<date>/t.ss", diff_schema()),
+    };
+
+    let mut top = if rng.gen_bool(0.7) {
+        let mut left = scan(&mut b, &mut rng, d1);
+        for _ in 0..rng.gen_range(1..=4) {
+            left = random_diff_unary(&mut b, &mut rng, left, &mut used_windows);
+        }
+        let mut right = scan(&mut b, &mut rng, d2);
+        for _ in 0..rng.gen_range(0..=3) {
+            right = random_diff_unary(&mut b, &mut rng, right, &mut used_windows);
+        }
+        let kind = match rng.gen_range(0..3) {
+            0 => JoinKind::Inner,
+            1 => JoinKind::LeftOuter,
+            _ => JoinKind::LeftSemi,
+        };
+        let (lk, rk) = if rng.gen_bool(0.7) {
+            (vec![0], vec![0])
+        } else {
+            (vec![0, 1], vec![0, 1])
+        };
+        b.join(left, right, kind, lk, rk)
+    } else {
+        // Union first (both branches still carry the base schema), chain on
+        // top — type-changing projections (or extract's appended token
+        // column) would break branch compatibility.
+        let a = b.table_scan(d1, "diff/<date>/t.ss", diff_schema());
+        let c = if rng.gen_bool(0.5) {
+            b.table_scan(d2, "diff/<date>/u.ss", diff_schema())
+        } else {
+            b.range_scan(
+                d2,
+                "diff/<date>/u.ss",
+                diff_schema(),
+                Expr::col(3).lt(Expr::lit(Value::Date(rng.gen_range(10..50)))),
+            )
+        };
+        let u = b.union_all(vec![a, c]);
+        random_diff_unary(&mut b, &mut rng, u, &mut used_windows)
+    };
+    for _ in 0..rng.gen_range(0..=2) {
+        top = random_diff_unary(&mut b, &mut rng, top, &mut used_windows);
+    }
+    if rng.gen_bool(0.5) {
+        top = b.aggregate(
+            top,
+            vec![0],
+            vec![
+                AggExpr::new("cnt", AggFunc::Count, 1),
+                AggExpr::new("sum_v", AggFunc::Sum, 1),
+                AggExpr::new("avg_amt", AggFunc::Avg, 2),
+                AggExpr::new("min_day", AggFunc::Min, 3),
+                AggExpr::new("max_tag", AggFunc::Max, 4),
+                AggExpr::new("uniq", AggFunc::CountDistinct, 1),
+            ],
+        );
+    }
+    b.write(top, "diff/out/<date>/r.ss").build().unwrap()
+}
+
+/// Randomly flips physical implementation choices the optimizer rarely
+/// picks (stream aggregation, loops joins) so the differential covers those
+/// kernels too. Both executors run the *same* patched plan, so semantic
+/// oddities (e.g. stream agg over unsorted input) must still agree.
+fn patch_physical(rng: &mut SmallRng, phys: &mut QueryGraph) {
+    use scope_plan::op::AggImpl;
+    use scope_plan::JoinImpl;
+    let ids: Vec<NodeId> = phys.nodes().iter().map(|n| n.id).collect();
+    for id in ids {
+        let node = phys.node_mut(id).unwrap();
+        match &mut node.op {
+            Operator::Aggregate { implementation, .. } if rng.gen_bool(0.3) => {
+                *implementation = AggImpl::Stream;
+            }
+            Operator::Join { implementation, .. } if rng.gen_bool(0.25) => {
+                *implementation = JoinImpl::Loops;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs one graph through both executors and asserts byte-identical
+/// results: every node's stats (rows, bytes, simulated CPU) and every
+/// node's table — schema, physical properties, partition count, and
+/// per-partition row *order*, not just multisets.
+fn assert_executors_agree(graph: &QueryGraph, storage: &StorageManager, context: &str) {
+    let model = CostModel::default();
+    let columnar = execute_plan(graph, storage, &model, SimTime::ZERO).unwrap();
+    let rowwise =
+        scope_engine::rowref::execute_plan_rows(graph, storage, &model, SimTime::ZERO).unwrap();
+    assert_eq!(
+        columnar.node_stats, rowwise.node_stats,
+        "NodeRuntimeStats diverged ({context})"
+    );
+    for (i, (ct, rt)) in columnar
+        .node_tables
+        .iter()
+        .zip(&rowwise.node_tables)
+        .enumerate()
+    {
+        assert_eq!(
+            *ct,
+            rt.to_table(),
+            "node {i} table diverged ({context}: {})",
+            graph.node(NodeId::new(i as u64)).unwrap().op.describe()
+        );
+    }
+    assert_eq!(
+        columnar.outputs.len(),
+        rowwise.outputs.len(),
+        "output set diverged ({context})"
+    );
+    for (name, ct) in &columnar.outputs {
+        assert_eq!(
+            *ct,
+            rowwise.outputs[name].to_table(),
+            "output {name} diverged ({context})"
+        );
+    }
+}
+
+/// PR 8 tentpole invariant: on random plans covering every operator family
+/// — with NULLs in keys and payloads, random partitioning, stream/loops
+/// implementation flips, and empty-input edge cases — the columnar executor
+/// is *byte-identical* to the row-at-a-time reference executor, statistics
+/// included.
+#[test]
+fn columnar_executor_matches_row_reference() {
+    for_cases("columnar_executor_matches_row_reference", |case_rng| {
+        let seed = case_rng.gen_range(0u64..100_000);
+        let (d1, d2) = (DatasetId::new(11), DatasetId::new(12));
+        let graph = random_diff_plan(seed, d1, d2);
+        let storage = StorageManager::new();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xbeef);
+        // Occasionally empty or tiny inputs: zero-row partitions and
+        // empty-side joins must agree too.
+        let rows1 = [0, 3, 200, 400][rng.gen_range(0..4)];
+        let rows2 = [0, 5, 150][rng.gen_range(0..3)];
+        storage.put_dataset(d1, random_diff_table(&mut rng, rows1, true));
+        storage.put_dataset(d2, random_diff_table(&mut rng, rows2, true));
+
+        let cfg = OptimizerConfig {
+            default_dop: [1usize, 2, 8][rng.gen_range(0..3)],
+            ..Default::default()
+        };
+        let plan = optimize(&graph, &[], &NoViewServices, &cfg, JobId::new(1)).unwrap();
+        let mut phys = plan.physical.clone();
+        patch_physical(&mut rng, &mut phys);
+        assert_executors_agree(&phys, &storage, &format!("seed {seed}"));
+    });
+}
+
+/// The same differential pinned on the real workload: every TPC-DS query's
+/// optimized plan produces identical [`scope_engine::NodeRuntimeStats`] —
+/// the EXPERIMENTS.md figures and the analyzer's mined statistics cannot
+/// drift with the executor's data layout.
+#[test]
+fn columnar_stats_match_row_reference_on_tpcds() {
+    use scope_workload::tpcds::{TpcdsWorkload, NUM_QUERIES};
+    let tpcds = TpcdsWorkload::new(0.03, 1);
+    let storage = StorageManager::new();
+    tpcds.register_data(&storage).unwrap();
+    let cfg = OptimizerConfig::default();
+    for q in 1..=NUM_QUERIES {
+        let job = tpcds.query_job(q).unwrap();
+        let plan = optimize(&job.graph, &[], &NoViewServices, &cfg, job.id).unwrap();
+        assert_executors_agree(&plan.physical, &storage, &format!("tpcds q{q}"));
+    }
+}
+
 /// Build locks: under arbitrary interleavings of proposals from many
 /// jobs, exactly one holds the lock at a time.
 #[test]
