@@ -108,6 +108,28 @@ pub fn numeric_gates(bench: &str) -> &'static [Gate] {
                 tolerance: WALL_CLOCK_TOLERANCE,
             },
         ],
+        "sharing" => &[
+            // All three are simulated, deterministic quantities (the trace
+            // is sip-hash-seeded), so the ordinary tolerance applies.
+            Gate {
+                path: "reuse_hit_rate",
+                better: Better::Higher,
+                multi_core_only: false,
+                tolerance: TOLERANCE,
+            },
+            Gate {
+                path: "cpu_saved_sim_micros",
+                better: Better::Higher,
+                multi_core_only: false,
+                tolerance: TOLERANCE,
+            },
+            Gate {
+                path: "p99_wait_sim_micros",
+                better: Better::Lower,
+                multi_core_only: false,
+                tolerance: TOLERANCE,
+            },
+        ],
         "executor" => &[
             // Ratio of executors on the same host: stable across machines,
             // so the ordinary tolerance applies.
@@ -139,6 +161,11 @@ pub fn bool_gates(bench: &str) -> &'static [&'static str] {
         ],
         "subsumption" => &["p99_within_10pct", "uplift_positive", "results_equivalent"],
         "frontdoor" => &["shed_rate_ok"],
+        "sharing" => &[
+            "hits_exceed_views_only",
+            "cpu_saved_positive",
+            "results_equivalent",
+        ],
         "executor" => &["stats_equal", "meets_5x_target"],
         _ => &[],
     }

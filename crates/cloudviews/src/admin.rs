@@ -381,6 +381,30 @@ pub fn telemetry_dashboard(service: &CloudViews) -> String {
             wall_ms("cv_net_report_wall_micros"),
         ));
     }
+    // The sharing series only exists once run_windowed has coordinated at
+    // least one window; in-process-only or uncoordinated deployments skip
+    // the section rather than printing a row of zeros.
+    if snap.counter("cv_sharing_windows_total") > 0 {
+        out.push_str(&format!(
+            "sharing: windows={} jobs={} shared_subgraphs={} published={} \
+             aborted={}\n",
+            snap.counter("cv_sharing_windows_total"),
+            snap.counter("cv_sharing_window_jobs_total"),
+            snap.counter("cv_sharing_shared_subgraphs_total"),
+            snap.counter("cv_sharing_producer_publishes_total"),
+            snap.counter("cv_sharing_producer_aborts_total"),
+        ));
+        let wait_ms = snap
+            .histogram("cv_sharing_wait_sim_micros")
+            .map(|h| h.mean() / 1e3)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "sharing followers: reuses={} fallbacks={} mean_wait={:.1}ms\n",
+            snap.counter("cv_sharing_follower_reuses_total"),
+            snap.counter("cv_sharing_follower_fallbacks_total"),
+            wait_ms,
+        ));
+    }
     out.push_str(&format!(
         "spans: retained={} dropped={}\n",
         t.tracer.finished().len(),

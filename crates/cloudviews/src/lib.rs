@@ -55,6 +55,7 @@ pub mod metadata;
 pub mod pipeline;
 pub mod reporting;
 pub mod runtime;
+pub mod sharing;
 
 pub use analyzer::{
     AnalysisOutcome, AnalyzerConfig, AnalyzerState, IncrementalAnalyzer, IngestReport, RoundDelta,
@@ -69,3 +70,4 @@ pub use runtime::{
     RunMode,
 };
 pub use scope_signature::{TemplateCache, TemplateCacheStats};
+pub use sharing::{JobArrival, SharingConfig, SharingSummary, WindowOutcome};

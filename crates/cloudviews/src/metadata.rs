@@ -817,7 +817,29 @@ impl MetadataService {
         let inserted = {
             let mut views = shard.views.write();
             match views.entry(precise) {
-                std::collections::hash_map::Entry::Occupied(_) => false,
+                // A live entry wins: the duplicate report from a racing
+                // builder is a no-op. But an *expired* entry that the
+                // janitor hasn't purged yet must not block its rebuild —
+                // propose() already treats the signature as rebuildable
+                // (view_live is false), so swallowing the rebuild's report
+                // here while still releasing its lock below would leave the
+                // signature with neither a live view nor a lock, and the
+                // next proposer would win a second build of the same view.
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    if slot.get().expires_at <= available_at {
+                        slot.insert(RegisteredView {
+                            view,
+                            normalized,
+                            producer,
+                            created_at: available_at,
+                            expires_at,
+                            descriptor,
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                }
                 std::collections::hash_map::Entry::Vacant(slot) => {
                     slot.insert(RegisteredView {
                         view,

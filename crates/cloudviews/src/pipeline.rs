@@ -43,6 +43,7 @@ use crate::metadata::MetadataService;
 use crate::runtime::{
     panic_message, AttemptFailure, CloudViews, JobFaultReport, JobRunReport, RunMode,
 };
+use crate::sharing::{SharedView, WindowContext};
 
 /// A job-start-pinned view of the metadata service: view availability is
 /// judged at the job's submission time, so a job overlapping with the
@@ -55,10 +56,29 @@ struct PinnedServices<'a> {
     svc: &'a MetadataService,
     now: SimTime,
     propose_faults: std::cell::Cell<u64>,
+    /// The sharing-window coordinator, when this job runs inside one
+    /// ([`CloudViews::run_windowed`]); consulted before the pinned metadata
+    /// service so a follower can see its producer's mid-window publication
+    /// without the metadata service ever looking past `now`.
+    window: Option<&'a WindowContext>,
+    /// This job's submission-order index within its window.
+    slot: usize,
 }
 
 impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
     fn view_available(&self, precise: Sig128) -> Option<scope_engine::optimizer::AvailableView> {
+        if let Some(w) = self.window {
+            match w.lookup_view(self.slot, precise) {
+                // A follower reads the producer's publication straight from
+                // the window channel: the view's `created_at` is *after*
+                // this job's pinned `now`, which is exactly the visibility
+                // the pinned metadata lookup below must keep refusing.
+                SharedView::Ready { view, .. } => return Some(view),
+                // Producer, aborted entry, or not shared: the ordinary
+                // pinned path decides (a pre-existing view still matches).
+                SharedView::ProducerSelf | SharedView::NotShared | SharedView::Fallback => {}
+            }
+        }
         self.svc.view_available_at(precise, self.now)
     }
 
@@ -69,6 +89,15 @@ impl scope_engine::optimizer::ViewServices for PinnedServices<'_> {
         job: JobId,
         lock_ttl: SimDuration,
     ) -> bool {
+        // A follower never competes for its producer's build lock — not
+        // even after an abort (the subgraph can be built in a later window
+        // instead). The producer itself falls through to the real propose,
+        // keeping the ordinary lock lifecycle (takeover, mined expiry).
+        if let Some(w) = self.window {
+            if w.deny_propose(self.slot, precise) {
+                return false;
+            }
+        }
         // Pinned like `view_available`: lock expiry is judged at this job's
         // submission time, not the live clock (which peers advance mid-wave).
         match self
@@ -196,6 +225,16 @@ impl Stage for LookupStage {
             }
         };
         ctx.annotations = annotations;
+        // Window annotations ride along with the metadata lookup's: every
+        // shared entry this job produces or follows gets a synthesized
+        // annotation (unless a genuine analyzer annotation already covers
+        // the template), so the ordinary optimizer hooks drive both the
+        // producer's materialization and the followers' reuse.
+        if ctx.mode == RunMode::CloudViews {
+            if let Some(w) = ctx.pinned.window {
+                w.extend_annotations(ctx.pinned.slot, &mut ctx.annotations);
+            }
+        }
         ctx.tier2 = tier2;
         ctx.lookup_latency = lookup_latency;
         ctx.cursor = ctx.start + lookup_latency;
@@ -230,6 +269,19 @@ impl Stage for OptimizeStage {
         )
         .map_err(AttemptFailure::Fatal)?;
         ctx.outcome = (!plan.reused.is_empty()).then_some("reuse");
+        // Sharing accounting: which awaited entries did this follower
+        // actually reuse (vs. fall back to recompute — abort, or the cost
+        // gate honestly declining the view), and how long did it wait past
+        // the shared submission instant for the producer's publication?
+        // The wait is simulated latency this job really pays.
+        if let Some(w) = ctx.pinned.window {
+            let reused: Vec<Sig128> = plan.reused.iter().map(|r| r.precise).collect();
+            let wait = w.note_optimized(ctx.pinned.slot, &reused);
+            if wait > SimDuration::ZERO {
+                ctx.extra_latency += wait;
+                ctx.cursor += wait;
+            }
+        }
         ctx.plan = Some(plan);
         Ok(())
     }
@@ -360,6 +412,29 @@ impl Stage for PublishStage {
             cv.storage
                 .publish_view(b.file)
                 .map_err(AttemptFailure::Fatal)?;
+            // Elected producer: hand the view to the window's followers the
+            // moment it is on storage, with the *measured* subgraph CPU as
+            // their recompute proxy (the cost-based reuse gate then makes
+            // an honest read-vs-recompute decision). This channel is
+            // independent of the metadata report below — a lost report
+            // orphans the view for later jobs but not for the window.
+            if let Some(w) = ctx.pinned.window {
+                if w.is_producer(ctx.pinned.slot, precise) {
+                    let recompute_cpu = plan
+                        .materialize
+                        .iter()
+                        .find(|m| m.precise == precise)
+                        .map(|m| exec.subgraph_cpu(&plan.physical, m.physical_node))
+                        .unwrap_or(SimDuration::ZERO);
+                    w.publish(
+                        ctx.pinned.slot,
+                        precise,
+                        view.clone(),
+                        available_at,
+                        recompute_cpu,
+                    );
+                }
+            }
             // The stored file's fate: the plan may lose or corrupt it right
             // after publication (readers fall back to recomputation).
             if let Some(inj) = &cv.faults {
@@ -488,6 +563,7 @@ const STAGES: [&dyn Stage; 5] = [
 /// cursor the stage left behind, labeled with the stage's outcome. A failed
 /// stage's span is deliberately dropped unfinished (a crashed builder never
 /// reports a publish time).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_attempt(
     cv: &CloudViews,
     spec: &JobSpec,
@@ -496,8 +572,13 @@ pub(crate) fn run_attempt(
     compiled: &CompiledJob,
     faults: &mut JobFaultReport,
     root: &scope_common::telemetry::ActiveSpan,
+    window: Option<(&WindowContext, usize)>,
 ) -> std::result::Result<JobRunReport, AttemptFailure> {
     cv.clock.advance_to(start);
+    // An elected producer's window builds must never crowd out the builds
+    // its own analyzer annotations would have triggered, so the per-job
+    // materialization cap is raised by the number of entries it owes.
+    let window_builds = window.map_or(0, |(w, slot)| w.produces_count(slot));
     let mut ctx = AttemptCtx {
         spec,
         mode,
@@ -510,10 +591,12 @@ pub(crate) fn run_attempt(
             svc: cv.metadata.as_ref(),
             now: start,
             propose_faults: std::cell::Cell::new(0),
+            window: window.map(|(w, _)| w),
+            slot: window.map_or(0, |(_, slot)| slot),
         },
         opt_config: OptimizerConfig {
             default_dop: cv.cluster.default_dop,
-            max_materialize_per_job: cv.max_materialize_per_job,
+            max_materialize_per_job: cv.max_materialize_per_job + window_builds,
             enable_reuse: mode == RunMode::CloudViews,
             enable_materialize: mode == RunMode::CloudViews,
             enable_subsumption: cv.subsumption,
@@ -643,6 +726,29 @@ impl CloudViews {
         mode: RunMode,
         options: PipelineOptions,
     ) -> Vec<Result<JobRunReport>> {
+        let start = self.clock.now();
+        self.run_many_inner(specs, mode, options, start, None)
+    }
+
+    /// [`CloudViews::run_many`] with an explicit submission time and an
+    /// optional sharing-window coordinator ([`CloudViews::run_windowed`]).
+    ///
+    /// Without a window this is byte-for-byte the classic driver. With one,
+    /// two things change: scheduling is readiness-gated (a follower is not
+    /// dispatched until every entry it awaits is published or aborted, so a
+    /// blocked follower can never occupy a worker its producer needs), and
+    /// every job — success, error, *or caught panic* — resolves its window
+    /// entries on the way out. That resolve is the publish-or-abort signal
+    /// followers wait on: a producer that dies wakes its waiters into the
+    /// recompute fallback instead of leaving them hanging.
+    pub(crate) fn run_many_inner(
+        &self,
+        specs: Vec<JobSpec>,
+        mode: RunMode,
+        options: PipelineOptions,
+        start: SimTime,
+        window: Option<&WindowContext>,
+    ) -> Vec<Result<JobRunReport>> {
         let n = specs.len();
         if n == 0 {
             return Vec::new();
@@ -660,20 +766,26 @@ impl CloudViews {
         } else {
             options.max_in_flight
         };
-        let start = self.clock.now();
         // One effective worker needs none of the pool machinery — the
         // queues, the admission semaphore, and the spawned thread only add
         // overhead (the pooled path used to run ~12% slower than the serial
         // driver on a single-core host). Run inline on the calling thread;
         // panic isolation, result order, and the janitor cadence are
-        // identical to the pooled path.
+        // identical to the pooled path. Submission order dispatches every
+        // producer before its followers (producers are the earliest job of
+        // their group), so the window's readiness gate is trivially met.
         if workers == 1 {
             return specs
                 .iter()
-                .map(|spec| {
+                .enumerate()
+                .map(|(slot, spec)| {
                     let job = spec.id;
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| self.run_job_at(spec, mode, start)));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        self.run_job_shared(spec, mode, start, window.map(|w| (w, slot)))
+                    }));
+                    if let Some(w) = window {
+                        w.resolve_job(slot);
+                    }
                     let result = match outcome {
                         Ok(result) => result,
                         Err(payload) => Err(ScopeError::Execution(format!(
@@ -688,53 +800,94 @@ impl CloudViews {
                 })
                 .collect();
         }
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for idx in 0..n {
-            queues[idx % workers]
-                .lock()
-                .expect("queue poisoned")
-                .push_back(idx);
-        }
         let admission = Admission::new(max_in_flight);
         let results: Vec<Mutex<Option<Result<JobRunReport>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let specs = &specs;
-        let queues = &queues;
         let admission = &admission;
         let results = &results;
-        std::thread::scope(|scope| {
-            for worker in 0..workers {
-                scope.spawn(move || {
-                    while let Some((idx, stolen)) = next_job(queues, worker) {
-                        if stolen {
-                            self.metrics.pipeline_steals.inc();
+        if let Some(w) = window {
+            // Windowed pool: workers pull from the coordinator's readiness
+            // gate instead of the stealing deques. The admission permit is
+            // acquired only *after* a ready slot is claimed, so a parked
+            // worker never pins a permit a producer needs.
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move || {
+                        while let Some(slot) = w.next_ready() {
+                            let (_permit, waited) = admission.acquire();
+                            if waited {
+                                self.metrics.pipeline_admission_waits.inc();
+                            }
+                            let spec = &specs[slot];
+                            let job = spec.id;
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                self.run_job_shared(spec, mode, start, Some((w, slot)))
+                            }));
+                            // Publish-or-abort, on *every* exit path: any
+                            // entry this job still owes is aborted and its
+                            // waiters wake into the recompute fallback.
+                            w.resolve_job(slot);
+                            let result = match outcome {
+                                Ok(result) => result,
+                                Err(payload) => Err(ScopeError::Execution(format!(
+                                    "job {job} thread panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ))),
+                            };
+                            *results[slot].lock().expect("result slot poisoned") = Some(result);
+                            if options.janitor {
+                                self.metadata.purge_next_shard();
+                            }
                         }
-                        let (_permit, waited) = admission.acquire();
-                        if waited {
-                            self.metrics.pipeline_admission_waits.inc();
-                        }
-                        let spec = &specs[idx];
-                        let job = spec.id;
-                        let outcome =
-                            catch_unwind(AssertUnwindSafe(|| self.run_job_at(spec, mode, start)));
-                        let result = match outcome {
-                            Ok(result) => result,
-                            Err(payload) => Err(ScopeError::Execution(format!(
-                                "job {job} thread panicked: {}",
-                                panic_message(payload.as_ref())
-                            ))),
-                        };
-                        *results[idx].lock().expect("result slot poisoned") = Some(result);
-                        if options.janitor {
-                            // Background janitor stage: the worker that just
-                            // finished a job sweeps one metadata shard.
-                            self.metadata.purge_next_shard();
-                        }
-                    }
-                });
+                    });
+                }
+            });
+        } else {
+            let queues: Vec<Mutex<VecDeque<usize>>> =
+                (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+            for idx in 0..n {
+                queues[idx % workers]
+                    .lock()
+                    .expect("queue poisoned")
+                    .push_back(idx);
             }
-        });
+            let queues = &queues;
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    scope.spawn(move || {
+                        while let Some((idx, stolen)) = next_job(queues, worker) {
+                            if stolen {
+                                self.metrics.pipeline_steals.inc();
+                            }
+                            let (_permit, waited) = admission.acquire();
+                            if waited {
+                                self.metrics.pipeline_admission_waits.inc();
+                            }
+                            let spec = &specs[idx];
+                            let job = spec.id;
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                self.run_job_at(spec, mode, start)
+                            }));
+                            let result = match outcome {
+                                Ok(result) => result,
+                                Err(payload) => Err(ScopeError::Execution(format!(
+                                    "job {job} thread panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ))),
+                            };
+                            *results[idx].lock().expect("result slot poisoned") = Some(result);
+                            if options.janitor {
+                                // Background janitor stage: the worker that
+                                // just finished a job sweeps one metadata
+                                // shard.
+                                self.metadata.purge_next_shard();
+                            }
+                        }
+                    });
+                }
+            });
+        }
         results
             .iter()
             .map(|slot| {

@@ -62,6 +62,7 @@ use crate::api::LookupRequest;
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::metadata::MetadataService;
 use crate::pipeline::{self, PipelineOptions};
+use crate::sharing::WindowContext;
 
 /// Whether a job runs with CloudViews on or off.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,7 +165,7 @@ impl JobFaultReport {
 }
 
 /// The result of one job run through the service.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct JobRunReport {
     /// Job id.
     pub job: JobId,
@@ -249,6 +250,25 @@ pub(crate) struct RuntimeMetrics {
     template_misses: Counter,
     pub(crate) pipeline_steals: Counter,
     pub(crate) pipeline_admission_waits: Counter,
+    pub(crate) sharing: SharingMetrics,
+}
+
+/// Pre-resolved handles for the in-flight sharing coordinator
+/// (`cloudviews::sharing`): one counter per lifecycle edge plus the
+/// follower-wait and size histograms. All are drained centrally by
+/// [`CloudViews::run_windowed`] after each window, never from inside the
+/// worker pool.
+pub(crate) struct SharingMetrics {
+    pub(crate) windows: Counter,
+    pub(crate) window_jobs: Counter,
+    pub(crate) shared_subgraphs: Counter,
+    pub(crate) published: Counter,
+    pub(crate) aborts: Counter,
+    pub(crate) follower_reuses: Counter,
+    pub(crate) follower_fallbacks: Counter,
+    pub(crate) wait: Histogram,
+    pub(crate) window_size: Histogram,
+    pub(crate) group_size: Histogram,
 }
 
 impl RuntimeMetrics {
@@ -274,6 +294,18 @@ impl RuntimeMetrics {
             template_misses: m.counter("cv_template_cache_misses_total"),
             pipeline_steals: m.counter("cv_pipeline_steals_total"),
             pipeline_admission_waits: m.counter("cv_pipeline_admission_waits_total"),
+            sharing: SharingMetrics {
+                windows: m.counter("cv_sharing_windows_total"),
+                window_jobs: m.counter("cv_sharing_window_jobs_total"),
+                shared_subgraphs: m.counter("cv_sharing_shared_subgraphs_total"),
+                published: m.counter("cv_sharing_producer_publishes_total"),
+                aborts: m.counter("cv_sharing_producer_aborts_total"),
+                follower_reuses: m.counter("cv_sharing_follower_reuses_total"),
+                follower_fallbacks: m.counter("cv_sharing_follower_fallbacks_total"),
+                wait: m.histogram("cv_sharing_wait_sim_micros", MetricUnit::SimMicros),
+                window_size: m.histogram("cv_sharing_window_size_jobs", MetricUnit::Count),
+                group_size: m.histogram("cv_sharing_group_size_jobs", MetricUnit::Count),
+            },
         }
     }
 }
@@ -653,11 +685,29 @@ impl CloudViews {
         mode: RunMode,
         start: SimTime,
     ) -> Result<JobRunReport> {
+        self.run_job_shared(spec, mode, start, None)
+    }
+
+    /// [`CloudViews::run_job_at`] with an optional sharing-window
+    /// coordinator and this job's slot in it — the per-job entry point used
+    /// by [`CloudViews::run_windowed`]'s pool.
+    pub(crate) fn run_job_shared(
+        &self,
+        spec: &JobSpec,
+        mode: RunMode,
+        start: SimTime,
+        window: Option<(&WindowContext, usize)>,
+    ) -> Result<JobRunReport> {
         let root = self.telemetry.tracer.root("job", Some(spec.id), start);
         let wall_start = std::time::Instant::now();
-        let result = self.drive_attempts(spec, mode, start, &root);
+        let result = self.drive_attempts(spec, mode, start, &root, window);
         self.finish_job(root, start, wall_start, &result);
         result
+    }
+
+    /// The pre-resolved `cv_sharing_*` handles (for the window driver).
+    pub(crate) fn sharing_metrics(&self) -> &SharingMetrics {
+        &self.metrics.sharing
     }
 
     /// Compiles the job once through the template cache, then drives
@@ -669,6 +719,7 @@ impl CloudViews {
         mode: RunMode,
         start: SimTime,
         root: &ActiveSpan,
+        window: Option<(&WindowContext, usize)>,
     ) -> Result<JobRunReport> {
         // One signature/enumeration compile per job — shared by the lookup,
         // optimize, and record stages across every restart.
@@ -681,7 +732,16 @@ impl CloudViews {
         let mut faults = JobFaultReport::default();
         let mut restarts = 0u32;
         loop {
-            match pipeline::run_attempt(self, spec, mode, start, &compiled, &mut faults, root) {
+            match pipeline::run_attempt(
+                self,
+                spec,
+                mode,
+                start,
+                &compiled,
+                &mut faults,
+                root,
+                window,
+            ) {
                 Ok(mut report) => {
                     report.latency += faults.degraded_latency;
                     report.faults = faults;

@@ -590,6 +590,341 @@ fn run_many_pool_throughput_unchanged_after_panicking_jobs() {
     assert_locks_reclaimable(&cv, "post-panic wave");
 }
 
+/// ISSUE 9 satellite 1 — a follower awaiting a window producer must never
+/// hang when the producer dies. The producer job genuinely panics inside
+/// the worker (the narrow-dataset trick above); `run_windowed` must abort
+/// its pending entries, wake both followers, and let them fall back to
+/// recompute — the test *completing* is the regression, the checksums are
+/// the correctness bar.
+#[test]
+fn windowed_follower_survives_producer_panic() {
+    use cloudviews::{JobArrival, PipelineOptions, SharingConfig};
+    use scope_common::ids::{ClusterId, DatasetId, JobId, TemplateId, UserId, VcId};
+    use scope_common::time::SimTime;
+    use scope_engine::data::Table;
+    use scope_plan::{AggExpr, AggFunc, DataType, Expr, PlanBuilder, Schema, Value};
+
+    let kv = || Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let shared = DatasetId::new(999_979);
+    let narrow = DatasetId::new(999_983);
+    let seed_datasets = |cv: &CloudViews| {
+        cv.storage.put_dataset(
+            shared,
+            Table::single(
+                kv(),
+                (0..500i64)
+                    .map(|i| vec![Value::Int(i % 7), Value::Int(i)])
+                    .collect(),
+            ),
+        );
+        cv.storage.put_dataset(
+            narrow,
+            Table::single(
+                Schema::from_pairs(&[("a", DataType::Int)]),
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            ),
+        );
+    };
+    let spec = |id: u64, graph: scope_plan::QueryGraph| JobSpec {
+        id: JobId::new(id),
+        cluster: ClusterId::new(0),
+        vc: VcId::new(0),
+        user: UserId::new(0),
+        template: TemplateId::new(id),
+        instance: 0,
+        graph,
+    };
+    // The shared subgraph S, byte-identical across all three jobs.
+    let with_shared = |b: &mut PlanBuilder| {
+        let s = b.table_scan(shared, "ft/shared.ss", kv());
+        let f = b.filter(s, Expr::col(1).ge(Expr::lit(10i64)));
+        b.aggregate(f, vec![0], vec![AggExpr::new("n", AggFunc::Count, 1)])
+    };
+    // Producer: S → output, plus a branch whose aggregate group key indexes
+    // past the narrow dataset's physical row width — a genuine panic in the
+    // worker, after election but before the publish stage.
+    let producer = {
+        let mut b = PlanBuilder::new();
+        let a = with_shared(&mut b);
+        b.output(a, "a");
+        let s = b.table_scan(
+            narrow,
+            "chaos/narrow.ss",
+            Schema::from_pairs(&[
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+                ("c", DataType::Int),
+            ]),
+        );
+        let boom = b.aggregate(s, vec![2], vec![AggExpr::new("n", AggFunc::Count, 0)]);
+        spec(1, b.output(boom, "boom").build().unwrap())
+    };
+    let follower = |id: u64, out: &str| {
+        let mut b = PlanBuilder::new();
+        let a = with_shared(&mut b);
+        spec(id, b.output(a, out).build().unwrap())
+    };
+    let specs = [producer, follower(2, "b"), follower(3, "c")];
+
+    // Fault-free ground truth for the followers, on an isolated service.
+    let baseline: Vec<_> = {
+        let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
+        seed_datasets(&cv);
+        cv.run_sequence(&specs[1..], RunMode::Baseline)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.output_checksums)
+            .collect()
+    };
+
+    // Both drivers must survive: the inline single-worker path and the
+    // readiness-gated pool (a worker parks in next_ready while the
+    // producer runs — only the abort wakes it).
+    for workers in [1usize, 2] {
+        let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
+        seed_datasets(&cv);
+        let arrivals = specs
+            .iter()
+            .cloned()
+            .map(|spec| JobArrival {
+                spec,
+                offset: SimDuration::ZERO,
+            })
+            .collect();
+        let out = cv.run_windowed(
+            arrivals,
+            RunMode::CloudViews,
+            PipelineOptions {
+                workers,
+                max_in_flight: 0,
+                janitor: false,
+            },
+            &SharingConfig::default(),
+        );
+
+        let msg = out.reports[0].as_ref().unwrap_err().to_string();
+        assert!(msg.contains("panicked"), "workers={workers}: got {msg}");
+        for (i, want) in baseline.iter().enumerate() {
+            let r = out.reports[i + 1]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("workers={workers}: follower failed: {e}"));
+            assert_eq!(&r.output_checksums, want, "workers={workers}: diverged");
+            assert_eq!(
+                r.started_at,
+                SimTime::ZERO + SharingConfig::default().window
+            );
+        }
+        let s = &out.sharing;
+        assert_eq!(s.shared_subgraphs, 1, "workers={workers}");
+        assert_eq!(
+            (s.published, s.aborted),
+            (0, 1),
+            "workers={workers}: the dead producer's entry must be aborted"
+        );
+        assert_eq!(
+            (s.follower_reuses, s.follower_fallbacks),
+            (0, 2),
+            "workers={workers}: both followers must fall back to recompute"
+        );
+    }
+}
+
+/// ISSUE 9 satellite 1 (scripted variant) — the producer is killed by fault
+/// injection instead of a panic: a scripted builder crash with zero restarts
+/// turns the producer's materialization into a fatal error. Followers must
+/// be woken and recompute.
+#[test]
+fn windowed_follower_survives_scripted_builder_kill() {
+    use cloudviews::{JobArrival, PipelineOptions, SharingConfig};
+    use scope_common::ids::{ClusterId, DatasetId, JobId, TemplateId, UserId, VcId};
+    use scope_engine::data::Table;
+    use scope_plan::{AggExpr, AggFunc, DataType, Expr, PlanBuilder, Schema, Value};
+
+    let kv = || Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let shared = DatasetId::new(999_979);
+    let job = |id: u64, out: &str| {
+        let mut b = PlanBuilder::new();
+        let s = b.table_scan(shared, "ft/shared.ss", kv());
+        let f = b.filter(s, Expr::col(1).ge(Expr::lit(10i64)));
+        let a = b.aggregate(f, vec![0], vec![AggExpr::new("n", AggFunc::Count, 1)]);
+        JobSpec {
+            id: JobId::new(id),
+            cluster: ClusterId::new(0),
+            vc: VcId::new(0),
+            user: UserId::new(0),
+            template: TemplateId::new(id),
+            instance: 0,
+            graph: b.output(a, out).build().unwrap(),
+        }
+    };
+    let seed_dataset = |cv: &CloudViews| {
+        cv.storage.put_dataset(
+            shared,
+            Table::single(
+                kv(),
+                (0..500i64)
+                    .map(|i| vec![Value::Int(i % 7), Value::Int(i)])
+                    .collect(),
+            ),
+        );
+    };
+    let specs = vec![job(1, "a"), job(2, "b"), job(3, "c")];
+    let baseline: Vec<_> = {
+        let cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
+        seed_dataset(&cv);
+        cv.run_sequence(&specs, RunMode::Baseline)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.output_checksums)
+            .collect()
+    };
+
+    let mut cv = CloudViews::builder(Arc::new(StorageManager::new())).build();
+    seed_dataset(&cv);
+    cv.degradation.max_restarts = 0;
+    cv.install_fault_plan(FaultPlan {
+        scripted: vec![ScriptedFault {
+            site: FaultSite::BuilderCrash,
+            job: Some(specs[0].id),
+            call_index: 0,
+        }],
+        ..Default::default()
+    });
+    let arrivals = specs
+        .iter()
+        .cloned()
+        .map(|spec| JobArrival {
+            spec,
+            offset: SimDuration::ZERO,
+        })
+        .collect();
+    let out = cv.run_windowed(
+        arrivals,
+        RunMode::CloudViews,
+        PipelineOptions {
+            workers: 2,
+            max_in_flight: 0,
+            janitor: false,
+        },
+        &SharingConfig::default(),
+    );
+
+    let msg = out.reports[0].as_ref().unwrap_err().to_string();
+    assert!(msg.contains("max_restarts"), "got {msg}");
+    for (i, want) in baseline.iter().enumerate().skip(1) {
+        let r = out.reports[i].as_ref().expect("follower must complete");
+        assert_eq!(&r.output_checksums, want, "follower {i} diverged");
+    }
+    assert_eq!((out.sharing.published, out.sharing.aborted), (0, 1));
+    assert_eq!(
+        (out.sharing.follower_reuses, out.sharing.follower_fallbacks),
+        (0, 2)
+    );
+    assert_locks_reclaimable(&cv, "scripted builder kill");
+}
+
+/// ISSUE 9 satellite 4 — chaos wave: a bursty window over the primed
+/// workload with injected builder crashes. Exactly one producer per shared
+/// subgraph (no view built twice in the wave), every follower completes
+/// baseline-identical, and the pooled run's aggregate coordinator counters
+/// match a serial (workers = 1) run of the identical wave.
+#[test]
+fn windowed_chaos_wave_one_producer_per_subgraph_and_serial_parity() {
+    use cloudviews::{JobArrival, PipelineOptions, SharingConfig, WindowOutcome};
+
+    let chaos = FaultPlan {
+        seed: 7_777,
+        builder_crash: 0.35,
+        ..Default::default()
+    };
+    let run = |workers: usize| -> (CloudViews, WindowOutcome, BaselineChecksums) {
+        let (mut cv, _w, day1, baseline) = primed_service(61);
+        cv.degradation.max_restarts = 12;
+        cv.install_fault_plan(chaos.clone());
+        let arrivals = day1
+            .into_iter()
+            .map(|spec| JobArrival {
+                spec,
+                offset: SimDuration::ZERO,
+            })
+            .collect();
+        let out = cv.run_windowed(
+            arrivals,
+            RunMode::CloudViews,
+            PipelineOptions {
+                workers,
+                max_in_flight: 0,
+                janitor: false,
+            },
+            &SharingConfig::default(),
+        );
+        (cv, out, baseline)
+    };
+    let (pooled_cv, pooled, baseline) = run(4);
+    let (serial_cv, serial, _) = run(1);
+
+    for (label, cv, out) in [
+        ("pooled", &pooled_cv, &pooled),
+        ("serial", &serial_cv, &serial),
+    ] {
+        let reports: Vec<_> = out
+            .reports
+            .iter()
+            .map(|r| {
+                r.as_ref()
+                    .unwrap_or_else(|e| panic!("{label}: job failed: {e}"))
+                    .clone()
+            })
+            .collect();
+        assert_outputs_match_baseline(&reports, &baseline, label);
+        // Exactly one producer per subgraph: nothing is built twice in the
+        // wave, even with builders crashing and restarting mid-window.
+        let mut built: Vec<_> = reports
+            .iter()
+            .flat_map(|r| r.views_built.iter().copied())
+            .collect();
+        let n = built.len();
+        built.sort_unstable();
+        built.dedup();
+        assert_eq!(built.len(), n, "{label}: a view was built twice");
+        assert!(
+            cv.faults.as_ref().unwrap().injected().builder_crashes > 0,
+            "{label}: chaos must actually crash builders"
+        );
+        assert_fault_accounting(cv, &reports, label);
+        assert_locks_reclaimable(cv, label);
+    }
+
+    // Pooled and serial runs of the identical wave agree on everything the
+    // coordinator did: same elections, same publishes, same reuse counts,
+    // same per-job outputs.
+    assert!(pooled.sharing.shared_subgraphs >= 1, "wave must share work");
+    assert_eq!(
+        pooled.sharing.shared_subgraphs,
+        serial.sharing.shared_subgraphs
+    );
+    assert_eq!(pooled.sharing.published, serial.sharing.published);
+    assert_eq!(pooled.sharing.aborted, serial.sharing.aborted);
+    assert_eq!(
+        pooled.sharing.follower_reuses,
+        serial.sharing.follower_reuses
+    );
+    assert_eq!(
+        pooled.sharing.follower_fallbacks,
+        serial.sharing.follower_fallbacks
+    );
+    let built = |o: &WindowOutcome| {
+        let mut v: Vec<_> = o
+            .reports
+            .iter()
+            .flat_map(|r| r.as_ref().unwrap().views_built.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(built(&pooled), built(&serial), "same producers either way");
+}
+
 #[test]
 fn property_any_fault_plan_preserves_outputs_and_reclaims_locks() {
     // Proptest-style: across randomized fault plans, (1) CloudViews output
