@@ -146,6 +146,25 @@ pub fn numeric_gates(bench: &str) -> &'static [Gate] {
                 tolerance: WALL_CLOCK_TOLERANCE,
             },
         ],
+        "persistence" => &[
+            // Cold-start replay wall, normalized to per-10k-records so
+            // quick and full runs are comparable; wall-clock tolerance —
+            // it is disk + CPU on a shared CI runner.
+            Gate {
+                path: "replay_micros_per_10k",
+                better: Better::Lower,
+                multi_core_only: false,
+                tolerance: WALL_CLOCK_TOLERANCE,
+            },
+            // Snapshot recovery over full-log replay: the ratio of two
+            // walls on the same host, so the ordinary tolerance applies.
+            Gate {
+                path: "snapshot_speedup",
+                better: Better::Higher,
+                multi_core_only: false,
+                tolerance: TOLERANCE,
+            },
+        ],
         _ => &[],
     }
 }
@@ -167,6 +186,7 @@ pub fn bool_gates(bench: &str) -> &'static [&'static str] {
             "results_equivalent",
         ],
         "executor" => &["stats_equal", "meets_5x_target"],
+        "persistence" => &["fingerprints_equal", "torn_tail_recovered"],
         _ => &[],
     }
 }

@@ -360,6 +360,194 @@ impl AnalyzerState {
         self.norm.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// 128-bit digest of the mining aggregates, canonical (maps globally
+    /// sorted, symbols hashed by string so interning order is irrelevant,
+    /// property votes sorted by encoded design). Two states with the same
+    /// fingerprint select identical views under the same config; the
+    /// recovery CI gate asserts that re-folding the recovered repository
+    /// reproduces the pre-crash analyzer exactly. Because ingest is a
+    /// deterministic fold over the record stream (bit-identical whatever
+    /// the thread count — see the module docs), recovery does not snapshot
+    /// aggregates at all: it replays the recovered records from sequence 0.
+    pub fn fingerprint(&self) -> Sig128 {
+        use crate::codec::{put_opkind, put_props, put_symbol};
+        use scope_common::codec::Enc;
+
+        let _g = self.round.lock();
+        let mut e = Enc::new();
+
+        let admit = self.admit.lock();
+        e.put_u32(admit.metas.len() as u32);
+        for m in &admit.metas {
+            e.put_u64(m.job.raw());
+            e.put_u64(m.user.raw());
+            e.put_u64(m.vc.raw());
+            e.put_u64(m.template.raw());
+            e.put_u64(m.latency.micros());
+        }
+        e.put_u64(admit.occurrences_total);
+        e.put_u64(admit.skipped);
+        let mut templates: Vec<_> = admit.template_times.iter().collect();
+        templates.sort_by_key(|(t, _)| t.raw());
+        e.put_u32(templates.len() as u32);
+        for (t, times) in templates {
+            e.put_u64(t.raw());
+            e.put_u32(times.len() as u32);
+            for (instance, at) in times {
+                e.put_u64(*instance);
+                e.put_u64(at.micros());
+            }
+        }
+        let mut consumers: Vec<_> = admit.consumers.iter().collect();
+        consumers.sort_by_key(|(s, _)| s.as_str());
+        e.put_u32(consumers.len() as u32);
+        for (tag, templates) in consumers {
+            put_symbol(&mut e, *tag);
+            e.put_u32(templates.len() as u32);
+            for t in templates {
+                e.put_u64(t.raw());
+            }
+        }
+        drop(admit);
+
+        let mut precise: Vec<(Sig128, u64, Option<Vec<u8>>)> = Vec::new();
+        for shard in &self.precise {
+            for (sig, acc) in shard.lock().iter() {
+                let first = acc.first.as_ref().map(|f| {
+                    let mut fe = Enc::new();
+                    fe.put_u64(f.seq);
+                    fe.put_u64(f.record_seq);
+                    fe.put_u64(f.job.raw());
+                    fe.put_u64(f.user.raw());
+                    fe.put_u64(f.vc.raw());
+                    fe.put_u64(f.template.raw());
+                    fe.put_u64(f.job_cpu.micros());
+                    fe.put_u64(f.precise.hi);
+                    fe.put_u64(f.precise.lo);
+                    fe.put_u64(f.normalized.hi);
+                    fe.put_u64(f.normalized.lo);
+                    put_opkind(&mut fe, f.root_kind);
+                    fe.put_u64(f.num_nodes as u64);
+                    fe.put_bool(f.has_user_code);
+                    fe.put_u32(f.input_tags.len() as u32);
+                    for &t in &f.input_tags {
+                        put_symbol(&mut fe, t);
+                    }
+                    put_props(&mut fe, &f.props);
+                    fe.put_u64(f.cum_cpu.micros());
+                    fe.put_u64(f.out_rows);
+                    fe.put_u64(f.out_bytes);
+                    fe.buf
+                });
+                precise.push((*sig, acc.count, first));
+            }
+        }
+        precise.sort_by_key(|(sig, ..)| *sig);
+        e.put_u32(precise.len() as u32);
+        for (sig, count, first) in &precise {
+            e.put_u64(sig.hi);
+            e.put_u64(sig.lo);
+            e.put_u64(*count);
+            match first {
+                Some(bytes) => {
+                    e.put_bool(true);
+                    e.buf.extend_from_slice(bytes);
+                }
+                None => e.put_bool(false),
+            }
+        }
+
+        let mut norms: Vec<(Sig128, Vec<u8>)> = Vec::new();
+        for shard in &self.norm {
+            for (sig, acc) in shard.lock().iter() {
+                let mut ne = Enc::new();
+                ne.put_u64(acc.first_seq);
+                ne.put_u64(acc.last_seq);
+                ne.put_u64(acc.sample_precise.hi);
+                ne.put_u64(acc.sample_precise.lo);
+                put_opkind(&mut ne, acc.root_kind);
+                ne.put_u64(acc.num_nodes as u64);
+                ne.put_bool(acc.has_user_code);
+                ne.put_u32(acc.input_tags.len() as u32);
+                for &t in &acc.input_tags {
+                    put_symbol(&mut ne, t);
+                }
+                ne.put_u64(acc.occurrences);
+                ne.put_u64(acc.instances);
+                for set in [
+                    {
+                        let mut v: Vec<u64> = acc.jobs.iter().map(|x| x.raw()).collect();
+                        v.sort_unstable();
+                        v
+                    },
+                    {
+                        let mut v: Vec<u64> = acc.users.iter().map(|x| x.raw()).collect();
+                        v.sort_unstable();
+                        v
+                    },
+                    {
+                        let mut v: Vec<u64> = acc.vcs.iter().map(|x| x.raw()).collect();
+                        v.sort_unstable();
+                        v
+                    },
+                    {
+                        let mut v: Vec<u64> = acc.templates.iter().map(|x| x.raw()).collect();
+                        v.sort_unstable();
+                        v
+                    },
+                ] {
+                    ne.put_u32(set.len() as u32);
+                    for raw in set {
+                        ne.put_u64(raw);
+                    }
+                }
+                for sum in [
+                    acc.cum_cpu_sum,
+                    acc.rows_sum,
+                    acc.bytes_sum,
+                    acc.job_cpu_sum,
+                ] {
+                    ne.put_u64((sum >> 64) as u64);
+                    ne.put_u64(sum as u64);
+                }
+                let mut votes: Vec<(Vec<u8>, usize, u64)> = acc
+                    .props_votes
+                    .iter()
+                    .map(|(props, vote)| {
+                        let mut pe = Enc::new();
+                        put_props(&mut pe, props);
+                        (pe.buf, vote.count, vote.first_seq)
+                    })
+                    .collect();
+                votes.sort();
+                ne.put_u32(votes.len() as u32);
+                for (props_bytes, count, first_seq) in votes {
+                    ne.put_u32(props_bytes.len() as u32);
+                    ne.buf.extend_from_slice(&props_bytes);
+                    ne.put_u64(count as u64);
+                    ne.put_u64(first_seq);
+                }
+                norms.push((*sig, ne.buf));
+            }
+        }
+        norms.sort_by_key(|(sig, _)| *sig);
+        e.put_u32(norms.len() as u32);
+        for (sig, bytes) in &norms {
+            e.put_u64(sig.hi);
+            e.put_u64(sig.lo);
+            e.buf.extend_from_slice(bytes);
+        }
+
+        let overlaps = self.rec_overlaps.read();
+        e.put_u32(overlaps.len() as u32);
+        for c in overlaps.iter() {
+            e.put_u64(c.load(Ordering::Relaxed));
+        }
+        drop(overlaps);
+
+        scope_common::hash::sip128(&e.buf)
+    }
+
     fn admits(&self, r: &JobRecord) -> bool {
         r.submitted_at >= self.config.window_from
             && r.submitted_at < self.config.window_to
@@ -864,6 +1052,21 @@ impl IncrementalAnalyzer {
     /// The last round's delta, if any round has run.
     pub fn last_delta(&self) -> Option<RoundDelta> {
         self.last_delta.lock().clone()
+    }
+
+    /// The normalized signatures selected by the most recent round (the
+    /// baseline the next round diffs against). Persisted in snapshots so a
+    /// recovered analyzer's first round reports newly/dropped views against
+    /// the pre-crash selection instead of against an empty set.
+    pub fn prev_selected(&self) -> Vec<Sig128> {
+        self.prev_selected.lock().clone()
+    }
+
+    /// Restores the previous-round selection baseline (recovery only).
+    /// The round counter and last delta are *not* restored — they are
+    /// process-local reporting, reset to zero/`None` on restart.
+    pub fn set_prev_selected(&self, selected: Vec<Sig128>) {
+        *self.prev_selected.lock() = selected;
     }
 
     /// Ingests any repository records that arrived since the last call.

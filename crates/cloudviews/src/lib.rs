@@ -50,12 +50,14 @@
 pub mod admin;
 pub mod analyzer;
 pub mod api;
+pub mod codec;
 pub mod faults;
 pub mod metadata;
 pub mod pipeline;
 pub mod reporting;
 pub mod runtime;
 pub mod sharing;
+pub mod store;
 
 pub use analyzer::{
     AnalysisOutcome, AnalyzerConfig, AnalyzerState, IncrementalAnalyzer, IngestReport, RoundDelta,
@@ -71,3 +73,4 @@ pub use runtime::{
 };
 pub use scope_signature::{TemplateCache, TemplateCacheStats};
 pub use sharing::{JobArrival, SharingConfig, SharingSummary, WindowOutcome};
+pub use store::{DurableStore, RecoveredState, WalEvent};

@@ -53,7 +53,14 @@ use scope_signature::SubsumeDescriptor;
 
 use crate::analyzer::SelectedView;
 use crate::api::{LookupRequest, ProposeRequest, ReportRequest};
+use crate::codec::{
+    get_annotation, get_available_view, get_descriptor, get_sig, get_sigs, get_symbols, get_time,
+    put_annotation, put_available_view, put_descriptor, put_sig, put_sigs, put_symbols, put_time,
+};
 use crate::faults::{FaultInjector, FaultSite};
+use crate::store::{DurableStore, WalEvent};
+use scope_common::codec::{CodecError, Dec, Enc};
+use scope_common::hash::sip128;
 
 /// Default shard count, matching the metrics registry's 16-way split.
 const DEFAULT_SHARDS: usize = 16;
@@ -325,6 +332,10 @@ pub struct MetadataService {
     faults: RwLock<Option<Arc<FaultInjector>>>,
     /// Optional telemetry sink with pre-resolved handles.
     telemetry: RwLock<Option<MetadataMetrics>>,
+    /// Optional durability hook: every state-changing entrypoint appends
+    /// its [`WalEvent`] here *before* mutating in-memory state. `None`
+    /// (the default) keeps the service purely in-memory.
+    durable: RwLock<Option<Arc<DurableStore>>>,
 }
 
 impl MetadataService {
@@ -345,6 +356,25 @@ impl MetadataService {
             janitor_cursor: AtomicUsize::new(0),
             faults: RwLock::new(None),
             telemetry: RwLock::new(None),
+            durable: RwLock::new(None),
+        }
+    }
+
+    /// Installs (or clears) the durable store. Attach it *after* replaying
+    /// recovered state — [`MetadataService::apply_event`] and
+    /// [`MetadataService::import_state`] never log, but the live
+    /// entrypoints do, and re-logging a replay would double the WAL.
+    pub fn set_durable(&self, store: Option<Arc<DurableStore>>) {
+        *self.durable.write() = store;
+    }
+
+    /// Appends `ev` to the WAL when durability is on. Called *before* the
+    /// corresponding in-memory mutation (write-ahead), sometimes while a
+    /// shard lock is held — the store's log mutex is a leaf, so that is
+    /// safe by the documented lock order.
+    fn log_event(&self, ev: &WalEvent) {
+        if let Some(store) = self.durable.read().as_ref() {
+            store.append_event(ev);
         }
     }
 
@@ -393,7 +423,23 @@ impl MetadataService {
     /// rebuilds the inverted index ("the metadata service periodically
     /// polls for the output of the CloudViews analyzer").
     pub fn load_annotations(&self, selected: &[SelectedView]) {
-        let now = self.clock.now();
+        self.load_annotations_at(selected, self.clock.now());
+    }
+
+    /// [`MetadataService::load_annotations`] at an explicit pinned time
+    /// (the time drives each annotation's `keep_until`, so a WAL replay
+    /// must reuse the recorded instant, not the live clock).
+    pub fn load_annotations_at(&self, selected: &[SelectedView], now: SimTime) {
+        self.log_event(&WalEvent::LoadAnnotations {
+            selected: selected.to_vec(),
+            now,
+        });
+        self.apply_load_annotations(selected, now);
+    }
+
+    /// Mutation core of annotation loading; never logs (shared by the live
+    /// path and WAL replay).
+    fn apply_load_annotations(&self, selected: &[SelectedView], now: SimTime) {
         for shard in &self.shards {
             shard.annotations.write().clear();
             shard.inverted.write().clear();
@@ -712,11 +758,22 @@ impl MetadataService {
                     prev,
                     Some(lock) if lock.holder != job && lock.expires_at <= now
                 );
+                let expires_at = now + lock_ttl;
+                // Write-ahead: the grant is logged while this shard's lock
+                // mutex is held, so the WAL's grant order is exactly the
+                // serialization order the mutex imposes (the log mutex is a
+                // leaf — see the durable store's lock-ordering contract).
+                self.log_event(&WalEvent::LockGranted {
+                    precise,
+                    holder: job,
+                    at: now,
+                    expires_at,
+                });
                 locks.insert(
                     precise,
                     BuildLock {
                         holder: job,
-                        expires_at: now + lock_ttl,
+                        expires_at,
                     },
                 );
                 self.stats.locks_granted.fetch_add(1, Ordering::Relaxed);
@@ -803,6 +860,14 @@ impl MetadataService {
     /// reading that shard's views (its double-check), so overlapping guards
     /// here would be an ABBA deadlock.
     pub fn register(&self, req: ReportRequest) {
+        self.log_event(&WalEvent::Register(Box::new(req.clone())));
+        self.register_inner(req);
+    }
+
+    /// Mutation core of registration; never logs (shared by the live path
+    /// and WAL replay — replay re-runs registration, which also clears the
+    /// build lock exactly as the live path does).
+    fn register_inner(&self, req: ReportRequest) {
         let ReportRequest {
             view,
             normalized,
@@ -921,6 +986,10 @@ impl MetadataService {
         let now = self.clock.now();
         let mut total = PurgeSweep::default();
         for index in 0..self.shards.len() {
+            self.log_event(&WalEvent::PurgeShard {
+                index: index as u32,
+                now,
+            });
             total.absorb(self.purge_shard_at(index, now));
         }
         total
@@ -932,7 +1001,12 @@ impl MetadataService {
     /// the world (`PipelineOptions::janitor`).
     pub fn purge_next_shard(&self) -> PurgeSweep {
         let index = self.janitor_cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.purge_shard_at(index, self.clock.now())
+        let now = self.clock.now();
+        self.log_event(&WalEvent::PurgeShard {
+            index: index as u32,
+            now,
+        });
+        self.purge_shard_at(index, now)
     }
 
     /// One shard's janitor pass: expire the shard's views and locks, prune
@@ -973,7 +1047,25 @@ impl MetadataService {
     /// index entries — go with them unless another live view still needs
     /// them, so a reclaimed or lost view stops matching future lookups.
     pub fn unregister_views(&self, precise: &[Sig128]) {
-        let now = self.clock.now();
+        self.unregister_views_at(precise, self.clock.now());
+    }
+
+    /// [`MetadataService::unregister_views`] at an explicit pinned time.
+    /// The time decides which *other* views still keep a swept annotation
+    /// alive, so callers that pin visibility (the runtime's dead-view
+    /// fallback) and WAL replay must pass the instant they observed — a
+    /// live-clock read here would let replay GC annotations that were
+    /// still live at the recorded timestamp.
+    pub fn unregister_views_at(&self, precise: &[Sig128], now: SimTime) {
+        self.log_event(&WalEvent::Unregister {
+            precise: precise.to_vec(),
+            now,
+        });
+        self.apply_unregister(precise, now);
+    }
+
+    /// Mutation core of unregistration; never logs.
+    fn apply_unregister(&self, precise: &[Sig128], now: SimTime) {
         let mut dead: Vec<(Sig128, Sig128)> = Vec::new();
         for p in precise {
             if let Some(v) = self.sig_shard(*p).views.write().remove(p) {
@@ -993,6 +1085,211 @@ impl MetadataService {
         for (index, forced) in forced_by_shard {
             self.sweep_annotation_shard(index, &forced, now);
         }
+    }
+
+    /// Re-applies one recovered WAL event, without logging. Replay is
+    /// at-least-once (the snapshot protocol may leave an event in both the
+    /// snapshot and the tail), so every arm is idempotent at its pinned
+    /// time: re-granting an identical lock, re-registering a view whose
+    /// live entry already wins, or re-purging an already-clean shard all
+    /// converge to the same state.
+    ///
+    /// Process-local counters ([`MetadataStats`], telemetry) are *not*
+    /// reconstructed — replay may bump them differently than the original
+    /// run did; only catalog state (annotations, views, locks) is part of
+    /// the recovery contract and the [`MetadataService::fingerprint`].
+    pub fn apply_event(&self, ev: &WalEvent) {
+        match ev {
+            WalEvent::LoadAnnotations { selected, now } => {
+                self.apply_load_annotations(selected, *now);
+            }
+            WalEvent::LockGranted {
+                precise,
+                holder,
+                at: _,
+                expires_at,
+            } => {
+                // Conservative lock recovery: the lease is restored with
+                // its original expiry, so an in-flight build that died with
+                // the process simply lapses at its mined TTL and the normal
+                // expired-takeover path re-runs the build exactly once.
+                self.sig_shard(*precise).locks.lock().insert(
+                    *precise,
+                    BuildLock {
+                        holder: *holder,
+                        expires_at: *expires_at,
+                    },
+                );
+            }
+            WalEvent::Register(req) => self.register_inner((**req).clone()),
+            WalEvent::PurgeShard { index, now } => {
+                // The janitor cursor is deliberately left alone: it is a
+                // scheduling hint recovered from the snapshot, and
+                // re-sweeping a shard an extra time is idempotent.
+                self.purge_shard_at(*index as usize, *now);
+            }
+            WalEvent::Unregister { precise, now } => self.apply_unregister(precise, *now),
+        }
+    }
+
+    /// Serializes the catalog — annotations, registered views, and build
+    /// locks, each globally sorted by signature so the encoding is
+    /// canonical and independent of shard count — into `e`. This is the
+    /// fingerprinted core; [`MetadataService::export_state`] appends the
+    /// non-semantic extras (janitor cursor).
+    fn export_core(&self, e: &mut Enc) {
+        // (normalized sig, annotation, tags, keep_until, precise views).
+        type AnnotationRow = (Sig128, Annotation, Vec<Symbol>, SimTime, Vec<Sig128>);
+        let mut annotations: Vec<AnnotationRow> = Vec::new();
+        let mut views: Vec<(Sig128, RegisteredView)> = Vec::new();
+        let mut locks: Vec<(Sig128, JobId, SimTime)> = Vec::new();
+        for shard in &self.shards {
+            for (n, entry) in shard.annotations.read().iter() {
+                annotations.push((
+                    *n,
+                    entry.annotation.clone(),
+                    entry.tags.clone(),
+                    entry.keep_until,
+                    entry.precise_views.clone(),
+                ));
+            }
+            for (p, v) in shard.views.read().iter() {
+                views.push((*p, v.clone()));
+            }
+            for (p, l) in shard.locks.lock().iter() {
+                locks.push((*p, l.holder, l.expires_at));
+            }
+        }
+        annotations.sort_by_key(|(n, ..)| *n);
+        views.sort_by_key(|(p, _)| *p);
+        locks.sort_by_key(|(p, ..)| *p);
+
+        e.put_u32(annotations.len() as u32);
+        for (_, annotation, tags, keep_until, precise_views) in &annotations {
+            put_annotation(e, annotation);
+            put_symbols(e, tags);
+            put_time(e, *keep_until);
+            put_sigs(e, precise_views);
+        }
+        e.put_u32(views.len() as u32);
+        for (_, v) in &views {
+            put_available_view(e, &v.view);
+            put_sig(e, v.normalized);
+            e.put_u64(v.producer.raw());
+            put_time(e, v.created_at);
+            put_time(e, v.expires_at);
+            match &v.descriptor {
+                Some(desc) => {
+                    e.put_bool(true);
+                    put_descriptor(e, desc);
+                }
+                None => e.put_bool(false),
+            }
+        }
+        e.put_u32(locks.len() as u32);
+        for (p, holder, expires_at) in &locks {
+            put_sig(e, *p);
+            e.put_u64(holder.raw());
+            put_time(e, *expires_at);
+        }
+    }
+
+    /// Full snapshot payload of the service: the fingerprinted catalog
+    /// core plus the janitor cursor. The inverted index is *not* exported
+    /// — it is a pure function of the annotations' tags and is rebuilt by
+    /// [`MetadataService::import_state`].
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.export_core(&mut e);
+        e.put_u64(self.janitor_cursor.load(Ordering::Relaxed) as u64);
+        e.buf
+    }
+
+    /// Replaces the whole catalog with a previously exported snapshot.
+    /// Counters and telemetry are untouched (they are process-local).
+    pub fn import_state(&self, d: &mut Dec) -> std::result::Result<(), CodecError> {
+        for shard in &self.shards {
+            shard.annotations.write().clear();
+            shard.inverted.write().clear();
+            shard.views.write().clear();
+            shard.locks.lock().clear();
+        }
+        let n = d.u32()? as usize;
+        for _ in 0..n {
+            let annotation = get_annotation(d)?;
+            let tags = get_symbols(d)?;
+            let keep_until = get_time(d)?;
+            let precise_views = get_sigs(d)?;
+            let normalized = annotation.normalized;
+            for &tag in &tags {
+                self.shards
+                    .at(self.tag_shard_index(tag))
+                    .inverted
+                    .write()
+                    .entry(tag)
+                    .or_default()
+                    .insert(normalized);
+            }
+            self.sig_shard(normalized).annotations.write().insert(
+                normalized,
+                AnnotationEntry {
+                    annotation,
+                    tags,
+                    keep_until,
+                    precise_views,
+                },
+            );
+        }
+        let n = d.u32()? as usize;
+        for _ in 0..n {
+            let view = get_available_view(d)?;
+            let normalized = get_sig(d)?;
+            let producer = JobId::new(d.u64()?);
+            let created_at = get_time(d)?;
+            let expires_at = get_time(d)?;
+            let descriptor = if d.bool()? {
+                Some(get_descriptor(d)?)
+            } else {
+                None
+            };
+            let precise = view.precise;
+            self.sig_shard(precise).views.write().insert(
+                precise,
+                RegisteredView {
+                    view,
+                    normalized,
+                    producer,
+                    created_at,
+                    expires_at,
+                    descriptor,
+                },
+            );
+        }
+        let n = d.u32()? as usize;
+        for _ in 0..n {
+            let precise = get_sig(d)?;
+            let holder = JobId::new(d.u64()?);
+            let expires_at = get_time(d)?;
+            self.sig_shard(precise)
+                .locks
+                .lock()
+                .insert(precise, BuildLock { holder, expires_at });
+        }
+        self.janitor_cursor
+            .store(d.u64()? as usize, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// 128-bit digest of the catalog (annotations, views, locks — sorted,
+    /// canonical). Two services with the same fingerprint answer every
+    /// lookup/propose identically at any pinned time; the recovery CI gate
+    /// asserts a restarted service matches the pre-crash one. Counters,
+    /// telemetry, the inverted index (derived), and the janitor cursor (a
+    /// scheduling hint) are excluded.
+    pub fn fingerprint(&self) -> Sig128 {
+        let mut e = Enc::new();
+        self.export_core(&mut e);
+        sip128(&e.buf)
     }
 
     /// Removes dead views' precise signatures from their annotations'

@@ -310,7 +310,12 @@ impl Stage for ExecuteStage {
                 if cv.degradation.unregister_dead_views {
                     for r in &plan_ref.reused {
                         if cv.storage.open_view(r.precise, ctx.start).is_err() {
-                            cv.metadata.unregister_views(&[r.precise]);
+                            // Pin the GC read to the job's submission time:
+                            // under a replayed log the live clock may sit
+                            // anywhere, and a wall-clock read here could GC
+                            // annotations that were live at the recorded
+                            // instant.
+                            cv.metadata.unregister_views_at(&[r.precise], ctx.start);
                             cv.storage.delete_view(r.precise);
                             ctx.faults.dead_views_unregistered += 1;
                         }

@@ -41,6 +41,7 @@
 //! Every degradation is counted per job in [`JobFaultReport`].
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use scope_common::hash::Sig128;
@@ -59,10 +60,14 @@ use scope_signature::TemplateCache;
 
 use crate::analyzer::{run_analysis, AnalysisOutcome, AnalyzerConfig, IncrementalAnalyzer};
 use crate::api::LookupRequest;
+use crate::codec::{get_sigs, get_time, put_sigs, put_time};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::metadata::MetadataService;
 use crate::pipeline::{self, PipelineOptions};
 use crate::sharing::WindowContext;
+use crate::store::{DurableStore, WalEvent};
+use scope_common::codec::{CodecError, Dec, Enc};
+use scope_engine::storage::StorageEventSink;
 
 /// Whether a job runs with CloudViews on or off.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -350,6 +355,12 @@ pub struct CloudViews {
     /// stage feeds it each record as it lands; [`CloudViews::analyze_round`]
     /// re-selects from its aggregates.
     pub analyzer: Option<Arc<IncrementalAnalyzer>>,
+    /// The durable store, when constructed via
+    /// [`CloudViewsBuilder::durable`]: every metadata mutation, repository
+    /// append, and view publish is logged before it is acknowledged, and
+    /// [`CloudViews::snapshot_now`] / the post-job snapshot check compact
+    /// the log. `None` keeps the service purely in-memory.
+    pub durable: Option<Arc<DurableStore>>,
     /// Pre-resolved metric handles for the per-job path.
     pub(crate) metrics: RuntimeMetrics,
 }
@@ -386,6 +397,8 @@ pub struct CloudViewsBuilder {
     templates: Arc<TemplateCache>,
     incremental_analyzer: Option<AnalyzerConfig>,
     analyzer_workers: usize,
+    durable: Option<PathBuf>,
+    snapshot_threshold: u64,
 }
 
 impl CloudViewsBuilder {
@@ -409,7 +422,27 @@ impl CloudViewsBuilder {
             templates: Arc::new(TemplateCache::new()),
             incremental_analyzer: None,
             analyzer_workers: 1,
+            durable: None,
+            snapshot_threshold: crate::store::DEFAULT_SNAPSHOT_THRESHOLD,
         }
+    }
+
+    /// Persists service state under `path` (DESIGN.md §16): metadata
+    /// mutations and analyzer-feeding repository appends are logged before
+    /// they are acknowledged, published view files are mirrored to a
+    /// segment store, and a cold start from the same path replays
+    /// snapshot + WAL tail into byte-identical in-memory state (see
+    /// `MetadataService::fingerprint` / `AnalyzerState::fingerprint`).
+    pub fn durable(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durable = Some(path.into());
+        self
+    }
+
+    /// WAL size (bytes) past which the post-job check compacts the log
+    /// into a snapshot. Only meaningful with [`CloudViewsBuilder::durable`].
+    pub fn snapshot_threshold(mut self, bytes: u64) -> Self {
+        self.snapshot_threshold = bytes;
+        self
     }
 
     /// Shares an existing simulated clock (e.g. across services).
@@ -525,13 +558,22 @@ impl CloudViewsBuilder {
                     .into(),
             ));
         }
-        Ok(self.build())
+        self.build_inner()
     }
 
     /// Assembles the service: builds the metadata service on the shared
     /// clock and wires the fault injector and telemetry sink into every
     /// component.
+    ///
+    /// Panics when [`CloudViewsBuilder::durable`] was set and opening or
+    /// replaying the on-disk state fails; use
+    /// [`CloudViewsBuilder::try_build`] to handle that as a `Result`.
     pub fn build(self) -> CloudViews {
+        self.build_inner()
+            .expect("CloudViews durable-state recovery failed")
+    }
+
+    fn build_inner(self) -> Result<CloudViews> {
         let metadata = Arc::new(MetadataService::with_shards(
             Arc::clone(&self.clock),
             self.metadata_threads,
@@ -548,10 +590,77 @@ impl CloudViewsBuilder {
         let analyzer = self
             .incremental_analyzer
             .map(|cfg| Arc::new(IncrementalAnalyzer::new(cfg, self.analyzer_workers)));
-        CloudViews {
+
+        let (repo, durable) = match &self.durable {
+            Some(path) => {
+                let (store, recovered) = DurableStore::open(path, self.snapshot_threshold)
+                    .map_err(|e| ScopeError::Storage(format!("durable store open: {e}")))?;
+                fn corrupt(what: &'static str) -> impl Fn(CodecError) -> ScopeError {
+                    move |e| ScopeError::Storage(format!("durable snapshot {what}: {}", e.0))
+                }
+                // Replay order: snapshot first (state as of `wal.N`), then
+                // the WAL tail, then the bulk stores. The clock advances to
+                // the latest *pinned* instant the log proves happened —
+                // never a lease expiry, which would instantly lapse every
+                // recovered lock.
+                let mut max_t = SimTime::ZERO;
+                if let Some(snap) = &recovered.snapshot {
+                    let mut d = Dec::new(snap);
+                    max_t = max_t.max(get_time(&mut d).map_err(corrupt("clock"))?);
+                    metadata
+                        .import_state(&mut d)
+                        .map_err(corrupt("metadata state"))?;
+                    let prev = get_sigs(&mut d).map_err(corrupt("selection baseline"))?;
+                    d.finish().map_err(corrupt("trailing bytes"))?;
+                    if let Some(a) = &analyzer {
+                        a.set_prev_selected(prev);
+                    }
+                }
+                for ev in &recovered.events {
+                    match ev {
+                        WalEvent::LoadAnnotations { now, .. } => max_t = max_t.max(*now),
+                        WalEvent::LockGranted { at, .. } => max_t = max_t.max(*at),
+                        WalEvent::Register(req) => max_t = max_t.max(req.available_at),
+                        WalEvent::PurgeShard { now, .. } | WalEvent::Unregister { now, .. } => {
+                            max_t = max_t.max(*now)
+                        }
+                    }
+                    metadata.apply_event(ev);
+                }
+                for r in &recovered.records {
+                    max_t = max_t.max(r.submitted_at + r.latency);
+                }
+                let repo = Arc::new(WorkloadRepository::from_records(recovered.records));
+                for vf in recovered.views {
+                    max_t = max_t.max(vf.meta.created_at);
+                    self.storage.publish_view(vf)?;
+                }
+                // The analyzer's aggregates are a deterministic fold over
+                // the record stream (bit-identical whatever the thread
+                // count), so recovery re-folds the recovered repository
+                // instead of snapshotting aggregates.
+                if let Some(a) = &analyzer {
+                    a.absorb(&repo);
+                }
+                self.clock.advance_to(max_t);
+                // Hooks attach *last*: everything above is replay and must
+                // not be re-logged.
+                metadata.set_durable(Some(Arc::clone(&store)));
+                self.storage
+                    .set_event_sink(Some(Arc::clone(&store) as Arc<dyn StorageEventSink>));
+                let sink_store = Arc::clone(&store);
+                repo.set_record_sink(Some(Arc::new(move |seq, rec| {
+                    sink_store.record_job(seq, rec)
+                })));
+                (repo, Some(store))
+            }
+            None => (Arc::new(WorkloadRepository::new()), None),
+        };
+
+        Ok(CloudViews {
             storage: self.storage,
             metadata,
-            repo: Arc::new(WorkloadRepository::new()),
+            repo,
             clock: self.clock,
             cost: self.cost,
             cluster: self.cluster,
@@ -564,8 +673,9 @@ impl CloudViewsBuilder {
             telemetry: self.telemetry,
             templates: self.templates,
             analyzer,
+            durable,
             metrics,
-        }
+        })
     }
 }
 
@@ -573,6 +683,47 @@ impl CloudViews {
     /// Starts a [`CloudViewsBuilder`] over the given storage.
     pub fn builder(storage: Arc<StorageManager>) -> CloudViewsBuilder {
         CloudViewsBuilder::new(storage)
+    }
+
+    /// Serializes the durable snapshot payload: the pinned clock, the
+    /// metadata catalog, and the analyzer's selection baseline. The layout
+    /// is owned here (the store treats it as opaque bytes) and decoded by
+    /// the builder's recovery path.
+    fn snapshot_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        put_time(&mut e, self.clock.now());
+        e.buf.extend_from_slice(&self.metadata.export_state());
+        let prev = self
+            .analyzer
+            .as_ref()
+            .map(|a| a.prev_selected())
+            .unwrap_or_default();
+        put_sigs(&mut e, &prev);
+        e.buf
+    }
+
+    /// Compacts the durable WAL into a snapshot if it has outgrown the
+    /// configured threshold (called after every job). Returns `true` when
+    /// a snapshot was written; always `false` without durability.
+    pub fn maybe_snapshot(&self) -> bool {
+        match &self.durable {
+            Some(store) => store
+                .maybe_snapshot(|| self.snapshot_payload())
+                .expect("scope-store: snapshot failed"),
+            None => false,
+        }
+    }
+
+    /// Unconditionally snapshots and compacts the durable WAL (e.g. before
+    /// a planned shutdown). Returns `false` without durability or when
+    /// another snapshot is already in flight.
+    pub fn snapshot_now(&self) -> bool {
+        match &self.durable {
+            Some(store) => store
+                .snapshot_now(|| self.snapshot_payload())
+                .expect("scope-store: snapshot failed"),
+            None => false,
+        }
     }
 
     /// Installs a fault plan: builds the injector and shares it with the
@@ -816,6 +967,9 @@ impl CloudViews {
                     .finish_with(root, self.clock.now(), Some("failed"));
             }
         }
+        // Durable mode: compact the WAL once it outgrows the threshold.
+        // Cheap when it hasn't (one tail-size read), a no-op in-memory.
+        self.maybe_snapshot();
     }
 
     /// The per-job cascade lookup with bounded retry, pinned to the job's

@@ -29,6 +29,7 @@
 //!   buffer, and Prometheus/JSON exporters.
 //! * [`error`] — the workspace-wide error type.
 
+pub mod codec;
 pub mod error;
 pub mod hash;
 pub mod ids;

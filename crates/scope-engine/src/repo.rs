@@ -107,16 +107,42 @@ pub struct JobIdentity {
     pub submitted_at: SimTime,
 }
 
+/// Observer of repository appends, keyed by the record's sequence number
+/// (its index in the append order). The durability layer installs one to
+/// mirror every record into its on-disk segment store; the sequence number
+/// doubles as the analyzer's replay cursor after a restart.
+pub type RecordSink = Arc<dyn Fn(u64, &JobRecord) + Send + Sync>;
+
 /// Thread-safe append-only store of job records.
 #[derive(Default)]
 pub struct WorkloadRepository {
     records: Mutex<Vec<JobRecord>>,
+    /// Optional durability mirror for appends. Called *outside* the records
+    /// lock (sequence numbers are captured under it, so out-of-order sink
+    /// calls carry distinct, correct sequence numbers).
+    sink: Mutex<Option<RecordSink>>,
 }
 
 impl WorkloadRepository {
     /// An empty repository.
     pub fn new() -> Self {
         WorkloadRepository::default()
+    }
+
+    /// A repository pre-populated with recovered records, in their original
+    /// append order (cold-start rehydration).
+    pub fn from_records(records: Vec<JobRecord>) -> Self {
+        WorkloadRepository {
+            records: Mutex::new(records),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Installs (or clears) the durability sink notified on every append.
+    /// Attach it *after* rehydrating recovered records, or recovery would
+    /// re-append every record it just read.
+    pub fn set_record_sink(&self, sink: Option<RecordSink>) {
+        *self.sink.lock() = sink;
     }
 
     /// Reconciles one executed job into the repository: joins the original
@@ -184,7 +210,17 @@ impl WorkloadRepository {
             tags: tags.to_vec(),
             subgraphs,
         };
-        self.records.lock().push(record);
+        let seq = {
+            let mut records = self.records.lock();
+            records.push(record.clone());
+            (records.len() - 1) as u64
+        };
+        // Notify outside the records lock: the sink may do IO, and the
+        // sequence number captured above keeps concurrent appends distinct
+        // even if notifications land out of order.
+        if let Some(sink) = self.sink.lock().clone() {
+            sink(seq, &record);
+        }
         Ok(())
     }
 

@@ -83,6 +83,22 @@ struct StoredView {
     integrity: u64,
 }
 
+/// Observer of durable view-store mutations. The durability layer installs
+/// one to mirror every publish/delete into its on-disk segment store.
+///
+/// Implementations must not call back into the [`StorageManager`]: sinks
+/// are invoked while the manager's internal lock is held, so the sink's own
+/// state must be a lock-ordering leaf. Deliberately *not* notified:
+/// [`StorageManager::corrupt_view`] (an injected in-memory fault — the
+/// durable copy staying intact is exactly what restores the view after a
+/// restart).
+pub trait StorageEventSink: Send + Sync {
+    /// A view file became durable (first writer won the publish race).
+    fn view_published(&self, view: &ViewFile);
+    /// A view file was removed (expiry purge, admin delete, or loss).
+    fn view_deleted(&self, precise: Sig128);
+}
+
 #[derive(Default)]
 struct Inner {
     datasets: HashMap<DatasetId, Arc<Table>>,
@@ -127,6 +143,8 @@ impl StorageMetrics {
 pub struct StorageManager {
     inner: RwLock<Inner>,
     telemetry: RwLock<Option<StorageMetrics>>,
+    /// Optional durability mirror for view publishes/deletes.
+    sink: RwLock<Option<Arc<dyn StorageEventSink>>>,
 }
 
 impl StorageManager {
@@ -139,6 +157,13 @@ impl StorageManager {
     /// here so per-call recording is a handful of atomic operations.
     pub fn set_telemetry(&self, sink: Option<Arc<Telemetry>>) {
         *self.telemetry.write() = sink.map(|s| StorageMetrics::new(&s));
+    }
+
+    /// Installs (or clears) the durability sink notified on every view
+    /// publish and delete. Attach it *after* rehydrating recovered views,
+    /// or recovery would re-append every view it just read.
+    pub fn set_event_sink(&self, sink: Option<Arc<dyn StorageEventSink>>) {
+        *self.sink.write() = sink;
     }
 
     /// Refreshes the live-view gauges from the current catalog state.
@@ -186,13 +211,19 @@ impl StorageManager {
     pub fn publish_view(&self, file: ViewFile) -> Result<()> {
         let integrity = multiset_checksum(&file.table);
         let bytes = file.meta.bytes;
+        let precise = file.meta.precise;
         let mut inner = self.inner.write();
         let before = inner.views.len();
         inner
             .views
-            .entry(file.meta.precise)
+            .entry(precise)
             .or_insert(StoredView { file, integrity });
         let written = inner.views.len() > before;
+        if written {
+            if let Some(sink) = self.sink.read().as_ref() {
+                sink.view_published(&inner.views[&precise].file);
+            }
+        }
         if let Some(t) = self.telemetry.read().as_ref() {
             if written {
                 t.views_published.inc();
@@ -266,7 +297,13 @@ impl StorageManager {
     /// file disappears while any metadata annotations pointing at it remain.
     /// Returns true when a file was present to lose.
     pub fn lose_view(&self, precise: Sig128) -> bool {
-        self.inner.write().views.remove(&precise).is_some()
+        let lost = self.inner.write().views.remove(&precise).is_some();
+        if lost {
+            if let Some(sink) = self.sink.read().as_ref() {
+                sink.view_deleted(precise);
+            }
+        }
+        lost
     }
 
     /// Simulates in-place corruption of a view file: the stored rows no
@@ -305,14 +342,23 @@ impl StorageManager {
         let mut inner = self.inner.write();
         let before = inner.views.len();
         let mut reclaimed = 0;
-        inner.views.retain(|_, v| {
+        let mut purged: Vec<Sig128> = Vec::new();
+        inner.views.retain(|p, v| {
             if v.file.meta.expires_at <= now {
                 reclaimed += v.file.meta.bytes;
+                purged.push(*p);
                 false
             } else {
                 true
             }
         });
+        if !purged.is_empty() {
+            if let Some(sink) = self.sink.read().as_ref() {
+                for p in &purged {
+                    sink.view_deleted(*p);
+                }
+            }
+        }
         if let Some(t) = self.telemetry.read().as_ref() {
             t.views_purged.add((before - inner.views.len()) as u64);
             t.bytes_purged.add(reclaimed);
@@ -327,6 +373,9 @@ impl StorageManager {
         let mut inner = self.inner.write();
         let bytes = inner.views.remove(&precise).map(|v| v.file.meta.bytes);
         if bytes.is_some() {
+            if let Some(sink) = self.sink.read().as_ref() {
+                sink.view_deleted(precise);
+            }
             self.update_view_gauges(&inner);
         }
         bytes

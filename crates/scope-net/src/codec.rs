@@ -1,1024 +1,26 @@
-//! Hand-rolled payload encoding for every type that rides the wire.
+//! Payload encodings for everything that rides the wire.
 //!
-//! No serde: the workspace's `serde` is a no-op shim, and the front door
-//! needs byte-for-byte stable encodings anyway (the loopback acceptance
-//! test compares in-process and over-the-wire `LookupResponse`s by their
-//! encoded bytes). Conventions:
+//! The actual encoders live one layer down so the wire format and the
+//! durable on-disk format are the *same bytes*:
 //!
-//! * all integers little-endian; `usize` travels as `u64`;
-//! * `f64` as IEEE bits (`to_bits`/`from_bits`) — exact round-trip;
-//! * strings as `u32` length + UTF-8 bytes, capped at [`MAX_STR`];
-//! * sequences as `u32` count + elements, capped at [`MAX_SEQ`];
-//! * options as a `0`/`1` byte + payload;
-//! * enums as a `u8` tag + variant payload;
-//! * [`Symbol`]s travel as their string and are re-interned on decode
-//!   (interning tables are per-process, raw ids do not transfer);
-//! * recursive [`Expr`] trees are depth-limited at [`MAX_EXPR_DEPTH`] on
-//!   decode, so an adversarial payload cannot overflow the stack.
+//! * `scope_common::codec` — the generic buffer layer ([`Enc`]/[`Dec`],
+//!   bounds-checked, cap-enforced, depth-guarded);
+//! * `cloudviews::codec` — the typed domain encoders (requests,
+//!   responses, annotations, descriptors, job records, view files).
 //!
-//! Every decode is bounds-checked and returns [`WireError::Malformed`]
-//! rather than panicking: the decoder is the server's first line of defense
-//! against hostile bytes.
+//! This module re-exports both and bridges their [`CodecError`] into the
+//! wire-level [`WireError`] taxonomy, so frame decoding keeps using `?`
+//! and reports malformed payloads as [`WireError::Malformed`] exactly as
+//! before — the encodings themselves are byte-identical to when they
+//! lived here (the loopback acceptance test pins that).
 
-use std::collections::BTreeMap;
-
-use cloudviews::api::{LookupRequest, ProposeRequest, ReportRequest};
-use cloudviews::metadata::{LockOutcome, LookupResponse, MetadataStats, PurgeSweep};
-use scope_common::hash::Sig128;
-use scope_common::ids::{JobId, VcId};
-use scope_common::intern::Symbol;
-use scope_common::time::{SimDuration, SimTime};
-use scope_engine::optimizer::{Annotation, AvailableView, SubsumedView};
-use scope_plan::expr::{AggExpr, AggFunc, BinOp, ScalarFunc, UnaryOp};
-use scope_plan::interval::{ColumnIntervals, Interval};
-use scope_plan::{
-    Column, DataType, Expr, NamedExpr, Partitioning, PhysicalProps, Schema, SortDir, SortKey,
-    SortOrder, Value,
-};
-use scope_signature::{SubsumeDescriptor, SubsumeDetail, SubsumeKind};
+pub use cloudviews::codec::*;
+pub use scope_common::codec::{CodecError, Dec, Enc, MAX_EXPR_DEPTH, MAX_SEQ, MAX_STR};
 
 use crate::wire::WireError;
 
-/// Cap on any single encoded string (1 MiB).
-pub const MAX_STR: u32 = 1 << 20;
-
-/// Cap on any single sequence length (64 Ki elements).
-pub const MAX_SEQ: u32 = 1 << 16;
-
-/// Cap on [`Expr`] nesting depth accepted by the decoder.
-pub const MAX_EXPR_DEPTH: u32 = 64;
-
-fn malformed(what: impl Into<String>) -> WireError {
-    WireError::Malformed(what.into())
-}
-
-/// Byte-buffer encoder. Infallible: callers build payloads by chaining
-/// `put_*` calls and take [`Enc::buf`] at the end.
-#[derive(Default)]
-pub struct Enc {
-    /// The bytes written so far.
-    pub buf: Vec<u8>,
-}
-
-impl Enc {
-    /// Fresh empty buffer.
-    pub fn new() -> Enc {
-        Enc::default()
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> WireError {
+        WireError::Malformed(e.0)
     }
-
-    /// Appends a raw byte.
-    pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    /// Appends a little-endian `u32`.
-    pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `u64`.
-    pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `i64`.
-    pub fn put_i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `i32`.
-    pub fn put_i32(&mut self, v: i32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends an `f64` as IEEE bits.
-    pub fn put_f64(&mut self, v: f64) {
-        self.put_u64(v.to_bits());
-    }
-
-    /// Appends a bool as one byte.
-    pub fn put_bool(&mut self, v: bool) {
-        self.put_u8(v as u8);
-    }
-
-    /// Appends a `usize` as `u64`.
-    pub fn put_usize(&mut self, v: usize) {
-        self.put_u64(v as u64);
-    }
-
-    /// Appends a length-prefixed UTF-8 string.
-    pub fn put_str(&mut self, s: &str) {
-        self.put_u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-
-    /// Appends a sequence length prefix.
-    pub fn put_seq(&mut self, len: usize) {
-        self.put_u32(len as u32);
-    }
-}
-
-/// Bounds-checked cursor decoder over a payload slice.
-pub struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
-    depth: u32,
-}
-
-impl<'a> Dec<'a> {
-    /// Starts decoding at the head of `buf`.
-    pub fn new(buf: &'a [u8]) -> Dec<'a> {
-        Dec {
-            buf,
-            pos: 0,
-            depth: 0,
-        }
-    }
-
-    /// Fails unless every payload byte was consumed — trailing garbage is
-    /// a protocol violation, not padding.
-    pub fn finish(self) -> Result<(), WireError> {
-        if self.pos == self.buf.len() {
-            Ok(())
-        } else {
-            Err(malformed(format!(
-                "{} trailing bytes after payload",
-                self.buf.len() - self.pos
-            )))
-        }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| malformed("truncated payload"))?;
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    /// Reads one byte.
-    pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Reads a little-endian `u32`.
-    pub fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    /// Reads a little-endian `u64`.
-    pub fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
-    }
-
-    /// Reads a little-endian `i64`.
-    pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(self.u64()? as i64)
-    }
-
-    /// Reads a little-endian `i32`.
-    pub fn i32(&mut self) -> Result<i32, WireError> {
-        Ok(self.u32()? as i32)
-    }
-
-    /// Reads an `f64` from IEEE bits.
-    pub fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// Reads a bool byte; anything but 0/1 is malformed.
-    pub fn bool(&mut self) -> Result<bool, WireError> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            b => Err(malformed(format!("bool byte {b}"))),
-        }
-    }
-
-    /// Reads a `usize` encoded as `u64`, rejecting values above `cap`.
-    pub fn usize_capped(&mut self, cap: usize) -> Result<usize, WireError> {
-        let v = self.u64()?;
-        if v > cap as u64 {
-            return Err(malformed(format!("usize {v} exceeds cap {cap}")));
-        }
-        Ok(v as usize)
-    }
-
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn str(&mut self) -> Result<String, WireError> {
-        let len = self.u32()?;
-        if len > MAX_STR {
-            return Err(malformed(format!("string length {len} exceeds {MAX_STR}")));
-        }
-        let bytes = self.take(len as usize)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("string is not UTF-8"))
-    }
-
-    /// Reads a sequence length prefix, rejecting lengths above [`MAX_SEQ`].
-    pub fn seq(&mut self) -> Result<usize, WireError> {
-        let len = self.u32()?;
-        if len > MAX_SEQ {
-            return Err(malformed(format!(
-                "sequence length {len} exceeds {MAX_SEQ}"
-            )));
-        }
-        Ok(len as usize)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Scalars and ids
-
-/// Encodes a [`Sig128`] as `hi`, `lo`.
-pub fn put_sig(e: &mut Enc, s: Sig128) {
-    e.put_u64(s.hi);
-    e.put_u64(s.lo);
-}
-
-/// Decodes a [`Sig128`].
-pub fn get_sig(d: &mut Dec) -> Result<Sig128, WireError> {
-    Ok(Sig128::new(d.u64()?, d.u64()?))
-}
-
-/// Encodes a [`Symbol`] as its string (re-interned on decode).
-pub fn put_symbol(e: &mut Enc, s: Symbol) {
-    e.put_str(s.as_str());
-}
-
-/// Decodes a [`Symbol`].
-pub fn get_symbol(d: &mut Dec) -> Result<Symbol, WireError> {
-    Ok(Symbol::intern(&d.str()?))
-}
-
-fn put_value(e: &mut Enc, v: &Value) {
-    match v {
-        Value::Null => e.put_u8(0),
-        Value::Bool(b) => {
-            e.put_u8(1);
-            e.put_bool(*b);
-        }
-        Value::Int(i) => {
-            e.put_u8(2);
-            e.put_i64(*i);
-        }
-        Value::Float(f) => {
-            e.put_u8(3);
-            e.put_f64(*f);
-        }
-        Value::Str(s) => {
-            e.put_u8(4);
-            e.put_str(s);
-        }
-        Value::Date(d) => {
-            e.put_u8(5);
-            e.put_i32(*d);
-        }
-    }
-}
-
-fn get_value(d: &mut Dec) -> Result<Value, WireError> {
-    Ok(match d.u8()? {
-        0 => Value::Null,
-        1 => Value::Bool(d.bool()?),
-        2 => Value::Int(d.i64()?),
-        3 => Value::Float(d.f64()?),
-        4 => Value::Str(d.str()?),
-        5 => Value::Date(d.i32()?),
-        t => return Err(malformed(format!("value tag {t}"))),
-    })
-}
-
-fn put_dtype(e: &mut Enc, t: DataType) {
-    e.put_u8(match t {
-        DataType::Int => 0,
-        DataType::Float => 1,
-        DataType::Str => 2,
-        DataType::Bool => 3,
-        DataType::Date => 4,
-    });
-}
-
-fn get_dtype(d: &mut Dec) -> Result<DataType, WireError> {
-    Ok(match d.u8()? {
-        0 => DataType::Int,
-        1 => DataType::Float,
-        2 => DataType::Str,
-        3 => DataType::Bool,
-        4 => DataType::Date,
-        t => return Err(malformed(format!("dtype tag {t}"))),
-    })
-}
-
-fn put_schema(e: &mut Enc, s: &Schema) {
-    e.put_seq(s.len());
-    for c in s.columns() {
-        e.put_str(&c.name);
-        put_dtype(e, c.dtype);
-    }
-}
-
-fn get_schema(d: &mut Dec) -> Result<Schema, WireError> {
-    let n = d.seq()?;
-    let mut cols = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        let name = d.str()?;
-        let dtype = get_dtype(d)?;
-        cols.push(Column::new(name, dtype));
-    }
-    Schema::new(cols).map_err(|e| malformed(format!("schema: {e}")))
-}
-
-// ---------------------------------------------------------------------------
-// Expressions
-
-fn put_unary_op(e: &mut Enc, op: UnaryOp) {
-    e.put_u8(match op {
-        UnaryOp::Not => 0,
-        UnaryOp::Neg => 1,
-        UnaryOp::IsNull => 2,
-    });
-}
-
-fn get_unary_op(d: &mut Dec) -> Result<UnaryOp, WireError> {
-    Ok(match d.u8()? {
-        0 => UnaryOp::Not,
-        1 => UnaryOp::Neg,
-        2 => UnaryOp::IsNull,
-        t => return Err(malformed(format!("unary op tag {t}"))),
-    })
-}
-
-fn put_bin_op(e: &mut Enc, op: BinOp) {
-    e.put_u8(match op {
-        BinOp::Add => 0,
-        BinOp::Sub => 1,
-        BinOp::Mul => 2,
-        BinOp::Div => 3,
-        BinOp::Mod => 4,
-        BinOp::Eq => 5,
-        BinOp::Ne => 6,
-        BinOp::Lt => 7,
-        BinOp::Le => 8,
-        BinOp::Gt => 9,
-        BinOp::Ge => 10,
-        BinOp::And => 11,
-        BinOp::Or => 12,
-    });
-}
-
-fn get_bin_op(d: &mut Dec) -> Result<BinOp, WireError> {
-    Ok(match d.u8()? {
-        0 => BinOp::Add,
-        1 => BinOp::Sub,
-        2 => BinOp::Mul,
-        3 => BinOp::Div,
-        4 => BinOp::Mod,
-        5 => BinOp::Eq,
-        6 => BinOp::Ne,
-        7 => BinOp::Lt,
-        8 => BinOp::Le,
-        9 => BinOp::Gt,
-        10 => BinOp::Ge,
-        11 => BinOp::And,
-        12 => BinOp::Or,
-        t => return Err(malformed(format!("binary op tag {t}"))),
-    })
-}
-
-fn put_scalar_func(e: &mut Enc, f: ScalarFunc) {
-    e.put_u8(match f {
-        ScalarFunc::Year => 0,
-        ScalarFunc::Month => 1,
-        ScalarFunc::Len => 2,
-        ScalarFunc::Lower => 3,
-        ScalarFunc::Upper => 4,
-        ScalarFunc::Prefix => 5,
-        ScalarFunc::Abs => 6,
-        ScalarFunc::Hash64 => 7,
-        ScalarFunc::Concat => 8,
-        ScalarFunc::If => 9,
-        ScalarFunc::Least => 10,
-        ScalarFunc::Greatest => 11,
-    });
-}
-
-fn get_scalar_func(d: &mut Dec) -> Result<ScalarFunc, WireError> {
-    Ok(match d.u8()? {
-        0 => ScalarFunc::Year,
-        1 => ScalarFunc::Month,
-        2 => ScalarFunc::Len,
-        3 => ScalarFunc::Lower,
-        4 => ScalarFunc::Upper,
-        5 => ScalarFunc::Prefix,
-        6 => ScalarFunc::Abs,
-        7 => ScalarFunc::Hash64,
-        8 => ScalarFunc::Concat,
-        9 => ScalarFunc::If,
-        10 => ScalarFunc::Least,
-        11 => ScalarFunc::Greatest,
-        t => return Err(malformed(format!("scalar func tag {t}"))),
-    })
-}
-
-fn put_expr(e: &mut Enc, x: &Expr) {
-    match x {
-        Expr::Col(i) => {
-            e.put_u8(0);
-            e.put_usize(*i);
-        }
-        Expr::Lit(v) => {
-            e.put_u8(1);
-            put_value(e, v);
-        }
-        Expr::RecurringParam { name, value } => {
-            e.put_u8(2);
-            e.put_str(name);
-            put_value(e, value);
-        }
-        Expr::Unary { op, child } => {
-            e.put_u8(3);
-            put_unary_op(e, *op);
-            put_expr(e, child);
-        }
-        Expr::Binary { op, left, right } => {
-            e.put_u8(4);
-            put_bin_op(e, *op);
-            put_expr(e, left);
-            put_expr(e, right);
-        }
-        Expr::Func { func, args } => {
-            e.put_u8(5);
-            put_scalar_func(e, *func);
-            e.put_seq(args.len());
-            for a in args {
-                put_expr(e, a);
-            }
-        }
-    }
-}
-
-fn get_expr(d: &mut Dec) -> Result<Expr, WireError> {
-    d.depth += 1;
-    if d.depth > MAX_EXPR_DEPTH {
-        return Err(malformed(format!("expr nesting exceeds {MAX_EXPR_DEPTH}")));
-    }
-    let x = match d.u8()? {
-        0 => Expr::Col(d.usize_capped(u32::MAX as usize)?),
-        1 => Expr::Lit(get_value(d)?),
-        2 => Expr::RecurringParam {
-            name: d.str()?,
-            value: get_value(d)?,
-        },
-        3 => Expr::Unary {
-            op: get_unary_op(d)?,
-            child: Box::new(get_expr(d)?),
-        },
-        4 => Expr::Binary {
-            op: get_bin_op(d)?,
-            left: Box::new(get_expr(d)?),
-            right: Box::new(get_expr(d)?),
-        },
-        5 => {
-            let func = get_scalar_func(d)?;
-            let n = d.seq()?;
-            let mut args = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                args.push(get_expr(d)?);
-            }
-            Expr::Func { func, args }
-        }
-        t => return Err(malformed(format!("expr tag {t}"))),
-    };
-    d.depth -= 1;
-    Ok(x)
-}
-
-fn put_named_expr(e: &mut Enc, ne: &NamedExpr) {
-    e.put_str(&ne.name);
-    put_expr(e, &ne.expr);
-}
-
-fn get_named_expr(d: &mut Dec) -> Result<NamedExpr, WireError> {
-    let name = d.str()?;
-    let expr = get_expr(d)?;
-    Ok(NamedExpr { name, expr })
-}
-
-fn put_agg_func(e: &mut Enc, f: AggFunc) {
-    e.put_u8(match f {
-        AggFunc::Count => 0,
-        AggFunc::Sum => 1,
-        AggFunc::Min => 2,
-        AggFunc::Max => 3,
-        AggFunc::Avg => 4,
-        AggFunc::CountDistinct => 5,
-    });
-}
-
-fn get_agg_func(d: &mut Dec) -> Result<AggFunc, WireError> {
-    Ok(match d.u8()? {
-        0 => AggFunc::Count,
-        1 => AggFunc::Sum,
-        2 => AggFunc::Min,
-        3 => AggFunc::Max,
-        4 => AggFunc::Avg,
-        5 => AggFunc::CountDistinct,
-        t => return Err(malformed(format!("agg func tag {t}"))),
-    })
-}
-
-fn put_agg_expr(e: &mut Enc, a: &AggExpr) {
-    e.put_str(&a.name);
-    put_agg_func(e, a.func);
-    e.put_usize(a.input);
-}
-
-fn get_agg_expr(d: &mut Dec) -> Result<AggExpr, WireError> {
-    let name = d.str()?;
-    let func = get_agg_func(d)?;
-    let input = d.usize_capped(u32::MAX as usize)?;
-    Ok(AggExpr { name, func, input })
-}
-
-// ---------------------------------------------------------------------------
-// Physical properties
-
-fn put_sort_order(e: &mut Enc, s: &SortOrder) {
-    e.put_seq(s.0.len());
-    for k in &s.0 {
-        e.put_usize(k.col);
-        e.put_u8(matches!(k.dir, SortDir::Desc) as u8);
-    }
-}
-
-fn get_sort_order(d: &mut Dec) -> Result<SortOrder, WireError> {
-    let n = d.seq()?;
-    let mut keys = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        let col = d.usize_capped(u32::MAX as usize)?;
-        let dir = match d.u8()? {
-            0 => SortDir::Asc,
-            1 => SortDir::Desc,
-            t => return Err(malformed(format!("sort dir tag {t}"))),
-        };
-        keys.push(SortKey { col, dir });
-    }
-    Ok(SortOrder(keys))
-}
-
-fn put_partitioning(e: &mut Enc, p: &Partitioning) {
-    match p {
-        Partitioning::Single => e.put_u8(0),
-        Partitioning::Hash { cols, parts } => {
-            e.put_u8(1);
-            e.put_seq(cols.len());
-            for c in cols {
-                e.put_usize(*c);
-            }
-            e.put_usize(*parts);
-        }
-        Partitioning::Range { col, parts } => {
-            e.put_u8(2);
-            e.put_usize(*col);
-            e.put_usize(*parts);
-        }
-        Partitioning::RoundRobin { parts } => {
-            e.put_u8(3);
-            e.put_usize(*parts);
-        }
-        Partitioning::Any => e.put_u8(4),
-    }
-}
-
-fn get_partitioning(d: &mut Dec) -> Result<Partitioning, WireError> {
-    Ok(match d.u8()? {
-        0 => Partitioning::Single,
-        1 => {
-            let n = d.seq()?;
-            let mut cols = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                cols.push(d.usize_capped(u32::MAX as usize)?);
-            }
-            Partitioning::Hash {
-                cols,
-                parts: d.usize_capped(u32::MAX as usize)?,
-            }
-        }
-        2 => Partitioning::Range {
-            col: d.usize_capped(u32::MAX as usize)?,
-            parts: d.usize_capped(u32::MAX as usize)?,
-        },
-        3 => Partitioning::RoundRobin {
-            parts: d.usize_capped(u32::MAX as usize)?,
-        },
-        4 => Partitioning::Any,
-        t => return Err(malformed(format!("partitioning tag {t}"))),
-    })
-}
-
-fn put_props(e: &mut Enc, p: &PhysicalProps) {
-    put_partitioning(e, &p.partitioning);
-    put_sort_order(e, &p.sort);
-}
-
-fn get_props(d: &mut Dec) -> Result<PhysicalProps, WireError> {
-    Ok(PhysicalProps {
-        partitioning: get_partitioning(d)?,
-        sort: get_sort_order(d)?,
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Subsumption descriptors
-
-fn put_intervals(e: &mut Enc, ivs: &ColumnIntervals) {
-    e.put_seq(ivs.len());
-    for (col, iv) in ivs {
-        e.put_usize(*col);
-        for bound in [&iv.lo, &iv.hi] {
-            match bound {
-                None => e.put_u8(0),
-                Some((v, incl)) => {
-                    e.put_u8(1);
-                    put_value(e, v);
-                    e.put_bool(*incl);
-                }
-            }
-        }
-    }
-}
-
-fn get_intervals(d: &mut Dec) -> Result<ColumnIntervals, WireError> {
-    let n = d.seq()?;
-    let mut out = BTreeMap::new();
-    for _ in 0..n {
-        let col = d.usize_capped(u32::MAX as usize)?;
-        let mut bounds = [None, None];
-        for b in &mut bounds {
-            *b = match d.u8()? {
-                0 => None,
-                1 => {
-                    let v = get_value(d)?;
-                    let incl = d.bool()?;
-                    Some((v, incl))
-                }
-                t => return Err(malformed(format!("interval bound tag {t}"))),
-            };
-        }
-        let [lo, hi] = bounds;
-        out.insert(col, Interval { lo, hi });
-    }
-    Ok(out)
-}
-
-/// Encodes a [`SubsumeDescriptor`].
-pub fn put_descriptor(e: &mut Enc, desc: &SubsumeDescriptor) {
-    e.put_u8(match desc.kind {
-        SubsumeKind::Filter => 0,
-        SubsumeKind::Project => 1,
-        SubsumeKind::Rollup => 2,
-    });
-    put_sig(e, desc.child_precise);
-    e.put_u64(desc.cols);
-    e.put_u64(desc.keys);
-    put_schema(e, &desc.schema);
-    match &desc.detail {
-        SubsumeDetail::Filter { intervals } => {
-            e.put_u8(0);
-            put_intervals(e, intervals);
-        }
-        SubsumeDetail::Project { exprs } => {
-            e.put_u8(1);
-            e.put_seq(exprs.len());
-            for ne in exprs {
-                put_named_expr(e, ne);
-            }
-        }
-        SubsumeDetail::Rollup { keys, aggs } => {
-            e.put_u8(2);
-            e.put_seq(keys.len());
-            for k in keys {
-                e.put_usize(*k);
-            }
-            e.put_seq(aggs.len());
-            for a in aggs {
-                put_agg_expr(e, a);
-            }
-        }
-    }
-}
-
-/// Decodes a [`SubsumeDescriptor`].
-pub fn get_descriptor(d: &mut Dec) -> Result<SubsumeDescriptor, WireError> {
-    let kind = match d.u8()? {
-        0 => SubsumeKind::Filter,
-        1 => SubsumeKind::Project,
-        2 => SubsumeKind::Rollup,
-        t => return Err(malformed(format!("subsume kind tag {t}"))),
-    };
-    let child_precise = get_sig(d)?;
-    let cols = d.u64()?;
-    let keys = d.u64()?;
-    let schema = get_schema(d)?;
-    let detail = match d.u8()? {
-        0 => SubsumeDetail::Filter {
-            intervals: get_intervals(d)?,
-        },
-        1 => {
-            let n = d.seq()?;
-            let mut exprs = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                exprs.push(get_named_expr(d)?);
-            }
-            SubsumeDetail::Project { exprs }
-        }
-        2 => {
-            let nk = d.seq()?;
-            let mut rkeys = Vec::with_capacity(nk.min(1024));
-            for _ in 0..nk {
-                rkeys.push(d.usize_capped(u32::MAX as usize)?);
-            }
-            let na = d.seq()?;
-            let mut aggs = Vec::with_capacity(na.min(1024));
-            for _ in 0..na {
-                aggs.push(get_agg_expr(d)?);
-            }
-            SubsumeDetail::Rollup { keys: rkeys, aggs }
-        }
-        t => return Err(malformed(format!("subsume detail tag {t}"))),
-    };
-    Ok(SubsumeDescriptor {
-        kind,
-        child_precise,
-        cols,
-        keys,
-        schema,
-        detail,
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Metadata-service domain types
-
-fn put_available_view(e: &mut Enc, v: &AvailableView) {
-    put_sig(e, v.precise);
-    e.put_u64(v.rows);
-    e.put_u64(v.bytes);
-    put_props(e, &v.props);
-}
-
-fn get_available_view(d: &mut Dec) -> Result<AvailableView, WireError> {
-    Ok(AvailableView {
-        precise: get_sig(d)?,
-        rows: d.u64()?,
-        bytes: d.u64()?,
-        props: get_props(d)?,
-    })
-}
-
-fn put_annotation(e: &mut Enc, a: &Annotation) {
-    put_sig(e, a.normalized);
-    put_props(e, &a.props);
-    e.put_u64(a.ttl.micros());
-    e.put_u64(a.avg_cpu.micros());
-    e.put_u64(a.avg_rows);
-    e.put_u64(a.avg_bytes);
-}
-
-fn get_annotation(d: &mut Dec) -> Result<Annotation, WireError> {
-    Ok(Annotation {
-        normalized: get_sig(d)?,
-        props: get_props(d)?,
-        ttl: SimDuration::from_micros(d.u64()?),
-        avg_cpu: SimDuration::from_micros(d.u64()?),
-        avg_rows: d.u64()?,
-        avg_bytes: d.u64()?,
-    })
-}
-
-fn put_subsumed_view(e: &mut Enc, v: &SubsumedView) {
-    put_available_view(e, &v.view);
-    put_sig(e, v.normalized);
-    put_descriptor(e, &v.descriptor);
-    e.put_u64(v.avg_cpu.micros());
-}
-
-fn get_subsumed_view(d: &mut Dec) -> Result<SubsumedView, WireError> {
-    Ok(SubsumedView {
-        view: get_available_view(d)?,
-        normalized: get_sig(d)?,
-        descriptor: get_descriptor(d)?,
-        avg_cpu: SimDuration::from_micros(d.u64()?),
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Requests
-
-/// Encodes a [`LookupRequest`].
-pub fn put_lookup_request(e: &mut Enc, r: &LookupRequest) {
-    e.put_u64(r.job.raw());
-    e.put_u64(r.vc.raw());
-    e.put_seq(r.tags.len());
-    for t in &r.tags {
-        put_symbol(e, *t);
-    }
-    e.put_seq(r.probes.len());
-    for p in &r.probes {
-        put_descriptor(e, p);
-    }
-    e.put_u64(r.at.micros());
-}
-
-/// Decodes a [`LookupRequest`].
-pub fn get_lookup_request(d: &mut Dec) -> Result<LookupRequest, WireError> {
-    let job = JobId::new(d.u64()?);
-    let vc = VcId::new(d.u64()?);
-    let nt = d.seq()?;
-    let mut tags = Vec::with_capacity(nt.min(1024));
-    for _ in 0..nt {
-        tags.push(get_symbol(d)?);
-    }
-    let np = d.seq()?;
-    let mut probes = Vec::with_capacity(np.min(1024));
-    for _ in 0..np {
-        probes.push(get_descriptor(d)?);
-    }
-    let at = SimTime(d.u64()?);
-    Ok(LookupRequest::new(job, &tags, at)
-        .with_probes(probes)
-        .for_vc(vc))
-}
-
-/// Encodes a [`ProposeRequest`].
-pub fn put_propose_request(e: &mut Enc, r: &ProposeRequest) {
-    put_sig(e, r.precise);
-    e.put_u64(r.job.raw());
-    e.put_u64(r.vc.raw());
-    e.put_u64(r.lock_ttl.micros());
-    e.put_u64(r.at.micros());
-}
-
-/// Decodes a [`ProposeRequest`].
-pub fn get_propose_request(d: &mut Dec) -> Result<ProposeRequest, WireError> {
-    let precise = get_sig(d)?;
-    let job = JobId::new(d.u64()?);
-    let vc = VcId::new(d.u64()?);
-    let lock_ttl = SimDuration::from_micros(d.u64()?);
-    let at = SimTime(d.u64()?);
-    Ok(ProposeRequest::new(precise, job, lock_ttl, at).for_vc(vc))
-}
-
-/// Encodes a [`ReportRequest`].
-pub fn put_report_request(e: &mut Enc, r: &ReportRequest) {
-    put_available_view(e, &r.view);
-    put_sig(e, r.normalized);
-    e.put_u64(r.producer.raw());
-    e.put_u64(r.vc.raw());
-    e.put_u64(r.available_at.micros());
-    e.put_u64(r.expires_at.micros());
-    match &r.descriptor {
-        None => e.put_u8(0),
-        Some(desc) => {
-            e.put_u8(1);
-            put_descriptor(e, desc);
-        }
-    }
-}
-
-/// Decodes a [`ReportRequest`].
-pub fn get_report_request(d: &mut Dec) -> Result<ReportRequest, WireError> {
-    let view = get_available_view(d)?;
-    let normalized = get_sig(d)?;
-    let producer = JobId::new(d.u64()?);
-    let vc = VcId::new(d.u64()?);
-    let available_at = SimTime(d.u64()?);
-    let expires_at = SimTime(d.u64()?);
-    let descriptor = match d.u8()? {
-        0 => None,
-        1 => Some(get_descriptor(d)?),
-        t => return Err(malformed(format!("descriptor option tag {t}"))),
-    };
-    Ok(
-        ReportRequest::new(view, normalized, producer, available_at, expires_at)
-            .with_descriptor(descriptor)
-            .for_vc(vc),
-    )
-}
-
-// ---------------------------------------------------------------------------
-// Responses
-
-/// Encodes a [`LookupResponse`].
-pub fn put_lookup_response(e: &mut Enc, r: &LookupResponse) {
-    e.put_seq(r.annotations.len());
-    for a in &r.annotations {
-        put_annotation(e, a);
-    }
-    e.put_seq(r.tier2.len());
-    for v in &r.tier2 {
-        put_subsumed_view(e, v);
-    }
-    e.put_u64(r.latency.micros());
-    e.put_usize(r.hit_count);
-}
-
-/// Decodes a [`LookupResponse`].
-pub fn get_lookup_response(d: &mut Dec) -> Result<LookupResponse, WireError> {
-    let na = d.seq()?;
-    let mut annotations = Vec::with_capacity(na.min(1024));
-    for _ in 0..na {
-        annotations.push(get_annotation(d)?);
-    }
-    let nv = d.seq()?;
-    let mut tier2 = Vec::with_capacity(nv.min(1024));
-    for _ in 0..nv {
-        tier2.push(get_subsumed_view(d)?);
-    }
-    let latency = SimDuration::from_micros(d.u64()?);
-    let hit_count = d.usize_capped(u32::MAX as usize)?;
-    Ok(LookupResponse {
-        annotations,
-        tier2,
-        latency,
-        hit_count,
-    })
-}
-
-/// Encodes a [`LockOutcome`].
-pub fn put_lock_outcome(e: &mut Enc, o: LockOutcome) {
-    e.put_u8(match o {
-        LockOutcome::Acquired => 0,
-        LockOutcome::AlreadyLocked => 1,
-        LockOutcome::AlreadyMaterialized => 2,
-    });
-}
-
-/// Decodes a [`LockOutcome`].
-pub fn get_lock_outcome(d: &mut Dec) -> Result<LockOutcome, WireError> {
-    Ok(match d.u8()? {
-        0 => LockOutcome::Acquired,
-        1 => LockOutcome::AlreadyLocked,
-        2 => LockOutcome::AlreadyMaterialized,
-        t => return Err(malformed(format!("lock outcome tag {t}"))),
-    })
-}
-
-/// Encodes a [`PurgeSweep`].
-pub fn put_purge_sweep(e: &mut Enc, p: &PurgeSweep) {
-    e.put_usize(p.views_purged);
-    e.put_usize(p.annotations_purged);
-}
-
-/// Decodes a [`PurgeSweep`].
-pub fn get_purge_sweep(d: &mut Dec) -> Result<PurgeSweep, WireError> {
-    Ok(PurgeSweep {
-        views_purged: d.usize_capped(u32::MAX as usize)?,
-        annotations_purged: d.usize_capped(u32::MAX as usize)?,
-    })
-}
-
-/// Encodes a [`MetadataStats`].
-pub fn put_stats(e: &mut Enc, s: &MetadataStats) {
-    for v in [
-        s.lookups,
-        s.annotations_returned,
-        s.locks_granted,
-        s.lock_conflicts,
-        s.already_materialized,
-        s.views_registered,
-        s.expired_takeovers,
-        s.failed_lookups,
-        s.failed_proposals,
-        s.failed_reports,
-        s.purged_annotations,
-        s.tier2_hits,
-        s.tier2_rejects,
-    ] {
-        e.put_u64(v);
-    }
-}
-
-/// Decodes a [`MetadataStats`].
-pub fn get_stats(d: &mut Dec) -> Result<MetadataStats, WireError> {
-    Ok(MetadataStats {
-        lookups: d.u64()?,
-        annotations_returned: d.u64()?,
-        locks_granted: d.u64()?,
-        lock_conflicts: d.u64()?,
-        already_materialized: d.u64()?,
-        views_registered: d.u64()?,
-        expired_takeovers: d.u64()?,
-        failed_lookups: d.u64()?,
-        failed_proposals: d.u64()?,
-        failed_reports: d.u64()?,
-        purged_annotations: d.u64()?,
-        tier2_hits: d.u64()?,
-        tier2_rejects: d.u64()?,
-    })
 }

@@ -1,0 +1,277 @@
+//! Generational WAL directory: `wal.N` log files paired with `snap.N`
+//! snapshots (see [`crate::snapshot`]).
+//!
+//! Invariant: `snap.N` is the state after fully applying `wal.1..=N`.
+//! Recovery therefore loads the newest valid snapshot (generation `S`)
+//! and replays `wal.(S+1)..` in ascending order. If any replayed
+//! generation ends in a torn tail, replay stops at that clean boundary
+//! and *skips all later generations* — a consistent prefix beats a state
+//! with a hole in its history.
+//!
+//! Snapshotting is split into two halves so the caller never exports
+//! state while holding the log lock (services append to the WAL while
+//! holding their own shard locks, so holding the log lock across a state
+//! export would invert that order and deadlock):
+//!
+//! 1. [`LogDir::rotate`] — under the log lock: seal the current `wal.N`,
+//!    open a fresh `wal.N+1`, return `N`.
+//! 2. caller exports its in-memory state with no log lock held; events
+//!    appended meanwhile land in `wal.N+1` and may *also* be reflected in
+//!    the export — safe because all logged events are idempotent at their
+//!    pinned times, so at-least-once replay converges.
+//! 3. [`LogDir::seal_snapshot`] — under the log lock again: write
+//!    `snap.N` atomically, prune `wal.<=N` and older snapshots.
+
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::{latest_snapshot, numbered_files, write_snapshot};
+use crate::wal::Wal;
+use crate::Result;
+
+/// What [`LogDir::open`] recovered from disk.
+pub struct Recovered {
+    /// Payload of the newest valid snapshot, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// Generation of that snapshot (0 when none).
+    pub snapshot_gen: u64,
+    /// WAL record payloads from every generation after the snapshot, in
+    /// append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes dropped from the first torn generation (later generations,
+    /// if any, are skipped entirely and not counted here).
+    pub dropped_bytes: u64,
+    /// Number of replayed tail records (equals `records.len()`).
+    pub tail_records: usize,
+}
+
+/// A directory of generational WAL files and snapshots.
+pub struct LogDir {
+    dir: PathBuf,
+    gen: u64,
+    wal: Wal,
+    tail_bytes: u64,
+}
+
+impl LogDir {
+    fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+        dir.join(format!("wal.{gen}"))
+    }
+
+    /// Opens `dir` (creating it if needed), recovering snapshot + tail.
+    pub fn open(dir: &Path) -> Result<(LogDir, Recovered)> {
+        std::fs::create_dir_all(dir)?;
+        let (snapshot_gen, snapshot) = match latest_snapshot(dir)? {
+            Some((gen, payload)) => (gen, Some(payload)),
+            None => (0, None),
+        };
+        let wals = numbered_files(dir, "wal")?;
+        let mut records = Vec::new();
+        let mut dropped_bytes = 0u64;
+        let mut tail_bytes = 0u64;
+        let mut top_gen = snapshot_gen;
+        for (gen, path) in &wals {
+            if *gen <= snapshot_gen {
+                continue; // already folded into the snapshot
+            }
+            if dropped_bytes > 0 {
+                // A torn earlier generation: later generations would leave
+                // a hole in history, so they are not replayed.
+                break;
+            }
+            let (_, recs, report) = Wal::open(path)?;
+            records.extend(recs);
+            tail_bytes += report.clean_len;
+            dropped_bytes += report.dropped_bytes;
+            top_gen = *gen;
+        }
+        // Append into the highest replayed generation (already truncated to
+        // its clean boundary by `Wal::open`), or start a fresh one.
+        let gen = if top_gen > snapshot_gen {
+            top_gen
+        } else {
+            snapshot_gen + 1
+        };
+        let (wal, _, _) = Wal::open(&Self::wal_path(dir, gen))?;
+        let tail_records = records.len();
+        Ok((
+            LogDir {
+                dir: dir.to_path_buf(),
+                gen,
+                wal,
+                tail_bytes,
+            },
+            Recovered {
+                snapshot,
+                snapshot_gen,
+                records,
+                dropped_bytes,
+                tail_records,
+            },
+        ))
+    }
+
+    /// Appends one record to the current generation.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        self.wal.append(payload)?;
+        self.tail_bytes += (crate::wal::RECORD_HEADER + payload.len()) as u64;
+        Ok(())
+    }
+
+    /// Bytes of log records not yet folded into a snapshot (across all
+    /// generations since the last snapshot). The compaction trigger.
+    pub fn tail_bytes(&self) -> u64 {
+        self.tail_bytes
+    }
+
+    /// Current generation number (the file appends go to).
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// Seals the current generation and opens the next one; returns the
+    /// sealed generation number to pass to [`LogDir::seal_snapshot`] after
+    /// the caller has exported its state *without holding the log lock*.
+    pub fn rotate(&mut self) -> Result<u64> {
+        self.wal.sync()?;
+        let sealed = self.gen;
+        self.gen += 1;
+        let (wal, _, _) = Wal::open(&Self::wal_path(&self.dir, self.gen))?;
+        self.wal = wal;
+        Ok(sealed)
+    }
+
+    /// Writes `payload` as the snapshot for `sealed_gen` and prunes every
+    /// log generation and snapshot it supersedes.
+    pub fn seal_snapshot(&mut self, sealed_gen: u64, payload: &[u8]) -> Result<()> {
+        write_snapshot(&self.dir, sealed_gen, payload)?;
+        for (gen, path) in numbered_files(&self.dir, "wal")? {
+            if gen <= sealed_gen {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        for (gen, path) in numbered_files(&self.dir, "snap")? {
+            if gen < sealed_gen {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        // Only the live generation's bytes remain unsnapshotted.
+        self.tail_bytes = self.wal.len_bytes();
+        Ok(())
+    }
+
+    /// Forces buffered appends to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// True when `dir` holds any snapshot or WAL generation (i.e. a previous
+/// process left durable state to recover).
+pub fn has_state(dir: &Path) -> bool {
+    numbered_files(dir, "snap")
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+        || numbered_files(dir, "wal")
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scope-store-log-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_dir_starts_at_gen_one() {
+        let dir = tmp("fresh");
+        let (log, rec) = LogDir::open(&dir).unwrap();
+        assert_eq!(log.gen(), 1);
+        assert!(rec.snapshot.is_none());
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let dir = tmp("reopen");
+        let (mut log, _) = LogDir::open(&dir).unwrap();
+        log.append(b"a").unwrap();
+        log.append(b"b").unwrap();
+        drop(log);
+        let (log, rec) = LogDir::open(&dir).unwrap();
+        assert_eq!(rec.records, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert_eq!(log.gen(), 1);
+        assert!(log.tail_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_tail_replays_after_it() {
+        let dir = tmp("compact");
+        let (mut log, _) = LogDir::open(&dir).unwrap();
+        log.append(b"pre-1").unwrap();
+        log.append(b"pre-2").unwrap();
+        let sealed = log.rotate().unwrap();
+        // (caller exports state here, lock-free)
+        log.append(b"post").unwrap();
+        log.seal_snapshot(sealed, b"STATE").unwrap();
+        assert_eq!(log.gen(), 2);
+        drop(log);
+        let (log, rec) = LogDir::open(&dir).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(b"STATE".as_slice()));
+        assert_eq!(rec.snapshot_gen, 1);
+        assert_eq!(rec.records, vec![b"post".to_vec()]);
+        assert_eq!(log.gen(), 2);
+        // wal.1 was pruned.
+        assert!(!LogDir::wal_path(&dir, 1).exists());
+    }
+
+    #[test]
+    fn torn_generation_skips_later_generations() {
+        let dir = tmp("torn-gen");
+        let (mut log, _) = LogDir::open(&dir).unwrap();
+        log.append(b"one").unwrap();
+        log.rotate().unwrap(); // seals wal.1, opens wal.2; no snapshot sealed
+        log.append(b"two").unwrap();
+        drop(log);
+        // Tear the tail of wal.1: wal.2 must then be skipped entirely.
+        let p1 = LogDir::wal_path(&dir, 1);
+        let bytes = std::fs::read(&p1).unwrap();
+        std::fs::write(&p1, &bytes[..bytes.len() - 1]).unwrap();
+        let (_, rec) = LogDir::open(&dir).unwrap();
+        assert!(rec.records.is_empty());
+        assert!(rec.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn tail_bytes_reset_by_snapshot() {
+        let dir = tmp("tailbytes");
+        let (mut log, _) = LogDir::open(&dir).unwrap();
+        log.append(&[0u8; 100]).unwrap();
+        let before = log.tail_bytes();
+        assert!(before >= 100);
+        let sealed = log.rotate().unwrap();
+        log.seal_snapshot(sealed, b"s").unwrap();
+        assert_eq!(log.tail_bytes(), 0);
+    }
+
+    #[test]
+    fn has_state_detects_prior_runs() {
+        let dir = tmp("hasstate");
+        assert!(!has_state(&dir));
+        let (mut log, _) = LogDir::open(&dir).unwrap();
+        log.append(b"x").unwrap();
+        drop(log);
+        assert!(has_state(&dir));
+    }
+}

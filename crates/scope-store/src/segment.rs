@@ -1,0 +1,504 @@
+//! Log-structured key-value store: MemTable → WAL → sorted segment files,
+//! per the classic LSM layering.
+//!
+//! Writes go to an in-memory `BTreeMap` (the MemTable) *after* being
+//! appended to `kv.wal`; when the MemTable exceeds its flush threshold it
+//! is written out as an immutable, sorted, bloom-filtered segment file
+//! `seg.N` (atomically: tmp + checksum + rename) and the WAL is reset.
+//! Deletes are tombstones so a delete in a newer layer shadows a put in
+//! an older one. Reads check the MemTable, then segments newest-first,
+//! each gated by its bloom filter.
+//!
+//! Segment file format (little-endian, `b"SEG1"` magic, `u64` sip64
+//! checksum of everything after it):
+//!
+//! | field        | encoding                                        |
+//! |--------------|-------------------------------------------------|
+//! | bloom        | `u32` k, `u64` nbits, `u32` words, `u64` × words|
+//! | entry count  | `u32`                                           |
+//! | entries      | `u32` klen, key, `u8` tombstone, `u32` vlen, val|
+//!
+//! Entries are sorted by key. Decoded segments are kept resident (this
+//! simulation's stand-in for the page cache), so `get` is a bloom check
+//! plus a binary search — the on-disk format still matters because it is
+//! what recovery reads and what the checksum guards.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use scope_common::hash::{sip128, sip64};
+
+use crate::snapshot::numbered_files;
+use crate::wal::Wal;
+use crate::{Result, StoreError};
+
+const MAGIC: &[u8; 4] = b"SEG1";
+const BITS_PER_KEY: u64 = 10;
+const NUM_HASHES: u32 = 6;
+
+/// A blocked bloom filter with double hashing: `bit_i = h1 + i*h2`.
+#[derive(Clone, Debug)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+}
+
+impl Bloom {
+    /// Sizes the filter at ~10 bits per expected key, 6 probes.
+    pub fn with_capacity(keys: usize) -> Bloom {
+        let nbits = (keys as u64 * BITS_PER_KEY).max(64);
+        let words = nbits.div_ceil(64) as usize;
+        Bloom {
+            bits: vec![0u64; words],
+            nbits: words as u64 * 64,
+            k: NUM_HASHES,
+        }
+    }
+
+    fn probes(&self, key: &[u8]) -> (u64, u64) {
+        let h1 = sip64(key);
+        // An odd second hash guarantees it is coprime with the power-of-two
+        // word span, so the k probes never collapse onto one bit.
+        let h2 = sip128(key).lo | 1;
+        (h1, h2)
+    }
+
+    /// Marks `key` present.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = self.probes(key);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// False means definitely absent; true means probably present.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.probes(key);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.nbits.to_le_bytes());
+        out.extend_from_slice(&(self.bits.len() as u32).to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn decode(r: &mut SliceReader<'_>) -> Result<Bloom> {
+        let k = r.u32()?;
+        let nbits = r.u64()?;
+        let words = r.u32()? as usize;
+        if k == 0 || k > 64 || nbits != words as u64 * 64 || words > (1 << 26) {
+            return Err(StoreError::Corrupt("bad bloom header".into()));
+        }
+        let mut bits = Vec::with_capacity(words);
+        for _ in 0..words {
+            bits.push(r.u64()?);
+        }
+        Ok(Bloom { bits, nbits, k })
+    }
+}
+
+/// Minimal bounds-checked reader for segment decoding (the generic codec
+/// lives in `scope_common`; this stays dependency-light on purpose).
+struct SliceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(StoreError::Corrupt("segment truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+/// One immutable, sorted, bloom-filtered on-disk segment, held resident.
+pub struct Segment {
+    bloom: Bloom,
+    /// Sorted by key; `None` value is a tombstone.
+    entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+impl Segment {
+    /// Builds and atomically writes a segment from sorted entries.
+    fn write(path: &Path, entries: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Result<Segment> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut bloom = Bloom::with_capacity(entries.len());
+        for (k, _) in &entries {
+            bloom.insert(k);
+        }
+        let mut payload = Vec::new();
+        bloom.encode(&mut payload);
+        payload.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (k, v) in &entries {
+            payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            payload.extend_from_slice(k);
+            match v {
+                Some(v) => {
+                    payload.push(0);
+                    payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(v);
+                }
+                None => {
+                    payload.push(1);
+                    payload.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
+        }
+        let mut bytes = Vec::with_capacity(12 + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&sip64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let tmp = path.with_extension("tmp");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(Segment { bloom, entries })
+    }
+
+    /// Reads and validates a segment file.
+    fn read(path: &Path) -> Result<Segment> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 12 || &bytes[..4] != MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "{}: bad segment header",
+                path.display()
+            )));
+        }
+        let checksum = u64::from_le_bytes(bytes[4..12].try_into().expect("8"));
+        let payload = &bytes[12..];
+        if sip64(payload) != checksum {
+            return Err(StoreError::Corrupt(format!(
+                "{}: segment checksum mismatch",
+                path.display()
+            )));
+        }
+        let mut r = SliceReader {
+            buf: payload,
+            pos: 0,
+        };
+        let bloom = Bloom::decode(&mut r)?;
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let klen = r.u32()? as usize;
+            let key = r.take(klen)?.to_vec();
+            let tomb = r.u8()? != 0;
+            let vlen = r.u32()? as usize;
+            let val = r.take(vlen)?.to_vec();
+            entries.push((key, if tomb { None } else { Some(val) }));
+        }
+        Ok(Segment { bloom, entries })
+    }
+
+    /// Point lookup: `None` = key absent here, `Some(None)` = tombstoned.
+    fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        if !self.bloom.may_contain(key) {
+            return None;
+        }
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1.as_deref())
+    }
+}
+
+/// The store: MemTable over a WAL over sorted segment files.
+pub struct SegmentStore {
+    dir: PathBuf,
+    /// MemTable; `None` value is a tombstone awaiting flush.
+    mem: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    mem_bytes: u64,
+    wal: Wal,
+    /// Resident segments, ascending by number (oldest first).
+    segments: Vec<(u64, Segment)>,
+    next_seg: u64,
+    flush_threshold: u64,
+}
+
+impl SegmentStore {
+    /// Opens `dir`, loading every valid segment and replaying `kv.wal`
+    /// into the MemTable. `flush_threshold` bounds MemTable bytes before
+    /// an automatic flush.
+    pub fn open(dir: &Path, flush_threshold: u64) -> Result<SegmentStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut segments = Vec::new();
+        let mut next_seg = 1u64;
+        for (num, path) in numbered_files(dir, "seg")? {
+            // A corrupt segment would have had to tear an atomic rename;
+            // surface it rather than silently dropping committed data.
+            segments.push((num, Segment::read(&path)?));
+            next_seg = num + 1;
+        }
+        let (wal, records, _report) = Wal::open(&dir.join("kv.wal"))?;
+        let mut store = SegmentStore {
+            dir: dir.to_path_buf(),
+            mem: BTreeMap::new(),
+            mem_bytes: 0,
+            wal,
+            segments,
+            next_seg,
+            flush_threshold,
+        };
+        for rec in records {
+            if let Some((key, val)) = decode_kv_record(&rec) {
+                store.apply_mem(key, val);
+            }
+        }
+        Ok(store)
+    }
+
+    fn apply_mem(&mut self, key: Vec<u8>, val: Option<Vec<u8>>) {
+        self.mem_bytes += (key.len() + val.as_ref().map_or(0, |v| v.len()) + 16) as u64;
+        self.mem.insert(key, val);
+    }
+
+    fn log_and_apply(&mut self, key: &[u8], val: Option<&[u8]>) -> Result<()> {
+        self.wal.append(&encode_kv_record(key, val))?;
+        self.apply_mem(key.to_vec(), val.map(|v| v.to_vec()));
+        if self.mem_bytes >= self.flush_threshold {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Durably inserts or replaces `key`.
+    pub fn put(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        self.log_and_apply(key, Some(val))
+    }
+
+    /// Durably deletes `key` (a tombstone shadows older segments).
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.log_and_apply(key, None)
+    }
+
+    /// Point lookup across MemTable and segments (newest layer wins).
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(v) = self.mem.get(key) {
+            return v.clone();
+        }
+        for (_, seg) in self.segments.iter().rev() {
+            if let Some(v) = seg.get(key) {
+                return v.map(|v| v.to_vec());
+            }
+        }
+        None
+    }
+
+    /// All live entries, sorted by key, tombstones resolved.
+    pub fn scan(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for (_, seg) in &self.segments {
+            for (k, v) in &seg.entries {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        for (k, v) in &self.mem {
+            merged.insert(k.clone(), v.clone());
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
+    /// Writes the MemTable out as the next segment and resets the WAL.
+    /// No-op when the MemTable is empty.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let entries: Vec<_> = std::mem::take(&mut self.mem).into_iter().collect();
+        let num = self.next_seg;
+        let seg = Segment::write(&self.dir.join(format!("seg.{num}")), entries)?;
+        self.segments.push((num, seg));
+        self.next_seg += 1;
+        self.mem_bytes = 0;
+        self.wal.reset()?;
+        Ok(())
+    }
+
+    /// Number of on-disk segments (for tests and telemetry).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Entries currently buffered in the MemTable.
+    pub fn mem_entries(&self) -> usize {
+        self.mem.len()
+    }
+}
+
+fn encode_kv_record(key: &[u8], val: Option<&[u8]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + key.len() + val.map_or(0, |v| v.len()));
+    out.push(if val.is_some() { 0 } else { 1 });
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    if let Some(v) = val {
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+fn decode_kv_record(rec: &[u8]) -> Option<(Vec<u8>, Option<Vec<u8>>)> {
+    let mut r = SliceReader { buf: rec, pos: 0 };
+    let tomb = r.u8().ok()? != 0;
+    let klen = r.u32().ok()? as usize;
+    let key = r.take(klen).ok()?.to_vec();
+    if tomb {
+        return Some((key, None));
+    }
+    let vlen = r.u32().ok()? as usize;
+    let val = r.take(vlen).ok()?.to_vec();
+    Some((key, Some(val)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scope-store-seg-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..500u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let mut b = Bloom::with_capacity(keys.len());
+        for k in &keys {
+            b.insert(k);
+        }
+        for k in &keys {
+            assert!(b.may_contain(k));
+        }
+        // False positives stay rare at 10 bits/key.
+        let fp = (1000..3000u32)
+            .filter(|i| b.may_contain(&i.to_le_bytes()))
+            .count();
+        assert!(fp < 60, "false positive rate too high: {fp}/2000");
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let dir = tmp("pgd");
+        let mut s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        s.put(b"k1", b"v1").unwrap();
+        s.put(b"k2", b"v2").unwrap();
+        s.delete(b"k1").unwrap();
+        assert_eq!(s.get(b"k1"), None);
+        assert_eq!(s.get(b"k2"), Some(b"v2".to_vec()));
+        assert_eq!(s.scan(), vec![(b"k2".to_vec(), b"v2".to_vec())]);
+    }
+
+    #[test]
+    fn wal_replay_recovers_unflushed_writes() {
+        let dir = tmp("replay");
+        let mut s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        drop(s); // never flushed — everything lives in kv.wal
+        let s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        assert_eq!(s.num_segments(), 0);
+        assert_eq!(s.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"b"), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn flush_writes_segment_and_resets_wal() {
+        let dir = tmp("flush");
+        let mut s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        for i in 0..100u32 {
+            s.put(&i.to_le_bytes(), &(i * 2).to_le_bytes()).unwrap();
+        }
+        s.flush().unwrap();
+        assert_eq!(s.num_segments(), 1);
+        assert_eq!(s.mem_entries(), 0);
+        drop(s);
+        let s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        assert_eq!(s.num_segments(), 1);
+        for i in 0..100u32 {
+            assert_eq!(
+                s.get(&i.to_le_bytes()),
+                Some((i * 2).to_le_bytes().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn tombstone_in_newer_layer_shadows_older_segment() {
+        let dir = tmp("shadow");
+        let mut s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        s.put(b"doomed", b"old").unwrap();
+        s.flush().unwrap();
+        s.delete(b"doomed").unwrap();
+        assert_eq!(s.get(b"doomed"), None);
+        drop(s);
+        let mut s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        assert_eq!(s.get(b"doomed"), None);
+        s.flush().unwrap(); // tombstone flushed into its own segment
+        drop(s);
+        let s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        assert_eq!(s.get(b"doomed"), None);
+        assert!(s.scan().is_empty());
+    }
+
+    #[test]
+    fn auto_flush_past_threshold() {
+        let dir = tmp("auto");
+        let mut s = SegmentStore::open(&dir, 256).unwrap();
+        for i in 0..64u32 {
+            s.put(&i.to_le_bytes(), &[0u8; 16]).unwrap();
+        }
+        assert!(s.num_segments() >= 1, "threshold never triggered a flush");
+        for i in 0..64u32 {
+            assert_eq!(s.get(&i.to_le_bytes()), Some(vec![0u8; 16]));
+        }
+    }
+
+    #[test]
+    fn torn_kv_wal_tail_drops_only_last_write() {
+        let dir = tmp("torn");
+        let mut s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        s.put(b"safe", b"1").unwrap();
+        s.put(b"torn", b"2").unwrap();
+        drop(s);
+        let wal_path = dir.join("kv.wal");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 1]).unwrap();
+        let s = SegmentStore::open(&dir, 1 << 20).unwrap();
+        assert_eq!(s.get(b"safe"), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"torn"), None);
+    }
+}

@@ -8,13 +8,17 @@
 //! degradation counters account for every injected fault.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use cloudviews::analyzer::{AnalyzerConfig, SelectionConstraints, SelectionPolicy};
+use cloudviews::api::ProposeRequest;
 use cloudviews::{CloudViews, FaultPlan, FaultSite, RunMode, ScriptedFault};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use scope_common::time::SimDuration;
+use scope_common::hash::Sig128;
+use scope_common::ids::JobId;
+use scope_common::time::{SimDuration, SimTime};
 use scope_engine::job::JobSpec;
 use scope_engine::storage::StorageManager;
 use scope_workload::dists::LogNormal;
@@ -963,4 +967,233 @@ fn property_any_fault_plan_preserves_outputs_and_reclaims_locks() {
         assert_fault_accounting(&cv, &all_reports, &context);
         assert_locks_reclaimable(&cv, &context);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable state: crash recovery (DESIGN.md "Durable state & crash recovery")
+// ---------------------------------------------------------------------------
+
+/// A fresh, empty store root under the system temp dir.
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cv-ft-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A durable service rooted at `dir` — recovery runs inside `build()`.
+fn durable_service(dir: &Path) -> CloudViews {
+    CloudViews::builder(Arc::new(StorageManager::new()))
+        .incremental_analyzer(analyzer_cfg())
+        .durable(dir)
+        .build()
+}
+
+/// Everything recovery must reproduce byte-for-byte: the metadata catalog
+/// fingerprint, the analyzer state fingerprint, the job-record log length,
+/// and the view count.
+fn state_signature(cv: &CloudViews) -> (Sig128, Sig128, usize, usize) {
+    (
+        cv.metadata.fingerprint(),
+        cv.analyzer
+            .as_ref()
+            .expect("analyzer installed")
+            .state()
+            .fingerprint(),
+        cv.repo.records().len(),
+        cv.metadata.num_views(),
+    )
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap() {
+        let e = e.unwrap();
+        let to = dst.join(e.file_name());
+        if e.file_type().unwrap().is_dir() {
+            copy_dir(&e.path(), &to);
+        } else {
+            std::fs::copy(e.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Path of the highest-generation metadata WAL under `dir`.
+fn meta_wal(dir: &Path) -> PathBuf {
+    let meta = dir.join("meta");
+    std::fs::read_dir(&meta)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.strip_prefix("wal.")
+                .and_then(|n| n.parse::<u64>().ok())
+        })
+        .max()
+        .map(|g| meta.join(format!("wal.{g}")))
+        .expect("no WAL generation")
+}
+
+/// Byte offsets where each WAL frame starts (frame = 4-byte length +
+/// 8-byte checksum + payload).
+fn frame_starts(wal: &[u8]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut off = 0usize;
+    while off + 12 <= wal.len() {
+        let len = u32::from_le_bytes(wal[off..off + 4].try_into().unwrap()) as usize;
+        if off + 12 + len > wal.len() {
+            break;
+        }
+        starts.push(off);
+        off += 12 + len;
+    }
+    starts
+}
+
+/// A crash can tear the WAL at *any* byte. Truncating the log at every
+/// offset inside the final record must recover — without panicking — to
+/// exactly the state of the log minus that record (the last clean
+/// boundary), never to garbage and never to a partially applied event.
+#[test]
+fn torn_wal_tail_recovers_at_every_byte_offset() {
+    let dir = temp_store("torn");
+    {
+        let w = workload(11);
+        let cv = durable_service(&dir);
+        w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+            .unwrap();
+        let outcome = cv.analyze_round().unwrap();
+        cv.install_analysis(&outcome);
+        // End on a purge so the final WAL record is a small PurgeShard
+        // frame — the per-offset loop stays cheap.
+        cv.purge_expired();
+    }
+
+    let wal_path = meta_wal(&dir);
+    let wal = std::fs::read(&wal_path).unwrap();
+    let starts = frame_starts(&wal);
+    let last = *starts.last().expect("priming wrote records");
+    assert!(starts.len() > 1, "need at least two frames");
+
+    // Ground truth: the log cleanly cut *before* the last record.
+    let scratch = temp_store("torn-expected");
+    copy_dir(&dir, &scratch);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(meta_wal(&scratch))
+        .unwrap();
+    f.set_len(last as u64).unwrap();
+    drop(f);
+    let expected = state_signature(&durable_service(&scratch));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    for cut in last + 1..wal.len() {
+        let scratch = temp_store("torn-cut");
+        copy_dir(&dir, &scratch);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(meta_wal(&scratch))
+            .unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+        let got = state_signature(&durable_service(&scratch));
+        assert_eq!(
+            got, expected,
+            "truncation at byte {cut} (last clean boundary {last}) did not \
+             recover to the last clean record boundary"
+        );
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cold start from pure WAL (no snapshot was ever taken) rebuilds
+/// byte-identical fingerprints, the recovered service keeps serving jobs,
+/// and a snapshot → reopen round-trip preserves the same equality.
+#[test]
+fn crash_recovery_restores_fingerprints_and_stays_live() {
+    let dir = temp_store("crash");
+    let w = workload(7);
+    let before = {
+        let cv = durable_service(&dir);
+        w.register_instance_data(0, 0, &cv.storage, 1.0).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 0).unwrap(), RunMode::Baseline)
+            .unwrap();
+        let outcome = cv.analyze_round().unwrap();
+        assert!(!outcome.selected.is_empty(), "fixture must select views");
+        cv.install_analysis(&outcome);
+        w.register_instance_data(0, 1, &cv.storage, 1.0).unwrap();
+        cv.run_sequence(&w.jobs_for_instance(0, 1).unwrap(), RunMode::CloudViews)
+            .unwrap();
+        state_signature(&cv)
+        // dropped without any snapshot: recovery replays the full WAL
+    };
+
+    let cv = durable_service(&dir);
+    assert_eq!(state_signature(&cv), before, "pure-WAL replay drifted");
+
+    // The recovered service is live: a further instance runs to completion
+    // and its mutations land in the same log.
+    w.register_instance_data(0, 2, &cv.storage, 1.0).unwrap();
+    let reports = cv
+        .run_sequence(&w.jobs_for_instance(0, 2).unwrap(), RunMode::CloudViews)
+        .unwrap();
+    assert!(!reports.is_empty());
+    assert!(
+        cv.repo.records().len() > before.2,
+        "new runs must be recorded"
+    );
+
+    // Snapshot compaction must not change what recovery reconstructs.
+    assert!(cv.snapshot_now(), "explicit snapshot must run");
+    let after = state_signature(&cv);
+    drop(cv);
+    let cv = durable_service(&dir);
+    assert_eq!(state_signature(&cv), after, "snapshot recovery drifted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A build lock held at crash time is re-derived *conservatively*: the
+/// recovered lock keeps its original holder and expiry (never extended),
+/// so a takeover builder can claim the view the moment the mined TTL
+/// elapses — and no recovered lock outlives that horizon.
+#[test]
+fn recovered_locks_keep_original_expiry_and_drain() {
+    let dir = temp_store("locks");
+    let precise = Sig128 {
+        hi: 0xfeed_f00d,
+        lo: 0xdead_beef,
+    };
+    let holder = JobId::new(77);
+    let ttl = SimDuration::from_micros(5_000_000);
+    let granted_expiry = {
+        let cv = durable_service(&dir);
+        let at = cv.clock.now();
+        cv.metadata
+            .propose(&ProposeRequest::new(precise, holder, ttl, at))
+            .unwrap();
+        let (h, expires_at) = cv.metadata.lock_holder(precise).expect("lock granted");
+        assert_eq!(h, holder);
+        assert_eq!(expires_at, at + ttl);
+        expires_at
+        // crash with the builder mid-materialization
+    };
+
+    let cv = durable_service(&dir);
+    let (h, expires_at) = cv
+        .metadata
+        .lock_holder(precise)
+        .expect("in-flight lock must survive recovery");
+    assert_eq!(
+        (h, expires_at),
+        (holder, granted_expiry),
+        "recovered lock must keep its original holder and expiry"
+    );
+    // Active until — and not one microsecond past — the mined TTL.
+    assert_eq!(cv.metadata.num_active_locks(SimTime::ZERO), 1);
+    assert_eq!(
+        cv.metadata.num_active_locks(granted_expiry),
+        0,
+        "recovered lock must expire at its pre-crash horizon"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
